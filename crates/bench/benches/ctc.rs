@@ -1,0 +1,77 @@
+//! Microbenchmarks of the core LATCH structures: CTC lookups (hit and
+//! miss paths), the `stnt` write path, clear-scans, and the full
+//! LatchUnit check stack.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use latch_core::config::LatchConfig;
+use latch_core::ctc::CoarseTaintCache;
+use latch_core::ctt::CoarseTaintTable;
+use latch_core::domain::DomainGeometry;
+use latch_core::unit::LatchUnit;
+use latch_core::EmptyView;
+
+fn ctc_hit(c: &mut Criterion) {
+    let geom = DomainGeometry::new(64).unwrap();
+    let mut ctc = CoarseTaintCache::new(geom, 16, 150);
+    let ctt = CoarseTaintTable::new();
+    ctc.lookup(0x1000, &ctt); // warm
+    c.bench_function("ctc_lookup_hit", |b| {
+        b.iter(|| ctc.lookup(black_box(0x1000), &ctt))
+    });
+}
+
+fn ctc_miss(c: &mut Criterion) {
+    let geom = DomainGeometry::new(64).unwrap();
+    let mut ctc = CoarseTaintCache::new(geom, 16, 150);
+    let ctt = CoarseTaintTable::new();
+    let mut addr = 0u32;
+    c.bench_function("ctc_lookup_miss_stream", |b| {
+        b.iter(|| {
+            // Each lookup targets a fresh CTT word (2 KiB stride).
+            addr = addr.wrapping_add(0x800);
+            ctc.lookup(black_box(addr), &ctt)
+        })
+    });
+}
+
+fn ctc_write_taint(c: &mut Criterion) {
+    let geom = DomainGeometry::new(64).unwrap();
+    let mut ctc = CoarseTaintCache::new(geom, 16, 150);
+    let mut ctt = CoarseTaintTable::new();
+    c.bench_function("ctc_write_taint", |b| {
+        b.iter(|| ctc.write_taint(black_box(0x2000), 16, true, &mut ctt))
+    });
+}
+
+fn clear_scan(c: &mut Criterion) {
+    let geom = DomainGeometry::new(64).unwrap();
+    c.bench_function("ctc_clear_scan_16_domains", |b| {
+        b.iter_batched(
+            || {
+                let mut ctc = CoarseTaintCache::new(geom, 16, 150);
+                let mut ctt = CoarseTaintTable::new();
+                for i in 0..16u32 {
+                    ctc.write_taint(i * 64, 8, true, &mut ctt);
+                    ctc.write_taint(i * 64, 8, false, &mut ctt);
+                }
+                (ctc, ctt)
+            },
+            |(mut ctc, mut ctt)| ctc.clear_scan(&EmptyView, &mut ctt),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn unit_check(c: &mut Criterion) {
+    let mut unit = LatchUnit::new(LatchConfig::s_latch().build().unwrap());
+    unit.write_taint(0x8000, 64, true);
+    c.bench_function("latch_unit_check_clean_tlb", |b| {
+        b.iter(|| unit.check_read(black_box(0x1000), 4))
+    });
+    c.bench_function("latch_unit_check_tainted_domain", |b| {
+        b.iter(|| unit.check_read(black_box(0x8000), 4))
+    });
+}
+
+criterion_group!(benches, ctc_hit, ctc_miss, ctc_write_taint, clear_scan, unit_check);
+criterion_main!(benches);

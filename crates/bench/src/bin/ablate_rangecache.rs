@@ -1,0 +1,89 @@
+//! Future-work comparison (paper §7): the CTC's fixed-granularity
+//! coarse bitmap vs. a RangeCache-style \[49\] range-based screener at
+//! equal storage budget.
+//!
+//! Both screen the same access streams against the same precise taint
+//! state; the metric is how often each has to fall back to the precise
+//! tier (misses) and how many coarse taint reports each produces.
+
+use latch_bench::args::ExpArgs;
+use latch_bench::table::{pct, Table};
+use latch_core::ctc::CoarseTaintCache;
+use latch_core::ctt::CoarseTaintTable;
+use latch_core::domain::DomainGeometry;
+use latch_dift::engine::DiftEngine;
+use latch_sim::event::EventSource;
+use latch_core::PreciseView;
+use latch_sim::machine::apply_event_dift;
+use latch_systems::rangecache::RangeCache;
+use latch_workloads::BenchmarkProfile;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let names = ["gcc", "perlbench", "soplex", "sphinx", "apache", "bzip2"];
+    println!("Future-work ablation (§7): CTC vs. RangeCache screening at equal budget");
+    println!("events/benchmark: {}\n", args.events);
+    let mut t = Table::new([
+        "benchmark",
+        "CTC miss %",
+        "RangeCache miss %",
+        "CTC coarse hits",
+        "RC coarse hits",
+        "precise hits",
+    ])
+    .markdown(args.markdown);
+    for name in names {
+        if !args.selects(name) {
+            continue;
+        }
+        let profile = BenchmarkProfile::by_name(name).expect("known benchmark");
+        let geom = DomainGeometry::new(64).expect("valid");
+        // Equal budget: 16-entry CTC holds 64 B payload + ~52 B tags;
+        // a 13-entry RangeCache is ~117 B of bounds+tags.
+        let mut ctc = CoarseTaintCache::new(geom, 16, 150);
+        let mut ctt = CoarseTaintTable::new();
+        let mut rc = RangeCache::new(13, 64);
+        let mut dift = DiftEngine::new();
+        let mut src = profile.stream(args.seed, args.events);
+        let (mut ctc_hits, mut rc_hits, mut precise_hits) = (0u64, 0u64, 0u64);
+        while let Some(ev) = src.next_event() {
+            if let Some(mem) = ev.mem {
+                if ctc.lookup_range(mem.addr, mem.len, &ctt).tainted {
+                    ctc_hits += 1;
+                }
+                if rc.check(mem.addr, mem.len, dift.shadow()) {
+                    rc_hits += 1;
+                }
+                if dift.shadow().any_tainted(mem.addr, mem.len) {
+                    precise_hits += 1;
+                }
+            }
+            let step = apply_event_dift(&mut dift, &ev);
+            if let Some((addr, len, tainted)) = step.mem_taint_write {
+                // Keep both coarse states synchronized with the precise
+                // update, through each screen's own write path so
+                // cached state stays coherent.
+                ctc.write_taint(addr, len, tainted, &mut ctt);
+                if !tainted {
+                    ctc.clear_scan(dift.shadow(), &mut ctt);
+                }
+                rc.invalidate(addr, len);
+            }
+        }
+        t.row([
+            name.to_owned(),
+            pct(100.0 * ctc.stats().miss_rate()),
+            pct(100.0 * rc.stats().miss_rate()),
+            ctc_hits.to_string(),
+            rc_hits.to_string(),
+            precise_hits.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+    println!("Reading: both screens are conservative (coarse hits >= precise hits).");
+    println!("Ranges compress homogeneous regions (low miss rates on clean-dominated");
+    println!("streams) but churn under scattered taint, where the CTC's fixed bitmap");
+    println!("is stable — the trade-off behind the paper's future-work note on");
+    println!("combining multigranularity tainting with compressed caches.");
+}

@@ -1,0 +1,257 @@
+//! Runs every experiment of the paper in sequence (Tables 1–4, 6–7;
+//! Figures 5, 6, 13–16; the §6.4 complexity analysis) by invoking the
+//! sibling experiment binaries' logic, printing each section.
+//!
+//! With `--events N` the whole suite scales together. This is the
+//! binary behind EXPERIMENTS.md.
+
+use latch_bench::args::ExpArgs;
+use latch_bench::paper;
+use latch_bench::runner;
+use latch_bench::table::{pct, Table};
+use latch_core::config::LatchConfig;
+use latch_hwmodel::fpga::{complexity, Ao486Baseline};
+use latch_systems::report::{harmonic_mean, mean};
+use latch_workloads::{all_profiles, network_profiles, spec_profiles, Suite};
+
+fn section(title: &str) {
+    println!("\n==== {title} ====\n");
+}
+
+fn main() {
+    let args = ExpArgs::from_env();
+    println!(
+        "LATCH reproduction — full experiment suite (events/benchmark: {}, seed: {})",
+        args.events, args.seed
+    );
+
+    section("Tables 1 & 2: % instructions touching tainted data");
+    let mut t = Table::new(["benchmark", "suite", "measured %", "paper %"]).markdown(args.markdown);
+    for p in all_profiles() {
+        if !args.selects(p.name) {
+            continue;
+        }
+        let measured = runner::taint_pct(&p, args.seed, args.events);
+        let suite = match p.suite {
+            Suite::Spec => "SPEC",
+            Suite::Network => "net",
+        };
+        t.row([p.name.to_owned(), suite.to_owned(), pct(measured), pct(p.taint_instr_pct)]);
+    }
+    print!("{}", t.render());
+
+    section("Figure 5: % instructions in taint-free epochs of at least N");
+    let mut t = Table::new(["benchmark", ">100", ">1K", ">10K", ">100K", ">1M"])
+        .markdown(args.markdown);
+    for p in all_profiles() {
+        if !args.selects(p.name) {
+            continue;
+        }
+        let row = runner::epoch_row(&p, args.seed, args.events);
+        t.row([
+            p.name.to_owned(),
+            pct(row[0]),
+            pct(row[1]),
+            pct(row[2]),
+            pct(row[3]),
+            pct(row[4]),
+        ]);
+    }
+    print!("{}", t.render());
+
+    section("Tables 3 & 4: page-granularity taint distribution");
+    let mut t = Table::new([
+        "benchmark",
+        "accessed",
+        "tainted",
+        "tainted %",
+        "paper accessed",
+        "paper tainted",
+    ])
+    .markdown(args.markdown);
+    for p in all_profiles() {
+        if !args.selects(p.name) {
+            continue;
+        }
+        let c = runner::page_census(&p, args.seed, args.events);
+        t.row([
+            p.name.to_owned(),
+            c.pages_accessed.to_string(),
+            c.pages_tainted.to_string(),
+            pct(c.measured_pct()),
+            c.layout_pages_accessed.to_string(),
+            c.layout_pages_tainted.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+
+    section("Figure 6: false-positive multiplier vs. domain size");
+    let headers: Vec<String> = std::iter::once("benchmark".to_owned())
+        .chain(runner::FIG6_GRANULARITIES.iter().map(|g| format!("{g}B")))
+        .collect();
+    let mut t = Table::new(headers).markdown(args.markdown);
+    for p in all_profiles() {
+        if !args.selects(p.name) {
+            continue;
+        }
+        let m = runner::fp_multipliers(&p, args.seed, args.events, &runner::FIG6_GRANULARITIES);
+        let row: Vec<String> = std::iter::once(p.name.to_owned())
+            .chain(m.into_iter().map(|v| format!("{v:.2}x")))
+            .collect();
+        t.row(row);
+    }
+    print!("{}", t.render());
+
+    section("Figures 13 & 14: S-LATCH overhead and breakdown");
+    let mut t = Table::new([
+        "benchmark",
+        "libdft %",
+        "S-LATCH %",
+        "speedup",
+        "instr share %",
+        "xfer share %",
+        "fp share %",
+        "ctc share %",
+    ])
+    .markdown(args.markdown);
+    let mut spec_slowdowns = Vec::new();
+    let mut spec_speedups = Vec::new();
+    for p in all_profiles() {
+        if !args.selects(p.name) {
+            continue;
+        }
+        let r = runner::slatch(&p, args.seed, args.events);
+        if p.suite == Suite::Spec {
+            spec_slowdowns.push(1.0 + r.overhead_pct() / 100.0);
+            spec_speedups.push(r.speedup_vs_libdft());
+        }
+        let total = r.breakdown.total().max(1e-9);
+        t.row([
+            p.name.to_owned(),
+            format!("{:.0}", r.libdft_overhead_pct()),
+            format!("{:.1}", r.overhead_pct()),
+            format!("{:.2}x", r.speedup_vs_libdft()),
+            format!("{:.0}", 100.0 * r.breakdown.instrumentation / total),
+            format!("{:.0}", 100.0 * r.breakdown.control_transfer / total),
+            format!("{:.0}", 100.0 * r.breakdown.fp_checks / total),
+            format!("{:.0}", 100.0 * r.breakdown.ctc_misses / total),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nSPEC harmonic-mean overhead {:.1}% (paper {:.0}%); mean speedup {:.2}x (paper ~{:.0}x)",
+        (harmonic_mean(&spec_slowdowns) - 1.0) * 100.0,
+        paper::slatch::HARMONIC_MEAN_OVERHEAD_PCT,
+        mean(&spec_speedups),
+        paper::slatch::MEAN_SPEC_SPEEDUP
+    );
+
+    section("Figure 15: P-LATCH overhead (analytic model)");
+    let mut t = Table::new(["benchmark", "active win %", "simple %", "optimized %"])
+        .markdown(args.markdown);
+    let mut spec_simple = Vec::new();
+    let mut net_simple = Vec::new();
+    for p in all_profiles() {
+        if !args.selects(p.name) {
+            continue;
+        }
+        let r = runner::platch(&p, args.seed, args.events);
+        match p.suite {
+            Suite::Spec => spec_simple.push(r.platch_simple_overhead_pct),
+            Suite::Network => net_simple.push(r.platch_simple_overhead_pct),
+        }
+        t.row([
+            p.name.to_owned(),
+            format!("{:.1}", 100.0 * r.activity.active_fraction()),
+            format!("{:.1}", r.platch_simple_overhead_pct),
+            format!("{:.1}", r.platch_optimized_overhead_pct),
+        ]);
+    }
+    print!("{}", t.render());
+    let hm_ovh = |v: &[f64]| {
+        let slowdowns: Vec<f64> = v.iter().map(|o| 1.0 + o / 100.0).collect();
+        (harmonic_mean(&slowdowns) - 1.0) * 100.0
+    };
+    let all_simple: Vec<f64> = spec_simple.iter().chain(&net_simple).copied().collect();
+    println!(
+        "\nmeans (simple, harmonic over slowdowns): SPEC {:.1}% (paper {:.1}%), network {:.1}% (paper {:.1}%), all {:.1}% (paper {:.1}%)",
+        hm_ovh(&spec_simple),
+        paper::platch::SIMPLE_SPEC_PCT,
+        hm_ovh(&net_simple),
+        paper::platch::SIMPLE_NETWORK_PCT,
+        hm_ovh(&all_simple),
+        paper::platch::SIMPLE_ALL_PCT
+    );
+
+    section("Tables 6 & 7 + Figure 16: H-LATCH cache performance");
+    let mut t = Table::new([
+        "benchmark",
+        "CTC miss %",
+        "t$ miss %",
+        "combined %",
+        "no-LATCH %",
+        "avoided %",
+        "paper avoided %",
+        "TLB %",
+        "CTC %",
+        "precise %",
+    ])
+    .markdown(args.markdown);
+    let reference: Vec<_> = paper::table6().into_iter().chain(paper::table7()).collect();
+    let mut avoided_spec = Vec::new();
+    let mut avoided_net = Vec::new();
+    for p in all_profiles() {
+        if !args.selects(p.name) {
+            continue;
+        }
+        let r = runner::hlatch(&p, args.seed, args.events);
+        match p.suite {
+            Suite::Spec => avoided_spec.push(r.pct_misses_avoided),
+            Suite::Network => avoided_net.push(r.pct_misses_avoided),
+        }
+        let d = r.distribution;
+        let dt = (d.tlb + d.ctc + d.precise).max(1) as f64;
+        let paper_row = reference.iter().find(|row| row.name.eq_ignore_ascii_case(p.name));
+        t.row([
+            p.name.to_owned(),
+            pct(r.ctc_miss_pct),
+            pct(r.tcache_miss_pct),
+            pct(r.combined_miss_pct),
+            pct(r.unfiltered_miss_pct),
+            pct(r.pct_misses_avoided),
+            paper_row.map_or("-".to_owned(), |row| pct(row.avoided)),
+            format!("{:.1}", 100.0 * d.tlb as f64 / dt),
+            format!("{:.1}", 100.0 * d.ctc as f64 / dt),
+            format!("{:.1}", 100.0 * d.precise as f64 / dt),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nmean misses avoided: SPEC {:.1}% (paper {:.1}%), network {:.1}% (paper {:.1}%)",
+        mean(&avoided_spec),
+        paper::TABLE6_MEAN.avoided,
+        mean(&avoided_net),
+        paper::TABLE7_MEAN.avoided
+    );
+
+    section("Section 6.4: complexity analysis");
+    let baseline = Ao486Baseline::default();
+    let s = complexity(
+        &LatchConfig::s_latch().build().expect("valid"),
+        true,
+        0,
+        &baseline,
+    );
+    println!(
+        "S/P-LATCH: {} B capacity (paper 160 B), +{:.1}% LEs (paper +4%), +{:.1}% memory bits (paper +5%),",
+        s.storage.capacity_bytes(),
+        s.le_increase_pct,
+        s.membit_increase_pct
+    );
+    println!(
+        "           +{:.1}% dynamic / +{:.2}% static power (paper +5% / +0.2%), cycle-time impact {:.0}",
+        s.power.dynamic_pct, s.power.static_pct, s.fmax_impact_mhz
+    );
+    let _ = spec_profiles();
+    let _ = network_profiles();
+}

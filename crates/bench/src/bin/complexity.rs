@@ -1,0 +1,70 @@
+//! Paper §6.4: LATCH complexity analysis — storage capacity, logic
+//! elements, memory bits, power, and cycle-time impact against the
+//! AO486 baseline (structural model; see DESIGN.md §5.4).
+
+use latch_bench::paper::complexity as claims;
+use latch_core::config::LatchConfig;
+use latch_hwmodel::fpga::{complexity, Ao486Baseline};
+
+fn main() {
+    let baseline = Ao486Baseline::default();
+    println!("LATCH complexity analysis (structural model vs. AO486/DE2-115 baseline)");
+    println!(
+        "baseline core: {} LEs, {} memory bits, {} MHz\n",
+        baseline.logic_elements, baseline.memory_bits, baseline.fmax_mhz
+    );
+
+    let s_params = LatchConfig::s_latch().build().expect("valid preset");
+    let s = complexity(&s_params, true, 0, &baseline);
+    println!("S/P-LATCH configuration (16-entry CTC, 64B domains, clear bits, 2 TLB bits/page):");
+    println!(
+        "  storage capacity: {} B  (paper: {} B)",
+        s.storage.capacity_bytes(),
+        claims::S_LATCH_CAPACITY_BYTES
+    );
+    println!(
+        "  logic elements:   {} (+{:.1}%; paper: +{:.0}%)",
+        s.logic.total(),
+        s.le_increase_pct,
+        claims::LE_INCREASE_PCT
+    );
+    println!(
+        "  memory bits:      {} (+{:.1}%; paper: +{:.0}%)",
+        s.storage.total_bits(),
+        s.membit_increase_pct,
+        claims::MEMBIT_INCREASE_PCT
+    );
+    println!(
+        "  dynamic power:    +{:.1}%  (paper: +{:.0}%)",
+        s.power.dynamic_pct,
+        claims::DYNAMIC_POWER_PCT
+    );
+    println!(
+        "  static power:     +{:.2}%  (paper: +{:.1}%)",
+        s.power.static_pct,
+        claims::STATIC_POWER_PCT
+    );
+    println!(
+        "  cycle time:       {:+.1} MHz (paper: no effect on cycle time)\n",
+        s.fmax_impact_mhz
+    );
+
+    let h_params = LatchConfig::h_latch().build().expect("valid preset");
+    let h = complexity(&h_params, false, 128, &baseline);
+    println!("H-LATCH configuration (16-entry CTC, 4B domains, 128B precise cache):");
+    println!(
+        "  storage capacity: {} B  (paper: {} B total caching capacity)",
+        h.storage.capacity_bytes(),
+        claims::H_LATCH_CAPACITY_BYTES
+    );
+    println!(
+        "  logic elements:   {} (+{:.1}%)",
+        h.logic.total(),
+        h.le_increase_pct
+    );
+    println!(
+        "  vs. conventional taint cache: {} B precise cache is {:.1}% of FlexiTaint's 4096 B",
+        128,
+        100.0 * 128.0 / 4096.0
+    );
+}

@@ -1,0 +1,52 @@
+//! Checking-energy estimate (beyond the paper's §6.4 totals): per-access
+//! energy of the H-LATCH screening stack vs. probing a conventional
+//! 4 KB taint cache on every access, using the measured Fig. 16
+//! distributions.
+
+use latch_bench::args::ExpArgs;
+use latch_bench::runner::hlatch;
+use latch_bench::table::Table;
+use latch_hwmodel::energy::{energy, AccessCounts, EnergyModel};
+use latch_workloads::all_profiles;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    println!("Checking-energy model: H-LATCH stack vs. conventional taint cache");
+    println!("events/benchmark: {} (normalized: conventional read = 1.0)\n", args.events);
+    let model = EnergyModel::default();
+    let mut t = Table::new([
+        "benchmark",
+        "H-LATCH energy",
+        "conventional energy",
+        "savings %",
+    ])
+    .markdown(args.markdown);
+    let mut savings = Vec::new();
+    for p in all_profiles() {
+        if !args.selects(p.name) {
+            continue;
+        }
+        let r = hlatch(&p, args.seed, args.events);
+        let d = r.distribution;
+        let counts = AccessCounts {
+            tlb: d.tlb,
+            ctc: d.ctc,
+            precise: d.precise,
+        };
+        let e = energy(&counts, &model);
+        savings.push(e.savings_pct());
+        t.row([
+            p.name.to_owned(),
+            format!("{:.0}", e.hlatch_energy),
+            format!("{:.0}", e.conventional_energy),
+            format!("{:.1}", e.savings_pct()),
+        ]);
+    }
+    print!("{}", t.render());
+    if args.bench.is_none() {
+        let mean = savings.iter().sum::<f64>() / savings.len().max(1) as f64;
+        println!("\nmean checking-energy savings: {mean:.1}%");
+        println!("(the screening structures that make DIFT fast also make it cheap to");
+        println!("power: most checks never leave the TLB entry that was open anyway)");
+    }
+}

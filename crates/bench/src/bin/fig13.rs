@@ -1,0 +1,74 @@
+//! Paper Figure 13: performance overheads of software DIFT (libdft)
+//! and S-LATCH over native execution, plus the speedup aggregates of
+//! §6.1.1.
+
+use latch_bench::args::ExpArgs;
+use latch_bench::paper::slatch as claims;
+use latch_bench::runner::slatch;
+use latch_bench::table::Table;
+use latch_systems::report::harmonic_mean;
+use latch_workloads::{all_profiles, Suite};
+
+fn main() {
+    let args = ExpArgs::from_env();
+    println!("Figure 13: overhead over native execution — libdft vs. S-LATCH");
+    println!("events/benchmark: {}\n", args.events);
+    let mut t = Table::new([
+        "benchmark",
+        "libdft ovh %",
+        "S-LATCH ovh %",
+        "speedup vs libdft",
+        "sw fraction %",
+    ])
+    .markdown(args.markdown);
+    let mut spec_slowdowns = Vec::new();
+    let mut spec_speedups = Vec::new();
+    let mut under50 = 0;
+    let mut under5 = 0;
+    for p in all_profiles() {
+        if !args.selects(p.name) {
+            continue;
+        }
+        let r = slatch(&p, args.seed, args.events);
+        let ovh = r.overhead_pct();
+        if p.suite == Suite::Spec {
+            spec_slowdowns.push(1.0 + ovh / 100.0);
+            spec_speedups.push(r.speedup_vs_libdft());
+            if ovh < 50.0 {
+                under50 += 1;
+            }
+            if ovh < 5.0 {
+                under5 += 1;
+            }
+        }
+        t.row([
+            p.name.to_owned(),
+            format!("{:.0}", r.libdft_overhead_pct()),
+            format!("{ovh:.1}"),
+            format!("{:.2}x", r.speedup_vs_libdft()),
+            format!("{:.1}", 100.0 * r.software_fraction),
+        ]);
+    }
+    print!("{}", t.render());
+    if args.bench.is_none() {
+        println!();
+        println!(
+            "SPEC harmonic-mean S-LATCH overhead: {:.1}%   (paper: {:.0}%; harmonic mean of slowdowns)",
+            (harmonic_mean(&spec_slowdowns) - 1.0) * 100.0,
+            claims::HARMONIC_MEAN_OVERHEAD_PCT
+        );
+        println!(
+            "SPEC mean speedup vs libdft:         {:.2}x   (paper: ~{:.0}x)",
+            spec_speedups.iter().sum::<f64>() / spec_speedups.len().max(1) as f64,
+            claims::MEAN_SPEC_SPEEDUP
+        );
+        println!(
+            "SPEC benchmarks under 50% overhead:  {under50} of 20  (paper: {} of 20)",
+            claims::UNDER_50PCT_COUNT
+        );
+        println!(
+            "SPEC benchmarks under 5% overhead:   {under5} of 20  (paper: {} of 20)",
+            claims::UNDER_5PCT_COUNT
+        );
+    }
+}

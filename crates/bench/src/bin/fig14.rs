@@ -1,0 +1,44 @@
+//! Paper Figure 14: sources of overhead in S-LATCH — instrumentation,
+//! hardware/software control transfer, false-positive checks, and CTC
+//! misses, as percentages of each benchmark's total overhead cycles.
+
+use latch_bench::args::ExpArgs;
+use latch_bench::runner::slatch;
+use latch_bench::table::Table;
+use latch_workloads::all_profiles;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    println!("Figure 14: sources of S-LATCH overhead (% of overhead cycles)");
+    println!("events/benchmark: {}\n", args.events);
+    let mut t = Table::new([
+        "benchmark",
+        "instrumentation",
+        "control xfer",
+        "fp checks",
+        "ctc misses",
+        "total ovh %",
+    ])
+    .markdown(args.markdown);
+    for p in all_profiles() {
+        if !args.selects(p.name) {
+            continue;
+        }
+        let r = slatch(&p, args.seed, args.events);
+        let total = r.breakdown.total().max(1e-9);
+        let share = |v: f64| format!("{:.1}", 100.0 * v / total);
+        t.row([
+            p.name.to_owned(),
+            share(r.breakdown.instrumentation),
+            share(r.breakdown.control_transfer),
+            share(r.breakdown.fp_checks),
+            share(r.breakdown.ctc_misses),
+            format!("{:.1}", r.overhead_pct()),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+    println!("Paper shape: libdft instrumentation dominates most programs; for a few,");
+    println!("hardware/software switches contribute more; false-positive checks and");
+    println!("CTC misses matter mainly for astar (poor spatial locality).");
+}

@@ -1,0 +1,35 @@
+//! Paper Figure 5: percentage of instructions in taint-free epochs of
+//! various lengths (>100, >1K, >10K, >100K, >1M instructions).
+
+use latch_bench::args::ExpArgs;
+use latch_bench::runner::epoch_row;
+use latch_bench::table::{pct, Table};
+use latch_workloads::all_profiles;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    println!("Figure 5: % of instructions in taint-free epochs of at least N instructions");
+    println!("events/benchmark: {} (paper: 500M windows)\n", args.events);
+    let mut t = Table::new(["benchmark", ">100", ">1K", ">10K", ">100K", ">1M"])
+        .markdown(args.markdown);
+    for p in all_profiles() {
+        if !args.selects(p.name) {
+            continue;
+        }
+        let row = epoch_row(&p, args.seed, args.events);
+        t.row([
+            p.name.to_owned(),
+            pct(row[0]),
+            pct(row[1]),
+            pct(row[2]),
+            pct(row[3]),
+            pct(row[4]),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+    println!("Paper shape: 13 of 20 SPEC benchmarks execute >80% of instructions in");
+    println!("epochs of 1K+; astar/sphinx/perl/soplex are fragmented; curl/wget are");
+    println!("long-epoch; apache fragments under the all-untrusted policy and");
+    println!("recovers as the trusted fraction grows.");
+}

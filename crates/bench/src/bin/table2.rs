@@ -1,0 +1,22 @@
+//! Paper Table 2: percentage of instructions touching tainted data,
+//! network applications.
+
+use latch_bench::args::ExpArgs;
+use latch_bench::runner::taint_pct;
+use latch_bench::table::{pct, Table};
+use latch_workloads::network_profiles;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    println!("Table 2: % instructions touching tainted data (network applications)");
+    println!("events/benchmark: {}\n", args.events);
+    let mut t = Table::new(["application", "measured %", "paper %"]).markdown(args.markdown);
+    for p in network_profiles() {
+        if !args.selects(p.name) {
+            continue;
+        }
+        let measured = taint_pct(&p, args.seed, args.events);
+        t.row([p.name.to_owned(), pct(measured), pct(p.taint_instr_pct)]);
+    }
+    print!("{}", t.render());
+}

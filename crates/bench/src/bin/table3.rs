@@ -1,0 +1,42 @@
+//! Paper Table 3: distribution of taint at page granularity, SPEC 2006.
+
+use latch_bench::args::ExpArgs;
+use latch_bench::runner::page_census;
+use latch_bench::table::{pct, Table};
+use latch_workloads::spec_profiles;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    println!("Table 3: page-granularity taint distribution (SPEC 2006)");
+    println!(
+        "events/benchmark: {} (short streams visit a prefix of the full-run working set;\n\
+         the layout columns are the calibrated full-run census = the paper's values)\n",
+        args.events
+    );
+    let mut t = Table::new([
+        "benchmark",
+        "pages accessed",
+        "pages tainted",
+        "tainted %",
+        "paper accessed",
+        "paper tainted",
+        "paper %",
+    ])
+    .markdown(args.markdown);
+    for p in spec_profiles() {
+        if !args.selects(p.name) {
+            continue;
+        }
+        let c = page_census(&p, args.seed, args.events);
+        t.row([
+            p.name.to_owned(),
+            c.pages_accessed.to_string(),
+            c.pages_tainted.to_string(),
+            pct(c.measured_pct()),
+            c.layout_pages_accessed.to_string(),
+            c.layout_pages_tainted.to_string(),
+            pct(c.layout_pct()),
+        ]);
+    }
+    print!("{}", t.render());
+}

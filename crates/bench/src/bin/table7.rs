@@ -1,0 +1,55 @@
+//! Paper Table 7: H-LATCH cache performance for network applications.
+
+use latch_bench::args::ExpArgs;
+use latch_bench::paper;
+use latch_bench::runner::hlatch;
+use latch_bench::table::{pct, Table};
+use latch_systems::report::mean;
+use latch_workloads::network_profiles;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    println!("Table 7: H-LATCH cache performance (network applications)");
+    println!("events/benchmark: {}\n", args.events);
+    let mut t = Table::new([
+        "application",
+        "CTC miss %",
+        "t-cache miss %",
+        "combined %",
+        "no-LATCH miss %",
+        "misses avoided %",
+        "paper avoided %",
+    ])
+    .markdown(args.markdown);
+    let reference = paper::table7();
+    let mut avoided = Vec::new();
+    for p in network_profiles() {
+        if !args.selects(p.name) {
+            continue;
+        }
+        let r = hlatch(&p, args.seed, args.events);
+        let paper_row = reference
+            .iter()
+            .find(|row| row.name.eq_ignore_ascii_case(p.name));
+        avoided.push(r.pct_misses_avoided);
+        t.row([
+            p.name.to_owned(),
+            pct(r.ctc_miss_pct),
+            pct(r.tcache_miss_pct),
+            pct(r.combined_miss_pct),
+            pct(r.unfiltered_miss_pct),
+            pct(r.pct_misses_avoided),
+            paper_row.map_or("-".to_owned(), |row| pct(row.avoided)),
+        ]);
+    }
+    print!("{}", t.render());
+    if args.bench.is_none() {
+        println!();
+        println!(
+            "mean misses avoided: {:.1}%  (paper mean: {:.1}%; 'more than 98% for\n\
+             network applications')",
+            mean(&avoided),
+            paper::TABLE7_MEAN.avoided
+        );
+    }
+}

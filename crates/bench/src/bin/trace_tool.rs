@@ -1,0 +1,156 @@
+//! Trace utility: record calibrated workload streams to disk and
+//! replay them into any system model.
+//!
+//! ```console
+//! $ trace_tool record gcc gcc.ltch --events 500000
+//! $ trace_tool info   gcc.ltch
+//! $ trace_tool replay gcc.ltch hlatch
+//! $ trace_tool replay gcc.ltch slatch --bench gcc
+//! ```
+//!
+//! Useful for regression pinning: a trace recorded once replays
+//! bit-identically (see `tests/trace_replay.rs`), so system-model
+//! changes can be validated against frozen inputs.
+
+use latch_sim::event::EventSource;
+use latch_sim::trace::{record_all, TraceReader};
+use latch_systems::hlatch::HLatch;
+use latch_systems::slatch::SLatch;
+use latch_workloads::BenchmarkProfile;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  trace_tool record <benchmark> <file> [--events N] [--seed N]\n  \
+         trace_tool info <file>\n  \
+         trace_tool replay <file> <hlatch|slatch|dift> [--bench NAME]"
+    );
+    std::process::exit(2);
+}
+
+fn flag(args: &[String], name: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("record") => {
+            let (Some(name), Some(path)) = (args.get(1), args.get(2)) else {
+                usage()
+            };
+            let events = flag(&args, "--events", 200_000);
+            let seed = flag(&args, "--seed", 42);
+            let profile = BenchmarkProfile::by_name(name).unwrap_or_else(|| {
+                eprintln!("unknown benchmark '{name}'");
+                std::process::exit(2);
+            });
+            let trace = record_all(profile.stream(seed, events));
+            std::fs::write(path, &trace).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!(
+                "recorded {events} events of '{}' (seed {seed}) to {path} ({} bytes)",
+                profile.name,
+                trace.len()
+            );
+        }
+        Some("info") => {
+            let Some(path) = args.get(1) else { usage() };
+            let bytes = std::fs::read(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            let mut reader = TraceReader::new(bytes.into()).unwrap_or_else(|e| {
+                eprintln!("{path}: {e}");
+                std::process::exit(1);
+            });
+            let mut events = 0u64;
+            let mut mem = 0u64;
+            let mut sources = 0u64;
+            while let Some(ev) = reader.next_event() {
+                events += 1;
+                if ev.mem.is_some() {
+                    mem += 1;
+                }
+                if ev.source.is_some() {
+                    sources += 1;
+                }
+            }
+            if let Some(e) = reader.error() {
+                eprintln!("warning: trace ends with error: {e}");
+            }
+            println!("{path}: {events} events, {mem} memory accesses, {sources} source inputs");
+        }
+        Some("replay") => {
+            let (Some(path), Some(model)) = (args.get(1), args.get(2)) else {
+                usage()
+            };
+            let bytes = std::fs::read(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            let reader = TraceReader::new(bytes.into()).unwrap_or_else(|e| {
+                eprintln!("{path}: {e}");
+                std::process::exit(1);
+            });
+            match model.as_str() {
+                "hlatch" => {
+                    let mut h = HLatch::new();
+                    let r = h.run(reader);
+                    println!(
+                        "H-LATCH: {} accesses, combined miss {:.4}%, unfiltered {:.2}%, avoided {:.1}%",
+                        r.mem_accesses, r.combined_miss_pct, r.unfiltered_miss_pct, r.pct_misses_avoided
+                    );
+                }
+                "slatch" => {
+                    let bench = args
+                        .iter()
+                        .position(|a| a == "--bench")
+                        .and_then(|i| args.get(i + 1))
+                        .cloned()
+                        .unwrap_or_else(|| "gcc".to_owned());
+                    let profile = BenchmarkProfile::by_name(&bench).unwrap_or_else(|| {
+                        eprintln!("unknown benchmark '{bench}'");
+                        std::process::exit(2);
+                    });
+                    let mut s = SLatch::for_profile(&profile);
+                    let r = s.run(reader);
+                    println!(
+                        "S-LATCH ({bench} cost model): overhead {:.1}%, speedup {:.2}x, sw fraction {:.1}%",
+                        r.overhead_pct(),
+                        r.speedup_vs_libdft(),
+                        100.0 * r.software_fraction
+                    );
+                }
+                "dift" => {
+                    let mut dift = latch_dift::engine::DiftEngine::new();
+                    let mut reader = reader;
+                    let mut touched = 0u64;
+                    let mut total = 0u64;
+                    while let Some(ev) = reader.next_event() {
+                        if latch_sim::machine::apply_event_dift(&mut dift, &ev).touched_taint {
+                            touched += 1;
+                        }
+                        total += 1;
+                    }
+                    println!(
+                        "DIFT: {total} events, {:.2}% touched taint, {} bytes tainted, {} pages ever tainted",
+                        100.0 * touched as f64 / total.max(1) as f64,
+                        dift.shadow().tainted_bytes(),
+                        dift.shadow().pages_ever_tainted()
+                    );
+                }
+                other => {
+                    eprintln!("unknown model '{other}'");
+                    usage()
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

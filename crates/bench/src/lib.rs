@@ -1,0 +1,21 @@
+//! # latch-bench
+//!
+//! The experiment harness: one binary per table and figure of the
+//! paper's evaluation. Every binary accepts:
+//!
+//! * `--events N` — events per benchmark (default 2,000,000; the paper
+//!   ran 500 M-instruction windows — pass `--events 500000000` to
+//!   match at paper scale),
+//! * `--seed N` — generator seed (default 42),
+//! * `--bench NAME` — restrict to one benchmark,
+//! * `--markdown` — emit a Markdown table instead of aligned text.
+//!
+//! The [`runner`] module holds the measurement drivers shared by the
+//! binaries; [`paper`] holds the paper's published values so each
+//! binary prints reproduction and reference side by side; [`table`] is
+//! a small column formatter.
+
+pub mod args;
+pub mod paper;
+pub mod runner;
+pub mod table;

@@ -1,0 +1,135 @@
+//! A small column formatter for experiment output.
+
+/// A simple table builder printing aligned text or Markdown.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    markdown: bool,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            markdown: false,
+        }
+    }
+
+    /// Switches output to Markdown.
+    pub fn markdown(mut self, on: bool) -> Self {
+        self.markdown = on;
+        self
+    }
+
+    /// Appends a row (must match the header arity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        if self.markdown {
+            return self.render_markdown();
+        }
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            "---|".repeat(self.headers.len())
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Formats a percentage with sensible precision for tiny values.
+pub fn pct(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v < 0.01 {
+        format!("{v:.4}")
+    } else if v < 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_render() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["a", "1"]).row(["long-name", "2.5"]);
+        let s = t.render();
+        assert!(s.contains("name"));
+        assert!(s.contains("long-name"));
+        let lines: Vec<_> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn markdown_render() {
+        let mut t = Table::new(["a", "b"]).markdown(true);
+        t.row(["1", "2"]);
+        let s = t.render();
+        assert!(s.starts_with("| a | b |"));
+        assert!(s.contains("|---|---|"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        Table::new(["a", "b"]).row(["only-one"]);
+    }
+
+    #[test]
+    fn pct_precision() {
+        assert_eq!(pct(0.0), "0");
+        assert_eq!(pct(0.0001), "0.0001");
+        assert_eq!(pct(0.123), "0.123");
+        assert_eq!(pct(21.728), "21.73");
+    }
+}

@@ -1,0 +1,163 @@
+//! The Coarse Taint Table (CTT).
+//!
+//! The CTT is the in-memory backing store for LATCH's coarse taint state
+//! (paper §4, Fig. 7 component D). It holds one bit per taint domain,
+//! packed 32 bits to a word; a single 32-bit word therefore summarizes the
+//! taint status of `32 * domain_bytes` of memory (1 KiB with 32-byte
+//! domains, 2 KiB with the 64-byte domains used by S-LATCH).
+//!
+//! In hardware the CTT lives in ordinary memory addressed as
+//! `ctt_base + word_index` (paper Fig. 8); here it is a sparse map from
+//! word index to word, so untouched regions cost nothing.
+
+use crate::domain::{CttWordId, DomainGeometry, DomainId};
+use crate::{Addr, CTT_WORD_BITS};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Sparse, word-granular coarse taint table.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CoarseTaintTable {
+    words: HashMap<u32, u32>,
+}
+
+impl CoarseTaintTable {
+    /// Creates an empty table (all domains untainted).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads a CTT word. Absent words read as zero, i.e. fully untainted.
+    #[inline]
+    pub fn load_word(&self, word: CttWordId) -> u32 {
+        self.words.get(&word.0).copied().unwrap_or(0)
+    }
+
+    /// Stores a CTT word, reclaiming storage for all-zero words.
+    #[inline]
+    pub fn store_word(&mut self, word: CttWordId, bits: u32) {
+        if bits == 0 {
+            self.words.remove(&word.0);
+        } else {
+            self.words.insert(word.0, bits);
+        }
+    }
+
+    /// Returns the coarse taint bit for a single domain.
+    #[inline]
+    pub fn domain_bit(&self, domain: DomainId) -> bool {
+        let word = CttWordId(domain.0 / CTT_WORD_BITS);
+        let bit = domain.0 % CTT_WORD_BITS;
+        self.load_word(word) & (1 << bit) != 0
+    }
+
+    /// Sets or clears the coarse taint bit for a single domain. Returns the
+    /// previous value of the bit.
+    pub fn set_domain_bit(&mut self, domain: DomainId, tainted: bool) -> bool {
+        let word = CttWordId(domain.0 / CTT_WORD_BITS);
+        let mask = 1u32 << (domain.0 % CTT_WORD_BITS);
+        let old = self.load_word(word);
+        let new = if tainted { old | mask } else { old & !mask };
+        if new != old {
+            self.store_word(word, new);
+        }
+        old & mask != 0
+    }
+
+    /// Returns `true` if any domain overlapping `[start, start + len)` has
+    /// its coarse bit set, under the given geometry.
+    pub fn range_tainted(&self, geom: &DomainGeometry, start: Addr, len: u32) -> bool {
+        geom.domains_in(start, len).any(|d| self.domain_bit(d))
+    }
+
+    /// Number of CTT words currently holding at least one set bit.
+    pub fn populated_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Total number of set domain bits.
+    pub fn tainted_domains(&self) -> u64 {
+        self.words.values().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// Iterates over `(word_id, bits)` pairs for every populated word, in
+    /// unspecified order.
+    pub fn iter_words(&self) -> impl Iterator<Item = (CttWordId, u32)> + '_ {
+        self.words.iter().map(|(&idx, &bits)| (CttWordId(idx), bits))
+    }
+
+    /// Removes every set bit (used when a monitored process exits).
+    pub fn clear(&mut self) {
+        self.words.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_untainted() {
+        let ctt = CoarseTaintTable::new();
+        assert!(!ctt.domain_bit(DomainId(0)));
+        assert!(!ctt.domain_bit(DomainId(u32::MAX)));
+        assert_eq!(ctt.populated_words(), 0);
+        assert_eq!(ctt.tainted_domains(), 0);
+    }
+
+    #[test]
+    fn set_and_clear_roundtrip() {
+        let mut ctt = CoarseTaintTable::new();
+        assert!(!ctt.set_domain_bit(DomainId(5), true));
+        assert!(ctt.domain_bit(DomainId(5)));
+        assert!(!ctt.domain_bit(DomainId(4)));
+        assert!(!ctt.domain_bit(DomainId(6)));
+        assert!(ctt.set_domain_bit(DomainId(5), false));
+        assert!(!ctt.domain_bit(DomainId(5)));
+        // Zero words are reclaimed.
+        assert_eq!(ctt.populated_words(), 0);
+    }
+
+    #[test]
+    fn words_pack_32_domains() {
+        let mut ctt = CoarseTaintTable::new();
+        for d in 0..32 {
+            ctt.set_domain_bit(DomainId(d), true);
+        }
+        assert_eq!(ctt.populated_words(), 1);
+        assert_eq!(ctt.load_word(CttWordId(0)), u32::MAX);
+        ctt.set_domain_bit(DomainId(32), true);
+        assert_eq!(ctt.populated_words(), 2);
+        assert_eq!(ctt.tainted_domains(), 33);
+    }
+
+    #[test]
+    fn range_query_uses_geometry() {
+        let geom = DomainGeometry::new(64).unwrap();
+        let mut ctt = CoarseTaintTable::new();
+        ctt.set_domain_bit(geom.domain_of(0x1000), true);
+        assert!(ctt.range_tainted(&geom, 0x1000, 1));
+        assert!(ctt.range_tainted(&geom, 0x0FFF, 2)); // straddles into it
+        assert!(!ctt.range_tainted(&geom, 0x0F00, 64));
+        assert!(!ctt.range_tainted(&geom, 0x1040, 4));
+        assert!(!ctt.range_tainted(&geom, 0x1000, 0)); // empty range
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut ctt = CoarseTaintTable::new();
+        ctt.set_domain_bit(DomainId(1), true);
+        ctt.set_domain_bit(DomainId(100), true);
+        ctt.clear();
+        assert_eq!(ctt.tainted_domains(), 0);
+        assert!(!ctt.domain_bit(DomainId(1)));
+    }
+
+    #[test]
+    fn iter_words_reports_bits() {
+        let mut ctt = CoarseTaintTable::new();
+        ctt.set_domain_bit(DomainId(33), true);
+        let v: Vec<_> = ctt.iter_words().collect();
+        assert_eq!(v, vec![(CttWordId(1), 1 << 1)]);
+    }
+}

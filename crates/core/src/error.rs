@@ -1,0 +1,67 @@
+//! Error types for LATCH configuration and operation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Returned when a [`LatchConfig`](crate::config::LatchConfig) is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The taint-domain size is not a power of two, or falls outside the
+    /// supported range `[4, PAGE_SIZE]`.
+    BadDomainSize {
+        /// The rejected domain size in bytes.
+        bytes: u32,
+    },
+    /// A cache or TLB was configured with zero entries.
+    ZeroEntries {
+        /// Name of the offending structure (`"ctc"` or `"tlb"`).
+        structure: &'static str,
+    },
+    /// The software-mode timeout must be at least one instruction.
+    ZeroTimeout,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BadDomainSize { bytes } => write!(
+                f,
+                "taint domain size {bytes} is not a power of two in [4, 4096]"
+            ),
+            ConfigError::ZeroEntries { structure } => {
+                write!(f, "{structure} must have at least one entry")
+            }
+            ConfigError::ZeroTimeout => {
+                write!(f, "software-mode timeout must be at least 1 instruction")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let variants: [ConfigError; 3] = [
+            ConfigError::BadDomainSize { bytes: 3 },
+            ConfigError::ZeroEntries { structure: "ctc" },
+            ConfigError::ZeroTimeout,
+        ];
+        for v in variants {
+            let msg = v.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err<E: Error>(_: E) {}
+        takes_err(ConfigError::ZeroTimeout);
+    }
+}

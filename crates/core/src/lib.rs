@@ -1,0 +1,122 @@
+//! # latch-core
+//!
+//! Core implementation of **LATCH** (Locality-Aware Taint CHecker), the
+//! lightweight hardware module proposed in *LATCH: A Locality-Aware Taint
+//! CHecker* (MICRO-52, 2019).
+//!
+//! LATCH exploits the strong temporal and spatial locality of tainted data
+//! under dynamic information flow tracking (DIFT). It maintains a *coarse*
+//! taint state — one bit per multi-byte **taint domain** — stored in an
+//! in-memory [Coarse Taint Table](ctt::CoarseTaintTable) (CTT), cached by a
+//! tiny fully-associative [Coarse Taint Cache](ctc::CoarseTaintCache) (CTC),
+//! and screened at page granularity by [TLB taint bits](tlb::TaintTlb).
+//! Register operands are checked against a byte-precise
+//! [Taint Register File](trf::TaintRegisterFile) (TRF).
+//!
+//! Because a domain's coarse bit is set whenever *any* byte in it is
+//! tainted, the coarse state is a conservative over-approximation of the
+//! precise state: coarse checks can produce false positives (filtered by a
+//! later precise check) but never false negatives. This is the invariant
+//! that lets LATCH run long taint-free phases of execution with nothing but
+//! cheap coarse checks, invoking the heavyweight precise DIFT machinery only
+//! when a coarse bit fires.
+//!
+//! The assembled module is [`LatchUnit`](unit::LatchUnit); the policy that
+//! drives S-LATCH's hardware/software mode switching is
+//! [`ModeController`](mode::ModeController).
+//!
+//! ## Example
+//!
+//! ```
+//! use latch_core::config::LatchConfig;
+//! use latch_core::unit::LatchUnit;
+//!
+//! # fn main() -> Result<(), latch_core::error::ConfigError> {
+//! let mut latch = LatchUnit::new(LatchConfig::s_latch().build()?);
+//!
+//! // Nothing is tainted yet: the check resolves at the TLB level.
+//! let out = latch.check_read(0x1000, 4);
+//! assert!(!out.coarse_tainted);
+//!
+//! // Mark four bytes tainted (as the `stnt` instruction would) and
+//! // observe that the containing domain now trips the coarse check.
+//! latch.write_taint(0x1000, 4, true);
+//! assert!(latch.check_read(0x1002, 1).coarse_tainted);
+//!
+//! // A *different* domain stays clean — no false sharing across domains.
+//! assert!(!latch.check_read(0x8000, 4).coarse_tainted);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod config;
+pub mod ctc;
+pub mod ctt;
+pub mod domain;
+pub mod error;
+pub mod isa_ext;
+pub mod mode;
+pub mod stats;
+pub mod tlb;
+pub mod trf;
+pub mod unit;
+pub mod update;
+
+/// A 32-bit virtual address, matching the paper's 32-bit x86 evaluation
+/// platform.
+pub type Addr = u32;
+
+/// Size of a virtual memory page in bytes (4 KiB, as in the paper's Linux
+/// evaluation environment).
+pub const PAGE_SIZE: u32 = 4096;
+
+/// Number of bits in one CTT word. One word of coarse tags covers
+/// `32 * domain_bytes` of memory and corresponds to a single page-level
+/// taint domain (paper §4.2).
+pub const CTT_WORD_BITS: u32 = 32;
+
+/// A read-only view of the byte-precise taint state.
+///
+/// The coarse layers need this in exactly two places, both mandated by the
+/// paper: the S-LATCH *clear-scan* (§5.1.4), which re-derives a domain's
+/// coarse bit after bytes were untainted, and the H-LATCH update logic
+/// (§5.3.1, Fig. 12), which computes the new coarse bit from the precise
+/// word on every tag update.
+pub trait PreciseView {
+    /// Returns `true` if any byte in `[start, start + len)` carries a
+    /// non-zero precise taint tag. `len == 0` must return `false`.
+    fn any_tainted(&self, start: Addr, len: u32) -> bool;
+}
+
+/// A [`PreciseView`] with no tainted bytes at all. Useful for tests and for
+/// driving the coarse layers standalone.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EmptyView;
+
+impl PreciseView for EmptyView {
+    fn any_tainted(&self, _start: Addr, _len: u32) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_view_reports_nothing() {
+        assert!(!EmptyView.any_tainted(0, 0));
+        assert!(!EmptyView.any_tainted(0, u32::MAX));
+    }
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<unit::LatchUnit>();
+        assert_send_sync::<ctc::CoarseTaintCache>();
+        assert_send_sync::<ctt::CoarseTaintTable>();
+        assert_send_sync::<tlb::TaintTlb>();
+        assert_send_sync::<trf::TaintRegisterFile>();
+        assert_send_sync::<mode::ModeController>();
+    }
+}

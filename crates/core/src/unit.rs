@@ -1,0 +1,508 @@
+//! The assembled LATCH hardware module.
+//!
+//! [`LatchUnit`] wires together the structures of paper Fig. 7: the
+//! Coarse Taint Table (D), the Coarse Taint Cache (C), the TLB taint bits
+//! (E), and the Taint Register File (B). Operand extraction (A) is
+//! performed by the simulator, which feeds extracted memory and register
+//! operands into [`LatchUnit::check_read`] / [`LatchUnit::check_write`] /
+//! [`LatchUnit::reg_tainted`].
+//!
+//! A coarse check walks the screening stack top-down: the page-level taint
+//! bit first (clear ⇒ resolved, no CTC access), then the CTC (filling from
+//! the CTT on a miss). The answer is conservative: `coarse_tainted ==
+//! false` guarantees no byte of the operand is precisely tainted, while
+//! `coarse_tainted == true` may be a false positive that the precise layer
+//! filters.
+
+use crate::config::LatchParams;
+use crate::ctc::{ClearScanReport, CoarseTaintCache, EvictedLine};
+use crate::ctt::CoarseTaintTable;
+use crate::domain::{DomainGeometry, PageId};
+use crate::isa_ext::LatchInstr;
+use crate::stats::{CheckStats, LatchStats, ResolvedAt};
+use crate::tlb::{PageTaintTable, TaintTlb};
+use crate::trf::TaintRegisterFile;
+use crate::update::{apply_precise_update, UpdateReport};
+use crate::{Addr, PreciseView, PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+
+/// The result of one coarse operand check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckOutcome {
+    /// Conservative taint answer for the operand.
+    pub coarse_tainted: bool,
+    /// The screening level that produced the answer.
+    pub resolved_at: ResolvedAt,
+    /// Cycles charged (TLB fills + CTC misses).
+    pub penalty_cycles: u64,
+}
+
+/// The complete LATCH module.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatchUnit {
+    params: LatchParams,
+    ctt: CoarseTaintTable,
+    ctc: CoarseTaintCache,
+    tlb: TaintTlb,
+    pt: PageTaintTable,
+    trf: TaintRegisterFile,
+    checks: CheckStats,
+    last_exception_addr: Option<Addr>,
+    #[serde(skip)]
+    pending_evictions: Vec<EvictedLine>,
+}
+
+impl LatchUnit {
+    /// Builds a LATCH unit from validated parameters.
+    pub fn new(params: LatchParams) -> Self {
+        Self {
+            params,
+            ctt: CoarseTaintTable::new(),
+            ctc: CoarseTaintCache::new(params.geometry, params.ctc_entries, params.ctc_miss_penalty),
+            tlb: TaintTlb::new(params.geometry, params.tlb_entries, params.tlb_miss_penalty),
+            pt: PageTaintTable::new(),
+            trf: TaintRegisterFile::new(),
+            checks: CheckStats::default(),
+            last_exception_addr: None,
+            pending_evictions: Vec::new(),
+        }
+    }
+
+    /// The validated parameters this unit was built with.
+    pub fn params(&self) -> &LatchParams {
+        &self.params
+    }
+
+    /// The taint-domain geometry.
+    pub fn geometry(&self) -> &DomainGeometry {
+        &self.params.geometry
+    }
+
+    /// Read access to the backing CTT.
+    pub fn ctt(&self) -> &CoarseTaintTable {
+        &self.ctt
+    }
+
+    /// Read access to the page taint table.
+    pub fn page_table(&self) -> &PageTaintTable {
+        &self.pt
+    }
+
+    /// Read access to the taint register file.
+    pub fn trf(&self) -> &TaintRegisterFile {
+        &self.trf
+    }
+
+    /// Mutable access to the taint register file (register-taint updates
+    /// are driven by the DIFT propagation rules).
+    pub fn trf_mut(&mut self) -> &mut TaintRegisterFile {
+        &mut self.trf
+    }
+
+    /// Snapshot of every counter.
+    pub fn stats(&self) -> LatchStats {
+        LatchStats {
+            checks: self.checks,
+            ctc: *self.ctc.stats(),
+            tlb: *self.tlb.stats(),
+        }
+    }
+
+    /// Resets all counters, leaving taint state intact.
+    pub fn reset_stats(&mut self) {
+        self.checks = CheckStats::default();
+        self.ctc.reset_stats();
+        self.tlb.reset_stats();
+    }
+
+    fn check(&mut self, addr: Addr, len: u32) -> CheckOutcome {
+        self.checks.checks += 1;
+        let tlb_acc = self.tlb.lookup_range(addr, len, &self.pt);
+        let mut penalty = tlb_acc.penalty_cycles;
+        if !tlb_acc.page_domain_tainted {
+            self.checks.resolved_tlb += 1;
+            self.checks.penalty_cycles += penalty;
+            return CheckOutcome {
+                coarse_tainted: false,
+                resolved_at: ResolvedAt::Tlb,
+                penalty_cycles: penalty,
+            };
+        }
+        self.checks.resolved_ctc += 1;
+        let ctc_acc = self.ctc.lookup_range(addr, len, &self.ctt);
+        penalty += ctc_acc.penalty_cycles;
+        if let Some(evicted) = ctc_acc.evicted {
+            self.pending_evictions.push(evicted);
+        }
+        if ctc_acc.tainted {
+            self.checks.coarse_hits += 1;
+            self.last_exception_addr = Some(addr);
+        }
+        self.checks.penalty_cycles += penalty;
+        CheckOutcome {
+            coarse_tainted: ctc_acc.tainted,
+            resolved_at: ResolvedAt::Ctc,
+            penalty_cycles: penalty,
+        }
+    }
+
+    /// Coarse check for a memory read of `len` bytes at `addr`.
+    pub fn check_read(&mut self, addr: Addr, len: u32) -> CheckOutcome {
+        self.check(addr, len)
+    }
+
+    /// Coarse check for a memory write of `len` bytes at `addr`.
+    ///
+    /// Writes are screened like reads: an overwrite of tainted memory is a
+    /// taint-state change the precise layer must see (it may clear taint).
+    pub fn check_write(&mut self, addr: Addr, len: u32) -> CheckOutcome {
+        self.check(addr, len)
+    }
+
+    /// Whether register `r` carries taint according to the TRF.
+    pub fn reg_tainted(&self, r: usize) -> bool {
+        self.trf.get(r).any()
+    }
+
+    /// The `ltnt` instruction: address that raised the most recent coarse
+    /// taint exception, if any.
+    pub fn last_exception_addr(&self) -> Option<Addr> {
+        self.last_exception_addr
+    }
+
+    /// The `stnt` instruction: updates the taint status of
+    /// `[addr, addr + len)` through the taint-cache path, keeping page
+    /// bits and resident TLB entries coherent.
+    pub fn write_taint(&mut self, addr: Addr, len: u32, tainted: bool) -> CheckOutcome {
+        let acc = self.ctc.write_taint(addr, len, tainted, &mut self.ctt);
+        if let Some(evicted) = acc.evicted {
+            self.pending_evictions.push(evicted);
+        }
+        if tainted {
+            self.refresh_pages_for_range(addr, len);
+        }
+        CheckOutcome {
+            coarse_tainted: tainted,
+            resolved_at: ResolvedAt::Ctc,
+            penalty_cycles: acc.penalty_cycles,
+        }
+    }
+
+    /// Executes one S-LATCH ISA extension. For `Ltnt` the result is the
+    /// recorded exception address (0 if none); the other two return 0.
+    pub fn exec(&mut self, instr: LatchInstr) -> u64 {
+        match instr {
+            LatchInstr::Strf { packed } => {
+                self.trf.load_packed(packed);
+                0
+            }
+            LatchInstr::Stnt { addr, len, tainted } => {
+                self.write_taint(addr, len, tainted);
+                0
+            }
+            LatchInstr::Ltnt => u64::from(self.last_exception_addr.unwrap_or(0)),
+        }
+    }
+
+    /// Runs the S-LATCH clear-scan (paper §5.1.4) against the precise
+    /// taint state: every domain with an asserted clear bit — cached or
+    /// pending from an eviction — is re-derived, and page bits are
+    /// refreshed for the affected pages.
+    pub fn clear_scan<V: PreciseView>(&mut self, view: &V) -> ClearScanReport {
+        let mut report = self.ctc.clear_scan(view, &mut self.ctt);
+        for evicted in std::mem::take(&mut self.pending_evictions) {
+            report.merge(self.ctc.scan_evicted(evicted, view, &mut self.ctt));
+        }
+        let geom = self.params.geometry;
+        let mut pages: Vec<PageId> = Vec::new();
+        for domain in &report.cleared {
+            let base = geom.domain_base(*domain);
+            let word = geom.word_of(base);
+            let word_base = u64::from(geom.word_base(word));
+            let span = geom.word_span_bytes();
+            let mut p = word_base / u64::from(PAGE_SIZE);
+            let end = (word_base + span).min(1 << 32);
+            while p * u64::from(PAGE_SIZE) < end {
+                let page = PageId(p as u32);
+                if !pages.contains(&page) {
+                    pages.push(page);
+                }
+                p += 1;
+            }
+        }
+        for page in pages {
+            let bits = TaintTlb::derive_page_bits(&geom, page, &self.ctt);
+            self.pt.set_page_bits(page, bits);
+            self.tlb.update_resident(page, bits);
+        }
+        report
+    }
+
+    /// Number of eviction-triggered clear-scans waiting to be serviced.
+    pub fn pending_evictions(&self) -> usize {
+        self.pending_evictions.len()
+    }
+
+    /// The H-LATCH commit-stage update path (paper §5.3.1): synchronizes
+    /// the coarse state with a precise taint update at `[addr, addr+len)`.
+    /// `view` must reflect the *post-update* precise state.
+    pub fn sync_precise_update<V: PreciseView>(
+        &mut self,
+        view: &V,
+        addr: Addr,
+        len: u32,
+    ) -> UpdateReport {
+        let report = apply_precise_update(
+            &self.params.geometry,
+            &mut self.ctt,
+            &mut self.pt,
+            Some(&mut self.tlb),
+            view,
+            addr,
+            len,
+        );
+        // The commit-stage update writes the CTC simultaneously (paper
+        // Fig. 12 chains the levels): refresh any resident lines whose
+        // words the update touched, so no cached line goes stale.
+        let geom = self.params.geometry;
+        let mut last_word = None;
+        for domain in geom.domains_in(addr, len) {
+            let word = geom.word_of(geom.domain_base(domain));
+            if last_word != Some(word) {
+                self.ctc.refresh_word(word, &self.ctt);
+                last_word = Some(word);
+            }
+        }
+        report
+    }
+
+    /// Flushes the CTC and TLB (context switch), turning any dirty CTC
+    /// lines into pending clear-scans.
+    pub fn flush_caches(&mut self) {
+        let dirty = self.ctc.flush();
+        self.pending_evictions.extend(dirty);
+        self.tlb.flush();
+    }
+
+    /// Verifies the no-false-negative invariant against a precise view
+    /// over the given address range: every precisely tainted byte must lie
+    /// in a coarsely tainted domain *and* a tainted page-level domain.
+    /// Intended for tests and debug assertions.
+    pub fn coarse_covers_precise<V: PreciseView>(&self, view: &V, start: Addr, len: u32) -> bool {
+        let geom = self.params.geometry;
+        for domain in geom.domains_in(start, len) {
+            let base = geom.domain_base(domain);
+            if view.any_tainted(base, geom.domain_bytes()) {
+                if !self.ctt.domain_bit(domain) {
+                    return false;
+                }
+                let page = geom.page_of(base);
+                let pd = geom.page_domain_of(base);
+                if self.pt.page_bits(page) & (1 << pd) == 0 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn refresh_pages_for_range(&mut self, addr: Addr, len: u32) {
+        let geom = self.params.geometry;
+        let span = geom.word_span_bytes();
+        let mut pages: Vec<PageId> = Vec::new();
+        for domain in geom.domains_in(addr, len) {
+            let base = geom.domain_base(domain);
+            let word = geom.word_of(base);
+            let word_base = u64::from(geom.word_base(word));
+            let mut p = word_base / u64::from(PAGE_SIZE);
+            let end = (word_base + span).min(1 << 32);
+            while p * u64::from(PAGE_SIZE) < end {
+                let page = PageId(p as u32);
+                if !pages.contains(&page) {
+                    pages.push(page);
+                }
+                p += 1;
+            }
+        }
+        for page in pages {
+            let bits = TaintTlb::derive_page_bits(&geom, page, &self.ctt);
+            self.pt.set_page_bits(page, bits);
+            self.tlb.update_resident(page, bits);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LatchConfig;
+    use crate::EmptyView;
+
+    fn unit() -> LatchUnit {
+        LatchUnit::new(LatchConfig::s_latch().build().unwrap())
+    }
+
+    struct VecView(Vec<(Addr, u32)>);
+    impl PreciseView for VecView {
+        fn any_tainted(&self, start: Addr, len: u32) -> bool {
+            let s = u64::from(start);
+            let e = s + u64::from(len);
+            self.0.iter().any(|&(a, l)| {
+                let as_ = u64::from(a);
+                u64::from(a) < e && s < as_ + u64::from(l)
+            })
+        }
+    }
+
+    #[test]
+    fn clean_memory_resolves_at_tlb() {
+        let mut u = unit();
+        let out = u.check_read(0x4000, 4);
+        assert!(!out.coarse_tainted);
+        assert_eq!(out.resolved_at, ResolvedAt::Tlb);
+        assert_eq!(u.stats().checks.resolved_tlb, 1);
+    }
+
+    #[test]
+    fn tainted_domain_trips_check_and_records_address() {
+        let mut u = unit();
+        u.write_taint(0x4000, 4, true);
+        let out = u.check_read(0x4002, 1);
+        assert!(out.coarse_tainted);
+        assert_eq!(out.resolved_at, ResolvedAt::Ctc);
+        assert_eq!(u.last_exception_addr(), Some(0x4002));
+        assert_eq!(u.exec(LatchInstr::Ltnt), 0x4002);
+    }
+
+    #[test]
+    fn false_positive_within_tainted_domain() {
+        let mut u = unit();
+        u.write_taint(0x4000, 1, true);
+        // Byte 0x403F shares the 64-byte domain: coarse check fires even
+        // though the byte itself is clean — a false positive by design.
+        assert!(u.check_read(0x403F, 1).coarse_tainted);
+        // The next domain over is clean.
+        assert!(!u.check_read(0x4040, 1).coarse_tainted);
+    }
+
+    #[test]
+    fn same_page_other_half_resolves_at_ctc_not_tlb() {
+        let mut u = unit();
+        u.write_taint(0x4000, 1, true);
+        // 0x4000 is in the lower 2 KiB page-domain of page 4; an access to
+        // the same half must go to the CTC, while the upper half is
+        // screened by the TLB bit.
+        let lower = u.check_read(0x4100, 4);
+        assert_eq!(lower.resolved_at, ResolvedAt::Ctc);
+        assert!(!lower.coarse_tainted);
+        let upper = u.check_read(0x4800, 4);
+        assert_eq!(upper.resolved_at, ResolvedAt::Tlb);
+    }
+
+    #[test]
+    fn stnt_zero_then_clear_scan_restores_clean_state() {
+        let mut u = unit();
+        u.write_taint(0x4000, 8, true);
+        u.write_taint(0x4000, 8, false);
+        // Coarse bit conservatively stays up until the scan.
+        assert!(u.check_read(0x4000, 1).coarse_tainted);
+        let report = u.clear_scan(&EmptyView);
+        assert_eq!(report.domains_cleared, 1);
+        // Back to a fully clean page: resolved at the TLB again.
+        let out = u.check_read(0x4000, 1);
+        assert!(!out.coarse_tainted);
+        assert_eq!(out.resolved_at, ResolvedAt::Tlb);
+    }
+
+    #[test]
+    fn clear_scan_respects_remaining_taint() {
+        let mut u = unit();
+        u.write_taint(0x4000, 2, true);
+        u.write_taint(0x4000, 1, false);
+        let view = VecView(vec![(0x4001, 1)]);
+        let report = u.clear_scan(&view);
+        assert_eq!(report.domains_cleared, 0);
+        assert!(u.check_read(0x4000, 1).coarse_tainted);
+        assert!(u.coarse_covers_precise(&view, 0x4000, 64));
+    }
+
+    #[test]
+    fn strf_loads_trf() {
+        let mut u = unit();
+        assert!(!u.reg_tainted(2));
+        u.exec(LatchInstr::Strf { packed: 0xF << 8 });
+        assert!(u.reg_tainted(2));
+        assert!(!u.reg_tainted(3));
+    }
+
+    #[test]
+    fn sync_precise_update_is_h_latch_path() {
+        let mut u = LatchUnit::new(LatchConfig::h_latch().build().unwrap());
+        let view = VecView(vec![(0x1000, 4)]);
+        let report = u.sync_precise_update(&view, 0x1000, 4);
+        assert_eq!(report.domains_set, 1);
+        assert!(u.check_read(0x1000, 4).coarse_tainted);
+        // Clearing through the same path drops everything at once.
+        let report = u.sync_precise_update(&EmptyView, 0x1000, 4);
+        assert_eq!(report.domains_cleared, 1);
+        let out = u.check_read(0x1000, 4);
+        assert!(!out.coarse_tainted);
+        assert_eq!(out.resolved_at, ResolvedAt::Tlb);
+    }
+
+    #[test]
+    fn sync_precise_update_refreshes_resident_ctc_lines() {
+        // Regression: with large domains one CTC line covers a huge
+        // span and stays resident; a commit-stage CTT update must
+        // write through to it, or the screen goes stale and produces
+        // false negatives (found by the granularity ablation).
+        let mut u = LatchUnit::new(
+            LatchConfig::h_latch().domain_bytes(1024).build().unwrap(),
+        );
+        // Make the page's TLB bit hot so the CTC is consulted, and
+        // cache the clean CTT word.
+        let view0 = VecView(vec![(0x5400, 1)]);
+        u.sync_precise_update(&view0, 0x5400, 1);
+        assert!(!u.check_read(0x5000, 4).coarse_tainted);
+        // New taint in a domain whose word is already cached clean.
+        let view = VecView(vec![(0x5000, 16), (0x5400, 1)]);
+        u.sync_precise_update(&view, 0x5000, 16);
+        let out = u.check_read(0x5000, 4);
+        assert!(out.coarse_tainted, "resident CTC line must see the update");
+    }
+
+    #[test]
+    fn flush_converts_dirty_lines_to_pending_scans() {
+        let mut u = unit();
+        u.write_taint(0x4000, 1, true);
+        u.write_taint(0x4000, 1, false);
+        u.flush_caches();
+        assert_eq!(u.pending_evictions(), 1);
+        let report = u.clear_scan(&EmptyView);
+        assert_eq!(report.domains_cleared, 1);
+        assert_eq!(u.pending_evictions(), 0);
+    }
+
+    #[test]
+    fn penalty_cycles_accumulate() {
+        let mut u = unit();
+        u.write_taint(0x4000, 1, true);
+        u.flush_caches();
+        u.clear_scan(&VecView(vec![(0x4000, 1)]));
+        // Cold CTC access to a tainted page-domain costs the miss penalty.
+        let out = u.check_read(0x4100, 4);
+        assert_eq!(out.penalty_cycles, 150);
+        assert!(u.stats().checks.penalty_cycles >= 150);
+    }
+
+    #[test]
+    fn write_taint_keeps_page_bits_for_multiple_pages() {
+        let mut u = unit();
+        // Range spanning a page boundary.
+        u.write_taint(PAGE_SIZE - 4, 8, true);
+        assert!(u.check_read(PAGE_SIZE - 4, 1).coarse_tainted);
+        assert!(u.check_read(PAGE_SIZE, 1).coarse_tainted);
+        let view = VecView(vec![(PAGE_SIZE - 4, 8)]);
+        assert!(u.coarse_covers_precise(&view, PAGE_SIZE - 64, 128));
+    }
+}

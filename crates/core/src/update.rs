@@ -1,0 +1,218 @@
+//! Multi-granularity taint-state update logic.
+//!
+//! Paper §5.3.1 (Fig. 12): whenever a precise taint tag is updated,
+//! H-LATCH must keep the coarse state consistent. The hardware extracts
+//! the taint bits of the *pre-update* precise word, masks out the slot
+//! being written, ORs in the new tag, and uses the result as the domain's
+//! new coarse bit. The operation chains across granularities, so the CTT
+//! domain bit and the page-level taint bit are updated simultaneously.
+//! This guarantees a coarse-grain taint domain is marked taint-free the
+//! moment the last taint tag within it is cleared.
+//!
+//! [`word_bit_after_update`] is a direct model of the Fig. 12 combinational
+//! logic; [`apply_precise_update`] is the system-level operation used by
+//! the simulators, which consults the post-update precise state through a
+//! [`PreciseView`].
+
+use crate::ctt::CoarseTaintTable;
+use crate::domain::{DomainGeometry, PageId};
+use crate::tlb::{PageTaintTable, TaintTlb};
+use crate::{Addr, PreciseView, PAGE_SIZE};
+
+/// The Fig. 12 combinational update: given the pre-update precise tag word
+/// (one bit per tag slot), the slot being overwritten, and the new tag,
+/// compute the updated coarse bit for the covering domain.
+///
+/// Modified decoder logic de-selects the updated bit; the OR-reduction of
+/// the remaining bits is combined with the new tag.
+#[inline]
+pub fn word_bit_after_update(pre_word_tags: u32, updated_slot: u32, new_tag: bool) -> bool {
+    debug_assert!(updated_slot < 32);
+    let masked = pre_word_tags & !(1u32 << updated_slot);
+    masked != 0 || new_tag
+}
+
+/// Outcome of a chained coarse-state update.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Domains whose coarse bit transitioned 0 → 1.
+    pub domains_set: u64,
+    /// Domains whose coarse bit transitioned 1 → 0.
+    pub domains_cleared: u64,
+    /// Pages whose page-level taint bits changed.
+    pub pages_touched: u64,
+}
+
+/// Applies a precise taint update at `[addr, addr + len)` to the coarse
+/// state, chaining through the CTT, the page taint table, and any resident
+/// TLB entries.
+///
+/// `view` must reflect the precise taint state *after* the update (the
+/// hardware performs both in the same commit-stage cycle; in the simulator
+/// the precise shadow memory is written first, then this is called).
+///
+/// This is the H-LATCH update path; S-LATCH instead routes updates through
+/// the `stnt` instruction and defers clearing to the clear-scan
+/// ([`CoarseTaintCache::write_taint`](crate::ctc::CoarseTaintCache::write_taint)).
+pub fn apply_precise_update<V: PreciseView>(
+    geom: &DomainGeometry,
+    ctt: &mut CoarseTaintTable,
+    pt: &mut PageTaintTable,
+    tlb: Option<&mut TaintTlb>,
+    view: &V,
+    addr: Addr,
+    len: u32,
+) -> UpdateReport {
+    let mut report = UpdateReport::default();
+    let mut touched_pages: Vec<PageId> = Vec::new();
+    for domain in geom.domains_in(addr, len) {
+        let base = geom.domain_base(domain);
+        let new_bit = view.any_tainted(base, geom.domain_bytes());
+        let old_bit = ctt.set_domain_bit(domain, new_bit);
+        if new_bit && !old_bit {
+            report.domains_set += 1;
+        } else if !new_bit && old_bit {
+            report.domains_cleared += 1;
+        }
+        if new_bit != old_bit {
+            // Chain to the page level: every page overlapping this
+            // domain's CTT-word span may see its bit change.
+            let span = geom.word_span_bytes();
+            let word = geom.word_of(base);
+            let word_base = u64::from(geom.word_base(word));
+            let mut p = word_base / u64::from(PAGE_SIZE);
+            let end = (word_base + span).min(1 << 32);
+            while p * u64::from(PAGE_SIZE) < end {
+                let page = PageId(p as u32);
+                if !touched_pages.contains(&page) {
+                    touched_pages.push(page);
+                }
+                p += 1;
+            }
+        }
+    }
+    if let Some(tlb) = tlb {
+        for page in &touched_pages {
+            let bits = TaintTlb::derive_page_bits(geom, *page, ctt);
+            if pt.page_bits(*page) != bits {
+                pt.set_page_bits(*page, bits);
+                report.pages_touched += 1;
+            }
+            tlb.update_resident(*page, bits);
+        }
+    } else {
+        for page in &touched_pages {
+            let bits = TaintTlb::derive_page_bits(geom, *page, ctt);
+            if pt.page_bits(*page) != bits {
+                pt.set_page_bits(*page, bits);
+                report.pages_touched += 1;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EmptyView;
+
+    struct VecView(Vec<(Addr, u32)>);
+    impl PreciseView for VecView {
+        fn any_tainted(&self, start: Addr, len: u32) -> bool {
+            let s = u64::from(start);
+            let e = s + u64::from(len);
+            self.0.iter().any(|&(a, l)| {
+                let as_ = u64::from(a);
+                let ae = as_ + u64::from(l);
+                as_ < e && s < ae
+            })
+        }
+    }
+
+    #[test]
+    fn fig12_masked_word_logic() {
+        // Only the updated slot was tainted; clearing it clears the domain.
+        assert!(!word_bit_after_update(0b0100, 2, false));
+        // Another slot still holds taint; clearing one keeps the bit up.
+        assert!(word_bit_after_update(0b0101, 2, false));
+        // Setting a tag always raises the bit.
+        assert!(word_bit_after_update(0, 7, true));
+        // No-op write of zero into a clean word stays clean.
+        assert!(!word_bit_after_update(0, 0, false));
+    }
+
+    #[test]
+    fn update_sets_domain_and_page_bits() {
+        let geom = DomainGeometry::new(64).unwrap();
+        let mut ctt = CoarseTaintTable::new();
+        let mut pt = PageTaintTable::new();
+        let view = VecView(vec![(0x1800, 4)]);
+        let report =
+            apply_precise_update(&geom, &mut ctt, &mut pt, None, &view, 0x1800, 4);
+        assert_eq!(report.domains_set, 1);
+        assert!(ctt.domain_bit(geom.domain_of(0x1800)));
+        // 0x1800 lies in the upper 2 KiB of page 1 → bit 1.
+        assert_eq!(pt.page_bits(PageId(1)), 0b10);
+    }
+
+    #[test]
+    fn clearing_last_tag_clears_domain_and_page() {
+        let geom = DomainGeometry::new(64).unwrap();
+        let mut ctt = CoarseTaintTable::new();
+        let mut pt = PageTaintTable::new();
+        let view = VecView(vec![(0x1800, 4)]);
+        apply_precise_update(&geom, &mut ctt, &mut pt, None, &view, 0x1800, 4);
+        // Now the bytes are untainted.
+        let report =
+            apply_precise_update(&geom, &mut ctt, &mut pt, None, &EmptyView, 0x1800, 4);
+        assert_eq!(report.domains_cleared, 1);
+        assert!(!ctt.domain_bit(geom.domain_of(0x1800)));
+        assert_eq!(pt.page_bits(PageId(1)), 0);
+    }
+
+    #[test]
+    fn partial_clear_keeps_domain_bit() {
+        let geom = DomainGeometry::new(64).unwrap();
+        let mut ctt = CoarseTaintTable::new();
+        let mut pt = PageTaintTable::new();
+        // Two tainted bytes in one domain.
+        let view = VecView(vec![(0x1000, 1), (0x1010, 1)]);
+        apply_precise_update(&geom, &mut ctt, &mut pt, None, &view, 0x1000, 0x20);
+        // Clear only the first byte; the view still holds 0x1010.
+        let view2 = VecView(vec![(0x1010, 1)]);
+        let report =
+            apply_precise_update(&geom, &mut ctt, &mut pt, None, &view2, 0x1000, 1);
+        assert_eq!(report.domains_cleared, 0);
+        assert!(ctt.domain_bit(geom.domain_of(0x1000)));
+    }
+
+    #[test]
+    fn resident_tlb_entries_are_updated() {
+        let geom = DomainGeometry::new(64).unwrap();
+        let mut ctt = CoarseTaintTable::new();
+        let mut pt = PageTaintTable::new();
+        let mut tlb = TaintTlb::new(geom, 4, 0);
+        // Make page 0 resident and clean.
+        assert!(!tlb.lookup(0, &pt).page_domain_tainted);
+        let view = VecView(vec![(0x10, 1)]);
+        apply_precise_update(&geom, &mut ctt, &mut pt, Some(&mut tlb), &view, 0x10, 1);
+        // The resident entry must now see the taint without a refill.
+        let acc = tlb.lookup(0x10, &pt);
+        assert!(acc.hit);
+        assert!(acc.page_domain_tainted);
+    }
+
+    #[test]
+    fn update_is_idempotent() {
+        let geom = DomainGeometry::new(64).unwrap();
+        let mut ctt = CoarseTaintTable::new();
+        let mut pt = PageTaintTable::new();
+        let view = VecView(vec![(0x40, 8)]);
+        apply_precise_update(&geom, &mut ctt, &mut pt, None, &view, 0x40, 8);
+        let report = apply_precise_update(&geom, &mut ctt, &mut pt, None, &view, 0x40, 8);
+        assert_eq!(report.domains_set, 0);
+        assert_eq!(report.domains_cleared, 0);
+        assert_eq!(report.pages_touched, 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests of the latch-core data structures against
+//! naive reference models.
+
+use latch_core::ctc::CoarseTaintCache;
+use latch_core::ctt::CoarseTaintTable;
+use latch_core::domain::{DomainGeometry, DomainId};
+use latch_core::tlb::{PageTaintTable, TaintTlb};
+use latch_core::{PAGE_SIZE};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn geometry() -> impl Strategy<Value = DomainGeometry> {
+    prop_oneof![
+        Just(DomainGeometry::new(4).unwrap()),
+        Just(DomainGeometry::new(16).unwrap()),
+        Just(DomainGeometry::new(64).unwrap()),
+        Just(DomainGeometry::new(256).unwrap()),
+        Just(DomainGeometry::new(4096).unwrap()),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn domain_arithmetic_is_consistent(geom in geometry(), addr: u32) {
+        let d = geom.domain_of(addr);
+        // The address lies within its domain's range.
+        let base = geom.domain_base(d);
+        prop_assert!(base <= addr);
+        prop_assert!(u64::from(addr) < u64::from(base) + u64::from(geom.domain_bytes()));
+        // Word/bit decomposition reassembles the domain index.
+        let word = geom.word_of(addr);
+        let bit = geom.bit_of(addr);
+        prop_assert_eq!(word.0 * 32 + bit, d.0);
+        // Page-domain index is within range.
+        prop_assert!(geom.page_domain_of(addr) < geom.page_domains_per_page());
+    }
+
+    #[test]
+    fn domains_in_covers_exactly_the_overlap(
+        geom in geometry(),
+        start in 0u32..0xFFFF_0000,
+        len in 0u32..16384,
+    ) {
+        let domains: Vec<DomainId> = geom.domains_in(start, len).collect();
+        if len == 0 {
+            prop_assert!(domains.is_empty());
+        } else {
+            // First and last bytes map to the first and last domains.
+            prop_assert_eq!(domains.first().copied(), Some(geom.domain_of(start)));
+            let last_byte = (u64::from(start) + u64::from(len) - 1).min(u64::from(u32::MAX)) as u32;
+            prop_assert_eq!(domains.last().copied(), Some(geom.domain_of(last_byte)));
+            // Contiguous, ascending, no duplicates.
+            for w in domains.windows(2) {
+                prop_assert_eq!(w[1].0, w[0].0 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn ctt_is_a_faithful_bitset(
+        ops in proptest::collection::vec((0u32..100_000, any::<bool>()), 0..200),
+    ) {
+        let mut ctt = CoarseTaintTable::new();
+        let mut model: HashSet<u32> = HashSet::new();
+        for &(domain, set) in &ops {
+            ctt.set_domain_bit(DomainId(domain), set);
+            if set {
+                model.insert(domain);
+            } else {
+                model.remove(&domain);
+            }
+        }
+        prop_assert_eq!(ctt.tainted_domains(), model.len() as u64);
+        for &(domain, _) in &ops {
+            prop_assert_eq!(ctt.domain_bit(DomainId(domain)), model.contains(&domain));
+        }
+    }
+
+    #[test]
+    fn ctc_lookup_agrees_with_ctt(
+        tainted in proptest::collection::hash_set(0u32..512, 0..64),
+        probes in proptest::collection::vec(0u32..0x8000, 1..200),
+    ) {
+        // With no write-path traffic, a CTC (any size) must always
+        // report exactly the CTT's bit — caching is invisible.
+        let geom = DomainGeometry::new(64).unwrap();
+        let mut ctt = CoarseTaintTable::new();
+        for &d in &tainted {
+            ctt.set_domain_bit(DomainId(d), true);
+        }
+        let mut ctc = CoarseTaintCache::new(geom, 2, 150);
+        for &addr in &probes {
+            let expect = ctt.domain_bit(geom.domain_of(addr));
+            prop_assert_eq!(ctc.lookup(addr, &ctt).tainted, expect);
+        }
+        prop_assert!(ctc.coherent_with(&ctt));
+    }
+
+    #[test]
+    fn tlb_reports_page_table_bits(
+        pages in proptest::collection::vec((0u32..64, 0u32..4), 0..32),
+        probes in proptest::collection::vec(0u32..(64 * PAGE_SIZE), 1..100),
+    ) {
+        let geom = DomainGeometry::new(64).unwrap();
+        let mut pt = PageTaintTable::new();
+        for &(page, bits) in &pages {
+            pt.set_page_bits(latch_core::domain::PageId(page), bits);
+        }
+        let mut tlb = TaintTlb::new(geom, 4, 0);
+        for &addr in &probes {
+            let page = latch_core::domain::PageId(addr / PAGE_SIZE);
+            let pd = geom.page_domain_of(addr);
+            let expect = pt.page_bits(page) & (1 << pd) != 0;
+            prop_assert_eq!(tlb.lookup(addr, &pt).page_domain_tainted, expect);
+        }
+    }
+
+    #[test]
+    fn fig12_update_logic_equals_or_semantics(
+        word: u32,
+        slot in 0u32..32,
+        new_tag: bool,
+    ) {
+        // The masked-update must equal: set/clear the slot, then OR.
+        let mut bits = word;
+        if new_tag {
+            bits |= 1 << slot;
+        } else {
+            bits &= !(1 << slot);
+        }
+        prop_assert_eq!(
+            latch_core::update::word_bit_after_update(word, slot, new_tag),
+            bits != 0
+        );
+    }
+}

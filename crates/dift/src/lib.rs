@@ -1,0 +1,52 @@
+//! # latch-dift
+//!
+//! Byte-precise dynamic information flow tracking (DIFT) — the substrate
+//! the LATCH paper layers its coarse checking on top of. The paper uses
+//! `libdft` (a Pin tool); this crate is a from-scratch equivalent
+//! implementing the same classical Dynamic Taint Analysis rules:
+//!
+//! * **Initialization** — data read from untrusted sources (files,
+//!   network sockets) is tagged byte-by-byte ([`policy`]).
+//! * **Storage** — taint tags live in a sparse byte-granular
+//!   [shadow memory](shadow::ShadowMemory) and a per-register
+//!   [tag file](regfile::RegTagFile).
+//! * **Propagation** — every instruction's output tags are derived from
+//!   its input tags according to the rules in [`prop`].
+//! * **Validation** — the use of tainted data is checked against security
+//!   rules (tainted control-flow targets, tainted-data leaks) in
+//!   [`policy`], raising [`SecurityViolation`](policy::SecurityViolation)s.
+//!
+//! The assembled tracker is [`engine::DiftEngine`]. It implements
+//! [`latch_core::PreciseView`], so it plugs directly into the coarse
+//! LATCH layers as the precise tier.
+//!
+//! ```
+//! use latch_core::PreciseView;
+//! use latch_dift::engine::DiftEngine;
+//! use latch_dift::tag::TaintTag;
+//!
+//! let mut dift = DiftEngine::new();
+//! dift.taint_region(0x1000, 8, TaintTag::NETWORK);
+//! assert!(dift.any_tainted(0x1004, 1));
+//! assert!(!dift.any_tainted(0x1008, 1));
+//! ```
+
+pub mod engine;
+pub mod policy;
+pub mod prop;
+pub mod regfile;
+pub mod shadow;
+pub mod tag;
+
+pub use latch_core::Addr;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<crate::engine::DiftEngine>();
+        assert_send_sync::<crate::shadow::ShadowMemory>();
+        assert_send_sync::<crate::regfile::RegTagFile>();
+    }
+}

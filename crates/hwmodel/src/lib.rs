@@ -1,0 +1,10 @@
+//! # latch-hwmodel
+//!
+//! Structural FPGA complexity model for the LATCH hardware module —
+//! the stand-in for the paper's Quartus synthesis on a DE2-115 (§6.4).
+//! Populated alongside the complexity experiment.
+
+pub mod area;
+pub mod energy;
+pub mod fpga;
+pub mod power;

@@ -1,0 +1,624 @@
+//! A line-oriented assembler for the simulator ISA.
+//!
+//! Mini-programs (the workloads of `latch-workloads` and the repo
+//! examples) are written in a small assembly dialect:
+//!
+//! ```text
+//! ; data directives lay out the data segment from DATA_BASE upward
+//! .ascii greeting "hello"     ; bytes with content
+//! .data  buf 256              ; zeroed reservation
+//! .word  table 1 2 3          ; little-endian words
+//!
+//! start:                      ; labels name instruction indices
+//!     li   r1, greeting       ; immediates: decimal, 0x hex, 'c', symbol
+//!     load.b r2, r1, 0        ; load.{b,h,w} rd, base, offset
+//!     addi r2, r2, 1
+//!     store.b r2, r1, 0       ; store.{b,h,w} rs, base, offset
+//!     beq  r2, r3, start      ; beq/bne/blt/bge rs1, rs2, label
+//!     call fn                 ; call label / ret
+//!     syscall read            ; exit/open/read/write/close/socket/
+//!                             ; accept/recv/send/rand
+//!     strf r1                 ; LATCH extensions
+//!     stnt r1, r2, r3
+//!     ltnt r4
+//!     halt
+//! ```
+//!
+//! Two passes: the first collects labels and lays out data symbols, the
+//! second encodes instructions. Errors carry the 1-based source line.
+
+use crate::cpu::Cpu;
+use crate::isa::{AluOp, BranchCond, Instr, MemSize, Reg, Syscall, NUM_REGS};
+use crate::mem::Memory;
+use crate::syscall::SyscallHost;
+use latch_core::Addr;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Base address of the data segment laid out by the assembler.
+pub const DATA_BASE: Addr = 0x0001_0000;
+
+/// Initial stack pointer (the stack grows down from here).
+pub const STACK_TOP: Addr = 0x0FFF_FFF0;
+
+/// An assembly error, with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl Error for AsmError {}
+
+/// An assembled program: instructions plus an initialized data segment.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// The instruction stream.
+    pub instrs: Vec<Instr>,
+    /// `(address, bytes)` pairs to load into memory.
+    pub data: Vec<(Addr, Vec<u8>)>,
+    /// Data symbols → addresses.
+    pub symbols: HashMap<String, Addr>,
+    /// Labels → instruction indices.
+    pub labels: HashMap<String, u32>,
+}
+
+impl Program {
+    /// Writes the data segment into a memory.
+    pub fn load_data(&self, mem: &mut Memory) {
+        for (addr, bytes) in &self.data {
+            for (i, &b) in bytes.iter().enumerate() {
+                mem.poke(addr.wrapping_add(i as u32), b);
+            }
+        }
+    }
+
+    /// Builds a ready-to-run CPU with the data segment loaded.
+    pub fn into_cpu(self, host: SyscallHost) -> Cpu {
+        let mut cpu = Cpu::new(self.instrs.clone(), host);
+        self.load_data(&mut cpu.mem);
+        cpu
+    }
+}
+
+/// Assembles source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered (unknown mnemonic, bad
+/// register, undefined symbol, malformed directive).
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    let mut prog = Program::default();
+    let mut data_cursor = DATA_BASE;
+    let mut instr_lines: Vec<(usize, Vec<String>)> = Vec::new();
+
+    // Pass 1: directives, labels, and tokenization.
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            parse_directive(rest, line_no, &mut prog, &mut data_cursor)?;
+            continue;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            let name = label.trim();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                return Err(AsmError {
+                    line: line_no,
+                    msg: format!("malformed label '{line}'"),
+                });
+            }
+            if prog
+                .labels
+                .insert(name.to_owned(), instr_lines.len() as u32)
+                .is_some()
+            {
+                return Err(AsmError {
+                    line: line_no,
+                    msg: format!("duplicate label '{name}'"),
+                });
+            }
+            continue;
+        }
+        instr_lines.push((line_no, tokenize(line)));
+    }
+
+    // Pass 2: encode instructions.
+    for (line_no, tokens) in &instr_lines {
+        let instr = encode(tokens, *line_no, &prog)?;
+        prog.instrs.push(instr);
+    }
+    Ok(prog)
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A ';' or '#' starts a comment unless inside a string literal.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ';' | '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn tokenize(line: &str) -> Vec<String> {
+    line.replace(',', " ")
+        .split_whitespace()
+        .map(str::to_owned)
+        .collect()
+}
+
+fn parse_directive(
+    rest: &str,
+    line: usize,
+    prog: &mut Program,
+    cursor: &mut Addr,
+) -> Result<(), AsmError> {
+    let err = |msg: String| AsmError { line, msg };
+    let mut parts = rest.splitn(3, char::is_whitespace);
+    let kind = parts.next().unwrap_or("");
+    let name = parts
+        .next()
+        .ok_or_else(|| err(format!(".{kind} needs a symbol name")))?;
+    let arg = parts.next().unwrap_or("").trim();
+    // Align each symbol to a word boundary.
+    *cursor = (*cursor + 3) & !3;
+    let addr = *cursor;
+    let bytes: Vec<u8> = match kind {
+        "data" => {
+            let size: u32 = arg
+                .parse()
+                .map_err(|_| err(format!(".data {name}: bad size '{arg}'")))?;
+            *cursor += size;
+            vec![0u8; size as usize]
+        }
+        "ascii" => {
+            let s = arg
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .ok_or_else(|| err(format!(".ascii {name}: expected a quoted string")))?;
+            let bytes = s.as_bytes().to_vec();
+            *cursor += bytes.len() as u32;
+            bytes
+        }
+        "word" => {
+            let mut bytes = Vec::new();
+            for w in arg.split_whitespace() {
+                let v = parse_number(w)
+                    .ok_or_else(|| err(format!(".word {name}: bad value '{w}'")))?;
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+            *cursor += bytes.len() as u32;
+            bytes
+        }
+        other => return Err(err(format!("unknown directive '.{other}'"))),
+    };
+    if prog.symbols.insert(name.to_owned(), addr).is_some() {
+        return Err(err(format!("duplicate symbol '{name}'")));
+    }
+    prog.data.push((addr, bytes));
+    Ok(())
+}
+
+fn parse_number(tok: &str) -> Option<u32> {
+    if let Some(hex) = tok.strip_prefix("0x").or_else(|| tok.strip_prefix("0X")) {
+        return u32::from_str_radix(hex, 16).ok();
+    }
+    if let Some(neg) = tok.strip_prefix('-') {
+        return neg.parse::<u32>().ok().map(|v: u32| v.wrapping_neg());
+    }
+    if tok.len() == 3 && tok.starts_with('\'') && tok.ends_with('\'') {
+        return Some(u32::from(tok.as_bytes()[1]));
+    }
+    tok.parse().ok()
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let body = tok
+        .strip_prefix('r')
+        .or_else(|| tok.strip_prefix('R'))
+        .ok_or_else(|| AsmError {
+            line,
+            msg: format!("expected a register, got '{tok}'"),
+        })?;
+    let n: usize = body.parse().map_err(|_| AsmError {
+        line,
+        msg: format!("bad register '{tok}'"),
+    })?;
+    if n >= NUM_REGS {
+        return Err(AsmError {
+            line,
+            msg: format!("register r{n} out of range (0..{NUM_REGS})"),
+        });
+    }
+    Ok(n as Reg)
+}
+
+fn parse_imm(tok: &str, line: usize, prog: &Program) -> Result<u32, AsmError> {
+    if let Some(v) = parse_number(tok) {
+        return Ok(v);
+    }
+    if let Some(&addr) = prog.symbols.get(tok) {
+        return Ok(addr);
+    }
+    if let Some(&idx) = prog.labels.get(tok) {
+        return Ok(idx);
+    }
+    Err(AsmError {
+        line,
+        msg: format!("undefined symbol '{tok}'"),
+    })
+}
+
+fn parse_target(tok: &str, line: usize, prog: &Program) -> Result<u32, AsmError> {
+    if let Some(&idx) = prog.labels.get(tok) {
+        return Ok(idx);
+    }
+    parse_number(tok).ok_or_else(|| AsmError {
+        line,
+        msg: format!("undefined label '{tok}'"),
+    })
+}
+
+fn parse_off(tok: &str, line: usize) -> Result<i32, AsmError> {
+    tok.parse::<i32>().map_err(|_| AsmError {
+        line,
+        msg: format!("bad offset '{tok}'"),
+    })
+}
+
+fn mem_size(suffix: &str, line: usize) -> Result<MemSize, AsmError> {
+    match suffix {
+        "b" => Ok(MemSize::B1),
+        "h" => Ok(MemSize::B2),
+        "w" => Ok(MemSize::B4),
+        other => Err(AsmError {
+            line,
+            msg: format!("bad access size '.{other}' (expected .b/.h/.w)"),
+        }),
+    }
+}
+
+fn alu_op(name: &str) -> Option<AluOp> {
+    Some(match name {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "mul" => AluOp::Mul,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        _ => return None,
+    })
+}
+
+fn syscall_by_name(name: &str) -> Option<Syscall> {
+    Some(match name {
+        "exit" => Syscall::Exit,
+        "open" => Syscall::Open,
+        "read" => Syscall::Read,
+        "write" => Syscall::Write,
+        "close" => Syscall::Close,
+        "socket" => Syscall::Socket,
+        "accept" => Syscall::Accept,
+        "recv" => Syscall::Recv,
+        "send" => Syscall::Send,
+        "rand" => Syscall::Rand,
+        _ => return None,
+    })
+}
+
+fn encode(tokens: &[String], line: usize, prog: &Program) -> Result<Instr, AsmError> {
+    let err = |msg: String| AsmError { line, msg };
+    let op = tokens[0].as_str();
+    let need = |n: usize| -> Result<(), AsmError> {
+        if tokens.len() != n + 1 {
+            Err(AsmError {
+                line,
+                msg: format!("'{op}' expects {n} operands, got {}", tokens.len() - 1),
+            })
+        } else {
+            Ok(())
+        }
+    };
+
+    if let Some((base, suffix)) = op.split_once('.') {
+        let size = mem_size(suffix, line)?;
+        match base {
+            "load" => {
+                need(3)?;
+                return Ok(Instr::Load {
+                    rd: parse_reg(&tokens[1], line)?,
+                    base: parse_reg(&tokens[2], line)?,
+                    off: parse_off(&tokens[3], line)?,
+                    size,
+                });
+            }
+            "store" => {
+                need(3)?;
+                return Ok(Instr::Store {
+                    rs: parse_reg(&tokens[1], line)?,
+                    base: parse_reg(&tokens[2], line)?,
+                    off: parse_off(&tokens[3], line)?,
+                    size,
+                });
+            }
+            _ => return Err(err(format!("unknown mnemonic '{op}'"))),
+        }
+    }
+
+    if let Some(alu) = alu_op(op) {
+        need(3)?;
+        return Ok(Instr::Alu {
+            op: alu,
+            rd: parse_reg(&tokens[1], line)?,
+            rs1: parse_reg(&tokens[2], line)?,
+            rs2: parse_reg(&tokens[3], line)?,
+        });
+    }
+    if let Some(base) = op.strip_suffix('i') {
+        if let Some(alu) = alu_op(base) {
+            need(3)?;
+            return Ok(Instr::AluImm {
+                op: alu,
+                rd: parse_reg(&tokens[1], line)?,
+                rs: parse_reg(&tokens[2], line)?,
+                imm: parse_imm(&tokens[3], line, prog)?,
+            });
+        }
+    }
+
+    let branch = |cond| -> Result<Instr, AsmError> {
+        need(3)?;
+        Ok(Instr::Branch {
+            cond,
+            rs1: parse_reg(&tokens[1], line)?,
+            rs2: parse_reg(&tokens[2], line)?,
+            target: parse_target(&tokens[3], line, prog)?,
+        })
+    };
+
+    match op {
+        "li" => {
+            need(2)?;
+            Ok(Instr::Li {
+                rd: parse_reg(&tokens[1], line)?,
+                imm: parse_imm(&tokens[2], line, prog)?,
+            })
+        }
+        "mov" => {
+            need(2)?;
+            Ok(Instr::Mov {
+                rd: parse_reg(&tokens[1], line)?,
+                rs: parse_reg(&tokens[2], line)?,
+            })
+        }
+        "jmp" => {
+            need(1)?;
+            Ok(Instr::Jmp {
+                target: parse_target(&tokens[1], line, prog)?,
+            })
+        }
+        "jr" => {
+            need(1)?;
+            Ok(Instr::Jr {
+                rs: parse_reg(&tokens[1], line)?,
+            })
+        }
+        "beq" => branch(BranchCond::Eq),
+        "bne" => branch(BranchCond::Ne),
+        "blt" => branch(BranchCond::Lt),
+        "bge" => branch(BranchCond::Ge),
+        "call" => {
+            need(1)?;
+            Ok(Instr::Call {
+                target: parse_target(&tokens[1], line, prog)?,
+            })
+        }
+        "ret" => {
+            need(0)?;
+            Ok(Instr::Ret)
+        }
+        "syscall" => {
+            need(1)?;
+            syscall_by_name(&tokens[1])
+                .map(|call| Instr::Sys { call })
+                .ok_or_else(|| err(format!("unknown syscall '{}'", tokens[1])))
+        }
+        "strf" => {
+            need(1)?;
+            Ok(Instr::Strf {
+                rs: parse_reg(&tokens[1], line)?,
+            })
+        }
+        "stnt" => {
+            need(3)?;
+            Ok(Instr::Stnt {
+                addr: parse_reg(&tokens[1], line)?,
+                len: parse_reg(&tokens[2], line)?,
+                val: parse_reg(&tokens[3], line)?,
+            })
+        }
+        "ltnt" => {
+            need(1)?;
+            Ok(Instr::Ltnt {
+                rd: parse_reg(&tokens[1], line)?,
+            })
+        }
+        "halt" => {
+            need(0)?;
+            Ok(Instr::Halt)
+        }
+        "nop" => {
+            need(0)?;
+            Ok(Instr::Nop)
+        }
+        other => Err(err(format!("unknown mnemonic '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_and_runs_arithmetic() {
+        let prog = assemble(
+            r"
+            ; compute 6 * 7
+            li r1, 6
+            li r2, 7
+            mul r3, r1, r2
+            halt
+            ",
+        )
+        .unwrap();
+        let mut cpu = prog.into_cpu(SyscallHost::new());
+        while let Ok(Some(_)) = cpu.step() {
+            if cpu.halted() {
+                break;
+            }
+        }
+        assert_eq!(cpu.reg(3), 42);
+    }
+
+    #[test]
+    fn labels_and_branches() {
+        let prog = assemble(
+            r"
+            li r1, 0
+            li r2, 3
+            loop:
+            beq r1, r2, done
+            addi r1, r1, 1
+            jmp loop
+            done:
+            halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(prog.labels["loop"], 2);
+        assert_eq!(prog.labels["done"], 5);
+        let mut cpu = prog.into_cpu(SyscallHost::new());
+        for _ in 0..100 {
+            if cpu.step().unwrap().is_none() {
+                break;
+            }
+        }
+        assert_eq!(cpu.reg(1), 3);
+    }
+
+    #[test]
+    fn data_directives_lay_out_segment() {
+        let prog = assemble(
+            r#"
+            .ascii msg "hi"
+            .data buf 8
+            .word tbl 0x11223344 5
+            li r1, msg
+            li r2, buf
+            li r3, tbl
+            load.b r4, r1, 1
+            load.w r5, r3, 0
+            halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(prog.symbols["msg"], DATA_BASE);
+        // buf is word-aligned after the 2-byte string.
+        assert_eq!(prog.symbols["buf"], DATA_BASE + 4);
+        assert_eq!(prog.symbols["tbl"], DATA_BASE + 12);
+        let mut cpu = prog.into_cpu(SyscallHost::new());
+        for _ in 0..10 {
+            if cpu.step().unwrap().is_none() {
+                break;
+            }
+        }
+        assert_eq!(cpu.reg(4), u32::from(b'i'));
+        assert_eq!(cpu.reg(5), 0x11223344);
+    }
+
+    #[test]
+    fn comments_and_char_literals() {
+        let prog = assemble(
+            r"
+            li r1, 'A'   ; letter A
+            li r2, -1    # wraps
+            halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(prog.instrs[0], Instr::Li { rd: 1, imm: 65 });
+        assert_eq!(prog.instrs[1], Instr::Li { rd: 2, imm: u32::MAX });
+    }
+
+    #[test]
+    fn error_reporting() {
+        let e = assemble("frobnicate r1").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.msg.contains("frobnicate"));
+        let e = assemble("\nli r99, 0").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = assemble("li r1, nosuchsym").unwrap_err();
+        assert!(e.msg.contains("nosuchsym"));
+        let e = assemble("lab:\nlab:\nhalt").unwrap_err();
+        assert!(e.msg.contains("duplicate"));
+        let e = assemble(".data x notanumber").unwrap_err();
+        assert!(e.msg.contains("bad size"));
+        let e = assemble("syscall frob").unwrap_err();
+        assert!(e.msg.contains("syscall"));
+        let e = assemble("load.q r1, r2, 0").unwrap_err();
+        assert!(e.msg.contains("size"));
+        let e = assemble("add r1, r2").unwrap_err();
+        assert!(e.msg.contains("expects 3"));
+    }
+
+    #[test]
+    fn string_with_comment_chars() {
+        let prog = assemble(
+            r#"
+            .ascii s "a;b#c"
+            halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(prog.data[0].1, b"a;b#c");
+    }
+
+    #[test]
+    fn call_ret_through_assembler() {
+        let prog = assemble(
+            r"
+            call f
+            halt
+            f:
+            li r1, 123
+            ret
+            ",
+        )
+        .unwrap();
+        let mut cpu = prog.into_cpu(SyscallHost::new());
+        for _ in 0..10 {
+            if cpu.step().unwrap().is_none() {
+                break;
+            }
+        }
+        assert_eq!(cpu.reg(1), 123);
+    }
+}

@@ -1,0 +1,618 @@
+//! The CPU interpreter.
+//!
+//! Executes a program one instruction per [`Cpu::step`], returning the
+//! retired-instruction [`Event`] that the monitoring stack (DIFT engine,
+//! LATCH unit, P-LATCH queue) consumes. The program counter indexes the
+//! instruction vector; data memory is the byte-addressable
+//! [`Memory`] model.
+//!
+//! The CPU executes the LATCH ISA extensions *architecturally* (register
+//! effects) and reports them in the event so the machine layer — which
+//! owns the [`LatchUnit`](latch_core::unit::LatchUnit) — can apply their
+//! taint effects. The `ltnt` result is delivered through a response port
+//! set by the machine layer when an exception fires.
+
+use crate::event::{
+    CtrlCheck, Event, MemAccess, MemAccessKind, RegsUsed, SinkAccess, SourceInput,
+};
+use crate::isa::{AluOp, Instr, MemSize, Reg, Syscall, NUM_REGS, SP};
+use crate::mem::Memory;
+use crate::syscall::SyscallHost;
+use latch_core::isa_ext::LatchInstr;
+use latch_core::Addr;
+use latch_dift::policy::SinkKind;
+use latch_dift::prop::PropRule;
+use std::error::Error;
+use std::fmt;
+
+/// Errors a running program can raise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The program counter left the program (missing `halt` or corrupted
+    /// control flow).
+    PcOutOfRange {
+        /// The offending program counter.
+        pc: u32,
+        /// Number of instructions in the program.
+        len: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::PcOutOfRange { pc, len } => {
+                write!(f, "program counter {pc} outside program of {len} instructions")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// The simulated processor core.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    regs: [u32; NUM_REGS],
+    pc: u32,
+    program: Vec<Instr>,
+    /// Data memory.
+    pub mem: Memory,
+    /// The emulated OS environment.
+    pub host: SyscallHost,
+    halted: bool,
+    icount: u64,
+    latch_response: u32,
+}
+
+impl Cpu {
+    /// Creates a CPU over a program and host environment. The stack
+    /// pointer starts at [`crate::asm::STACK_TOP`].
+    pub fn new(program: Vec<Instr>, host: SyscallHost) -> Self {
+        let mut regs = [0u32; NUM_REGS];
+        regs[SP as usize] = crate::asm::STACK_TOP;
+        Self {
+            regs,
+            pc: 0,
+            program,
+            mem: Memory::new(),
+            host,
+            halted: false,
+            icount: 0,
+            latch_response: 0,
+        }
+    }
+
+    /// Current program counter (instruction index).
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Reads register `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= NUM_REGS` (the assembler rejects such programs).
+    #[inline]
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r as usize]
+    }
+
+    /// Writes register `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= NUM_REGS`.
+    #[inline]
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        self.regs[r as usize] = value;
+    }
+
+    /// Whether the program has halted.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Instructions retired so far.
+    pub fn icount(&self) -> u64 {
+        self.icount
+    }
+
+    /// Sets the value the next `ltnt` will read (the machine layer calls
+    /// this when a LATCH exception fires).
+    pub fn set_latch_response(&mut self, addr: Addr) {
+        self.latch_response = addr;
+    }
+
+    /// Executes one instruction.
+    ///
+    /// Returns `Ok(None)` when the program has already halted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::PcOutOfRange`] when the program counter is
+    /// outside the program.
+    pub fn step(&mut self) -> Result<Option<Event>, SimError> {
+        if self.halted {
+            return Ok(None);
+        }
+        let pc = self.pc;
+        let instr = *self
+            .program
+            .get(pc as usize)
+            .ok_or(SimError::PcOutOfRange {
+                pc,
+                len: self.program.len() as u32,
+            })?;
+        self.icount += 1;
+        let mut ev = Event::empty(pc);
+        let mut next_pc = pc.wrapping_add(1);
+
+        match instr {
+            Instr::Li { rd, imm } => {
+                self.set_reg(rd, imm);
+                ev.prop = Some(PropRule::ClearDst { dst: rd as usize });
+                ev.regs = RegsUsed::new([None, None], Some(rd));
+            }
+            Instr::Mov { rd, rs } => {
+                self.set_reg(rd, self.reg(rs));
+                ev.prop = Some(PropRule::Mov { dst: rd as usize, src: rs as usize });
+                ev.regs = RegsUsed::new([Some(rs), None], Some(rd));
+            }
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                let v = op.eval(self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, v);
+                // The zeroing idioms produce constants: clear, not union.
+                ev.prop = if rs1 == rs2 && matches!(op, AluOp::Xor | AluOp::Sub) {
+                    Some(PropRule::ClearDst { dst: rd as usize })
+                } else {
+                    Some(PropRule::BinaryAlu {
+                        dst: rd as usize,
+                        src1: rs1 as usize,
+                        src2: rs2 as usize,
+                    })
+                };
+                ev.regs = RegsUsed::new([Some(rs1), Some(rs2)], Some(rd));
+            }
+            Instr::AluImm { op, rd, rs, imm } => {
+                let v = op.eval(self.reg(rs), imm);
+                self.set_reg(rd, v);
+                ev.prop = Some(PropRule::UnaryAlu { dst: rd as usize, src: rs as usize });
+                ev.regs = RegsUsed::new([Some(rs), None], Some(rd));
+            }
+            Instr::Load { rd, base, off, size } => {
+                let addr = self.reg(base).wrapping_add_signed(off);
+                let v = match size {
+                    MemSize::B1 => u32::from(self.mem.read_u8(addr)),
+                    MemSize::B2 => u32::from(self.mem.read_u16(addr)),
+                    MemSize::B4 => self.mem.read_u32(addr),
+                };
+                self.set_reg(rd, v);
+                ev.prop = Some(PropRule::Load {
+                    dst: rd as usize,
+                    addr,
+                    len: size.bytes(),
+                });
+                ev.mem = Some(MemAccess {
+                    addr,
+                    len: size.bytes(),
+                    kind: MemAccessKind::Read,
+                });
+                ev.regs = RegsUsed::new([Some(base), None], Some(rd));
+            }
+            Instr::Store { rs, base, off, size } => {
+                let addr = self.reg(base).wrapping_add_signed(off);
+                let v = self.reg(rs);
+                match size {
+                    MemSize::B1 => self.mem.write_u8(addr, v as u8),
+                    MemSize::B2 => self.mem.write_u16(addr, v as u16),
+                    MemSize::B4 => self.mem.write_u32(addr, v),
+                }
+                ev.prop = Some(PropRule::Store {
+                    src: rs as usize,
+                    addr,
+                    len: size.bytes(),
+                });
+                ev.mem = Some(MemAccess {
+                    addr,
+                    len: size.bytes(),
+                    kind: MemAccessKind::Write,
+                });
+                ev.regs = RegsUsed::new([Some(rs), Some(base)], None);
+            }
+            Instr::Jmp { target } => {
+                next_pc = target;
+            }
+            Instr::Jr { rs } => {
+                let target = self.reg(rs);
+                next_pc = target;
+                ev.ctrl = Some(CtrlCheck::Reg { reg: rs, target });
+                ev.regs = RegsUsed::new([Some(rs), None], None);
+            }
+            Instr::Branch { cond, rs1, rs2, target } => {
+                if cond.eval(self.reg(rs1), self.reg(rs2)) {
+                    next_pc = target;
+                }
+                ev.regs = RegsUsed::new([Some(rs1), Some(rs2)], None);
+            }
+            Instr::Call { target } => {
+                let sp = self.reg(SP).wrapping_sub(4);
+                self.set_reg(SP, sp);
+                self.mem.write_u32(sp, pc.wrapping_add(1));
+                next_pc = target;
+                // The pushed return address is a constant.
+                ev.prop = Some(PropRule::StoreImm { addr: sp, len: 4 });
+                ev.mem = Some(MemAccess { addr: sp, len: 4, kind: MemAccessKind::Write });
+            }
+            Instr::Ret => {
+                let sp = self.reg(SP);
+                let target = self.mem.read_u32(sp);
+                self.set_reg(SP, sp.wrapping_add(4));
+                next_pc = target;
+                ev.mem = Some(MemAccess { addr: sp, len: 4, kind: MemAccessKind::Read });
+                ev.ctrl = Some(CtrlCheck::Mem { addr: sp, len: 4, target });
+            }
+            Instr::Sys { call } => {
+                self.exec_syscall(call, &mut ev);
+                if self.halted {
+                    next_pc = pc; // frozen
+                }
+            }
+            Instr::Strf { rs } => {
+                let lo = u64::from(self.reg(rs));
+                let hi = u64::from(self.reg(rs.wrapping_add(1) % NUM_REGS as u8));
+                ev.latch = Some(LatchInstr::Strf { packed: lo | (hi << 32) });
+                ev.regs = RegsUsed::new([Some(rs), None], None);
+            }
+            Instr::Stnt { addr, len, val } => {
+                ev.latch = Some(LatchInstr::Stnt {
+                    addr: self.reg(addr),
+                    len: self.reg(len),
+                    tainted: self.reg(val) & 1 != 0,
+                });
+                ev.regs = RegsUsed::new([Some(addr), Some(val)], None);
+            }
+            Instr::Ltnt { rd } => {
+                self.set_reg(rd, self.latch_response);
+                ev.latch = Some(LatchInstr::Ltnt);
+                ev.prop = Some(PropRule::ClearDst { dst: rd as usize });
+                ev.regs = RegsUsed::new([None, None], Some(rd));
+            }
+            Instr::Halt => {
+                self.halted = true;
+                next_pc = pc;
+            }
+            Instr::Nop => {}
+        }
+
+        self.pc = next_pc;
+        Ok(Some(ev))
+    }
+
+    fn exec_syscall(&mut self, call: Syscall, ev: &mut Event) {
+        match call {
+            Syscall::Exit => {
+                self.host.exit(self.reg(1));
+                self.halted = true;
+            }
+            Syscall::Open => {
+                let path_addr = self.reg(1);
+                let path_len = self.reg(2).min(256);
+                let bytes = self.mem.read_bytes(path_addr, path_len);
+                let path = String::from_utf8_lossy(&bytes).into_owned();
+                let fd = self.host.open(&path).unwrap_or(u32::MAX);
+                self.set_reg(0, fd);
+                ev.mem = Some(MemAccess { addr: path_addr, len: path_len, kind: MemAccessKind::Read });
+                ev.prop = Some(PropRule::ClearDst { dst: 0 });
+                ev.regs = RegsUsed::new([Some(1), Some(2)], Some(0));
+            }
+            Syscall::Read | Syscall::Recv => {
+                let fd = self.reg(1);
+                let buf = self.reg(2);
+                let len = self.reg(3);
+                let r = self.host.read(fd, len);
+                let n = r.bytes.len() as u32;
+                if n > 0 {
+                    self.mem.write_bytes(buf, &r.bytes);
+                    ev.mem = Some(MemAccess { addr: buf, len: n, kind: MemAccessKind::Write });
+                    // The buffer is overwritten with fresh input: existing
+                    // tags die, then source tagging applies if untrusted.
+                    ev.prop = Some(PropRule::StoreImm { addr: buf, len: n });
+                    if let Some(kind) = r.source {
+                        ev.source = Some(SourceInput {
+                            kind,
+                            addr: buf,
+                            len: n,
+                            trusted: r.trusted,
+                        });
+                    }
+                }
+                self.set_reg(0, n);
+                ev.prop2 = Some(PropRule::ClearDst { dst: 0 });
+                ev.regs = RegsUsed::new([Some(1), Some(3)], Some(0));
+            }
+            Syscall::Write | Syscall::Send => {
+                let fd = self.reg(1);
+                let buf = self.reg(2);
+                let len = self.reg(3);
+                let bytes = self.mem.read_bytes(buf, len);
+                let n = self.host.write(fd, &bytes);
+                self.set_reg(0, n);
+                if len > 0 {
+                    ev.mem = Some(MemAccess { addr: buf, len, kind: MemAccessKind::Read });
+                    ev.sink = Some(SinkAccess {
+                        kind: if call == Syscall::Send { SinkKind::Socket } else { SinkKind::File },
+                        addr: buf,
+                        len,
+                    });
+                }
+                ev.prop = Some(PropRule::ClearDst { dst: 0 });
+                ev.regs = RegsUsed::new([Some(1), Some(3)], Some(0));
+            }
+            Syscall::Close => {
+                let fd = self.reg(1);
+                self.host.close(fd);
+                ev.regs = RegsUsed::new([Some(1), None], None);
+            }
+            Syscall::Socket => {
+                let fd = self.host.socket();
+                self.set_reg(0, fd);
+                ev.prop = Some(PropRule::ClearDst { dst: 0 });
+                ev.regs = RegsUsed::new([None, None], Some(0));
+            }
+            Syscall::Accept => {
+                let lfd = self.reg(1);
+                let fd = match self.host.accept(lfd) {
+                    Some((fd, _trusted)) => fd,
+                    None => u32::MAX,
+                };
+                self.set_reg(0, fd);
+                ev.prop = Some(PropRule::ClearDst { dst: 0 });
+                ev.regs = RegsUsed::new([Some(1), None], Some(0));
+            }
+            Syscall::Rand => {
+                let v = self.host.rand();
+                self.set_reg(0, v);
+                ev.prop = Some(PropRule::ClearDst { dst: 0 });
+                ev.regs = RegsUsed::new([None, None], Some(0));
+            }
+        }
+    }
+}
+
+/// Adapts a [`Cpu`] into an [`EventSource`](crate::event::EventSource):
+/// each `next_event` retires one instruction. The stream ends at `halt`,
+/// after `max_instrs` retirements, or on a simulation error (recorded in
+/// [`CpuSource::error`]).
+#[derive(Debug)]
+pub struct CpuSource {
+    /// The underlying CPU (accessible for inspection after the run).
+    pub cpu: Cpu,
+    max_instrs: u64,
+    error: Option<SimError>,
+}
+
+impl CpuSource {
+    /// Wraps a CPU with an instruction budget.
+    pub fn new(cpu: Cpu, max_instrs: u64) -> Self {
+        Self {
+            cpu,
+            max_instrs,
+            error: None,
+        }
+    }
+
+    /// The simulation error that ended the stream, if any.
+    pub fn error(&self) -> Option<&SimError> {
+        self.error.as_ref()
+    }
+}
+
+impl crate::event::EventSource for CpuSource {
+    fn next_event(&mut self) -> Option<crate::event::Event> {
+        if self.error.is_some() || self.cpu.icount() >= self.max_instrs {
+            return None;
+        }
+        match self.cpu.step() {
+            Ok(ev) => ev,
+            Err(e) => {
+                self.error = Some(e);
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MemAccessKind;
+
+    fn run(program: Vec<Instr>) -> Cpu {
+        let mut cpu = Cpu::new(program, SyscallHost::new());
+        for _ in 0..10_000 {
+            match cpu.step() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => panic!("sim error: {e}"),
+            }
+        }
+        assert!(cpu.halted(), "program did not halt");
+        cpu
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let cpu = run(vec![
+            Instr::Li { rd: 1, imm: 20 },
+            Instr::Li { rd: 2, imm: 22 },
+            Instr::Alu { op: AluOp::Add, rd: 0, rs1: 1, rs2: 2 },
+            Instr::Halt,
+        ]);
+        assert_eq!(cpu.reg(0), 42);
+        assert_eq!(cpu.icount(), 4);
+    }
+
+    #[test]
+    fn memory_roundtrip_and_events() {
+        let mut cpu = Cpu::new(
+            vec![
+                Instr::Li { rd: 1, imm: 0x1000 },
+                Instr::Li { rd: 2, imm: 0xAB },
+                Instr::Store { rs: 2, base: 1, off: 4, size: MemSize::B1 },
+                Instr::Load { rd: 3, base: 1, off: 4, size: MemSize::B1 },
+                Instr::Halt,
+            ],
+            SyscallHost::new(),
+        );
+        for _ in 0..2 {
+            cpu.step().unwrap();
+        }
+        let store_ev = cpu.step().unwrap().unwrap();
+        assert_eq!(
+            store_ev.mem,
+            Some(MemAccess { addr: 0x1004, len: 1, kind: MemAccessKind::Write })
+        );
+        let load_ev = cpu.step().unwrap().unwrap();
+        assert_eq!(load_ev.mem.unwrap().kind, MemAccessKind::Read);
+        cpu.step().unwrap();
+        assert_eq!(cpu.reg(3), 0xAB);
+    }
+
+    #[test]
+    fn branch_loop_counts() {
+        // r1 = 0; while (r1 != 5) r1 += 1
+        let cpu = run(vec![
+            Instr::Li { rd: 1, imm: 0 },
+            Instr::Li { rd: 2, imm: 5 },
+            Instr::Branch { cond: crate::isa::BranchCond::Eq, rs1: 1, rs2: 2, target: 5 },
+            Instr::AluImm { op: AluOp::Add, rd: 1, rs: 1, imm: 1 },
+            Instr::Jmp { target: 2 },
+            Instr::Halt,
+        ]);
+        assert_eq!(cpu.reg(1), 5);
+    }
+
+    #[test]
+    fn call_ret_roundtrip() {
+        //   call f; halt; f: li r1, 9; ret
+        let cpu = run(vec![
+            Instr::Call { target: 2 },
+            Instr::Halt,
+            Instr::Li { rd: 1, imm: 9 },
+            Instr::Ret,
+        ]);
+        assert_eq!(cpu.reg(1), 9);
+        assert_eq!(cpu.reg(SP), crate::asm::STACK_TOP);
+    }
+
+    #[test]
+    fn ret_emits_memory_ctrl_check() {
+        let mut cpu = Cpu::new(
+            vec![Instr::Call { target: 2 }, Instr::Halt, Instr::Ret],
+            SyscallHost::new(),
+        );
+        cpu.step().unwrap();
+        let ev = cpu.step().unwrap().unwrap();
+        match ev.ctrl {
+            Some(CtrlCheck::Mem { target, len: 4, .. }) => assert_eq!(target, 1),
+            other => panic!("expected memory ctrl check, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn xor_zeroing_idiom_clears() {
+        let mut cpu = Cpu::new(
+            vec![Instr::Alu { op: AluOp::Xor, rd: 1, rs1: 1, rs2: 1 }, Instr::Halt],
+            SyscallHost::new(),
+        );
+        let ev = cpu.step().unwrap().unwrap();
+        assert_eq!(ev.prop, Some(PropRule::ClearDst { dst: 1 }));
+    }
+
+    #[test]
+    fn file_read_emits_source_input() {
+        let host = SyscallHost::new().with_file("f", b"secret!".to_vec());
+        // open("f"): r1 = path addr, r2 = len. Path staged via stores.
+        let mut cpu = Cpu::new(
+            vec![
+                Instr::Li { rd: 1, imm: 0x100 },
+                Instr::Li { rd: 2, imm: u32::from(b'f') },
+                Instr::Store { rs: 2, base: 1, off: 0, size: MemSize::B1 },
+                Instr::Li { rd: 2, imm: 1 },
+                Instr::Sys { call: Syscall::Open },
+                Instr::Mov { rd: 1, rs: 0 },
+                Instr::Li { rd: 2, imm: 0x2000 },
+                Instr::Li { rd: 3, imm: 4 },
+                Instr::Sys { call: Syscall::Read },
+                Instr::Halt,
+            ],
+            host,
+        );
+        let mut source = None;
+        while let Ok(Some(ev)) = cpu.step() {
+            if ev.source.is_some() {
+                source = ev.source;
+            }
+            if cpu.halted() {
+                break;
+            }
+        }
+        let s = source.expect("read must emit a source input");
+        assert_eq!(s.addr, 0x2000);
+        assert_eq!(s.len, 4);
+        assert!(!s.trusted);
+        assert_eq!(cpu.mem.peek(0x2000), b's');
+    }
+
+    #[test]
+    fn pc_out_of_range_is_an_error() {
+        let mut cpu = Cpu::new(vec![Instr::Jmp { target: 99 }], SyscallHost::new());
+        cpu.step().unwrap();
+        assert!(matches!(cpu.step(), Err(SimError::PcOutOfRange { pc: 99, .. })));
+    }
+
+    #[test]
+    fn exit_syscall_halts_with_code() {
+        let mut cpu = Cpu::new(
+            vec![Instr::Li { rd: 1, imm: 7 }, Instr::Sys { call: Syscall::Exit }],
+            SyscallHost::new(),
+        );
+        cpu.step().unwrap();
+        cpu.step().unwrap();
+        assert!(cpu.halted());
+        assert_eq!(cpu.host.exit_code(), Some(7));
+        assert_eq!(cpu.step().unwrap(), None, "halted CPU stays halted");
+    }
+
+    #[test]
+    fn stnt_event_carries_register_values() {
+        let mut cpu = Cpu::new(
+            vec![
+                Instr::Li { rd: 1, imm: 0x5000 },
+                Instr::Li { rd: 2, imm: 8 },
+                Instr::Li { rd: 3, imm: 1 },
+                Instr::Stnt { addr: 1, len: 2, val: 3 },
+                Instr::Halt,
+            ],
+            SyscallHost::new(),
+        );
+        for _ in 0..3 {
+            cpu.step().unwrap();
+        }
+        let ev = cpu.step().unwrap().unwrap();
+        assert_eq!(
+            ev.latch,
+            Some(LatchInstr::Stnt { addr: 0x5000, len: 8, tainted: true })
+        );
+    }
+
+    #[test]
+    fn ltnt_reads_response_port() {
+        let mut cpu = Cpu::new(vec![Instr::Ltnt { rd: 4 }, Instr::Halt], SyscallHost::new());
+        cpu.set_latch_response(0xABCD);
+        cpu.step().unwrap();
+        assert_eq!(cpu.reg(4), 0xABCD);
+    }
+}

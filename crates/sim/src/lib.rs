@@ -1,0 +1,29 @@
+//! # latch-sim
+//!
+//! A 32-bit RISC-like CPU simulator: the execution substrate standing in
+//! for the paper's Pin-instrumented x86/Linux platform. It provides:
+//!
+//! * a small, regular [instruction set](isa) with LATCH's three ISA
+//!   extensions (`strf`, `stnt`, `ltnt`) embedded,
+//! * a line-oriented [assembler](asm) for writing mini-programs,
+//! * sparse [paged memory](mem),
+//! * a [syscall layer](syscall) emulating files and sockets — the taint
+//!   sources of the paper's evaluation — including per-connection
+//!   trust decisions (the Apache-25/50/75 policies of §3.1),
+//! * an interpreter ([cpu]) that retires instructions and emits
+//!   [events](event) — the operand-extraction hook the LATCH module and
+//!   the DIFT engine attach to (DBI-style instrumentation), and
+//! * a deterministic bounded [FIFO queue](queue) for the two-core
+//!   P-LATCH organization (§5.2).
+
+pub mod asm;
+pub mod cpu;
+pub mod event;
+pub mod isa;
+pub mod machine;
+pub mod mem;
+pub mod queue;
+pub mod syscall;
+pub mod trace;
+
+pub use latch_core::Addr;

@@ -1,0 +1,154 @@
+//! VM-level properties: deterministic re-execution, stack discipline,
+//! and assembler/CPU integration under randomized programs.
+
+use latch_sim::asm::{assemble, STACK_TOP};
+use latch_sim::cpu::Cpu;
+use latch_sim::isa::{AluOp, BranchCond, Instr, MemSize};
+use latch_sim::syscall::SyscallHost;
+use proptest::prelude::*;
+
+/// Straight-line instruction generator (no control flow: those are
+/// covered by targeted tests; this exercises datapath determinism).
+fn straightline() -> impl Strategy<Value = Instr> {
+    let reg = 0u8..16;
+    let op = prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Mul),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+    ];
+    let size = prop_oneof![Just(MemSize::B1), Just(MemSize::B2), Just(MemSize::B4)];
+    prop_oneof![
+        (reg.clone(), any::<u32>()).prop_map(|(rd, imm)| Instr::Li { rd, imm }),
+        (reg.clone(), reg.clone()).prop_map(|(rd, rs)| Instr::Mov { rd, rs }),
+        (op, reg.clone(), reg.clone(), reg.clone())
+            .prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 }),
+        (reg.clone(), reg.clone(), 0i32..256, size.clone())
+            .prop_map(|(rd, base, off, size)| Instr::Load { rd, base, off, size }),
+        (reg.clone(), reg, 0i32..256, size)
+            .prop_map(|(rs, base, off, size)| Instr::Store { rs, base, off, size }),
+        Just(Instr::Nop),
+    ]
+}
+
+fn run(program: &[Instr]) -> Cpu {
+    let mut prog = program.to_vec();
+    prog.push(Instr::Halt);
+    let mut cpu = Cpu::new(prog, SyscallHost::new());
+    // Keep loads/stores inside a sane arena: base registers start at a
+    // fixed address.
+    for r in 0..15 {
+        cpu.set_reg(r, 0x2000 + u32::from(r) * 0x100);
+    }
+    while let Ok(Some(_)) = cpu.step() {
+        if cpu.halted() {
+            break;
+        }
+    }
+    cpu
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reexecution_is_deterministic(program in proptest::collection::vec(straightline(), 0..64)) {
+        let a = run(&program);
+        let b = run(&program);
+        for r in 0..16 {
+            prop_assert_eq!(a.reg(r), b.reg(r));
+        }
+        prop_assert_eq!(a.icount(), b.icount());
+        prop_assert_eq!(a.mem.pages_accessed(), b.mem.pages_accessed());
+    }
+
+    #[test]
+    fn store_then_load_roundtrips(value: u32, off in 0u32..1024) {
+        let addr_base = 0x3000u32;
+        let program = vec![
+            Instr::Li { rd: 1, imm: addr_base },
+            Instr::Li { rd: 2, imm: value },
+            Instr::Store { rs: 2, base: 1, off: off as i32, size: MemSize::B4 },
+            Instr::Load { rd: 3, base: 1, off: off as i32, size: MemSize::B4 },
+        ];
+        let cpu = run(&program);
+        prop_assert_eq!(cpu.reg(3), value);
+    }
+
+    #[test]
+    fn halfword_load_zero_extends(value: u32) {
+        let program = vec![
+            Instr::Li { rd: 1, imm: 0x4000 },
+            Instr::Li { rd: 2, imm: value },
+            Instr::Store { rs: 2, base: 1, off: 0, size: MemSize::B4 },
+            Instr::Load { rd: 3, base: 1, off: 0, size: MemSize::B2 },
+        ];
+        let cpu = run(&program);
+        prop_assert_eq!(cpu.reg(3), value & 0xFFFF);
+    }
+}
+
+#[test]
+fn nested_calls_preserve_stack_discipline() {
+    let prog = assemble(
+        r"
+        call f1
+        halt
+        f1:
+        call f2
+        addi r1, r1, 1
+        ret
+        f2:
+        call f3
+        addi r1, r1, 10
+        ret
+        f3:
+        addi r1, r1, 100
+        ret
+        ",
+    )
+    .unwrap();
+    let mut cpu = prog.into_cpu(SyscallHost::new());
+    for _ in 0..100 {
+        if cpu.step().unwrap().is_none() {
+            break;
+        }
+    }
+    assert!(cpu.halted());
+    assert_eq!(cpu.reg(1), 111);
+    assert_eq!(cpu.reg(15), STACK_TOP, "stack fully unwound");
+}
+
+#[test]
+fn branch_cond_matrix() {
+    for (cond, a, b, taken) in [
+        (BranchCond::Eq, 5u32, 5u32, true),
+        (BranchCond::Eq, 5, 6, false),
+        (BranchCond::Ne, 5, 6, true),
+        (BranchCond::Lt, 5, 6, true),
+        (BranchCond::Lt, 6, 5, false),
+        (BranchCond::Ge, 6, 5, true),
+        (BranchCond::Ge, 5, 5, true),
+    ] {
+        let program = vec![
+            Instr::Li { rd: 1, imm: a },
+            Instr::Li { rd: 2, imm: b },
+            Instr::Branch { cond, rs1: 1, rs2: 2, target: 5 },
+            Instr::Li { rd: 3, imm: 0 }, // fall-through
+            Instr::Halt,
+            Instr::Li { rd: 3, imm: 1 }, // taken
+            Instr::Halt,
+        ];
+        let mut cpu = Cpu::new(program, SyscallHost::new());
+        for _ in 0..10 {
+            if cpu.step().unwrap().is_none() {
+                break;
+            }
+        }
+        assert_eq!(cpu.reg(3), u32::from(taken), "{cond:?} {a} {b}");
+    }
+}

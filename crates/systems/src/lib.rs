@@ -1,0 +1,34 @@
+//! # latch-systems
+//!
+//! The three LATCH-based systems evaluated in the paper, plus every
+//! baseline they are compared against:
+//!
+//! * [`slatch`] — **S-LATCH** (paper §5.1, §6.1): software DIFT on a
+//!   single core, gated by the LATCH hardware. Hardware mode runs
+//!   native with coarse checks; confirmed taint traps into an
+//!   instrumented image whose cost is the per-benchmark libdft
+//!   slowdown; a 1000-instruction timeout returns to hardware after a
+//!   clear-scan and `strf`. Produces the Fig. 13 overheads and the
+//!   Fig. 14 breakdown.
+//! * [`platch`] — **P-LATCH** (paper §5.2, §6.2): two-core log-based
+//!   monitoring. The paper's analytic model (LBA's reported overhead
+//!   localized to active 1000-instruction windows) plus a bounded-FIFO
+//!   queue simulation as an ablation. Produces Fig. 15.
+//! * [`hlatch`] — **H-LATCH** (paper §5.3, §6.3): hardware DIFT whose
+//!   tiny precise taint cache is screened by the TLB taint bits and the
+//!   CTC. Produces Fig. 16 and Tables 6–7.
+//! * [`baseline`] — always-on software DIFT (libdft), LBA constants,
+//!   and the unfiltered taint cache.
+//! * [`cost`] — the cycle cost model (paper §6.1 constants).
+//! * [`report`] — epoch histograms (Fig. 5), false-positive sweeps
+//!   (Fig. 6), and aggregation helpers.
+
+pub mod baseline;
+pub mod cost;
+pub mod hlatch;
+pub mod platch;
+pub mod pending;
+pub mod platch_mt;
+pub mod rangecache;
+pub mod report;
+pub mod slatch;

@@ -1,0 +1,267 @@
+//! Memory layout of a synthetic workload's working set.
+//!
+//! The paper's spatial-locality analysis (§3.3) is driven by *where*
+//! tainted bytes sit relative to the data around them: taint confined to
+//! a few pages lets the TLB bits deflect most checks (Tables 3–4); taint
+//! aligned to page/domain boundaries produces no false positives, while
+//! scattered single-byte taint makes coarse domains fire spuriously
+//! (Fig. 6). [`TaintLayout`] realizes a profile's spatial parameters as a
+//! concrete address-space layout the generator samples from.
+
+use latch_core::{Addr, PAGE_SIZE};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Base address of the synthetic working set (clear of the assembler's
+/// data segment so mini-programs and synthetic streams can coexist).
+pub const WORKING_SET_BASE: Addr = 0x0100_0000;
+
+/// A contiguous run of tainted bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaintRun {
+    /// First tainted byte.
+    pub start: Addr,
+    /// Run length in bytes.
+    pub len: u32,
+}
+
+/// The concrete address-space layout generated from a profile.
+#[derive(Debug, Clone)]
+pub struct TaintLayout {
+    pages_accessed: u32,
+    tainted_runs: Vec<TaintRun>,
+    tainted_page_lo: u32,
+    tainted_page_hi: u32, // exclusive
+}
+
+impl TaintLayout {
+    /// Builds a layout with `pages_accessed` working-set pages of which
+    /// `pages_tainted` hold taint. Tainted pages form a contiguous block
+    /// in the middle of the working set (a buffer region, matching the
+    /// paper's observation that servers reuse the same pages for request
+    /// data). Within each tainted page, tainted bytes are laid out as
+    /// runs of `run_len` bytes; `page_aligned` pins runs to page starts
+    /// (the bzip2/gobmk/lbm behaviour of Fig. 6), otherwise run starts
+    /// are scattered pseudo-randomly.
+    pub fn generate(
+        pages_accessed: u32,
+        pages_tainted: u32,
+        run_len: u32,
+        page_aligned: bool,
+        rng: &mut SmallRng,
+    ) -> Self {
+        let pages_accessed = pages_accessed.max(1);
+        let pages_tainted = pages_tainted.min(pages_accessed);
+        let first_page = WORKING_SET_BASE / PAGE_SIZE;
+        // Centre the tainted block.
+        let lo = first_page + (pages_accessed - pages_tainted) / 2;
+        let hi = lo + pages_tainted;
+        let run_len = run_len.clamp(1, PAGE_SIZE);
+
+        let mut runs = Vec::new();
+        for page in lo..hi {
+            let base = page * PAGE_SIZE;
+            if page_aligned {
+                // Taint fills the page in aligned chunks.
+                let mut off = 0;
+                while off < PAGE_SIZE {
+                    runs.push(TaintRun {
+                        start: base + off,
+                        len: run_len.min(PAGE_SIZE - off),
+                    });
+                    // Aligned layouts leave aligned holes of equal size.
+                    off += run_len * 2;
+                }
+            } else {
+                // A few scattered runs per page; roughly a quarter of the
+                // page tainted, matching mixed-content buffers.
+                let budget = PAGE_SIZE / 4;
+                let n_runs = (budget / run_len).clamp(1, 64);
+                for _ in 0..n_runs {
+                    let off = rng.gen_range(0..PAGE_SIZE.saturating_sub(run_len).max(1));
+                    runs.push(TaintRun {
+                        start: base + off,
+                        len: run_len,
+                    });
+                }
+            }
+        }
+        Self {
+            pages_accessed,
+            tainted_runs: runs,
+            tainted_page_lo: lo,
+            tainted_page_hi: hi,
+        }
+    }
+
+    /// Every tainted run in the layout.
+    pub fn runs(&self) -> &[TaintRun] {
+        &self.tainted_runs
+    }
+
+    /// Number of pages in the working set.
+    pub fn pages_accessed(&self) -> u32 {
+        self.pages_accessed
+    }
+
+    /// Number of pages holding taint.
+    pub fn pages_tainted(&self) -> u32 {
+        self.tainted_page_hi - self.tainted_page_lo
+    }
+
+    /// First address of the working set.
+    pub fn base(&self) -> Addr {
+        WORKING_SET_BASE
+    }
+
+    /// One past the last address of the working set.
+    pub fn end(&self) -> Addr {
+        WORKING_SET_BASE + self.pages_accessed * PAGE_SIZE
+    }
+
+    /// Whether `addr` lies inside the tainted page block.
+    pub fn in_tainted_pages(&self, addr: Addr) -> bool {
+        let page = addr / PAGE_SIZE;
+        (self.tainted_page_lo..self.tainted_page_hi).contains(&page)
+    }
+
+    /// Samples an address *inside* a tainted run (a true taint access).
+    /// Returns `None` when the layout has no taint.
+    pub fn sample_tainted(&self, rng: &mut SmallRng) -> Option<Addr> {
+        if self.tainted_runs.is_empty() {
+            return None;
+        }
+        let run = self.tainted_runs[rng.gen_range(0..self.tainted_runs.len())];
+        Some(run.start + rng.gen_range(0..run.len))
+    }
+
+    /// Samples an address in an *untainted* page of the working set.
+    pub fn sample_clean(&self, rng: &mut SmallRng) -> Addr {
+        let first_page = WORKING_SET_BASE / PAGE_SIZE;
+        let last_page = first_page + self.pages_accessed;
+        if self.tainted_page_lo == first_page && self.tainted_page_hi == last_page {
+            // Fully tainted working set: fall back to a byte outside runs.
+            return self.sample_near_taint(rng);
+        }
+        loop {
+            let page = rng.gen_range(first_page..last_page);
+            if !(self.tainted_page_lo..self.tainted_page_hi).contains(&page) {
+                return page * PAGE_SIZE + rng.gen_range(0..PAGE_SIZE);
+            }
+        }
+    }
+
+    /// Samples an *untainted* byte inside the tainted page block — the
+    /// accesses that become false positives under coarse domains.
+    /// Falls back to a clean-page address if the block is empty.
+    pub fn sample_near_taint(&self, rng: &mut SmallRng) -> Addr {
+        if self.tainted_page_lo >= self.tainted_page_hi {
+            return self.sample_clean(rng);
+        }
+        for _ in 0..64 {
+            let page = rng.gen_range(self.tainted_page_lo..self.tainted_page_hi);
+            let addr = page * PAGE_SIZE + rng.gen_range(0..PAGE_SIZE);
+            if !self.is_tainted_byte(addr) {
+                return addr;
+            }
+        }
+        // Densely tainted page block: accept a tainted byte.
+        self.sample_tainted(rng)
+            .unwrap_or_else(|| self.tainted_page_lo * PAGE_SIZE)
+    }
+
+    /// Whether the byte at `addr` lies in a tainted run.
+    pub fn is_tainted_byte(&self, addr: Addr) -> bool {
+        self.tainted_runs
+            .iter()
+            .any(|r| addr >= r.start && addr < r.start + r.len)
+    }
+
+    /// Total number of tainted bytes in the layout.
+    pub fn tainted_bytes(&self) -> u64 {
+        self.tainted_runs.iter().map(|r| u64::from(r.len)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn census_matches_request() {
+        let l = TaintLayout::generate(100, 10, 16, false, &mut rng());
+        assert_eq!(l.pages_accessed(), 100);
+        assert_eq!(l.pages_tainted(), 10);
+        assert!(l.tainted_bytes() > 0);
+    }
+
+    #[test]
+    fn tainted_samples_are_tainted() {
+        let l = TaintLayout::generate(50, 5, 8, false, &mut rng());
+        let mut r = rng();
+        for _ in 0..200 {
+            let a = l.sample_tainted(&mut r).unwrap();
+            assert!(l.is_tainted_byte(a));
+            assert!(l.in_tainted_pages(a));
+        }
+    }
+
+    #[test]
+    fn clean_samples_avoid_tainted_pages() {
+        let l = TaintLayout::generate(50, 5, 8, false, &mut rng());
+        let mut r = rng();
+        for _ in 0..200 {
+            let a = l.sample_clean(&mut r);
+            assert!(!l.in_tainted_pages(a));
+            assert!((l.base()..l.end()).contains(&a));
+        }
+    }
+
+    #[test]
+    fn near_taint_samples_are_false_positive_material() {
+        let l = TaintLayout::generate(50, 5, 8, false, &mut rng());
+        let mut r = rng();
+        let mut found_near = false;
+        for _ in 0..200 {
+            let a = l.sample_near_taint(&mut r);
+            if l.in_tainted_pages(a) && !l.is_tainted_byte(a) {
+                found_near = true;
+            }
+        }
+        assert!(found_near);
+    }
+
+    #[test]
+    fn page_aligned_layout_fills_aligned_chunks() {
+        let l = TaintLayout::generate(10, 2, 4096, true, &mut rng());
+        // With run_len == page size, whole pages are tainted: no
+        // untainted bytes inside tainted pages ⇒ zero false positives.
+        for run in l.runs() {
+            assert_eq!(run.start % PAGE_SIZE, 0);
+            assert_eq!(run.len, PAGE_SIZE);
+        }
+    }
+
+    #[test]
+    fn zero_taint_layout() {
+        let l = TaintLayout::generate(10, 0, 8, false, &mut rng());
+        assert_eq!(l.pages_tainted(), 0);
+        assert!(l.sample_tainted(&mut rng()).is_none());
+        assert_eq!(l.tainted_bytes(), 0);
+        // Clean sampling still works.
+        let a = l.sample_clean(&mut rng());
+        assert!((l.base()..l.end()).contains(&a));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = TaintLayout::generate(30, 3, 8, false, &mut SmallRng::seed_from_u64(1));
+        let b = TaintLayout::generate(30, 3, 8, false, &mut SmallRng::seed_from_u64(1));
+        assert_eq!(a.runs(), b.runs());
+    }
+}

@@ -1,0 +1,34 @@
+//! # latch-workloads
+//!
+//! Workloads standing in for the paper's evaluation set: the SPEC CPU
+//! 2006 benchmarks (run under Pin/libdft with file-input tainting) and
+//! the network applications (wget, curl, Apache at four trust levels,
+//! mySQL), none of which are available to this reproduction.
+//!
+//! Two complementary substitutes are provided (see DESIGN.md §5):
+//!
+//! * **Calibrated profiles** ([`profile`]) — one [`BenchmarkProfile`]
+//!   per paper benchmark, encoding every per-benchmark statistic the
+//!   paper publishes (taint-instruction fraction from Tables 1–2,
+//!   page census from Tables 3–4, temporal-epoch shape from Fig. 5,
+//!   spatial-layout parameters from Fig. 6's false-positive analysis,
+//!   and the libdft slowdown used by the Fig. 13 cost model). The
+//!   [`synth`] generator turns a profile into a deterministic
+//!   retired-instruction event stream with those statistics; every
+//!   downstream number (CTC/TLB/taint-cache miss rates, epoch
+//!   histograms, false-positive multipliers, mode-switch costs) is then
+//!   *measured* through the real LATCH data structures.
+//! * **Mini-programs** ([`programs`]) — real assembly programs for the
+//!   simulator VM that exercise the full CPU → DIFT → LATCH path end to
+//!   end, including the taint-laundering substitution-table effect the
+//!   paper highlights for bzip2/SSL (§3.3.2).
+//!
+//! [`BenchmarkProfile`]: profile::BenchmarkProfile
+
+pub mod layout;
+pub mod profile;
+pub mod programs;
+pub mod synth;
+
+pub use profile::{all_profiles, network_profiles, spec_profiles, BenchmarkProfile, Suite};
+pub use synth::SyntheticSource;

@@ -1,0 +1,291 @@
+//! Benchmark profiles calibrated to the paper's published statistics.
+//!
+//! One [`BenchmarkProfile`] per benchmark of the paper's evaluation set.
+//! Fields taken *directly* from the paper:
+//!
+//! * `taint_instr_pct` — Tables 1 and 2 (percentage of instructions
+//!   touching tainted data);
+//! * `pages_accessed`, `pages_tainted` — Tables 3 and 4 (page-granularity
+//!   taint census);
+//! * the qualitative temporal shape (Fig. 5) and spatial shape (Fig. 6,
+//!   §3.3.2) are encoded through `taint_burst` (mean taint-active epoch
+//!   length — shorter bursts at equal taint fraction mean more
+//!   fragmented taint-free epochs) and `taint_run_len`/`page_aligned`
+//!   (how tainted bytes cluster — page-aligned taint produces no false
+//!   positives, scattered byte-level taint many).
+//!
+//! `libdft_slowdown` is *not* tabulated in the paper (Fig. 13 is a
+//! chart); values are chosen in the published libdft range (≈4–14× over
+//! native) such that the paper's aggregate relations hold — see
+//! DESIGN.md §5.6.
+
+use crate::layout::TaintLayout;
+use crate::synth::SyntheticSource;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Which evaluation suite a benchmark belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// SPEC CPU 2006 desktop benchmarks (file-input tainting).
+    Spec,
+    /// Network applications (socket tainting; 1000 requests).
+    Network,
+}
+
+/// A workload description calibrated to one paper benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkProfile {
+    /// Benchmark name as the paper spells it.
+    pub name: &'static str,
+    /// Evaluation suite.
+    pub suite: Suite,
+    /// Percentage of instructions touching tainted data (Tables 1–2).
+    pub taint_instr_pct: f64,
+    /// Mean length (instructions) of a taint-active burst. Together with
+    /// `taint_instr_pct` this fixes the mean taint-free epoch length:
+    /// `burst * (100 - pct) / pct` (Fig. 5's temporal shape).
+    pub taint_burst: u32,
+    /// Pages the working set touches (Tables 3–4).
+    pub pages_accessed: u32,
+    /// Pages that ever hold taint (Tables 3–4).
+    pub pages_tainted: u32,
+    /// Contiguous tainted-run length in bytes (Fig. 6 spatial shape).
+    pub taint_run_len: u32,
+    /// Taint aligned to page-sized chunks (bzip2/gobmk/lbm in Fig. 6).
+    pub page_aligned: bool,
+    /// Always-on software-DIFT slowdown over native (Fig. 13 baseline).
+    pub libdft_slowdown: f64,
+    /// Pin code-cache reload latency in cycles (paper §6.1 measures this
+    /// per benchmark as the inter-trace delay).
+    pub code_cache_cycles: u64,
+    /// Fraction of instructions with a memory operand.
+    pub mem_op_ratio: f64,
+    /// Probability an access continues a sequential walk rather than
+    /// jumping to a random working-set address (drives TLB/taint-cache
+    /// locality; low for pointer-chasing codes like mcf).
+    pub locality: f64,
+}
+
+impl BenchmarkProfile {
+    /// Mean taint-free epoch length in instructions, derived from the
+    /// taint fraction and burst length.
+    pub fn mean_free_epoch(&self) -> u64 {
+        if self.taint_instr_pct <= 0.0 {
+            return u64::MAX;
+        }
+        let burst = f64::from(self.taint_burst);
+        (burst * (100.0 - self.taint_instr_pct) / self.taint_instr_pct).round() as u64
+    }
+
+    /// Builds the concrete memory layout for this profile.
+    pub fn layout(&self, seed: u64) -> TaintLayout {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xACE1);
+        TaintLayout::generate(
+            self.pages_accessed,
+            self.pages_tainted,
+            self.taint_run_len,
+            self.page_aligned,
+            &mut rng,
+        )
+    }
+
+    /// Builds the deterministic synthetic event stream for this profile.
+    pub fn stream(&self, seed: u64, total_events: u64) -> SyntheticSource {
+        SyntheticSource::new(self.clone(), seed, total_events)
+    }
+
+    /// Looks a profile up by its paper name (case-insensitive) across
+    /// both suites.
+    pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
+        all_profiles()
+            .into_iter()
+            .find(|p| p.name.eq_ignore_ascii_case(name))
+    }
+
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spec(
+    name: &'static str,
+    taint_instr_pct: f64,
+    taint_burst: u32,
+    pages_accessed: u32,
+    pages_tainted: u32,
+    taint_run_len: u32,
+    page_aligned: bool,
+    libdft_slowdown: f64,
+    locality: f64,
+) -> BenchmarkProfile {
+    BenchmarkProfile {
+        name,
+        suite: Suite::Spec,
+        taint_instr_pct,
+        taint_burst,
+        pages_accessed,
+        pages_tainted,
+        taint_run_len,
+        page_aligned,
+        libdft_slowdown,
+        code_cache_cycles: 1000,
+        mem_op_ratio: 0.35,
+        locality,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn net(
+    name: &'static str,
+    taint_instr_pct: f64,
+    taint_burst: u32,
+    pages_accessed: u32,
+    pages_tainted: u32,
+    taint_run_len: u32,
+    libdft_slowdown: f64,
+    locality: f64,
+) -> BenchmarkProfile {
+    BenchmarkProfile {
+        name,
+        suite: Suite::Network,
+        taint_instr_pct,
+        taint_burst,
+        pages_accessed,
+        pages_tainted,
+        taint_run_len,
+        page_aligned: false,
+        libdft_slowdown,
+        code_cache_cycles: 1200,
+        mem_op_ratio: 0.38,
+        locality,
+    }
+}
+
+/// The 20 SPEC CPU 2006 profiles (paper Tables 1, 3, 6).
+///
+/// `taint_instr_pct` and the page census are the paper's exact values;
+/// burst lengths encode Fig. 5's qualitative classes (astar, perl,
+/// soplex, sphinx fragmented; most others long-epoch) and run
+/// lengths/alignment encode Fig. 6 (bzip2, gobmk, lbm page-aligned,
+/// astar scattered).
+pub fn spec_profiles() -> Vec<BenchmarkProfile> {
+    vec![
+        //    name          pct    burst  pages   taintpg run  aligned slowdn locality
+        spec("astar",       21.73, 10,   2344,   2001,   2,   false,  6.0,   0.60),
+        spec("bzip2",       0.01,  100,   52110,  70,     4096, true,  5.5,   0.90),
+        spec("cactusADM",   0.01,  150,   6199,   1,      64,  false,  6.5,   0.92),
+        spec("calculix",    0.28,  300,   806,    9,      64,  false,  6.0,   0.90),
+        spec("gcc",         0.08,  200,   2590,   213,    32,  false,  7.0,   0.80),
+        spec("gobmk",       0.01,  100,   3981,   1,      4096, true,  6.5,   0.85),
+        spec("gromacs",     0.19,  8,    3604,   17,     64,  false,  5.5,   0.88),
+        spec("h264ref",     0.01,  150,   6861,   183,    32,  false,  6.0,   0.90),
+        spec("hmmer",       0.01,  150,   182,    5,      64,  false,  5.5,   0.93),
+        spec("lbm",         0.14,  8,    104766, 2,      4096, true,  5.0,   0.70),
+        spec("mcf",         0.29,  14,    21481,  2,      64,  false,  4.5,   0.55),
+        spec("namd",        0.17,  250,   11575,  3,      64,  false,  5.0,   0.90),
+        spec("omnetpp",     0.01,  150,   1786,   14,     32,  false,  6.5,   0.85),
+        spec("perlbench",   2.67,  50,   203,    22,     16,  false,  7.5,   0.80),
+        spec("povray",      0.21,  300,   725,    24,     32,  false,  6.5,   0.88),
+        spec("sjeng",       0.01,  150,   44713,  3,      64,  false,  6.0,   0.87),
+        spec("soplex",      7.69,  150,   412,    84,     8,   false,  6.5,   0.82),
+        spec("sphinx",      13.53, 8,   7133,   4133,   4,   false,  6.0,   0.78),
+        spec("wrf",         0.28,  250,   25182,  246,    64,  false,  5.5,   0.88),
+        spec("Xalan",       0.11,  200,   1634,   105,    32,  false,  7.0,   0.83),
+    ]
+}
+
+/// The 7 network-application profiles (paper Tables 2, 4, 7): curl,
+/// wget, mySQL, and Apache with 0/25/50/75 % of requests trusted.
+pub fn network_profiles() -> Vec<BenchmarkProfile> {
+    vec![
+        //   name         pct   burst  pages  taintpg run slowdn locality
+        net("curl",       1.13, 2000,  600,   33,     32, 12.0,  0.88),
+        net("wget",       0.15, 1000,  1591,  44,     32, 12.0,  0.90),
+        net("mySQL",      0.19, 5,   10483, 435,    16, 4.5,   0.80),
+        net("apache",     1.94, 60,   1113,  238,    16, 5.0,   0.82),
+        net("apache-25",  1.49, 60,   1170,  260,    16, 5.0,   0.82),
+        net("apache-50",  0.95, 60,   1101,  231,    16, 5.0,   0.82),
+        net("apache-75",  0.45, 60,   1115,  238,    16, 5.0,   0.82),
+    ]
+}
+
+/// All 27 profiles, SPEC first.
+pub fn all_profiles() -> Vec<BenchmarkProfile> {
+    let mut v = spec_profiles();
+    v.extend(network_profiles());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_sizes_match_paper() {
+        assert_eq!(spec_profiles().len(), 20);
+        assert_eq!(network_profiles().len(), 7);
+        assert_eq!(all_profiles().len(), 27);
+    }
+
+    #[test]
+    fn taint_pcts_match_table_1_and_2() {
+        let p = BenchmarkProfile::by_name("astar").unwrap();
+        assert_eq!(p.taint_instr_pct, 21.73);
+        let p = BenchmarkProfile::by_name("sphinx").unwrap();
+        assert_eq!(p.taint_instr_pct, 13.53);
+        let p = BenchmarkProfile::by_name("apache").unwrap();
+        assert_eq!(p.taint_instr_pct, 1.94);
+        let p = BenchmarkProfile::by_name("apache-75").unwrap();
+        assert_eq!(p.taint_instr_pct, 0.45);
+    }
+
+    #[test]
+    fn page_census_matches_table_3_and_4() {
+        let p = BenchmarkProfile::by_name("lbm").unwrap();
+        assert_eq!((p.pages_accessed, p.pages_tainted), (104766, 2));
+        let p = BenchmarkProfile::by_name("mySQL").unwrap();
+        assert_eq!((p.pages_accessed, p.pages_tainted), (10483, 435));
+    }
+
+    #[test]
+    fn fragmented_benchmarks_never_reach_sw_timeout() {
+        // astar and sphinx have free epochs shorter than the paper's
+        // 1000-instruction timeout: S-LATCH stays in software mode, which
+        // is exactly the high-overhead behaviour Fig. 13 shows for them.
+        for name in ["astar", "sphinx"] {
+            let p = BenchmarkProfile::by_name(name).unwrap();
+            assert!(p.mean_free_epoch() < 1000, "{name}");
+        }
+        // The long-epoch majority comfortably exceeds it.
+        for name in ["bzip2", "hmmer", "wget", "curl"] {
+            let p = BenchmarkProfile::by_name(name).unwrap();
+            assert!(p.mean_free_epoch() > 10_000, "{name}");
+        }
+    }
+
+    #[test]
+    fn aligned_trio_matches_fig6() {
+        for name in ["bzip2", "gobmk", "lbm"] {
+            let p = BenchmarkProfile::by_name(name).unwrap();
+            assert!(p.page_aligned, "{name} taint is page-aligned per §3.3.2");
+        }
+        assert!(!BenchmarkProfile::by_name("astar").unwrap().page_aligned);
+    }
+
+    #[test]
+    fn layout_reproduces_census() {
+        let p = BenchmarkProfile::by_name("gcc").unwrap();
+        let l = p.layout(1);
+        assert_eq!(l.pages_accessed(), 2590);
+        assert_eq!(l.pages_tainted(), 213);
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive_and_total() {
+        assert!(BenchmarkProfile::by_name("XALAN").is_some());
+        assert!(BenchmarkProfile::by_name("nonesuch").is_none());
+        for p in all_profiles() {
+            assert_eq!(BenchmarkProfile::by_name(p.name).unwrap(), p);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Mini-programs for the simulator VM.
+//!
+//! Each module provides an assembly program plus a ready-configured
+//! [`SyscallHost`](latch_sim::syscall::SyscallHost), exercising the full
+//! CPU → DIFT → LATCH path on the workload archetypes of the paper's
+//! evaluation:
+//!
+//! * [`compress`] — a bzip2-style transformer whose substitution table
+//!   *launders* taint (paper §3.3.2: "data from the taint source is
+//!   replaced by untainted, precomputed values from a substitution
+//!   table").
+//! * [`cipher`] — a XOR stream cipher, the contrast case: taint
+//!   survives the transform because the data dependency is direct.
+//! * [`astar`] — a gradient-walk over a tainted map, the dense-taint,
+//!   poor-locality archetype of the paper's astar.
+//! * [`server`] — an accept/recv/checksum/send request loop with a
+//!   configurable trusted-connection fraction (the Apache-25/50/75
+//!   policies), plus a deliberately *vulnerable* handler whose stack
+//!   buffer overflow lets a request smash the saved return address —
+//!   the control-flow hijack DIFT exists to catch.
+//! * [`client`] — a wget-style downloader that scans a header and copies
+//!   a body.
+//! * [`kvstore`] — a mySQL-flavoured request parser with clean-table
+//!   lookups.
+
+use latch_sim::asm::{assemble, Program};
+
+pub mod astar;
+pub mod cipher;
+pub mod client;
+pub mod compress;
+pub mod kvstore;
+pub mod server;
+
+/// Assembles a program source, panicking with a readable message on
+/// error (program sources in this crate are tested, so failure here is a
+/// bug).
+pub(crate) fn must_assemble(src: &str) -> Program {
+    match assemble(src) {
+        Ok(p) => p,
+        Err(e) => panic!("internal mini-program failed to assemble: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use latch_sim::machine::Machine;
+    use latch_sim::syscall::SyscallHost;
+
+    #[test]
+    fn all_programs_assemble() {
+        for src in [
+            super::cipher::SOURCE,
+            super::compress::SOURCE,
+            super::astar::SOURCE,
+            super::server::SOURCE,
+            super::server::VULNERABLE_SOURCE,
+            super::client::SOURCE,
+            super::kvstore::SOURCE,
+        ] {
+            super::must_assemble(src);
+        }
+    }
+
+    #[test]
+    fn machines_build() {
+        let (prog, host) = super::compress::build(b"hello world");
+        let _ = Machine::new(prog, host);
+        let _ = SyscallHost::new();
+    }
+}

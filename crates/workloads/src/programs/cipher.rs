@@ -1,0 +1,128 @@
+//! A stream-cipher transformer: the contrast case to [`compress`].
+//!
+//! The paper notes (§3.3.2) that bzip2 and SSL/TLS *launder* taint
+//! because their transforms go through precomputed substitution tables.
+//! A XOR stream cipher is the opposite: `out[i] = in[i] ^ key[i]` is a
+//! data dependency on the tainted input, so under classical DTA the
+//! ciphertext stays tainted. Together the two programs pin down exactly
+//! where the laundering effect comes from — the *table indirection*,
+//! not the transformation itself.
+//!
+//! [`compress`]: super::compress
+
+use latch_sim::asm::Program;
+use latch_sim::syscall::SyscallHost;
+
+/// Input file name the program opens.
+pub const INPUT_FILE: &str = "plain.txt";
+
+/// Assembly source of the cipher.
+pub const SOURCE: &str = r#"
+.ascii path "plain.txt"
+.data buf 256
+.data out 256
+
+; Read the (tainted) plaintext.
+    li r1, path
+    li r2, 9
+    syscall open
+    mov r7, r0
+    mov r1, r7
+    li r2, buf
+    li r3, 128
+    syscall read
+    mov r8, r0          ; n bytes
+
+; Keystream state: a simple LCG seeded with a constant.
+    li r9, 0x5DEECE66
+
+; Encrypt: out[i] = buf[i] ^ (keystream byte).
+    li r2, 0
+loop:
+    beq r2, r8, done
+    ; advance keystream: r9 = r9 * 13 + 7 (clean data)
+    li r4, 13
+    mul r9, r9, r4
+    addi r9, r9, 7
+    li r4, 0xFF
+    and r10, r9, r4     ; key byte (clean)
+    li r5, buf
+    add r5, r5, r2
+    load.b r6, r5, 0    ; tainted plaintext byte
+    xor r6, r6, r10     ; ciphertext: tainted ^ clean = tainted
+    li r5, out
+    add r5, r5, r2
+    store.b r6, r5, 0   ; tainted output
+    addi r2, r2, 1
+    jmp loop
+done:
+
+; Emit the ciphertext.
+    li r1, 1
+    li r2, out
+    mov r3, r8
+    syscall write
+    mov r1, r7
+    syscall close
+    halt
+"#;
+
+/// Builds the program and a host whose input file holds `plaintext`.
+pub fn build(plaintext: &[u8]) -> (Program, SyscallHost) {
+    let prog = super::must_assemble(SOURCE);
+    let host = SyscallHost::new().with_file(INPUT_FILE, plaintext.to_vec());
+    (prog, host)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latch_core::PreciseView;
+    use latch_sim::machine::Machine;
+
+    #[test]
+    fn ciphertext_stays_tainted() {
+        let (prog, host) = build(b"attack at dawn");
+        let out_sym = prog.symbols["out"];
+        let buf_sym = prog.symbols["buf"];
+        let mut m = Machine::new(prog, host);
+        let sum = m.run(100_000).unwrap();
+        assert!(sum.halted);
+        assert!(sum.violations.is_empty());
+        // Input tainted, and — unlike the substitution-table transform —
+        // the XOR output is tainted too.
+        assert!(m.dift.any_tainted(buf_sym, 14));
+        assert!(
+            m.dift.any_tainted(out_sym, 14),
+            "XOR must propagate taint to the ciphertext"
+        );
+    }
+
+    #[test]
+    fn ciphertext_is_not_plaintext() {
+        let (prog, host) = build(b"secret");
+        let mut m = Machine::new(prog, host);
+        m.run(100_000).unwrap();
+        assert_ne!(m.cpu.host.console(), b"secret");
+        assert_eq!(m.cpu.host.console().len(), 6);
+    }
+
+    #[test]
+    fn contrast_with_substitution_laundering() {
+        // Same input through both transformers: the cipher's output is
+        // tainted, the table transform's output is not (paper §3.3.2).
+        let input = b"contrast!";
+        let (prog, host) = build(input);
+        let cipher_out = prog.symbols["out"];
+        let mut cipher = Machine::new(prog, host);
+        cipher.run(100_000).unwrap();
+
+        let (prog, host) = super::super::compress::build(input);
+        let compress_out = prog.symbols["out"];
+        let mut compress = Machine::new(prog, host);
+        compress.run(100_000).unwrap();
+
+        assert!(cipher.dift.any_tainted(cipher_out, input.len() as u32));
+        assert!(!compress.dift.any_tainted(compress_out, input.len() as u32));
+    }
+}

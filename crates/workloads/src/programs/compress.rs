@@ -1,0 +1,123 @@
+//! A bzip2-style transformer: tainted input bytes index a clean,
+//! precomputed substitution table, so the *output is untainted* even
+//! though the input drove it — the taint-laundering effect the paper
+//! observes for bzip2 and SSL/TLS (§3.3.2). The taint stays confined to
+//! the input buffer, which is why these programs show almost no false
+//! positives under coarse tainting.
+
+use latch_sim::asm::Program;
+use latch_sim::syscall::SyscallHost;
+
+/// Input file name the program opens.
+pub const INPUT_FILE: &str = "in.dat";
+
+/// Assembly source of the transformer.
+pub const SOURCE: &str = r#"
+.ascii path "in.dat"
+.data buf 256
+.data out 256
+.data table 256
+
+; Build the substitution table: table[i] = (i * 7 + 31) & 0xFF.
+    li r1, table
+    li r2, 0            ; i
+    li r3, 256
+build:
+    beq r2, r3, built
+    li r4, 7
+    mul r5, r2, r4
+    addi r5, r5, 31
+    li r4, 0xFF
+    and r5, r5, r4
+    add r6, r1, r2
+    store.b r5, r6, 0
+    addi r2, r2, 1
+    jmp build
+built:
+
+; Open and read the (tainted) input.
+    li r1, path
+    li r2, 6
+    syscall open
+    mov r7, r0          ; fd
+    mov r1, r7
+    li r2, buf
+    li r3, 128
+    syscall read
+    mov r8, r0          ; n bytes
+
+; Translate: out[i] = table[buf[i]].
+    li r2, 0
+xlate:
+    beq r2, r8, done
+    li r9, buf
+    add r9, r9, r2
+    load.b r10, r9, 0   ; tainted input byte
+    li r9, table
+    add r9, r9, r10     ; tainted index (address taint not propagated)
+    load.b r11, r9, 0   ; clean substitution value
+    li r9, out
+    add r9, r9, r2
+    store.b r11, r9, 0  ; untainted output
+    addi r2, r2, 1
+    jmp xlate
+done:
+
+; Emit the result.
+    li r1, 1
+    li r2, out
+    mov r3, r8
+    syscall write
+    mov r1, r7
+    syscall close
+    halt
+"#;
+
+/// Builds the program and a host whose input file holds `input`.
+pub fn build(input: &[u8]) -> (Program, SyscallHost) {
+    let prog = super::must_assemble(SOURCE);
+    let host = SyscallHost::new().with_file(INPUT_FILE, input.to_vec());
+    (prog, host)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latch_core::PreciseView;
+    use latch_sim::asm::DATA_BASE;
+    use latch_sim::machine::Machine;
+
+    #[test]
+    fn output_is_laundered() {
+        let (prog, host) = build(b"abcd");
+        let out_sym = prog.symbols["out"];
+        let buf_sym = prog.symbols["buf"];
+        let mut m = Machine::new(prog, host);
+        let sum = m.run(100_000).unwrap();
+        assert!(sum.halted, "program must halt");
+        assert!(sum.violations.is_empty());
+        // The substituted output is correct...
+        let expect = |c: u8| (c as u32 * 7 + 31) as u8;
+        assert_eq!(m.cpu.host.console(), &[expect(b'a'), expect(b'b'), expect(b'c'), expect(b'd')]);
+        // ... the input buffer is tainted ...
+        assert!(m.dift.any_tainted(buf_sym, 4));
+        // ... but the output is clean: taint was laundered by the table.
+        assert!(!m.dift.any_tainted(out_sym, 4));
+        // Taint stays within a single page of the data segment.
+        assert_eq!(sum.pages_tainted, 1);
+        assert!(sum.pages_accessed >= 1);
+        let _ = DATA_BASE;
+    }
+
+    #[test]
+    fn taint_fraction_is_small() {
+        // The translate loop touches taint on a minority of its
+        // instructions; table construction and I/O are taint-free.
+        let (prog, host) = build(&[7u8; 128]);
+        let mut m = Machine::new(prog, host);
+        let sum = m.run(100_000).unwrap();
+        assert!(sum.halted);
+        let pct = 100.0 * sum.dift.taint_fraction();
+        assert!(pct > 0.0 && pct < 40.0, "taint pct {pct}");
+    }
+}

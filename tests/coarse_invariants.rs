@@ -1,0 +1,143 @@
+//! Property-based tests of the coarse/precise consistency invariants
+//! (DESIGN.md §6), driven by arbitrary interleavings of taint
+//! operations.
+
+use latch::core::config::LatchConfig;
+use latch::core::unit::LatchUnit;
+use latch::dift::shadow::ShadowMemory;
+use latch::dift::tag::TaintTag;
+use latch_core::{PreciseView, PAGE_SIZE};
+use proptest::prelude::*;
+
+/// A random taint operation over a small arena.
+#[derive(Debug, Clone)]
+enum Op {
+    Taint { addr: u32, len: u32 },
+    Clear { addr: u32, len: u32 },
+    Check { addr: u32, len: u32 },
+    ClearScan,
+    Flush,
+}
+
+const ARENA: u32 = 8 * PAGE_SIZE;
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..ARENA - 64, 1u32..64).prop_map(|(addr, len)| Op::Taint { addr, len }),
+        (0..ARENA - 64, 1u32..64).prop_map(|(addr, len)| Op::Clear { addr, len }),
+        (0..ARENA - 64, 1u32..64).prop_map(|(addr, len)| Op::Check { addr, len }),
+        Just(Op::ClearScan),
+        Just(Op::Flush),
+    ]
+}
+
+fn run_ops(domain_bytes: u32, ops: &[Op]) {
+    let params = LatchConfig::s_latch()
+        .domain_bytes(domain_bytes)
+        .ctc_entries(4) // tiny cache: force evictions of dirty lines
+        .build()
+        .unwrap();
+    let mut latch = LatchUnit::new(params);
+    let mut shadow = ShadowMemory::new();
+
+    for op in ops {
+        match *op {
+            Op::Taint { addr, len } => {
+                shadow.set_range(addr, len, TaintTag::NETWORK);
+                latch.write_taint(addr, len, true);
+            }
+            Op::Clear { addr, len } => {
+                shadow.clear_range(addr, len);
+                latch.write_taint(addr, len, false);
+            }
+            Op::Check { addr, len } => {
+                let out = latch.check_read(addr, len);
+                // NO FALSE NEGATIVES, ever: a precisely tainted operand
+                // must always trip the coarse check.
+                if shadow.any_tainted(addr, len) {
+                    assert!(
+                        out.coarse_tainted,
+                        "false negative at {addr:#x}+{len} (domain {domain_bytes})"
+                    );
+                }
+            }
+            Op::ClearScan => {
+                latch.clear_scan(&shadow);
+                // After a clear-scan, the coarse state is *exact* at
+                // domain granularity for every domain it scanned; the
+                // global invariant below re-checks coverage.
+            }
+            Op::Flush => {
+                latch.flush_caches();
+            }
+        }
+        // Global invariant after every operation.
+        assert!(
+            latch.coarse_covers_precise(&shadow, 0, ARENA),
+            "coarse state stopped covering precise state (domain {domain_bytes})"
+        );
+    }
+
+    // Terminal property: a full clear-scan makes the coarse state exact —
+    // every coarsely tainted domain really holds a tainted byte.
+    latch.clear_scan(&shadow);
+    let geom = *latch.geometry();
+    for d in geom.domains_in(0, ARENA) {
+        let base = geom.domain_base(d);
+        if latch.ctt().domain_bit(d) {
+            // Allowed only while dirty clear bits remain on evicted
+            // lines — but clear_scan drains those, so it must be real.
+            assert!(
+                shadow.any_tainted(base, geom.domain_bytes()),
+                "stale coarse bit survived a clear-scan at {base:#x}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn coarse_covers_precise_64b(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        run_ops(64, &ops);
+    }
+
+    #[test]
+    fn coarse_covers_precise_16b(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        run_ops(16, &ops);
+    }
+
+    #[test]
+    fn coarse_covers_precise_4096b(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        run_ops(4096, &ops);
+    }
+
+    #[test]
+    fn shadow_and_view_agree(
+        sets in proptest::collection::vec((0u32..ARENA - 8, 1u32..8), 0..40),
+        probes in proptest::collection::vec((0u32..ARENA - 8, 1u32..8), 0..40),
+    ) {
+        // ShadowMemory's fast any_tainted must agree with a naive
+        // byte-by-byte oracle.
+        let mut shadow = ShadowMemory::new();
+        for &(addr, len) in &sets {
+            shadow.set_range(addr, len, TaintTag::FILE);
+        }
+        for &(addr, len) in &probes {
+            let oracle = (addr..addr + len).any(|a| shadow.get(a).is_tainted());
+            prop_assert_eq!(shadow.any_tainted(addr, len), oracle);
+        }
+    }
+
+    #[test]
+    fn trf_packed_roundtrip(regs in proptest::collection::vec(0u8..16, 16)) {
+        let mut trf = latch::core::trf::TaintRegisterFile::new();
+        for (i, &t) in regs.iter().enumerate() {
+            trf.set(i, latch::core::trf::RegTaint(t));
+        }
+        let mut trf2 = latch::core::trf::TaintRegisterFile::new();
+        trf2.load_packed(trf.to_packed());
+        prop_assert_eq!(trf, trf2);
+    }
+}

@@ -1,0 +1,165 @@
+//! Cross-crate sanity checks over the experiment drivers: every
+//! table/figure driver must produce outputs with the paper's *shape* on
+//! small streams (the full-size runs live in `crates/bench`).
+
+use latch::systems::hlatch::HLatch;
+use latch::systems::platch;
+use latch::systems::slatch::SLatch;
+use latch::workloads::{all_profiles, BenchmarkProfile, Suite};
+
+fn p(name: &str) -> BenchmarkProfile {
+    BenchmarkProfile::by_name(name).unwrap()
+}
+
+const EVENTS: u64 = 60_000;
+
+#[test]
+fn every_profile_streams_and_measures() {
+    for profile in all_profiles() {
+        let mut h = HLatch::new();
+        let r = h.run(profile.stream(1, 20_000));
+        assert!(r.mem_accesses > 1_000, "{}", profile.name);
+        assert!(
+            r.combined_miss_pct <= r.unfiltered_miss_pct + 1e-9 || r.unfiltered_miss_pct == 0.0,
+            "{}: screening must not add misses",
+            profile.name
+        );
+        let d = r.distribution;
+        assert_eq!(
+            d.tlb + d.ctc + d.precise,
+            r.mem_accesses,
+            "{}: every access resolves at exactly one level",
+            profile.name
+        );
+    }
+}
+
+#[test]
+fn slatch_beats_libdft_except_for_fragmented_outliers() {
+    let mut wins = 0;
+    let mut total = 0;
+    for profile in all_profiles() {
+        let mut s = SLatch::for_profile(&profile);
+        let r = s.run(profile.stream(2, EVENTS));
+        total += 1;
+        if r.overhead_pct() < r.libdft_overhead_pct() {
+            wins += 1;
+        }
+        // Never dramatically worse than always-on DIFT.
+        assert!(
+            r.overhead_pct() < r.libdft_overhead_pct() * 1.3 + 60.0,
+            "{}: {:.0}% vs libdft {:.0}%",
+            profile.name,
+            r.overhead_pct(),
+            r.libdft_overhead_pct()
+        );
+    }
+    assert!(
+        wins * 10 >= total * 8,
+        "S-LATCH should win on at least 80% of benchmarks ({wins}/{total})"
+    );
+}
+
+#[test]
+fn trust_policy_monotonicity() {
+    // More trusted traffic ⇒ less taint activity ⇒ lower S-LATCH
+    // overhead and lower P-LATCH active fraction (paper §6.1.1, §3.1).
+    let mut last_overhead = f64::INFINITY;
+    let mut last_active = f64::INFINITY;
+    for name in ["apache", "apache-25", "apache-50", "apache-75"] {
+        let profile = p(name);
+        let mut s = SLatch::for_profile(&profile);
+        let r = s.run(profile.stream(3, 150_000));
+        assert!(
+            r.overhead_pct() < last_overhead,
+            "{name}: overhead must fall with trust"
+        );
+        last_overhead = r.overhead_pct();
+
+        // Small tolerance: adjacent trust levels are close and short
+        // streams carry sampling noise.
+        let a = platch::measure_activity(profile.stream(3, 150_000));
+        assert!(
+            a.active_fraction() <= last_active * 1.05,
+            "{name}: activity must fall with trust ({} vs {})",
+            a.active_fraction(),
+            last_active
+        );
+        last_active = a.active_fraction();
+    }
+}
+
+#[test]
+fn hlatch_headline_claims_hold_at_small_scale() {
+    let mut avoided = Vec::new();
+    for name in ["bzip2", "gcc", "hmmer", "namd", "wget"] {
+        let profile = p(name);
+        let mut h = HLatch::new();
+        let r = h.run(profile.stream(5, EVENTS));
+        avoided.push(r.pct_misses_avoided);
+        assert!(
+            r.distribution.tlb as f64
+                >= 0.8 * r.mem_accesses as f64,
+            "{name}: TLB should deflect most accesses"
+        );
+    }
+    let mean = avoided.iter().sum::<f64>() / avoided.len() as f64;
+    assert!(mean > 95.0, "low-taint benchmarks avoid ~all misses: {mean:.1}%");
+}
+
+#[test]
+fn fragmented_benchmarks_burden_the_precise_cache_most() {
+    // Paper Fig. 16: astar and sphinx place the heaviest burden on the
+    // taint cache.
+    let mut worst = ("", 0.0f64);
+    let mut all = Vec::new();
+    for profile in all_profiles() {
+        let mut h = HLatch::new();
+        let r = h.run(profile.stream(7, EVENTS));
+        let share = r.distribution.precise as f64 / r.mem_accesses.max(1) as f64;
+        all.push((profile.name, share));
+        if share > worst.1 {
+            worst = (profile.name, share);
+        }
+    }
+    assert!(
+        worst.0 == "astar" || worst.0 == "sphinx",
+        "worst precise-cache burden should be astar or sphinx, got {worst:?}"
+    );
+}
+
+#[test]
+fn epoch_shape_separates_the_suites() {
+    use latch::dift::engine::DiftEngine;
+    use latch::sim::event::EventSource;
+    use latch::sim::machine::apply_event_dift;
+    use latch::systems::report::EpochHistogram;
+
+    let measure = |name: &str| {
+        let profile = p(name);
+        let mut src = profile.stream(1, EVENTS);
+        let mut dift = DiftEngine::new();
+        let mut hist = EpochHistogram::new();
+        while let Some(ev) = src.next_event() {
+            hist.record(apply_event_dift(&mut dift, &ev).touched_taint);
+        }
+        hist.finish();
+        hist.pct_in_epochs_at_least(1_000)
+    };
+    // Long-epoch benchmarks run >80% of instructions in 1K+ epochs;
+    // fragmented ones almost none (paper Fig. 5).
+    assert!(measure("bzip2") > 80.0);
+    assert!(measure("curl") > 80.0);
+    assert!(measure("astar") < 10.0);
+    assert!(measure("sphinx") < 10.0);
+}
+
+#[test]
+fn suites_have_expected_membership() {
+    let profiles = all_profiles();
+    assert_eq!(profiles.iter().filter(|p| p.suite == Suite::Spec).count(), 20);
+    assert_eq!(
+        profiles.iter().filter(|p| p.suite == Suite::Network).count(),
+        7
+    );
+}

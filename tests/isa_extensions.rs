@@ -1,0 +1,119 @@
+//! End-to-end exercise of the three S-LATCH ISA extensions (paper
+//! Table 5) from program code: `stnt` marks memory tainted through the
+//! taint-cache path, a subsequent access traps the coarse screen, and
+//! `ltnt` reads the faulting address back in the exception handler's
+//! style.
+
+use latch::sim::asm::assemble;
+use latch::sim::syscall::SyscallHost;
+use latch::systems::slatch::SLatch;
+use latch::workloads::BenchmarkProfile;
+use latch_core::PreciseView;
+
+fn system() -> SLatch {
+    SLatch::for_profile(&BenchmarkProfile::by_name("gcc").unwrap())
+}
+
+#[test]
+fn stnt_taints_and_the_screen_fires() {
+    // The program taints 8 bytes at `buf` with stnt, then loads from it:
+    // the load must trap into software mode (a confirmed taint).
+    let prog = assemble(
+        r"
+        .data buf 64
+        li r1, buf
+        li r2, 8
+        li r3, 1          ; taint status = tainted
+        stnt r1, r2, r3
+        load.w r4, r1, 0  ; touches freshly tainted memory
+        halt
+        ",
+    )
+    .unwrap();
+    let mut cpu = prog.into_cpu(SyscallHost::new());
+    let mut s = system();
+    let report = s.run_cpu(&mut cpu, 1_000).unwrap();
+    assert!(cpu.halted());
+    assert_eq!(report.software_entries, 1, "the load must confirm and trap");
+    assert_eq!(report.false_positives, 0);
+    // Precise state mirrors the stnt.
+    let buf = 0x0001_0000; // DATA_BASE
+    assert!(s.dift().shadow().any_tainted(buf, 8));
+}
+
+#[test]
+fn stnt_untaint_plus_clear_scan_restores_hardware_speed() {
+    let prog = assemble(
+        r"
+        .data buf 64
+        li r1, buf
+        li r2, 8
+        li r3, 1
+        stnt r1, r2, r3   ; taint
+        li r3, 0
+        stnt r1, r2, r3   ; untaint the same range
+        halt
+        ",
+    )
+    .unwrap();
+    let mut cpu = prog.into_cpu(SyscallHost::new());
+    let mut s = system();
+    s.run_cpu(&mut cpu, 1_000).unwrap();
+    assert!(cpu.halted());
+    // Precise state is clean; the coarse bit may still be up until the
+    // clear-scan, which the invariant checker accounts for.
+    let buf = 0x0001_0000;
+    assert!(!s.dift().shadow().any_tainted(buf, 64));
+    assert!(s.latch().coarse_covers_precise(s.dift().shadow(), buf, 64));
+}
+
+#[test]
+fn ltnt_reads_the_faulting_address() {
+    // Taint one byte, touch it, then ltnt: the register receives the
+    // faulting operand address (paper §5.1.2: the handler "loads the
+    // address that triggered the last S-LATCH hardware exception").
+    let prog = assemble(
+        r"
+        .data buf 64
+        li r1, buf
+        li r2, 1
+        li r3, 1
+        stnt r1, r2, r3
+        load.b r4, r1, 0
+        ltnt r5
+        halt
+        ",
+    )
+    .unwrap();
+    let mut cpu = prog.into_cpu(SyscallHost::new());
+    let mut s = system();
+    s.run_cpu(&mut cpu, 1_000).unwrap();
+    assert!(cpu.halted());
+    assert_eq!(cpu.reg(5), 0x0001_0000, "ltnt returns the trap address");
+}
+
+#[test]
+fn strf_marks_registers_for_the_hardware_screen() {
+    // strf loads the TRF from a packed pair (r1 = low word, r2 = high):
+    // set register 2's taint bits (bits 8..12 of the packed value) and
+    // observe that any use of r2 now trips the screen.
+    let prog = assemble(
+        r"
+        li r1, 0xF00      ; packed low word: r2 fully tainted
+        li r2, 0
+        strf r1
+        mov r3, r2        ; uses r2: coarse hit via the TRF
+        halt
+        ",
+    )
+    .unwrap();
+    let mut cpu = prog.into_cpu(SyscallHost::new());
+    let mut s = system();
+    let report = s.run_cpu(&mut cpu, 1_000).unwrap();
+    assert!(cpu.halted());
+    assert!(report.traps >= 1, "TRF-screened register use must trap");
+    // The precise state has no register taint, so the trap is filtered
+    // as a false positive — and execution continues natively.
+    assert_eq!(report.software_entries, 0);
+    assert_eq!(report.false_positives, report.traps);
+}

@@ -1,0 +1,76 @@
+//! Trace record/replay equivalence: a recorded event stream replays
+//! bit-identically, and every system model produces identical results
+//! from the live stream and from its replay.
+
+use latch::sim::event::EventSource;
+use latch::sim::trace::{record_all, TraceReader};
+use latch::systems::hlatch::HLatch;
+use latch::systems::slatch::SLatch;
+use latch::workloads::BenchmarkProfile;
+
+#[test]
+fn synthetic_stream_replays_bit_identically() {
+    let p = BenchmarkProfile::by_name("perlbench").unwrap();
+    let trace = record_all(p.stream(7, 30_000));
+    let mut replay = TraceReader::new(trace).unwrap();
+    let mut live = p.stream(7, 30_000);
+    let mut n = 0;
+    loop {
+        match (live.next_event(), replay.next_event()) {
+            (None, None) => break,
+            (a, b) => {
+                assert_eq!(a, b, "divergence at event {n}");
+                n += 1;
+            }
+        }
+    }
+    assert_eq!(n, 30_000);
+    assert!(replay.error().is_none());
+}
+
+#[test]
+fn hlatch_results_identical_live_and_replayed() {
+    let p = BenchmarkProfile::by_name("apache").unwrap();
+    let mut live = HLatch::new();
+    let live_report = live.run(p.stream(3, 40_000));
+
+    let trace = record_all(p.stream(3, 40_000));
+    let mut replayed = HLatch::new();
+    let replay_report = replayed.run(TraceReader::new(trace).unwrap());
+
+    assert_eq!(live_report, replay_report);
+}
+
+#[test]
+fn slatch_results_identical_live_and_replayed() {
+    let p = BenchmarkProfile::by_name("gromacs").unwrap();
+    let mut live = SLatch::for_profile(&p);
+    let live_report = live.run(p.stream(5, 40_000));
+
+    let trace = record_all(p.stream(5, 40_000));
+    let mut replayed = SLatch::for_profile(&p);
+    let replay_report = replayed.run(TraceReader::new(trace).unwrap());
+
+    assert_eq!(live_report, replay_report);
+}
+
+#[test]
+fn cpu_run_replays_through_trace() {
+    use latch::sim::cpu::CpuSource;
+    use latch::workloads::programs::server;
+
+    let (prog, host) = server::build(10, 25, 11);
+    let cpu = prog.into_cpu(host);
+    let trace = record_all(CpuSource::new(cpu, 1_000_000));
+
+    let (prog, host) = server::build(10, 25, 11);
+    let cpu = prog.into_cpu(host);
+    let mut live = CpuSource::new(cpu, 1_000_000);
+    let mut replay = TraceReader::new(trace).unwrap();
+    loop {
+        match (live.next_event(), replay.next_event()) {
+            (None, None) => break,
+            (a, b) => assert_eq!(a, b),
+        }
+    }
+}
