@@ -30,6 +30,26 @@ struct CtcLine {
     bits: u32,
     clear_bits: u32,
     last_use: u64,
+    /// Odd parity of `bits`, maintained by every legitimate write.
+    /// A soft error injected via [`CoarseTaintCache::corrupt_slot`]
+    /// flips `bits` without updating this, which is how
+    /// [`CoarseTaintCache::scrub`] detects it.
+    parity: bool,
+}
+
+/// Whether a 32-bit word has an odd number of set bits.
+#[inline]
+fn odd_parity(bits: u32) -> bool {
+    bits.count_ones() % 2 == 1
+}
+
+/// Outcome of a [`CoarseTaintCache::scrub`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CtcScrubReport {
+    /// Valid lines whose parity was checked.
+    pub lines_checked: u64,
+    /// Lines whose parity mismatched and were reloaded from the CTT.
+    pub lines_repaired: u64,
 }
 
 /// A CTC line that was displaced while holding asserted clear bits.
@@ -194,12 +214,14 @@ impl CoarseTaintCache {
             }
         }
         self.clock += 1;
+        let bits = ctt.load_word(word);
         self.lines[idx] = CtcLine {
             valid: true,
             word: word.0,
-            bits: ctt.load_word(word),
+            bits,
             clear_bits: 0,
             last_use: self.clock,
+            parity: odd_parity(bits),
         };
         (idx, evicted)
     }
@@ -293,6 +315,7 @@ impl CoarseTaintCache {
             };
             if tainted {
                 self.lines[idx].bits |= mask;
+                self.lines[idx].parity = odd_parity(self.lines[idx].bits);
                 self.lines[idx].clear_bits &= !mask;
                 if !ctt.domain_bit(domain) {
                     ctt.set_domain_bit(domain, true);
@@ -337,6 +360,7 @@ impl CoarseTaintCache {
                 }
             }
             self.lines[idx].bits = bits;
+            self.lines[idx].parity = odd_parity(bits);
             self.lines[idx].clear_bits = 0;
         }
         report
@@ -375,9 +399,58 @@ impl CoarseTaintCache {
     /// and produce a coarse false negative.
     pub fn refresh_word(&mut self, word: CttWordId, ctt: &CoarseTaintTable) {
         if let Some(idx) = self.find(word) {
-            self.lines[idx].bits = ctt.load_word(word);
+            let bits = ctt.load_word(word);
+            self.lines[idx].bits = bits;
+            self.lines[idx].parity = odd_parity(bits);
             self.lines[idx].clear_bits = 0;
         }
+    }
+
+    /// Fault-injection surface: flips one bit of a resident line's
+    /// taint bits *without* maintaining parity, modelling a soft error
+    /// in the cache array. The victim line is `slot % capacity`
+    /// (skipping invalid lines deterministically). Returns the cached
+    /// word that was corrupted, or `None` when no change occurred.
+    pub fn corrupt_slot(&mut self, slot: u64, bit: u32, set: bool) -> Option<CttWordId> {
+        let valid: Vec<usize> = (0..self.lines.len())
+            .filter(|&i| self.lines[i].valid)
+            .collect();
+        if valid.is_empty() {
+            return None;
+        }
+        let idx = valid[(slot % valid.len() as u64) as usize];
+        let mask = 1u32 << (bit % 32);
+        let old = self.lines[idx].bits;
+        let new = if set { old | mask } else { old & !mask };
+        if new == old {
+            return None;
+        }
+        self.lines[idx].bits = new;
+        Some(CttWordId(self.lines[idx].word))
+    }
+
+    /// Parity-checks every valid line and reloads mismatching lines
+    /// from the backing CTT (the authority for cached coarse state).
+    /// Pending clear bits of a repaired line are dropped — the coarse
+    /// bits they covered stay conservatively set in the CTT until a
+    /// later clear-scan re-derives them.
+    pub fn scrub(&mut self, ctt: &CoarseTaintTable) -> CtcScrubReport {
+        let mut report = CtcScrubReport::default();
+        for line in &mut self.lines {
+            if !line.valid {
+                continue;
+            }
+            report.lines_checked += 1;
+            if odd_parity(line.bits) == line.parity {
+                continue;
+            }
+            let bits = ctt.load_word(CttWordId(line.word));
+            line.bits = bits;
+            line.parity = odd_parity(bits);
+            line.clear_bits = 0;
+            report.lines_repaired += 1;
+        }
+        report
     }
 
     /// Invalidates every line (e.g. on context switch), leaving the CTT
@@ -579,6 +652,41 @@ mod tests {
         assert!(!acc.tainted);
         let acc = ctc.lookup_range(0x1000, 0, &ctt);
         assert!(!acc.tainted);
+    }
+
+    #[test]
+    fn scrub_repairs_corrupted_line_from_ctt() {
+        let (mut ctc, mut ctt) = small_ctc();
+        ctc.write_taint(0x1000, 4, true, &mut ctt);
+        // Spurious clear in the cache array: the line now disagrees
+        // with the CTT and would produce a coarse false negative.
+        let word = ctc.corrupt_slot(0, geom().bit_of(0x1000), false).unwrap();
+        assert_eq!(word, geom().word_of(0x1000));
+        assert!(!ctc.lookup(0x1000, &ctt).tainted, "corruption landed");
+        let report = ctc.scrub(&ctt);
+        assert_eq!(report.lines_repaired, 1);
+        assert!(ctc.lookup(0x1000, &ctt).tainted, "scrub restored the bit");
+        assert!(ctc.coherent_with(&ctt));
+        // Clean pass detects nothing further.
+        assert_eq!(ctc.scrub(&ctt).lines_repaired, 0);
+    }
+
+    #[test]
+    fn scrub_drops_spurious_set_in_cache() {
+        let (mut ctc, mut ctt) = small_ctc();
+        ctc.write_taint(0x1000, 4, true, &mut ctt);
+        ctc.corrupt_slot(0, geom().bit_of(0x1040), true).unwrap();
+        assert!(ctc.lookup(0x1040, &ctt).tainted, "phantom taint visible");
+        let report = ctc.scrub(&ctt);
+        assert_eq!(report.lines_repaired, 1);
+        assert!(!ctc.lookup(0x1040, &ctt).tainted);
+        assert!(ctc.lookup(0x1000, &ctt).tainted, "legit taint survives");
+    }
+
+    #[test]
+    fn corrupt_slot_on_empty_cache_is_none() {
+        let (mut ctc, _ctt) = small_ctc();
+        assert_eq!(ctc.corrupt_slot(0, 0, true), None);
     }
 
     #[test]

@@ -40,6 +40,26 @@ impl CheckStats {
     }
 }
 
+/// Counters over parity scrubs of the coarse state (CTT + CTC).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScrubStats {
+    /// Scrub passes executed.
+    pub scrubs: u64,
+    /// CTT words repaired by conservative re-derivation.
+    pub ctt_words_repaired: u64,
+    /// Domain bits rebuilt as tainted (prevented false negatives).
+    pub domains_retainted: u64,
+    /// CTC lines reloaded from the CTT after a parity mismatch.
+    pub ctc_lines_repaired: u64,
+}
+
+impl ScrubStats {
+    /// Whether any scrub ever found corruption.
+    pub fn any_repairs(&self) -> bool {
+        self.ctt_words_repaired > 0 || self.ctc_lines_repaired > 0
+    }
+}
+
 /// A snapshot of every counter a LATCH unit maintains.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct LatchStats {
@@ -49,6 +69,8 @@ pub struct LatchStats {
     pub ctc: CtcStats,
     /// TLB hit/miss counters.
     pub tlb: TlbStats,
+    /// Parity-scrub counters.
+    pub scrub: ScrubStats,
 }
 
 /// A snapshot including S-LATCH mode-switching counters.

@@ -15,11 +15,11 @@
 //! filters.
 
 use crate::config::LatchParams;
-use crate::ctc::{ClearScanReport, CoarseTaintCache, EvictedLine};
-use crate::ctt::CoarseTaintTable;
+use crate::ctc::{ClearScanReport, CoarseTaintCache, CtcScrubReport, EvictedLine};
+use crate::ctt::{CoarseTaintTable, CttScrubReport};
 use crate::domain::{DomainGeometry, PageId};
 use crate::isa_ext::LatchInstr;
-use crate::stats::{CheckStats, LatchStats, ResolvedAt};
+use crate::stats::{CheckStats, LatchStats, ResolvedAt, ScrubStats};
 use crate::tlb::{PageTaintTable, TaintTlb};
 use crate::trf::TaintRegisterFile;
 use crate::update::{apply_precise_update, UpdateReport};
@@ -37,6 +37,31 @@ pub struct CheckOutcome {
     pub penalty_cycles: u64,
 }
 
+/// Which coarse structure a fault-injection flip targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoarseStructure {
+    /// The Coarse Taint Cache (a resident line's bits).
+    Ctc,
+    /// The in-memory Coarse Taint Table (a populated word).
+    Ctt,
+}
+
+/// Outcome of a [`LatchUnit::scrub`] pass over both coarse structures.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScrubReport {
+    /// The CTT pass (runs first; the CTT is the CTC's fill authority).
+    pub ctt: CttScrubReport,
+    /// The CTC pass (runs after the CTT is known-good).
+    pub ctc: CtcScrubReport,
+}
+
+impl ScrubReport {
+    /// Whether this pass repaired anything.
+    pub fn repaired_anything(&self) -> bool {
+        self.ctt.words_repaired > 0 || self.ctc.lines_repaired > 0
+    }
+}
+
 /// The complete LATCH module.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LatchUnit {
@@ -47,6 +72,7 @@ pub struct LatchUnit {
     pt: PageTaintTable,
     trf: TaintRegisterFile,
     checks: CheckStats,
+    scrub_stats: ScrubStats,
     last_exception_addr: Option<Addr>,
     #[serde(skip)]
     pending_evictions: Vec<EvictedLine>,
@@ -63,6 +89,7 @@ impl LatchUnit {
             pt: PageTaintTable::new(),
             trf: TaintRegisterFile::new(),
             checks: CheckStats::default(),
+            scrub_stats: ScrubStats::default(),
             last_exception_addr: None,
             pending_evictions: Vec::new(),
         }
@@ -105,12 +132,14 @@ impl LatchUnit {
             checks: self.checks,
             ctc: *self.ctc.stats(),
             tlb: *self.tlb.stats(),
+            scrub: self.scrub_stats,
         }
     }
 
     /// Resets all counters, leaving taint state intact.
     pub fn reset_stats(&mut self) {
         self.checks = CheckStats::default();
+        self.scrub_stats = ScrubStats::default();
         self.ctc.reset_stats();
         self.tlb.reset_stats();
     }
@@ -241,6 +270,53 @@ impl LatchUnit {
     /// Number of eviction-triggered clear-scans waiting to be serviced.
     pub fn pending_evictions(&self) -> usize {
         self.pending_evictions.len()
+    }
+
+    /// Fault-injection surface: flips one coarse bit in the chosen
+    /// structure *without* maintaining parity, modelling a soft error.
+    /// Victim selection is deterministic in `slot`, so a seeded fault
+    /// plan replays identically. Returns whether a bit actually
+    /// changed.
+    ///
+    /// `set == true` injects a spurious set (precision loss only);
+    /// `set == false` injects a spurious clear — the dangerous
+    /// direction that [`LatchUnit::scrub`] exists to repair.
+    pub fn corrupt_coarse(&mut self, target: CoarseStructure, slot: u64, bit: u32, set: bool) -> bool {
+        match target {
+            CoarseStructure::Ctc => self.ctc.corrupt_slot(slot, bit, set).is_some(),
+            CoarseStructure::Ctt => self.ctt.corrupt_slot(slot, bit, set).is_some(),
+        }
+    }
+
+    /// Parity-scrubs both coarse structures against the precise taint
+    /// state, repairing detected corruption conservatively:
+    ///
+    /// 1. CTT words with parity mismatches are re-derived from `view`
+    ///    (spurious clears rebuild as tainted — no false negatives;
+    ///    spurious sets drop — precision recovers).
+    /// 2. Resident CTC lines caching a repaired word are refreshed, and
+    ///    a CTC parity pass reloads any line corrupted directly.
+    /// 3. Page-level taint bits and resident TLB entries covering the
+    ///    repaired words are re-derived so every screening level agrees.
+    pub fn scrub<V: PreciseView>(&mut self, view: &V) -> ScrubReport {
+        let geom = self.params.geometry;
+        let ctt_report = self.ctt.scrub(&geom, view);
+        for word in &ctt_report.repaired {
+            self.ctc.refresh_word(*word, &self.ctt);
+        }
+        let ctc_report = self.ctc.scrub(&self.ctt);
+        for word in &ctt_report.repaired {
+            let base = geom.word_base(*word);
+            self.refresh_pages_for_range(base, geom.word_span_bytes().min(u64::from(u32::MAX)) as u32);
+        }
+        self.scrub_stats.scrubs += 1;
+        self.scrub_stats.ctt_words_repaired += ctt_report.words_repaired;
+        self.scrub_stats.domains_retainted += ctt_report.domains_retainted;
+        self.scrub_stats.ctc_lines_repaired += ctc_report.lines_repaired;
+        ScrubReport {
+            ctt: ctt_report,
+            ctc: ctc_report,
+        }
     }
 
     /// The H-LATCH commit-stage update path (paper §5.3.1): synchronizes
@@ -493,6 +569,49 @@ mod tests {
         let out = u.check_read(0x4100, 4);
         assert_eq!(out.penalty_cycles, 150);
         assert!(u.stats().checks.penalty_cycles >= 150);
+    }
+
+    #[test]
+    fn scrub_restores_no_false_negative_after_ctt_corruption() {
+        let mut u = unit();
+        u.write_taint(0x4000, 4, true);
+        let view = VecView(vec![(0x4000, 4)]);
+        assert!(u.coarse_covers_precise(&view, 0x4000, 64));
+        // Spurious clear in the CTT: the invariant is now broken.
+        assert!(u.corrupt_coarse(CoarseStructure::Ctt, 0, 0, false));
+        assert!(!u.coarse_covers_precise(&view, 0x4000, 64));
+        let report = u.scrub(&view);
+        assert_eq!(report.ctt.words_repaired, 1);
+        assert_eq!(report.ctt.domains_retainted, 1);
+        assert!(u.coarse_covers_precise(&view, 0x4000, 64));
+        // Resident CTC lines and the check path agree again.
+        assert!(u.check_read(0x4000, 4).coarse_tainted);
+        assert!(u.stats().scrub.any_repairs());
+    }
+
+    #[test]
+    fn scrub_repairs_ctc_only_corruption() {
+        let mut u = unit();
+        u.write_taint(0x4000, 4, true);
+        assert!(u.corrupt_coarse(CoarseStructure::Ctc, 0, u.geometry().bit_of(0x4000), false));
+        // The cached line now screens "clean" for a tainted domain.
+        assert!(!u.check_read(0x4000, 4).coarse_tainted, "corruption landed");
+        let view = VecView(vec![(0x4000, 4)]);
+        let report = u.scrub(&view);
+        assert_eq!(report.ctc.lines_repaired, 1);
+        assert_eq!(report.ctt.words_repaired, 0, "CTT was never corrupted");
+        assert!(u.check_read(0x4000, 4).coarse_tainted);
+    }
+
+    #[test]
+    fn scrub_on_clean_unit_repairs_nothing() {
+        let mut u = unit();
+        u.write_taint(0x4000, 4, true);
+        let view = VecView(vec![(0x4000, 4)]);
+        let report = u.scrub(&view);
+        assert!(!report.repaired_anything());
+        assert_eq!(u.stats().scrub.scrubs, 1);
+        assert!(!u.stats().scrub.any_repairs());
     }
 
     #[test]

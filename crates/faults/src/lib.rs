@@ -1,0 +1,475 @@
+//! Deterministic fault injection for the LATCH pipeline.
+//!
+//! A [`FaultPlan`] describes *what* can go wrong — coarse-state bit
+//! flips in the CTC/CTT, queue faults (drop / duplicate / reorder) at
+//! the producer→consumer FIFO boundary, consumer slowdowns, and
+//! consumer death — and a [`FaultInjector`] decides *when*, as a pure
+//! function of `(seed, stream, index)`. No wall-clock time or global
+//! RNG state is involved: replaying the same plan against the same
+//! event stream yields bit-identical fault schedules, which is what
+//! lets the oracle harness compare faulty runs against golden runs.
+//!
+//! The injector deliberately does not know how faults are *applied*;
+//! the pipeline layers (latch-core scrubbing, the platch systems) own
+//! that, keeping this crate dependency-free and cycle-free.
+
+use serde::{Deserialize, Serialize};
+
+/// Stateless mixer: SplitMix64 finalizer over `(seed, stream, index)`.
+///
+/// Each fault stream gets an independent, reproducible decision
+/// sequence; querying the same index twice gives the same answer
+/// regardless of call order, so producer and consumer threads can both
+/// consult the plan without coordination.
+#[must_use]
+pub fn mix(seed: u64, stream: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Identifies an independent decision sequence within one plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum Stream {
+    CoarseFlip = 1,
+    FlipTarget = 2,
+    FlipDirection = 3,
+    FlipBit = 4,
+    FlipSlot = 5,
+    QueueDrop = 6,
+    QueueDup = 7,
+    QueueReorder = 8,
+    ConsumerLag = 9,
+}
+
+/// Which coarse structure a bit flip lands in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlipTarget {
+    /// A cached line in the coarse taint cache.
+    Ctc,
+    /// A word in the in-memory coarse taint table.
+    Ctt,
+}
+
+/// Direction of an injected coarse-bit flip.
+///
+/// `SpuriousSet` (0→1) only costs precision; `SpuriousClear` (1→0) is
+/// the dangerous direction — unrepaired, it would let tainted traffic
+/// pass unchecked, violating the no-false-negative contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlipDirection {
+    SpuriousSet,
+    SpuriousClear,
+}
+
+/// Configures coarse-state corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoarseFlipConfig {
+    /// Probability per screened event, in parts per mille (0..=1000).
+    pub per_mille: u32,
+    /// Restrict flips to one structure, or `None` for both.
+    pub target: Option<FlipTarget>,
+    /// Restrict flips to one direction, or `None` for both.
+    pub direction: Option<FlipDirection>,
+}
+
+impl CoarseFlipConfig {
+    /// No coarse flips.
+    pub const OFF: Self = Self {
+        per_mille: 0,
+        target: None,
+        direction: None,
+    };
+}
+
+/// Configures faults at the FIFO boundary, in parts per mille per
+/// enqueued event. Drop wins over duplicate, duplicate over reorder,
+/// when several fire on the same sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueFaultConfig {
+    pub drop_per_mille: u32,
+    pub dup_per_mille: u32,
+    pub reorder_per_mille: u32,
+}
+
+impl QueueFaultConfig {
+    /// No queue faults.
+    pub const OFF: Self = Self {
+        drop_per_mille: 0,
+        dup_per_mille: 0,
+        reorder_per_mille: 0,
+    };
+}
+
+/// Configures consumer-side faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConsumerFaultConfig {
+    /// Probability per processed event of a stall, in parts per mille.
+    pub lag_per_mille: u32,
+    /// Stall length when one fires, in busy-loop units (deterministic
+    /// pipelines count these; threaded consumers sleep ~that many µs).
+    pub lag_units: u32,
+    /// Kill the consumer after it has processed exactly this many
+    /// events (first life only; restarted consumers run to completion).
+    pub die_after_events: Option<u64>,
+}
+
+impl ConsumerFaultConfig {
+    /// A healthy consumer.
+    pub const OFF: Self = Self {
+        lag_per_mille: 0,
+        lag_units: 0,
+        die_after_events: None,
+    };
+}
+
+/// A complete, seeded description of the faults to inject into one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    pub seed: u64,
+    pub coarse: CoarseFlipConfig,
+    pub queue: QueueFaultConfig,
+    pub consumer: ConsumerFaultConfig,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the golden-run control).
+    #[must_use]
+    pub fn benign() -> Self {
+        Self {
+            seed: 0,
+            coarse: CoarseFlipConfig::OFF,
+            queue: QueueFaultConfig::OFF,
+            consumer: ConsumerFaultConfig::OFF,
+        }
+    }
+
+    /// Starts an empty plan with a seed; chain `with_*` to arm faults.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::benign()
+        }
+    }
+
+    /// Arms coarse-state bit flips.
+    #[must_use]
+    pub fn with_coarse_flips(
+        mut self,
+        per_mille: u32,
+        target: Option<FlipTarget>,
+        direction: Option<FlipDirection>,
+    ) -> Self {
+        assert!(per_mille <= 1000, "per_mille out of range");
+        self.coarse = CoarseFlipConfig {
+            per_mille,
+            target,
+            direction,
+        };
+        self
+    }
+
+    /// Arms queue faults.
+    #[must_use]
+    pub fn with_queue_faults(mut self, drop: u32, dup: u32, reorder: u32) -> Self {
+        assert!(
+            drop <= 1000 && dup <= 1000 && reorder <= 1000,
+            "per_mille out of range"
+        );
+        self.queue = QueueFaultConfig {
+            drop_per_mille: drop,
+            dup_per_mille: dup,
+            reorder_per_mille: reorder,
+        };
+        self
+    }
+
+    /// Arms consumer stalls.
+    #[must_use]
+    pub fn with_consumer_lag(mut self, per_mille: u32, units: u32) -> Self {
+        assert!(per_mille <= 1000, "per_mille out of range");
+        self.consumer.lag_per_mille = per_mille;
+        self.consumer.lag_units = units;
+        self
+    }
+
+    /// Arms consumer death after `events` processed events.
+    #[must_use]
+    pub fn with_consumer_death(mut self, events: u64) -> Self {
+        self.consumer.die_after_events = Some(events);
+        self
+    }
+
+    /// Whether the plan injects anything at all.
+    #[must_use]
+    pub fn is_benign(&self) -> bool {
+        self.coarse == CoarseFlipConfig::OFF
+            && self.queue == QueueFaultConfig::OFF
+            && self.consumer == ConsumerFaultConfig::OFF
+    }
+}
+
+/// A concrete coarse-flip decision for one event index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoarseFlip {
+    pub target: FlipTarget,
+    pub direction: FlipDirection,
+    /// Bit position within the 32-bit coarse word.
+    pub bit: u32,
+    /// Raw selector; the applier reduces it modulo the CTC way count
+    /// or the populated-CTT-word count to pick a victim.
+    pub slot: u64,
+}
+
+/// A concrete queue-fault decision for one sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueFault {
+    None,
+    /// The event never reaches the consumer.
+    Drop,
+    /// The event is delivered twice.
+    Duplicate,
+    /// The event is delayed behind its successor (pairwise swap).
+    Reorder,
+}
+
+/// Running counters of what was actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    pub coarse_flips: u64,
+    pub spurious_sets: u64,
+    pub spurious_clears: u64,
+    pub drops: u64,
+    pub dups: u64,
+    pub reorders: u64,
+    pub lags: u64,
+    pub deaths: u64,
+}
+
+impl FaultStats {
+    /// Field-wise accumulation, for merging per-thread injector stats
+    /// into one run-level total.
+    pub fn merge(&mut self, other: FaultStats) {
+        self.coarse_flips += other.coarse_flips;
+        self.spurious_sets += other.spurious_sets;
+        self.spurious_clears += other.spurious_clears;
+        self.drops += other.drops;
+        self.dups += other.dups;
+        self.reorders += other.reorders;
+        self.lags += other.lags;
+        self.deaths += other.deaths;
+    }
+}
+
+/// Evaluates a [`FaultPlan`] against event/sequence indices, counting
+/// what fires. Decisions are pure in `(plan.seed, stream, index)`;
+/// the stats are the only mutable state.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    stats: FaultStats,
+}
+
+fn fires(seed: u64, stream: Stream, index: u64, per_mille: u32) -> bool {
+    per_mille > 0 && mix(seed, stream as u64, index) % 1000 < u64::from(per_mille)
+}
+
+impl FaultInjector {
+    /// Wraps a plan.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The wrapped plan.
+    #[must_use]
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Injection counters so far.
+    #[must_use]
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Decides whether (and how) to corrupt coarse state at screened
+    /// event `index`.
+    pub fn coarse_flip_at(&mut self, index: u64) -> Option<CoarseFlip> {
+        let seed = self.plan.seed;
+        if !fires(seed, Stream::CoarseFlip, index, self.plan.coarse.per_mille) {
+            return None;
+        }
+        let target = self.plan.coarse.target.unwrap_or({
+            if mix(seed, Stream::FlipTarget as u64, index) & 1 == 0 {
+                FlipTarget::Ctc
+            } else {
+                FlipTarget::Ctt
+            }
+        });
+        let direction = self.plan.coarse.direction.unwrap_or({
+            if mix(seed, Stream::FlipDirection as u64, index) & 1 == 0 {
+                FlipDirection::SpuriousSet
+            } else {
+                FlipDirection::SpuriousClear
+            }
+        });
+        self.stats.coarse_flips += 1;
+        match direction {
+            FlipDirection::SpuriousSet => self.stats.spurious_sets += 1,
+            FlipDirection::SpuriousClear => self.stats.spurious_clears += 1,
+        }
+        Some(CoarseFlip {
+            target,
+            direction,
+            bit: (mix(seed, Stream::FlipBit as u64, index) % 32) as u32,
+            slot: mix(seed, Stream::FlipSlot as u64, index),
+        })
+    }
+
+    /// Decides the queue fault (if any) for sequence number `seq`.
+    pub fn queue_fault_at(&mut self, seq: u64) -> QueueFault {
+        let seed = self.plan.seed;
+        let q = self.plan.queue;
+        if fires(seed, Stream::QueueDrop, seq, q.drop_per_mille) {
+            self.stats.drops += 1;
+            QueueFault::Drop
+        } else if fires(seed, Stream::QueueDup, seq, q.dup_per_mille) {
+            self.stats.dups += 1;
+            QueueFault::Duplicate
+        } else if fires(seed, Stream::QueueReorder, seq, q.reorder_per_mille) {
+            self.stats.reorders += 1;
+            QueueFault::Reorder
+        } else {
+            QueueFault::None
+        }
+    }
+
+    /// Stall length (in lag units) before processing event `index`,
+    /// or 0 when no stall fires.
+    pub fn consumer_lag_at(&mut self, index: u64) -> u32 {
+        let c = self.plan.consumer;
+        if fires(self.plan.seed, Stream::ConsumerLag, index, c.lag_per_mille) {
+            self.stats.lags += 1;
+            c.lag_units
+        } else {
+            0
+        }
+    }
+
+    /// Whether the consumer's first life ends once it has processed
+    /// `events_processed` events.
+    pub fn consumer_dies_now(&mut self, events_processed: u64) -> bool {
+        if self.plan.consumer.die_after_events == Some(events_processed) {
+            self.stats.deaths += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_pure_and_stream_separated() {
+        assert_eq!(mix(1, 2, 3), mix(1, 2, 3));
+        assert_ne!(mix(1, 2, 3), mix(1, 2, 4));
+        assert_ne!(mix(1, 2, 3), mix(1, 3, 3));
+        assert_ne!(mix(1, 2, 3), mix(2, 2, 3));
+    }
+
+    #[test]
+    fn benign_plan_never_fires() {
+        let mut inj = FaultInjector::new(FaultPlan::benign());
+        for i in 0..10_000 {
+            assert_eq!(inj.coarse_flip_at(i), None);
+            assert_eq!(inj.queue_fault_at(i), QueueFault::None);
+            assert_eq!(inj.consumer_lag_at(i), 0);
+            assert!(!inj.consumer_dies_now(i));
+        }
+        assert_eq!(inj.stats(), FaultStats::default());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_order_independent() {
+        let plan = FaultPlan::new(42)
+            .with_coarse_flips(50, None, None)
+            .with_queue_faults(20, 20, 20);
+        let mut a = FaultInjector::new(plan);
+        let mut b = FaultInjector::new(plan);
+        let fwd: Vec<_> = (0..2000).map(|i| (a.coarse_flip_at(i), a.queue_fault_at(i))).collect();
+        let rev: Vec<_> = (0..2000)
+            .rev()
+            .map(|i| (b.coarse_flip_at(i), b.queue_fault_at(i)))
+            .collect();
+        let rev_fwd: Vec<_> = rev.into_iter().rev().collect();
+        assert_eq!(fwd, rev_fwd, "same index must give same decision");
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn fault_rates_track_per_mille() {
+        let plan = FaultPlan::new(7).with_queue_faults(100, 0, 0);
+        let mut inj = FaultInjector::new(plan);
+        let n = 100_000;
+        let drops = (0..n)
+            .filter(|&i| inj.queue_fault_at(i) == QueueFault::Drop)
+            .count();
+        // 10% nominal; allow generous slack for the cheap mixer.
+        assert!((8_000..12_000).contains(&drops), "drops={drops}");
+        assert_eq!(inj.stats().drops, drops as u64);
+    }
+
+    #[test]
+    fn direction_and_target_restrictions_hold() {
+        let plan = FaultPlan::new(3).with_coarse_flips(
+            200,
+            Some(FlipTarget::Ctt),
+            Some(FlipDirection::SpuriousClear),
+        );
+        let mut inj = FaultInjector::new(plan);
+        let mut saw = 0;
+        for i in 0..10_000 {
+            if let Some(flip) = inj.coarse_flip_at(i) {
+                assert_eq!(flip.target, FlipTarget::Ctt);
+                assert_eq!(flip.direction, FlipDirection::SpuriousClear);
+                assert!(flip.bit < 32);
+                saw += 1;
+            }
+        }
+        assert!(saw > 0);
+        assert_eq!(inj.stats().spurious_sets, 0);
+        assert_eq!(inj.stats().spurious_clears, saw);
+    }
+
+    #[test]
+    fn queue_fault_priority_is_stable() {
+        // With all three armed at full rate, drop always wins.
+        let plan = FaultPlan::new(9).with_queue_faults(1000, 1000, 1000);
+        let mut inj = FaultInjector::new(plan);
+        for i in 0..100 {
+            assert_eq!(inj.queue_fault_at(i), QueueFault::Drop);
+        }
+    }
+
+    #[test]
+    fn consumer_death_fires_once_at_threshold() {
+        let plan = FaultPlan::new(1).with_consumer_death(500);
+        let mut inj = FaultInjector::new(plan);
+        assert!(!inj.consumer_dies_now(499));
+        assert!(inj.consumer_dies_now(500));
+        assert!(!inj.consumer_dies_now(501));
+        assert_eq!(inj.stats().deaths, 1);
+    }
+}

@@ -7,6 +7,7 @@
 //! gets enqueued. This deterministic queue records exactly the statistics
 //! the P-LATCH evaluation needs (occupancy, rejections ≙ stalls).
 
+use latch_core::error::ConfigError;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -35,16 +36,28 @@ pub struct BoundedFifo<T> {
 impl<T> BoundedFifo<T> {
     /// Creates a queue holding at most `cap` elements.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `cap == 0`.
-    pub fn new(cap: usize) -> Self {
-        assert!(cap > 0, "queue capacity must be positive");
-        Self {
+    /// Returns [`ConfigError::ZeroEntries`] when `cap == 0`.
+    pub fn try_new(cap: usize) -> Result<Self, ConfigError> {
+        if cap == 0 {
+            return Err(ConfigError::ZeroEntries { structure: "fifo" });
+        }
+        Ok(Self {
             cap,
             q: VecDeque::with_capacity(cap.min(4096)),
             stats: QueueStats::default(),
-        }
+        })
+    }
+
+    /// Creates a queue holding at most `cap` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`; use [`BoundedFifo::try_new`] to handle the
+    /// misconfiguration instead.
+    pub fn new(cap: usize) -> Self {
+        Self::try_new(cap).expect("queue capacity must be positive")
     }
 
     /// Attempts to enqueue; returns the value back when the queue is full.
@@ -138,5 +151,14 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_panics() {
         let _ = BoundedFifo::<u8>::new(0);
+    }
+
+    #[test]
+    fn try_new_reports_zero_capacity() {
+        match BoundedFifo::<u8>::try_new(0) {
+            Err(ConfigError::ZeroEntries { structure }) => assert_eq!(structure, "fifo"),
+            other => panic!("expected ZeroEntries, got {other:?}"),
+        }
+        assert!(BoundedFifo::<u8>::try_new(1).is_ok());
     }
 }

@@ -1,0 +1,83 @@
+//! Property-based tests of the bounded FIFO's accounting invariants
+//! against arbitrary push/pop interleavings.
+
+use latch_sim::queue::BoundedFifo;
+use proptest::prelude::*;
+
+/// One step of a driving sequence: push a value or pop one.
+fn op() -> impl Strategy<Value = (bool, u32)> {
+    (any::<bool>(), 0u32..1000)
+}
+
+proptest! {
+    #[test]
+    fn conservation_holds_under_arbitrary_interleavings(
+        cap in 1usize..32,
+        ops in proptest::collection::vec(op(), 0..400),
+    ) {
+        let mut q = BoundedFifo::new(cap);
+        let mut attempts = 0u64;
+        for (push, v) in ops {
+            if push {
+                attempts += 1;
+                let _ = q.try_push(v);
+            } else {
+                q.pop();
+            }
+            // Occupancy accounting: everything pushed is either popped
+            // or still resident.
+            let s = *q.stats();
+            prop_assert_eq!(s.pushes, s.pops + q.len() as u64);
+            // The queue never exceeds its capacity, and the high-water
+            // mark never claims it did.
+            prop_assert!(q.len() <= q.capacity());
+            prop_assert!(s.max_occupancy <= q.capacity());
+            // Every attempt was either accepted or rejected.
+            prop_assert_eq!(s.pushes + s.rejects, attempts);
+        }
+    }
+
+    #[test]
+    fn rejects_happen_only_when_full(
+        cap in 1usize..16,
+        ops in proptest::collection::vec(op(), 0..200),
+    ) {
+        let mut q = BoundedFifo::new(cap);
+        for (push, v) in ops {
+            if push {
+                let was_full = q.is_full();
+                let rejects_before = q.stats().rejects;
+                let accepted = q.try_push(v).is_ok();
+                // Rejection iff the queue was at capacity.
+                prop_assert_eq!(accepted, !was_full);
+                prop_assert_eq!(q.stats().rejects, rejects_before + u64::from(was_full));
+            } else {
+                q.pop();
+            }
+        }
+    }
+
+    #[test]
+    fn fifo_order_is_preserved(
+        cap in 1usize..16,
+        ops in proptest::collection::vec(op(), 0..200),
+    ) {
+        let mut q = BoundedFifo::new(cap);
+        let mut model = std::collections::VecDeque::new();
+        for (push, v) in ops {
+            if push {
+                if q.try_push(v).is_ok() {
+                    model.push_back(v);
+                }
+            } else {
+                prop_assert_eq!(q.pop(), model.pop_front());
+            }
+            prop_assert_eq!(q.len(), model.len());
+        }
+        // Drain: the queue releases exactly the model's contents.
+        while let Some(expect) = model.pop_front() {
+            prop_assert_eq!(q.pop(), Some(expect));
+        }
+        prop_assert_eq!(q.pop(), None);
+    }
+}

@@ -20,6 +20,7 @@
 
 use crate::baseline::{LBA_OPTIMIZED_SLOWDOWN, LBA_SIMPLE_SLOWDOWN};
 use latch_core::config::LatchConfig;
+use latch_core::error::ConfigError;
 use latch_core::unit::LatchUnit;
 use latch_dift::engine::DiftEngine;
 use latch_sim::event::{Event, EventSource, MemAccessKind};
@@ -170,17 +171,36 @@ impl QueueSim {
     ///
     /// `queue_capacity` is the shared FIFO depth; the paper's LBA uses
     /// a log buffer on the order of a few KB of entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_capacity == 0`; use [`QueueSim::try_new`] to
+    /// handle the misconfiguration instead.
     pub fn new(filter: bool, queue_capacity: usize, analysis_cycles_per_event: u64) -> Self {
-        Self {
+        Self::try_new(filter, queue_capacity, analysis_cycles_per_event)
+            .expect("queue capacity must be positive")
+    }
+
+    /// Fallible variant of [`QueueSim::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroEntries`] when `queue_capacity == 0`.
+    pub fn try_new(
+        filter: bool,
+        queue_capacity: usize,
+        analysis_cycles_per_event: u64,
+    ) -> Result<Self, ConfigError> {
+        Ok(Self {
             latch: filter.then(|| {
                 LatchUnit::new(LatchConfig::s_latch().build().expect("preset is valid"))
             }),
             dift: DiftEngine::new(),
-            queue: BoundedFifo::new(queue_capacity),
+            queue: BoundedFifo::try_new(queue_capacity)?,
             analysis_cycles_per_event: analysis_cycles_per_event.max(1),
             credits: 0,
             report: QueueSimReport::default(),
-        }
+        })
     }
 
     fn consumer_tick(&mut self, cycles: u64) {
@@ -307,19 +327,38 @@ pub struct LaggedQueueSim {
 impl LaggedQueueSim {
     /// Creates the simulation. `use_pending` enables the §5.2
     /// outstanding-update FIFO (the sound configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_capacity == 0`; use [`LaggedQueueSim::try_new`]
+    /// to handle the misconfiguration instead.
     pub fn new(queue_capacity: usize, analysis_cycles_per_event: u64, use_pending: bool) -> Self {
-        Self {
+        Self::try_new(queue_capacity, analysis_cycles_per_event, use_pending)
+            .expect("queue capacity must be positive")
+    }
+
+    /// Fallible variant of [`LaggedQueueSim::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroEntries`] when `queue_capacity == 0`.
+    pub fn try_new(
+        queue_capacity: usize,
+        analysis_cycles_per_event: u64,
+        use_pending: bool,
+    ) -> Result<Self, ConfigError> {
+        Ok(Self {
             latch: LatchUnit::new(LatchConfig::s_latch().build().expect("preset is valid")),
             monitor_dift: DiftEngine::new(),
             oracle_dift: DiftEngine::new(),
-            queue: BoundedFifo::new(queue_capacity),
+            queue: BoundedFifo::try_new(queue_capacity)?,
             pending: crate::pending::PendingUpdates::new(),
             pending_regs: [0; 16],
             use_pending,
             analysis_cycles_per_event: analysis_cycles_per_event.max(1),
             credits: 0,
             report: LaggedReport::default(),
-        }
+        })
     }
 
     /// The monitor-side DIFT engine (authoritative taint state for the

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a change must pass before merging.
+# Mirrors ROADMAP.md's verify line and adds the lint gate for the
+# fault-injection crate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy -p latch-faults (deny warnings)"
+cargo clippy -q -p latch-faults --all-targets -- -D warnings
+
+echo "tier1: OK"

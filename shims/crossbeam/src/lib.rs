@@ -1,0 +1,450 @@
+//! Bounded-channel shim with `crossbeam::channel`'s API.
+//!
+//! Implements a blocking MPMC ring over `std::sync::{Mutex, Condvar}`
+//! with the full send/recv surface the workspace uses: blocking,
+//! `try_`, and `_timeout` variants, disconnect semantics on both sides,
+//! and occupancy queries. Capacity-0 (rendezvous) channels are not
+//! supported; `bounded(0)` is clamped to capacity 1.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    /// Error for [`Sender::send`]: every receiver is gone.
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    /// Error for [`Sender::try_send`].
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    /// Error for [`Sender::send_timeout`].
+    #[derive(PartialEq, Eq, Clone, Copy)]
+    pub enum SendTimeoutError<T> {
+        /// The deadline passed with the channel still full.
+        Timeout(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    impl<T> SendTimeoutError<T> {
+        /// Recovers the unsent value.
+        pub fn into_inner(self) -> T {
+            match self {
+                SendTimeoutError::Timeout(t) | SendTimeoutError::Disconnected(t) => t,
+            }
+        }
+
+        /// Whether this is the timeout variant.
+        pub fn is_timeout(&self) -> bool {
+            matches!(self, SendTimeoutError::Timeout(_))
+        }
+
+        /// Whether this is the disconnected variant.
+        pub fn is_disconnected(&self) -> bool {
+            matches!(self, SendTimeoutError::Disconnected(_))
+        }
+    }
+
+    impl<T> fmt::Debug for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => f.write_str("Timeout(..)"),
+                SendTimeoutError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    /// Error for [`Receiver::recv`]: channel empty and every sender gone.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub struct RecvError;
+
+    /// Error for [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// Error for [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with the channel still empty.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    struct State<T> {
+        q: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        cap: usize,
+    }
+
+    /// The sending half of a bounded channel.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Creates a bounded channel. `cap == 0` is clamped to 1 (the shim
+    /// does not implement rendezvous channels).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                q: VecDeque::with_capacity(cap.clamp(1, 4096)),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the value is enqueued or every receiver is gone.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value back if all receivers disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.chan.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if st.q.len() < self.chan.cap {
+                    st.q.push_back(value);
+                    self.chan.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self.chan.not_full.wait(st).unwrap();
+            }
+        }
+
+        /// Enqueues without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TrySendError::Full`] when at capacity,
+        /// [`TrySendError::Disconnected`] when all receivers are gone.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.chan.state.lock().unwrap();
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if st.q.len() >= self.chan.cap {
+                return Err(TrySendError::Full(value));
+            }
+            st.q.push_back(value);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Blocks up to `timeout` for queue space.
+        ///
+        /// # Errors
+        ///
+        /// [`SendTimeoutError::Timeout`] when the deadline passes,
+        /// [`SendTimeoutError::Disconnected`] when all receivers are gone.
+        pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.chan.state.lock().unwrap();
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(value));
+                }
+                if st.q.len() < self.chan.cap {
+                    st.q.push_back(value);
+                    self.chan.not_empty.notify_one();
+                    return Ok(());
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(SendTimeoutError::Timeout(value));
+                }
+                let (guard, _res) = self.chan.not_full.wait_timeout(st, deadline - now).unwrap();
+                st = guard;
+            }
+        }
+
+        /// Current number of queued values.
+        pub fn len(&self) -> usize {
+            self.chan.state.lock().unwrap().q.len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Whether the queue is at capacity.
+        pub fn is_full(&self) -> bool {
+            self.len() >= self.chan.cap
+        }
+
+        /// The channel capacity.
+        pub fn capacity(&self) -> Option<usize> {
+            Some(self.chan.cap)
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().unwrap().senders += 1;
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                // Wake blocked receivers so they observe disconnection.
+                self.chan.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or every sender is gone.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvError`] when the channel is empty and all senders
+        /// disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.chan.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.q.pop_front() {
+                    self.chan.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.chan.not_empty.wait(st).unwrap();
+            }
+        }
+
+        /// Dequeues without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] when nothing is queued,
+        /// [`TryRecvError::Disconnected`] when additionally all senders
+        /// are gone.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.chan.state.lock().unwrap();
+            if let Some(v) = st.q.pop_front() {
+                self.chan.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Blocks up to `timeout` for a value.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError::Timeout`] when the deadline passes,
+        /// [`RecvTimeoutError::Disconnected`] when the channel is empty
+        /// and all senders are gone.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.chan.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.q.pop_front() {
+                    self.chan.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _res) = self
+                    .chan
+                    .not_empty
+                    .wait_timeout(st, deadline - now)
+                    .unwrap();
+                st = guard;
+            }
+        }
+
+        /// Current number of queued values.
+        pub fn len(&self) -> usize {
+            self.chan.state.lock().unwrap().q.len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().unwrap().receivers += 1;
+            Receiver {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.chan.state.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                // Wake blocked senders so they observe disconnection.
+                self.chan.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn send_recv_in_order() {
+            let (tx, rx) = bounded(4);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn recv_errors_after_last_sender_drops() {
+            let (tx, rx) = bounded::<u32>(4);
+            tx.send(9).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(9));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_errors_after_last_receiver_drops() {
+            let (tx, rx) = bounded::<u32>(4);
+            drop(rx);
+            assert!(matches!(tx.send(1), Err(SendError(1))));
+            assert!(matches!(tx.try_send(2), Err(TrySendError::Disconnected(2))));
+        }
+
+        #[test]
+        fn try_send_full() {
+            let (tx, _rx) = bounded(1);
+            tx.try_send(1).unwrap();
+            assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+            assert!(tx.is_full());
+        }
+
+        #[test]
+        fn send_timeout_times_out_when_full() {
+            let (tx, _rx) = bounded(1);
+            tx.send(1).unwrap();
+            let err = tx.send_timeout(2, Duration::from_millis(20)).unwrap_err();
+            assert!(err.is_timeout());
+            assert_eq!(err.into_inner(), 2);
+        }
+
+        #[test]
+        fn recv_timeout_times_out_when_empty() {
+            let (_tx, rx) = bounded::<u32>(1);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(20)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+
+        #[test]
+        fn blocking_send_wakes_on_pop() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            let t = std::thread::spawn(move || tx.send(2));
+            std::thread::sleep(Duration::from_millis(10));
+            assert_eq!(rx.recv(), Ok(1));
+            t.join().unwrap().unwrap();
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn cross_thread_stream() {
+            let (tx, rx) = bounded(8);
+            let producer = std::thread::spawn(move || {
+                for i in 0..1000u32 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut expected = 0;
+            while let Ok(v) = rx.recv() {
+                assert_eq!(v, expected);
+                expected += 1;
+            }
+            assert_eq!(expected, 1000);
+            producer.join().unwrap();
+        }
+    }
+}

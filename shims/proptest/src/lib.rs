@@ -1,0 +1,484 @@
+//! A compact property-testing harness with `proptest`'s API shape.
+//!
+//! Differences from the real crate, acceptable for this workspace:
+//! random cases are drawn from a per-test deterministic seed (derived
+//! from the test's module path and name), and failing cases are *not*
+//! shrunk — the panic message reports the raw failing values instead.
+//! Strategies are sampled directly rather than built into value trees.
+
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::rc::Rc;
+
+    /// The RNG handed to strategies during sampling.
+    pub type TestRng = SmallRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy for heterogeneous composition
+        /// (e.g. inside `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.sample(rng)))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between several strategies of one value type.
+    #[derive(Clone)]
+    pub struct Union<T> {
+        variants: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; `variants` must be non-empty.
+        pub fn new(variants: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!variants.is_empty(), "prop_oneof! needs at least one arm");
+            Self { variants }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = rng.gen_range(0..self.variants.len());
+            self.variants[idx].sample(rng)
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_std {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_std!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f32, f64);
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive element-count bounds for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.lo..=self.hi)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Vectors of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>`. Duplicates are dropped, so the
+    /// set may come out smaller than the sampled size.
+    #[derive(Debug, Clone)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Hash sets of up to `size` elements drawn from `element`.
+    pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    use super::strategy::TestRng;
+    use rand::SeedableRng;
+
+    /// Per-`proptest!` block configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// Deterministic RNG for one test case, derived from the test's
+    /// fully qualified name and case index (FNV-1a).
+    pub fn rng_for(test_name: &str, case: u64) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Each `fn` runs `cases` times with freshly
+/// sampled inputs; parameters are either `pat in strategy` or
+/// `name: Type` (shorthand for `any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns!(@cfg ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(
+            @cfg ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg ($cfg:expr)) => {};
+    (
+        @cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            for __case in 0..u64::from(__cfg.cases) {
+                let mut __rng = $crate::test_runner::rng_for(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $crate::__proptest_bind!(__rng, ($($params)*));
+                $body
+            }
+        }
+        $crate::__proptest_fns!(@cfg ($cfg) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, ()) => {};
+    ($rng:ident, ($pat:pat in $strat:expr)) => {
+        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+    };
+    ($rng:ident, ($pat:pat in $strat:expr, $($rest:tt)*)) => {
+        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng, ($($rest)*));
+    };
+    ($rng:ident, ($name:ident : $t:ty)) => {
+        let $name: $t =
+            $crate::strategy::Strategy::sample(&$crate::arbitrary::any::<$t>(), &mut $rng);
+    };
+    ($rng:ident, ($name:ident : $t:ty, $($rest:tt)*)) => {
+        let $name: $t =
+            $crate::strategy::Strategy::sample(&$crate::arbitrary::any::<$t>(), &mut $rng);
+        $crate::__proptest_bind!($rng, ($($rest)*));
+    };
+}
+
+/// Uniform choice among strategies producing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Assertion inside a property test (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)+) => { assert!($($args)+) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)+) => { assert_eq!($($args)+) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)+) => { assert_ne!($($args)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::TestRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ranges_and_tuples_sample_in_bounds() {
+        let mut rng = TestRng::seed_from_u64(1);
+        let strat = (0u32..10, 5usize..=6, any::<bool>());
+        for _ in 0..1000 {
+            let (a, b, _c) = strat.sample(&mut rng);
+            assert!(a < 10);
+            assert!((5..=6).contains(&b));
+        }
+    }
+
+    #[test]
+    fn union_and_map_compose() {
+        let mut rng = TestRng::seed_from_u64(2);
+        let strat = prop_oneof![
+            Just(1u32),
+            (10u32..20).prop_map(|v| v * 2),
+        ];
+        for _ in 0..1000 {
+            let v = strat.sample(&mut rng);
+            assert!(v == 1 || (20..40).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn collections_respect_size() {
+        let mut rng = TestRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let v = crate::collection::vec(0u8..4, 2..5).sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            let s = crate::collection::hash_set(0u32..1000, 3..=3).sample(&mut rng);
+            assert!(s.len() <= 3);
+        }
+    }
+
+    // The macro itself, exercised end to end.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_both_param_forms(x in 1u32..100, flag: bool, v in crate::collection::vec(0u8..10, 0..4)) {
+            prop_assert!(x >= 1 && x < 100);
+            prop_assert!(flag || !flag);
+            prop_assert!(v.len() < 4);
+            prop_assert_eq!(x, x, "x={} roundtrip", x);
+            prop_assert_ne!(x, 0);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Marker-trait stand-in for `serde`.
+//!
+//! Nothing in this workspace serializes data; the `Serialize` /
+//! `Deserialize` derives on public types are forward-looking API
+//! surface. This shim keeps those derives compiling by making the
+//! traits blanket-implemented markers and the derive macros no-ops.
+
+/// Marker for serializable types. Blanket-implemented for everything.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types. Blanket-implemented for everything.
+pub trait Deserialize<'de> {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

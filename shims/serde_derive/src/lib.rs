@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derives for the local `serde` shim.
+//!
+//! The shim's traits are blanket-implemented for every type, so the
+//! derives have nothing to generate; they exist so `#[derive(Serialize,
+//! Deserialize)]` and field attributes like `#[serde(skip)]` parse
+//! exactly as they would with the real crate.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

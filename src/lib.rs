@@ -17,6 +17,9 @@
 //! * [`systems`] — the three evaluated systems (S-LATCH, P-LATCH,
 //!   H-LATCH) plus all baselines and cost models.
 //! * [`hwmodel`] — the structural FPGA complexity model.
+//! * [`faults`] — deterministic fault injection (coarse-state bit
+//!   flips, queue faults, consumer lag/death) for the robustness
+//!   harness; see `DESIGN.md` § "Failure modes & degradation".
 //!
 //! ## Quickstart
 //!
@@ -39,6 +42,7 @@
 
 pub use latch_core as core;
 pub use latch_dift as dift;
+pub use latch_faults as faults;
 pub use latch_hwmodel as hwmodel;
 pub use latch_sim as sim;
 pub use latch_systems as systems;

@@ -64,28 +64,37 @@ fn slatch_beats_libdft_except_for_fragmented_outliers() {
 fn trust_policy_monotonicity() {
     // More trusted traffic ⇒ less taint activity ⇒ lower S-LATCH
     // overhead and lower P-LATCH active fraction (paper §6.1.1, §3.1).
+    // Averaged over seeds: adjacent trust levels differ by under half a
+    // taint-percentage point, which single 150K-event streams (≈50
+    // taint bursts) cannot resolve above burst-placement noise.
     let mut last_overhead = f64::INFINITY;
     let mut last_active = f64::INFINITY;
+    const SEEDS: std::ops::Range<u64> = 3..6;
     for name in ["apache", "apache-25", "apache-50", "apache-75"] {
         let profile = p(name);
-        let mut s = SLatch::for_profile(&profile);
-        let r = s.run(profile.stream(3, 150_000));
+        let mut overhead = 0.0;
+        let mut active = 0.0;
+        for seed in SEEDS {
+            let mut s = SLatch::for_profile(&profile);
+            overhead += s.run(profile.stream(seed, 150_000)).overhead_pct();
+            active += platch::measure_activity(profile.stream(seed, 150_000)).active_fraction();
+        }
+        let n = (SEEDS.end - SEEDS.start) as f64;
+        overhead /= n;
+        active /= n;
         assert!(
-            r.overhead_pct() < last_overhead,
+            overhead < last_overhead,
             "{name}: overhead must fall with trust"
         );
-        last_overhead = r.overhead_pct();
+        last_overhead = overhead;
 
         // Small tolerance: adjacent trust levels are close and short
         // streams carry sampling noise.
-        let a = platch::measure_activity(profile.stream(3, 150_000));
         assert!(
-            a.active_fraction() <= last_active * 1.05,
-            "{name}: activity must fall with trust ({} vs {})",
-            a.active_fraction(),
-            last_active
+            active <= last_active * 1.05,
+            "{name}: activity must fall with trust ({active} vs {last_active})"
         );
-        last_active = a.active_fraction();
+        last_active = active;
     }
 }
 
