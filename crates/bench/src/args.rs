@@ -11,6 +11,10 @@ pub struct ExpArgs {
     pub bench: Option<String>,
     /// Emit Markdown instead of aligned text.
     pub markdown: bool,
+    /// Write the observability snapshot (JSON) here after the run. Only
+    /// meaningful when built with the `obs` feature; a disabled build
+    /// writes an `"enabled": false` stub.
+    pub obs_out: Option<String>,
 }
 
 impl Default for ExpArgs {
@@ -20,6 +24,7 @@ impl Default for ExpArgs {
             seed: 42,
             bench: None,
             markdown: false,
+            obs_out: None,
         }
     }
 }
@@ -49,9 +54,13 @@ impl ExpArgs {
                     out.bench = Some(it.next().unwrap_or_else(|| usage("--bench needs a name")));
                 }
                 "--markdown" => out.markdown = true,
+                "--obs-out" => {
+                    out.obs_out =
+                        Some(it.next().unwrap_or_else(|| usage("--obs-out needs a path")));
+                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "options: --events N (default 2000000)  --seed N  --bench NAME  --markdown"
+                        "options: --events N (default 2000000)  --seed N  --bench NAME  --markdown  --obs-out PATH"
                     );
                     std::process::exit(0);
                 }
@@ -70,13 +79,25 @@ impl ExpArgs {
     pub fn selects(&self, name: &str) -> bool {
         self.bench
             .as_deref()
-            .map_or(true, |b| b.eq_ignore_ascii_case(name))
+            .is_none_or(|b| b.eq_ignore_ascii_case(name))
+    }
+
+    /// Writes the observability snapshot to `--obs-out`, if requested.
+    /// Call once at the end of an experiment binary.
+    pub fn export_obs(&self) {
+        let Some(path) = self.obs_out.as_deref() else {
+            return;
+        };
+        match latch_obs::write_json_file(path) {
+            Ok(()) => eprintln!("obs snapshot written to {path}"),
+            Err(e) => eprintln!("warning: could not write obs snapshot to {path}: {e}"),
+        }
     }
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("options: --events N  --seed N  --bench NAME  --markdown");
+    eprintln!("options: --events N  --seed N  --bench NAME  --markdown  --obs-out PATH");
     std::process::exit(2);
 }
 
@@ -107,5 +128,12 @@ mod tests {
         assert!(a.selects("GCC"));
         assert!(!a.selects("mcf"));
         assert!(a.markdown);
+    }
+
+    #[test]
+    fn obs_out_flag() {
+        let a = parse(&["--obs-out", "/tmp/snap.json"]);
+        assert_eq!(a.obs_out.as_deref(), Some("/tmp/snap.json"));
+        assert!(parse(&[]).obs_out.is_none());
     }
 }

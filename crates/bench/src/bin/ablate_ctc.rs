@@ -54,4 +54,5 @@ fn main() {
     println!();
     println!("Expected shape: miss rates drop steeply up to ~16 entries and then");
     println!("flatten — the paper's 16-entry (64 B) CTC sits at the knee.");
+    args.export_obs();
 }

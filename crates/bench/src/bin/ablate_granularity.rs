@@ -55,4 +55,5 @@ fn main() {
     println!("Expected shape: coarser domains push more (falsely positive) accesses");
     println!("into the precise cache; fine domains raise CTC pressure instead. The");
     println!("paper picks 32-bit domains for H-LATCH and 64 B for S/P-LATCH.");
+    args.export_obs();
 }

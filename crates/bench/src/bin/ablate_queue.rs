@@ -55,4 +55,5 @@ fn main() {
     println!("slower than retirement — stalls grow with analysis cost and no queue");
     println!("size saves it. The filtered queue enqueues only taint-relevant events");
     println!("and stays essentially stall-free.");
+    args.export_obs();
 }

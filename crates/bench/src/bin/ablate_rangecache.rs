@@ -86,4 +86,5 @@ fn main() {
     println!("streams) but churn under scattered taint, where the CTC's fixed bitmap");
     println!("is stable — the trade-off behind the paper's future-work note on");
     println!("combining multigranularity tainting with compressed caches.");
+    args.export_obs();
 }

@@ -59,4 +59,5 @@ fn main() {
     println!("Expected shape: a U — tiny timeouts bounce between modes (control-");
     println!("transfer churn), huge ones degenerate toward always-on software DIFT;");
     println!("the paper's 1000-instruction policy sits in the flat bottom.");
+    args.export_obs();
 }

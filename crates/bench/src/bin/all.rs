@@ -254,4 +254,5 @@ fn main() {
     );
     let _ = spec_profiles();
     let _ = network_profiles();
+    args.export_obs();
 }

@@ -49,4 +49,5 @@ fn main() {
         println!("(the screening structures that make DIFT fast also make it cheap to");
         println!("power: most checks never leave the TLB entry that was open anyway)");
     }
+    args.export_obs();
 }

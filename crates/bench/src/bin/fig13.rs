@@ -71,4 +71,5 @@ fn main() {
             claims::UNDER_5PCT_COUNT
         );
     }
+    args.export_obs();
 }

@@ -41,4 +41,5 @@ fn main() {
     println!("Paper shape: libdft instrumentation dominates most programs; for a few,");
     println!("hardware/software switches contribute more; false-positive checks and");
     println!("CTC misses matter mainly for astar (poor spatial locality).");
+    args.export_obs();
 }

@@ -81,4 +81,5 @@ fn main() {
             (latch_systems::baseline::LBA_OPTIMIZED_SLOWDOWN - 1.0) * 100.0
         );
     }
+    args.export_obs();
 }

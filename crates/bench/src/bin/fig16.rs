@@ -32,4 +32,5 @@ fn main() {
     println!("Paper shape: the TLB deflects >90% of accesses in most programs; the CTC");
     println!("takes a critical role in astar/gromacs/omnetpp/apache; astar and sphinx");
     println!("place the heaviest burden on the precise cache.");
+    args.export_obs();
 }

@@ -32,4 +32,5 @@ fn main() {
     println!("epochs of 1K+; astar/sphinx/perl/soplex are fragmented; curl/wget are");
     println!("long-epoch; apache fragments under the all-untrusted policy and");
     println!("recovers as the trusted fraction grows.");
+    args.export_obs();
 }

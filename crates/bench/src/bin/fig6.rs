@@ -39,4 +39,5 @@ fn main() {
     println!("Paper shape: accuracy degrades steadily with domain size but remains");
     println!("useful at 64B (sometimes 256B); bzip2/gobmk/lbm show few or no false");
     println!("positives (page-aligned taint); astar degrades worst (scattered taint).");
+    args.export_obs();
 }

@@ -19,4 +19,5 @@ fn main() {
         t.row([p.name.to_owned(), pct(measured), pct(p.taint_instr_pct)]);
     }
     print!("{}", t.render());
+    args.export_obs();
 }

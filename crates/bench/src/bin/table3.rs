@@ -39,4 +39,5 @@ fn main() {
         ]);
     }
     print!("{}", t.render());
+    args.export_obs();
 }

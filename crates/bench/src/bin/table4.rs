@@ -40,4 +40,5 @@ fn main() {
     println!("Paper shape: tainted pages occupy a minority of memory in all cases;");
     println!("the apache trust level does NOT change the tainted-page count (the same");
     println!("buffer pages are reused for trusted and untrusted requests).");
+    args.export_obs();
 }

@@ -57,4 +57,5 @@ fn main() {
             mean(&combined)
         );
     }
+    args.export_obs();
 }

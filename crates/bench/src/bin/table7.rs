@@ -52,4 +52,5 @@ fn main() {
             paper::TABLE7_MEAN.avoided
         );
     }
+    args.export_obs();
 }

@@ -203,9 +203,18 @@ impl CoarseTaintCache {
         let old = self.lines[idx];
         let mut evicted = None;
         if old.valid {
-            self.stats.evictions += 1;
+            self.stats.evictions = self.stats.evictions.saturating_add(1);
+            latch_obs::counter_inc("core.ctc.evictions");
+            latch_obs::emit(
+                "core.ctc",
+                latch_obs::TraceEvent::CtcEvict {
+                    word: old.word,
+                    clear_scan: old.clear_bits != 0,
+                },
+            );
             if old.clear_bits != 0 {
-                self.stats.clear_bit_evictions += 1;
+                self.stats.clear_bit_evictions = self.stats.clear_bit_evictions.saturating_add(1);
+                latch_obs::counter_inc("core.ctc.clear_bit_evictions");
                 evicted = Some(EvictedLine {
                     word: CttWordId(old.word),
                     bits: old.bits,
@@ -234,7 +243,8 @@ impl CoarseTaintCache {
         if let Some(idx) = self.find(word) {
             self.clock += 1;
             self.lines[idx].last_use = self.clock;
-            self.stats.hits += 1;
+            self.stats.hits = self.stats.hits.saturating_add(1);
+            latch_obs::counter_inc("core.ctc.hits");
             return CtcAccess {
                 hit: true,
                 tainted: self.lines[idx].bits & (1 << bit) != 0,
@@ -242,7 +252,9 @@ impl CoarseTaintCache {
                 evicted: None,
             };
         }
-        self.stats.misses += 1;
+        self.stats.misses = self.stats.misses.saturating_add(1);
+        latch_obs::counter_inc("core.ctc.misses");
+        latch_obs::emit("core.ctc", latch_obs::TraceEvent::CtcMiss { word: word.0 });
         let (idx, evicted) = self.fill(word, ctt);
         CtcAccess {
             hit: false,
@@ -293,7 +305,8 @@ impl CoarseTaintCache {
             evicted: None,
         };
         for domain in self.geom.domains_in(addr, len) {
-            self.stats.writes += 1;
+            self.stats.writes = self.stats.writes.saturating_add(1);
+            latch_obs::counter_inc("core.ctc.writes");
             let base = self.geom.domain_base(domain);
             let word = self.geom.word_of(base);
             let bit = self.geom.bit_of(base);
@@ -305,7 +318,8 @@ impl CoarseTaintCache {
                     idx
                 }
                 None => {
-                    self.stats.misses += 1;
+                    self.stats.misses = self.stats.misses.saturating_add(1);
+                    latch_obs::counter_inc("core.ctc.misses");
                     acc.hit = false;
                     acc.penalty_cycles += self.miss_penalty;
                     let (idx, evicted) = self.fill(word, ctt);

@@ -72,6 +72,20 @@ impl CoarseTaintTable {
     /// Stores a CTT word, reclaiming storage for all-zero words.
     #[inline]
     pub fn store_word(&mut self, word: CttWordId, bits: u32) {
+        if latch_obs::ENABLED {
+            let before = self.load_word(word);
+            if before != bits {
+                latch_obs::counter_inc("core.ctt.word_flips");
+                latch_obs::emit(
+                    "core.ctt",
+                    latch_obs::TraceEvent::CttWordFlip {
+                        word: word.0,
+                        before,
+                        after: bits,
+                    },
+                );
+            }
+        }
         if bits == 0 {
             self.words.remove(&word.0);
             self.parity.remove(&word.0);

@@ -115,15 +115,36 @@ impl DomainGeometry {
     }
 
     /// First address of the given domain.
+    ///
+    /// Out-of-range ids (larger than the last domain of the 32-bit
+    /// address space — possible for synthetic ids produced by fault
+    /// injection) clamp to the base of the last domain instead of
+    /// silently wrapping.
     #[inline]
     pub fn domain_base(&self, domain: DomainId) -> Addr {
-        domain.0 << self.domain_shift
+        let base = u64::from(domain.0) << self.domain_shift;
+        if base > u64::from(u32::MAX) {
+            (u32::MAX >> self.domain_shift) << self.domain_shift
+        } else {
+            base as Addr
+        }
     }
 
     /// First address covered by the given CTT word.
+    ///
+    /// Out-of-range word ids clamp to the base of the last CTT word of
+    /// the address space instead of silently wrapping (the unhardened
+    /// `(word * 32) << shift` overflowed `u32` for the synthetic words
+    /// fault injection can produce).
     #[inline]
     pub fn word_base(&self, word: CttWordId) -> Addr {
-        (word.0 * CTT_WORD_BITS) << self.domain_shift
+        let word_shift = self.domain_shift + CTT_WORD_BITS.trailing_zeros();
+        let base = u64::from(word.0) << word_shift;
+        if base > u64::from(u32::MAX) {
+            (u32::MAX >> word_shift) << word_shift
+        } else {
+            base as Addr
+        }
     }
 
     /// Iterates over every domain overlapping `[start, start + len)`.
@@ -256,6 +277,28 @@ mod tests {
         let g = DomainGeometry::new(64).unwrap();
         let last = g.domains_in(u32::MAX - 1, 100).last().unwrap();
         assert_eq!(last, g.domain_of(u32::MAX));
+    }
+
+    #[test]
+    fn bases_do_not_wrap_at_address_space_top() {
+        for bytes in [4u32, 64, 4096] {
+            let g = DomainGeometry::new(bytes).unwrap();
+            // The last domain and word of the address space round-trip.
+            let d = g.domain_of(u32::MAX);
+            assert_eq!(g.domain_of(g.domain_base(d)), d);
+            assert_eq!(g.domain_base(d), u32::MAX - (bytes - 1));
+            let w = g.word_of(u32::MAX);
+            assert_eq!(g.word_of(g.word_base(w)), w);
+            assert_eq!(
+                u64::from(g.word_base(w)) + g.word_span_bytes(),
+                1 << 32,
+                "last word ends exactly at the top of the address space"
+            );
+            // Out-of-range synthetic ids clamp instead of wrapping to
+            // low addresses.
+            assert_eq!(g.domain_base(DomainId(u32::MAX)), g.domain_base(d));
+            assert_eq!(g.word_base(CttWordId(u32::MAX)), g.word_base(w));
+        }
     }
 
     #[test]

@@ -131,14 +131,26 @@ impl ModeController {
             Mode::Hardware,
             "coarse traps can only occur in hardware mode"
         );
-        self.stats.traps += 1;
+        self.stats.traps = self.stats.traps.saturating_add(1);
+        latch_obs::counter_inc("core.mode.traps");
         if precisely_tainted {
-            self.stats.software_entries += 1;
+            self.stats.software_entries = self.stats.software_entries.saturating_add(1);
             self.mode = Mode::Software;
             self.untainted_streak = 0;
+            latch_obs::counter_inc("core.mode.software_entries");
+            latch_obs::emit(
+                "core.mode",
+                latch_obs::TraceEvent::ModeTransition {
+                    instrs_in_mode: self.stats.instrs_hardware,
+                    from: "hardware",
+                    to: "software",
+                    reason: "trap",
+                },
+            );
             TrapOutcome::EnterSoftware
         } else {
-            self.stats.false_positives += 1;
+            self.stats.false_positives = self.stats.false_positives.saturating_add(1);
+            latch_obs::counter_inc("core.mode.false_positives");
             TrapOutcome::FalsePositive
         }
     }
@@ -150,11 +162,11 @@ impl ModeController {
     pub fn on_instruction(&mut self, touched_taint: bool) -> bool {
         match self.mode {
             Mode::Hardware => {
-                self.stats.instrs_hardware += 1;
+                self.stats.instrs_hardware = self.stats.instrs_hardware.saturating_add(1);
                 false
             }
             Mode::Software => {
-                self.stats.instrs_software += 1;
+                self.stats.instrs_software = self.stats.instrs_software.saturating_add(1);
                 if touched_taint {
                     self.untainted_streak = 0;
                     false
@@ -163,7 +175,17 @@ impl ModeController {
                     if self.untainted_streak >= self.timeout {
                         self.mode = Mode::Hardware;
                         self.untainted_streak = 0;
-                        self.stats.hardware_returns += 1;
+                        self.stats.hardware_returns = self.stats.hardware_returns.saturating_add(1);
+                        latch_obs::counter_inc("core.mode.hardware_returns");
+                        latch_obs::emit(
+                            "core.mode",
+                            latch_obs::TraceEvent::ModeTransition {
+                                instrs_in_mode: self.stats.instrs_software,
+                                from: "software",
+                                to: "hardware",
+                                reason: "timeout",
+                            },
+                        );
                         true
                     } else {
                         false
@@ -178,7 +200,17 @@ impl ModeController {
     pub fn force_hardware(&mut self) {
         if self.mode == Mode::Software {
             self.mode = Mode::Hardware;
-            self.stats.hardware_returns += 1;
+            self.stats.hardware_returns = self.stats.hardware_returns.saturating_add(1);
+            latch_obs::counter_inc("core.mode.hardware_returns");
+            latch_obs::emit(
+                "core.mode",
+                latch_obs::TraceEvent::ModeTransition {
+                    instrs_in_mode: self.stats.instrs_software,
+                    from: "software",
+                    to: "hardware",
+                    reason: "forced",
+                },
+            );
         }
         self.untainted_streak = 0;
     }

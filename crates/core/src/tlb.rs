@@ -173,17 +173,20 @@ impl TaintTlb {
             Some(idx) => {
                 self.clock += 1;
                 self.entries[idx].last_use = self.clock;
-                self.stats.hits += 1;
+                self.stats.hits = self.stats.hits.saturating_add(1);
+                latch_obs::counter_inc("core.tlb.hits");
                 (true, idx)
             }
             None => {
-                self.stats.misses += 1;
+                self.stats.misses = self.stats.misses.saturating_add(1);
+                latch_obs::counter_inc("core.tlb.misses");
                 (false, self.fill(page, pt))
             }
         };
         let tainted = self.entries[idx].taint_bits & (1 << pd) != 0;
         if !tainted {
-            self.stats.resolved_untainted += 1;
+            self.stats.resolved_untainted = self.stats.resolved_untainted.saturating_add(1);
+            latch_obs::counter_inc("core.tlb.resolved_untainted");
         }
         TlbAccess {
             hit,
@@ -223,6 +226,16 @@ impl TaintTlb {
     /// keeps TLB taint bits coherent with the page table on taint writes).
     pub fn update_resident(&mut self, page: PageId, bits: u32) {
         if let Some(idx) = self.find(page.0) {
+            if latch_obs::ENABLED && self.entries[idx].taint_bits != bits {
+                latch_obs::counter_inc("core.tlb.taint_bit_updates");
+                latch_obs::emit(
+                    "core.tlb",
+                    latch_obs::TraceEvent::TlbTaintBit {
+                        page: page.0,
+                        set: bits != 0,
+                    },
+                );
+            }
             self.entries[idx].taint_bits = bits;
         }
     }
@@ -244,11 +257,17 @@ impl TaintTlb {
     pub fn derive_page_bits(geom: &DomainGeometry, page: PageId, ctt: &CoarseTaintTable) -> u32 {
         let n = geom.page_domains_per_page();
         let span = geom.word_span_bytes().min(u64::from(PAGE_SIZE)) as u32;
-        let base = page.0 * PAGE_SIZE;
+        // Widen before multiplying: `page * PAGE_SIZE` wraps u32 for
+        // synthetic out-of-range page ids, and page-domain starts past
+        // the top of the address space must not alias low memory.
+        let base = u64::from(page.0) * u64::from(PAGE_SIZE);
         let mut bits = 0u32;
         for pd in 0..n {
-            let start = base + pd * span;
-            if ctt.range_tainted(geom, start, span) {
+            let start = base + u64::from(pd) * u64::from(span);
+            if start > u64::from(u32::MAX) {
+                break;
+            }
+            if ctt.range_tainted(geom, start as Addr, span) {
                 bits |= 1 << pd;
             }
         }
@@ -292,9 +311,9 @@ mod tests {
     fn lru_replacement() {
         let mut tlb = TaintTlb::new(geom(), 2, 0);
         let pt = PageTaintTable::new();
-        tlb.lookup(0 * PAGE_SIZE, &pt);
-        tlb.lookup(1 * PAGE_SIZE, &pt);
-        tlb.lookup(0 * PAGE_SIZE, &pt); // page 0 is MRU
+        tlb.lookup(0, &pt);
+        tlb.lookup(PAGE_SIZE, &pt);
+        tlb.lookup(0, &pt); // page 0 is MRU
         tlb.lookup(2 * PAGE_SIZE, &pt); // evicts page 1
         assert!(tlb.lookup(0, &pt).hit);
         assert!(!tlb.lookup(PAGE_SIZE, &pt).hit);

@@ -92,6 +92,13 @@ impl TaintRegisterFile {
     /// The `strf` instruction: bulk-loads the whole file from a packed
     /// 64-bit value, 4 bits per register (paper Table 5).
     pub fn load_packed(&mut self, packed: u64) {
+        latch_obs::counter_inc("core.trf.spills");
+        latch_obs::emit(
+            "core.trf",
+            latch_obs::TraceEvent::TrfSpill {
+                live_bits: packed.count_ones(),
+            },
+        );
         for (i, slot) in self.regs.iter_mut().enumerate() {
             *slot = RegTaint(((packed >> (i * 4)) & 0x0F) as u8);
         }

@@ -145,29 +145,34 @@ impl LatchUnit {
     }
 
     fn check(&mut self, addr: Addr, len: u32) -> CheckOutcome {
-        self.checks.checks += 1;
+        self.checks.checks = self.checks.checks.saturating_add(1);
+        latch_obs::counter_inc("core.unit.checks");
         let tlb_acc = self.tlb.lookup_range(addr, len, &self.pt);
         let mut penalty = tlb_acc.penalty_cycles;
         if !tlb_acc.page_domain_tainted {
-            self.checks.resolved_tlb += 1;
-            self.checks.penalty_cycles += penalty;
+            self.checks.resolved_tlb = self.checks.resolved_tlb.saturating_add(1);
+            self.checks.penalty_cycles = self.checks.penalty_cycles.saturating_add(penalty);
+            latch_obs::counter_inc("core.unit.resolved_tlb");
             return CheckOutcome {
                 coarse_tainted: false,
                 resolved_at: ResolvedAt::Tlb,
                 penalty_cycles: penalty,
             };
         }
-        self.checks.resolved_ctc += 1;
+        self.checks.resolved_ctc = self.checks.resolved_ctc.saturating_add(1);
+        latch_obs::counter_inc("core.unit.resolved_ctc");
         let ctc_acc = self.ctc.lookup_range(addr, len, &self.ctt);
         penalty += ctc_acc.penalty_cycles;
         if let Some(evicted) = ctc_acc.evicted {
             self.pending_evictions.push(evicted);
         }
         if ctc_acc.tainted {
-            self.checks.coarse_hits += 1;
+            self.checks.coarse_hits = self.checks.coarse_hits.saturating_add(1);
+            latch_obs::counter_inc("core.unit.coarse_hits");
             self.last_exception_addr = Some(addr);
         }
-        self.checks.penalty_cycles += penalty;
+        self.checks.penalty_cycles = self.checks.penalty_cycles.saturating_add(penalty);
+        latch_obs::counter_add("core.unit.penalty_cycles", penalty);
         CheckOutcome {
             coarse_tainted: ctc_acc.tainted,
             resolved_at: ResolvedAt::Ctc,
@@ -309,10 +314,40 @@ impl LatchUnit {
             let base = geom.word_base(*word);
             self.refresh_pages_for_range(base, geom.word_span_bytes().min(u64::from(u32::MAX)) as u32);
         }
-        self.scrub_stats.scrubs += 1;
-        self.scrub_stats.ctt_words_repaired += ctt_report.words_repaired;
-        self.scrub_stats.domains_retainted += ctt_report.domains_retainted;
-        self.scrub_stats.ctc_lines_repaired += ctc_report.lines_repaired;
+        self.scrub_stats.scrubs = self.scrub_stats.scrubs.saturating_add(1);
+        self.scrub_stats.ctt_words_repaired = self
+            .scrub_stats
+            .ctt_words_repaired
+            .saturating_add(ctt_report.words_repaired);
+        self.scrub_stats.domains_retainted = self
+            .scrub_stats
+            .domains_retainted
+            .saturating_add(ctt_report.domains_retainted);
+        self.scrub_stats.ctc_lines_repaired = self
+            .scrub_stats
+            .ctc_lines_repaired
+            .saturating_add(ctc_report.lines_repaired);
+        latch_obs::counter_inc("core.scrub.passes");
+        if ctt_report.words_repaired > 0 {
+            latch_obs::counter_add("core.scrub.ctt_words_repaired", ctt_report.words_repaired);
+            latch_obs::emit(
+                "core.scrub",
+                latch_obs::TraceEvent::ScrubRepair {
+                    structure: "ctt",
+                    repaired: ctt_report.words_repaired,
+                },
+            );
+        }
+        if ctc_report.lines_repaired > 0 {
+            latch_obs::counter_add("core.scrub.ctc_lines_repaired", ctc_report.lines_repaired);
+            latch_obs::emit(
+                "core.scrub",
+                latch_obs::TraceEvent::ScrubRepair {
+                    structure: "ctc",
+                    repaired: ctc_report.lines_repaired,
+                },
+            );
+        }
         ScrubReport {
             ctt: ctt_report,
             ctc: ctc_report,

@@ -36,6 +36,39 @@ proptest! {
     }
 
     #[test]
+    fn bases_round_trip_and_pages_are_consistent(geom in geometry(), addr: u32) {
+        // addr → DomainId → CttWordId → PageId must stay consistent, and
+        // the base lookups must round-trip — including at the very top
+        // of the address space, where the arithmetic used to wrap.
+        let d = geom.domain_of(addr);
+        let w = geom.word_of(addr);
+        let db = geom.domain_base(d);
+        let wb = geom.word_base(w);
+        prop_assert_eq!(geom.domain_of(db), d);
+        prop_assert_eq!(geom.word_of(wb), w);
+        prop_assert!(wb <= db && db <= addr);
+        // The word's base is the base of its first domain.
+        prop_assert_eq!(wb, geom.domain_base(DomainId(w.0 * 32)));
+        // Every byte of the domain maps back to it, without leaving u32.
+        let last = u64::from(db) + u64::from(geom.domain_bytes()) - 1;
+        prop_assert!(last <= u64::from(u32::MAX));
+        prop_assert_eq!(geom.domain_of(last as u32), d);
+        // Domains never straddle pages (domain_bytes ≤ PAGE_SIZE here).
+        if geom.domain_bytes() <= PAGE_SIZE {
+            prop_assert_eq!(db / PAGE_SIZE, last as u32 / PAGE_SIZE);
+        }
+    }
+
+    #[test]
+    fn domain_range_round_trips_through_domains_in(geom in geometry(), addr: u32) {
+        // The range [domain_base(d), domain_bytes) covers exactly d.
+        let d = geom.domain_of(addr);
+        let db = geom.domain_base(d);
+        let domains: Vec<DomainId> = geom.domains_in(db, geom.domain_bytes()).collect();
+        prop_assert_eq!(domains, vec![d]);
+    }
+
+    #[test]
     fn domains_in_covers_exactly_the_overlap(
         geom in geometry(),
         start in 0u32..0xFFFF_0000,

@@ -117,19 +117,23 @@ impl DiftEngine {
     pub fn source_input(&mut self, source: SourceKind, addr: Addr, len: u32) -> Option<TaintTag> {
         let tag = self.policy.tag_for_source(source)?;
         self.shadow.set_range(addr, len, tag);
-        self.stats.source_bytes += u64::from(len);
+        self.stats.source_bytes = self.stats.source_bytes.saturating_add(u64::from(len));
+        latch_obs::counter_add("dift.source_bytes", u64::from(len));
         Some(tag)
     }
 
     /// Applies one propagation rule (paper §2 step 3), updating counters.
     pub fn propagate(&mut self, rule: PropRule) -> PropOutcome {
         let out = apply(rule, &mut self.regs, &mut self.shadow);
-        self.stats.instrs += 1;
+        self.stats.instrs = self.stats.instrs.saturating_add(1);
+        latch_obs::counter_inc("dift.instrs");
         if out.touched_taint {
-            self.stats.instrs_touching_taint += 1;
+            self.stats.instrs_touching_taint = self.stats.instrs_touching_taint.saturating_add(1);
+            latch_obs::counter_inc("dift.instrs_touching_taint");
         }
         if out.mem_write.is_some() {
-            self.stats.mem_taint_writes += 1;
+            self.stats.mem_taint_writes = self.stats.mem_taint_writes.saturating_add(1);
+            latch_obs::counter_inc("dift.mem_taint_writes");
         }
         out
     }
@@ -150,7 +154,12 @@ impl DiftEngine {
         let tag = self.regs.union(reg);
         let result = self.policy.validate_branch_target(pc, target, tag);
         if result.is_err() {
-            self.stats.violations += 1;
+            self.stats.violations = self.stats.violations.saturating_add(1);
+            latch_obs::counter_inc("dift.violations");
+            latch_obs::emit(
+                "dift",
+                latch_obs::TraceEvent::Violation { kind: "branch_reg" },
+            );
         }
         result
     }
@@ -172,7 +181,12 @@ impl DiftEngine {
         let tag = self.shadow.union_range(addr, len);
         let result = self.policy.validate_branch_target(pc, target, tag);
         if result.is_err() {
-            self.stats.violations += 1;
+            self.stats.violations = self.stats.violations.saturating_add(1);
+            latch_obs::counter_inc("dift.violations");
+            latch_obs::emit(
+                "dift",
+                latch_obs::TraceEvent::Violation { kind: "branch_mem" },
+            );
         }
         result
     }
@@ -193,7 +207,9 @@ impl DiftEngine {
         let tag = self.shadow.union_range(addr, len);
         let result = self.policy.validate_sink(pc, sink, addr, tag);
         if result.is_err() {
-            self.stats.violations += 1;
+            self.stats.violations = self.stats.violations.saturating_add(1);
+            latch_obs::counter_inc("dift.violations");
+            latch_obs::emit("dift", latch_obs::TraceEvent::Violation { kind: "sink" });
         }
         result
     }

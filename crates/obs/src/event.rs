@@ -1,0 +1,235 @@
+//! The typed trace-event taxonomy.
+//!
+//! Every observable transition in the pipeline is one variant of
+//! [`TraceEvent`]. Events are plain `Copy` structs of integers and
+//! `&'static str` labels: recording one never formats or allocates, so
+//! emission stays cheap when the `enabled` feature is on and compiles
+//! away entirely when it is off.
+
+/// One observable transition, recorded into a per-track ring buffer.
+///
+/// Events carry only the payload needed to reconstruct *when* and *why*
+/// something happened; aggregate magnitudes live in the metrics
+/// registry. Ordering is guaranteed **within a track** (one emitting
+/// component), never across tracks — cross-thread interleaving is
+/// timing-dependent and deliberately not represented in the
+/// deterministic snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceEvent {
+    /// S-LATCH switched checking tier (hardware ⇄ software).
+    ModeTransition {
+        /// Instructions retired in the mode being left.
+        instrs_in_mode: u64,
+        /// Mode being left.
+        from: &'static str,
+        /// Mode being entered.
+        to: &'static str,
+        /// What forced the switch (`"trap"`, `"timeout"`, `"forced"`).
+        reason: &'static str,
+    },
+    /// The CTC missed and filled a CTT word.
+    CtcMiss {
+        /// The CTT word index that was fetched.
+        word: u32,
+    },
+    /// The CTC evicted a resident line.
+    CtcEvict {
+        /// The CTT word index that was displaced.
+        word: u32,
+        /// Whether pending clear bits forced a shadow scan on eviction.
+        clear_scan: bool,
+    },
+    /// A CTT word changed value (domain bits set or cleared).
+    CttWordFlip {
+        /// The CTT word index.
+        word: u32,
+        /// Word value before the store.
+        before: u32,
+        /// Word value after the store.
+        after: u32,
+    },
+    /// A page's TLB taint bit was (re)derived.
+    TlbTaintBit {
+        /// The page number.
+        page: u32,
+        /// The new value of the page taint bit.
+        set: bool,
+    },
+    /// The taint register file spilled/loaded a packed snapshot.
+    TrfSpill {
+        /// Number of live taint bits in the packed word.
+        live_bits: u32,
+    },
+    /// A bounded FIFO reached a new occupancy high-water mark.
+    FifoDepth {
+        /// Which queue (e.g. `"platch.queue"`).
+        queue: &'static str,
+        /// The new high-water occupancy.
+        occupancy: u32,
+        /// The queue capacity.
+        capacity: u32,
+    },
+    /// A parity scrub repaired corrupted coarse state.
+    ScrubRepair {
+        /// `"ctt"` or `"ctc"`.
+        structure: &'static str,
+        /// Entries repaired in this pass.
+        repaired: u64,
+    },
+    /// The resilient P-LATCH driver degraded or recovered the pipeline.
+    Degradation {
+        /// Root cause label (mirrors `DegradeCause`).
+        cause: &'static str,
+        /// Recovery action label (mirrors `RecoveryAction`).
+        action: &'static str,
+        /// Sequence number processing resumed from.
+        resumed_from_seq: u64,
+    },
+    /// The precise DIFT engine was engaged.
+    EngineEnter {
+        /// Which system engaged it (`"slatch"`, `"platch"`, …).
+        system: &'static str,
+        /// Instructions retired so far when it engaged.
+        at_instr: u64,
+    },
+    /// The precise DIFT engine was disengaged.
+    EngineExit {
+        /// Which system disengaged it.
+        system: &'static str,
+        /// Instructions retired so far when it disengaged.
+        at_instr: u64,
+    },
+    /// A named measurement phase began.
+    PhaseBegin {
+        /// Phase label.
+        name: &'static str,
+    },
+    /// A named measurement phase ended.
+    PhaseEnd {
+        /// Phase label.
+        name: &'static str,
+    },
+    /// The resilient consumer sealed an epoch checkpoint.
+    Checkpoint {
+        /// Highest contiguous sequence number applied.
+        seq: u64,
+    },
+    /// The precise tier raised a security violation.
+    Violation {
+        /// Violation kind label.
+        kind: &'static str,
+    },
+}
+
+impl TraceEvent {
+    /// Short kind tag used in JSON and the text report.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::ModeTransition { .. } => "mode_transition",
+            TraceEvent::CtcMiss { .. } => "ctc_miss",
+            TraceEvent::CtcEvict { .. } => "ctc_evict",
+            TraceEvent::CttWordFlip { .. } => "ctt_word_flip",
+            TraceEvent::TlbTaintBit { .. } => "tlb_taint_bit",
+            TraceEvent::TrfSpill { .. } => "trf_spill",
+            TraceEvent::FifoDepth { .. } => "fifo_depth",
+            TraceEvent::ScrubRepair { .. } => "scrub_repair",
+            TraceEvent::Degradation { .. } => "degradation",
+            TraceEvent::EngineEnter { .. } => "engine_enter",
+            TraceEvent::EngineExit { .. } => "engine_exit",
+            TraceEvent::PhaseBegin { .. } => "phase_begin",
+            TraceEvent::PhaseEnd { .. } => "phase_end",
+            TraceEvent::Checkpoint { .. } => "checkpoint",
+            TraceEvent::Violation { .. } => "violation",
+        }
+    }
+
+    /// Renders the event as one compact JSON object.
+    ///
+    /// Field order is fixed per variant, so the rendering is
+    /// byte-stable for equal events.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(64);
+        self.write_json(&mut s);
+        s
+    }
+
+    pub(crate) fn write_json(&self, out: &mut String) {
+        use std::fmt::Write;
+        out.push_str("{\"type\":\"");
+        out.push_str(self.kind());
+        out.push('"');
+        match *self {
+            TraceEvent::ModeTransition {
+                instrs_in_mode,
+                from,
+                to,
+                reason,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"instrs_in_mode\":{instrs_in_mode},\"from\":\"{from}\",\"to\":\"{to}\",\"reason\":\"{reason}\""
+                );
+            }
+            TraceEvent::CtcMiss { word } => {
+                let _ = write!(out, ",\"word\":{word}");
+            }
+            TraceEvent::CtcEvict { word, clear_scan } => {
+                let _ = write!(out, ",\"word\":{word},\"clear_scan\":{clear_scan}");
+            }
+            TraceEvent::CttWordFlip {
+                word,
+                before,
+                after,
+            } => {
+                let _ = write!(out, ",\"word\":{word},\"before\":{before},\"after\":{after}");
+            }
+            TraceEvent::TlbTaintBit { page, set } => {
+                let _ = write!(out, ",\"page\":{page},\"set\":{set}");
+            }
+            TraceEvent::TrfSpill { live_bits } => {
+                let _ = write!(out, ",\"live_bits\":{live_bits}");
+            }
+            TraceEvent::FifoDepth {
+                queue,
+                occupancy,
+                capacity,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"queue\":\"{queue}\",\"occupancy\":{occupancy},\"capacity\":{capacity}"
+                );
+            }
+            TraceEvent::ScrubRepair {
+                structure,
+                repaired,
+            } => {
+                let _ = write!(out, ",\"structure\":\"{structure}\",\"repaired\":{repaired}");
+            }
+            TraceEvent::Degradation {
+                cause,
+                action,
+                resumed_from_seq,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"cause\":\"{cause}\",\"action\":\"{action}\",\"resumed_from_seq\":{resumed_from_seq}"
+                );
+            }
+            TraceEvent::EngineEnter { system, at_instr }
+            | TraceEvent::EngineExit { system, at_instr } => {
+                let _ = write!(out, ",\"system\":\"{system}\",\"at_instr\":{at_instr}");
+            }
+            TraceEvent::PhaseBegin { name } | TraceEvent::PhaseEnd { name } => {
+                let _ = write!(out, ",\"name\":\"{name}\"");
+            }
+            TraceEvent::Checkpoint { seq } => {
+                let _ = write!(out, ",\"seq\":{seq}");
+            }
+            TraceEvent::Violation { kind } => {
+                let _ = write!(out, ",\"kind\":\"{kind}\"");
+            }
+        }
+        out.push('}');
+    }
+}

@@ -1,0 +1,283 @@
+//! # latch-obs
+//!
+//! Feature-gated observability for the LATCH workspace: a metrics
+//! registry (counters, high-water marks, histograms), a ring-buffer
+//! structured trace of typed [`TraceEvent`]s, and per-phase
+//! wall/instruction timing spans, exported as a deterministic JSON
+//! snapshot or a human-readable text report.
+//!
+//! ## Zero-cost guarantee
+//!
+//! The whole API exists in two builds:
+//!
+//! * **`enabled` off (default):** every function below is an empty
+//!   `#[inline(always)]` stub and [`PhaseSpan`] is a zero-sized type.
+//!   No global registry is allocated, no lock is taken, no event is
+//!   constructed past trivially-dead argument evaluation — the
+//!   optimizer removes the call sites entirely.
+//! * **`enabled` on:** one process-global, mutex-guarded registry
+//!   collects everything. Downstream crates expose this as their `obs`
+//!   cargo feature (`--features obs` on the root crate turns on the
+//!   whole pipeline).
+//!
+//! ## Determinism contract
+//!
+//! [`Snapshot::deterministic_json`] is byte-identical across reruns of
+//! the same seeded workload: maps are sorted by name, there are no
+//! timestamps, and anything timing-dependent (wall-clock spans, retry
+//! counts, cross-thread queue depths) is quarantined in the `timing`
+//! section, which only [`Snapshot::full_json`] includes. Event order
+//! is only recorded *within* a track (one emitting component); emit
+//! events for concurrent components on distinct tracks.
+
+pub mod event;
+pub mod snapshot;
+
+pub use event::TraceEvent;
+pub use snapshot::{HistogramSummary, Snapshot, TrackTrace};
+
+/// Whether the `enabled` feature was compiled in.
+pub const ENABLED: bool = cfg!(feature = "enabled");
+
+#[cfg(feature = "enabled")]
+mod registry;
+
+#[cfg(feature = "enabled")]
+pub use registry::{
+    counter_add, counter_inc, emit, histogram_record, phase, reset, set_trace_capacity, snapshot,
+    timing_add, timing_max, watermark, PhaseSpan, DEFAULT_TRACE_CAPACITY,
+};
+
+#[cfg(not(feature = "enabled"))]
+mod disabled {
+    use crate::event::TraceEvent;
+    use crate::snapshot::Snapshot;
+
+    /// Default per-track ring-buffer capacity (unused in this build).
+    pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+    /// No-op: the `enabled` feature is off.
+    #[inline(always)]
+    pub fn counter_add(_name: &'static str, _delta: u64) {}
+
+    /// No-op: the `enabled` feature is off.
+    #[inline(always)]
+    pub fn counter_inc(_name: &'static str) {}
+
+    /// No-op: the `enabled` feature is off. Always returns `false`.
+    #[inline(always)]
+    pub fn watermark(_name: &'static str, _v: u64) -> bool {
+        false
+    }
+
+    /// No-op: the `enabled` feature is off.
+    #[inline(always)]
+    pub fn histogram_record(_name: &'static str, _v: u64) {}
+
+    /// No-op: the `enabled` feature is off.
+    #[inline(always)]
+    pub fn timing_add(_name: &str, _delta: u64) {}
+
+    /// No-op: the `enabled` feature is off. Always returns `false`.
+    #[inline(always)]
+    pub fn timing_max(_name: &str, _v: u64) -> bool {
+        false
+    }
+
+    /// No-op: the `enabled` feature is off.
+    #[inline(always)]
+    pub fn emit(_track: &'static str, _event: TraceEvent) {}
+
+    /// No-op: the `enabled` feature is off.
+    #[inline(always)]
+    pub fn set_trace_capacity(_per_track: usize) {}
+
+    /// No-op: the `enabled` feature is off.
+    #[inline(always)]
+    pub fn reset() {}
+
+    /// Returns an empty snapshot marked `enabled: false`.
+    #[inline(always)]
+    pub fn snapshot() -> Snapshot {
+        Snapshot::default()
+    }
+
+    /// Zero-sized stand-in for the enabled build's phase guard.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct PhaseSpan;
+
+    impl PhaseSpan {
+        /// No-op: the `enabled` feature is off.
+        #[inline(always)]
+        pub fn instrs(&mut self, _n: u64) {}
+    }
+
+    /// No-op: the `enabled` feature is off.
+    #[inline(always)]
+    pub fn phase(_name: &'static str) -> PhaseSpan {
+        PhaseSpan
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+pub use disabled::{
+    counter_add, counter_inc, emit, histogram_record, phase, reset, set_trace_capacity, snapshot,
+    timing_add, timing_max, watermark, PhaseSpan, DEFAULT_TRACE_CAPACITY,
+};
+
+/// Renders the current registry as the deterministic JSON view.
+pub fn deterministic_json() -> String {
+    snapshot().deterministic_json()
+}
+
+/// Renders the current registry as the full JSON view (includes the
+/// timing section).
+pub fn full_json() -> String {
+    snapshot().full_json()
+}
+
+/// Renders the current registry as a human-readable text report.
+pub fn text_report() -> String {
+    snapshot().text_report()
+}
+
+/// Writes the full JSON view to `path`.
+pub fn write_json_file<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<()> {
+    std::fs::write(path, full_json())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(feature = "enabled")]
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        // The registry is process-global; tests that reset it must not
+        // interleave.
+        static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    #[cfg(feature = "enabled")]
+    fn counters_and_watermarks_round_trip() {
+        let _g = serial();
+        reset();
+        counter_add("a.count", 2);
+        counter_inc("a.count");
+        assert!(watermark("a.high", 7));
+        assert!(!watermark("a.high", 3));
+        let snap = snapshot();
+        assert!(snap.enabled);
+        assert_eq!(
+            snap.metrics,
+            vec![("a.count".to_owned(), 3), ("a.high".to_owned(), 7)]
+        );
+        reset();
+    }
+
+    #[test]
+    #[cfg(feature = "enabled")]
+    fn deterministic_json_is_sorted_and_stable() {
+        let _g = serial();
+        reset();
+        counter_inc("z.last");
+        counter_inc("a.first");
+        emit("t", TraceEvent::CtcMiss { word: 5 });
+        emit("t", TraceEvent::Checkpoint { seq: 9 });
+        timing_add("wall", 123); // must NOT appear in the deterministic view
+        let a = deterministic_json();
+        let b = snapshot().deterministic_json();
+        assert_eq!(a, b);
+        assert!(a.find("a.first").unwrap() < a.find("z.last").unwrap());
+        assert!(!a.contains("wall"));
+        assert!(full_json().contains("\"wall\":123"));
+        assert!(a.contains("\"type\":\"ctc_miss\""));
+        reset();
+    }
+
+    #[test]
+    #[cfg(feature = "enabled")]
+    fn ring_buffer_drops_oldest() {
+        let _g = serial();
+        reset();
+        set_trace_capacity(2);
+        for seq in 0..5 {
+            emit("ring", TraceEvent::Checkpoint { seq });
+        }
+        let snap = snapshot();
+        let (_, track) = &snap.tracks[0];
+        assert_eq!(track.dropped, 3);
+        assert_eq!(
+            track.events,
+            vec![
+                TraceEvent::Checkpoint { seq: 3 },
+                TraceEvent::Checkpoint { seq: 4 }
+            ]
+        );
+        reset();
+    }
+
+    #[test]
+    #[cfg(feature = "enabled")]
+    fn phase_span_records_runs_and_instrs() {
+        let _g = serial();
+        reset();
+        {
+            let mut span = phase("warmup");
+            span.instrs(1000);
+        }
+        let snap = snapshot();
+        assert!(snap
+            .metrics
+            .iter()
+            .any(|(k, v)| k == "phase.warmup.runs" && *v == 1));
+        assert!(snap
+            .metrics
+            .iter()
+            .any(|(k, v)| k == "phase.warmup.instrs" && *v == 1000));
+        assert!(snap.timing.iter().any(|(k, _)| k == "phase.warmup.wall_ns"));
+        assert!(snap.text_report().contains("phase.warmup.runs"));
+        reset();
+    }
+
+    #[test]
+    #[cfg(not(feature = "enabled"))]
+    fn disabled_build_is_inert() {
+        counter_inc("ignored");
+        emit("t", TraceEvent::CtcMiss { word: 1 });
+        let snap = snapshot();
+        assert!(!snap.enabled);
+        assert!(snap.metrics.is_empty() && snap.tracks.is_empty());
+        assert!(deterministic_json().contains("\"enabled\":false"));
+        assert!(text_report().contains("disabled"));
+    }
+
+    #[test]
+    fn histogram_summary_buckets() {
+        let mut h = HistogramSummary::default();
+        for v in [0, 1, 1, 7, 8] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 17);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 8);
+        // 0 → bucket 0; 1,1 → bucket 1; 7 → bucket 3; 8 → bucket 4.
+        assert_eq!(h.buckets, vec![(0, 1), (1, 2), (3, 1), (4, 1)]);
+    }
+
+    #[test]
+    fn event_json_shapes() {
+        let ev = TraceEvent::Degradation {
+            cause: "consumer_death",
+            action: "inline",
+            resumed_from_seq: 42,
+        };
+        assert_eq!(
+            ev.to_json(),
+            "{\"type\":\"degradation\",\"cause\":\"consumer_death\",\"action\":\"inline\",\"resumed_from_seq\":42}"
+        );
+        assert_eq!(TraceEvent::CtcMiss { word: 3 }.kind(), "ctc_miss");
+    }
+}

@@ -1,0 +1,207 @@
+//! The process-global registry backing the enabled build.
+//!
+//! One `Mutex`-guarded store keeps all counters, histograms, timing
+//! counters, and per-track event rings. Counter updates are
+//! commutative, so concurrent emitters (e.g. the resilient P-LATCH
+//! producer and consumer threads) still converge to deterministic
+//! totals; only *cross-track* event interleaving is timing-dependent,
+//! and the snapshot never encodes it.
+
+use crate::event::TraceEvent;
+use crate::snapshot::{HistogramSummary, Snapshot, TrackTrace};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Default per-track ring-buffer capacity.
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+#[derive(Debug, Default)]
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    hists: BTreeMap<String, HistogramSummary>,
+    timing: BTreeMap<String, u64>,
+    tracks: BTreeMap<&'static str, Ring>,
+    trace_capacity: usize,
+}
+
+impl Inner {
+    const fn new() -> Self {
+        Self {
+            counters: BTreeMap::new(),
+            hists: BTreeMap::new(),
+            timing: BTreeMap::new(),
+            tracks: BTreeMap::new(),
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
+        }
+    }
+}
+
+static REGISTRY: Mutex<Inner> = Mutex::new(Inner::new());
+
+fn lock() -> MutexGuard<'static, Inner> {
+    REGISTRY.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn bump(map: &mut BTreeMap<String, u64>, name: &str, delta: u64) {
+    if let Some(v) = map.get_mut(name) {
+        *v = v.saturating_add(delta);
+    } else {
+        map.insert(name.to_owned(), delta);
+    }
+}
+
+fn raise(map: &mut BTreeMap<String, u64>, name: &str, v: u64) -> bool {
+    if let Some(cur) = map.get_mut(name) {
+        if v > *cur {
+            *cur = v;
+            true
+        } else {
+            false
+        }
+    } else {
+        map.insert(name.to_owned(), v);
+        true
+    }
+}
+
+/// Adds `delta` to the named counter (deterministic section).
+pub fn counter_add(name: &'static str, delta: u64) {
+    bump(&mut lock().counters, name, delta);
+}
+
+/// Increments the named counter by one (deterministic section).
+pub fn counter_inc(name: &'static str) {
+    counter_add(name, 1);
+}
+
+/// Raises the named high-water mark if `v` exceeds it (deterministic
+/// section). Returns whether a new high was set.
+pub fn watermark(name: &'static str, v: u64) -> bool {
+    raise(&mut lock().counters, name, v)
+}
+
+/// Records one histogram sample (deterministic section).
+pub fn histogram_record(name: &'static str, v: u64) {
+    lock().hists.entry(name.to_owned()).or_default().record(v);
+}
+
+/// Adds `delta` to a timing-dependent counter (excluded from the
+/// deterministic view).
+pub fn timing_add(name: &str, delta: u64) {
+    bump(&mut lock().timing, name, delta);
+}
+
+/// Raises a timing-dependent high-water mark (excluded from the
+/// deterministic view). Returns whether a new high was set.
+pub fn timing_max(name: &str, v: u64) -> bool {
+    raise(&mut lock().timing, name, v)
+}
+
+/// Appends a typed event to `track`'s ring buffer, evicting the oldest
+/// event once the per-track capacity is reached.
+pub fn emit(track: &'static str, event: TraceEvent) {
+    let mut g = lock();
+    let cap = g.trace_capacity;
+    let ring = g.tracks.entry(track).or_default();
+    if ring.events.len() >= cap {
+        ring.events.pop_front();
+        ring.dropped = ring.dropped.saturating_add(1);
+    }
+    ring.events.push_back(event);
+}
+
+/// Sets the per-track ring-buffer capacity for subsequently emitted
+/// events (existing rings are trimmed lazily on the next emit).
+pub fn set_trace_capacity(per_track: usize) {
+    lock().trace_capacity = per_track.max(1);
+}
+
+/// Clears every counter, histogram, timing entry, and trace ring.
+pub fn reset() {
+    let mut g = lock();
+    g.counters.clear();
+    g.hists.clear();
+    g.timing.clear();
+    g.tracks.clear();
+    g.trace_capacity = DEFAULT_TRACE_CAPACITY;
+}
+
+/// Copies the registry into an exportable [`Snapshot`].
+pub fn snapshot() -> Snapshot {
+    let g = lock();
+    Snapshot {
+        enabled: true,
+        metrics: g.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        histograms: g.hists.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+        timing: g.timing.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+        tracks: g
+            .tracks
+            .iter()
+            .map(|(k, r)| {
+                (
+                    (*k).to_owned(),
+                    TrackTrace {
+                        events: r.events.iter().copied().collect(),
+                        dropped: r.dropped,
+                    },
+                )
+            })
+            .collect(),
+    }
+}
+
+/// A RAII span measuring one named phase.
+///
+/// On drop it records wall time into `timing` (as
+/// `phase.<name>.wall_ns`), an invocation count into the deterministic
+/// metrics (`phase.<name>.runs`, plus `phase.<name>.instrs` when
+/// [`PhaseSpan::instrs`] was called), and `PhaseBegin`/`PhaseEnd`
+/// events on the `"phase"` track.
+#[derive(Debug)]
+pub struct PhaseSpan {
+    name: &'static str,
+    start: std::time::Instant,
+    instrs: u64,
+}
+
+impl PhaseSpan {
+    /// Attributes `n` retired instructions to this phase.
+    pub fn instrs(&mut self, n: u64) {
+        self.instrs = self.instrs.saturating_add(n);
+    }
+}
+
+impl Drop for PhaseSpan {
+    fn drop(&mut self) {
+        let wall = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let mut g = lock();
+        bump(&mut g.timing, &format!("phase.{}.wall_ns", self.name), wall);
+        bump(&mut g.counters, &format!("phase.{}.runs", self.name), 1);
+        if self.instrs > 0 {
+            bump(
+                &mut g.counters,
+                &format!("phase.{}.instrs", self.name),
+                self.instrs,
+            );
+        }
+        drop(g);
+        emit("phase", TraceEvent::PhaseEnd { name: self.name });
+    }
+}
+
+/// Opens a measurement phase; the returned guard closes it on drop.
+pub fn phase(name: &'static str) -> PhaseSpan {
+    emit("phase", TraceEvent::PhaseBegin { name });
+    PhaseSpan {
+        name,
+        start: std::time::Instant::now(),
+        instrs: 0,
+    }
+}

@@ -1,0 +1,241 @@
+//! Point-in-time export of everything the registry holds.
+//!
+//! A [`Snapshot`] has two faces:
+//!
+//! * the **deterministic view** ([`Snapshot::deterministic_json`]):
+//!   metrics, histograms, and per-track traces, all sorted by name,
+//!   with *no timestamps and no timing-dependent counters* — two runs
+//!   of the same seeded workload produce byte-identical output;
+//! * the **full view** ([`Snapshot::full_json`]): the deterministic
+//!   view plus the `timing` section (wall-clock spans, retry counts,
+//!   cross-thread watermarks), which varies run to run.
+
+use crate::event::TraceEvent;
+
+/// Order-independent summary of one histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Non-empty power-of-two buckets as `(log2_upper_bound, count)`;
+    /// bucket `b` holds samples in `[2^(b-1), 2^b)` (bucket 0 holds 0).
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSummary {
+    /// Records one sample (order-independent, saturating).
+    pub fn record(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(v);
+        let b = 64 - v.leading_zeros();
+        match self.buckets.binary_search_by_key(&b, |&(bb, _)| bb) {
+            Ok(i) => self.buckets[i].1 = self.buckets[i].1.saturating_add(1),
+            Err(i) => self.buckets.insert(i, (b, 1)),
+        }
+    }
+
+    fn write_json(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(
+            out,
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+            self.count, self.sum, self.min, self.max
+        );
+        for (i, (b, n)) in self.buckets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{b},{n}]");
+        }
+        out.push_str("]}");
+    }
+}
+
+/// Events captured on one track, with the count that overflowed the
+/// ring buffer (oldest-first eviction).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrackTrace {
+    /// Events in emission order (within this track).
+    pub events: Vec<TraceEvent>,
+    /// Events evicted because the ring buffer was full.
+    pub dropped: u64,
+}
+
+/// A point-in-time copy of the registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Whether the `enabled` feature was compiled in.
+    pub enabled: bool,
+    /// Deterministic counters and watermarks, sorted by name.
+    pub metrics: Vec<(String, u64)>,
+    /// Deterministic histograms, sorted by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+    /// Timing-dependent counters (wall ns, retries, cross-thread
+    /// watermarks), sorted by name. Excluded from the deterministic view.
+    pub timing: Vec<(String, u64)>,
+    /// Per-track event traces, sorted by track name.
+    pub tracks: Vec<(String, TrackTrace)>,
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl Snapshot {
+    /// The seed-stable export: sorted metrics, histograms, and traces;
+    /// no timestamps, no timing-dependent counters.
+    pub fn deterministic_json(&self) -> String {
+        self.render(false)
+    }
+
+    /// Everything, including the run-to-run-varying `timing` section.
+    pub fn full_json(&self) -> String {
+        self.render(true)
+    }
+
+    fn render(&self, with_timing: bool) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(1024);
+        let _ = write!(
+            out,
+            "{{\"schema\":\"latch-obs-v1\",\"enabled\":{}",
+            self.enabled
+        );
+        out.push_str(",\"metrics\":{");
+        for (i, (name, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            write_escaped(&mut out, name);
+            let _ = write!(out, "\":{v}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            write_escaped(&mut out, name);
+            out.push_str("\":");
+            h.write_json(&mut out);
+        }
+        out.push('}');
+        if with_timing {
+            out.push_str(",\"timing\":{");
+            for (i, (name, v)) in self.timing.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                write_escaped(&mut out, name);
+                let _ = write!(out, "\":{v}");
+            }
+            out.push('}');
+        }
+        out.push_str(",\"trace\":{");
+        for (i, (track, t)) in self.tracks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            write_escaped(&mut out, track);
+            let _ = write!(out, "\":{{\"dropped\":{},\"events\":[", t.dropped);
+            for (j, ev) in t.events.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                ev.write_json(&mut out);
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// A human-readable multi-section report.
+    pub fn text_report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "latch-obs report (instrumentation {})",
+            if self.enabled { "enabled" } else { "disabled" }
+        );
+        if !self.enabled {
+            out.push_str(
+                "  build with `--features obs` to collect metrics and traces\n",
+            );
+            return out;
+        }
+        out.push_str("\n== metrics ==\n");
+        if self.metrics.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for (name, v) in &self.metrics {
+            let _ = writeln!(out, "  {name:<44} {v}");
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n== histograms ==\n");
+            for (name, h) in &self.histograms {
+                let mean = h.sum.checked_div(h.count).unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "  {name:<44} n={} min={} mean={} max={}",
+                    h.count, h.min, mean, h.max
+                );
+            }
+        }
+        if !self.timing.is_empty() {
+            out.push_str("\n== timing (run-to-run varying) ==\n");
+            for (name, v) in &self.timing {
+                let _ = writeln!(out, "  {name:<44} {v}");
+            }
+        }
+        out.push_str("\n== trace ==\n");
+        if self.tracks.is_empty() {
+            out.push_str("  (no events)\n");
+        }
+        for (track, t) in &self.tracks {
+            let _ = writeln!(
+                out,
+                "  [{track}] {} events{}",
+                t.events.len(),
+                if t.dropped > 0 {
+                    format!(" (+{} dropped)", t.dropped)
+                } else {
+                    String::new()
+                }
+            );
+            for ev in &t.events {
+                let _ = writeln!(out, "    {}", ev.to_json());
+            }
+        }
+        out
+    }
+}

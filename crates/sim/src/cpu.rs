@@ -37,6 +37,15 @@ pub enum SimError {
         /// Number of instructions in the program.
         len: u32,
     },
+    /// An instruction names a register outside the architectural file.
+    /// The assembler rejects such programs, but raw `Vec<Instr>` input
+    /// (fuzzers, fault injection, hand-built workloads) bypasses it.
+    BadRegister {
+        /// Program counter of the offending instruction.
+        pc: u32,
+        /// The out-of-range register operand.
+        reg: Reg,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -45,11 +54,42 @@ impl fmt::Display for SimError {
             SimError::PcOutOfRange { pc, len } => {
                 write!(f, "program counter {pc} outside program of {len} instructions")
             }
+            SimError::BadRegister { pc, reg } => {
+                write!(
+                    f,
+                    "instruction at pc {pc} names register r{reg}, but the file has {NUM_REGS}"
+                )
+            }
         }
     }
 }
 
 impl Error for SimError {}
+
+/// Returns the first register operand of `instr` outside the register
+/// file, if any.
+fn first_invalid_reg(instr: &Instr) -> Option<Reg> {
+    let regs: [Option<Reg>; 3] = match *instr {
+        Instr::Li { rd, .. } | Instr::Ltnt { rd } => [Some(rd), None, None],
+        Instr::Mov { rd, rs } => [Some(rd), Some(rs), None],
+        Instr::Alu { rd, rs1, rs2, .. } => [Some(rd), Some(rs1), Some(rs2)],
+        Instr::AluImm { rd, rs, .. } => [Some(rd), Some(rs), None],
+        Instr::Load { rd, base, .. } => [Some(rd), Some(base), None],
+        Instr::Store { rs, base, .. } => [Some(rs), Some(base), None],
+        Instr::Jr { rs } | Instr::Strf { rs } => [Some(rs), None, None],
+        Instr::Branch { rs1, rs2, .. } => [Some(rs1), Some(rs2), None],
+        Instr::Stnt { addr, len, val } => [Some(addr), Some(len), Some(val)],
+        Instr::Jmp { .. }
+        | Instr::Call { .. }
+        | Instr::Ret
+        | Instr::Sys { .. }
+        | Instr::Halt
+        | Instr::Nop => [None, None, None],
+    };
+    regs.into_iter()
+        .flatten()
+        .find(|&r| usize::from(r) >= NUM_REGS)
+}
 
 /// The simulated processor core.
 #[derive(Debug, Clone)]
@@ -93,7 +133,10 @@ impl Cpu {
     ///
     /// # Panics
     ///
-    /// Panics if `r >= NUM_REGS` (the assembler rejects such programs).
+    /// Panics if `r >= NUM_REGS`. Programs executed via [`Cpu::step`]
+    /// cannot reach this: the assembler rejects out-of-range operands and
+    /// `step` re-validates each fetched instruction, returning
+    /// [`SimError::BadRegister`] instead.
     #[inline]
     pub fn reg(&self, r: Reg) -> u32 {
         self.regs[r as usize]
@@ -103,7 +146,7 @@ impl Cpu {
     ///
     /// # Panics
     ///
-    /// Panics if `r >= NUM_REGS`.
+    /// Panics if `r >= NUM_REGS`; see [`Cpu::reg`].
     #[inline]
     pub fn set_reg(&mut self, r: Reg, value: u32) {
         self.regs[r as usize] = value;
@@ -132,7 +175,9 @@ impl Cpu {
     /// # Errors
     ///
     /// Returns [`SimError::PcOutOfRange`] when the program counter is
-    /// outside the program.
+    /// outside the program, or [`SimError::BadRegister`] when the fetched
+    /// instruction names a register outside the file. In both cases the
+    /// CPU state is unchanged and the same error recurs on retry.
     pub fn step(&mut self) -> Result<Option<Event>, SimError> {
         if self.halted {
             return Ok(None);
@@ -145,6 +190,9 @@ impl Cpu {
                 pc,
                 len: self.program.len() as u32,
             })?;
+        if let Some(reg) = first_invalid_reg(&instr) {
+            return Err(SimError::BadRegister { pc, reg });
+        }
         self.icount += 1;
         let mut ev = Event::empty(pc);
         let mut next_pc = pc.wrapping_add(1);
@@ -571,6 +619,49 @@ mod tests {
         let mut cpu = Cpu::new(vec![Instr::Jmp { target: 99 }], SyscallHost::new());
         cpu.step().unwrap();
         assert!(matches!(cpu.step(), Err(SimError::PcOutOfRange { pc: 99, .. })));
+    }
+
+    #[test]
+    fn out_of_range_register_is_an_error_not_a_panic() {
+        // Raw Vec<Instr> bypasses the assembler's operand validation; the
+        // CPU must reject the instruction instead of indexing out of
+        // bounds.
+        let bad: Vec<Vec<Instr>> = vec![
+            vec![Instr::Li { rd: 16, imm: 1 }],
+            vec![Instr::Mov { rd: 0, rs: 200 }],
+            vec![Instr::Alu { op: AluOp::Add, rd: 0, rs1: 1, rs2: 16 }],
+            vec![Instr::Load { rd: 0, base: 255, off: 0, size: MemSize::B4 }],
+            vec![Instr::Store { rs: 17, base: 1, off: 0, size: MemSize::B1 }],
+            vec![Instr::Jr { rs: 16 }],
+            vec![Instr::Branch {
+                cond: crate::isa::BranchCond::Eq,
+                rs1: 16,
+                rs2: 0,
+                target: 0,
+            }],
+            vec![Instr::Strf { rs: 16 }],
+            vec![Instr::Stnt { addr: 1, len: 2, val: 16 }],
+            vec![Instr::Ltnt { rd: 16 }],
+        ];
+        for program in bad {
+            let mut cpu = Cpu::new(program, SyscallHost::new());
+            match cpu.step() {
+                Err(SimError::BadRegister { pc: 0, reg }) => {
+                    assert!(usize::from(reg) >= NUM_REGS)
+                }
+                other => panic!("expected BadRegister, got {other:?}"),
+            }
+            // The faulting instruction did not retire or move the pc.
+            assert_eq!(cpu.icount(), 0);
+            assert_eq!(cpu.pc(), 0);
+            assert!(matches!(cpu.step(), Err(SimError::BadRegister { .. })));
+        }
+    }
+
+    #[test]
+    fn sim_error_displays() {
+        let e = SimError::BadRegister { pc: 3, reg: 99 };
+        assert!(e.to_string().contains("r99"));
     }
 
     #[test]

@@ -50,11 +50,9 @@ pub fn apply_event_dift(dift: &mut DiftEngine, ev: &Event) -> DiftStep {
         step.mem_taint_write = step.mem_taint_write.or(out.mem_write);
     }
     if let Some(src) = ev.source {
-        if !src.trusted {
-            if dift.source_input(src.kind, src.addr, src.len).is_some() {
-                step.touched_taint = true;
-                step.mem_taint_write = Some((src.addr, src.len, true));
-            }
+        if !src.trusted && dift.source_input(src.kind, src.addr, src.len).is_some() {
+            step.touched_taint = true;
+            step.mem_taint_write = Some((src.addr, src.len, true));
         }
     }
     if let Some(ctrl) = ev.ctrl {

@@ -63,12 +63,25 @@ impl<T> BoundedFifo<T> {
     /// Attempts to enqueue; returns the value back when the queue is full.
     pub fn try_push(&mut self, value: T) -> Result<(), T> {
         if self.q.len() >= self.cap {
-            self.stats.rejects += 1;
+            self.stats.rejects = self.stats.rejects.saturating_add(1);
+            latch_obs::counter_inc("sim.fifo.rejects");
             return Err(value);
         }
         self.q.push_back(value);
-        self.stats.pushes += 1;
-        self.stats.max_occupancy = self.stats.max_occupancy.max(self.q.len());
+        self.stats.pushes = self.stats.pushes.saturating_add(1);
+        if self.q.len() > self.stats.max_occupancy {
+            self.stats.max_occupancy = self.q.len();
+            if latch_obs::ENABLED && latch_obs::watermark("sim.fifo.max_occupancy", self.q.len() as u64) {
+                latch_obs::emit(
+                    "sim.fifo",
+                    latch_obs::TraceEvent::FifoDepth {
+                        queue: "event_fifo",
+                        occupancy: self.q.len() as u32,
+                        capacity: self.cap as u32,
+                    },
+                );
+            }
+        }
         Ok(())
     }
 
@@ -76,7 +89,7 @@ impl<T> BoundedFifo<T> {
     pub fn pop(&mut self) -> Option<T> {
         let v = self.q.pop_front();
         if v.is_some() {
-            self.stats.pops += 1;
+            self.stats.pops = self.stats.pops.saturating_add(1);
         }
         v
     }

@@ -154,10 +154,12 @@ impl TagCache {
             match slot {
                 Some(i) => {
                     self.lines[base + i].last_use = self.clock;
-                    self.stats.hits += 1;
+                    self.stats.hits = self.stats.hits.saturating_add(1);
+                    latch_obs::counter_inc("systems.hlatch.tcache.hits");
                 }
                 None => {
-                    self.stats.misses += 1;
+                    self.stats.misses = self.stats.misses.saturating_add(1);
+                    latch_obs::counter_inc("systems.hlatch.tcache.misses");
                     misses += 1;
                     let victim = (0..ways)
                         .min_by_key(|&i| {
@@ -306,10 +308,17 @@ impl HLatch {
                 self.ctc_miss_accesses += 1;
             }
             match (out.resolved_at, out.coarse_tainted) {
-                (ResolvedAt::Tlb, _) => self.dist.tlb += 1,
-                (ResolvedAt::Ctc, false) => self.dist.ctc += 1,
+                (ResolvedAt::Tlb, _) => {
+                    self.dist.tlb = self.dist.tlb.saturating_add(1);
+                    latch_obs::counter_inc("systems.hlatch.dist.tlb");
+                }
+                (ResolvedAt::Ctc, false) => {
+                    self.dist.ctc = self.dist.ctc.saturating_add(1);
+                    latch_obs::counter_inc("systems.hlatch.dist.ctc");
+                }
                 (ResolvedAt::Ctc, true) => {
-                    self.dist.precise += 1;
+                    self.dist.precise = self.dist.precise.saturating_add(1);
+                    latch_obs::counter_inc("systems.hlatch.dist.precise");
                     if self.tcache.access(mem.addr, mem.len) > 0 {
                         self.tcache_miss_accesses += 1;
                     }

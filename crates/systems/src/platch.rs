@@ -217,6 +217,7 @@ impl QueueSim {
 
     /// Runs the simulation over a stream.
     pub fn run<S: EventSource>(&mut self, mut src: S) -> QueueSimReport {
+        let mut span = latch_obs::phase("platch.queue_sim");
         while let Some(ev) = src.next_event() {
             self.report.instrs += 1;
             self.report.producer_cycles += 1;
@@ -244,6 +245,13 @@ impl QueueSim {
             }
         }
         self.report.queue = *self.queue.stats();
+        span.instrs(self.report.instrs);
+        latch_obs::counter_add("systems.platch.enqueued", self.report.enqueued);
+        latch_obs::counter_add("systems.platch.stall_cycles", self.report.stall_cycles);
+        latch_obs::watermark(
+            "systems.platch.queue_high_water",
+            self.report.queue.max_occupancy as u64,
+        );
         self.report
     }
 
@@ -427,6 +435,7 @@ impl LaggedQueueSim {
 
     /// Runs the simulation over an event stream.
     pub fn run<S: EventSource>(&mut self, mut src: S) -> LaggedReport {
+        let mut span = latch_obs::phase("platch.lagged_sim");
         while let Some(ev) = src.next_event() {
             self.report.instrs += 1;
             self.consumer_tick(1);
@@ -469,6 +478,16 @@ impl LaggedQueueSim {
             self.consumer_tick(self.analysis_cycles_per_event);
         }
         self.report.pending = *self.pending.stats();
+        span.instrs(self.report.instrs);
+        latch_obs::counter_add("systems.platch.lagged.enqueued", self.report.enqueued);
+        latch_obs::counter_add(
+            "systems.platch.lagged.false_negatives",
+            self.report.false_negatives,
+        );
+        latch_obs::watermark(
+            "systems.platch.lagged.queue_high_water",
+            self.queue.stats().max_occupancy as u64,
+        );
         self.report.clone()
     }
 }

@@ -151,6 +151,28 @@ pub struct DegradationEvent {
     pub resumed_from_seq: u64,
 }
 
+impl DegradeCause {
+    /// Stable label used in traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DegradeCause::ConsumerDeath => "consumer_death",
+            DegradeCause::ConsumerPanic => "consumer_panic",
+            DegradeCause::IntegrityGap => "integrity_gap",
+            DegradeCause::Stall => "stall",
+        }
+    }
+}
+
+impl RecoveryAction {
+    /// Stable label used in traces and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecoveryAction::Restarted => "restarted",
+            RecoveryAction::Inline => "inline",
+        }
+    }
+}
+
 /// Deterministic results of a threaded run: identical across runs for
 /// the same events, seed, fault plan, and configuration.
 ///
@@ -363,13 +385,17 @@ fn consumer_life(
             expected += 1;
             applied += 1;
             shared.heartbeat.fetch_add(1, Ordering::Release);
-            if cfg.epoch_events > 0 && expected % cfg.epoch_events == 0 {
+            if cfg.epoch_events > 0 && expected.is_multiple_of(cfg.epoch_events) {
                 *shared.ckpt.lock() = Some(Checkpoint {
                     next_seq: expected,
                     engine: engine.clone(),
                     violations: violations.clone(),
                 });
                 shared.ckpt_seq.store(expected, Ordering::Release);
+                latch_obs::emit(
+                    "systems.platch_mt.consumer",
+                    latch_obs::TraceEvent::Checkpoint { seq: expected },
+                );
             }
             if life == 0 && inj.consumer_dies_now(applied) {
                 return outcome!(LifeEnd::Died);
@@ -408,7 +434,8 @@ fn watchdog_send(
         Ok(()) => return SendVerdict::Delivered,
         Err(TrySendError::Disconnected(_)) => return SendVerdict::Gone,
         Err(TrySendError::Full(m)) => {
-            timings.full_on_send += 1;
+            timings.full_on_send = timings.full_on_send.saturating_add(1);
+            latch_obs::timing_add("mt.full_on_send", 1);
             m
         }
     };
@@ -421,7 +448,8 @@ fn watchdog_send(
             Err(SendTimeoutError::Disconnected(_)) => return SendVerdict::Gone,
             Err(SendTimeoutError::Timeout(m)) => {
                 msg = m;
-                timings.send_retries += 1;
+                timings.send_retries = timings.send_retries.saturating_add(1);
+                latch_obs::timing_add("mt.send_retries", 1);
                 let beat = shared.heartbeat.load(Ordering::Acquire);
                 if beat != last_beat {
                     last_beat = beat;
@@ -430,7 +458,8 @@ fn watchdog_send(
                 } else {
                     stale_rounds += 1;
                     if stale_rounds >= cfg.max_send_backoff {
-                        timings.watchdog_stalls += 1;
+                        timings.watchdog_stalls = timings.watchdog_stalls.saturating_add(1);
+                        latch_obs::timing_add("mt.watchdog_stalls", 1);
                         return SendVerdict::Stalled;
                     }
                     wait_ms = (wait_ms * 2).min(100);
@@ -447,9 +476,10 @@ enum Mode {
         tx: Sender<Msg>,
         handle: JoinHandle<LifeOutcome>,
     },
-    /// Degraded: precise DIFT inline on the monitored core.
+    /// Degraded: precise DIFT inline on the monitored core. The engine
+    /// is boxed to keep `Mode` small (clippy: large_enum_variant).
     Inline {
-        engine: DiftEngine,
+        engine: Box<DiftEngine>,
         violations: Vec<(u64, SecurityViolation)>,
     },
     /// Transient placeholder while ownership moves through recovery.
@@ -532,7 +562,8 @@ impl Driver {
                 }
                 let packed = mirror.regs().to_packed();
                 latch.trf_mut().load_packed(packed);
-                if self.cfg.scrub_interval > 0 && (index + 1) % self.cfg.scrub_interval == 0 {
+                if self.cfg.scrub_interval > 0 && (index + 1).is_multiple_of(self.cfg.scrub_interval)
+                {
                     latch.scrub(mirror.shadow());
                 }
                 if hit || step.touched_taint {
@@ -620,6 +651,20 @@ impl Driver {
         }
     }
 
+    /// Records a recovery episode in the report and the trace.
+    fn record_degradation(&mut self, d: DegradationEvent) {
+        latch_obs::counter_inc("systems.platch_mt.degradations");
+        latch_obs::emit(
+            "systems.platch_mt",
+            latch_obs::TraceEvent::Degradation {
+                cause: d.cause.label(),
+                action: d.action.label(),
+                resumed_from_seq: d.resumed_from_seq,
+            },
+        );
+        self.report.degradations.push(d);
+    }
+
     fn prune_buffer(&mut self) {
         let ck = self.shared.ckpt_seq.load(Ordering::Acquire);
         while self.buffer.front().is_some_and(|(s, _)| *s < ck) {
@@ -659,8 +704,11 @@ impl Driver {
 
     fn absorb_failed_life(&mut self, out: &LifeOutcome) {
         self.faults.merge(out.faults);
-        self.timings.dup_discarded += out.dup_discarded;
-        self.timings.discarded_applies += out.applied;
+        self.timings.dup_discarded = self.timings.dup_discarded.saturating_add(out.dup_discarded);
+        self.timings.discarded_applies =
+            self.timings.discarded_applies.saturating_add(out.applied);
+        latch_obs::timing_add("mt.dup_discarded", out.dup_discarded);
+        latch_obs::timing_add("mt.discarded_applies", out.applied);
     }
 
     /// Resumes analysis from the last published checkpoint: respawn +
@@ -684,7 +732,7 @@ impl Driver {
                     RecoveryPolicy::Restart { max_restarts } => self.restarts_used < max_restarts,
                 };
             if !can_restart {
-                self.report.degradations.push(DegradationEvent {
+                self.record_degradation(DegradationEvent {
                     cause,
                     action: RecoveryAction::Inline,
                     resumed_from_seq: base_seq,
@@ -702,11 +750,14 @@ impl Driver {
                     self.report.inline_events += 1;
                 }
                 self.buffer.clear();
-                self.mode = Mode::Inline { engine, violations };
+                self.mode = Mode::Inline {
+                    engine: Box::new(engine),
+                    violations,
+                };
                 return;
             }
             self.restarts_used += 1;
-            self.report.degradations.push(DegradationEvent {
+            self.record_degradation(DegradationEvent {
                 cause,
                 action: RecoveryAction::Restarted,
                 resumed_from_seq: base_seq,
@@ -773,7 +824,7 @@ impl Driver {
                             faults: self.faults,
                             timings: self.timings,
                         },
-                        engine,
+                        *engine,
                     );
                 }
                 Mode::Streaming { tx, handle } => {
@@ -783,7 +834,9 @@ impl Driver {
                         Ok(out) => match out.end {
                             LifeEnd::Completed if out.next_seq == self.next_seq => {
                                 self.faults.merge(out.faults);
-                                self.timings.dup_discarded += out.dup_discarded;
+                                self.timings.dup_discarded =
+                                    self.timings.dup_discarded.saturating_add(out.dup_discarded);
+                                latch_obs::timing_add("mt.dup_discarded", out.dup_discarded);
                                 self.report.processed = out.next_seq;
                                 self.report.violations =
                                     out.violations.into_iter().map(|(_, v)| v).collect();
@@ -826,6 +879,9 @@ impl Driver {
             self.report.scrub = latch.stats().scrub;
         }
         self.faults.merge(self.inj.stats());
+        latch_obs::counter_add("systems.platch_mt.instrs", self.report.instrs);
+        latch_obs::counter_add("systems.platch_mt.enqueued", self.report.enqueued);
+        latch_obs::counter_add("systems.platch_mt.inline_events", self.report.inline_events);
     }
 }
 

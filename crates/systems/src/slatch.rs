@@ -243,6 +243,13 @@ impl SLatch {
                 TrapOutcome::EnterSoftware => {
                     // Transfer to the instrumented image: context switch
                     // plus a code-cache load for the current trace.
+                    latch_obs::emit(
+                        "systems.slatch",
+                        latch_obs::TraceEvent::EngineEnter {
+                            system: "slatch",
+                            at_instr: self.native_cycles,
+                        },
+                    );
                     self.breakdown.control_transfer +=
                         (self.cost.ctx_switch_cycles + self.code_cache_cycles) as f64;
                     // The trapped instruction re-executes under
@@ -269,6 +276,13 @@ impl SLatch {
         let touched = self.apply_precise(ev);
         if self.mode.on_instruction(touched) {
             // Timeout expired: clear-scan, strf, and return to hardware.
+            latch_obs::emit(
+                "systems.slatch",
+                latch_obs::TraceEvent::EngineExit {
+                    system: "slatch",
+                    at_instr: self.native_cycles,
+                },
+            );
             let report = self.latch.clear_scan(&ShadowView(&self.dift));
             self.breakdown.fp_checks +=
                 (report.domains_scanned * self.cost.clear_scan_cycles_per_domain) as f64;
@@ -296,9 +310,12 @@ impl SLatch {
 
     /// Drains an event source and reports.
     pub fn run<S: EventSource>(&mut self, mut src: S) -> SLatchReport {
+        let start = self.native_cycles;
+        let mut span = latch_obs::phase("slatch.run");
         while let Some(ev) = src.next_event() {
             self.on_event(&ev);
         }
+        span.instrs(self.native_cycles - start);
         self.report()
     }
 

@@ -507,7 +507,7 @@ fn mean_free(profile: &BenchmarkProfile) -> f64 {
 /// Exponentially distributed length with the given mean, at least 1.
 fn sample_len(rng: &mut SmallRng, mean: f64) -> u64 {
     let u: f64 = rng.gen_range(1e-9..1.0);
-    (-mean * u.ln()).max(1.0).min(1e15) as u64
+    (-mean * u.ln()).clamp(1.0, 1e15) as u64
 }
 
 impl EventSource for SyntheticSource {

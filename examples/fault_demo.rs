@@ -7,6 +7,10 @@
 //! fault-free golden run (no false negatives).
 //!
 //! Run with: `cargo run --release --example fault_demo [queue_capacity]`
+//!
+//! Built with `--features obs`, the demo also prints the observability
+//! text report (mode transitions, scrub repairs, degradation events,
+//! FIFO watermarks) collected across all scenarios.
 
 use latch::dift::engine::DiftEngine;
 use latch::faults::{FaultPlan, FlipDirection, FlipTarget};
@@ -143,4 +147,9 @@ fn main() {
         println!();
     }
     println!("all scenarios completed with zero false negatives");
+
+    if latch::obs::ENABLED {
+        println!("\n---- observability report (all scenarios) ----");
+        print!("{}", latch::obs::text_report());
+    }
 }

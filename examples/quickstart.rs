@@ -77,5 +77,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 * report.software_fraction
     );
     assert!(report.overhead_pct() < report.libdft_overhead_pct());
+
+    // ---- 5. Observability (opt-in) -------------------------------------
+    // Built with `--features obs`, everything above was traced for free:
+    // mode transitions, CTC hit/miss counts, TLB taint-bit updates.
+    if latch::obs::ENABLED {
+        println!("\n---- observability report ----");
+        print!("{}", latch::obs::text_report());
+    }
     Ok(())
 }

@@ -1,17 +1,26 @@
 #!/usr/bin/env bash
 # Tier-1 gate: everything a change must pass before merging.
-# Mirrors ROADMAP.md's verify line and adds the lint gate for the
-# fault-injection crate.
+# Mirrors ROADMAP.md's verify line and adds the workspace lint gate
+# plus both observability configurations (the obs layer must compile
+# to no-ops when off and stay green when on).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
+OBS_FEATURES="latch/obs,latch-bench/obs"
+
+echo "==> cargo build --release (obs off)"
 cargo build --release
 
-echo "==> cargo test -q"
+echo "==> cargo build --release (obs on)"
+cargo build --release --workspace --features "$OBS_FEATURES"
+
+echo "==> cargo test -q (obs off)"
 cargo test -q
 
-echo "==> cargo clippy -p latch-faults (deny warnings)"
-cargo clippy -q -p latch-faults --all-targets -- -D warnings
+echo "==> cargo test -q (obs on)"
+cargo test -q --workspace --features "$OBS_FEATURES"
+
+echo "==> cargo clippy --workspace (deny warnings)"
+cargo clippy -q --workspace --all-targets -- -D warnings
 
 echo "tier1: OK"

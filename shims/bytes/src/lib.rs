@@ -125,10 +125,6 @@ impl Bytes {
         }
     }
 
-    /// The unconsumed bytes as a slice.
-    pub fn as_ref(&self) -> &[u8] {
-        &self.data[self.start..self.end]
-    }
 }
 
 impl AsRef<[u8]> for Bytes {

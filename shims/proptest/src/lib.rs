@@ -474,8 +474,8 @@ mod tests {
 
         #[test]
         fn macro_binds_both_param_forms(x in 1u32..100, flag: bool, v in crate::collection::vec(0u8..10, 0..4)) {
-            prop_assert!(x >= 1 && x < 100);
-            prop_assert!(flag || !flag);
+            prop_assert!((1..100).contains(&x));
+            prop_assert!(u32::from(flag) <= 1);
             prop_assert!(v.len() < 4);
             prop_assert_eq!(x, x, "x={} roundtrip", x);
             prop_assert_ne!(x, 0);

@@ -20,6 +20,10 @@
 //! * [`faults`] — deterministic fault injection (coarse-state bit
 //!   flips, queue faults, consumer lag/death) for the robustness
 //!   harness; see `DESIGN.md` § "Failure modes & degradation".
+//! * [`obs`] — the zero-cost observability layer: metrics, typed trace
+//!   events, phase timing, and deterministic JSON snapshots. Inert
+//!   unless built with `--features obs`; see `DESIGN.md`
+//!   § "Observability".
 //!
 //! ## Quickstart
 //!
@@ -44,6 +48,7 @@ pub use latch_core as core;
 pub use latch_dift as dift;
 pub use latch_faults as faults;
 pub use latch_hwmodel as hwmodel;
+pub use latch_obs as obs;
 pub use latch_sim as sim;
 pub use latch_systems as systems;
 pub use latch_workloads as workloads;

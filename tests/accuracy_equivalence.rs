@@ -74,7 +74,7 @@ fn slatch_coarse_state_always_covers_precise() {
     while let Some(ev) = src.next_event() {
         s.on_event(&ev);
         i += 1;
-        if i % 5_000 == 0 {
+        if i.is_multiple_of(5_000) {
             assert!(
                 s.latch().coarse_covers_precise(
                     s.dift().shadow(),

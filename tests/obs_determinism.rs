@@ -1,0 +1,115 @@
+//! Determinism of the observability snapshot (root `obs` feature).
+//!
+//! The acceptance contract for `latch-obs` is that
+//! [`latch::obs::deterministic_json`] is **byte-identical** across
+//! reruns of the same seeded workload — including a P-LATCH run under
+//! an active fault plan with consumer death and queue faults. These
+//! tests run each pipeline twice against a reset registry and compare
+//! the exported JSON bytes.
+//!
+//! The whole file is compiled out unless the root crate is built with
+//! `--features obs` (the disabled build has nothing to snapshot).
+//!
+//! Determinism caveats exercised here on purpose:
+//! * timing-dependent data (wall-clock spans, send retries) lives in
+//!   the `timing` section, which the deterministic view excludes;
+//! * `platch_mt` trace tracks are only deterministic for non-stall
+//!   fault plans (an abandoned stalled consumer may emit late), so the
+//!   fault plan below injects drops and a consumer death but no stall.
+#![cfg(feature = "obs")]
+
+use latch::faults::FaultPlan;
+use latch::obs;
+use latch::sim::event::EventSource;
+use latch::systems::platch::QueueSim;
+use latch::systems::platch_mt::{run_resilient, RecoveryPolicy, ResilienceConfig};
+use latch::systems::slatch::SLatch;
+use latch::workloads::BenchmarkProfile;
+
+/// The obs registry is process-global; tests that reset it must not
+/// interleave with each other.
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    GATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn slatch_snapshot(seed: u64) -> String {
+    obs::reset();
+    let profile = BenchmarkProfile::by_name("gcc").expect("profile exists");
+    let mut system = SLatch::for_profile(&profile);
+    let _ = system.run(profile.stream(seed, 50_000));
+    obs::deterministic_json()
+}
+
+#[test]
+fn slatch_snapshot_is_byte_identical_across_reruns() {
+    let _g = serial();
+    let a = slatch_snapshot(42);
+    let b = slatch_snapshot(42);
+    assert_eq!(a, b, "same seed must export the same bytes");
+    // The run exercised the coarse check path: mode transitions and
+    // CTC hit/miss counts are in the snapshot.
+    assert!(a.contains("\"type\":\"mode_transition\""), "{a}");
+    assert!(a.contains("core.ctc."), "{a}");
+    // A different seed must actually change the snapshot — otherwise
+    // the equality above proves nothing.
+    assert_ne!(a, slatch_snapshot(43));
+    obs::reset();
+}
+
+fn queue_sim_snapshot() -> String {
+    obs::reset();
+    let profile = BenchmarkProfile::by_name("hmmer").expect("profile exists");
+    let mut sim = QueueSim::new(false, 64, 2);
+    let _ = sim.run(profile.stream(42, 20_000));
+    obs::deterministic_json()
+}
+
+#[test]
+fn queue_sim_snapshot_records_fifo_watermarks_deterministically() {
+    let _g = serial();
+    let a = queue_sim_snapshot();
+    assert_eq!(a, queue_sim_snapshot());
+    assert!(a.contains("sim.fifo.max_occupancy"), "{a}");
+    assert!(a.contains("\"type\":\"fifo_depth\""), "{a}");
+    assert!(a.contains("systems.platch.queue_high_water"), "{a}");
+    obs::reset();
+}
+
+fn platch_mt_fault_snapshot() -> (String, usize) {
+    obs::reset();
+    let profile = BenchmarkProfile::by_name("hmmer").expect("profile exists");
+    let mut src = profile.stream(42, 4_000);
+    let mut events = Vec::new();
+    while let Some(ev) = src.next_event() {
+        events.push(ev);
+    }
+    // A dying consumer, recovered by degrading to inline processing.
+    // No stall faults (see module docs). The checkpoint epoch is small
+    // enough that the consumer publishes several checkpoints before it
+    // dies, so recovery resumes mid-stream rather than from seq 0.
+    let plan = FaultPlan::new(7).with_consumer_death(1_000);
+    let cfg = ResilienceConfig {
+        recovery: RecoveryPolicy::Degrade,
+        epoch_events: 256,
+        ..ResilienceConfig::default()
+    };
+    let (out, _dift) = run_resilient(events, 128, false, plan, cfg);
+    (obs::deterministic_json(), out.report.degradations.len())
+}
+
+#[test]
+fn platch_mt_fault_run_snapshot_is_byte_identical() {
+    let _g = serial();
+    let (a, degradations) = platch_mt_fault_snapshot();
+    let (b, _) = platch_mt_fault_snapshot();
+    assert_eq!(a, b, "fault-plan rerun must export the same bytes");
+    // The run actually degraded, and every degradation event made it
+    // into both the report and the trace.
+    assert!(degradations > 0, "plan must trigger at least one degradation");
+    assert!(a.contains("\"type\":\"degradation\""), "{a}");
+    assert!(a.contains("systems.platch_mt.degradations"), "{a}");
+    assert!(a.contains("\"type\":\"checkpoint\""), "{a}");
+    assert!(a.contains("dift.instrs"), "{a}");
+    obs::reset();
+}
