@@ -1,0 +1,407 @@
+//! Stable text codec for regression-corpus programs.
+//!
+//! Minimized reproducers are checked into `tests/corpus/` as plain
+//! text, one record per line, so failures diff cleanly in review and
+//! the format survives refactors of the in-memory types. The grammar:
+//!
+//! ```text
+//! # comment (and blank lines) are ignored
+//! file <name> <hex-bytes|->        stage a VFS file (untrusted source)
+//! conn <0|1> <hex-bytes|->         queue a connection (1 = trusted)
+//! li r4 0x10000                    one instruction per line, in order
+//! stnt r4 r3 r5
+//! halt
+//! ```
+//!
+//! Instruction mnemonics mirror [`latch_sim::isa::Instr`] one-to-one;
+//! numbers accept decimal or `0x` hex, and `Store`/`Load` offsets are
+//! signed decimal. [`encode`] and [`decode`] round-trip exactly.
+
+use crate::generate::{HostConn, HostFile, TestProgram};
+use latch_sim::isa::{AluOp, BranchCond, Instr, MemSize, Syscall};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A parse failure, pointing at the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "corpus line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+fn hex(data: &[u8]) -> String {
+    if data.is_empty() {
+        return "-".to_string();
+    }
+    let mut s = String::with_capacity(data.len() * 2);
+    for b in data {
+        let _ = write!(s, "{b:02x}");
+    }
+    s
+}
+
+fn unhex(s: &str, line: usize) -> Result<Vec<u8>, CorpusError> {
+    if s == "-" {
+        return Ok(Vec::new());
+    }
+    if !s.len().is_multiple_of(2) {
+        return Err(CorpusError { line, msg: format!("odd-length hex `{s}`") });
+    }
+    (0..s.len() / 2)
+        .map(|i| {
+            u8::from_str_radix(&s[2 * i..2 * i + 2], 16)
+                .map_err(|_| CorpusError { line, msg: format!("bad hex `{s}`") })
+        })
+        .collect()
+}
+
+/// Serializes a program in the stable corpus format.
+pub fn encode(prog: &TestProgram) -> String {
+    let mut out = String::new();
+    out.push_str("# latch-conform corpus v1\n");
+    for f in &prog.files {
+        let _ = writeln!(out, "file {} {}", f.name, hex(&f.data));
+    }
+    for c in &prog.conns {
+        let _ = writeln!(out, "conn {} {}", u8::from(c.trusted), hex(&c.data));
+    }
+    for i in &prog.instrs {
+        let _ = writeln!(out, "{}", encode_instr(i));
+    }
+    out
+}
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Mul => "mul",
+        AluOp::Shl => "shl",
+        AluOp::Shr => "shr",
+    }
+}
+
+fn size_name(size: MemSize) -> &'static str {
+    match size {
+        MemSize::B1 => "b",
+        MemSize::B2 => "h",
+        MemSize::B4 => "w",
+    }
+}
+
+fn cond_name(cond: BranchCond) -> &'static str {
+    match cond {
+        BranchCond::Eq => "eq",
+        BranchCond::Ne => "ne",
+        BranchCond::Lt => "lt",
+        BranchCond::Ge => "ge",
+    }
+}
+
+fn sys_name(call: Syscall) -> &'static str {
+    match call {
+        Syscall::Exit => "exit",
+        Syscall::Open => "open",
+        Syscall::Read => "read",
+        Syscall::Write => "write",
+        Syscall::Close => "close",
+        Syscall::Socket => "socket",
+        Syscall::Accept => "accept",
+        Syscall::Recv => "recv",
+        Syscall::Send => "send",
+        Syscall::Rand => "rand",
+    }
+}
+
+fn encode_instr(i: &Instr) -> String {
+    match *i {
+        Instr::Li { rd, imm } => format!("li r{rd} {imm:#x}"),
+        Instr::Mov { rd, rs } => format!("mov r{rd} r{rs}"),
+        Instr::Alu { op, rd, rs1, rs2 } => {
+            format!("{} r{rd} r{rs1} r{rs2}", alu_name(op))
+        }
+        Instr::AluImm { op, rd, rs, imm } => {
+            format!("{}i r{rd} r{rs} {imm:#x}", alu_name(op))
+        }
+        Instr::Load { rd, base, off, size } => {
+            format!("load.{} r{rd} r{base} {off}", size_name(size))
+        }
+        Instr::Store { rs, base, off, size } => {
+            format!("store.{} r{rs} r{base} {off}", size_name(size))
+        }
+        Instr::Jmp { target } => format!("jmp {target}"),
+        Instr::Jr { rs } => format!("jr r{rs}"),
+        Instr::Branch { cond, rs1, rs2, target } => {
+            format!("b{} r{rs1} r{rs2} {target}", cond_name(cond))
+        }
+        Instr::Call { target } => format!("call {target}"),
+        Instr::Ret => "ret".to_string(),
+        Instr::Sys { call } => format!("sys {}", sys_name(call)),
+        Instr::Strf { rs } => format!("strf r{rs}"),
+        Instr::Stnt { addr, len, val } => format!("stnt r{addr} r{len} r{val}"),
+        Instr::Ltnt { rd } => format!("ltnt r{rd}"),
+        Instr::Halt => "halt".to_string(),
+        Instr::Nop => "nop".to_string(),
+    }
+}
+
+struct Parser<'a> {
+    line: usize,
+    toks: std::str::SplitWhitespace<'a>,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> CorpusError {
+        CorpusError { line: self.line, msg: msg.into() }
+    }
+
+    fn tok(&mut self) -> Result<&'a str, CorpusError> {
+        self.toks.next().ok_or_else(|| self.err("missing operand"))
+    }
+
+    fn done(mut self) -> Result<(), CorpusError> {
+        match self.toks.next() {
+            Some(extra) => Err(self.err(format!("trailing `{extra}`"))),
+            None => Ok(()),
+        }
+    }
+
+    fn num(&mut self) -> Result<u32, CorpusError> {
+        let t = self.tok()?;
+        let parsed = if let Some(h) = t.strip_prefix("0x") {
+            u32::from_str_radix(h, 16)
+        } else {
+            t.parse()
+        };
+        parsed.map_err(|_| self.err(format!("bad number `{t}`")))
+    }
+
+    fn off(&mut self) -> Result<i32, CorpusError> {
+        let t = self.tok()?;
+        t.parse().map_err(|_| self.err(format!("bad offset `{t}`")))
+    }
+
+    fn reg(&mut self) -> Result<u8, CorpusError> {
+        let t = self.tok()?;
+        let n: u8 = t
+            .strip_prefix('r')
+            .and_then(|d| d.parse().ok())
+            .ok_or_else(|| self.err(format!("bad register `{t}`")))?;
+        if n >= 16 {
+            return Err(self.err(format!("register r{n} out of range")));
+        }
+        Ok(n)
+    }
+}
+
+fn alu_op(name: &str) -> Option<AluOp> {
+    Some(match name {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "mul" => AluOp::Mul,
+        "shl" => AluOp::Shl,
+        "shr" => AluOp::Shr,
+        _ => return None,
+    })
+}
+
+fn mem_size(name: &str) -> Option<MemSize> {
+    Some(match name {
+        "b" => MemSize::B1,
+        "h" => MemSize::B2,
+        "w" => MemSize::B4,
+        _ => return None,
+    })
+}
+
+fn syscall(name: &str) -> Option<Syscall> {
+    Some(match name {
+        "exit" => Syscall::Exit,
+        "open" => Syscall::Open,
+        "read" => Syscall::Read,
+        "write" => Syscall::Write,
+        "close" => Syscall::Close,
+        "socket" => Syscall::Socket,
+        "accept" => Syscall::Accept,
+        "recv" => Syscall::Recv,
+        "send" => Syscall::Send,
+        "rand" => Syscall::Rand,
+    _ => return None,
+    })
+}
+
+/// Parses a program from the stable corpus format.
+///
+/// # Errors
+///
+/// Returns a [`CorpusError`] naming the first malformed line.
+pub fn decode(text: &str) -> Result<TestProgram, CorpusError> {
+    let mut prog = TestProgram { instrs: Vec::new(), files: Vec::new(), conns: Vec::new() };
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut p = Parser { line, toks: trimmed.split_whitespace() };
+        let head = p.tok()?;
+        match head {
+            "file" => {
+                let name = p.tok()?.to_string();
+                let data = unhex(p.tok()?, line)?;
+                p.done()?;
+                prog.files.push(HostFile { name, data });
+            }
+            "conn" => {
+                let trusted = match p.tok()? {
+                    "0" => false,
+                    "1" => true,
+                    other => return Err(p.err(format!("bad trust flag `{other}`"))),
+                };
+                let data = unhex(p.tok()?, line)?;
+                p.done()?;
+                prog.conns.push(HostConn { trusted, data });
+            }
+            _ => {
+                let instr = decode_instr(head, &mut p)?;
+                p.done()?;
+                prog.instrs.push(instr);
+            }
+        }
+    }
+    Ok(prog)
+}
+
+fn decode_instr(head: &str, p: &mut Parser<'_>) -> Result<Instr, CorpusError> {
+    // `load.w` / `store.b` style mnemonics split on the dot.
+    if let Some(size) = head.strip_prefix("load.").and_then(mem_size) {
+        return Ok(Instr::Load { rd: p.reg()?, base: p.reg()?, off: p.off()?, size });
+    }
+    if let Some(size) = head.strip_prefix("store.").and_then(mem_size) {
+        return Ok(Instr::Store { rs: p.reg()?, base: p.reg()?, off: p.off()?, size });
+    }
+    // `addi` etc.: ALU-with-immediate mnemonics end in `i`.
+    if let Some(op) = head.strip_suffix('i').and_then(alu_op) {
+        return Ok(Instr::AluImm { op, rd: p.reg()?, rs: p.reg()?, imm: p.num()? });
+    }
+    if let Some(op) = alu_op(head) {
+        return Ok(Instr::Alu { op, rd: p.reg()?, rs1: p.reg()?, rs2: p.reg()? });
+    }
+    // `beq`/`bne`/`blt`/`bge`.
+    if let Some(cond) = head.strip_prefix('b').and_then(|c| {
+        Some(match c {
+            "eq" => BranchCond::Eq,
+            "ne" => BranchCond::Ne,
+            "lt" => BranchCond::Lt,
+            "ge" => BranchCond::Ge,
+            _ => return None,
+        })
+    }) {
+        return Ok(Instr::Branch { cond, rs1: p.reg()?, rs2: p.reg()?, target: p.num()? });
+    }
+    Ok(match head {
+        "li" => Instr::Li { rd: p.reg()?, imm: p.num()? },
+        "mov" => Instr::Mov { rd: p.reg()?, rs: p.reg()? },
+        "jmp" => Instr::Jmp { target: p.num()? },
+        "jr" => Instr::Jr { rs: p.reg()? },
+        "call" => Instr::Call { target: p.num()? },
+        "ret" => Instr::Ret,
+        "sys" => {
+            let name = p.tok()?;
+            let call =
+                syscall(name).ok_or_else(|| p.err(format!("unknown syscall `{name}`")))?;
+            Instr::Sys { call }
+        }
+        "strf" => Instr::Strf { rs: p.reg()? },
+        "stnt" => Instr::Stnt { addr: p.reg()?, len: p.reg()?, val: p.reg()? },
+        "ltnt" => Instr::Ltnt { rd: p.reg()? },
+        "halt" => Instr::Halt,
+        "nop" => Instr::Nop,
+        other => return Err(p.err(format!("unknown mnemonic `{other}`"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::generate;
+
+    #[test]
+    fn generated_programs_round_trip() {
+        for seed in 0..48u64 {
+            let prog = generate(seed);
+            let text = encode(&prog);
+            let back = decode(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(back, prog, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn every_mnemonic_round_trips() {
+        let instrs = vec![
+            Instr::Li { rd: 1, imm: 0xFFFF_FFFF },
+            Instr::Mov { rd: 2, rs: 3 },
+            Instr::Alu { op: AluOp::Xor, rd: 4, rs1: 4, rs2: 4 },
+            Instr::AluImm { op: AluOp::Shr, rd: 5, rs: 6, imm: 3 },
+            Instr::Load { rd: 7, base: 8, off: -4, size: MemSize::B2 },
+            Instr::Store { rs: 9, base: 10, off: 16, size: MemSize::B1 },
+            Instr::Jmp { target: 9 },
+            Instr::Jr { rs: 11 },
+            Instr::Branch { cond: BranchCond::Ge, rs1: 12, rs2: 13, target: 0 },
+            Instr::Call { target: 14 },
+            Instr::Ret,
+            Instr::Sys { call: Syscall::Recv },
+            Instr::Strf { rs: 4 },
+            Instr::Stnt { addr: 1, len: 3, val: 5 },
+            Instr::Ltnt { rd: 14 },
+            Instr::Halt,
+            Instr::Nop,
+        ];
+        let prog = TestProgram {
+            instrs,
+            files: vec![HostFile { name: "f0".into(), data: vec![0xDE, 0xAD] }],
+            conns: vec![
+                HostConn { trusted: true, data: vec![] },
+                HostConn { trusted: false, data: vec![1, 2, 3] },
+            ],
+        };
+        let back = decode(&encode(&prog)).expect("decode");
+        assert_eq!(back, prog);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let text = "# header\n\n  # indented comment\nnop\nhalt\n";
+        let prog = decode(text).expect("decode");
+        assert_eq!(prog.instrs, vec![Instr::Nop, Instr::Halt]);
+    }
+
+    #[test]
+    fn errors_point_at_the_line() {
+        let e = decode("nop\nfrobnicate r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("frobnicate"));
+        let e = decode("li r16 0\n").unwrap_err();
+        assert!(e.msg.contains("out of range"));
+        let e = decode("file f0 abc\n").unwrap_err();
+        assert!(e.msg.contains("odd-length"));
+        let e = decode("nop extra\n").unwrap_err();
+        assert!(e.msg.contains("trailing"));
+    }
+}

@@ -1,0 +1,539 @@
+//! The differential driver: one program, five monitors, one verdict.
+//!
+//! A program's architectural trace is materialised **once** on a plain
+//! CPU; the generator's register discipline (see [`crate::generate`])
+//! guarantees the same trace re-emerges when S-LATCH re-executes the
+//! program natively. The raw trace feeds the reference oracle; a
+//! *desugared* copy — `stnt` effects rewritten into the core event
+//! vocabulary — feeds every event-driven system, so all legs agree on
+//! what the program did:
+//!
+//! 1. **Baseline DIFT** (`apply_event_dift` over a fresh engine).
+//! 2. **S-LATCH** via `run_cpu`, re-executing the program with the real
+//!    ISA-extension wiring, checkpointed for coarse-superset checks.
+//! 3. **Mirror unit**: a bare `LatchUnit` kept in sync from precise
+//!    DIFT steps — the layer the injected coarse-clear bug targets.
+//! 4. **H-LATCH** over the desugared trace, checkpointed.
+//! 5. **P-LATCH** `run_resilient` under a benign and a drop-bearing
+//!    fault plan (Degrade recovery keeps reports deterministic).
+//!
+//! Each leg's final precise map, register tags, and violation set must
+//! equal the oracle's; the coarse state must cover the precise state on
+//! every touched page at every checkpoint. Metamorphic runs then insert
+//! untainted no-ops and swap adjacent taint-inert events and demand the
+//! verdict does not move.
+
+use crate::generate::TestProgram;
+use crate::oracle::{self, OracleResult};
+use latch_core::config::LatchConfig;
+use latch_core::isa_ext::LatchInstr;
+use latch_core::unit::LatchUnit;
+use latch_core::{Addr, PreciseView, PAGE_SIZE};
+use latch_dift::engine::DiftEngine;
+use latch_dift::policy::{SecurityViolation, SourceKind, TaintPolicy};
+use latch_dift::prop::PropRule;
+use latch_dift::tag::TaintTag;
+use latch_faults::FaultPlan;
+use latch_sim::event::{Event, MemAccess, MemAccessKind, SourceInput, VecSource};
+use latch_sim::machine::apply_event_dift;
+use latch_systems::hlatch::HLatch;
+use latch_systems::platch_mt::{run_resilient, RecoveryPolicy, ResilienceConfig};
+use latch_systems::slatch::SLatch;
+use latch_workloads::BenchmarkProfile;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Instruction budget for one trace (generated programs halt orders of
+/// magnitude earlier; the cap bounds minimizer candidates whose control
+/// flow the deletion pass mangled).
+pub const TRACE_BUDGET: u64 = 30_000;
+
+/// Largest range (bytes) any single trace event may touch. Generated
+/// programs respect this by the `r3` length discipline; corpus files
+/// and minimizer candidates are rejected as out-of-contract instead of
+/// dragging every leg through a multi-gigabyte range walk.
+const MAX_EVENT_RANGE: u32 = 4096;
+
+/// Knobs for one differential check.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckOptions {
+    /// Events between coarse-superset checkpoints.
+    pub checkpoint_every: usize,
+    /// Run the metamorphic (no-op insertion + inert-swap) legs.
+    pub metamorphic: bool,
+    /// Inject the coarse-bit-clear bug into the mirror-unit leg: the
+    /// first coarse taint update is dropped, which the superset
+    /// checkpoints must catch.
+    pub inject_coarse_clear: bool,
+    /// Seed for the drop-bearing fault plan and metamorphic shuffles.
+    pub fault_seed: u64,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        Self {
+            checkpoint_every: 64,
+            metamorphic: true,
+            inject_coarse_clear: false,
+            fault_seed: 0xFA17,
+        }
+    }
+}
+
+/// Everything a green check reports (stable fields only, so summaries
+/// are byte-identical across reruns).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// Events in the materialised trace.
+    pub trace_len: usize,
+    /// Tainted bytes in the golden map at the end of the run.
+    pub tainted_bytes: usize,
+    /// Violations in the golden set.
+    pub violations: usize,
+    /// `Some(reason)` when the input was rejected as out-of-contract
+    /// (nothing was compared).
+    pub skipped: Option<&'static str>,
+}
+
+/// A disagreement between a system and the oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Divergence {
+    /// A leg's final tainted-byte map differs from the oracle's.
+    TaintMap {
+        /// Which leg disagreed.
+        leg: &'static str,
+        /// Bytes tainted per the oracle but not the leg.
+        missing: usize,
+        /// Bytes tainted per the leg but not the oracle (or with a
+        /// different tag).
+        extra: usize,
+    },
+    /// A leg's final register tags differ from the oracle's.
+    RegTags {
+        /// Which leg disagreed.
+        leg: &'static str,
+        /// First disagreeing register.
+        reg: usize,
+    },
+    /// A leg's violation set differs from the oracle's.
+    Violations {
+        /// Which leg disagreed.
+        leg: &'static str,
+        /// Violations per the oracle.
+        expected: usize,
+        /// Violations per the leg.
+        got: usize,
+    },
+    /// Coarse state failed to cover precise taint at a checkpoint — a
+    /// false negative, the one thing LATCH promises never happens.
+    CoarseSuperset {
+        /// Which leg disagreed.
+        leg: &'static str,
+        /// Event index of the failing checkpoint.
+        at_event: usize,
+        /// First uncovered page.
+        page: u32,
+    },
+    /// A metamorphic transform changed the verdict.
+    Metamorphic {
+        /// Which transform + leg disagreed.
+        leg: &'static str,
+    },
+    /// S-LATCH's native re-execution produced a different trace length
+    /// than the materialisation run (the register discipline failed).
+    TraceMismatch {
+        /// Events in the materialised trace.
+        expected: u64,
+        /// Instructions S-LATCH retired.
+        got: u64,
+    },
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Divergence::TaintMap { leg, missing, extra } => {
+                write!(f, "{leg}: taint map diverged ({missing} missing, {extra} extra bytes)")
+            }
+            Divergence::RegTags { leg, reg } => {
+                write!(f, "{leg}: register tag file diverged at r{reg}")
+            }
+            Divergence::Violations { leg, expected, got } => {
+                write!(f, "{leg}: violation set diverged (oracle {expected}, leg {got})")
+            }
+            Divergence::CoarseSuperset { leg, at_event, page } => write!(
+                f,
+                "{leg}: coarse state lost precise taint on page {page:#x} at event {at_event} (false negative)"
+            ),
+            Divergence::Metamorphic { leg } => {
+                write!(f, "{leg}: metamorphic transform changed the verdict")
+            }
+            Divergence::TraceMismatch { expected, got } => {
+                write!(f, "s-latch: native re-execution retired {got} instrs, trace has {expected}")
+            }
+        }
+    }
+}
+
+/// Materialises the architectural trace of `prog` on a plain CPU.
+pub fn materialize(prog: &TestProgram) -> Vec<Event> {
+    let mut cpu = prog.cpu();
+    let mut events = Vec::new();
+    while cpu.icount() < TRACE_BUDGET {
+        match cpu.step() {
+            Ok(Some(ev)) => events.push(ev),
+            Ok(None) => break,
+            Err(_) => break, // runaway pc / bad register ends the trace
+        }
+    }
+    events
+}
+
+/// Rewrites program-visible `stnt` effects into the core event
+/// vocabulary so systems without the ISA-extension wiring (baseline,
+/// H-LATCH, P-LATCH, trace-driven S-LATCH) see the same taint effects
+/// as `SLatch::run_cpu` applies through `exec_program_latch`:
+/// a tainting `stnt` becomes an untrusted `UserInput` source (both
+/// paths overwrite the range with `USER_INPUT`), an untainting one
+/// becomes a `StoreImm` clear. A write `MemAccess` is attached so
+/// coarse screens see the range.
+pub fn desugar(trace: &[Event]) -> Vec<Event> {
+    trace
+        .iter()
+        .map(|ev| {
+            let Some(LatchInstr::Stnt { addr, len, tainted }) = ev.latch else {
+                return *ev;
+            };
+            let mut out = *ev;
+            out.latch = None;
+            out.mem = Some(MemAccess { addr, len, kind: MemAccessKind::Write });
+            if tainted {
+                out.source = Some(SourceInput {
+                    kind: SourceKind::UserInput,
+                    addr,
+                    len,
+                    trusted: false,
+                });
+            } else {
+                out.prop = Some(PropRule::StoreImm { addr, len });
+            }
+            out
+        })
+        .collect()
+}
+
+/// The contract scan: ranges any event may touch are bounded, so no leg
+/// can be dragged through a gigabyte-scale walk by a mangled input.
+fn out_of_contract(trace: &[Event]) -> Option<&'static str> {
+    for ev in trace {
+        if let Some(LatchInstr::Stnt { len, .. }) = ev.latch {
+            if len > MAX_EVENT_RANGE {
+                return Some("stnt length over contract bound");
+            }
+        }
+        if ev.mem.is_some_and(|m| m.len > MAX_EVENT_RANGE)
+            || ev.source.is_some_and(|s| s.len > MAX_EVENT_RANGE)
+            || ev.sink.is_some_and(|s| s.len > MAX_EVENT_RANGE)
+        {
+            return Some("event range over contract bound");
+        }
+    }
+    None
+}
+
+type TaintedBytes = Vec<(Addr, TaintTag)>;
+
+fn tainted_set(dift: &DiftEngine) -> TaintedBytes {
+    let mut v: TaintedBytes = dift.shadow().iter_tainted().collect();
+    v.sort_unstable();
+    v
+}
+
+fn oracle_set(oracle: &OracleResult) -> TaintedBytes {
+    oracle.mem.iter().map(|(&a, &t)| (a, t)).collect()
+}
+
+fn compare_precise(
+    leg: &'static str,
+    dift: &DiftEngine,
+    oracle: &OracleResult,
+) -> Result<(), Box<Divergence>> {
+    let got = tainted_set(dift);
+    let want = oracle_set(oracle);
+    if got != want {
+        let got_set: BTreeSet<_> = got.iter().collect();
+        let want_set: BTreeSet<_> = want.iter().collect();
+        return Err(Box::new(Divergence::TaintMap {
+            leg,
+            missing: want_set.difference(&got_set).count(),
+            extra: got_set.difference(&want_set).count(),
+        }));
+    }
+    for r in 0..16 {
+        if dift.regs().get(r) != oracle.regs[r] {
+            return Err(Box::new(Divergence::RegTags { leg, reg: r }));
+        }
+    }
+    Ok(())
+}
+
+fn compare_violations(
+    leg: &'static str,
+    got: &[SecurityViolation],
+    oracle: &OracleResult,
+) -> Result<(), Box<Divergence>> {
+    if got != oracle.violations.as_slice() {
+        return Err(Box::new(Divergence::Violations {
+            leg,
+            expected: oracle.violations.len(),
+            got: got.len(),
+        }));
+    }
+    Ok(())
+}
+
+/// Coarse-superset check over every page the trace touched.
+fn check_superset<V: PreciseView>(
+    leg: &'static str,
+    unit: &LatchUnit,
+    view: &V,
+    pages: &BTreeSet<u32>,
+    at_event: usize,
+) -> Result<(), Box<Divergence>> {
+    for &page in pages {
+        let start = page.saturating_mul(PAGE_SIZE);
+        if !unit.coarse_covers_precise(view, start, PAGE_SIZE) {
+            return Err(Box::new(Divergence::CoarseSuperset { leg, at_event, page }));
+        }
+    }
+    Ok(())
+}
+
+/// Adapter: a `DiftEngine`'s shadow as a `PreciseView`.
+struct ShadowView<'a>(&'a DiftEngine);
+
+impl PreciseView for ShadowView<'_> {
+    fn any_tainted(&self, start: Addr, len: u32) -> bool {
+        self.0.shadow().any_tainted(start, len)
+    }
+}
+
+fn degrade_cfg() -> ResilienceConfig {
+    // Degrade recovery keeps drop-bearing reports byte-identical (see
+    // PR 1's fault oracle); Restart cutover is timing-sensitive.
+    ResilienceConfig { recovery: RecoveryPolicy::Degrade, ..ResilienceConfig::default() }
+}
+
+/// Replays `events` through a fresh baseline engine, returning the
+/// engine and its violations.
+fn baseline(events: &[Event]) -> (DiftEngine, Vec<SecurityViolation>) {
+    let mut dift = DiftEngine::new();
+    let mut violations = Vec::new();
+    for ev in events {
+        let step = apply_event_dift(&mut dift, ev);
+        if let Some(v) = step.violation {
+            violations.push(v);
+        }
+    }
+    (dift, violations)
+}
+
+/// Runs the full differential check for one program.
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] found (boxed: the variants carry
+/// context and the happy path should stay cheap).
+pub fn check(prog: &TestProgram, opts: &CheckOptions) -> Result<Verdict, Box<Divergence>> {
+    let trace = materialize(prog);
+    if let Some(reason) = out_of_contract(&trace) {
+        return Ok(Verdict {
+            trace_len: trace.len(),
+            tainted_bytes: 0,
+            violations: 0,
+            skipped: Some(reason),
+        });
+    }
+
+    let policy = TaintPolicy::default();
+    let golden = oracle::run(&trace, &policy);
+    let desugared = desugar(&trace);
+    let ckpt = opts.checkpoint_every.max(1);
+
+    // ---- leg 1: baseline precise DIFT --------------------------------
+    let (dift, violations) = baseline(&desugared);
+    compare_precise("baseline", &dift, &golden)?;
+    compare_violations("baseline", &violations, &golden)?;
+
+    // ---- leg 2: the mirror unit (and the injection point) ------------
+    {
+        let params = LatchConfig::s_latch().build().expect("default s-latch params");
+        let mut unit = LatchUnit::new(params);
+        let mut dift = DiftEngine::new();
+        let mut violations = Vec::new();
+        let mut injected = !opts.inject_coarse_clear;
+        for (i, ev) in desugared.iter().enumerate() {
+            let step = apply_event_dift(&mut dift, ev);
+            if let Some(v) = step.violation {
+                violations.push(v);
+            }
+            if let Some((addr, len, tainted)) = step.mem_taint_write {
+                if !injected && tainted {
+                    injected = true; // drop exactly one coarse set: the bug
+                } else {
+                    unit.write_taint(addr, len, tainted);
+                }
+            }
+            if (i + 1) % ckpt == 0 {
+                check_superset("mirror", &unit, &ShadowView(&dift), &golden.touched_pages, i)?;
+            }
+        }
+        check_superset("mirror", &unit, &ShadowView(&dift), &golden.touched_pages, desugared.len())?;
+        compare_precise("mirror", &dift, &golden)?;
+        compare_violations("mirror", &violations, &golden)?;
+    }
+
+    // ---- leg 3: S-LATCH, native re-execution -------------------------
+    {
+        let mut s = SLatch::for_profile(
+            &BenchmarkProfile::by_name("gcc").expect("gcc profile exists"),
+        );
+        let mut cpu = prog.cpu();
+        let mut budget = 0u64;
+        while budget < TRACE_BUDGET {
+            budget = (budget + ckpt as u64).min(TRACE_BUDGET);
+            if s.run_cpu(&mut cpu, budget).is_err() {
+                break; // same truncation as materialize()
+            }
+            check_superset(
+                "s-latch",
+                s.latch(),
+                &ShadowView(s.dift()),
+                &golden.touched_pages,
+                cpu.icount() as usize,
+            )?;
+            if cpu.halted() || cpu.icount() < budget {
+                break;
+            }
+        }
+        if cpu.icount() != trace.len() as u64 {
+            return Err(Box::new(Divergence::TraceMismatch {
+                expected: trace.len() as u64,
+                got: cpu.icount(),
+            }));
+        }
+        compare_precise("s-latch", s.dift(), &golden)?;
+        let got = s.report().violations;
+        if got != golden.violations.len() as u64 {
+            return Err(Box::new(Divergence::Violations {
+                leg: "s-latch",
+                expected: golden.violations.len(),
+                got: got as usize,
+            }));
+        }
+    }
+
+    // ---- leg 4: H-LATCH over the desugared trace ---------------------
+    {
+        let mut h = HLatch::new();
+        for (i, ev) in desugared.iter().enumerate() {
+            h.on_event(ev);
+            if (i + 1) % ckpt == 0 {
+                check_superset("h-latch", h.latch(), &ShadowView(h.dift()), &golden.touched_pages, i)?;
+            }
+        }
+        check_superset("h-latch", h.latch(), &ShadowView(h.dift()), &golden.touched_pages, desugared.len())?;
+        compare_precise("h-latch", h.dift(), &golden)?;
+        let got = h.report().violations;
+        if got != golden.violations.len() as u64 {
+            return Err(Box::new(Divergence::Violations {
+                leg: "h-latch",
+                expected: golden.violations.len(),
+                got: got as usize,
+            }));
+        }
+    }
+
+    // ---- leg 5: P-LATCH, benign and drop-bearing plans ---------------
+    {
+        let (outcome, engine) =
+            run_resilient(desugared.clone(), 256, true, FaultPlan::benign(), degrade_cfg());
+        compare_precise("p-latch/benign", &engine, &golden)?;
+        compare_violations("p-latch/benign", &outcome.report.violations, &golden)?;
+
+        let plan = FaultPlan::new(opts.fault_seed).with_queue_faults(30, 15, 10);
+        let (outcome, engine) = run_resilient(desugared.clone(), 64, true, plan, degrade_cfg());
+        compare_precise("p-latch/faulty", &engine, &golden)?;
+        compare_violations("p-latch/faulty", &outcome.report.violations, &golden)?;
+    }
+
+    // ---- metamorphic legs --------------------------------------------
+    if opts.metamorphic && !desugared.is_empty() {
+        let mut rng = SmallRng::seed_from_u64(opts.fault_seed ^ 0x4E0B);
+
+        // (a) inserting untainted no-ops never changes the verdict.
+        let mut padded = Vec::with_capacity(desugared.len() + desugared.len() / 8 + 1);
+        for ev in &desugared {
+            if rng.gen_bool(0.125) {
+                padded.push(Event::empty(ev.pc));
+            }
+            padded.push(*ev);
+        }
+        run_metamorphic("nop-insertion", &padded, &golden)?;
+
+        // (b) swapping adjacent taint-inert events (independent
+        // untainted stores and friends) never changes the verdict.
+        let mut swapped = desugared.clone();
+        let mut i = 0;
+        while i + 1 < swapped.len() {
+            if golden.inert[i] && golden.inert[i + 1] && rng.gen_bool(0.5) {
+                swapped.swap(i, i + 1);
+                i += 2;
+            } else {
+                i += 1;
+            }
+        }
+        run_metamorphic("inert-swap", &swapped, &golden)?;
+    }
+
+    Ok(Verdict {
+        trace_len: trace.len(),
+        tainted_bytes: golden.mem.len(),
+        violations: golden.violations.len(),
+        skipped: None,
+    })
+}
+
+/// One metamorphic run: the mutated trace must reproduce the golden
+/// verdict on the baseline, trace-driven S-LATCH, and H-LATCH legs.
+fn run_metamorphic(
+    transform: &'static str,
+    mutated: &[Event],
+    golden: &OracleResult,
+) -> Result<(), Box<Divergence>> {
+    let (dift, violations) = baseline(mutated);
+    if tainted_set(&dift) != oracle_set(golden) || violations != golden.violations {
+        return Err(Box::new(Divergence::Metamorphic { leg: transform }));
+    }
+
+    let mut s = SLatch::for_profile(&BenchmarkProfile::by_name("gcc").expect("gcc profile exists"));
+    s.run(VecSource::new(mutated.to_vec()));
+    if tainted_set(s.dift()) != oracle_set(golden)
+        || s.report().violations != golden.violations.len() as u64
+    {
+        return Err(Box::new(Divergence::Metamorphic { leg: transform }));
+    }
+
+    let mut h = HLatch::new();
+    for ev in mutated {
+        h.on_event(ev);
+    }
+    if tainted_set(h.dift()) != oracle_set(golden)
+        || h.report().violations != golden.violations.len() as u64
+    {
+        return Err(Box::new(Divergence::Metamorphic { leg: transform }));
+    }
+    Ok(())
+}

@@ -1,0 +1,542 @@
+//! Seeded, deterministic random program generator over the full
+//! `latch-sim` ISA.
+//!
+//! The generator is adversarial about *addresses* — domain boundaries,
+//! page edges, and the top of the address space — and cooperative about
+//! *register discipline*, so that one generated program yields the same
+//! architectural trace on every system it is replayed through:
+//!
+//! * `r15` is the stack pointer and is only used by `call`/`ret`
+//!   scaffolding (plus read-only as a store base in the return-slot
+//!   attack).
+//! * `r14` is the exclusive `ltnt` destination and is **never read**.
+//!   Under `SLatch::run_cpu` the response port carries real exception
+//!   addresses, while a plain trace-materialisation run leaves it zero;
+//!   keeping `r14` write-only makes the divergence architecturally
+//!   invisible.
+//! * `r13`/`r12` are the loop bound/counter and only loop scaffolding
+//!   touches them, so every generated loop terminates.
+//! * `r3` is the *length register*: it is only ever written by
+//!   `li r3, n` with `n ≤ 256`. Syscall and `stnt` lengths always come
+//!   from `r3`, so no trace can carry a multi-megabyte access even
+//!   after the minimizer deletes setup instructions.
+
+use latch_sim::asm::DATA_BASE;
+use latch_sim::cpu::Cpu;
+use latch_sim::isa::{AluOp, BranchCond, Instr, MemSize, Syscall};
+use latch_sim::syscall::{Connection, SyscallHost};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A file staged in the emulated VFS (always an untrusted taint source).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostFile {
+    /// VFS path.
+    pub name: String,
+    /// File contents.
+    pub data: Vec<u8>,
+}
+
+/// A queued inbound connection (trusted peers produce untainted data).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostConn {
+    /// Whether the peer is trusted.
+    pub trusted: bool,
+    /// Bytes the peer sends.
+    pub data: Vec<u8>,
+}
+
+/// A generated (or corpus-loaded) test case: a program plus the host
+/// environment it runs against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestProgram {
+    /// The instruction stream.
+    pub instrs: Vec<Instr>,
+    /// Files staged in the VFS.
+    pub files: Vec<HostFile>,
+    /// Connections queued for `accept`, in order.
+    pub conns: Vec<HostConn>,
+}
+
+impl TestProgram {
+    /// Builds a fresh host environment for one run of the program.
+    pub fn host(&self) -> SyscallHost {
+        let mut host = SyscallHost::new().with_seed(0x00C0_FFEE);
+        for f in &self.files {
+            host = host.with_file(&f.name, f.data.clone());
+        }
+        for c in &self.conns {
+            host.push_connection(Connection { data: c.data.clone(), trusted: c.trusted });
+        }
+        host
+    }
+
+    /// Builds a fresh CPU over the program and a fresh host.
+    pub fn cpu(&self) -> Cpu {
+        Cpu::new(self.instrs.clone(), self.host())
+    }
+}
+
+/// Coarse domain size the address bias targets (the default S-LATCH
+/// geometry).
+const DOMAIN: u32 = 64;
+const PAGE: u32 = 4096;
+
+/// Scratch page where path strings are staged before `open`.
+const PATH_BUF: u32 = 0x0000_0F00;
+
+/// General-purpose register pool. Excludes `r3` (length register),
+/// `r12`/`r13` (loop scaffolding), `r14` (`ltnt` sink) and `r15` (SP).
+const POOL: [u8; 10] = [0, 1, 2, 4, 5, 6, 7, 8, 9, 10];
+
+/// Pool of registers safe to use while a loop is live (excludes the
+/// syscall argument registers too, so loop bodies cannot clobber an
+/// in-flight fd in `r1`).
+const BODY_POOL: [u8; 7] = [4, 5, 6, 7, 8, 9, 10];
+
+struct Gen {
+    rng: SmallRng,
+    instrs: Vec<Instr>,
+    files: Vec<HostFile>,
+    conns: Vec<HostConn>,
+}
+
+impl Gen {
+    fn pick(&mut self, pool: &[u8]) -> u8 {
+        pool[self.rng.gen_range(0..pool.len())]
+    }
+
+    /// An address biased toward the structurally interesting spots:
+    /// domain straddles, page edges, and the top of the address space.
+    fn biased_addr(&mut self) -> u32 {
+        let base: u32 = match self.rng.gen_range(0..10u32) {
+            0..=3 => DATA_BASE,
+            4..=5 => 0x0002_0000,
+            6 => 0x0100_0000,
+            7 => 0x0000_2000,
+            8 => 0xFFFF_F000,          // top page
+            _ => 0xFFFF_FFC0,          // final domain
+        };
+        let off: u32 = match self.rng.gen_range(0..9u32) {
+            0 => 0,
+            1 => DOMAIN - 2,           // domain straddle
+            2 => DOMAIN - 1,
+            3 => DOMAIN,
+            4 => PAGE - 2,             // page straddle
+            5 => PAGE - 1,
+            6 => self.rng.gen_range(0..DOMAIN),
+            7 => self.rng.gen_range(0..PAGE),
+            _ => 2 * DOMAIN + 1,
+        };
+        // The bases near the top were chosen so the worst case lands
+        // exactly on 0xFFFF_FFFF; saturate rather than wrap.
+        base.saturating_add(off)
+    }
+
+    /// A small length, biased to straddle a domain boundary.
+    fn biased_len(&mut self) -> u32 {
+        match self.rng.gen_range(0..7u32) {
+            0 => 1,
+            1 => 2,
+            2 => 4,
+            3 => DOMAIN - 1,
+            4 => DOMAIN,
+            5 => DOMAIN + 2,
+            _ => self.rng.gen_range(1..=96),
+        }
+    }
+
+    fn mem_size(&mut self) -> MemSize {
+        match self.rng.gen_range(0..3u32) {
+            0 => MemSize::B1,
+            1 => MemSize::B2,
+            _ => MemSize::B4,
+        }
+    }
+
+    fn alu_op(&mut self) -> AluOp {
+        match self.rng.gen_range(0..8u32) {
+            0 => AluOp::Add,
+            1 => AluOp::Sub,
+            2 => AluOp::And,
+            3 => AluOp::Or,
+            4 => AluOp::Xor,
+            5 => AluOp::Mul,
+            6 => AluOp::Shl,
+            _ => AluOp::Shr,
+        }
+    }
+
+    fn emit(&mut self, i: Instr) {
+        self.instrs.push(i);
+    }
+
+    /// `li rd, imm` — the only way the generator writes a register with
+    /// a known value.
+    fn li(&mut self, rd: u8, imm: u32) {
+        self.emit(Instr::Li { rd, imm });
+    }
+
+    // ---- simple data-flow actions -------------------------------------
+
+    fn act_store(&mut self, pool: &[u8]) {
+        let rs = self.pick(pool);
+        let base = self.pick(pool);
+        let addr = self.biased_addr();
+        let size = self.mem_size();
+        self.li(base, addr);
+        self.emit(Instr::Store { rs, base, off: 0, size });
+    }
+
+    fn act_load(&mut self, pool: &[u8]) {
+        let rd = self.pick(pool);
+        let base = self.pick(pool);
+        let addr = self.biased_addr();
+        let size = self.mem_size();
+        self.li(base, addr);
+        self.emit(Instr::Load { rd, base, off: 0, size });
+    }
+
+    fn act_alu(&mut self, pool: &[u8]) {
+        let op = self.alu_op();
+        let rd = self.pick(pool);
+        let rs1 = self.pick(pool);
+        let rs2 = self.pick(pool);
+        self.emit(Instr::Alu { op, rd, rs1, rs2 });
+    }
+
+    fn act_alu_imm(&mut self, pool: &[u8]) {
+        let op = self.alu_op();
+        let rd = self.pick(pool);
+        let rs = self.pick(pool);
+        let imm = if self.rng.gen_bool(0.5) {
+            self.rng.gen_range(0..64)
+        } else {
+            self.biased_addr()
+        };
+        self.emit(Instr::AluImm { op, rd, rs, imm });
+    }
+
+    fn act_mov(&mut self, pool: &[u8]) {
+        let rd = self.pick(pool);
+        let rs = self.pick(pool);
+        self.emit(Instr::Mov { rd, rs });
+    }
+
+    fn act_clear(&mut self, pool: &[u8]) {
+        // The canonical zeroing idiom: `xor r, r` clears the tag too.
+        let rd = self.pick(pool);
+        self.emit(Instr::Alu { op: AluOp::Xor, rd, rs1: rd, rs2: rd });
+    }
+
+    // ---- LATCH ISA extensions -----------------------------------------
+
+    fn act_stnt(&mut self, pool: &[u8]) {
+        let ra = self.pick(pool);
+        let rv = self.pick(pool);
+        let addr = self.biased_addr();
+        let len = self.biased_len();
+        let tainted = self.rng.gen_bool(0.6);
+        self.li(ra, addr);
+        self.li(3, len);
+        self.li(rv, u32::from(tainted));
+        self.emit(Instr::Stnt { addr: ra, len: 3, val: rv });
+    }
+
+    fn act_strf(&mut self) {
+        // `strf` is a monitor-privileged instruction: a program load of
+        // a pattern *missing* bits for precisely tainted registers would
+        // legitimately break the TRF-superset invariant. The generator
+        // only emits the one always-conservative idiom — all ones —
+        // which can cause false positives but never false negatives.
+        let rs = self.rng.gen_range(4..=9u8);
+        self.li(rs, u32::MAX);
+        self.li(rs + 1, u32::MAX);
+        self.emit(Instr::Strf { rs });
+    }
+
+    fn act_ltnt(&mut self) {
+        self.emit(Instr::Ltnt { rd: 14 });
+    }
+
+    // ---- syscalls ------------------------------------------------------
+
+    /// Stages a file and emits open+read into a biased buffer. Files are
+    /// always untrusted sources (FILE tag).
+    fn act_file_read(&mut self) {
+        let name = format!("f{}", self.files.len());
+        let data_len = self.rng.gen_range(4..=48usize);
+        let data: Vec<u8> = (0..data_len).map(|_| self.rng.gen()).collect();
+        self.files.push(HostFile { name: name.clone(), data });
+        self.emit_open(&name);
+        self.emit(Instr::Mov { rd: 1, rs: 0 });
+        let buf = self.biased_addr();
+        let len = self.rng.gen_range(1..=data_len as u32 + 4);
+        self.li(2, buf);
+        self.li(3, len);
+        self.emit(Instr::Sys { call: Syscall::Read });
+    }
+
+    /// Stages a connection and emits socket+accept+recv.
+    fn act_recv(&mut self, trusted: bool) {
+        let data_len = self.rng.gen_range(4..=48usize);
+        let data: Vec<u8> = (0..data_len).map(|_| self.rng.gen()).collect();
+        self.conns.push(HostConn { trusted, data });
+        self.emit(Instr::Sys { call: Syscall::Socket });
+        self.emit(Instr::Mov { rd: 1, rs: 0 });
+        self.emit(Instr::Sys { call: Syscall::Accept });
+        self.emit(Instr::Mov { rd: 1, rs: 0 });
+        let buf = self.biased_addr();
+        let len = self.rng.gen_range(1..=data_len as u32 + 4);
+        self.li(2, buf);
+        self.li(3, len);
+        self.emit(Instr::Sys { call: Syscall::Recv });
+    }
+
+    /// Writes a buffer to stdout — a sink access over possibly tainted
+    /// data (screened by every system; never a violation under the
+    /// default policy, which does not track SECRET).
+    fn act_sink(&mut self) {
+        let buf = self.biased_addr();
+        let len = self.rng.gen_range(1..=64u32);
+        self.li(1, 1); // stdout
+        self.li(2, buf);
+        self.li(3, len);
+        let call = if self.rng.gen_bool(0.5) { Syscall::Write } else { Syscall::Send };
+        self.emit(Instr::Sys { call });
+    }
+
+    fn act_rand(&mut self) {
+        self.emit(Instr::Sys { call: Syscall::Rand });
+    }
+
+    /// Stages `name`'s bytes at [`PATH_BUF`] and emits `open`.
+    fn emit_open(&mut self, name: &str) {
+        for (i, b) in name.bytes().enumerate() {
+            self.li(4, PATH_BUF);
+            self.li(5, u32::from(b));
+            self.emit(Instr::Store { rs: 5, base: 4, off: i as i32, size: MemSize::B1 });
+        }
+        self.li(1, PATH_BUF);
+        self.li(2, name.len() as u32);
+        self.emit(Instr::Sys { call: Syscall::Open });
+    }
+
+    // ---- control flow ---------------------------------------------------
+
+    /// A bounded counted loop around a few simple body actions.
+    fn act_loop(&mut self) {
+        let iters = self.rng.gen_range(2..=4u32);
+        self.li(12, 0);
+        self.li(13, iters);
+        let top = self.instrs.len() as u32;
+        let body = self.rng.gen_range(1..=3u32);
+        for _ in 0..body {
+            match self.rng.gen_range(0..5u32) {
+                0 => self.act_store(&BODY_POOL),
+                1 => self.act_load(&BODY_POOL),
+                2 => self.act_alu(&BODY_POOL),
+                3 => self.act_mov(&BODY_POOL),
+                _ => self.act_stnt(&BODY_POOL),
+            }
+        }
+        self.emit(Instr::AluImm { op: AluOp::Add, rd: 12, rs: 12, imm: 1 });
+        self.emit(Instr::Branch { cond: BranchCond::Lt, rs1: 12, rs2: 13, target: top });
+    }
+
+    /// A straight-line call/return pair with a tiny body.
+    fn act_call(&mut self) {
+        let call_idx = self.instrs.len() as u32;
+        // call F; jmp after; F: body…; ret; after:
+        self.emit(Instr::Call { target: 0 }); // patched below
+        self.emit(Instr::Jmp { target: 0 }); // patched below
+        let f = self.instrs.len() as u32;
+        let body = self.rng.gen_range(1..=2u32);
+        for _ in 0..body {
+            match self.rng.gen_range(0..3u32) {
+                0 => self.act_alu(&BODY_POOL),
+                1 => self.act_load(&BODY_POOL),
+                _ => self.act_mov(&BODY_POOL),
+            }
+        }
+        self.emit(Instr::Ret);
+        let after = self.instrs.len() as u32;
+        self.instrs[call_idx as usize] = Instr::Call { target: f };
+        self.instrs[call_idx as usize + 1] = Instr::Jmp { target: after };
+    }
+
+    /// Control-flow hijack through a register loaded from an untrusted
+    /// file: the jump target is architecturally valid (execution
+    /// continues) but the register is FILE-tainted, so every system must
+    /// report a `TaintedControlFlow` violation at the `jr`.
+    fn act_jr_hijack(&mut self) {
+        let name = format!("f{}", self.files.len());
+        let file_slot = self.files.len();
+        // Placeholder data; patched once the landing pc is known.
+        self.files.push(HostFile { name: name.clone(), data: vec![0; 4] });
+        self.emit_open(&name);
+        self.emit(Instr::Mov { rd: 1, rs: 0 });
+        let jbuf = DATA_BASE + 0x800;
+        self.li(2, jbuf);
+        self.li(3, 4);
+        self.emit(Instr::Sys { call: Syscall::Read });
+        self.li(6, jbuf);
+        self.emit(Instr::Load { rd: 7, base: 6, off: 0, size: MemSize::B4 });
+        self.emit(Instr::Jr { rs: 7 });
+        let landing = self.instrs.len() as u32;
+        self.files[file_slot].data = landing.to_le_bytes().to_vec();
+    }
+
+    /// The canonical stack-smash: untrusted connection data overwrites
+    /// the saved return address; `ret` pops a NETWORK-tainted target.
+    fn act_ret_hijack(&mut self) {
+        let conn_slot = self.conns.len();
+        self.conns.push(HostConn { trusted: false, data: vec![0; 4] });
+        self.emit(Instr::Sys { call: Syscall::Socket });
+        self.emit(Instr::Mov { rd: 1, rs: 0 });
+        self.emit(Instr::Sys { call: Syscall::Accept });
+        self.emit(Instr::Mov { rd: 1, rs: 0 });
+        let rbuf = DATA_BASE + 0x900;
+        self.li(2, rbuf);
+        self.li(3, 4);
+        self.emit(Instr::Sys { call: Syscall::Recv });
+        let call_idx = self.instrs.len() as u32;
+        self.emit(Instr::Call { target: call_idx + 1 });
+        // Callee: overwrite the return slot with the tainted word.
+        self.li(4, rbuf);
+        self.emit(Instr::Load { rd: 5, base: 4, off: 0, size: MemSize::B4 });
+        self.emit(Instr::Store { rs: 5, base: 15, off: 0, size: MemSize::B4 });
+        self.emit(Instr::Ret);
+        let landing = self.instrs.len() as u32;
+        self.conns[conn_slot].data = landing.to_le_bytes().to_vec();
+    }
+
+    /// Register-width stores/loads hugging `u32::MAX`, where the taint
+    /// plane clamps while data memory wraps.
+    fn act_top_of_space(&mut self, pool: &[u8]) {
+        let rs = self.pick(pool);
+        let base = self.pick(pool);
+        let addr = u32::MAX - self.rng.gen_range(0..6u32);
+        self.li(base, addr);
+        if self.rng.gen_bool(0.5) {
+            self.emit(Instr::Store { rs, base, off: 0, size: MemSize::B4 });
+        } else {
+            self.emit(Instr::Load { rd: rs, base, off: 0, size: MemSize::B4 });
+        }
+    }
+
+    fn act_any(&mut self) {
+        match self.rng.gen_range(0..100u32) {
+            0..=11 => self.act_store(&POOL),
+            12..=23 => self.act_load(&POOL),
+            24..=33 => self.act_alu(&POOL),
+            34..=40 => self.act_alu_imm(&POOL),
+            41..=46 => self.act_mov(&POOL),
+            47..=50 => self.act_clear(&POOL),
+            51..=58 => self.act_stnt(&POOL),
+            59..=62 => self.act_strf(),
+            63..=65 => self.act_ltnt(),
+            66..=71 => self.act_file_read(),
+            72..=76 => self.act_recv(false),
+            77..=79 => self.act_recv(true),
+            80..=84 => self.act_sink(),
+            85..=86 => self.act_rand(),
+            87..=90 => self.act_loop(),
+            91..=93 => self.act_call(),
+            94..=95 => self.act_jr_hijack(),
+            96..=97 => self.act_ret_hijack(),
+            _ => self.act_top_of_space(&POOL),
+        }
+    }
+}
+
+/// Generates the deterministic test program for `seed`.
+pub fn generate(seed: u64) -> TestProgram {
+    let mut g = Gen {
+        rng: SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x0001_A7C4),
+        instrs: Vec::new(),
+        files: Vec::new(),
+        conns: Vec::new(),
+    };
+    // Every program starts with at least one untrusted source, so taint
+    // always enters the system.
+    if g.rng.gen_bool(0.5) {
+        g.act_file_read();
+    } else {
+        g.act_recv(false);
+    }
+    let actions = g.rng.gen_range(6..=22u32);
+    for _ in 0..actions {
+        g.act_any();
+    }
+    g.emit(Instr::Halt);
+    TestProgram { instrs: g.instrs, files: g.files, conns: g.conns }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        for seed in 0..16 {
+            assert_eq!(generate(seed), generate(seed), "seed {seed}");
+        }
+        assert_ne!(generate(1), generate(2));
+    }
+
+    /// The register discipline the driver's trace-identity argument
+    /// rests on: `r14` is never read, `r3` only holds small immediates,
+    /// and loop scaffolding owns `r12`/`r13`.
+    #[test]
+    fn register_discipline_holds() {
+        for seed in 0..64u64 {
+            let prog = generate(seed);
+            for (pc, instr) in prog.instrs.iter().enumerate() {
+                let reads: Vec<u8> = match *instr {
+                    Instr::Mov { rs, .. } | Instr::Jr { rs } => vec![rs],
+                    Instr::Alu { rs1, rs2, .. } | Instr::Branch { rs1, rs2, .. } => {
+                        vec![rs1, rs2]
+                    }
+                    Instr::AluImm { rs, .. } => vec![rs],
+                    Instr::Load { base, .. } => vec![base],
+                    Instr::Store { rs, base, .. } => vec![rs, base],
+                    Instr::Strf { rs } => vec![rs, rs + 1],
+                    Instr::Stnt { addr, len, val } => vec![addr, len, val],
+                    _ => vec![],
+                };
+                assert!(!reads.contains(&14), "r14 read at pc {pc} (seed {seed})");
+                match *instr {
+                    Instr::Li { rd: 3, imm } => {
+                        assert!(imm <= 256, "li r3, {imm} at pc {pc} (seed {seed})")
+                    }
+                    Instr::Li { .. } | Instr::Ltnt { rd: 14 } => {}
+                    Instr::Ltnt { rd } => panic!("ltnt into r{rd} at pc {pc}"),
+                    Instr::Mov { rd, .. }
+                    | Instr::Alu { rd, .. }
+                    | Instr::AluImm { rd, .. }
+                    | Instr::Load { rd, .. } => {
+                        assert!(rd != 3 && rd != 14 && rd != 15, "write r{rd} at pc {pc}");
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn programs_halt_within_budget() {
+        for seed in 0..32u64 {
+            let mut cpu = generate(seed).cpu();
+            let mut steps = 0u64;
+            while !cpu.halted() && steps < 30_000 {
+                match cpu.step() {
+                    Ok(Some(_)) => steps += 1,
+                    Ok(None) => break,
+                    Err(e) => panic!("seed {seed} raised {e} at step {steps}"),
+                }
+            }
+            assert!(cpu.halted(), "seed {seed} did not halt in {steps} steps");
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Delta-debugging minimizer for failing programs.
+//!
+//! Classic ddmin over the instruction list: try dropping chunks at
+//! decreasing granularity, keeping any deletion that preserves the
+//! failure, then finish with a 1-minimal pass and an attempt to drop
+//! unused host files/connections. Deleting instructions can mangle
+//! control flow (a `ret` without its `call`, a branch past the end) —
+//! that is fine, because the differential driver bounds every trace and
+//! rejects out-of-contract inputs, so a mangled candidate simply stops
+//! failing and is not kept.
+
+use crate::generate::TestProgram;
+
+/// Upper bound on predicate evaluations per minimization.
+const MAX_PROBES: usize = 2_000;
+
+/// Shrinks `prog` while `fails` keeps returning `true`, returning the
+/// smallest failing variant found.
+///
+/// The caller's `fails` must be deterministic and must return `true`
+/// for `prog` itself (otherwise `prog` is returned unchanged).
+pub fn minimize<F>(prog: &TestProgram, mut fails: F) -> TestProgram
+where
+    F: FnMut(&TestProgram) -> bool,
+{
+    if !fails(prog) {
+        return prog.clone();
+    }
+    let mut best = prog.clone();
+    let mut probes = 0usize;
+
+    // ddmin over instructions.
+    let mut chunk = (best.instrs.len() / 2).max(1);
+    while chunk >= 1 && probes < MAX_PROBES {
+        let mut i = 0;
+        let mut shrunk = false;
+        while i < best.instrs.len() && probes < MAX_PROBES {
+            let mut candidate = best.clone();
+            let end = (i + chunk).min(candidate.instrs.len());
+            candidate.instrs.drain(i..end);
+            probes += 1;
+            if !candidate.instrs.is_empty() && fails(&candidate) {
+                best = candidate;
+                shrunk = true;
+                // Same index now points at fresh instructions.
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 && !shrunk {
+            break;
+        }
+        if !shrunk {
+            chunk /= 2;
+        }
+    }
+
+    // Drop host state the repro no longer needs.
+    let mut fi = 0;
+    while fi < best.files.len() && probes < MAX_PROBES {
+        let mut candidate = best.clone();
+        candidate.files.remove(fi);
+        probes += 1;
+        if fails(&candidate) {
+            best = candidate;
+        } else {
+            fi += 1;
+        }
+    }
+    let mut ci = 0;
+    while ci < best.conns.len() && probes < MAX_PROBES {
+        let mut candidate = best.clone();
+        candidate.conns.remove(ci);
+        probes += 1;
+        if fails(&candidate) {
+            best = candidate;
+        } else {
+            ci += 1;
+        }
+    }
+
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latch_sim::isa::{AluOp, Instr};
+
+    fn nop_heavy() -> TestProgram {
+        let mut instrs = vec![Instr::Nop; 40];
+        instrs[17] = Instr::Alu { op: AluOp::Add, rd: 1, rs1: 2, rs2: 3 };
+        instrs.push(Instr::Halt);
+        TestProgram { instrs, files: vec![], conns: vec![] }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_needed_instruction() {
+        let prog = nop_heavy();
+        let fails = |p: &TestProgram| {
+            p.instrs.iter().any(|i| matches!(i, Instr::Alu { op: AluOp::Add, .. }))
+        };
+        let min = minimize(&prog, fails);
+        assert_eq!(min.instrs.len(), 1);
+        assert!(matches!(min.instrs[0], Instr::Alu { .. }));
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let prog = nop_heavy();
+        let min = minimize(&prog, |_| false);
+        assert_eq!(min, prog);
+    }
+}

@@ -1,0 +1,355 @@
+//! The reference taint oracle: a byte-granular interpreter over event
+//! traces, written for obviousness.
+//!
+//! This module intentionally re-implements the propagation semantics
+//! from scratch — a `BTreeMap` of tainted bytes, a 16×4 array of
+//! register byte tags, straight-line code — so that a divergence
+//! between the oracle and any production system points at a real
+//! disagreement about semantics rather than shared code sharing a bug.
+//!
+//! Contract (mirrored by `latch-dift` and documented in DESIGN.md §11):
+//!
+//! * The taint plane is the clamped range `[0, 2^32)`. Range operations
+//!   stop at the top of the address space; nothing wraps to address 0.
+//! * Sources **overwrite** byte tags (they do not union).
+//! * ALU results take the uniform union of their source tags; loads
+//!   zero-extend clean upper bytes; `xor r,r`/`sub r,r`/`li` clear.
+//! * An `stnt` marks the range with `USER_INPUT` (or clears it); this
+//!   is the program-visible taint-init path of paper §5.1.3.
+//! * Control transfers through tainted registers or a tainted return
+//!   slot raise `TaintedControlFlow`; sinks only raise when the policy
+//!   tracks SECRET (the default policy does not).
+
+use latch_core::isa_ext::LatchInstr;
+use latch_core::Addr;
+use latch_dift::policy::{SecurityViolation, TaintPolicy, ViolationKind};
+use latch_dift::tag::TaintTag;
+use latch_sim::event::{CtrlCheck, Event};
+use latch_dift::prop::PropRule;
+use std::collections::{BTreeMap, BTreeSet};
+
+const PAGE: u32 = 4096;
+const REG_BYTES: usize = 4;
+const NUM_REGS: usize = 16;
+
+/// What the oracle computed for a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleResult {
+    /// Tainted memory bytes (clean bytes are absent).
+    pub mem: BTreeMap<Addr, TaintTag>,
+    /// Per-register byte tags.
+    pub regs: [[TaintTag; REG_BYTES]; NUM_REGS],
+    /// Violations, in trace order.
+    pub violations: Vec<SecurityViolation>,
+    /// Per-event flag: `true` when the event neither touched any taint
+    /// nor carried a source/sink/control/LATCH side effect — safe to
+    /// reorder with adjacent inert events and equivalent to a no-op for
+    /// the verdict.
+    pub inert: Vec<bool>,
+    /// Pages touched by any memory operand, source range, or `stnt`.
+    pub touched_pages: BTreeSet<u32>,
+}
+
+struct Oracle {
+    mem: BTreeMap<Addr, TaintTag>,
+    regs: [[TaintTag; REG_BYTES]; NUM_REGS],
+}
+
+impl Oracle {
+    fn get(&self, a: Addr) -> TaintTag {
+        self.mem.get(&a).copied().unwrap_or(TaintTag::CLEAN)
+    }
+
+    fn set(&mut self, a: Addr, tag: TaintTag) {
+        if tag.is_tainted() {
+            self.mem.insert(a, tag);
+        } else {
+            self.mem.remove(&a);
+        }
+    }
+
+    /// Clamped iteration over `[addr, addr + len)` ∩ the taint plane.
+    fn range(addr: Addr, len: u32) -> impl Iterator<Item = Addr> {
+        let end = (u64::from(addr) + u64::from(len)).min(1 << 32);
+        (u64::from(addr)..end).map(|a| a as Addr)
+    }
+
+    fn set_range(&mut self, addr: Addr, len: u32, tag: TaintTag) {
+        for a in Self::range(addr, len) {
+            self.set(a, tag);
+        }
+    }
+
+    fn union_range(&self, addr: Addr, len: u32) -> TaintTag {
+        let mut tag = TaintTag::CLEAN;
+        for a in Self::range(addr, len) {
+            tag |= self.get(a);
+        }
+        tag
+    }
+
+    fn reg_union(&self, r: usize) -> TaintTag {
+        self.regs[r].iter().fold(TaintTag::CLEAN, |t, &b| t | b)
+    }
+
+    fn reg_tainted(&self, r: usize) -> bool {
+        self.reg_union(r).is_tainted()
+    }
+
+    /// Applies one propagation micro-op, returning whether it touched
+    /// taint. Register-width memory ops clamp at the top of the address
+    /// space, exactly like the bulk ranges.
+    fn prop(&mut self, rule: PropRule) -> bool {
+        match rule {
+            PropRule::BinaryAlu { dst, src1, src2 } => {
+                let tag = self.reg_union(src1) | self.reg_union(src2);
+                let touched = tag.is_tainted() || self.reg_tainted(dst);
+                self.regs[dst] = [tag; REG_BYTES];
+                touched
+            }
+            PropRule::UnaryAlu { dst, src } => {
+                let tag = self.reg_union(src);
+                let touched = tag.is_tainted() || self.reg_tainted(dst);
+                self.regs[dst] = [tag; REG_BYTES];
+                touched
+            }
+            PropRule::Mov { dst, src } => {
+                let touched = self.reg_tainted(src) || self.reg_tainted(dst);
+                self.regs[dst] = self.regs[src];
+                touched
+            }
+            PropRule::ClearDst { dst } => {
+                let touched = self.reg_tainted(dst);
+                self.regs[dst] = [TaintTag::CLEAN; REG_BYTES];
+                touched
+            }
+            PropRule::Load { dst, addr, len } => {
+                let len = len.min(REG_BYTES as u32);
+                let mut tags = [TaintTag::CLEAN; REG_BYTES];
+                let mut any = false;
+                for i in 0..len {
+                    let Some(a) = addr.checked_add(i) else { break };
+                    tags[i as usize] = self.get(a);
+                    any |= tags[i as usize].is_tainted();
+                }
+                let touched = any || self.reg_tainted(dst);
+                self.regs[dst] = tags;
+                touched
+            }
+            PropRule::Store { src, addr, len } => {
+                let len = len.min(REG_BYTES as u32);
+                let tags = self.regs[src];
+                let mut touched = false;
+                for i in 0..len {
+                    let Some(a) = addr.checked_add(i) else { break };
+                    touched |= self.get(a).is_tainted() || tags[i as usize].is_tainted();
+                    self.set(a, tags[i as usize]);
+                }
+                touched
+            }
+            PropRule::StoreImm { addr, len } => {
+                let touched = self.union_range(addr, len).is_tainted();
+                self.set_range(addr, len, TaintTag::CLEAN);
+                touched
+            }
+        }
+    }
+}
+
+fn note_pages(pages: &mut BTreeSet<u32>, addr: Addr, len: u32) {
+    let end = (u64::from(addr) + u64::from(len)).min(1 << 32);
+    let mut page = addr / PAGE;
+    let last = ((end.max(1) - 1) as Addr) / PAGE;
+    loop {
+        pages.insert(page);
+        if page >= last {
+            break;
+        }
+        page += 1;
+    }
+}
+
+/// Interprets a raw (undesugared) trace and returns the golden state.
+///
+/// The trace is the one materialised by a plain CPU run: `stnt` events
+/// carry their effect in `Event::latch` and are applied here with the
+/// documented semantics (taint → overwrite with `USER_INPUT`,
+/// untaint → clear). `strf`/`ltnt` have no precise-tier effect.
+pub fn run(events: &[Event], policy: &TaintPolicy) -> OracleResult {
+    let mut o = Oracle {
+        mem: BTreeMap::new(),
+        regs: [[TaintTag::CLEAN; REG_BYTES]; NUM_REGS],
+    };
+    let mut violations = Vec::new();
+    let mut inert = Vec::with_capacity(events.len());
+    let mut touched_pages = BTreeSet::new();
+
+    for ev in events {
+        let mut touched = false;
+
+        // Program-visible stnt: the S-LATCH instrumented image keeps the
+        // precise state in sync with the coarse update (paper §5.1.3).
+        if let Some(LatchInstr::Stnt { addr, len, tainted }) = ev.latch {
+            let tag = if tainted { TaintTag::USER_INPUT } else { TaintTag::CLEAN };
+            o.set_range(addr, len, tag);
+            note_pages(&mut touched_pages, addr, len);
+        }
+
+        if let Some(rule) = ev.prop {
+            touched |= o.prop(rule);
+        }
+        if let Some(rule) = ev.prop2 {
+            touched |= o.prop(rule);
+        }
+        if let Some(src) = ev.source {
+            note_pages(&mut touched_pages, src.addr, src.len);
+            if !src.trusted {
+                if let Some(tag) = policy.tag_for_source(src.kind) {
+                    o.set_range(src.addr, src.len, tag);
+                    touched = true;
+                }
+            }
+        }
+        let mut ctrl_violated = false;
+        if let Some(ctrl) = ev.ctrl {
+            let (tag, target) = match ctrl {
+                CtrlCheck::Reg { reg, target } => (o.reg_union(reg as usize), target),
+                CtrlCheck::Mem { addr, len, target } => (o.union_range(addr, len), target),
+            };
+            if let Err(v) = policy.validate_branch_target(ev.pc, target, tag) {
+                debug_assert_eq!(v.kind, ViolationKind::TaintedControlFlow);
+                violations.push(v);
+                ctrl_violated = true;
+                touched = true;
+            }
+        }
+        if !ctrl_violated {
+            if let Some(sink) = ev.sink {
+                let tag = o.union_range(sink.addr, sink.len);
+                if let Err(v) = policy.validate_sink(ev.pc, sink.kind, sink.addr, tag) {
+                    violations.push(v);
+                    touched = true;
+                }
+            }
+        }
+        if let Some(mem) = ev.mem {
+            note_pages(&mut touched_pages, mem.addr, mem.len);
+        }
+
+        let plain = ev.source.is_none()
+            && ev.ctrl.is_none()
+            && ev.sink.is_none()
+            && ev.latch.is_none();
+        inert.push(plain && !touched);
+    }
+
+    OracleResult {
+        mem: o.mem,
+        regs: o.regs,
+        violations,
+        inert,
+        touched_pages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latch_dift::policy::SourceKind;
+    use latch_sim::event::SourceInput;
+
+    fn ev(pc: u32) -> Event {
+        Event::empty(pc)
+    }
+
+    #[test]
+    fn source_then_load_then_store_moves_taint() {
+        let policy = TaintPolicy::default();
+        let mut e1 = ev(0);
+        e1.source = Some(SourceInput { kind: SourceKind::File, addr: 0x100, len: 4, trusted: false });
+        let mut e2 = ev(1);
+        e2.prop = Some(PropRule::Load { dst: 2, addr: 0x100, len: 4 });
+        let mut e3 = ev(2);
+        e3.prop = Some(PropRule::Store { src: 2, addr: 0x200, len: 4 });
+        let r = run(&[e1, e2, e3], &policy);
+        assert_eq!(r.mem.len(), 8);
+        assert_eq!(r.mem.get(&0x203), Some(&TaintTag::FILE));
+        assert_eq!(r.regs[2], [TaintTag::FILE; 4]);
+        assert!(r.violations.is_empty());
+        assert_eq!(r.inert, vec![false, false, false]);
+    }
+
+    #[test]
+    fn trusted_source_clears_nothing_and_taints_nothing() {
+        let policy = TaintPolicy::default();
+        let mut e = ev(0);
+        e.source = Some(SourceInput { kind: SourceKind::Socket, addr: 0x80, len: 8, trusted: true });
+        let r = run(&[e], &policy);
+        assert!(r.mem.is_empty());
+        assert!(!r.inert[0], "sources are never inert");
+    }
+
+    #[test]
+    fn stnt_taints_and_untaints() {
+        let policy = TaintPolicy::default();
+        let mut e1 = ev(0);
+        e1.latch = Some(LatchInstr::Stnt { addr: 0x40, len: 64, tainted: true });
+        let mut e2 = ev(1);
+        e2.latch = Some(LatchInstr::Stnt { addr: 0x40, len: 32, tainted: false });
+        let r = run(&[e1], &policy);
+        assert_eq!(r.mem.len(), 64);
+        let r = run(&[e1, e2], &policy);
+        assert_eq!(r.mem.len(), 32);
+        assert_eq!(r.mem.get(&0x60), Some(&TaintTag::USER_INPUT));
+    }
+
+    #[test]
+    fn tainted_jr_raises_and_matches_policy_shape() {
+        let policy = TaintPolicy::default();
+        let mut e1 = ev(0);
+        e1.latch = Some(LatchInstr::Stnt { addr: 0x10, len: 4, tainted: true });
+        let mut e2 = ev(1);
+        e2.prop = Some(PropRule::Load { dst: 5, addr: 0x10, len: 4 });
+        let mut e3 = ev(7);
+        e3.ctrl = Some(CtrlCheck::Reg { reg: 5, target: 42 });
+        let r = run(&[e1, e2, e3], &policy);
+        assert_eq!(r.violations.len(), 1);
+        let v = &r.violations[0];
+        assert_eq!(v.kind, ViolationKind::TaintedControlFlow);
+        assert_eq!(v.pc, 7);
+        assert_eq!(v.addr, Some(42));
+        assert_eq!(v.tag, TaintTag::USER_INPUT);
+    }
+
+    #[test]
+    fn top_of_space_store_clamps() {
+        let policy = TaintPolicy::default();
+        let mut e1 = ev(0);
+        e1.latch = Some(LatchInstr::Stnt { addr: 0xFFFF_FFF0, len: 64, tainted: true });
+        let mut e2 = ev(1);
+        e2.prop = Some(PropRule::Load { dst: 1, addr: 0xFFFF_FFFE, len: 4 });
+        let mut e3 = ev(2);
+        e3.prop = Some(PropRule::Store { src: 1, addr: 0xFFFF_FFFD, len: 4 });
+        let r = run(&[e1, e2, e3], &policy);
+        // stnt clamps to 16 tracked bytes; the store then overwrites
+        // 0xFFFF_FFFF with a clean byte (tags[2] came from past the
+        // clamp), leaving 15.
+        assert_eq!(r.mem.len(), 15);
+        assert_eq!(r.mem.get(&0xFFFF_FFFF), None);
+        assert!(!r.mem.contains_key(&0), "nothing wraps to address zero");
+        // The load got two real bytes + two clamped-clean bytes.
+        assert_eq!(r.regs[1][0], TaintTag::USER_INPUT);
+        assert_eq!(r.regs[1][2], TaintTag::CLEAN);
+    }
+
+    #[test]
+    fn inert_detection_ignores_clean_traffic() {
+        let policy = TaintPolicy::default();
+        let mut e1 = ev(0);
+        e1.prop = Some(PropRule::Store { src: 4, addr: 0x500, len: 4 });
+        let mut e2 = ev(1);
+        e2.prop = Some(PropRule::BinaryAlu { dst: 4, src1: 5, src2: 6 });
+        let r = run(&[e1, e2], &policy);
+        assert_eq!(r.inert, vec![true, true]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Acceptance tests for the harness's teeth: a deliberately injected
+//! coarse-bit-clear bug (dropping the first coarse taint update) must
+//! be caught as a coarse-superset false negative and minimized to a
+//! tiny reproducer, and the fuzzer must be deterministic per seed.
+
+use latch_conform::driver::{check, CheckOptions, Divergence};
+use latch_conform::generate::generate;
+use latch_conform::{corpus, minimize};
+
+fn inject_opts() -> CheckOptions {
+    CheckOptions { inject_coarse_clear: true, metamorphic: false, ..CheckOptions::default() }
+}
+
+#[test]
+fn injected_coarse_clear_is_caught() {
+    for seed in 0..8u64 {
+        let prog = generate(seed);
+        let err = check(&prog, &inject_opts())
+            .expect_err("the sabotaged mirror leg must fail the superset check");
+        match *err {
+            Divergence::CoarseSuperset { leg, .. } => assert_eq!(leg, "mirror"),
+            other => panic!("seed {seed}: wrong divergence {other}"),
+        }
+    }
+}
+
+#[test]
+fn injected_bug_minimizes_to_a_tiny_reproducer() {
+    let prog = generate(0);
+    let opts = inject_opts();
+    let min = minimize::minimize(&prog, |candidate| check(candidate, &opts).is_err());
+    assert!(
+        min.instrs.len() <= 20,
+        "reproducer still {} instructions:\n{}",
+        min.instrs.len(),
+        corpus::encode(&min)
+    );
+    // The minimized program must still trip the same divergence…
+    let err = check(&min, &opts).expect_err("minimized repro still fails");
+    assert!(matches!(*err, Divergence::CoarseSuperset { .. }));
+    // …and must be clean without the injection (the bug is the bug).
+    let healthy = CheckOptions { inject_coarse_clear: false, ..opts };
+    let verdict = check(&min, &healthy).expect("healthy systems pass the repro");
+    assert!(verdict.skipped.is_none());
+}
+
+#[test]
+fn checks_are_deterministic_per_seed() {
+    for seed in [0u64, 7, 23] {
+        let prog = generate(seed);
+        let a = check(&prog, &CheckOptions::default()).expect("green");
+        let b = check(&prog, &CheckOptions::default()).expect("green");
+        assert_eq!(a, b, "seed {seed}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Edge-case tests for the three S-LATCH ISA extensions
+//! (`strf`/`stnt`/`ltnt`, paper Table 5) as executed by `LatchUnit`:
+//! already-clear targets, ranges straddling domain boundaries, and
+//! sustained CTC/TRF pressure.
+
+use latch_core::config::LatchConfig;
+use latch_core::isa_ext::LatchInstr;
+use latch_core::trf::NUM_REGS;
+use latch_core::unit::LatchUnit;
+use latch_core::{Addr, PreciseView};
+
+const DOMAIN: u32 = 64;
+/// A domain boundary well inside the data segment.
+const BOUNDARY: Addr = 0x0001_0040;
+
+fn unit() -> LatchUnit {
+    LatchUnit::new(LatchConfig::s_latch().build().expect("default params"))
+}
+
+/// A precise view backed by explicit tainted ranges.
+struct Ranges(Vec<(Addr, u32)>);
+
+impl PreciseView for Ranges {
+    fn any_tainted(&self, start: Addr, len: u32) -> bool {
+        let end = u64::from(start) + u64::from(len);
+        self.0.iter().any(|&(s, l)| {
+            let (rs, re) = (u64::from(s), u64::from(s) + u64::from(l));
+            rs < end && u64::from(start) < re
+        })
+    }
+}
+
+#[test]
+fn strf_on_already_clear_trf_is_idempotent() {
+    let mut u = unit();
+    assert!((0..NUM_REGS).all(|r| !u.reg_tainted(r)));
+    // Clearing a clear TRF changes nothing, any number of times.
+    for _ in 0..3 {
+        assert_eq!(u.exec(LatchInstr::Strf { packed: 0 }), 0);
+        assert!((0..NUM_REGS).all(|r| !u.reg_tainted(r)));
+        assert_eq!(u.trf().to_packed(), 0);
+    }
+    // Set everything, then a single clear strf wipes it.
+    u.exec(LatchInstr::Strf { packed: u64::MAX });
+    assert!((0..NUM_REGS).all(|r| u.reg_tainted(r)));
+    u.exec(LatchInstr::Strf { packed: 0 });
+    assert!((0..NUM_REGS).all(|r| !u.reg_tainted(r)));
+}
+
+#[test]
+fn stnt_clear_on_already_clear_domain_is_a_noop() {
+    let mut u = unit();
+    // Clearing untainted memory must not assert any coarse bit.
+    u.exec(LatchInstr::Stnt { addr: BOUNDARY - DOMAIN, len: 3 * DOMAIN, tainted: false });
+    for addr in [BOUNDARY - DOMAIN, BOUNDARY, BOUNDARY + DOMAIN] {
+        assert!(!u.check_read(addr, DOMAIN).coarse_tainted, "addr {addr:#x}");
+    }
+    // And the unit still covers an empty precise view.
+    assert!(u.coarse_covers_precise(&Ranges(vec![]), BOUNDARY - DOMAIN, 3 * DOMAIN));
+}
+
+#[test]
+fn stnt_straddling_a_domain_boundary_sets_both_domains() {
+    let mut u = unit();
+    // 4 bytes centred on the boundary: 2 in the lower domain, 2 above.
+    u.exec(LatchInstr::Stnt { addr: BOUNDARY - 2, len: 4, tainted: true });
+    assert!(u.check_read(BOUNDARY - DOMAIN, 4).coarse_tainted, "lower domain");
+    assert!(u.check_read(BOUNDARY, 4).coarse_tainted, "upper domain");
+    // The superset invariant holds for the straddling precise range.
+    let view = Ranges(vec![(BOUNDARY - 2, 4)]);
+    assert!(u.coarse_covers_precise(&view, BOUNDARY - DOMAIN, 2 * DOMAIN));
+}
+
+#[test]
+fn partial_stnt_clear_keeps_the_other_side_covered() {
+    let mut u = unit();
+    u.exec(LatchInstr::Stnt { addr: BOUNDARY - 2, len: 4, tainted: true });
+    // Clear only the upper side of the straddle. `stnt 0` may clear the
+    // upper domain's bit, but the lower domain still holds taint and
+    // must stay covered — that is the no-false-negative contract.
+    u.exec(LatchInstr::Stnt { addr: BOUNDARY, len: 2, tainted: false });
+    assert!(u.check_read(BOUNDARY - DOMAIN, DOMAIN).coarse_tainted, "lower domain");
+    let view = Ranges(vec![(BOUNDARY - 2, 2)]);
+    assert!(u.coarse_covers_precise(&view, BOUNDARY - DOMAIN, 2 * DOMAIN));
+    // A clear-scan against the true precise state keeps it that way and
+    // makes the cleared side exact.
+    u.clear_scan(&view);
+    assert!(u.check_read(BOUNDARY - DOMAIN, DOMAIN).coarse_tainted);
+    assert!(!u.check_read(BOUNDARY, DOMAIN).coarse_tainted);
+}
+
+#[test]
+fn ltnt_reports_the_straddling_exception_address() {
+    let mut u = unit();
+    assert_eq!(u.exec(LatchInstr::Ltnt), 0, "no exception yet");
+    u.exec(LatchInstr::Stnt { addr: BOUNDARY - 2, len: 4, tainted: true });
+    // A straddling check trips the coarse screen; ltnt returns the
+    // faulting *access* address, not the domain base.
+    let out = u.check_read(BOUNDARY - 2, 4);
+    assert!(out.coarse_tainted);
+    assert_eq!(u.exec(LatchInstr::Ltnt), u64::from(BOUNDARY - 2));
+    assert_eq!(u.last_exception_addr(), Some(BOUNDARY - 2));
+    // A clean check afterwards does not clobber the recorded address.
+    assert!(!u.check_read(0x0004_0000, 4).coarse_tainted);
+    assert_eq!(u.exec(LatchInstr::Ltnt), u64::from(BOUNDARY - 2));
+}
+
+#[test]
+fn trf_packed_roundtrip_survives_repeated_reloads() {
+    let mut u = unit();
+    // Nibble patterns exercising every register slot, reloaded in
+    // sequence: to_packed must always echo what strf loaded.
+    for pattern in [0u64, u64::MAX, 0x0123_4567_89AB_CDEF, 0xF0F0_F0F0_F0F0_F0F0] {
+        u.exec(LatchInstr::Strf { packed: pattern });
+        assert_eq!(u.trf().to_packed(), pattern, "pattern {pattern:#x}");
+        for r in 0..NUM_REGS {
+            let nibble = (pattern >> (4 * r)) & 0xF;
+            assert_eq!(u.reg_tainted(r), nibble != 0, "r{r} of {pattern:#x}");
+        }
+    }
+}
+
+#[test]
+fn stnt_under_ctc_pressure_spills_without_losing_coverage() {
+    // A 2-entry CTC forces an eviction on nearly every stnt; evicted
+    // dirty words become pending spills that the next clear-scan must
+    // fold back in without ever dropping a taint bit.
+    let params = LatchConfig::s_latch().ctc_entries(2).build().expect("params");
+    let mut u = LatchUnit::new(params);
+    let mut ranges = Vec::new();
+    // Touch 64 distinct CTT words (one domain each, 4 KiB apart).
+    for i in 0..64u32 {
+        let addr = 0x0010_0000 + i * 4096;
+        u.exec(LatchInstr::Stnt { addr, len: DOMAIN, tainted: true });
+        ranges.push((addr, DOMAIN));
+    }
+    let view = Ranges(ranges.clone());
+    for &(addr, len) in &ranges {
+        assert!(u.check_read(addr, len).coarse_tainted, "addr {addr:#x}");
+        assert!(u.coarse_covers_precise(&view, addr, len));
+    }
+    // Clearing them all under the same pressure, then scanning against
+    // an empty view, must drain every pending spill.
+    for &(addr, len) in &ranges {
+        u.exec(LatchInstr::Stnt { addr, len, tainted: false });
+    }
+    u.clear_scan(&Ranges(vec![]));
+    assert_eq!(u.pending_evictions(), 0);
+    for &(addr, len) in &ranges {
+        assert!(!u.check_read(addr, len).coarse_tainted, "addr {addr:#x}");
+    }
+}

@@ -63,7 +63,9 @@ pub enum PropRule {
     },
     /// Memory load of `len ≤ 4` bytes: shadow tags are copied into the
     /// low `len` bytes of `dst`; the zero-extended upper bytes are
-    /// cleared.
+    /// cleared. Bytes past the top of the address space are outside the
+    /// tracked taint plane and read as clean, matching the clamped
+    /// bulk-range operations and the coarse structures.
     Load {
         /// Destination register.
         dst: usize,
@@ -73,7 +75,8 @@ pub enum PropRule {
         len: u32,
     },
     /// Memory store of `len ≤ 4` bytes: the low `len` byte tags of `src`
-    /// are written to shadow memory.
+    /// are written to shadow memory. Bytes past the top of the address
+    /// space fall outside the tracked taint plane and are dropped.
     Store {
         /// Source register.
         src: usize,
@@ -149,7 +152,11 @@ pub fn apply(rule: PropRule, regs: &mut RegTagFile, shadow: &mut ShadowMemory) -
             let mut tags = [TaintTag::CLEAN; REG_BYTES as usize];
             let mut any = false;
             for i in 0..len {
-                let t = shadow.get(addr.wrapping_add(i));
+                // The taint plane is clamped at the top of the address
+                // space (like the bulk-range ops and the coarse
+                // structures): bytes past it read as clean.
+                let Some(a) = addr.checked_add(i) else { break };
+                let t = shadow.get(a);
                 any |= t.is_tainted();
                 tags[i as usize] = t;
             }
@@ -166,7 +173,10 @@ pub fn apply(rule: PropRule, regs: &mut RegTagFile, shadow: &mut ShadowMemory) -
             let mut any_after = false;
             let mut any_before = false;
             for i in 0..len {
-                let a = addr.wrapping_add(i);
+                // Clamp at the top of the address space: tags for bytes
+                // past it are dropped, never wrapped to address zero
+                // (which the clamped coarse structures could not cover).
+                let Some(a) = addr.checked_add(i) else { break };
                 any_before |= shadow.get(a).is_tainted();
                 let t = tags[i as usize];
                 any_after |= t.is_tainted();
@@ -302,5 +312,44 @@ mod tests {
         let out = apply(PropRule::Load { dst: 2, addr: 0x1000, len: 4 }, &mut regs, &mut shadow);
         assert!(!regs.is_tainted(2), "address taint does not propagate");
         assert!(!out.touched_taint);
+    }
+
+    #[test]
+    fn store_at_top_of_address_space_clamps_instead_of_wrapping() {
+        // A word store at 0xFFFF_FFFE covers two tracked bytes; the two
+        // that would wrap to addresses 0 and 1 leave the taint plane.
+        // Wrapping them (the old behaviour) plants precise taint at page
+        // zero that the clamped coarse structures can never cover — a
+        // guaranteed coarse false negative.
+        let (mut regs, mut shadow) = setup();
+        regs.set_uniform(1, TaintTag::NETWORK);
+        let out = apply(
+            PropRule::Store { src: 1, addr: 0xFFFF_FFFE, len: 4 },
+            &mut regs,
+            &mut shadow,
+        );
+        assert!(out.touched_taint);
+        assert!(shadow.get(0xFFFF_FFFE).is_tainted());
+        assert!(shadow.get(0xFFFF_FFFF).is_tainted());
+        assert!(!shadow.get(0).is_tainted(), "no wrap to address zero");
+        assert!(!shadow.get(1).is_tainted());
+    }
+
+    #[test]
+    fn load_at_top_of_address_space_reads_clamped_bytes_clean() {
+        let (mut regs, mut shadow) = setup();
+        shadow.set(0, TaintTag::FILE); // would be read if loads wrapped
+        shadow.set(0xFFFF_FFFF, TaintTag::NETWORK);
+        let out = apply(
+            PropRule::Load { dst: 3, addr: 0xFFFF_FFFE, len: 4 },
+            &mut regs,
+            &mut shadow,
+        );
+        assert!(out.touched_taint);
+        let tags = regs.get(3);
+        assert_eq!(tags[0], TaintTag::CLEAN);
+        assert_eq!(tags[1], TaintTag::NETWORK);
+        assert_eq!(tags[2], TaintTag::CLEAN, "byte at address 0 not read");
+        assert_eq!(tags[3], TaintTag::CLEAN);
     }
 }

@@ -11,10 +11,42 @@
 use latch_core::{Addr, PAGE_SIZE};
 use rand::rngs::SmallRng;
 use rand::Rng;
+use std::fmt;
 
 /// Base address of the synthetic working set (clear of the assembler's
 /// data segment so mini-programs and synthetic streams can coexist).
 pub const WORKING_SET_BASE: Addr = 0x0100_0000;
+
+/// Largest `pages_accessed` a layout can hold: the working set must end
+/// at or below the top of the 32-bit address space (`end()` is an
+/// `Addr`), so everything past this would overflow address arithmetic.
+pub const MAX_PAGES_ACCESSED: u32 = (u32::MAX - WORKING_SET_BASE) / PAGE_SIZE;
+
+/// A layout request that cannot be realized in the 32-bit address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutError {
+    /// The working set would extend past the top of the address space.
+    WorkingSetTooLarge {
+        /// Requested page count.
+        pages_accessed: u32,
+        /// Largest satisfiable page count ([`MAX_PAGES_ACCESSED`]).
+        max: u32,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            LayoutError::WorkingSetTooLarge { pages_accessed, max } => write!(
+                f,
+                "working set of {pages_accessed} pages from {WORKING_SET_BASE:#x} \
+                 exceeds the address space (max {max} pages)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
 
 /// A contiguous run of tainted bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +82,40 @@ impl TaintLayout {
         page_aligned: bool,
         rng: &mut SmallRng,
     ) -> Self {
+        // Infallible entry point for calibrated profiles: clamp to the
+        // address space instead of erroring (no paper profile comes
+        // within orders of magnitude of the cap).
+        Self::try_generate(
+            pages_accessed.min(MAX_PAGES_ACCESSED),
+            pages_tainted,
+            run_len,
+            page_aligned,
+            rng,
+        )
+        .expect("clamped page count always fits")
+    }
+
+    /// Fallible form of [`generate`](Self::generate) for callers — like
+    /// the conformance fuzzer — that drive extreme parameters and need a
+    /// typed error instead of a clamp or an overflow panic.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::WorkingSetTooLarge`] when `pages_accessed` pages
+    /// from [`WORKING_SET_BASE`] would not fit in the address space.
+    pub fn try_generate(
+        pages_accessed: u32,
+        pages_tainted: u32,
+        run_len: u32,
+        page_aligned: bool,
+        rng: &mut SmallRng,
+    ) -> Result<Self, LayoutError> {
+        if pages_accessed > MAX_PAGES_ACCESSED {
+            return Err(LayoutError::WorkingSetTooLarge {
+                pages_accessed,
+                max: MAX_PAGES_ACCESSED,
+            });
+        }
         let pages_accessed = pages_accessed.max(1);
         let pages_tainted = pages_tainted.min(pages_accessed);
         let first_page = WORKING_SET_BASE / PAGE_SIZE;
@@ -86,12 +152,12 @@ impl TaintLayout {
                 }
             }
         }
-        Self {
+        Ok(Self {
             pages_accessed,
             tainted_runs: runs,
             tainted_page_lo: lo,
             tainted_page_hi: hi,
-        }
+        })
     }
 
     /// Every tainted run in the layout.
@@ -170,11 +236,13 @@ impl TaintLayout {
             .unwrap_or_else(|| self.tainted_page_lo * PAGE_SIZE)
     }
 
-    /// Whether the byte at `addr` lies in a tainted run.
+    /// Whether the byte at `addr` lies in a tainted run. Run extents are
+    /// computed in 64 bits so a run ending flush against the top of the
+    /// address space cannot overflow.
     pub fn is_tainted_byte(&self, addr: Addr) -> bool {
         self.tainted_runs
             .iter()
-            .any(|r| addr >= r.start && addr < r.start + r.len)
+            .any(|r| addr >= r.start && u64::from(addr) < u64::from(r.start) + u64::from(r.len))
     }
 
     /// Total number of tainted bytes in the layout.
@@ -263,5 +331,44 @@ mod tests {
         let a = TaintLayout::generate(30, 3, 8, false, &mut SmallRng::seed_from_u64(1));
         let b = TaintLayout::generate(30, 3, 8, false, &mut SmallRng::seed_from_u64(1));
         assert_eq!(a.runs(), b.runs());
+    }
+
+    #[test]
+    fn oversized_working_set_is_a_typed_error() {
+        for pages in [MAX_PAGES_ACCESSED + 1, u32::MAX / PAGE_SIZE, u32::MAX] {
+            let err = TaintLayout::try_generate(pages, 1, 8, false, &mut rng())
+                .expect_err("must not overflow silently");
+            assert_eq!(
+                err,
+                LayoutError::WorkingSetTooLarge { pages_accessed: pages, max: MAX_PAGES_ACCESSED }
+            );
+            assert!(err.to_string().contains("exceeds the address space"));
+        }
+    }
+
+    #[test]
+    fn maximal_working_set_reaches_the_top_without_overflow() {
+        // The largest legal layout: address math (end(), per-page bases,
+        // run extents, sampling) must all stay in range.
+        let l = TaintLayout::try_generate(MAX_PAGES_ACCESSED, 2, 64, true, &mut rng())
+            .expect("maximal layout is legal");
+        assert_eq!(l.pages_accessed(), MAX_PAGES_ACCESSED);
+        assert_eq!(l.end(), WORKING_SET_BASE + MAX_PAGES_ACCESSED * PAGE_SIZE);
+        let mut r = rng();
+        let t = l.sample_tainted(&mut r).expect("has taint");
+        assert!(l.is_tainted_byte(t));
+        let c = l.sample_clean(&mut r);
+        assert!((l.base()..l.end()).contains(&c));
+    }
+
+    #[test]
+    fn infallible_generate_clamps_instead_of_panicking() {
+        let l = TaintLayout::generate(u32::MAX, 1, 8, false, &mut rng());
+        assert_eq!(l.pages_accessed(), MAX_PAGES_ACCESSED);
+        // Stays clamped and usable at the extremes of the other knobs.
+        let l = TaintLayout::generate(u32::MAX, u32::MAX, u32::MAX, true, &mut rng());
+        assert_eq!(l.pages_accessed(), MAX_PAGES_ACCESSED);
+        assert_eq!(l.pages_tainted(), MAX_PAGES_ACCESSED);
+        assert!(l.tainted_bytes() > 0);
     }
 }

@@ -23,4 +23,17 @@ cargo test -q --workspace --features "$OBS_FEATURES"
 echo "==> cargo clippy --workspace (deny warnings)"
 cargo clippy -q --workspace --all-targets -- -D warnings
 
+# Fixed differential-conformance budget: 64 seeds through every system
+# variant vs. the reference oracle (DESIGN.md §11). Run twice and diff
+# the summaries — byte-identical output is part of the contract.
+echo "==> latch-conform (64-seed differential budget, determinism check)"
+CONFORM_OUT="$(mktemp -d)"
+trap 'rm -rf "$CONFORM_OUT"' EXIT
+cargo run --release -q -p latch-conform -- --seeds 64 \
+    --corpus-dir "$CONFORM_OUT/corpus" | tee "$CONFORM_OUT/run1.txt"
+cargo run --release -q -p latch-conform -- --seeds 64 \
+    --corpus-dir "$CONFORM_OUT/corpus" > "$CONFORM_OUT/run2.txt"
+diff "$CONFORM_OUT/run1.txt" "$CONFORM_OUT/run2.txt" \
+    || { echo "tier1: conformance summary not deterministic" >&2; exit 1; }
+
 echo "tier1: OK"

@@ -95,6 +95,58 @@ fn run_ops(domain_bytes: u32, ops: &[Op]) {
     }
 }
 
+/// Observability must never perturb taint results: this file runs in
+/// tier-1 both with and without `--features obs`, and these hard-coded
+/// golden verdicts — produced by the full differential pipeline (CPU,
+/// oracle, baseline DIFT, S-LATCH, H-LATCH, P-LATCH), every layer of
+/// which is instrumented — must hold identically under both builds. A
+/// counter or trace hook that changed taint flow would shift one of
+/// these numbers.
+#[test]
+fn obs_instrumentation_does_not_perturb_taint_results() {
+    use latch_conform::driver::{check, CheckOptions};
+    use latch_conform::generate::generate;
+
+    // (seed, trace events, tainted bytes, violations)
+    let golden = [(0u64, 108, 138, 1), (1, 62, 52, 0), (2, 91, 161, 2), (3, 46, 21, 0)];
+    for (seed, trace_len, tainted_bytes, violations) in golden {
+        let v = check(&generate(seed), &CheckOptions::default())
+            .unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+        assert_eq!(
+            (v.trace_len, v.tainted_bytes, v.violations),
+            (trace_len, tainted_bytes, violations),
+            "seed {seed} verdict moved (obs perturbation or generator drift)"
+        );
+    }
+}
+
+/// Same property at the unit level: a fixed op sequence over
+/// `LatchUnit` + `ShadowMemory` must land on the same coarse-check
+/// outcomes whether or not the obs hooks around every CTC/CTT/TLB
+/// operation are live.
+#[test]
+fn obs_instrumentation_does_not_perturb_coarse_state() {
+    let params = LatchConfig::s_latch().ctc_entries(4).build().unwrap();
+    let mut latch = LatchUnit::new(params);
+    let mut shadow = ShadowMemory::new();
+    for i in 0..32u32 {
+        let addr = (i * 929) % (ARENA - 64);
+        shadow.set_range(addr, 48, TaintTag::NETWORK);
+        latch.write_taint(addr, 48, true);
+    }
+    for i in 0..16u32 {
+        let addr = (i * 1201) % (ARENA - 64);
+        shadow.clear_range(addr, 32);
+        latch.write_taint(addr, 32, false);
+    }
+    latch.clear_scan(&shadow);
+    let hits = (0..64u32)
+        .filter(|i| latch.check_read((i * 499) % (ARENA - 64), 16).coarse_tainted)
+        .count();
+    assert!(latch.coarse_covers_precise(&shadow, 0, ARENA));
+    assert_eq!(hits, 9, "coarse hit pattern moved between obs builds");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
