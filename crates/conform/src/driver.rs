@@ -1,4 +1,4 @@
-//! The differential driver: one program, five monitors, one verdict.
+//! The differential driver: one program, six monitors, one verdict.
 //!
 //! A program's architectural trace is materialised **once** on a plain
 //! CPU; the generator's register discipline (see [`crate::generate`])
@@ -16,6 +16,10 @@
 //! 4. **H-LATCH** over the desugared trace, checkpointed.
 //! 5. **P-LATCH** `run_resilient` under a benign and a drop-bearing
 //!    fault plan (Degrade recovery keeps reports deterministic).
+//! 6. **latch-serve**: three sessions fed the same desugared trace,
+//!    interleaved chunk-by-chunk through the deterministic scheduler
+//!    under eviction pressure — every session must independently
+//!    reproduce the oracle's precise map and violation set.
 //!
 //! Each leg's final precise map, register tags, and violation set must
 //! equal the oracle's; the coarse state must cover the precise state on
@@ -34,6 +38,7 @@ use latch_dift::policy::{SecurityViolation, SourceKind, TaintPolicy};
 use latch_dift::prop::PropRule;
 use latch_dift::tag::TaintTag;
 use latch_faults::FaultPlan;
+use latch_serve::{ServeConfig, Service};
 use latch_sim::event::{Event, MemAccess, MemAccessKind, SourceInput, VecSource};
 use latch_sim::machine::apply_event_dift;
 use latch_systems::hlatch::HLatch;
@@ -467,6 +472,37 @@ pub fn check(prog: &TestProgram, opts: &CheckOptions) -> Result<Verdict, Box<Div
         let (outcome, engine) = run_resilient(desugared.clone(), 64, true, plan, degrade_cfg());
         compare_precise("p-latch/faulty", &engine, &golden)?;
         compare_violations("p-latch/faulty", &outcome.report.violations, &golden)?;
+    }
+
+    // ---- leg 6: latch-serve, interleaved multi-session scheduler -----
+    if !desugared.is_empty() {
+        const SESSIONS: u64 = 3;
+        const CHUNK: usize = 48;
+        let cfg = ServeConfig {
+            workers: 2,
+            max_resident: 2, // fewer residents than sessions: force evict/restore
+            seed: opts.fault_seed,
+            ..ServeConfig::default()
+        };
+        let mut svc = Service::deterministic(cfg, FaultPlan::benign());
+        let mut lo = 0usize;
+        while lo < desugared.len() {
+            let hi = (lo + CHUNK).min(desugared.len());
+            for s in 0..SESSIONS {
+                svc.submit(s, &desugared[lo..hi])
+                    .expect("queues are sized above one round's burst");
+            }
+            svc.pump();
+            lo = hi;
+        }
+        let out = svc.finish();
+        for s in 0..SESSIONS {
+            let pipe = &out.pipelines[&s];
+            compare_precise("serve", pipe.engine(), &golden)?;
+            let violations: Vec<SecurityViolation> =
+                pipe.violations().iter().map(|(_, v)| v.clone()).collect();
+            compare_violations("serve", &violations, &golden)?;
+        }
     }
 
     // ---- metamorphic legs --------------------------------------------

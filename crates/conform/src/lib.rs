@@ -14,10 +14,11 @@
 //!   interpreter — written for obviousness, not speed — that produces
 //!   the golden taint map and violation set for a trace.
 //! * [`driver`] runs each program through baseline DIFT, S-LATCH,
-//!   P-LATCH (benign and drop-bearing fault plans) and H-LATCH,
-//!   asserting precise-map equality with the oracle, coarse-superset
-//!   invariants at every checkpoint, identical violation sets, and
-//!   metamorphic properties.
+//!   P-LATCH (benign and drop-bearing fault plans), H-LATCH, and the
+//!   `latch-serve` deterministic scheduler (three interleaved sessions
+//!   under eviction pressure), asserting precise-map equality with the
+//!   oracle, coarse-superset invariants at every checkpoint, identical
+//!   violation sets, and metamorphic properties.
 //! * [`minimize`] is a delta-debugging minimizer that shrinks a failing
 //!   program to a minimal reproducer, and [`corpus`] is the stable text
 //!   codec used to check reproducers into `tests/corpus/`.

@@ -19,6 +19,7 @@
 
 use crate::ctt::CoarseTaintTable;
 use crate::domain::{CttWordId, DomainGeometry};
+use crate::snapshot::{SnapError, SnapReader, SnapWriter};
 use crate::{Addr, PreciseView};
 use serde::{Deserialize, Serialize};
 
@@ -465,6 +466,68 @@ impl CoarseTaintCache {
             report.lines_repaired += 1;
         }
         report
+    }
+
+    /// Snapshot encoder: every line verbatim (including stale parity
+    /// left by fault injection), the LRU clock, and the statistics, so
+    /// a restored cache replays future accesses identically.
+    pub(crate) fn snap_encode(&self, w: &mut SnapWriter) {
+        w.u64(self.clock);
+        w.u64(self.stats.hits);
+        w.u64(self.stats.misses);
+        w.u64(self.stats.evictions);
+        w.u64(self.stats.clear_bit_evictions);
+        w.u64(self.stats.writes);
+        w.u64(self.lines.len() as u64);
+        for line in &self.lines {
+            w.bool(line.valid);
+            w.u32(line.word);
+            w.u32(line.bits);
+            w.u32(line.clear_bits);
+            w.u64(line.last_use);
+            w.bool(line.parity);
+        }
+    }
+
+    /// Inverse of [`snap_encode`](Self::snap_encode). `geom` and
+    /// `miss_penalty` come from the owning unit's (already decoded)
+    /// parameters; the line count must match `entries`.
+    pub(crate) fn snap_decode(
+        geom: DomainGeometry,
+        entries: usize,
+        miss_penalty: u64,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Self, SnapError> {
+        let clock = r.u64()?;
+        let stats = CtcStats {
+            hits: r.u64()?,
+            misses: r.u64()?,
+            evictions: r.u64()?,
+            clear_bit_evictions: r.u64()?,
+            writes: r.u64()?,
+        };
+        let n = r.len(22)?;
+        if n != entries {
+            return Err(SnapError::Corrupt("ctc line count"));
+        }
+        let mut lines = Vec::with_capacity(n);
+        for _ in 0..n {
+            lines.push(CtcLine {
+                valid: r.bool()?,
+                word: r.u32()?,
+                bits: r.u32()?,
+                clear_bits: r.u32()?,
+                last_use: r.u64()?,
+                parity: r.bool()?,
+            });
+        }
+        Ok(Self {
+            geom,
+            lines,
+            clock,
+            miss_penalty,
+            stats,
+        })
     }
 
     /// Invalidates every line (e.g. on context switch), leaving the CTT

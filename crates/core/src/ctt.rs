@@ -19,6 +19,7 @@
 //! re-derives the word from the precise taint state.
 
 use crate::domain::{CttWordId, DomainGeometry, DomainId};
+use crate::snapshot::{SnapError, SnapReader, SnapWriter};
 use crate::{Addr, PreciseView, CTT_WORD_BITS};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -177,6 +178,45 @@ impl CoarseTaintTable {
         // word stays resident even at zero.
         self.words.insert(word, new);
         Some(CttWordId(word))
+    }
+
+    /// Snapshot encoder: words and parity flags written sorted by key,
+    /// independently of each other — a corrupted word can be resident
+    /// with stale or absent parity, and a restore must preserve exactly
+    /// that detectable-by-scrub state.
+    pub(crate) fn snap_encode(&self, w: &mut SnapWriter) {
+        let mut words: Vec<(u32, u32)> = self.words.iter().map(|(&k, &v)| (k, v)).collect();
+        words.sort_unstable();
+        w.u64(words.len() as u64);
+        for (key, bits) in words {
+            w.u32(key);
+            w.u32(bits);
+        }
+        let mut parity: Vec<(u32, bool)> = self.parity.iter().map(|(&k, &v)| (k, v)).collect();
+        parity.sort_unstable();
+        w.u64(parity.len() as u64);
+        for (key, p) in parity {
+            w.u32(key);
+            w.bool(p);
+        }
+    }
+
+    /// Inverse of [`snap_encode`](Self::snap_encode).
+    pub(crate) fn snap_decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let mut table = Self::new();
+        let n = r.len(8)?;
+        for _ in 0..n {
+            let key = r.u32()?;
+            let bits = r.u32()?;
+            table.words.insert(key, bits);
+        }
+        let n = r.len(5)?;
+        for _ in 0..n {
+            let key = r.u32()?;
+            let p = r.bool()?;
+            table.parity.insert(key, p);
+        }
+        Ok(table)
     }
 
     /// Parity-checks every resident word and conservatively re-derives

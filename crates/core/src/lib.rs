@@ -56,6 +56,7 @@ pub mod domain;
 pub mod error;
 pub mod isa_ext;
 pub mod mode;
+pub mod snapshot;
 pub mod stats;
 pub mod tlb;
 pub mod trf;

@@ -1,0 +1,290 @@
+//! A tiny hand-rolled binary snapshot codec.
+//!
+//! The serving layer (`latch-serve`) evicts idle sessions by freezing
+//! their full microarchitectural state — coarse structures, precise
+//! engine, statistics — into an opaque byte blob and thawing it later,
+//! possibly on a different worker thread. Two properties matter more
+//! than compactness:
+//!
+//! 1. **Determinism**: encoding the same logical state must yield the
+//!    same bytes, so snapshot equality can stand in for state equality
+//!    in tests. Hash maps are therefore always written sorted by key.
+//! 2. **Fidelity**: a restore must be indistinguishable from never
+//!    having been evicted — including LRU clocks, statistics counters,
+//!    and pending eviction scans — so a replayed run produces
+//!    byte-identical reports.
+//!
+//! All integers are little-endian fixed width. Every top-level blob
+//! starts with a magic word and a format version; component encoders
+//! (in `ctt`, `ctc`, `tlb`, `trf`, `unit`) write raw fields only.
+
+use std::error::Error;
+use std::fmt;
+
+/// Failure while decoding a snapshot blob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapError {
+    /// The blob ended before the decoder was done.
+    Truncated,
+    /// The leading magic word did not match.
+    BadMagic,
+    /// The format version is not one this build understands.
+    BadVersion(u32),
+    /// A decoded value violated an invariant of the target structure.
+    Corrupt(&'static str),
+    /// Decoding finished with bytes left over.
+    TrailingBytes,
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::Truncated => write!(f, "snapshot truncated"),
+            SnapError::BadMagic => write!(f, "snapshot magic mismatch"),
+            SnapError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapError::Corrupt(what) => write!(f, "corrupt snapshot field: {what}"),
+            SnapError::TrailingBytes => write!(f, "snapshot has trailing bytes"),
+        }
+    }
+}
+
+impl Error for SnapError {}
+
+/// Append-only encoder over a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes the standard `magic` + `version` header.
+    pub fn header(&mut self, magic: u32, version: u32) {
+        self.u32(magic);
+        self.u32(version);
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a bool as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Appends a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes with no length prefix.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends an `Option<u32>` as presence byte + value.
+    pub fn opt_u32(&mut self, v: Option<u32>) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.u32(x);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    /// Consumes the writer, returning the encoded blob.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor-based decoder over a snapshot blob.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Wraps a blob for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Reads and validates the standard header, returning the version.
+    pub fn header(&mut self, magic: u32, max_version: u32) -> Result<u32, SnapError> {
+        if self.u32()? != magic {
+            return Err(SnapError::BadMagic);
+        }
+        let version = self.u32()?;
+        if version == 0 || version > max_version {
+            return Err(SnapError::BadVersion(version));
+        }
+        Ok(version)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        let end = self.pos.checked_add(n).ok_or(SnapError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(SnapError::Truncated);
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a bool, rejecting anything but 0 or 1.
+    pub fn bool(&mut self) -> Result<bool, SnapError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapError::Corrupt("bool")),
+        }
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads exactly `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        self.take(n)
+    }
+
+    /// Reads an `Option<u32>` written by [`SnapWriter::opt_u32`].
+    pub fn opt_u32(&mut self) -> Result<Option<u32>, SnapError> {
+        if self.bool()? {
+            Ok(Some(self.u32()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Reads a u64 length prefix, bounds-checked against the remaining
+    /// bytes so a corrupt length cannot trigger a huge allocation.
+    /// `min_item_bytes` is the smallest possible encoding of one item.
+    pub fn len(&mut self, min_item_bytes: usize) -> Result<usize, SnapError> {
+        let n = self.u64()?;
+        let remaining = (self.buf.len() - self.pos) as u64;
+        let min = min_item_bytes.max(1) as u64;
+        if n > remaining / min {
+            return Err(SnapError::Corrupt("length prefix"));
+        }
+        Ok(n as usize)
+    }
+
+    /// Verifies the whole blob was consumed.
+    pub fn expect_end(&self) -> Result<(), SnapError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(SnapError::TrailingBytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = SnapWriter::new();
+        w.header(0xABCD_1234, 1);
+        w.u8(7);
+        w.bool(true);
+        w.bool(false);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 3);
+        w.opt_u32(Some(42));
+        w.opt_u32(None);
+        w.bytes(&[1, 2, 3]);
+        let blob = w.finish();
+
+        let mut r = SnapReader::new(&blob);
+        assert_eq!(r.header(0xABCD_1234, 1).unwrap(), 1);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.opt_u32().unwrap(), Some(42));
+        assert_eq!(r.opt_u32().unwrap(), None);
+        assert_eq!(r.bytes(3).unwrap(), &[1, 2, 3]);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut w = SnapWriter::new();
+        w.u64(9);
+        let blob = w.finish();
+        let mut r = SnapReader::new(&blob[..5]);
+        assert_eq!(r.u64(), Err(SnapError::Truncated));
+    }
+
+    #[test]
+    fn bad_magic_and_version() {
+        let mut w = SnapWriter::new();
+        w.header(1, 9);
+        let blob = w.finish();
+        let mut r = SnapReader::new(&blob);
+        assert_eq!(r.header(2, 9), Err(SnapError::BadMagic));
+        let mut r = SnapReader::new(&blob);
+        assert_eq!(r.header(1, 3), Err(SnapError::BadVersion(9)));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut w = SnapWriter::new();
+        w.u8(1);
+        w.u8(2);
+        let blob = w.finish();
+        let mut r = SnapReader::new(&blob);
+        r.u8().unwrap();
+        assert_eq!(r.expect_end(), Err(SnapError::TrailingBytes));
+    }
+
+    #[test]
+    fn absurd_length_prefix_rejected() {
+        let mut w = SnapWriter::new();
+        w.u64(u64::MAX);
+        let blob = w.finish();
+        let mut r = SnapReader::new(&blob);
+        assert_eq!(r.len(4), Err(SnapError::Corrupt("length prefix")));
+    }
+
+    #[test]
+    fn non_boolean_byte_rejected() {
+        let blob = [3u8];
+        let mut r = SnapReader::new(&blob);
+        assert_eq!(r.bool(), Err(SnapError::Corrupt("bool")));
+    }
+}

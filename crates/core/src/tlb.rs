@@ -11,6 +11,7 @@
 
 use crate::ctt::CoarseTaintTable;
 use crate::domain::{DomainGeometry, PageId};
+use crate::snapshot::{SnapError, SnapReader, SnapWriter};
 use crate::{Addr, PAGE_SIZE};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -52,6 +53,29 @@ impl PageTaintTable {
     /// Clears all page taint bits.
     pub fn clear(&mut self) {
         self.pages.clear();
+    }
+
+    /// Snapshot encoder: pages written sorted by id for determinism.
+    pub(crate) fn snap_encode(&self, w: &mut SnapWriter) {
+        let mut pages: Vec<(u32, u32)> = self.pages.iter().map(|(&k, &v)| (k, v)).collect();
+        pages.sort_unstable();
+        w.u64(pages.len() as u64);
+        for (page, bits) in pages {
+            w.u32(page);
+            w.u32(bits);
+        }
+    }
+
+    /// Inverse of [`snap_encode`](Self::snap_encode).
+    pub(crate) fn snap_decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let mut pt = Self::new();
+        let n = r.len(8)?;
+        for _ in 0..n {
+            let page = r.u32()?;
+            let bits = r.u32()?;
+            pt.pages.insert(page, bits);
+        }
+        Ok(pt)
     }
 }
 
@@ -250,6 +274,57 @@ impl TaintTlb {
     /// Number of TLB slots.
     pub fn capacity(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Snapshot encoder: entries verbatim plus the LRU clock and stats,
+    /// so a restored TLB replays future lookups identically.
+    pub(crate) fn snap_encode(&self, w: &mut SnapWriter) {
+        w.u64(self.clock);
+        w.u64(self.stats.hits);
+        w.u64(self.stats.misses);
+        w.u64(self.stats.resolved_untainted);
+        w.u64(self.entries.len() as u64);
+        for e in &self.entries {
+            w.bool(e.valid);
+            w.u32(e.page);
+            w.u32(e.taint_bits);
+            w.u64(e.last_use);
+        }
+    }
+
+    /// Inverse of [`snap_encode`](Self::snap_encode).
+    pub(crate) fn snap_decode(
+        geom: DomainGeometry,
+        capacity: usize,
+        miss_penalty: u64,
+        r: &mut SnapReader<'_>,
+    ) -> Result<Self, SnapError> {
+        let clock = r.u64()?;
+        let stats = TlbStats {
+            hits: r.u64()?,
+            misses: r.u64()?,
+            resolved_untainted: r.u64()?,
+        };
+        let n = r.len(17)?;
+        if n != capacity {
+            return Err(SnapError::Corrupt("tlb entry count"));
+        }
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push(TlbEntry {
+                valid: r.bool()?,
+                page: r.u32()?,
+                taint_bits: r.u32()?,
+                last_use: r.u64()?,
+            });
+        }
+        Ok(Self {
+            geom,
+            entries,
+            clock,
+            miss_penalty,
+            stats,
+        })
     }
 
     /// Recomputes one page's taint bits from the CTT (used after

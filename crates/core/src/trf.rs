@@ -113,6 +113,18 @@ impl TaintRegisterFile {
             .fold(0u64, |acc, (i, t)| acc | (u64::from(t.0 & 0x0F) << (i * 4)))
     }
 
+    /// Rebuilds a TRF from a packed value without going through the
+    /// `strf` path — snapshot restores must not emit spill events or
+    /// bump counters, or a restored run would diverge from an
+    /// uninterrupted one under the `obs` build.
+    pub(crate) fn from_packed_silent(packed: u64) -> Self {
+        let mut trf = Self::new();
+        for (i, slot) in trf.regs.iter_mut().enumerate() {
+            *slot = RegTaint(((packed >> (i * 4)) & 0x0F) as u8);
+        }
+        trf
+    }
+
     /// Clears every register's taint.
     pub fn clear(&mut self) {
         self.regs = [RegTaint::CLEAN; NUM_REGS];

@@ -17,8 +17,9 @@
 use crate::config::LatchParams;
 use crate::ctc::{ClearScanReport, CoarseTaintCache, CtcScrubReport, EvictedLine};
 use crate::ctt::{CoarseTaintTable, CttScrubReport};
-use crate::domain::{DomainGeometry, PageId};
+use crate::domain::{CttWordId, DomainGeometry, PageId};
 use crate::isa_ext::LatchInstr;
+use crate::snapshot::{SnapError, SnapReader, SnapWriter};
 use crate::stats::{CheckStats, LatchStats, ResolvedAt, ScrubStats};
 use crate::tlb::{PageTaintTable, TaintTlb};
 use crate::trf::TaintRegisterFile;
@@ -61,6 +62,11 @@ impl ScrubReport {
         self.ctt.words_repaired > 0 || self.ctc.lines_repaired > 0
     }
 }
+
+/// Magic word of a [`LatchUnit`] snapshot blob (`"LTCH"`).
+const SNAP_MAGIC: u32 = 0x4C54_4348;
+/// Current snapshot format version.
+const SNAP_VERSION: u32 = 1;
 
 /// The complete LATCH module.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -417,6 +423,122 @@ impl LatchUnit {
         true
     }
 
+    /// Freezes the complete unit — parameters, coarse structures, LRU
+    /// clocks, statistics, pending eviction scans — into an opaque byte
+    /// blob. The encoding is deterministic (hash maps are written
+    /// sorted), so snapshotting equal states yields equal bytes, and a
+    /// unit restored via [`from_snapshot`](Self::from_snapshot) behaves
+    /// byte-identically to one that was never frozen, down to its
+    /// statistics counters.
+    pub fn to_snapshot(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.header(SNAP_MAGIC, SNAP_VERSION);
+        w.u32(self.params.geometry.domain_bytes());
+        w.u64(self.params.ctc_entries as u64);
+        w.u64(self.params.ctc_miss_penalty);
+        w.u64(self.params.tlb_entries as u64);
+        w.u64(self.params.tlb_miss_penalty);
+        w.u32(self.params.sw_timeout);
+        self.ctt.snap_encode(&mut w);
+        self.ctc.snap_encode(&mut w);
+        self.tlb.snap_encode(&mut w);
+        self.pt.snap_encode(&mut w);
+        w.u64(self.trf.to_packed());
+        w.u64(self.checks.checks);
+        w.u64(self.checks.resolved_tlb);
+        w.u64(self.checks.resolved_ctc);
+        w.u64(self.checks.coarse_hits);
+        w.u64(self.checks.penalty_cycles);
+        w.u64(self.scrub_stats.scrubs);
+        w.u64(self.scrub_stats.ctt_words_repaired);
+        w.u64(self.scrub_stats.domains_retainted);
+        w.u64(self.scrub_stats.ctc_lines_repaired);
+        w.opt_u32(self.last_exception_addr);
+        w.u64(self.pending_evictions.len() as u64);
+        for ev in &self.pending_evictions {
+            w.u32(ev.word.0);
+            w.u32(ev.bits);
+            w.u32(ev.clear_bits);
+        }
+        w.finish()
+    }
+
+    /// Thaws a unit frozen by [`to_snapshot`](Self::to_snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] if the blob is truncated, from a
+    /// different format version, or internally inconsistent.
+    pub fn from_snapshot(blob: &[u8]) -> Result<Self, SnapError> {
+        let mut r = SnapReader::new(blob);
+        r.header(SNAP_MAGIC, SNAP_VERSION)?;
+        let domain_bytes = r.u32()?;
+        let geometry =
+            DomainGeometry::new(domain_bytes).map_err(|_| SnapError::Corrupt("domain bytes"))?;
+        let params = LatchParams {
+            geometry,
+            ctc_entries: r.u64()? as usize,
+            ctc_miss_penalty: r.u64()?,
+            tlb_entries: r.u64()? as usize,
+            tlb_miss_penalty: r.u64()?,
+            sw_timeout: r.u32()?,
+        };
+        if params.ctc_entries == 0 || params.tlb_entries == 0 || params.sw_timeout == 0 {
+            return Err(SnapError::Corrupt("zero-sized structure"));
+        }
+        let ctt = CoarseTaintTable::snap_decode(&mut r)?;
+        let ctc = CoarseTaintCache::snap_decode(
+            geometry,
+            params.ctc_entries,
+            params.ctc_miss_penalty,
+            &mut r,
+        )?;
+        let tlb = TaintTlb::snap_decode(
+            geometry,
+            params.tlb_entries,
+            params.tlb_miss_penalty,
+            &mut r,
+        )?;
+        let pt = PageTaintTable::snap_decode(&mut r)?;
+        let trf = TaintRegisterFile::from_packed_silent(r.u64()?);
+        let checks = CheckStats {
+            checks: r.u64()?,
+            resolved_tlb: r.u64()?,
+            resolved_ctc: r.u64()?,
+            coarse_hits: r.u64()?,
+            penalty_cycles: r.u64()?,
+        };
+        let scrub_stats = ScrubStats {
+            scrubs: r.u64()?,
+            ctt_words_repaired: r.u64()?,
+            domains_retainted: r.u64()?,
+            ctc_lines_repaired: r.u64()?,
+        };
+        let last_exception_addr = r.opt_u32()?;
+        let n = r.len(12)?;
+        let mut pending_evictions = Vec::with_capacity(n);
+        for _ in 0..n {
+            pending_evictions.push(EvictedLine {
+                word: CttWordId(r.u32()?),
+                bits: r.u32()?,
+                clear_bits: r.u32()?,
+            });
+        }
+        r.expect_end()?;
+        Ok(Self {
+            params,
+            ctt,
+            ctc,
+            tlb,
+            pt,
+            trf,
+            checks,
+            scrub_stats,
+            last_exception_addr,
+            pending_evictions,
+        })
+    }
+
     fn refresh_pages_for_range(&mut self, addr: Addr, len: u32) {
         let geom = self.params.geometry;
         let span = geom.word_span_bytes();
@@ -647,6 +769,67 @@ mod tests {
         assert!(!report.repaired_anything());
         assert_eq!(u.stats().scrub.scrubs, 1);
         assert!(!u.stats().scrub.any_repairs());
+    }
+
+    /// Exercises a unit into a messy state: taint, partial clears
+    /// (pending clear bits), cache pressure, a flush (pending
+    /// evictions), corruption with stale parity, and live stats.
+    fn messy_unit() -> LatchUnit {
+        let mut u = unit();
+        u.write_taint(0x4000, 8, true);
+        u.write_taint(0x4004, 2, false);
+        u.exec(LatchInstr::Strf { packed: 0xF0F });
+        for i in 0..20u32 {
+            u.check_read(i * 0x800, 4);
+        }
+        u.flush_caches();
+        u.check_read(0x4000, 4);
+        u.corrupt_coarse(CoarseStructure::Ctt, 0, 3, true);
+        u
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_byte_identical() {
+        let u = messy_unit();
+        let blob = u.to_snapshot();
+        let restored = LatchUnit::from_snapshot(&blob).unwrap();
+        assert_eq!(restored.to_snapshot(), blob);
+        assert_eq!(restored.stats(), u.stats());
+        assert_eq!(restored.last_exception_addr(), u.last_exception_addr());
+        assert_eq!(restored.pending_evictions(), u.pending_evictions());
+    }
+
+    #[test]
+    fn restored_unit_replays_identically() {
+        // Restore must be invisible: running the same access sequence on
+        // the original and the thawed copy yields identical snapshots,
+        // including LRU decisions and statistics.
+        let mut a = messy_unit();
+        let mut b = LatchUnit::from_snapshot(&a.to_snapshot()).unwrap();
+        for u in [&mut a, &mut b] {
+            u.write_taint(0x9000, 4, true);
+            for i in 0..40u32 {
+                u.check_read(i * 0x800 + 16, 4);
+            }
+            u.clear_scan(&EmptyView);
+            u.scrub(&VecView(vec![(0x9000, 4)]));
+            u.flush_caches();
+            u.check_write(0x9002, 2);
+        }
+        assert_eq!(a.to_snapshot(), b.to_snapshot());
+    }
+
+    #[test]
+    fn snapshot_rejects_garbage() {
+        let u = unit();
+        let blob = u.to_snapshot();
+        assert!(LatchUnit::from_snapshot(&blob[..blob.len() - 1]).is_err());
+        let mut bad = blob.clone();
+        bad[0] ^= 0xFF;
+        assert!(LatchUnit::from_snapshot(&bad).is_err());
+        let mut trailing = blob;
+        trailing.push(0);
+        assert!(LatchUnit::from_snapshot(&trailing).is_err());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::prop::{apply, PropOutcome, PropRule};
 use crate::regfile::RegTagFile;
 use crate::shadow::ShadowMemory;
 use crate::tag::TaintTag;
+use latch_core::snapshot::{SnapError, SnapReader, SnapWriter};
 use latch_core::{Addr, PreciseView};
 use serde::{Deserialize, Serialize};
 
@@ -215,6 +216,59 @@ impl DiftEngine {
     }
 }
 
+/// Magic word of a [`DiftEngine`] snapshot blob (`"LTDF"`).
+const SNAP_MAGIC: u32 = 0x4C54_4446;
+/// Current snapshot format version.
+const SNAP_VERSION: u32 = 1;
+
+impl DiftEngine {
+    /// Freezes the complete precise state — shadow memory, register
+    /// tags, policy, statistics — into an opaque byte blob. The
+    /// encoding is deterministic (pages sorted by index), so equal
+    /// engine states produce equal bytes.
+    pub fn to_snapshot(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.header(SNAP_MAGIC, SNAP_VERSION);
+        self.shadow.snap_encode(&mut w);
+        self.regs.snap_encode(&mut w);
+        self.policy.snap_encode(&mut w);
+        w.u64(self.stats.instrs);
+        w.u64(self.stats.instrs_touching_taint);
+        w.u64(self.stats.mem_taint_writes);
+        w.u64(self.stats.source_bytes);
+        w.u64(self.stats.violations);
+        w.finish()
+    }
+
+    /// Thaws an engine frozen by [`to_snapshot`](Self::to_snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] if the blob is truncated, from a
+    /// different format version, or internally inconsistent.
+    pub fn from_snapshot(blob: &[u8]) -> Result<Self, SnapError> {
+        let mut r = SnapReader::new(blob);
+        r.header(SNAP_MAGIC, SNAP_VERSION)?;
+        let shadow = ShadowMemory::snap_decode(&mut r)?;
+        let regs = RegTagFile::snap_decode(&mut r)?;
+        let policy = TaintPolicy::snap_decode(&mut r)?;
+        let stats = DiftStats {
+            instrs: r.u64()?,
+            instrs_touching_taint: r.u64()?,
+            mem_taint_writes: r.u64()?,
+            source_bytes: r.u64()?,
+            violations: r.u64()?,
+        };
+        r.expect_end()?;
+        Ok(Self {
+            shadow,
+            regs,
+            policy,
+            stats,
+        })
+    }
+}
+
 impl PreciseView for DiftEngine {
     fn any_tainted(&self, start: Addr, len: u32) -> bool {
         self.shadow.any_tainted(start, len)
@@ -293,6 +347,73 @@ mod tests {
         assert!(e
             .validate_sink_range(0x10, SinkKind::Socket, 0x3000, 32)
             .is_ok());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_byte_identical() {
+        let mut e = DiftEngine::with_policy(TaintPolicy::new().check_secret_leak(true));
+        e.source_input(SourceKind::Socket, 0x5000, 16);
+        e.propagate(PropRule::Load { dst: 1, addr: 0x5000, len: 4 });
+        e.propagate(PropRule::Store { src: 1, addr: 0x9000, len: 4 });
+        e.taint_region(0x2000, 8, TaintTag::SECRET);
+        e.clear_region(0x2000, 2);
+        let _ = e.validate_sink_range(0x10, SinkKind::Socket, 0x2002, 4);
+        let blob = e.to_snapshot();
+        let restored = DiftEngine::from_snapshot(&blob).unwrap();
+        assert_eq!(restored.to_snapshot(), blob);
+        assert_eq!(restored.stats(), e.stats());
+        assert_eq!(restored.regs(), e.regs());
+        assert_eq!(restored.policy(), e.policy());
+        assert_eq!(
+            restored.shadow().tainted_bytes(),
+            e.shadow().tainted_bytes()
+        );
+        assert_eq!(
+            restored.shadow().pages_ever_tainted(),
+            e.shadow().pages_ever_tainted()
+        );
+    }
+
+    #[test]
+    fn restored_engine_replays_identically() {
+        let mut a = DiftEngine::new();
+        a.source_input(SourceKind::File, 0x100, 8);
+        a.propagate(PropRule::Load { dst: 1, addr: 0x100, len: 4 });
+        let mut b = DiftEngine::from_snapshot(&a.to_snapshot()).unwrap();
+        for e in [&mut a, &mut b] {
+            e.propagate(PropRule::BinaryAlu { dst: 2, src1: 1, src2: 3 });
+            e.propagate(PropRule::Store { src: 2, addr: 0x900, len: 4 });
+            let _ = e.validate_branch_through_reg(0x400, 2, 0x41414141);
+        }
+        assert_eq!(a.to_snapshot(), b.to_snapshot());
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn snapshot_rejects_garbage() {
+        let e = DiftEngine::new();
+        let blob = e.to_snapshot();
+        assert!(DiftEngine::from_snapshot(&blob[..blob.len() - 1]).is_err());
+        let mut bad = blob.clone();
+        bad[0] ^= 0xFF;
+        assert!(DiftEngine::from_snapshot(&bad).is_err());
+    }
+
+    #[test]
+    fn violation_snapshot_roundtrip() {
+        use latch_core::snapshot::{SnapReader, SnapWriter};
+        let v = SecurityViolation {
+            kind: crate::policy::ViolationKind::SecretLeak,
+            pc: 0x1234,
+            addr: Some(0x2000),
+            tag: TaintTag::SECRET,
+        };
+        let mut w = SnapWriter::new();
+        v.snap_encode(&mut w);
+        let blob = w.finish();
+        let mut r = SnapReader::new(&blob);
+        assert_eq!(SecurityViolation::snap_decode(&mut r).unwrap(), v);
+        r.expect_end().unwrap();
     }
 
     #[test]

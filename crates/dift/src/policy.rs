@@ -10,6 +10,7 @@
 //! channel (leak prevention).
 
 use crate::tag::TaintTag;
+use latch_core::snapshot::{SnapError, SnapReader, SnapWriter};
 use latch_core::Addr;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
@@ -84,6 +85,41 @@ impl fmt::Display for SecurityViolation {
 
 impl Error for SecurityViolation {}
 
+impl SecurityViolation {
+    /// Appends this violation to a snapshot blob (kind as a stable u8
+    /// discriminant, then pc, optional data address, and tag).
+    pub fn snap_encode(&self, w: &mut SnapWriter) {
+        w.u8(match self.kind {
+            ViolationKind::TaintedControlFlow => 0,
+            ViolationKind::SecretLeak => 1,
+            ViolationKind::TaintedSyscallArg => 2,
+        });
+        w.u32(self.pc);
+        w.opt_u32(self.addr);
+        w.u8(self.tag.0);
+    }
+
+    /// Inverse of [`snap_encode`](Self::snap_encode).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] on truncation or an unknown kind byte.
+    pub fn snap_decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let kind = match r.u8()? {
+            0 => ViolationKind::TaintedControlFlow,
+            1 => ViolationKind::SecretLeak,
+            2 => ViolationKind::TaintedSyscallArg,
+            _ => return Err(SnapError::Corrupt("violation kind")),
+        };
+        Ok(Self {
+            kind,
+            pc: r.u32()?,
+            addr: r.opt_u32()?,
+            tag: TaintTag(r.u8()?),
+        })
+    }
+}
+
 /// The configured DIFT policy: which sources taint, which rules check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TaintPolicy {
@@ -143,6 +179,26 @@ impl TaintPolicy {
     pub fn check_secret_leak(mut self, on: bool) -> Self {
         self.check_secret_leak = on;
         self
+    }
+
+    /// Snapshot encoder: the five policy switches, one byte each.
+    pub(crate) fn snap_encode(&self, w: &mut SnapWriter) {
+        w.bool(self.taint_files);
+        w.bool(self.taint_sockets);
+        w.bool(self.taint_user_input);
+        w.bool(self.check_control_flow);
+        w.bool(self.check_secret_leak);
+    }
+
+    /// Inverse of [`snap_encode`](Self::snap_encode).
+    pub(crate) fn snap_decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Self {
+            taint_files: r.bool()?,
+            taint_sockets: r.bool()?,
+            taint_user_input: r.bool()?,
+            check_control_flow: r.bool()?,
+            check_secret_leak: r.bool()?,
+        })
     }
 
     /// The tag assigned to bytes arriving from `source`, or `None` when

@@ -5,6 +5,7 @@
 //! [`TaintTag`] per byte so origin classes survive propagation.
 
 use crate::tag::TaintTag;
+use latch_core::snapshot::{SnapError, SnapReader, SnapWriter};
 use latch_core::trf::{RegTaint, NUM_REGS, REG_BYTES};
 use serde::{Deserialize, Serialize};
 
@@ -99,6 +100,27 @@ impl RegTagFile {
             }
         }
         RegTaint(bits)
+    }
+
+    /// Snapshot encoder: 64 raw tag bytes in register order.
+    pub(crate) fn snap_encode(&self, w: &mut SnapWriter) {
+        for reg in &self.regs {
+            for tag in reg {
+                w.u8(tag.0);
+            }
+        }
+    }
+
+    /// Inverse of [`snap_encode`](Self::snap_encode).
+    pub(crate) fn snap_decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let raw = r.bytes(NUM_REGS * REG_BYTES as usize)?;
+        let mut file = Self::new();
+        for (i, chunk) in raw.chunks_exact(REG_BYTES as usize).enumerate() {
+            for (b, slot) in chunk.iter().zip(file.regs[i].iter_mut()) {
+                *slot = TaintTag(*b);
+            }
+        }
+        Ok(file)
     }
 
     /// Packs the whole file into the `strf` operand format (4 bits per

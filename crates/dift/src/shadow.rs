@@ -8,6 +8,7 @@
 //! the paper reports in Tables 3 and 4: which pages *ever* held taint.
 
 use crate::tag::TaintTag;
+use latch_core::snapshot::{SnapError, SnapReader, SnapWriter};
 use latch_core::{Addr, PreciseView, PAGE_SIZE};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -115,6 +116,51 @@ impl ShadowMemory {
     pub fn clear_all(&mut self) {
         self.pages.clear();
         self.tainted_bytes = 0;
+    }
+
+    /// Snapshot encoder: resident pages (including all-clean ones — a
+    /// resident-but-clean page is observable through allocation-free
+    /// clean writes) written sorted by index, then the ever-tainted
+    /// census sorted, then the byte count.
+    pub(crate) fn snap_encode(&self, w: &mut SnapWriter) {
+        let mut idxs: Vec<u32> = self.pages.keys().copied().collect();
+        idxs.sort_unstable();
+        w.u64(idxs.len() as u64);
+        for idx in idxs {
+            w.u32(idx);
+            for tag in self.pages[&idx].iter() {
+                w.u8(tag.0);
+            }
+        }
+        let mut ever: Vec<u32> = self.ever_tainted_pages.iter().copied().collect();
+        ever.sort_unstable();
+        w.u64(ever.len() as u64);
+        for idx in ever {
+            w.u32(idx);
+        }
+        w.u64(self.tainted_bytes);
+    }
+
+    /// Inverse of [`snap_encode`](Self::snap_encode).
+    pub(crate) fn snap_decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let mut shadow = Self::new();
+        let n = r.len(4 + PAGE)?;
+        for _ in 0..n {
+            let idx = r.u32()?;
+            let raw = r.bytes(PAGE)?;
+            let mut page = boxed_page();
+            for (slot, &b) in page.iter_mut().zip(raw) {
+                *slot = TaintTag(b);
+            }
+            shadow.pages.insert(idx, page);
+        }
+        let n = r.len(4)?;
+        for _ in 0..n {
+            let idx = r.u32()?;
+            shadow.ever_tainted_pages.insert(idx);
+        }
+        shadow.tainted_bytes = r.u64()?;
+        Ok(shadow)
     }
 
     /// Iterates over the currently tainted bytes as `(addr, tag)` pairs,

@@ -120,6 +120,25 @@ pub enum TraceEvent {
         /// Violation kind label.
         kind: &'static str,
     },
+    /// The serving layer evicted an idle session to a snapshot blob.
+    SessionEvict {
+        /// The evicted session's id.
+        session: u64,
+        /// Size of the snapshot blob, in bytes.
+        blob_bytes: u64,
+    },
+    /// The serving layer restored an evicted session from its blob.
+    SessionRestore {
+        /// The restored session's id.
+        session: u64,
+    },
+    /// A worker thread died mid-batch; its batch is replayed elsewhere.
+    WorkerDeath {
+        /// Index of the dead worker.
+        worker: u32,
+        /// Events in the batch being replayed.
+        replayed: u64,
+    },
 }
 
 impl TraceEvent {
@@ -141,6 +160,9 @@ impl TraceEvent {
             TraceEvent::PhaseEnd { .. } => "phase_end",
             TraceEvent::Checkpoint { .. } => "checkpoint",
             TraceEvent::Violation { .. } => "violation",
+            TraceEvent::SessionEvict { .. } => "session_evict",
+            TraceEvent::SessionRestore { .. } => "session_restore",
+            TraceEvent::WorkerDeath { .. } => "worker_death",
         }
     }
 
@@ -228,6 +250,18 @@ impl TraceEvent {
             }
             TraceEvent::Violation { kind } => {
                 let _ = write!(out, ",\"kind\":\"{kind}\"");
+            }
+            TraceEvent::SessionEvict {
+                session,
+                blob_bytes,
+            } => {
+                let _ = write!(out, ",\"session\":{session},\"blob_bytes\":{blob_bytes}");
+            }
+            TraceEvent::SessionRestore { session } => {
+                let _ = write!(out, ",\"session\":{session}");
+            }
+            TraceEvent::WorkerDeath { worker, replayed } => {
+                let _ = write!(out, ",\"worker\":{worker},\"replayed\":{replayed}");
             }
         }
         out.push('}');

@@ -1,0 +1,617 @@
+//! # latch-serve
+//!
+//! An in-process taint-checking **service**: one worker pool
+//! multiplexing many independent monitored sessions, each backed by its
+//! own [`SessionPipeline`] (coarse LATCH screen + precise DIFT mirror).
+//! Clients submit batches of events tagged with a session id; the
+//! service guarantees per-session FIFO order, applies admission control
+//! with typed backpressure ([`Rejected`]), coalesces queued events into
+//! batches, steals work across workers, and evicts idle sessions to
+//! snapshot blobs under memory pressure.
+//!
+//! Two execution modes share one scheduler core:
+//!
+//! * [`Service::deterministic`] — virtual workers driven by a seeded
+//!   round-robin cursor, no threads, no wall clock. Per-session results
+//!   are byte-identical across runs and identical to running each
+//!   session alone through a [`SessionPipeline`] — the conformance
+//!   oracle for everything else.
+//! * [`Service::threaded`] — real `std::thread` workers behind a
+//!   mutex and condvar. Scheduling order is timing-dependent, but
+//!   per-session reports still match the deterministic mode exactly:
+//!   session state only ever moves between workers through byte-stable
+//!   snapshots.
+//!
+//! Fault tolerance: a [`FaultPlan`] with worker kills armed makes a
+//! worker die partway through a batch. The service replays the batch
+//! from the session's pre-batch checkpoint on a surviving worker —
+//! no event loss, and final taint state byte-identical to an unfaulted
+//! run.
+
+mod sched;
+
+use latch_faults::FaultPlan;
+use latch_sim::event::Event;
+use latch_systems::session::{SessionPipeline, SessionReport};
+use sched::{process, BatchResult, Sched};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Tuning knobs for a service instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker count (deterministic mode: virtual workers).
+    pub workers: usize,
+    /// Global admission cap: total events queued across all sessions.
+    pub queue_events: usize,
+    /// Per-session cap on queued events (in-flight batches excluded).
+    pub session_inflight_cap: usize,
+    /// Maximum events coalesced into one dispatched batch.
+    pub batch_max: usize,
+    /// Live (materialized) session pipelines kept before LRU eviction
+    /// freezes idle ones to snapshot blobs.
+    pub max_resident: usize,
+    /// Parity-scrub cadence handed to each session pipeline.
+    pub scrub_interval: u64,
+    /// Seeds the deterministic scheduler's starting cursor.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_events: 1 << 14,
+            session_inflight_cap: 1 << 12,
+            batch_max: 64,
+            max_resident: 64,
+            scrub_interval: 512,
+            seed: 0,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn sanitized(mut self) -> Self {
+        self.workers = self.workers.max(1);
+        self.queue_events = self.queue_events.max(1);
+        self.session_inflight_cap = self.session_inflight_cap.max(1);
+        self.batch_max = self.batch_max.max(1);
+        self.max_resident = self.max_resident.max(1);
+        self
+    }
+}
+
+/// Typed backpressure: why a submission was not admitted. A rejected
+/// submit changes no service state — the client retries or sheds load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejected {
+    /// The global event queue is at capacity.
+    QueueFull {
+        /// Events currently queued service-wide.
+        pending: usize,
+        /// The configured global cap.
+        capacity: usize,
+    },
+    /// This session already has too many queued events.
+    SessionBusy {
+        /// The session that is over its cap.
+        session: u64,
+        /// Events this session has queued.
+        pending: usize,
+        /// The configured per-session cap.
+        cap: usize,
+    },
+    /// The service is draining; no new work is admitted.
+    ShuttingDown,
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejected::QueueFull { pending, capacity } => {
+                write!(f, "queue full ({pending}/{capacity} events)")
+            }
+            Rejected::SessionBusy {
+                session,
+                pending,
+                cap,
+            } => write!(f, "session {session} busy ({pending}/{cap} events)"),
+            Rejected::ShuttingDown => f.write_str("service is shutting down"),
+        }
+    }
+}
+
+impl Error for Rejected {}
+
+/// Service-level counters. Admission and eviction/replay counters are
+/// deterministic in deterministic mode; dispatch composition and steal
+/// counts are timing-dependent in threaded mode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Events admitted across all sessions.
+    pub submitted_events: u64,
+    /// Submissions rejected: global queue at capacity.
+    pub rejected_queue_full: u64,
+    /// Submissions rejected: per-session cap reached.
+    pub rejected_session_busy: u64,
+    /// Submissions rejected: service draining.
+    pub rejected_shutting_down: u64,
+    /// Batches dispatched to workers.
+    pub dispatches: u64,
+    /// Dispatches that stole a session from another worker's queue.
+    pub batches_stolen: u64,
+    /// Idle sessions frozen to snapshot blobs.
+    pub evictions: u64,
+    /// Frozen sessions thawed back into pipelines.
+    pub restores: u64,
+    /// Workers killed by the fault plan.
+    pub worker_kills: u64,
+    /// Events replayed after worker deaths.
+    pub replayed_events: u64,
+    /// High-water mark of the global event queue.
+    pub queue_depth_hwm: u64,
+}
+
+/// Everything a drained service hands back.
+pub struct ServiceOutcome {
+    /// Deterministic per-session results, keyed by session id.
+    pub sessions: BTreeMap<u64, SessionReport>,
+    /// The final pipelines themselves (for oracle comparison of taint
+    /// state), keyed by session id.
+    pub pipelines: BTreeMap<u64, SessionPipeline>,
+    /// Service-level counters.
+    pub stats: ServeStats,
+    /// Simulated busy cycles per worker (batch cost + context switch
+    /// per dispatch); `max` is the cost-model makespan.
+    pub worker_busy_cycles: Vec<u64>,
+    /// Per-batch latency samples in simulated cycles, dispatch order.
+    pub batch_cycles: Vec<u64>,
+    /// Wall-clock drain time. Timing-dependent — never part of any
+    /// determinism oracle.
+    pub wall_ns: u64,
+}
+
+enum Imp {
+    Det {
+        sched: Box<Sched>,
+        cursor: usize,
+    },
+    Threaded {
+        hub: Arc<Hub>,
+        handles: Vec<JoinHandle<()>>,
+    },
+}
+
+struct Hub {
+    sched: Mutex<Sched>,
+    work: Condvar,
+}
+
+/// The multi-session taint-checking service. See the crate docs.
+pub struct Service {
+    imp: Imp,
+    started: Instant,
+}
+
+impl Service {
+    /// Single-threaded service with virtual workers and a seeded
+    /// round-robin scheduler: byte-deterministic, no wall clock in any
+    /// decision.
+    #[must_use]
+    pub fn deterministic(cfg: ServeConfig, plan: FaultPlan) -> Self {
+        let cfg = cfg.sanitized();
+        let cursor = (latch_faults::mix(cfg.seed, 0x5E2_17E, 0) % cfg.workers as u64) as usize;
+        Self {
+            imp: Imp::Det {
+                sched: Box::new(Sched::new(cfg, plan)),
+                cursor,
+            },
+            started: Instant::now(),
+        }
+    }
+
+    /// Real worker threads. Per-session results match the
+    /// deterministic mode; scheduling composition is timing-dependent.
+    #[must_use]
+    pub fn threaded(cfg: ServeConfig, plan: FaultPlan) -> Self {
+        let cfg = cfg.sanitized();
+        let workers = cfg.workers;
+        let hub = Arc::new(Hub {
+            sched: Mutex::new(Sched::new(cfg, plan)),
+            work: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let hub = Arc::clone(&hub);
+                std::thread::spawn(move || worker_loop(&hub, w))
+            })
+            .collect();
+        Self {
+            imp: Imp::Threaded { hub, handles },
+            started: Instant::now(),
+        }
+    }
+
+    /// Submits a batch of events for `session`. Events of one session
+    /// are applied in submission order; events of different sessions
+    /// interleave arbitrarily.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Rejected`] (and changes nothing) when admission
+    /// control refuses the batch.
+    pub fn submit(&mut self, session: u64, events: &[Event]) -> Result<(), Rejected> {
+        match &mut self.imp {
+            Imp::Det { sched, .. } => sched.submit(session, events),
+            Imp::Threaded { hub, .. } => {
+                let r = hub.sched.lock().expect("scheduler lock").submit(session, events);
+                if r.is_ok() {
+                    hub.work.notify_all();
+                }
+                r
+            }
+        }
+    }
+
+    /// Deterministic mode: runs the virtual workers until every queued
+    /// event is applied. Threaded mode: no-op (workers run
+    /// continuously).
+    pub fn pump(&mut self) {
+        if let Imp::Det { sched, cursor } = &mut self.imp {
+            while !sched.idle() {
+                let w = *cursor;
+                *cursor = (*cursor + 1) % sched.workers();
+                if let Some(item) = sched.next_work(w) {
+                    let result = process(item);
+                    sched.complete(w, result);
+                }
+            }
+        }
+    }
+
+    /// Graceful drain: stops admitting, applies everything queued,
+    /// joins workers, and returns per-session results.
+    #[must_use]
+    pub fn finish(mut self) -> ServiceOutcome {
+        if let Imp::Det { sched, .. } = &mut self.imp {
+            sched.start_drain();
+        }
+        self.pump();
+        let sched = match self.imp {
+            Imp::Det { sched, .. } => *sched,
+            Imp::Threaded { hub, handles } => {
+                {
+                    let mut g = hub.sched.lock().expect("scheduler lock");
+                    g.start_drain();
+                }
+                hub.work.notify_all();
+                for h in handles {
+                    let _ = h.join();
+                }
+                Arc::try_unwrap(hub)
+                    .unwrap_or_else(|_| panic!("workers joined; hub is uniquely owned"))
+                    .sched
+                    .into_inner()
+                    .expect("scheduler lock")
+            }
+        };
+        let wall_ns = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let stats = sched.stats;
+        let worker_busy_cycles = sched.worker_busy.clone();
+        let batch_cycles = sched.batch_cycles.clone();
+        let pipelines = sched.into_sessions();
+        let sessions = pipelines
+            .iter()
+            .map(|(id, p)| (*id, p.report()))
+            .collect();
+        ServiceOutcome {
+            sessions,
+            pipelines,
+            stats,
+            worker_busy_cycles,
+            batch_cycles,
+            wall_ns,
+        }
+    }
+}
+
+fn worker_loop(hub: &Hub, w: usize) {
+    let mut g = hub.sched.lock().expect("scheduler lock");
+    loop {
+        if !g.worker_alive(w) {
+            return;
+        }
+        if let Some(item) = g.next_work(w) {
+            drop(g);
+            let result = process(item);
+            let died = matches!(result, BatchResult::Died { .. });
+            let mut g2 = hub.sched.lock().expect("scheduler lock");
+            g2.complete(w, result);
+            hub.work.notify_all();
+            if died {
+                return;
+            }
+            g = g2;
+            continue;
+        }
+        if g.draining() && g.idle() {
+            hub.work.notify_all();
+            return;
+        }
+        g = hub.work.wait(g).expect("scheduler lock");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latch_sim::event::EventSource;
+    use latch_workloads::BenchmarkProfile;
+
+    fn events(name: &str, seed: u64, n: u64) -> Vec<Event> {
+        let mut src = BenchmarkProfile::by_name(name).unwrap().stream(seed, n);
+        let mut out = Vec::new();
+        while let Some(ev) = src.next_event() {
+            out.push(ev);
+        }
+        out
+    }
+
+    /// The per-session oracle: the same events through one pipeline.
+    fn solo_report(evs: &[Event], scrub_interval: u64) -> SessionReport {
+        let mut pipe = SessionPipeline::new(scrub_interval);
+        for ev in evs {
+            pipe.apply(ev);
+        }
+        pipe.report()
+    }
+
+    fn session_streams() -> Vec<(u64, Vec<Event>)> {
+        let profiles = ["hmmer", "gromacs", "perlbench", "bzip2", "curl", "gcc"];
+        (0..6u64)
+            .map(|id| {
+                let name = profiles[id as usize % profiles.len()];
+                (id, events(name, 100 + id, 4_000))
+            })
+            .collect()
+    }
+
+    /// Interleave chunked submissions across sessions, pumping between
+    /// rounds so queues stay under the default admission caps.
+    fn drive(svc: &mut Service, streams: &[(u64, Vec<Event>)], chunk: usize) {
+        let rounds = streams
+            .iter()
+            .map(|(_, evs)| evs.len().div_ceil(chunk))
+            .max()
+            .unwrap_or(0);
+        for r in 0..rounds {
+            for (id, evs) in streams {
+                let lo = r * chunk;
+                if lo >= evs.len() {
+                    continue;
+                }
+                let hi = (lo + chunk).min(evs.len());
+                svc.submit(*id, &evs[lo..hi]).expect("submission admitted");
+            }
+            svc.pump();
+        }
+    }
+
+    #[test]
+    fn thread_crossing_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<latch_core::unit::LatchUnit>();
+        assert_send::<latch_dift::engine::DiftEngine>();
+        assert_send::<SessionPipeline>();
+        assert_send::<Event>();
+        assert_send::<Vec<u8>>();
+        assert_send::<Sched>();
+        assert_send::<Service>();
+    }
+
+    #[test]
+    fn deterministic_mode_matches_solo_pipelines_exactly() {
+        let streams = session_streams();
+        let cfg = ServeConfig {
+            workers: 4,
+            seed: 7,
+            ..ServeConfig::default()
+        };
+        let mut svc = Service::deterministic(cfg, FaultPlan::benign());
+        drive(&mut svc, &streams, 256);
+        let out = svc.finish();
+        assert_eq!(out.sessions.len(), streams.len());
+        for (id, evs) in &streams {
+            let solo = solo_report(evs, cfg.scrub_interval);
+            assert_eq!(
+                out.sessions[id].encode(),
+                solo.encode(),
+                "session {id} diverged from the solo pipeline"
+            );
+        }
+        assert_eq!(out.stats.submitted_events, 6 * 4_000);
+        assert!(out.stats.dispatches > 0);
+    }
+
+    #[test]
+    fn deterministic_runs_are_byte_identical() {
+        let streams = session_streams();
+        let run = || {
+            let cfg = ServeConfig {
+                workers: 3,
+                seed: 99,
+                ..ServeConfig::default()
+            };
+            let mut svc = Service::deterministic(cfg, FaultPlan::benign());
+            drive(&mut svc, &streams, 128);
+            svc.finish()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.worker_busy_cycles, b.worker_busy_cycles);
+        assert_eq!(a.batch_cycles, b.batch_cycles);
+        for (id, r) in &a.sessions {
+            assert_eq!(r.encode(), b.sessions[id].encode());
+        }
+    }
+
+    #[test]
+    fn eviction_pressure_is_invisible_in_results() {
+        let streams = session_streams();
+        let cfg = ServeConfig {
+            workers: 2,
+            max_resident: 2, // constant churn: 6 sessions, 2 resident
+            seed: 3,
+            ..ServeConfig::default()
+        };
+        let mut svc = Service::deterministic(cfg, FaultPlan::benign());
+        drive(&mut svc, &streams, 64);
+        let out = svc.finish();
+        assert!(out.stats.evictions > 0, "pressure must force evictions");
+        assert!(out.stats.restores > 0, "evicted sessions must thaw again");
+        for (id, evs) in &streams {
+            assert_eq!(
+                out.sessions[id].encode(),
+                solo_report(evs, cfg.scrub_interval).encode(),
+                "session {id} diverged after evict/restore churn"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_death_replays_without_event_loss() {
+        let streams = session_streams();
+        let cfg = ServeConfig {
+            workers: 4,
+            seed: 11,
+            ..ServeConfig::default()
+        };
+        let plan = FaultPlan::new(77).with_worker_kills(40, 2);
+        let mut svc = Service::deterministic(cfg, plan);
+        drive(&mut svc, &streams, 256);
+        let out = svc.finish();
+        assert!(out.stats.worker_kills > 0, "plan must fire at this rate");
+        assert!(out.stats.replayed_events > 0);
+        for (id, evs) in &streams {
+            assert_eq!(
+                out.sessions[id].encode(),
+                solo_report(evs, cfg.scrub_interval).encode(),
+                "session {id} diverged after worker-death replay"
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_mode_matches_deterministic_reports() {
+        let streams = session_streams();
+        let cfg = ServeConfig {
+            workers: 4,
+            seed: 5,
+            ..ServeConfig::default()
+        };
+        let mut det = Service::deterministic(cfg, FaultPlan::benign());
+        drive(&mut det, &streams, 256);
+        let det_out = det.finish();
+        let mut thr = Service::threaded(cfg, FaultPlan::benign());
+        for (id, evs) in &streams {
+            for chunk in evs.chunks(256) {
+                loop {
+                    match thr.submit(*id, chunk) {
+                        Ok(()) => break,
+                        Err(Rejected::QueueFull { .. } | Rejected::SessionBusy { .. }) => {
+                            std::thread::yield_now();
+                        }
+                        Err(Rejected::ShuttingDown) => panic!("not draining yet"),
+                    }
+                }
+            }
+        }
+        let thr_out = thr.finish();
+        for (id, r) in &det_out.sessions {
+            assert_eq!(
+                r.encode(),
+                thr_out.sessions[id].encode(),
+                "session {id}: threaded diverged from deterministic"
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_stress_eight_workers_fixed_seed() {
+        let streams: Vec<(u64, Vec<Event>)> = (0..12u64)
+            .map(|id| (id, events("perlbench", 500 + id, 2_000)))
+            .collect();
+        let cfg = ServeConfig {
+            workers: 8,
+            max_resident: 4,
+            seed: 42,
+            ..ServeConfig::default()
+        };
+        let plan = FaultPlan::new(4242).with_worker_kills(30, 3);
+        let mut svc = Service::threaded(cfg, plan);
+        for (id, evs) in &streams {
+            for chunk in evs.chunks(128) {
+                loop {
+                    match svc.submit(*id, chunk) {
+                        Ok(()) => break,
+                        Err(Rejected::ShuttingDown) => panic!("not draining yet"),
+                        Err(_) => std::thread::yield_now(),
+                    }
+                }
+            }
+        }
+        let out = svc.finish();
+        for (id, evs) in &streams {
+            assert_eq!(
+                out.sessions[id].encode(),
+                solo_report(evs, cfg.scrub_interval).encode(),
+                "session {id} diverged under stress"
+            );
+        }
+    }
+
+    #[test]
+    fn admission_control_rejects_cleanly() {
+        let evs = events("hmmer", 1, 64);
+        let cfg = ServeConfig {
+            workers: 1,
+            queue_events: 100,
+            session_inflight_cap: 48,
+            ..ServeConfig::default()
+        };
+        let mut svc = Service::deterministic(cfg, FaultPlan::benign());
+        svc.submit(0, &evs[..48]).unwrap();
+        // Per-session cap: one more event for session 0 must bounce.
+        let err = svc.submit(0, &evs[..1]).unwrap_err();
+        assert!(matches!(err, Rejected::SessionBusy { session: 0, .. }));
+        // Global cap: session 1 may take the remaining 52, not 64.
+        svc.submit(1, &evs[..48]).unwrap();
+        let err = svc.submit(2, &evs[..8]).unwrap_err();
+        assert!(matches!(err, Rejected::QueueFull { .. }));
+        // Rejections changed nothing: everything admitted still runs.
+        let out = svc.finish();
+        assert_eq!(out.stats.submitted_events, 96);
+        assert_eq!(out.stats.rejected_session_busy, 1);
+        assert_eq!(out.stats.rejected_queue_full, 1);
+        assert_eq!(out.sessions[&0].events, 48);
+        assert_eq!(out.sessions[&1].events, 48);
+    }
+
+    #[test]
+    fn finish_drains_queued_work() {
+        let cfg = ServeConfig::default();
+        let mut svc = Service::threaded(cfg, FaultPlan::benign());
+        let evs = events("curl", 2, 16);
+        svc.submit(9, &evs).unwrap();
+        // finish() must apply the queued batch before reporting.
+        let out = svc.finish();
+        assert_eq!(out.sessions[&9].events, 16);
+        assert_eq!(out.stats.submitted_events, 16);
+    }
+}

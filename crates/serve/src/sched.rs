@@ -1,0 +1,438 @@
+//! The scheduler core shared by the deterministic and threaded modes.
+//!
+//! All scheduling state lives in one [`Sched`] value: session slots,
+//! per-worker ready queues, admission counters, the fault injector, and
+//! the cost accounting. The deterministic service owns it directly and
+//! drives virtual workers with a seeded round-robin cursor; the
+//! threaded service wraps it in a mutex and lets real worker threads
+//! pull [`WorkItem`]s out and push [`BatchResult`]s back in. Event
+//! application itself ([`process`]) never touches the shared state, so
+//! threaded workers run it outside the lock.
+//!
+//! Invariants:
+//!
+//! * A session is on at most one ready queue, and never while a worker
+//!   is running its batch (`SlotState::Running`), so per-session event
+//!   order is submission order — always.
+//! * `pending_total` counts exactly the events sitting in session
+//!   pending queues; admission control gates on it before any state
+//!   changes, so a rejected submit is a complete no-op.
+//! * A frozen session's blob round-trips byte-identically (the
+//!   `SessionPipeline` snapshot contract), so eviction, migration, and
+//!   death-replay are invisible in per-session reports.
+
+use crate::{Rejected, ServeConfig, ServeStats};
+use latch_faults::{FaultInjector, FaultPlan};
+use latch_obs::TraceEvent;
+use latch_sim::event::Event;
+use latch_systems::cost::CostModel;
+use latch_systems::session::SessionPipeline;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Where one session's state currently lives.
+enum SlotState {
+    /// Never ran: materializes lazily on first dispatch.
+    Fresh,
+    /// Resident pipeline, ready to run.
+    Live(Box<SessionPipeline>),
+    /// Evicted to a snapshot blob.
+    Frozen(Vec<u8>),
+    /// A worker is applying a batch right now.
+    Running,
+}
+
+struct Slot {
+    state: SlotState,
+    pending: VecDeque<Event>,
+    /// Logical completion tick of the last batch (LRU recency).
+    last_active: u64,
+    /// Whether the session sits on some worker's ready queue.
+    enqueued: bool,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Self {
+            state: SlotState::Fresh,
+            pending: VecDeque::new(),
+            last_active: 0,
+            enqueued: false,
+        }
+    }
+}
+
+/// One dispatched batch: everything a worker needs to run it outside
+/// the scheduler lock.
+pub(crate) struct WorkItem {
+    pub session: u64,
+    pub pipeline: Box<SessionPipeline>,
+    pub batch: Vec<Event>,
+    /// Pipeline cycle count at batch start (for per-batch latency).
+    pub start_cycles: u64,
+    /// Pre-batch snapshot, taken only when the plan arms worker kills
+    /// — the checkpoint a death replay restores from.
+    pub checkpoint: Option<Vec<u8>>,
+    /// Injected death: the worker dies after applying this many events
+    /// of the batch.
+    pub kill_at: Option<usize>,
+}
+
+/// What a worker hands back after running a batch.
+pub(crate) enum BatchResult {
+    Done {
+        session: u64,
+        pipeline: Box<SessionPipeline>,
+        /// Cycles the batch consumed.
+        cycles: u64,
+    },
+    /// The worker died mid-batch. `pipeline` is the checkpoint state
+    /// (everything the dead worker did is discarded) and `batch` is the
+    /// full batch, to be replayed on a surviving worker.
+    Died {
+        session: u64,
+        pipeline: Box<SessionPipeline>,
+        batch: Vec<Event>,
+    },
+}
+
+/// Applies a batch to its pipeline. Pure with respect to scheduler
+/// state — threaded workers call this without holding the lock.
+pub(crate) fn process(mut item: WorkItem) -> BatchResult {
+    if let (Some(kill_at), Some(blob)) = (item.kill_at, item.checkpoint.as_ref()) {
+        // The worker makes partial progress, then dies: its pipeline
+        // (and everything applied since the checkpoint) is lost.
+        for ev in item.batch.iter().take(kill_at) {
+            item.pipeline.apply(ev);
+        }
+        let restored =
+            Box::new(SessionPipeline::from_snapshot(blob).expect("own snapshot must decode"));
+        return BatchResult::Died {
+            session: item.session,
+            pipeline: restored,
+            batch: item.batch,
+        };
+    }
+    for ev in &item.batch {
+        item.pipeline.apply(ev);
+    }
+    let cycles = item.pipeline.cycles() - item.start_cycles;
+    BatchResult::Done {
+        session: item.session,
+        pipeline: item.pipeline,
+        cycles,
+    }
+}
+
+/// The complete scheduling state of a service instance.
+pub(crate) struct Sched {
+    cfg: ServeConfig,
+    cost: CostModel,
+    slots: HashMap<u64, Slot>,
+    ready: Vec<VecDeque<u64>>,
+    pending_total: usize,
+    in_flight: usize,
+    tick: u64,
+    draining: bool,
+    inj: FaultInjector,
+    alive: Vec<bool>,
+    alive_count: usize,
+    live_resident: usize,
+    pub stats: ServeStats,
+    /// Simulated busy cycles per worker (batch cost + context switch).
+    pub worker_busy: Vec<u64>,
+    /// Per-batch latency samples, in simulated cycles.
+    pub batch_cycles: Vec<u64>,
+}
+
+impl Sched {
+    pub fn new(cfg: ServeConfig, plan: FaultPlan) -> Self {
+        let workers = cfg.workers;
+        Self {
+            cfg,
+            cost: CostModel::default(),
+            slots: HashMap::new(),
+            ready: vec![VecDeque::new(); workers],
+            pending_total: 0,
+            in_flight: 0,
+            tick: 0,
+            draining: false,
+            inj: FaultInjector::new(plan),
+            alive: vec![true; workers],
+            alive_count: workers,
+            live_resident: 0,
+            stats: ServeStats::default(),
+            worker_busy: vec![0; workers],
+            batch_cycles: Vec::new(),
+        }
+    }
+
+    pub fn workers(&self) -> usize {
+        self.cfg.workers
+    }
+
+    pub fn draining(&self) -> bool {
+        self.draining
+    }
+
+    pub fn start_drain(&mut self) {
+        self.draining = true;
+    }
+
+    pub fn worker_alive(&self, w: usize) -> bool {
+        self.alive[w]
+    }
+
+    /// No queued events, nothing on any ready queue, nothing in flight.
+    pub fn idle(&self) -> bool {
+        self.pending_total == 0 && self.in_flight == 0 && self.ready.iter().all(VecDeque::is_empty)
+    }
+
+    fn first_alive(&self) -> usize {
+        self.alive
+            .iter()
+            .position(|&a| a)
+            .expect("at least one worker survives")
+    }
+
+    /// Admission-controlled enqueue of a batch of events for `session`.
+    pub fn submit(&mut self, session: u64, events: &[Event]) -> Result<(), Rejected> {
+        if self.draining {
+            self.stats.rejected_shutting_down += 1;
+            return Err(Rejected::ShuttingDown);
+        }
+        if events.is_empty() {
+            return Ok(());
+        }
+        if self.pending_total + events.len() > self.cfg.queue_events {
+            self.stats.rejected_queue_full += 1;
+            latch_obs::counter_inc("serve.rejected.queue_full");
+            return Err(Rejected::QueueFull {
+                pending: self.pending_total,
+                capacity: self.cfg.queue_events,
+            });
+        }
+        let slot = self.slots.entry(session).or_insert_with(Slot::new);
+        if slot.pending.len() + events.len() > self.cfg.session_inflight_cap {
+            self.stats.rejected_session_busy += 1;
+            latch_obs::counter_inc("serve.rejected.session_busy");
+            return Err(Rejected::SessionBusy {
+                session,
+                pending: slot.pending.len(),
+                cap: self.cfg.session_inflight_cap,
+            });
+        }
+        slot.pending.extend(events.iter().copied());
+        let enqueue = !slot.enqueued && !matches!(slot.state, SlotState::Running);
+        if enqueue {
+            slot.enqueued = true;
+        }
+        self.pending_total += events.len();
+        self.stats.submitted_events += events.len() as u64;
+        if self.pending_total as u64 > self.stats.queue_depth_hwm {
+            self.stats.queue_depth_hwm = self.pending_total as u64;
+            latch_obs::watermark("serve.queue.depth", self.pending_total as u64);
+        }
+        if enqueue {
+            let home = (session as usize) % self.cfg.workers;
+            let w = if self.alive[home] {
+                home
+            } else {
+                self.first_alive()
+            };
+            self.ready[w].push_back(session);
+        }
+        Ok(())
+    }
+
+    /// Pops the next session for `worker`: its own queue first, then a
+    /// steal from the longest other queue (ties to the lowest worker
+    /// index, victim popped from the back — classic work stealing).
+    fn pop_ready(&mut self, worker: usize) -> Option<u64> {
+        if let Some(s) = self.ready[worker].pop_front() {
+            return Some(s);
+        }
+        let victim = (0..self.ready.len())
+            .filter(|&w| w != worker && !self.ready[w].is_empty())
+            .max_by_key(|&w| (self.ready[w].len(), std::cmp::Reverse(w)))?;
+        let s = self.ready[victim].pop_back()?;
+        self.stats.batches_stolen += 1;
+        latch_obs::counter_inc("serve.steals");
+        Some(s)
+    }
+
+    /// Dispatches up to one coalesced batch to `worker`. Returns `None`
+    /// when the worker is dead or no session is ready.
+    pub fn next_work(&mut self, worker: usize) -> Option<WorkItem> {
+        if !self.alive[worker] {
+            return None;
+        }
+        let session = self.pop_ready(worker)?;
+        let batch_max = self.cfg.batch_max;
+        let scrub_interval = self.cfg.scrub_interval;
+        let slot = self.slots.get_mut(&session).expect("ready session exists");
+        slot.enqueued = false;
+        let take = slot.pending.len().min(batch_max);
+        let batch: Vec<Event> = slot.pending.drain(..take).collect();
+        let (pipeline, was_live, restored) =
+            match std::mem::replace(&mut slot.state, SlotState::Running) {
+                SlotState::Live(p) => (p, true, false),
+                SlotState::Frozen(blob) => (
+                    Box::new(
+                        SessionPipeline::from_snapshot(&blob)
+                            .expect("frozen blob is self-produced"),
+                    ),
+                    false,
+                    true,
+                ),
+                SlotState::Fresh => (Box::new(SessionPipeline::new(scrub_interval)), false, false),
+                SlotState::Running => unreachable!("session dispatched twice concurrently"),
+            };
+        if was_live {
+            self.live_resident -= 1;
+        }
+        if restored {
+            self.stats.restores += 1;
+            latch_obs::counter_inc("serve.session.restores");
+            latch_obs::emit("serve", TraceEvent::SessionRestore { session });
+        }
+        self.pending_total -= batch.len();
+        self.in_flight += 1;
+        let batch_index = self.stats.dispatches;
+        self.stats.dispatches += 1;
+        latch_obs::histogram_record("serve.batch.events", batch.len() as u64);
+        let arm_kills = self.inj.plan().worker.kill_per_mille > 0;
+        let checkpoint = arm_kills.then(|| pipeline.to_snapshot());
+        let kill_at = if arm_kills && self.alive_count > 1 {
+            self.inj.worker_kill_at(batch_index, batch.len())
+        } else {
+            None
+        };
+        let start_cycles = pipeline.cycles();
+        Some(WorkItem {
+            session,
+            pipeline,
+            batch,
+            start_cycles,
+            checkpoint,
+            kill_at,
+        })
+    }
+
+    /// Folds a finished (or died) batch back into the scheduler.
+    pub fn complete(&mut self, worker: usize, result: BatchResult) {
+        self.in_flight -= 1;
+        self.tick += 1;
+        let tick = self.tick;
+        match result {
+            BatchResult::Done {
+                session,
+                pipeline,
+                cycles,
+            } => {
+                self.worker_busy[worker] += cycles + self.cost.ctx_switch_cycles;
+                self.batch_cycles.push(cycles);
+                latch_obs::histogram_record("serve.batch.cycles", cycles);
+                let slot = self.slots.get_mut(&session).expect("running session exists");
+                slot.state = SlotState::Live(pipeline);
+                slot.last_active = tick;
+                let requeue = !slot.pending.is_empty();
+                if requeue {
+                    slot.enqueued = true;
+                }
+                self.live_resident += 1;
+                if requeue {
+                    self.ready[worker].push_back(session);
+                }
+                self.maybe_evict();
+            }
+            BatchResult::Died {
+                session,
+                pipeline,
+                batch,
+            } => {
+                self.alive[worker] = false;
+                self.alive_count -= 1;
+                self.stats.worker_kills += 1;
+                self.stats.replayed_events += batch.len() as u64;
+                latch_obs::counter_inc("serve.worker.deaths");
+                latch_obs::emit(
+                    "serve",
+                    TraceEvent::WorkerDeath {
+                        worker: worker as u32,
+                        replayed: batch.len() as u64,
+                    },
+                );
+                // Orphaned ready sessions move to a survivor wholesale.
+                let target = self.first_alive();
+                let orphans: Vec<u64> = self.ready[worker].drain(..).collect();
+                self.ready[target].extend(orphans);
+                // The batch goes back to the *front* of the session's
+                // pending queue so replay preserves event order, and the
+                // checkpoint pipeline becomes resident again.
+                self.pending_total += batch.len();
+                let slot = self.slots.get_mut(&session).expect("running session exists");
+                for ev in batch.into_iter().rev() {
+                    slot.pending.push_front(ev);
+                }
+                slot.state = SlotState::Live(pipeline);
+                slot.last_active = tick;
+                slot.enqueued = true;
+                self.live_resident += 1;
+                self.ready[target].push_back(session);
+            }
+        }
+    }
+
+    /// Evicts least-recently-active idle sessions to snapshot blobs
+    /// until at most `max_resident` pipelines stay materialized.
+    fn maybe_evict(&mut self) {
+        while self.live_resident > self.cfg.max_resident {
+            let victim = self
+                .slots
+                .iter()
+                .filter(|(_, s)| {
+                    matches!(s.state, SlotState::Live(_)) && !s.enqueued && s.pending.is_empty()
+                })
+                .min_by_key(|(id, s)| (s.last_active, **id))
+                .map(|(id, _)| *id);
+            let Some(id) = victim else { return };
+            let slot = self.slots.get_mut(&id).expect("victim exists");
+            let SlotState::Live(p) = std::mem::replace(&mut slot.state, SlotState::Fresh) else {
+                unreachable!("victim filter guarantees a live slot");
+            };
+            let blob = p.to_snapshot();
+            self.live_resident -= 1;
+            self.stats.evictions += 1;
+            latch_obs::counter_inc("serve.session.evictions");
+            latch_obs::emit(
+                "serve",
+                TraceEvent::SessionEvict {
+                    session: id,
+                    blob_bytes: blob.len() as u64,
+                },
+            );
+            slot.state = SlotState::Frozen(blob);
+        }
+    }
+
+    /// Consumes the scheduler after a drain, materializing every
+    /// session (thawing frozen ones) into its final pipeline + report.
+    pub fn into_sessions(self) -> BTreeMap<u64, SessionPipeline> {
+        debug_assert!(self.idle(), "into_sessions requires a drained scheduler");
+        let scrub_interval = self.cfg.scrub_interval;
+        self.slots
+            .into_iter()
+            .map(|(id, slot)| {
+                let pipeline = match slot.state {
+                    SlotState::Live(p) => *p,
+                    SlotState::Frozen(blob) => SessionPipeline::from_snapshot(&blob)
+                        .expect("frozen blob is self-produced"),
+                    SlotState::Fresh => SessionPipeline::new(scrub_interval),
+                    SlotState::Running => unreachable!("drained scheduler has no running batch"),
+                };
+                (id, pipeline)
+            })
+            .collect()
+    }
+
+}

@@ -31,4 +31,5 @@ pub mod pending;
 pub mod platch_mt;
 pub mod rangecache;
 pub mod report;
+pub mod session;
 pub mod slatch;

@@ -44,19 +44,18 @@
 //! [`MtTimings`] so that two runs of the same seed and plan produce
 //! byte-identical reports.
 
-use crate::platch::ACTIVITY_WINDOW;
+use crate::session::SessionPipeline;
 use crossbeam::channel::{
     bounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender, TrySendError,
 };
-use latch_core::config::LatchConfig;
 use latch_core::stats::ScrubStats;
-use latch_core::unit::{CoarseStructure, LatchUnit};
+use latch_core::unit::CoarseStructure;
 use latch_dift::engine::DiftEngine;
 use latch_dift::policy::SecurityViolation;
 use latch_faults::{
     FaultInjector, FaultPlan, FaultStats, FlipDirection, FlipTarget, QueueFault,
 };
-use latch_sim::event::{Event, EventSource, MemAccessKind};
+use latch_sim::event::{Event, EventSource};
 use latch_sim::machine::apply_event_dift;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -493,8 +492,8 @@ struct Driver {
     queue_capacity: usize,
     shared: Arc<Shared>,
     inj: FaultInjector,
-    latch: Option<(LatchUnit, DiftEngine)>,
-    window_left: u64,
+    /// The coarse screen plus precise mirror, when filtering.
+    screen: Option<SessionPipeline>,
     next_seq: u64,
     /// Replay buffer: every enqueued message at or above the last
     /// published checkpoint, for consumer resync.
@@ -529,56 +528,21 @@ impl Driver {
     /// cadence, and forward if selected.
     fn step(&mut self, index: u64, ev: Event) {
         self.report.instrs += 1;
-        let enqueue = match &mut self.latch {
+        let enqueue = match &mut self.screen {
             None => true,
-            Some((latch, mirror)) => {
+            Some(pipe) => {
                 if let Some(flip) = self.inj.coarse_flip_at(index) {
                     let target = match flip.target {
                         FlipTarget::Ctc => CoarseStructure::Ctc,
                         FlipTarget::Ctt => CoarseStructure::Ctt,
                     };
                     let set = matches!(flip.direction, FlipDirection::SpuriousSet);
-                    latch.corrupt_coarse(target, flip.slot, flip.bit, set);
+                    pipe.latch_mut().corrupt_coarse(target, flip.slot, flip.bit, set);
                 }
-                let mut hit = ev.regs.reads().any(|r| latch.reg_tainted(r as usize))
-                    || ev
-                        .regs
-                        .written
-                        .is_some_and(|w| latch.reg_tainted(w as usize));
-                if let Some(mem) = ev.mem {
-                    let out = match mem.kind {
-                        MemAccessKind::Read => latch.check_read(mem.addr, mem.len),
-                        MemAccessKind::Write => latch.check_write(mem.addr, mem.len),
-                    };
-                    hit |= out.coarse_tainted;
-                }
-                hit |= ev.source.is_some() || ev.ctrl.is_some() || ev.sink.is_some();
-                let step = apply_event_dift(mirror, &ev);
-                if let Some((addr, len, tainted)) = step.mem_taint_write {
-                    latch.write_taint(addr, len, tainted);
-                    if !tainted {
-                        latch.clear_scan(mirror.shadow());
-                    }
-                }
-                let packed = mirror.regs().to_packed();
-                latch.trf_mut().load_packed(packed);
-                if self.cfg.scrub_interval > 0 && (index + 1).is_multiple_of(self.cfg.scrub_interval)
-                {
-                    latch.scrub(mirror.shadow());
-                }
-                if hit || step.touched_taint {
-                    self.window_left = ACTIVITY_WINDOW;
-                    true
-                } else if self.window_left > 0 {
-                    // Forward the tail of the active window so the
-                    // monitor sees complete context around taint
-                    // activity (the paper's 1000-instruction
-                    // granularity).
-                    self.window_left -= 1;
-                    true
-                } else {
-                    false
-                }
+                // Screen + precise mirror + scrub cadence + active-window
+                // tail all live in the shared session pipeline now; its
+                // selection verdict is the forwarding decision.
+                pipe.apply(&ev)
             }
         };
         if enqueue {
@@ -875,8 +839,8 @@ impl Driver {
     }
 
     fn seal(&mut self) {
-        if let Some((latch, _)) = &self.latch {
-            self.report.scrub = latch.stats().scrub;
+        if let Some(pipe) = &self.screen {
+            self.report.scrub = pipe.latch().stats().scrub;
         }
         self.faults.merge(self.inj.stats());
         latch_obs::counter_add("systems.platch_mt.instrs", self.report.instrs);
@@ -906,13 +870,7 @@ pub fn run_resilient(
         queue_capacity: queue_capacity.max(1),
         shared: Arc::new(Shared::new()),
         inj: FaultInjector::new(plan),
-        latch: filter.then(|| {
-            (
-                LatchUnit::new(LatchConfig::s_latch().build().expect("preset is valid")),
-                DiftEngine::new(),
-            )
-        }),
-        window_left: 0,
+        screen: filter.then(|| SessionPipeline::new(cfg.scrub_interval)),
         next_seq: 0,
         buffer: VecDeque::new(),
         held: None,
@@ -931,8 +889,13 @@ pub fn run_resilient(
 }
 
 /// Fault-free run with default resilience tuning: the original
-/// two-thread organization. Kept as the stable entry point for
-/// benchmarks and experiments that don't care about fault injection.
+/// two-thread organization.
+#[deprecated(
+    since = "0.2.0",
+    note = "call `run_resilient` with `FaultPlan::benign()` and \
+            `ResilienceConfig::default()`, or use `latch-serve` for \
+            multi-session workloads"
+)]
 pub fn run_threaded(
     events: Vec<Event>,
     queue_capacity: usize,
@@ -949,6 +912,11 @@ pub fn run_threaded(
 }
 
 /// Convenience wrapper: drains an [`EventSource`] into a vector first.
+#[deprecated(
+    since = "0.2.0",
+    note = "drain the source yourself and call `run_resilient`"
+)]
+#[allow(deprecated)]
 pub fn run_threaded_source<S: EventSource>(
     mut src: S,
     queue_capacity: usize,
@@ -986,10 +954,29 @@ mod tests {
         out
     }
 
+    /// Benign-plan run through the resilient path (the deprecated
+    /// `run_threaded*` wrappers forward here).
+    fn run_clean(
+        profile: &BenchmarkProfile,
+        seed: u64,
+        events: u64,
+        queue_capacity: usize,
+        filter: bool,
+    ) -> (MtReport, DiftEngine) {
+        let (outcome, dift) = run_resilient(
+            materialize(profile, seed, events),
+            queue_capacity,
+            filter,
+            FaultPlan::benign(),
+            ResilienceConfig::default(),
+        );
+        (outcome.report, dift)
+    }
+
     #[test]
     fn unfiltered_monitor_sees_everything() {
         let p = BenchmarkProfile::by_name("hmmer").unwrap();
-        let (report, dift) = run_threaded_source(p.stream(1, 20_000), 256, false);
+        let (report, dift) = run_clean(&p, 1, 20_000, 256, false);
         assert_eq!(report.instrs, 20_000);
         assert_eq!(report.enqueued, 20_000);
         assert_eq!(report.processed, 20_000);
@@ -1003,7 +990,7 @@ mod tests {
     fn filtered_monitor_reaches_identical_taint_state() {
         for name in ["gromacs", "perlbench"] {
             let p = BenchmarkProfile::by_name(name).unwrap();
-            let (report, dift) = run_threaded_source(p.stream(2, 30_000), 256, true);
+            let (report, dift) = run_clean(&p, 2, 30_000, 256, true);
             assert!(report.enqueued < report.instrs, "{name}: filter must drop events");
             assert_eq!(report.processed, report.enqueued);
             let mut v: Vec<_> = dift.shadow().iter_tainted().collect();
@@ -1015,8 +1002,8 @@ mod tests {
     #[test]
     fn filtering_slashes_queue_traffic_on_quiet_workloads() {
         let p = BenchmarkProfile::by_name("bzip2").unwrap();
-        let (unfiltered, _) = run_threaded_source(p.stream(3, 30_000), 256, false);
-        let (filtered, _) = run_threaded_source(p.stream(3, 30_000), 256, true);
+        let (unfiltered, _) = run_clean(&p, 3, 30_000, 256, false);
+        let (filtered, _) = run_clean(&p, 3, 30_000, 256, true);
         assert!(
             filtered.enqueued * 2 < unfiltered.enqueued,
             "filtered {} vs unfiltered {}",
@@ -1028,7 +1015,7 @@ mod tests {
     #[test]
     fn no_violations_invented() {
         let p = BenchmarkProfile::by_name("curl").unwrap();
-        let (report, _) = run_threaded_source(p.stream(4, 20_000), 64, true);
+        let (report, _) = run_clean(&p, 4, 20_000, 64, true);
         assert!(report.violations.is_empty());
     }
 

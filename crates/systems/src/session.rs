@@ -1,0 +1,377 @@
+//! A self-contained, snapshottable LATCH+DIFT session pipeline.
+//!
+//! One `SessionPipeline` bundles everything one monitored instruction
+//! stream needs: the coarse [`LatchUnit`] screen, the byte-precise
+//! [`DiftEngine`] mirror, the paper's activity-window forwarding state,
+//! and the violation log. The per-event semantics are exactly the
+//! producer-side screen of [`run_resilient`](crate::platch_mt::run_resilient)
+//! — this module is that logic extracted so that it can be owned by one
+//! pipeline *or* multiplexed across many sessions by the serving layer
+//! (`latch-serve`).
+//!
+//! The whole pipeline round-trips through a binary snapshot
+//! ([`to_snapshot`](SessionPipeline::to_snapshot) /
+//! [`from_snapshot`](SessionPipeline::from_snapshot)) byte-identically:
+//! a session can be frozen while idle, evicted to a blob, restored on a
+//! different worker thread, and continue as if nothing happened. That
+//! is the foundation for both LRU eviction and worker-death replay in
+//! the serving layer.
+
+use crate::platch::ACTIVITY_WINDOW;
+use latch_core::config::LatchConfig;
+use latch_core::snapshot::{SnapError, SnapReader, SnapWriter};
+use latch_core::stats::{CheckStats, ScrubStats};
+use latch_core::unit::LatchUnit;
+use latch_dift::engine::{DiftEngine, DiftStats};
+use latch_dift::policy::SecurityViolation;
+use latch_sim::event::{Event, MemAccessKind};
+use latch_sim::machine::apply_event_dift;
+
+/// Snapshot magic: "LTSE" (LaTch SEssion).
+const SNAP_MAGIC: u32 = 0x4C54_5345;
+const SNAP_VERSION: u32 = 1;
+
+/// One session's complete taint-checking state.
+///
+/// Feed it events in order with [`apply`](Self::apply); at any event
+/// boundary the pipeline can be snapshotted and later restored with no
+/// observable difference — state, statistics, and violation log
+/// included.
+pub struct SessionPipeline {
+    latch: LatchUnit,
+    engine: DiftEngine,
+    window_left: u64,
+    applied: u64,
+    selected: u64,
+    cycles: u64,
+    scrub_interval: u64,
+    violations: Vec<(u64, SecurityViolation)>,
+}
+
+impl SessionPipeline {
+    /// Fresh pipeline with the S-LATCH preset, parity-scrubbing the
+    /// coarse state every `scrub_interval` events (`0` disables).
+    #[must_use]
+    pub fn new(scrub_interval: u64) -> Self {
+        Self {
+            latch: LatchUnit::new(LatchConfig::s_latch().build().expect("preset is valid")),
+            engine: DiftEngine::new(),
+            window_left: 0,
+            applied: 0,
+            selected: 0,
+            cycles: 0,
+            scrub_interval,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Retires one event: screens it through the coarse tier, applies
+    /// the precise mirror, keeps the two tiers in sync, and scrubs on
+    /// cadence. Returns whether the screen selected the event for a
+    /// monitor (coarse hit, taint activity, or active-window tail) —
+    /// the filtering decision of paper Fig. 11.
+    pub fn apply(&mut self, ev: &Event) -> bool {
+        let index = self.applied;
+        let mut penalty = 0u64;
+        let mut hit = ev.regs.reads().any(|r| self.latch.reg_tainted(r as usize))
+            || ev
+                .regs
+                .written
+                .is_some_and(|w| self.latch.reg_tainted(w as usize));
+        if let Some(mem) = ev.mem {
+            let out = match mem.kind {
+                MemAccessKind::Read => self.latch.check_read(mem.addr, mem.len),
+                MemAccessKind::Write => self.latch.check_write(mem.addr, mem.len),
+            };
+            hit |= out.coarse_tainted;
+            penalty += out.penalty_cycles;
+        }
+        hit |= ev.source.is_some() || ev.ctrl.is_some() || ev.sink.is_some();
+        let step = apply_event_dift(&mut self.engine, ev);
+        if let Some(v) = step.violation {
+            self.violations.push((index, v));
+        }
+        if let Some((addr, len, tainted)) = step.mem_taint_write {
+            let out = self.latch.write_taint(addr, len, tainted);
+            penalty += out.penalty_cycles;
+            if !tainted {
+                self.latch.clear_scan(self.engine.shadow());
+            }
+        }
+        let packed = self.engine.regs().to_packed();
+        self.latch.trf_mut().load_packed(packed);
+        if self.scrub_interval > 0 && (index + 1).is_multiple_of(self.scrub_interval) {
+            self.latch.scrub(self.engine.shadow());
+        }
+        let selected = if hit || step.touched_taint {
+            self.window_left = ACTIVITY_WINDOW;
+            true
+        } else if self.window_left > 0 {
+            self.window_left -= 1;
+            true
+        } else {
+            false
+        };
+        self.applied += 1;
+        if selected {
+            self.selected += 1;
+        }
+        self.cycles += 1 + penalty;
+        selected
+    }
+
+    /// The coarse tier.
+    #[must_use]
+    pub fn latch(&self) -> &LatchUnit {
+        &self.latch
+    }
+
+    /// Mutable coarse tier (fault injection corrupts through this).
+    pub fn latch_mut(&mut self) -> &mut LatchUnit {
+        &mut self.latch
+    }
+
+    /// The precise tier.
+    #[must_use]
+    pub fn engine(&self) -> &DiftEngine {
+        &self.engine
+    }
+
+    /// Events retired so far.
+    #[must_use]
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Simulated cycles consumed so far (one per event plus coarse-tier
+    /// check and taint-update penalties).
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Violations raised so far, as `(event_index, violation)` in order.
+    #[must_use]
+    pub fn violations(&self) -> &[(u64, SecurityViolation)] {
+        &self.violations
+    }
+
+    /// Deterministic summary of everything this session observed.
+    #[must_use]
+    pub fn report(&self) -> SessionReport {
+        SessionReport {
+            events: self.applied,
+            selected: self.selected,
+            cycles: self.cycles,
+            tainted_bytes: self.engine.shadow().tainted_bytes(),
+            pages_ever_tainted: self.engine.shadow().pages_ever_tainted() as u64,
+            violations: self.violations.clone(),
+            checks: self.latch.stats().checks,
+            scrub: self.latch.stats().scrub,
+            dift: *self.engine.stats(),
+        }
+    }
+
+    /// Serializes the complete pipeline — coarse tier, precise tier,
+    /// window state, counters, and violation log — into a
+    /// self-describing blob.
+    #[must_use]
+    pub fn to_snapshot(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.header(SNAP_MAGIC, SNAP_VERSION);
+        let latch = self.latch.to_snapshot();
+        w.u64(latch.len() as u64);
+        w.bytes(&latch);
+        let engine = self.engine.to_snapshot();
+        w.u64(engine.len() as u64);
+        w.bytes(&engine);
+        w.u64(self.window_left);
+        w.u64(self.applied);
+        w.u64(self.selected);
+        w.u64(self.cycles);
+        w.u64(self.scrub_interval);
+        w.u64(self.violations.len() as u64);
+        for (seq, v) in &self.violations {
+            w.u64(*seq);
+            v.snap_encode(&mut w);
+        }
+        w.finish()
+    }
+
+    /// Inverse of [`to_snapshot`](Self::to_snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] when the blob is truncated, corrupt, or
+    /// from an incompatible version.
+    pub fn from_snapshot(blob: &[u8]) -> Result<Self, SnapError> {
+        let mut r = SnapReader::new(blob);
+        r.header(SNAP_MAGIC, SNAP_VERSION)?;
+        let n = r.len(1)?;
+        let latch = LatchUnit::from_snapshot(r.bytes(n)?)?;
+        let n = r.len(1)?;
+        let engine = DiftEngine::from_snapshot(r.bytes(n)?)?;
+        let window_left = r.u64()?;
+        let applied = r.u64()?;
+        let selected = r.u64()?;
+        let cycles = r.u64()?;
+        let scrub_interval = r.u64()?;
+        let n = r.len(14)?;
+        let mut violations = Vec::with_capacity(n);
+        for _ in 0..n {
+            let seq = r.u64()?;
+            violations.push((seq, SecurityViolation::snap_decode(&mut r)?));
+        }
+        r.expect_end()?;
+        Ok(Self {
+            latch,
+            engine,
+            window_left,
+            applied,
+            selected,
+            cycles,
+            scrub_interval,
+            violations,
+        })
+    }
+}
+
+/// Deterministic per-session results: identical for the same event
+/// stream regardless of which worker ran it, how often it was evicted
+/// and restored, or whether a worker died mid-batch and the batch was
+/// replayed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// Events the session retired.
+    pub events: u64,
+    /// Events the coarse screen selected for a monitor.
+    pub selected: u64,
+    /// Simulated cycles consumed.
+    pub cycles: u64,
+    /// Bytes currently tainted in the precise shadow.
+    pub tainted_bytes: u64,
+    /// Pages that ever held taint (paper Tables 3–4 census).
+    pub pages_ever_tainted: u64,
+    /// Violations in `(event_index, violation)` order.
+    pub violations: Vec<(u64, SecurityViolation)>,
+    /// Coarse-tier check counters.
+    pub checks: CheckStats,
+    /// Parity-scrub counters.
+    pub scrub: ScrubStats,
+    /// Precise-tier counters.
+    pub dift: DiftStats,
+}
+
+impl SessionReport {
+    /// Canonical byte encoding, for exact equality comparison across
+    /// runs (the serving layer's determinism oracle compares these).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.u64(self.events);
+        w.u64(self.selected);
+        w.u64(self.cycles);
+        w.u64(self.tainted_bytes);
+        w.u64(self.pages_ever_tainted);
+        w.u64(self.violations.len() as u64);
+        for (seq, v) in &self.violations {
+            w.u64(*seq);
+            v.snap_encode(&mut w);
+        }
+        w.u64(self.checks.checks);
+        w.u64(self.checks.resolved_tlb);
+        w.u64(self.checks.resolved_ctc);
+        w.u64(self.checks.coarse_hits);
+        w.u64(self.checks.penalty_cycles);
+        w.u64(self.scrub.scrubs);
+        w.u64(self.scrub.ctt_words_repaired);
+        w.u64(self.scrub.domains_retainted);
+        w.u64(self.scrub.ctc_lines_repaired);
+        w.u64(self.dift.instrs);
+        w.u64(self.dift.instrs_touching_taint);
+        w.u64(self.dift.mem_taint_writes);
+        w.u64(self.dift.source_bytes);
+        w.u64(self.dift.violations);
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latch_sim::event::EventSource;
+    use latch_workloads::BenchmarkProfile;
+
+    fn events(name: &str, seed: u64, n: u64) -> Vec<Event> {
+        let mut src = BenchmarkProfile::by_name(name).unwrap().stream(seed, n);
+        let mut out = Vec::new();
+        while let Some(ev) = src.next_event() {
+            out.push(ev);
+        }
+        out
+    }
+
+    #[test]
+    fn pipeline_matches_plain_dift() {
+        let evs = events("hmmer", 9, 8_000);
+        let mut pipe = SessionPipeline::new(512);
+        let mut reference = DiftEngine::new();
+        for ev in &evs {
+            pipe.apply(ev);
+            apply_event_dift(&mut reference, ev);
+        }
+        assert_eq!(pipe.engine().to_snapshot(), reference.to_snapshot());
+        assert_eq!(pipe.applied(), 8_000);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_mid_stream_is_invisible() {
+        let evs = events("gromacs", 10, 6_000);
+        let mut straight = SessionPipeline::new(512);
+        let mut frozen = SessionPipeline::new(512);
+        for ev in &evs[..3_000] {
+            straight.apply(ev);
+            frozen.apply(ev);
+        }
+        // Freeze, thaw, and continue: byte-identical to never freezing.
+        let blob = frozen.to_snapshot();
+        let mut thawed = SessionPipeline::from_snapshot(&blob).unwrap();
+        for ev in &evs[3_000..] {
+            straight.apply(ev);
+            thawed.apply(ev);
+        }
+        assert_eq!(straight.to_snapshot(), thawed.to_snapshot());
+        assert_eq!(straight.report().encode(), thawed.report().encode());
+    }
+
+    #[test]
+    fn snapshot_rejects_garbage() {
+        let pipe = SessionPipeline::new(0);
+        let blob = pipe.to_snapshot();
+        assert!(SessionPipeline::from_snapshot(&blob[..blob.len() - 1]).is_err());
+        let mut bad = blob.clone();
+        bad[0] ^= 0xFF;
+        assert!(SessionPipeline::from_snapshot(&bad).is_err());
+        let mut long = blob;
+        long.push(0);
+        assert!(SessionPipeline::from_snapshot(&long).is_err());
+    }
+
+    #[test]
+    fn report_counts_selection_and_violations() {
+        let evs = events("perlbench", 11, 5_000);
+        let mut pipe = SessionPipeline::new(0);
+        let mut selected = 0u64;
+        for ev in &evs {
+            if pipe.apply(ev) {
+                selected += 1;
+            }
+        }
+        let report = pipe.report();
+        assert_eq!(report.events, 5_000);
+        assert_eq!(report.selected, selected);
+        assert!(report.selected < report.events, "screen must filter");
+        assert_eq!(report.dift.violations as usize, report.violations.len());
+        assert_eq!(report.violations.len(), pipe.violations().len());
+    }
+}

@@ -20,8 +20,23 @@ cargo test -q
 echo "==> cargo test -q (obs on)"
 cargo test -q --workspace --features "$OBS_FEATURES"
 
+# The serving layer is exercised explicitly in both observability
+# configurations, plus the fixed-seed eight-worker stress test (real
+# threads, eviction pressure, worker kills) in release mode.
+echo "==> latch-serve (obs off)"
+cargo test -q -p latch-serve
+
+echo "==> latch-serve (obs on)"
+cargo test -q -p latch-serve --features obs
+
+echo "==> latch-serve (fixed-seed multi-worker stress, release)"
+cargo test -q --release -p latch-serve threaded_stress_eight_workers_fixed_seed
+
 echo "==> cargo clippy --workspace (deny warnings)"
 cargo clippy -q --workspace --all-targets -- -D warnings
+
+echo "==> cargo clippy -p latch-serve (deny warnings)"
+cargo clippy -q -p latch-serve --all-targets -- -D warnings
 
 # Fixed differential-conformance budget: 64 seeds through every system
 # variant vs. the reference oracle (DESIGN.md §11). Run twice and diff

@@ -24,6 +24,10 @@
 //!   events, phase timing, and deterministic JSON snapshots. Inert
 //!   unless built with `--features obs`; see `DESIGN.md`
 //!   § "Observability".
+//! * [`serve`] — the sharded multi-session serving layer: a worker
+//!   pool multiplexing many `SessionPipeline`s with admission control,
+//!   batch coalescing, work stealing, LRU session eviction, and
+//!   worker-death replay; see `DESIGN.md` § "Serving layer".
 //!
 //! ## Quickstart
 //!
@@ -49,6 +53,7 @@ pub use latch_dift as dift;
 pub use latch_faults as faults;
 pub use latch_hwmodel as hwmodel;
 pub use latch_obs as obs;
+pub use latch_serve as serve;
 pub use latch_sim as sim;
 pub use latch_systems as systems;
 pub use latch_workloads as workloads;
