@@ -38,7 +38,9 @@ use latch_dift::policy::{SecurityViolation, SourceKind, TaintPolicy};
 use latch_dift::prop::PropRule;
 use latch_dift::tag::TaintTag;
 use latch_faults::FaultPlan;
-use latch_serve::{ServeConfig, Service};
+use latch_serve::{
+    DurableConfig, DurableService, MemStorage, ServeConfig, Service,
+};
 use latch_sim::event::{Event, MemAccess, MemAccessKind, SourceInput, VecSource};
 use latch_sim::machine::apply_event_dift;
 use latch_systems::hlatch::HLatch;
@@ -502,6 +504,72 @@ pub fn check(prog: &TestProgram, opts: &CheckOptions) -> Result<Verdict, Box<Div
             let violations: Vec<SecurityViolation> =
                 pipe.violations().iter().map(|(_, v)| v.clone()).collect();
             compare_violations("serve", &violations, &golden)?;
+        }
+    }
+
+    // ---- leg 7: durable serve, kill + journal/snapshot recovery ------
+    if !desugared.is_empty() {
+        const SESSIONS: u64 = 2;
+        const CHUNK: usize = 48;
+        let cfg = ServeConfig {
+            workers: 2,
+            max_resident: 2,
+            seed: opts.fault_seed,
+            ..ServeConfig::default()
+        };
+        let dcfg = DurableConfig {
+            group_commit_events: 48,
+            snapshot_every: 160,
+        };
+        // Disk faults only: the scheduler itself stays benign, so any
+        // divergence is the durability layer's fault.
+        let plan = FaultPlan::new(opts.fault_seed ^ 0x1D5C).with_disk_faults(250, 100, 100, 200);
+        let mut svc = DurableService::new(cfg, dcfg, plan, MemStorage::new(plan));
+        let mut lo = 0usize;
+        while lo < desugared.len() {
+            let hi = (lo + CHUNK).min(desugared.len());
+            for s in 0..SESSIONS {
+                svc.submit(s, &desugared[lo..hi])
+                    .expect("queues are sized above one round's burst");
+            }
+            svc.pump();
+            lo = hi;
+        }
+
+        // Kill at a seeded storage-op boundary, recover from the torn
+        // image, then re-submit each session's lost suffix.
+        let storage = svc.crash();
+        let crash_op = {
+            let mut x = opts.fault_seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (x ^ (x >> 31)) as usize % (storage.ops_len() + 1)
+        };
+        let image = storage.crash_image(crash_op);
+        let (mut svc, recovery) = DurableService::recover(cfg, dcfg, plan, image);
+        for s in 0..SESSIONS {
+            let recovered = recovery
+                .sessions
+                .get(&s)
+                .map_or(0, |r| r.recovered) as usize;
+            // An over-long "recovery" would replay events the oracle
+            // never saw — the taint-map compare below catches it.
+            let mut lo = recovered.min(desugared.len());
+            while lo < desugared.len() {
+                let hi = (lo + CHUNK).min(desugared.len());
+                svc.submit(s, &desugared[lo..hi])
+                    .expect("queues are sized above one round's burst");
+                svc.pump();
+                lo = hi;
+            }
+        }
+        let (out, _storage) = svc.finish();
+        for s in 0..SESSIONS {
+            let pipe = &out.pipelines[&s];
+            compare_precise("durable-serve", pipe.engine(), &golden)?;
+            let violations: Vec<SecurityViolation> =
+                pipe.violations().iter().map(|(_, v)| v.clone()).collect();
+            compare_violations("durable-serve", &violations, &golden)?;
         }
     }
 

@@ -65,8 +65,9 @@ impl ScrubReport {
 
 /// Magic word of a [`LatchUnit`] snapshot blob (`"LTCH"`).
 const SNAP_MAGIC: u32 = 0x4C54_4348;
-/// Current snapshot format version.
-const SNAP_VERSION: u32 = 1;
+/// Current snapshot format version. Version 2 appends a CRC-32 trailer
+/// over the whole blob; version-1 blobs (no trailer) are still read.
+const SNAP_VERSION: u32 = 2;
 
 /// The complete LATCH module.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -460,7 +461,7 @@ impl LatchUnit {
             w.u32(ev.bits);
             w.u32(ev.clear_bits);
         }
-        w.finish()
+        w.finish_crc()
     }
 
     /// Thaws a unit frozen by [`to_snapshot`](Self::to_snapshot).
@@ -471,7 +472,10 @@ impl LatchUnit {
     /// different format version, or internally inconsistent.
     pub fn from_snapshot(blob: &[u8]) -> Result<Self, SnapError> {
         let mut r = SnapReader::new(blob);
-        r.header(SNAP_MAGIC, SNAP_VERSION)?;
+        let version = r.header(SNAP_MAGIC, SNAP_VERSION)?;
+        if version >= 2 {
+            r.trim_crc()?;
+        }
         let domain_bytes = r.u32()?;
         let geometry =
             DomainGeometry::new(domain_bytes).map_err(|_| SnapError::Corrupt("domain bytes"))?;

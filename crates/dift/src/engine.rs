@@ -218,8 +218,9 @@ impl DiftEngine {
 
 /// Magic word of a [`DiftEngine`] snapshot blob (`"LTDF"`).
 const SNAP_MAGIC: u32 = 0x4C54_4446;
-/// Current snapshot format version.
-const SNAP_VERSION: u32 = 1;
+/// Current snapshot format version. Version 2 appends a CRC-32 trailer
+/// over the whole blob; version-1 blobs (no trailer) are still read.
+const SNAP_VERSION: u32 = 2;
 
 impl DiftEngine {
     /// Freezes the complete precise state — shadow memory, register
@@ -237,7 +238,7 @@ impl DiftEngine {
         w.u64(self.stats.mem_taint_writes);
         w.u64(self.stats.source_bytes);
         w.u64(self.stats.violations);
-        w.finish()
+        w.finish_crc()
     }
 
     /// Thaws an engine frozen by [`to_snapshot`](Self::to_snapshot).
@@ -248,7 +249,10 @@ impl DiftEngine {
     /// different format version, or internally inconsistent.
     pub fn from_snapshot(blob: &[u8]) -> Result<Self, SnapError> {
         let mut r = SnapReader::new(blob);
-        r.header(SNAP_MAGIC, SNAP_VERSION)?;
+        let version = r.header(SNAP_MAGIC, SNAP_VERSION)?;
+        if version >= 2 {
+            r.trim_crc()?;
+        }
         let shadow = ShadowMemory::snap_decode(&mut r)?;
         let regs = RegTagFile::snap_decode(&mut r)?;
         let policy = TaintPolicy::snap_decode(&mut r)?;

@@ -46,6 +46,13 @@ pub enum Stream {
     ConsumerLag = 9,
     WorkerDeath = 10,
     WorkerKillOffset = 11,
+    DiskTorn = 12,
+    DiskTornByte = 13,
+    DiskBitRot = 14,
+    DiskBitRotByte = 15,
+    DiskTruncate = 16,
+    DiskTruncateByte = 17,
+    FsyncFail = 18,
 }
 
 /// Which coarse structure a bit flip lands in.
@@ -151,6 +158,34 @@ impl WorkerFaultConfig {
     };
 }
 
+/// Configures storage faults (the durability layer): torn writes on
+/// crash, silent bit rot at rest, short reads, and failed fsyncs. All
+/// rates are per storage *operation*, in parts per mille, and each
+/// decision is pure in `(seed, stream, op_index)` — a crash image
+/// rebuilt from the same op log tears the same write at the same byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiskFaultConfig {
+    /// Probability that an un-synced append is torn at a crash, keeping
+    /// only a strict prefix of the written bytes.
+    pub torn_per_mille: u32,
+    /// Probability that a read returns one flipped bit.
+    pub bitrot_per_mille: u32,
+    /// Probability that a read returns a strict prefix of the file.
+    pub truncated_read_per_mille: u32,
+    /// Probability that an fsync reports failure (data not durable).
+    pub fsync_fail_per_mille: u32,
+}
+
+impl DiskFaultConfig {
+    /// A healthy disk.
+    pub const OFF: Self = Self {
+        torn_per_mille: 0,
+        bitrot_per_mille: 0,
+        truncated_read_per_mille: 0,
+        fsync_fail_per_mille: 0,
+    };
+}
+
 /// A complete, seeded description of the faults to inject into one run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultPlan {
@@ -159,6 +194,7 @@ pub struct FaultPlan {
     pub queue: QueueFaultConfig,
     pub consumer: ConsumerFaultConfig,
     pub worker: WorkerFaultConfig,
+    pub disk: DiskFaultConfig,
 }
 
 impl FaultPlan {
@@ -171,6 +207,7 @@ impl FaultPlan {
             queue: QueueFaultConfig::OFF,
             consumer: ConsumerFaultConfig::OFF,
             worker: WorkerFaultConfig::OFF,
+            disk: DiskFaultConfig::OFF,
         }
     }
 
@@ -243,6 +280,29 @@ impl FaultPlan {
         self
     }
 
+    /// Arms storage faults: torn writes at crash points, bit rot and
+    /// short reads on the read path, and fsync failures.
+    #[must_use]
+    pub fn with_disk_faults(
+        mut self,
+        torn: u32,
+        bitrot: u32,
+        truncated_read: u32,
+        fsync_fail: u32,
+    ) -> Self {
+        assert!(
+            torn <= 1000 && bitrot <= 1000 && truncated_read <= 1000 && fsync_fail <= 1000,
+            "per_mille out of range"
+        );
+        self.disk = DiskFaultConfig {
+            torn_per_mille: torn,
+            bitrot_per_mille: bitrot,
+            truncated_read_per_mille: truncated_read,
+            fsync_fail_per_mille: fsync_fail,
+        };
+        self
+    }
+
     /// Whether the plan injects anything at all.
     #[must_use]
     pub fn is_benign(&self) -> bool {
@@ -250,6 +310,7 @@ impl FaultPlan {
             && self.queue == QueueFaultConfig::OFF
             && self.consumer == ConsumerFaultConfig::OFF
             && self.worker == WorkerFaultConfig::OFF
+            && self.disk == DiskFaultConfig::OFF
     }
 }
 
@@ -289,6 +350,10 @@ pub struct FaultStats {
     pub lags: u64,
     pub deaths: u64,
     pub worker_kills: u64,
+    pub torn_writes: u64,
+    pub bitrots: u64,
+    pub truncated_reads: u64,
+    pub fsync_failures: u64,
 }
 
 impl FaultStats {
@@ -304,6 +369,10 @@ impl FaultStats {
         self.lags += other.lags;
         self.deaths += other.deaths;
         self.worker_kills += other.worker_kills;
+        self.torn_writes += other.torn_writes;
+        self.bitrots += other.bitrots;
+        self.truncated_reads += other.truncated_reads;
+        self.fsync_failures += other.fsync_failures;
     }
 }
 
@@ -429,6 +498,78 @@ impl FaultInjector {
         Some(off as usize)
     }
 
+    /// Whether an un-synced append is torn at a crash, and if so how
+    /// many of its `len` bytes survive (a strict prefix, `0..len`).
+    /// `op` is the storage operation's position in the op log.
+    pub fn disk_torn_at(&mut self, op: u64, len: usize) -> Option<usize> {
+        if len == 0
+            || !fires(
+                self.plan.seed,
+                Stream::DiskTorn,
+                op,
+                self.plan.disk.torn_per_mille,
+            )
+        {
+            return None;
+        }
+        self.stats.torn_writes += 1;
+        let keep = mix(self.plan.seed, Stream::DiskTornByte as u64, op) % len as u64;
+        Some(keep as usize)
+    }
+
+    /// Whether a read of `len` bytes comes back with one flipped bit:
+    /// `(byte_offset, xor_mask)` with a guaranteed-nonzero mask.
+    pub fn disk_bitrot_at(&mut self, op: u64, len: usize) -> Option<(usize, u8)> {
+        if len == 0
+            || !fires(
+                self.plan.seed,
+                Stream::DiskBitRot,
+                op,
+                self.plan.disk.bitrot_per_mille,
+            )
+        {
+            return None;
+        }
+        self.stats.bitrots += 1;
+        let r = mix(self.plan.seed, Stream::DiskBitRotByte as u64, op);
+        let offset = (r % len as u64) as usize;
+        let mask = 1u8 << ((r >> 32) % 8);
+        Some((offset, mask))
+    }
+
+    /// Whether a read of `len` bytes comes back short, and if so how
+    /// many bytes it returns (a strict prefix, `0..len`).
+    pub fn disk_truncated_read_at(&mut self, op: u64, len: usize) -> Option<usize> {
+        if len == 0
+            || !fires(
+                self.plan.seed,
+                Stream::DiskTruncate,
+                op,
+                self.plan.disk.truncated_read_per_mille,
+            )
+        {
+            return None;
+        }
+        self.stats.truncated_reads += 1;
+        let keep = mix(self.plan.seed, Stream::DiskTruncateByte as u64, op) % len as u64;
+        Some(keep as usize)
+    }
+
+    /// Whether the fsync issued as operation `op` reports failure.
+    pub fn disk_fsync_fails(&mut self, op: u64) -> bool {
+        if fires(
+            self.plan.seed,
+            Stream::FsyncFail,
+            op,
+            self.plan.disk.fsync_fail_per_mille,
+        ) {
+            self.stats.fsync_failures += 1;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Whether the consumer's first life ends once it has processed
     /// `events_processed` events.
     pub fn consumer_dies_now(&mut self, events_processed: u64) -> bool {
@@ -548,6 +689,55 @@ mod tests {
         assert_eq!(inj.worker_kill_at(0, 16), None);
         let mut armed = FaultInjector::new(FaultPlan::new(5).with_worker_kills(1000, 10));
         assert_eq!(armed.worker_kill_at(0, 0), None, "empty batch");
+    }
+
+    #[test]
+    fn disk_faults_are_deterministic_and_in_range() {
+        let plan = FaultPlan::new(33).with_disk_faults(200, 200, 200, 200);
+        assert!(!plan.is_benign());
+        let mut a = FaultInjector::new(plan);
+        let mut b = FaultInjector::new(plan);
+        for op in 0..5_000 {
+            let torn = a.disk_torn_at(op, 100);
+            assert_eq!(torn, b.disk_torn_at(op, 100));
+            if let Some(keep) = torn {
+                assert!(keep < 100, "torn write keeps a strict prefix");
+            }
+            let rot = a.disk_bitrot_at(op, 64);
+            assert_eq!(rot, b.disk_bitrot_at(op, 64));
+            if let Some((off, mask)) = rot {
+                assert!(off < 64);
+                assert_ne!(mask, 0, "a zero mask would be a silent no-op");
+                assert!(mask.is_power_of_two(), "exactly one flipped bit");
+            }
+            let short = a.disk_truncated_read_at(op, 32);
+            assert_eq!(short, b.disk_truncated_read_at(op, 32));
+            if let Some(keep) = short {
+                assert!(keep < 32);
+            }
+            assert_eq!(a.disk_fsync_fails(op), b.disk_fsync_fails(op));
+        }
+        let stats = a.stats();
+        assert!(stats.torn_writes > 0);
+        assert!(stats.bitrots > 0);
+        assert!(stats.truncated_reads > 0);
+        assert!(stats.fsync_failures > 0);
+        assert_eq!(stats, b.stats());
+    }
+
+    #[test]
+    fn disk_faults_never_fire_when_off_or_empty() {
+        let mut inj = FaultInjector::new(FaultPlan::benign());
+        for op in 0..1_000 {
+            assert_eq!(inj.disk_torn_at(op, 100), None);
+            assert_eq!(inj.disk_bitrot_at(op, 100), None);
+            assert_eq!(inj.disk_truncated_read_at(op, 100), None);
+            assert!(!inj.disk_fsync_fails(op));
+        }
+        let mut armed = FaultInjector::new(FaultPlan::new(5).with_disk_faults(1000, 1000, 1000, 0));
+        assert_eq!(armed.disk_torn_at(0, 0), None, "empty write cannot tear");
+        assert_eq!(armed.disk_bitrot_at(0, 0), None);
+        assert_eq!(armed.disk_truncated_read_at(0, 0), None);
     }
 
     #[test]

@@ -139,6 +139,34 @@ pub enum TraceEvent {
         /// Events in the batch being replayed.
         replayed: u64,
     },
+    /// A record batch was appended to a session's write-ahead journal.
+    JournalAppend {
+        /// The session whose journal grew.
+        session: u64,
+        /// Bytes appended (frame header + payload).
+        bytes: u64,
+    },
+    /// A group-commit fsync was issued over the dirty journal files.
+    Fsync {
+        /// Files covered by this group commit.
+        files: u64,
+        /// Whether the backing store reported the sync as failed.
+        failed: bool,
+    },
+    /// Crash recovery began scanning the storage directory.
+    RecoveryStart {
+        /// Files found in the store.
+        files: u64,
+    },
+    /// Recovery quarantined a corrupt or torn frame.
+    FrameQuarantined {
+        /// The session whose file held the frame.
+        session: u64,
+        /// Byte offset of the frame within its file.
+        offset: u64,
+        /// Typed reason label (mirrors `RecoveryError`).
+        reason: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -163,6 +191,10 @@ impl TraceEvent {
             TraceEvent::SessionEvict { .. } => "session_evict",
             TraceEvent::SessionRestore { .. } => "session_restore",
             TraceEvent::WorkerDeath { .. } => "worker_death",
+            TraceEvent::JournalAppend { .. } => "journal_append",
+            TraceEvent::Fsync { .. } => "fsync",
+            TraceEvent::RecoveryStart { .. } => "recovery_start",
+            TraceEvent::FrameQuarantined { .. } => "frame_quarantined",
         }
     }
 
@@ -262,6 +294,25 @@ impl TraceEvent {
             }
             TraceEvent::WorkerDeath { worker, replayed } => {
                 let _ = write!(out, ",\"worker\":{worker},\"replayed\":{replayed}");
+            }
+            TraceEvent::JournalAppend { session, bytes } => {
+                let _ = write!(out, ",\"session\":{session},\"bytes\":{bytes}");
+            }
+            TraceEvent::Fsync { files, failed } => {
+                let _ = write!(out, ",\"files\":{files},\"failed\":{failed}");
+            }
+            TraceEvent::RecoveryStart { files } => {
+                let _ = write!(out, ",\"files\":{files}");
+            }
+            TraceEvent::FrameQuarantined {
+                session,
+                offset,
+                reason,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"session\":{session},\"offset\":{offset},\"reason\":\"{reason}\""
+                );
             }
         }
         out.push('}');

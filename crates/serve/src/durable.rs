@@ -1,0 +1,457 @@
+//! Crash-consistent durability for the service.
+//!
+//! [`DurableService`] wraps a [`Service`] and a [`Storage`] backend so
+//! the whole multi-session scheduler survives being killed at any
+//! instant:
+//!
+//! * **Write-ahead journal** — every admitted batch is appended to the
+//!   session's `wal-*` file *after* admission succeeds, as a
+//!   CRC-framed record (see [`crate::journal`]). Fsyncs are batched:
+//!   one group commit per `group_commit_events` journaled events.
+//! * **Snapshot store** — once a session has applied
+//!   `snapshot_every` events past its last durable snapshot, the
+//!   maintenance pass writes a checksummed frame (see
+//!   [`crate::store`]) to the session's alternate generation and, on
+//!   a successful sync, truncates the journal it supersedes.
+//! * **Recovery** — [`DurableService::recover`] scans the store,
+//!   quarantines every corrupt or torn frame with a typed
+//!   [`RecoveryError`] (never a panic), restores the newest valid
+//!   snapshot per session, replays the journal suffix through the
+//!   real pipeline, and bumps the session epoch. Recovered state is
+//!   an *exact prefix* of the submitted stream: re-submitting the
+//!   un-recovered suffix yields reports byte-identical to a run that
+//!   never crashed.
+//!
+//! The durability contract deliberately acknowledges bounded loss:
+//! events journaled but never covered by a successful fsync may
+//! vanish with the page cache. What recovery guarantees is
+//! *consistency* — the recovered pipeline equals the uninterrupted
+//! pipeline after some prefix of its input, never a corrupted or
+//! diverged state.
+
+use crate::journal::{self, RecoveryError};
+use crate::storage::Storage;
+use crate::store;
+use crate::{Rejected, ServeConfig, Service, ServiceOutcome};
+use latch_faults::FaultPlan;
+use latch_obs::TraceEvent;
+use latch_sim::event::Event;
+use latch_systems::session::SessionPipeline;
+use std::collections::BTreeMap;
+
+/// Durability tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurableConfig {
+    /// Journaled events per group-commit fsync. `1` syncs every
+    /// append; larger values trade bounded loss for fewer syncs.
+    pub group_commit_events: u64,
+    /// Applied events between durable snapshots of a session.
+    pub snapshot_every: u64,
+}
+
+impl Default for DurableConfig {
+    fn default() -> Self {
+        Self {
+            group_commit_events: 256,
+            snapshot_every: 2_048,
+        }
+    }
+}
+
+impl DurableConfig {
+    fn sanitized(mut self) -> Self {
+        self.group_commit_events = self.group_commit_events.max(1);
+        self.snapshot_every = self.snapshot_every.max(1);
+        self
+    }
+}
+
+/// Per-session durability bookkeeping.
+struct DurState {
+    /// Events journaled so far == the next record's `base_seq`.
+    journaled: u64,
+    /// `applied` covered by the newest durable snapshot.
+    snapshotted: u64,
+    /// Generation the *next* snapshot frame goes to (alternates).
+    next_generation: u8,
+    /// Set when a journal append failed: the WAL has a gap, so no
+    /// further appends make sense until a snapshot covers everything
+    /// admitted and the journal is rotated clean.
+    needs_resync: bool,
+    /// Whether the `wal-*` file exists (header written).
+    has_wal: bool,
+}
+
+impl DurState {
+    fn new() -> Self {
+        Self {
+            journaled: 0,
+            snapshotted: 0,
+            next_generation: 0,
+            needs_resync: false,
+            has_wal: false,
+        }
+    }
+}
+
+/// One quarantined frame found during recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedFrame {
+    /// File the frame lived in.
+    pub file: String,
+    /// Byte offset of the frame within the file.
+    pub offset: u64,
+    /// Why it was rejected.
+    pub error: RecoveryError,
+}
+
+/// What recovery restored for one session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionRecovery {
+    /// Events covered by the snapshot the session restarted from.
+    pub snapshot_applied: u64,
+    /// Journal events replayed on top of the snapshot.
+    pub replayed: u64,
+    /// Total events the recovered pipeline has applied
+    /// (`snapshot_applied + replayed`) — the exact prefix length.
+    pub recovered: u64,
+    /// The session's epoch after recovery (bumped once per recovery).
+    pub epoch: u64,
+}
+
+/// Everything a recovery pass observed.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// Per-session recovery results, keyed by session id.
+    pub sessions: BTreeMap<u64, SessionRecovery>,
+    /// Every corrupt or torn frame, with its typed reason.
+    pub quarantined: Vec<QuarantinedFrame>,
+}
+
+/// A [`Service`] whose sessions survive process death. See the module
+/// docs for the design.
+pub struct DurableService<S: Storage> {
+    svc: Service,
+    storage: S,
+    dcfg: DurableConfig,
+    sessions: BTreeMap<u64, DurState>,
+    /// Journaled events not yet covered by a group-commit fsync.
+    unsynced_events: u64,
+    /// Journal files dirtied since the last group commit.
+    dirty_files: u64,
+}
+
+impl<S: Storage> DurableService<S> {
+    /// A fresh durable service over an empty (or to-be-overwritten)
+    /// store, in deterministic scheduling mode.
+    pub fn new(cfg: ServeConfig, dcfg: DurableConfig, plan: FaultPlan, storage: S) -> Self {
+        Self {
+            svc: Service::deterministic(cfg, plan),
+            storage,
+            dcfg: dcfg.sanitized(),
+            sessions: BTreeMap::new(),
+            unsynced_events: 0,
+            dirty_files: 0,
+        }
+    }
+
+    /// Submits a batch, journaling it if admitted. The journal append
+    /// happens *after* admission so a rejected submit leaves no orphan
+    /// records; a crash between admission and the group commit can
+    /// lose at most the un-synced suffix, which the client re-submits
+    /// after recovery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Rejected`] (and journals nothing) when admission
+    /// control refuses the batch.
+    pub fn submit(&mut self, session: u64, events: &[Event]) -> Result<(), Rejected> {
+        self.svc.submit(session, events)?;
+        if events.is_empty() {
+            return Ok(());
+        }
+        let state = self.sessions.entry(session).or_insert_with(DurState::new);
+        if !state.needs_resync {
+            match journal::append_record(
+                &mut self.storage,
+                session,
+                state.has_wal,
+                state.journaled,
+                events,
+            ) {
+                Some(bytes) => {
+                    state.has_wal = true;
+                    self.unsynced_events += events.len() as u64;
+                    self.dirty_files += 1;
+                    latch_obs::counter_inc("serve.journal.appends");
+                    latch_obs::emit("serve", TraceEvent::JournalAppend { session, bytes });
+                }
+                None => {
+                    // The WAL now has a gap; stop journaling until the
+                    // next durable snapshot covers it (maintenance
+                    // clears the flag after rotating the file).
+                    state.needs_resync = true;
+                    latch_obs::counter_inc("serve.journal.append_failures");
+                }
+            }
+        }
+        // Admission succeeded, so the events count as journal progress
+        // even when the bytes were lost: `journaled` tracks base_seq
+        // against the *admitted* stream, and `needs_resync` prevents
+        // any append from landing after a gap.
+        state.journaled += events.len() as u64;
+        if self.unsynced_events >= self.dcfg.group_commit_events {
+            self.group_commit();
+        }
+        Ok(())
+    }
+
+    fn group_commit(&mut self) {
+        if self.dirty_files == 0 {
+            self.unsynced_events = 0;
+            return;
+        }
+        let failed = !self.storage.fsync();
+        if failed {
+            latch_obs::counter_inc("serve.fsync.failures");
+        }
+        latch_obs::emit(
+            "serve",
+            TraceEvent::Fsync {
+                files: self.dirty_files,
+                failed,
+            },
+        );
+        // Either way the batch window restarts: a failed sync's bytes
+        // stay volatile and are retried by the next group commit
+        // (fsync covers everything since the last *successful* sync).
+        self.unsynced_events = 0;
+        if !failed {
+            self.dirty_files = 0;
+        }
+    }
+
+    /// Drives the scheduler until idle, then runs durability
+    /// maintenance: snapshots for every session that moved
+    /// `snapshot_every` events past its last durable frame, journal
+    /// truncation for snapshots that cover them, and a group commit.
+    pub fn pump(&mut self) {
+        self.svc.pump();
+        self.maintenance();
+    }
+
+    fn maintenance(&mut self) {
+        for session in self.svc.session_ids() {
+            let Some((applied, _epoch)) = self.svc.session_progress(session) else {
+                continue;
+            };
+            let state = self.sessions.entry(session).or_insert_with(DurState::new);
+            let due = applied.saturating_sub(state.snapshotted) >= self.dcfg.snapshot_every
+                || (state.needs_resync && applied >= state.journaled);
+            if !due {
+                continue;
+            }
+            let Some((applied, epoch, blob)) = self.svc.snapshot_session(session) else {
+                continue;
+            };
+            let generation = state.next_generation;
+            if !store::write_frame(&mut self.storage, session, generation, epoch, applied, &blob)
+            {
+                continue;
+            }
+            self.dirty_files += 1;
+            latch_obs::counter_inc("serve.snapshot.writes");
+            // The snapshot must be durable before the journal it
+            // supersedes is truncated — rotation rides the same
+            // atomic-replace + fsync path, and recovery tolerates
+            // every interleaving (old WAL + new snapshot just skips
+            // the covered records).
+            if applied >= state.journaled {
+                if journal::rotate(&mut self.storage, session) {
+                    state.needs_resync = false;
+                    state.has_wal = true;
+                } else {
+                    // The stale journal still stands; keep refusing
+                    // appends until a later rotation lands.
+                    state.needs_resync = true;
+                }
+            }
+            state.snapshotted = applied;
+            state.next_generation = 1 - generation;
+        }
+        self.group_commit();
+    }
+
+    /// Graceful drain: final maintenance pass, group commit, then the
+    /// wrapped service's outcome plus the storage backend.
+    pub fn finish(mut self) -> (ServiceOutcome, S) {
+        self.pump();
+        self.group_commit();
+        (self.svc.finish(), self.storage)
+    }
+
+    /// Simulates being killed: every in-memory structure is dropped on
+    /// the floor and only the storage backend survives. Pair with
+    /// [`MemStorage::crash_image`](crate::storage::MemStorage::crash_image)
+    /// to model torn tails at a chosen operation boundary.
+    pub fn crash(self) -> S {
+        self.storage
+    }
+
+    /// Read-only view of the wrapped service.
+    #[must_use]
+    pub fn service(&self) -> &Service {
+        &self.svc
+    }
+
+    /// Rebuilds a service from what survived in `storage`.
+    ///
+    /// The scan never panics on hostile bytes: every torn, bit-rotted,
+    /// truncated, or otherwise malformed frame is quarantined with a
+    /// typed [`RecoveryError`] in the report (and a `FrameQuarantined`
+    /// trace event), and recovery proceeds with the next-best state —
+    /// the other snapshot generation, a shorter journal prefix, or a
+    /// fresh session.
+    pub fn recover(
+        cfg: ServeConfig,
+        dcfg: DurableConfig,
+        plan: FaultPlan,
+        mut storage: S,
+    ) -> (Self, RecoveryReport) {
+        let files = storage.list();
+        latch_obs::emit(
+            "serve",
+            TraceEvent::RecoveryStart {
+                files: files.len() as u64,
+            },
+        );
+        latch_obs::counter_inc("serve.recovery.runs");
+        let mut report = RecoveryReport::default();
+        // Collect every session mentioned by any file.
+        let mut session_ids: Vec<u64> = files
+            .iter()
+            .filter_map(|name| {
+                journal::parse_wal_name(name)
+                    .or_else(|| store::parse_snap_name(name).map(|(s, _)| s))
+            })
+            .collect();
+        session_ids.sort_unstable();
+        session_ids.dedup();
+
+        let mut svc = Service::deterministic(cfg, plan);
+        let mut sessions: BTreeMap<u64, DurState> = BTreeMap::new();
+        for session in session_ids {
+            let mut quarantine = |file: String, offset: u64, error: RecoveryError| {
+                latch_obs::emit(
+                    "serve",
+                    TraceEvent::FrameQuarantined {
+                        session,
+                        offset,
+                        reason: error.reason(),
+                    },
+                );
+                latch_obs::counter_inc("serve.recovery.quarantined");
+                report.quarantined.push(QuarantinedFrame {
+                    file,
+                    offset,
+                    error,
+                });
+            };
+            // Newest valid snapshot across both generations; a frame
+            // that decodes but whose embedded blob does not is
+            // quarantined exactly like a bad frame.
+            let mut best: Option<(store::SnapFrame, SessionPipeline)> = None;
+            for generation in [0u8, 1u8] {
+                let name = store::snap_name(session, generation);
+                let Some(bytes) = storage.read(&name) else {
+                    continue;
+                };
+                match store::decode_frame(session, &bytes) {
+                    Ok(frame) => match SessionPipeline::from_snapshot(&frame.blob) {
+                        Ok(pipe) => {
+                            if best.as_ref().is_none_or(|(b, _)| frame.newer_than(b)) {
+                                best = Some((frame, pipe));
+                            }
+                        }
+                        Err(_) => quarantine(name, 0, RecoveryError::BadSnapshot),
+                    },
+                    Err(err) => quarantine(name, 0, err),
+                }
+            }
+            let (snapshot_applied, mut pipe) = match best {
+                Some((frame, pipe)) => (frame.applied, pipe),
+                None => (0, SessionPipeline::new(cfg.scrub_interval)),
+            };
+            debug_assert_eq!(pipe.applied(), snapshot_applied);
+
+            // Replay the journal suffix on top of the snapshot. The
+            // scan stops at the first corruption; records the snapshot
+            // already covers are skipped (straddlers partially).
+            let mut replayed = 0u64;
+            let wal = journal::wal_name(session);
+            if let Some(bytes) = storage.read(&wal) {
+                let scan = journal::scan_wal(session, &bytes);
+                if let Some((offset, err)) = scan.quarantined {
+                    quarantine(wal.clone(), offset, err);
+                }
+                for rec in scan.records {
+                    let end = rec.base_seq + rec.events.len() as u64;
+                    if end <= pipe.applied() {
+                        continue; // fully covered by the snapshot
+                    }
+                    if rec.base_seq > pipe.applied() {
+                        // A gap (lost record): nothing after it can be
+                        // applied without breaking event order.
+                        break;
+                    }
+                    let skip = (pipe.applied() - rec.base_seq) as usize;
+                    for ev in &rec.events[skip..] {
+                        pipe.apply(ev);
+                        replayed += 1;
+                    }
+                }
+            }
+
+            // Seal the recovery: new epoch, fresh durable snapshot of
+            // the recovered state, clean journal.
+            pipe.bump_epoch();
+            let epoch = pipe.epoch();
+            let recovered = pipe.applied();
+            let blob = pipe.to_snapshot();
+            let mut state = DurState::new();
+            state.journaled = recovered;
+            state.snapshotted = recovered;
+            // The recovery frame goes to generation 0; its successor
+            // alternates as usual. Epoch dominance makes it supersede
+            // both pre-crash generations regardless of `applied`.
+            if store::write_frame(&mut storage, session, 0, epoch, recovered, &blob) {
+                state.next_generation = 1;
+            }
+            state.has_wal = journal::rotate(&mut storage, session);
+            // A failed rotation leaves the stale pre-crash journal in
+            // place; appending after it would interleave streams.
+            state.needs_resync = !state.has_wal;
+            svc.preload_session(session, blob, recovered, epoch);
+            report.sessions.insert(
+                session,
+                SessionRecovery {
+                    snapshot_applied,
+                    replayed,
+                    recovered,
+                    epoch,
+                },
+            );
+            sessions.insert(session, state);
+        }
+        storage.fsync();
+        let durable = Self {
+            svc,
+            storage,
+            dcfg: dcfg.sanitized(),
+            sessions,
+            unsynced_events: 0,
+            dirty_files: 0,
+        };
+        (durable, report)
+    }
+}

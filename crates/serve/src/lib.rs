@@ -30,6 +30,15 @@
 
 mod sched;
 
+pub mod durable;
+pub mod journal;
+pub mod storage;
+pub mod store;
+
+pub use durable::{DurableConfig, DurableService, RecoveryReport, SessionRecovery};
+pub use journal::RecoveryError;
+pub use storage::{DirStorage, MemStorage, Storage};
+
 use latch_faults::FaultPlan;
 use latch_sim::event::Event;
 use latch_systems::session::{SessionPipeline, SessionReport};
@@ -39,7 +48,7 @@ use std::error::Error;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for a service instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,6 +164,20 @@ pub struct ServeStats {
     pub replayed_events: u64,
     /// High-water mark of the global event queue.
     pub queue_depth_hwm: u64,
+}
+
+/// How a deadline-bounded drain ended.
+pub enum DrainOutcome {
+    /// Every queued event was applied; the full outcome follows.
+    Completed(Box<ServiceOutcome>),
+    /// The deadline passed with work still outstanding. Worker threads
+    /// are left detached (they exit on their own once their current
+    /// batch — and anything still queued — drains); the caller gets a
+    /// typed answer instead of an unbounded wait.
+    TimedOut {
+        /// Batches still executing on workers at the deadline.
+        in_flight: usize,
+    },
 }
 
 /// Everything a drained service hands back.
@@ -300,23 +323,123 @@ impl Service {
                     .expect("scheduler lock")
             }
         };
-        let wall_ns = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        let stats = sched.stats;
-        let worker_busy_cycles = sched.worker_busy.clone();
-        let batch_cycles = sched.batch_cycles.clone();
-        let pipelines = sched.into_sessions();
-        let sessions = pipelines
-            .iter()
-            .map(|(id, p)| (*id, p.report()))
-            .collect();
-        ServiceOutcome {
-            sessions,
-            pipelines,
-            stats,
-            worker_busy_cycles,
-            batch_cycles,
-            wall_ns,
+        outcome_from(sched, self.started)
+    }
+
+    /// Graceful drain with a deadline: like [`finish`](Self::finish),
+    /// but a threaded service that cannot drain within `timeout` (a
+    /// wedged or stalled worker) returns
+    /// [`DrainOutcome::TimedOut`] instead of blocking forever. The
+    /// deterministic mode always completes — its virtual workers
+    /// cannot wedge.
+    #[must_use]
+    pub fn finish_timeout(self, timeout: Duration) -> DrainOutcome {
+        match self.imp {
+            Imp::Det { .. } => DrainOutcome::Completed(Box::new(self.finish())),
+            Imp::Threaded { .. } => {
+                let deadline = Instant::now() + timeout;
+                {
+                    let Imp::Threaded { hub, .. } = &self.imp else {
+                        unreachable!("matched above")
+                    };
+                    let mut g = hub.sched.lock().expect("scheduler lock");
+                    g.start_drain();
+                    hub.work.notify_all();
+                    while !g.idle() {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            let in_flight = g.in_flight();
+                            drop(g);
+                            // Detach the workers: self is consumed, the
+                            // handles drop, and each thread exits once
+                            // the remaining queue drains.
+                            return DrainOutcome::TimedOut { in_flight };
+                        }
+                        let (g2, _) = hub
+                            .work
+                            .wait_timeout(g, deadline - now)
+                            .expect("scheduler lock");
+                        g = g2;
+                    }
+                }
+                DrainOutcome::Completed(Box::new(self.finish()))
+            }
         }
+    }
+
+    /// Session ids with any state in the scheduler, sorted.
+    #[must_use]
+    pub fn session_ids(&self) -> Vec<u64> {
+        match &self.imp {
+            Imp::Det { sched, .. } => sched.session_ids(),
+            Imp::Threaded { hub, .. } => {
+                hub.sched.lock().expect("scheduler lock").session_ids()
+            }
+        }
+    }
+
+    /// `(applied, epoch)` for a quiescent session — see
+    /// [`snapshot_session`](Self::snapshot_session) for when `None`.
+    #[must_use]
+    pub fn session_progress(&self, session: u64) -> Option<(u64, u64)> {
+        match &self.imp {
+            Imp::Det { sched, .. } => sched.session_progress(session),
+            Imp::Threaded { hub, .. } => hub
+                .sched
+                .lock()
+                .expect("scheduler lock")
+                .session_progress(session),
+        }
+    }
+
+    /// Byte-stable snapshot `(applied, epoch, blob)` of a quiescent
+    /// session. `None` for sessions that never ran or whose batch is
+    /// mid-flight — the durability layer simply snapshots them at the
+    /// next quiescent point.
+    #[must_use]
+    pub fn snapshot_session(&self, session: u64) -> Option<(u64, u64, Vec<u8>)> {
+        match &self.imp {
+            Imp::Det { sched, .. } => sched.snapshot_session(session),
+            Imp::Threaded { hub, .. } => hub
+                .sched
+                .lock()
+                .expect("scheduler lock")
+                .snapshot_session(session),
+        }
+    }
+
+    /// Installs a recovered session as if it had been evicted at
+    /// `applied`/`epoch`. Used by crash recovery before any traffic
+    /// reaches the rebuilt service.
+    pub fn preload_session(&mut self, session: u64, blob: Vec<u8>, applied: u64, epoch: u64) {
+        match &mut self.imp {
+            Imp::Det { sched, .. } => sched.preload_session(session, blob, applied, epoch),
+            Imp::Threaded { hub, .. } => hub
+                .sched
+                .lock()
+                .expect("scheduler lock")
+                .preload_session(session, blob, applied, epoch),
+        }
+    }
+}
+
+fn outcome_from(sched: Sched, started: Instant) -> ServiceOutcome {
+    let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let stats = sched.stats;
+    let worker_busy_cycles = sched.worker_busy.clone();
+    let batch_cycles = sched.batch_cycles.clone();
+    let pipelines = sched.into_sessions();
+    let sessions = pipelines
+        .iter()
+        .map(|(id, p)| (*id, p.report()))
+        .collect();
+    ServiceOutcome {
+        sessions,
+        pipelines,
+        stats,
+        worker_busy_cycles,
+        batch_cycles,
+        wall_ns,
     }
 }
 
@@ -328,6 +451,11 @@ fn worker_loop(hub: &Hub, w: usize) {
         }
         if let Some(item) = g.next_work(w) {
             drop(g);
+            if item.stall_units > 0 {
+                // Injected consumer lag: a stalled (possibly wedged)
+                // worker, outside the lock so only this batch suffers.
+                std::thread::sleep(Duration::from_micros(u64::from(item.stall_units)));
+            }
             let result = process(item);
             let died = matches!(result, BatchResult::Died { .. });
             let mut g2 = hub.sched.lock().expect("scheduler lock");
@@ -573,6 +701,48 @@ mod tests {
                 solo_report(evs, cfg.scrub_interval).encode(),
                 "session {id} diverged under stress"
             );
+        }
+    }
+
+    #[test]
+    fn drain_deadline_reports_wedged_workers() {
+        let evs = events("hmmer", 11, 256);
+        let cfg = ServeConfig {
+            workers: 1,
+            seed: 11,
+            ..ServeConfig::default()
+        };
+        // Every batch wedges its worker for 500ms — far past the drain
+        // deadline below.
+        let plan = FaultPlan::new(11).with_consumer_lag(1000, 500_000);
+        let mut svc = Service::threaded(cfg, plan);
+        svc.submit(0, &evs).expect("queue is empty");
+        match svc.finish_timeout(Duration::from_millis(120)) {
+            DrainOutcome::TimedOut { in_flight } => {
+                assert!(
+                    in_flight <= 1,
+                    "one worker cannot have {in_flight} batches in flight"
+                );
+            }
+            DrainOutcome::Completed(_) => {
+                panic!("wedged worker drained 4 batches x 500ms within 120ms")
+            }
+        }
+
+        // A healthy service under the same deadline completes and its
+        // report matches the solo pipeline.
+        let mut svc = Service::threaded(cfg, FaultPlan::benign());
+        svc.submit(0, &evs).expect("queue is empty");
+        match svc.finish_timeout(Duration::from_secs(30)) {
+            DrainOutcome::Completed(out) => {
+                assert_eq!(
+                    out.sessions[&0].encode(),
+                    solo_report(&evs, cfg.scrub_interval).encode()
+                );
+            }
+            DrainOutcome::TimedOut { in_flight } => {
+                panic!("healthy drain timed out with {in_flight} in flight")
+            }
         }
     }
 

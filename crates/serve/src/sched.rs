@@ -48,6 +48,12 @@ struct Slot {
     last_active: u64,
     /// Whether the session sits on some worker's ready queue.
     enqueued: bool,
+    /// Events the pipeline had applied at its last quiescent point —
+    /// kept current so a `Frozen` slot's progress is known without
+    /// decoding its blob (the durability layer snapshots from this).
+    applied: u64,
+    /// Recovery epoch at the same point.
+    epoch: u64,
 }
 
 impl Slot {
@@ -57,6 +63,8 @@ impl Slot {
             pending: VecDeque::new(),
             last_active: 0,
             enqueued: false,
+            applied: 0,
+            epoch: 0,
         }
     }
 }
@@ -75,6 +83,10 @@ pub(crate) struct WorkItem {
     /// Injected death: the worker dies after applying this many events
     /// of the batch.
     pub kill_at: Option<usize>,
+    /// Injected stall, in lag units. Deterministic mode ignores it
+    /// (no wall clock); threaded workers sleep ~this many µs before
+    /// processing — how the drain-timeout path is exercised.
+    pub stall_units: u32,
 }
 
 /// What a worker hands back after running a batch.
@@ -307,6 +319,7 @@ impl Sched {
         } else {
             None
         };
+        let stall_units = self.inj.consumer_lag_at(batch_index);
         let start_cycles = pipeline.cycles();
         Some(WorkItem {
             session,
@@ -315,6 +328,7 @@ impl Sched {
             start_cycles,
             checkpoint,
             kill_at,
+            stall_units,
         })
     }
 
@@ -333,6 +347,8 @@ impl Sched {
                 self.batch_cycles.push(cycles);
                 latch_obs::histogram_record("serve.batch.cycles", cycles);
                 let slot = self.slots.get_mut(&session).expect("running session exists");
+                slot.applied = pipeline.applied();
+                slot.epoch = pipeline.epoch();
                 slot.state = SlotState::Live(pipeline);
                 slot.last_active = tick;
                 let requeue = !slot.pending.is_empty();
@@ -374,6 +390,8 @@ impl Sched {
                 for ev in batch.into_iter().rev() {
                     slot.pending.push_front(ev);
                 }
+                slot.applied = pipeline.applied();
+                slot.epoch = pipeline.epoch();
                 slot.state = SlotState::Live(pipeline);
                 slot.last_active = tick;
                 slot.enqueued = true;
@@ -400,6 +418,8 @@ impl Sched {
             let SlotState::Live(p) = std::mem::replace(&mut slot.state, SlotState::Fresh) else {
                 unreachable!("victim filter guarantees a live slot");
             };
+            slot.applied = p.applied();
+            slot.epoch = p.epoch();
             let blob = p.to_snapshot();
             self.live_resident -= 1;
             self.stats.evictions += 1;
@@ -435,4 +455,50 @@ impl Sched {
             .collect()
     }
 
+    /// Batches currently executing on workers.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Every session id the scheduler knows about, sorted.
+    pub fn session_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.slots.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// `(applied, epoch)` for a session at its last quiescent point,
+    /// or `None` for sessions with no state yet (`Fresh`) or a batch
+    /// mid-flight (`Running`).
+    pub fn session_progress(&self, session: u64) -> Option<(u64, u64)> {
+        let slot = self.slots.get(&session)?;
+        match &slot.state {
+            SlotState::Live(p) => Some((p.applied(), p.epoch())),
+            SlotState::Frozen(_) => Some((slot.applied, slot.epoch)),
+            SlotState::Fresh | SlotState::Running => None,
+        }
+    }
+
+    /// A byte-stable snapshot of a quiescent session:
+    /// `(applied, epoch, blob)`. Frozen slots hand back their blob
+    /// without thawing; `Fresh` and `Running` slots return `None`.
+    pub fn snapshot_session(&self, session: u64) -> Option<(u64, u64, Vec<u8>)> {
+        let slot = self.slots.get(&session)?;
+        match &slot.state {
+            SlotState::Live(p) => Some((p.applied(), p.epoch(), p.to_snapshot())),
+            SlotState::Frozen(blob) => Some((slot.applied, slot.epoch, blob.clone())),
+            SlotState::Fresh | SlotState::Running => None,
+        }
+    }
+
+    /// Installs a recovered session as a frozen slot, as if it had
+    /// been evicted at `applied`/`epoch`. Recovery calls this before
+    /// any traffic reaches the rebuilt service; the slot thaws lazily
+    /// on first dispatch like any evicted session.
+    pub fn preload_session(&mut self, session: u64, blob: Vec<u8>, applied: u64, epoch: u64) {
+        let slot = self.slots.entry(session).or_insert_with(Slot::new);
+        slot.state = SlotState::Frozen(blob);
+        slot.applied = applied;
+        slot.epoch = epoch;
+    }
 }

@@ -1,0 +1,207 @@
+//! The checksummed snapshot store.
+//!
+//! Each session keeps up to two snapshot files, `snap-{session:016x}.0`
+//! and `.1`, written alternately so the previous durable snapshot
+//! survives until the next one is safely on disk (a crash mid-write
+//! can cost at most the newest generation). One file holds one frame:
+//!
+//! ```text
+//! SnapWriter header: magic "LTSF" (u32) | version (u32)
+//! body             : session (u64) | epoch (u64) | applied (u64)
+//!                  | blob_len (u64) | blob bytes ("LTSE" pipeline snapshot)
+//! trailer          : crc32 over everything above (u32)
+//! ```
+//!
+//! Decoding is fully defensive: any malformed frame yields a typed
+//! [`RecoveryError`], never a panic, and recovery simply falls back to
+//! the other generation (or a fresh session).
+
+use crate::journal::RecoveryError;
+use crate::storage::Storage;
+use latch_core::snapshot::{SnapReader, SnapWriter};
+
+/// Snapshot frame magic: "LTSF" (LaTch Snapshot Frame).
+pub const SNAP_FRAME_MAGIC: u32 = 0x4C54_5346;
+/// Snapshot frame format version.
+pub const SNAP_FRAME_VERSION: u32 = 1;
+/// Cap on an embedded pipeline blob; length prefixes above this are
+/// treated as corruption, bounding allocation on hostile files.
+pub const SNAP_MAX_BLOB: usize = 1 << 28;
+
+/// The snapshot file name for a session and generation (0 or 1).
+#[must_use]
+pub fn snap_name(session: u64, generation: u8) -> String {
+    format!("snap-{session:016x}.{generation}")
+}
+
+/// Parses `(session, generation)` back out of a `snap-*` file name.
+#[must_use]
+pub fn parse_snap_name(name: &str) -> Option<(u64, u8)> {
+    let rest = name.strip_prefix("snap-")?;
+    let (hex, generation) = rest.split_once('.')?;
+    if hex.len() != 16 {
+        return None;
+    }
+    let session = u64::from_str_radix(hex, 16).ok()?;
+    let generation = match generation {
+        "0" => 0,
+        "1" => 1,
+        _ => return None,
+    };
+    Some((session, generation))
+}
+
+/// One decoded snapshot frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapFrame {
+    /// The session this frame belongs to.
+    pub session: u64,
+    /// Recovery generation the snapshot was taken in.
+    pub epoch: u64,
+    /// Events the pipeline had applied when snapshotted.
+    pub applied: u64,
+    /// The embedded "LTSE" pipeline snapshot.
+    pub blob: Vec<u8>,
+}
+
+impl SnapFrame {
+    /// Whether this frame is newer than `other`: epoch dominates (a
+    /// post-recovery history supersedes any pre-crash one), then the
+    /// applied counter.
+    #[must_use]
+    pub fn newer_than(&self, other: &SnapFrame) -> bool {
+        (self.epoch, self.applied) > (other.epoch, other.applied)
+    }
+}
+
+/// Encodes a snapshot frame.
+#[must_use]
+pub fn encode_frame(session: u64, epoch: u64, applied: u64, blob: &[u8]) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    w.header(SNAP_FRAME_MAGIC, SNAP_FRAME_VERSION);
+    w.u64(session);
+    w.u64(epoch);
+    w.u64(applied);
+    w.u64(blob.len() as u64);
+    w.bytes(blob);
+    w.finish_crc()
+}
+
+/// Decodes a snapshot frame for `session`, rejecting anything
+/// malformed with a typed error. The embedded blob is *not* decoded
+/// here — the caller thaws it (and may still quarantine it if the
+/// inner "LTSE" decode fails).
+pub fn decode_frame(session: u64, bytes: &[u8]) -> Result<SnapFrame, RecoveryError> {
+    let mut r = SnapReader::new(bytes);
+    let Ok(_) = r.header(SNAP_FRAME_MAGIC, SNAP_FRAME_VERSION) else {
+        return Err(RecoveryError::BadHeader);
+    };
+    if r.trim_crc().is_err() {
+        return Err(RecoveryError::BadFrameCrc);
+    }
+    let parse = |r: &mut SnapReader| -> Result<SnapFrame, latch_core::snapshot::SnapError> {
+        let session = r.u64()?;
+        let epoch = r.u64()?;
+        let applied = r.u64()?;
+        let blob_len = r.len(1)?;
+        let blob = r.bytes(blob_len)?.to_vec();
+        r.expect_end()?;
+        Ok(SnapFrame {
+            session,
+            epoch,
+            applied,
+            blob,
+        })
+    };
+    let frame = parse(&mut r).map_err(|_| RecoveryError::BadSnapshot)?;
+    if frame.blob.len() > SNAP_MAX_BLOB {
+        return Err(RecoveryError::OversizedFrame);
+    }
+    if frame.session != session {
+        return Err(RecoveryError::SessionMismatch);
+    }
+    Ok(frame)
+}
+
+/// Writes a snapshot frame to generation `generation` of `session`'s
+/// store slot (atomically replacing any previous frame there).
+pub fn write_frame<S: Storage>(
+    storage: &mut S,
+    session: u64,
+    generation: u8,
+    epoch: u64,
+    applied: u64,
+    blob: &[u8],
+) -> bool {
+    storage.write_atomic(
+        &snap_name(session, generation),
+        &encode_frame(session, epoch, applied, blob),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemStorage;
+    use latch_faults::FaultPlan;
+
+    #[test]
+    fn snap_names_roundtrip() {
+        assert_eq!(parse_snap_name(&snap_name(9, 0)), Some((9, 0)));
+        assert_eq!(parse_snap_name(&snap_name(u64::MAX, 1)), Some((u64::MAX, 1)));
+        assert_eq!(parse_snap_name("snap-0000000000000009.2"), None);
+        assert_eq!(parse_snap_name("wal-0000000000000009"), None);
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let blob = vec![7u8; 300];
+        let enc = encode_frame(4, 2, 1234, &blob);
+        let frame = decode_frame(4, &enc).unwrap();
+        assert_eq!(frame.session, 4);
+        assert_eq!(frame.epoch, 2);
+        assert_eq!(frame.applied, 1234);
+        assert_eq!(frame.blob, blob);
+    }
+
+    #[test]
+    fn newer_than_orders_by_epoch_then_applied() {
+        let f = |epoch, applied| SnapFrame {
+            session: 0,
+            epoch,
+            applied,
+            blob: Vec::new(),
+        };
+        assert!(f(1, 10).newer_than(&f(0, 999)), "epoch dominates");
+        assert!(f(0, 11).newer_than(&f(0, 10)));
+        assert!(!f(0, 10).newer_than(&f(0, 10)));
+    }
+
+    #[test]
+    fn every_bitflip_and_truncation_is_typed() {
+        let enc = encode_frame(1, 0, 64, &[9u8; 128]);
+        for i in 0..enc.len() {
+            let mut bad = enc.clone();
+            bad[i] ^= 0x20;
+            assert!(decode_frame(1, &bad).is_err(), "flip at {i} undetected");
+        }
+        for cut in 0..enc.len() {
+            assert!(decode_frame(1, &enc[..cut]).is_err(), "cut at {cut} undetected");
+        }
+        // Wrong session id in an otherwise valid frame.
+        assert_eq!(
+            decode_frame(2, &enc),
+            Err(RecoveryError::SessionMismatch)
+        );
+    }
+
+    #[test]
+    fn write_frame_replaces_in_place() {
+        let mut s = MemStorage::new(FaultPlan::benign());
+        assert!(write_frame(&mut s, 5, 0, 0, 10, b"aaa"));
+        assert!(write_frame(&mut s, 5, 0, 0, 20, b"bbb"));
+        let frame = decode_frame(5, &s.read(&snap_name(5, 0)).unwrap()).unwrap();
+        assert_eq!(frame.applied, 20);
+        assert_eq!(frame.blob, b"bbb");
+    }
+}

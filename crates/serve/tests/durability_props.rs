@@ -1,0 +1,224 @@
+//! Kill-anywhere durability properties.
+//!
+//! The contract under test: a [`DurableService`] killed at *any*
+//! storage-operation boundary, under seeded disk faults (torn writes,
+//! bit rot, truncated reads, failed fsyncs), recovers to an **exact
+//! prefix** of each session's submitted stream — never panicking,
+//! never corrupting state — and re-submitting the lost suffix yields
+//! `SessionReport`s byte-identical to a solo pipeline that never
+//! crashed.
+
+use latch_faults::FaultPlan;
+use latch_serve::{
+    DurableConfig, DurableService, MemStorage, Rejected, ServeConfig,
+};
+use latch_sim::event::{Event, EventSource};
+use latch_systems::session::SessionPipeline;
+use latch_workloads::{all_profiles, BenchmarkProfile};
+use proptest::prelude::*;
+
+fn stream(profile: &BenchmarkProfile, seed: u64, n: u64) -> Vec<Event> {
+    let mut src = profile.stream(seed, n);
+    let mut out = Vec::new();
+    while let Some(ev) = src.next_event() {
+        out.push(ev);
+    }
+    out
+}
+
+fn solo(evs: &[Event], scrub_interval: u64) -> Vec<u8> {
+    let mut pipe = SessionPipeline::new(scrub_interval);
+    for ev in evs {
+        pipe.apply(ev);
+    }
+    pipe.report().encode()
+}
+
+/// Submits every stream in round-robin chunks, pumping between rounds.
+fn drive(
+    svc: &mut DurableService<MemStorage>,
+    streams: &[Vec<Event>],
+    chunk: usize,
+) {
+    let rounds = streams
+        .iter()
+        .map(|evs| evs.len().div_ceil(chunk))
+        .max()
+        .unwrap_or(0);
+    for r in 0..rounds {
+        for (s, evs) in streams.iter().enumerate() {
+            let lo = r * chunk;
+            if lo >= evs.len() {
+                continue;
+            }
+            let hi = (lo + chunk).min(evs.len());
+            loop {
+                match svc.submit(s as u64, &evs[lo..hi]) {
+                    Ok(()) => break,
+                    Err(Rejected::QueueFull { .. } | Rejected::SessionBusy { .. }) => {
+                        svc.pump();
+                    }
+                    Err(Rejected::ShuttingDown) => unreachable!("not draining"),
+                }
+            }
+        }
+        svc.pump();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The tentpole property. Crash point and fault mix are arbitrary;
+    /// equality with the uninterrupted solo pipeline is exact.
+    #[test]
+    fn kill_anywhere_recovery_is_an_exact_prefix(
+        seed in 0u64..100_000,
+        sessions in 1usize..4,
+        chunk in 24usize..128,
+        crash_permille in 0u64..1001,
+        torn in prop_oneof![Just(0u32), Just(300u32), Just(1000u32)],
+        bitrot in prop_oneof![Just(0u32), Just(150u32)],
+        short_reads in prop_oneof![Just(0u32), Just(150u32)],
+        fsync_fail in prop_oneof![Just(0u32), Just(300u32)],
+        group_commit in 1u64..200,
+        snapshot_every in 50u64..500,
+    ) {
+        let profiles = all_profiles();
+        let streams: Vec<Vec<Event>> = (0..sessions)
+            .map(|s| stream(&profiles[(seed as usize + s) % profiles.len()], seed + s as u64, 900))
+            .collect();
+        let cfg = ServeConfig {
+            workers: 2,
+            max_resident: 2,
+            seed,
+            ..ServeConfig::default()
+        };
+        let dcfg = DurableConfig { group_commit_events: group_commit, snapshot_every };
+        let plan = FaultPlan::new(seed ^ 0xD15C).with_disk_faults(torn, bitrot, short_reads, fsync_fail);
+
+        // Run, then get killed at an arbitrary storage-op boundary.
+        let mut svc = DurableService::new(cfg, dcfg, plan, MemStorage::new(plan));
+        drive(&mut svc, &streams, chunk);
+        let storage = svc.crash();
+        let crash_op = (storage.ops_len() as u64 * crash_permille / 1000) as usize;
+        let image = storage.crash_image(crash_op);
+
+        // Recover: typed quarantines only, never a panic.
+        let (mut svc, report) = DurableService::recover(cfg, dcfg, plan, image);
+        for (&s, rec) in &report.sessions {
+            prop_assert_eq!(rec.recovered, rec.snapshot_applied + rec.replayed);
+            prop_assert!(
+                rec.recovered <= streams[s as usize].len() as u64,
+                "session {} recovered {} of {} submitted",
+                s, rec.recovered, streams[s as usize].len()
+            );
+            prop_assert_eq!(rec.epoch >= 1, true, "recovery must bump the epoch");
+        }
+
+        // Re-submit each session's lost suffix; the rejoined stream
+        // must be byte-identical to a run that never crashed.
+        let suffixes: Vec<Vec<Event>> = streams
+            .iter()
+            .enumerate()
+            .map(|(s, evs)| {
+                let recovered = report
+                    .sessions
+                    .get(&(s as u64))
+                    .map_or(0, |r| r.recovered) as usize;
+                evs[recovered..].to_vec()
+            })
+            .collect();
+        drive(&mut svc, &suffixes, chunk);
+        let (out, _storage) = svc.finish();
+        for (s, evs) in streams.iter().enumerate() {
+            prop_assert_eq!(
+                &out.sessions[&(s as u64)].encode(),
+                &solo(evs, cfg.scrub_interval),
+                "session {} diverged after crash at op {}/{}",
+                s, crash_op, storage.ops_len()
+            );
+        }
+    }
+
+    /// Recovery of the same crash image is deterministic: identical
+    /// reports, identical quarantine lists, byte-identical state.
+    #[test]
+    fn recovery_is_deterministic(
+        seed in 0u64..100_000,
+        crash_permille in 0u64..1001,
+        torn in prop_oneof![Just(300u32), Just(1000u32)],
+    ) {
+        let profiles = all_profiles();
+        let evs = stream(&profiles[seed as usize % profiles.len()], seed, 700);
+        let cfg = ServeConfig { workers: 2, seed, ..ServeConfig::default() };
+        let dcfg = DurableConfig { group_commit_events: 64, snapshot_every: 200 };
+        let plan = FaultPlan::new(seed).with_disk_faults(torn, 100, 100, 200);
+        let mut svc = DurableService::new(cfg, dcfg, plan, MemStorage::new(plan));
+        drive(&mut svc, std::slice::from_ref(&evs), 60);
+        let storage = svc.crash();
+        let crash_op = (storage.ops_len() as u64 * crash_permille / 1000) as usize;
+
+        let recover = || {
+            let (svc, report) = DurableService::recover(cfg, dcfg, plan, storage.crash_image(crash_op));
+            let (out, _) = svc.finish();
+            (out.sessions.get(&0).map(latch_systems::session::SessionReport::encode), report)
+        };
+        let (state_a, report_a) = recover();
+        let (state_b, report_b) = recover();
+        prop_assert_eq!(state_a, state_b);
+        prop_assert_eq!(report_a.sessions, report_b.sessions);
+        prop_assert_eq!(report_a.quarantined, report_b.quarantined);
+    }
+}
+
+/// Happy path: an uninterrupted durable run equals the plain service,
+/// and a recovery from its final store resumes exactly where it ended.
+#[test]
+fn clean_shutdown_then_recovery_restores_everything() {
+    let profiles = all_profiles();
+    let streams: Vec<Vec<Event>> = (0..3)
+        .map(|s| stream(&profiles[s % profiles.len()], 40 + s as u64, 1_200))
+        .collect();
+    let cfg = ServeConfig {
+        workers: 2,
+        seed: 17,
+        ..ServeConfig::default()
+    };
+    let dcfg = DurableConfig {
+        group_commit_events: 32,
+        snapshot_every: 300,
+    };
+    let plan = FaultPlan::benign();
+    let mut svc = DurableService::new(cfg, dcfg, plan, MemStorage::new(plan));
+    drive(&mut svc, &streams, 100);
+    let (out, storage) = svc.finish();
+    for (s, evs) in streams.iter().enumerate() {
+        assert_eq!(
+            out.sessions[&(s as u64)].encode(),
+            solo(evs, cfg.scrub_interval),
+            "session {s} diverged in the durable happy path"
+        );
+    }
+
+    // Everything was applied and snapshotted before the shutdown, so
+    // recovery finds complete state: zero replay needed, zero lost.
+    let (svc, report) = DurableService::recover(cfg, dcfg, plan, storage);
+    assert!(report.quarantined.is_empty(), "{:?}", report.quarantined);
+    for (s, evs) in streams.iter().enumerate() {
+        let rec = &report.sessions[&(s as u64)];
+        assert_eq!(
+            rec.recovered,
+            evs.len() as u64,
+            "session {s} must recover fully from a clean shutdown"
+        );
+    }
+    let (out2, _) = svc.finish();
+    for (s, evs) in streams.iter().enumerate() {
+        assert_eq!(
+            out2.sessions[&(s as u64)].encode(),
+            solo(evs, cfg.scrub_interval),
+            "session {s} diverged after clean recovery"
+        );
+    }
+}

@@ -29,7 +29,10 @@ use latch_sim::machine::apply_event_dift;
 
 /// Snapshot magic: "LTSE" (LaTch SEssion).
 const SNAP_MAGIC: u32 = 0x4C54_5345;
-const SNAP_VERSION: u32 = 1;
+/// Current snapshot format version. Version 2 adds the session epoch
+/// field and a CRC-32 trailer over the whole blob; version-1 blobs
+/// (no epoch, no trailer) are still read with `epoch = 0`.
+const SNAP_VERSION: u32 = 2;
 
 /// One session's complete taint-checking state.
 ///
@@ -45,6 +48,7 @@ pub struct SessionPipeline {
     selected: u64,
     cycles: u64,
     scrub_interval: u64,
+    epoch: u64,
     violations: Vec<(u64, SecurityViolation)>,
 }
 
@@ -61,6 +65,7 @@ impl SessionPipeline {
             selected: 0,
             cycles: 0,
             scrub_interval,
+            epoch: 0,
             violations: Vec::new(),
         }
     }
@@ -143,6 +148,24 @@ impl SessionPipeline {
         self.applied
     }
 
+    /// Recovery generation of this session. Starts at 0 and is bumped
+    /// once per successful crash recovery; it orders snapshot frames
+    /// whose `applied` counters alone would be ambiguous after a
+    /// post-recovery history diverges from a pre-crash one.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Marks the start of a new recovery generation. Called exactly
+    /// once by the serving layer's recovery path, never during normal
+    /// operation. The epoch is carried in snapshots but excluded from
+    /// [`SessionReport`], so recovered runs still compare byte-identical
+    /// to uninterrupted ones.
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
     /// Simulated cycles consumed so far (one per event plus coarse-tier
     /// check and taint-update penalties).
     #[must_use]
@@ -190,12 +213,13 @@ impl SessionPipeline {
         w.u64(self.selected);
         w.u64(self.cycles);
         w.u64(self.scrub_interval);
+        w.u64(self.epoch);
         w.u64(self.violations.len() as u64);
         for (seq, v) in &self.violations {
             w.u64(*seq);
             v.snap_encode(&mut w);
         }
-        w.finish()
+        w.finish_crc()
     }
 
     /// Inverse of [`to_snapshot`](Self::to_snapshot).
@@ -206,7 +230,10 @@ impl SessionPipeline {
     /// from an incompatible version.
     pub fn from_snapshot(blob: &[u8]) -> Result<Self, SnapError> {
         let mut r = SnapReader::new(blob);
-        r.header(SNAP_MAGIC, SNAP_VERSION)?;
+        let version = r.header(SNAP_MAGIC, SNAP_VERSION)?;
+        if version >= 2 {
+            r.trim_crc()?;
+        }
         let n = r.len(1)?;
         let latch = LatchUnit::from_snapshot(r.bytes(n)?)?;
         let n = r.len(1)?;
@@ -216,6 +243,7 @@ impl SessionPipeline {
         let selected = r.u64()?;
         let cycles = r.u64()?;
         let scrub_interval = r.u64()?;
+        let epoch = if version >= 2 { r.u64()? } else { 0 };
         let n = r.len(14)?;
         let mut violations = Vec::with_capacity(n);
         for _ in 0..n {
@@ -231,6 +259,7 @@ impl SessionPipeline {
             selected,
             cycles,
             scrub_interval,
+            epoch,
             violations,
         })
     }
@@ -355,6 +384,37 @@ mod tests {
         let mut long = blob;
         long.push(0);
         assert!(SessionPipeline::from_snapshot(&long).is_err());
+    }
+
+    #[test]
+    fn epoch_survives_snapshot_but_not_report() {
+        let evs = events("hmmer", 12, 1_000);
+        let mut pipe = SessionPipeline::new(256);
+        for ev in &evs {
+            pipe.apply(ev);
+        }
+        let before = pipe.report().encode();
+        pipe.bump_epoch();
+        pipe.bump_epoch();
+        let thawed = SessionPipeline::from_snapshot(&pipe.to_snapshot()).unwrap();
+        assert_eq!(thawed.epoch(), 2);
+        assert_eq!(thawed.report().encode(), before, "epoch must not leak into reports");
+    }
+
+    #[test]
+    fn corrupt_snapshot_body_is_caught_by_checksum() {
+        let evs = events("gromacs", 13, 500);
+        let mut pipe = SessionPipeline::new(128);
+        for ev in &evs {
+            pipe.apply(ev);
+        }
+        let blob = pipe.to_snapshot();
+        // Flip one bit somewhere in the body (past the header, before
+        // the trailer): the CRC must reject it with a typed error.
+        let mut bad = blob;
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x40;
+        assert!(SessionPipeline::from_snapshot(&bad).is_err());
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Hostile-bytes fuzzing of every snapshot decoder (LTCH, LTDF, LTSE).
+//!
+//! The invariant: `from_snapshot` over *any* byte buffer — random
+//! garbage, truncations at every length, single bit flips anywhere in
+//! a valid blob — returns a typed [`SnapError`] or a valid value. It
+//! never panics and never over-allocates from a hostile length field.
+
+use latch_core::config::LatchConfig;
+use latch_core::unit::LatchUnit;
+use latch_dift::engine::DiftEngine;
+use latch_sim::event::EventSource;
+use latch_systems::session::SessionPipeline;
+use latch_workloads::all_profiles;
+use proptest::prelude::*;
+
+/// One realistic, populated blob per codec.
+fn valid_blobs() -> Vec<(&'static str, Vec<u8>)> {
+    let mut unit = LatchUnit::new(LatchConfig::s_latch().build().expect("preset is valid"));
+    unit.write_taint(0x1000, 64, true);
+    unit.check_read(0x1000, 8);
+    unit.check_write(0x8000, 16);
+
+    let mut dift = DiftEngine::new();
+    dift.taint_region(0x1000, 64, latch_dift::tag::TaintTag(3));
+    dift.clear_region(0x1010, 8);
+
+    let mut pipe = SessionPipeline::new(128);
+    let profile = &all_profiles()[0];
+    let mut src = profile.stream(9, 400);
+    while let Some(ev) = src.next_event() {
+        pipe.apply(&ev);
+    }
+
+    vec![
+        ("LTCH", unit.to_snapshot()),
+        ("LTDF", dift.to_snapshot()),
+        ("LTSE", pipe.to_snapshot()),
+    ]
+}
+
+/// Decoding must return `Ok` or a typed error — the call itself is the
+/// assertion; a panic or abort fails the test.
+fn decode_all(codec: &str, bytes: &[u8]) -> bool {
+    match codec {
+        "LTCH" => LatchUnit::from_snapshot(bytes).is_ok(),
+        "LTDF" => DiftEngine::from_snapshot(bytes).is_ok(),
+        "LTSE" => SessionPipeline::from_snapshot(bytes).is_ok(),
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn every_truncation_is_rejected_without_panic() {
+    for (codec, blob) in valid_blobs() {
+        for cut in 0..blob.len() {
+            assert!(
+                !decode_all(codec, &blob[..cut]),
+                "{codec}: truncation to {cut}/{} bytes decoded successfully",
+                blob.len()
+            );
+        }
+        assert!(decode_all(codec, &blob), "{codec}: pristine blob must decode");
+    }
+}
+
+#[test]
+fn every_single_bitflip_is_rejected_without_panic() {
+    // CRC-32 detects all single-bit errors, so a flipped blob must
+    // yield a typed error — whichever layer (magic, version, length
+    // bound, checksum) catches it first.
+    for (codec, blob) in valid_blobs() {
+        for byte in 0..blob.len() {
+            for bit in 0..8 {
+                let mut bad = blob.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    !decode_all(codec, &bad),
+                    "{codec}: bit {bit} of byte {byte} flipped yet decoded successfully"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pure garbage of arbitrary length never panics a decoder.
+    #[test]
+    fn random_garbage_never_panics(
+        bytes in proptest::collection::vec(0u8..=255, 0..512),
+    ) {
+        for (codec, _) in valid_blobs() {
+            // Result ignored: garbage may by chance be rejected at any
+            // layer; only absence of panics/overallocation is asserted.
+            let _ = decode_all(codec, &bytes);
+        }
+    }
+
+    /// A valid header followed by hostile body bytes (including huge
+    /// length fields) is bounded by the buffer, never trusted.
+    #[test]
+    fn hostile_bodies_behind_valid_headers_never_panic(
+        tail in proptest::collection::vec(0u8..=255, 0..256),
+    ) {
+        for (codec, blob) in valid_blobs() {
+            let mut bad = blob[..12.min(blob.len())].to_vec();
+            bad.extend_from_slice(&tail);
+            let _ = decode_all(codec, &bad);
+        }
+    }
+}

@@ -32,6 +32,17 @@ cargo test -q -p latch-serve --features obs
 echo "==> latch-serve (fixed-seed multi-worker stress, release)"
 cargo test -q --release -p latch-serve threaded_stress_eight_workers_fixed_seed
 
+# Crash-recovery stress: a fixed-seed kill loop over the real-directory
+# storage backend. Each iteration kills a durable service mid-stream,
+# mangles the surviving files (torn WAL tail, snapshot bit rot),
+# recovers, and requires byte-identical reports vs. an uninterrupted
+# run — with every corrupt frame quarantined, never a panic.
+echo "==> latch-serve crash_stress (fixed-seed kill loop, real dir backend)"
+CRASH_DIR="$(mktemp -d)"
+cargo run --release -q -p latch-serve --bin crash_stress -- \
+    --seed 7 --iters 24 --dir "$CRASH_DIR"
+rm -rf "$CRASH_DIR"
+
 echo "==> cargo clippy --workspace (deny warnings)"
 cargo clippy -q --workspace --all-targets -- -D warnings
 
