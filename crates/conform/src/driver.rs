@@ -38,12 +38,15 @@ use latch_dift::policy::{SecurityViolation, SourceKind, TaintPolicy};
 use latch_dift::prop::PropRule;
 use latch_dift::tag::TaintTag;
 use latch_faults::FaultPlan;
+use latch_faults::FaultInjector;
 use latch_serve::{
-    DurableConfig, DurableService, MemStorage, ServeConfig, Service,
+    DurableConfig, DurableService, FailoverRecord, MemStorage, MultiIngress, Priority,
+    Rejected, ServeConfig, Service, ServiceOutcome, Slo, SloReport,
 };
 use latch_sim::event::{Event, MemAccess, MemAccessKind, SourceInput, VecSource};
 use latch_sim::machine::apply_event_dift;
 use latch_systems::hlatch::HLatch;
+use latch_systems::session::SessionPipeline;
 use latch_systems::platch_mt::{run_resilient, RecoveryPolicy, ResilienceConfig};
 use latch_systems::slatch::SLatch;
 use latch_workloads::BenchmarkProfile;
@@ -148,6 +151,16 @@ pub enum Divergence {
         /// Which transform + leg disagreed.
         leg: &'static str,
     },
+    /// The overload leg broke a contract: a deterministic artifact
+    /// (shed set, SLO report stream, failover history) changed between
+    /// identical reruns, a session's report diverged from a solo run of
+    /// its admitted stream, or the drive failed to make progress.
+    Overload {
+        /// Which leg disagreed.
+        leg: &'static str,
+        /// What broke.
+        what: &'static str,
+    },
     /// S-LATCH's native re-execution produced a different trace length
     /// than the materialisation run (the register discipline failed).
     TraceMismatch {
@@ -177,6 +190,7 @@ impl fmt::Display for Divergence {
             Divergence::Metamorphic { leg } => {
                 write!(f, "{leg}: metamorphic transform changed the verdict")
             }
+            Divergence::Overload { leg, what } => write!(f, "{leg}: {what}"),
             Divergence::TraceMismatch { expected, got } => {
                 write!(f, "s-latch: native re-execution retired {got} instrs, trace has {expected}")
             }
@@ -570,6 +584,147 @@ pub fn check(prog: &TestProgram, opts: &CheckOptions) -> Result<Verdict, Box<Div
             let violations: Vec<SecurityViolation> =
                 pipe.violations().iter().map(|(_, v)| v.clone()).collect();
             compare_violations("durable-serve", &violations, &golden)?;
+        }
+    }
+
+    // ---- leg 8: overload-serve — shed, degrade, fail over ------------
+    // Three sessions at three priorities feed the same trace through
+    // replicated ingress fronts while the fault plan injects bursts,
+    // slow clients, feed stalls, and feed deaths, and the armed SLO
+    // sheds and demotes under the resulting pressure. The contracts:
+    // every deterministic artifact (shed set, SLO report stream,
+    // failover history) is byte-identical across reruns; every session
+    // ends byte-identical to a solo run of its *admitted* (non-shed)
+    // stream; and the coarse state still covers precise taint — zero
+    // false negatives even through coarse-only degraded spans.
+    if !desugared.is_empty() {
+        const CHUNK: usize = 32;
+        const PRIOS: [(u64, Priority); 3] = [
+            (0, Priority::Critical),
+            (1, Priority::Normal),
+            (2, Priority::Bulk),
+        ];
+        let cfg = ServeConfig {
+            workers: 1,
+            queue_events: 512,
+            batch_max: 32,
+            max_resident: 2,
+            seed: opts.fault_seed,
+            slo: Slo {
+                slo_cycles: 2,
+                window: 32,
+                report_every: 4,
+                demote_after: 1,
+                promote_after: 2,
+                max_degraded: 2,
+                queue_pressure_pct: 50,
+            },
+            ..ServeConfig::default()
+        };
+        let plan = FaultPlan::new(opts.fault_seed ^ 0x0B5E)
+            .with_overload(180, 4, 150)
+            .with_feed_faults(150, 4, 120);
+        struct OverloadRun {
+            admitted: Vec<Vec<Event>>,
+            sheds: Vec<(u64, u8, u8)>,
+            slo_bytes: Vec<u8>,
+            failovers: Vec<Vec<FailoverRecord>>,
+            out: ServiceOutcome,
+        }
+        let overload = |leg: &'static str, what: &'static str| {
+            Box::new(Divergence::Overload { leg, what })
+        };
+        let run = || -> Result<OverloadRun, Box<Divergence>> {
+            let mut svc = Service::deterministic(cfg, plan);
+            let mut inj = FaultInjector::new(plan);
+            let mut feeds: Vec<MultiIngress> = PRIOS
+                .iter()
+                .map(|&(s, _)| MultiIngress::new(s, desugared.clone(), 1))
+                .collect();
+            let mut admitted = vec![Vec::new(); PRIOS.len()];
+            let mut sheds = Vec::new();
+            let mut round = 0u64;
+            while feeds.iter().any(|f| !f.drained()) {
+                if round > 1_000_000 {
+                    return Err(overload("overload-serve", "drive failed to make progress"));
+                }
+                let factor = inj.burst_factor_at(round).unwrap_or(1) as usize;
+                let slow = inj.slow_client_at(round);
+                for (i, &(s, prio)) in PRIOS.iter().enumerate() {
+                    if slow && prio != Priority::Critical {
+                        continue; // slow clients sit a round out; critical traffic keeps flowing
+                    }
+                    let batch = feeds[i].poll(&mut inj, CHUNK * factor).to_vec();
+                    if batch.is_empty() {
+                        continue; // stalled, failing over, or drained
+                    }
+                    match svc.submit_with_priority(s, &batch, prio) {
+                        Ok(()) => {
+                            admitted[i].extend_from_slice(&batch);
+                            feeds[i].ack(batch.len());
+                        }
+                        Err(Rejected::Shed { priority, pressure, .. }) => {
+                            sheds.push((s, priority.rank(), pressure));
+                            feeds[i].ack(batch.len()); // shed events are dropped on purpose
+                        }
+                        Err(Rejected::QueueFull { .. } | Rejected::SessionBusy { .. }) => {
+                            svc.pump(); // unacked: the same peek returns next round
+                        }
+                        Err(Rejected::ShuttingDown) => unreachable!("not draining"),
+                    }
+                }
+                svc.pump();
+                round += 1;
+            }
+            let out = svc.finish();
+            let slo_bytes = out.slo_reports.iter().flat_map(SloReport::encode).collect();
+            let failovers = feeds.into_iter().map(|f| f.into_report().failovers).collect();
+            Ok(OverloadRun { admitted, sheds, slo_bytes, failovers, out })
+        };
+
+        let a = run()?;
+        let b = run()?;
+        if a.sheds != b.sheds {
+            return Err(overload("overload-serve", "shed set changed between reruns"));
+        }
+        if a.slo_bytes != b.slo_bytes {
+            return Err(overload("overload-serve", "SLO report stream changed between reruns"));
+        }
+        if a.failovers != b.failovers {
+            return Err(overload("overload-serve", "failover history changed between reruns"));
+        }
+        for (i, &(s, prio)) in PRIOS.iter().enumerate() {
+            if prio == Priority::Critical && a.admitted[i].len() != desugared.len() {
+                return Err(overload("overload-serve", "critical traffic was shed"));
+            }
+            let Some(pipe) = a.out.pipelines.get(&s) else {
+                // Every submission was shed before the first admission,
+                // so the session never got a slot. Nothing to compare —
+                // but then nothing may have been admitted either.
+                if a.admitted[i].is_empty() {
+                    continue;
+                }
+                return Err(overload("overload-serve", "admitted events but no pipeline"));
+            };
+            // Zero false negatives, even through coarse-only spans.
+            check_superset(
+                "overload-serve",
+                pipe.latch(),
+                &ShadowView(pipe.engine()),
+                &golden.touched_pages,
+                desugared.len(),
+            )?;
+            // The admitted (non-shed) stream must reproduce exactly.
+            let mut solo = SessionPipeline::new(cfg.scrub_interval);
+            for ev in &a.admitted[i] {
+                solo.apply(ev);
+            }
+            if a.out.sessions[&s].encode() != solo.report().encode() {
+                return Err(overload(
+                    "overload-serve",
+                    "session report diverged from a solo run of its admitted stream",
+                ));
+            }
         }
     }
 

@@ -53,6 +53,12 @@ pub enum Stream {
     DiskTruncate = 16,
     DiskTruncateByte = 17,
     FsyncFail = 18,
+    BurstArrival = 19,
+    BurstFactor = 20,
+    SlowClient = 21,
+    FeedStall = 22,
+    FeedStallLen = 23,
+    FeedDeath = 24,
 }
 
 /// Which coarse structure a bit flip lands in.
@@ -186,6 +192,42 @@ impl DiskFaultConfig {
     };
 }
 
+/// Configures overload faults (the `latch-serve` layer): bursty
+/// arrival (a submission round offers a multiple of its normal load),
+/// slow clients (a round trickles events in instead of its full
+/// chunk), and ingress-feed faults (a feed path silently stalls for a
+/// few polls, or dies outright). All rates are per round / per poll,
+/// in parts per mille, and every decision is pure in
+/// `(seed, stream, index)` — reruns shed and fail over identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverloadFaultConfig {
+    /// Probability per submission round of a burst.
+    pub burst_per_mille: u32,
+    /// Load multiplier applied to a bursting round (≥ 2 when armed).
+    pub burst_factor: u32,
+    /// Probability per submission round that a client goes slow and
+    /// trickles instead of submitting its full chunk.
+    pub slow_per_mille: u32,
+    /// Probability per ingress poll that the polled feed path stalls.
+    pub feed_stall_per_mille: u32,
+    /// Longest stall, in missed polls, when one fires (≥ 1).
+    pub feed_stall_polls: u32,
+    /// Probability per ingress poll that the polled feed path dies.
+    pub feed_death_per_mille: u32,
+}
+
+impl OverloadFaultConfig {
+    /// No overload faults.
+    pub const OFF: Self = Self {
+        burst_per_mille: 0,
+        burst_factor: 0,
+        slow_per_mille: 0,
+        feed_stall_per_mille: 0,
+        feed_stall_polls: 0,
+        feed_death_per_mille: 0,
+    };
+}
+
 /// A complete, seeded description of the faults to inject into one run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultPlan {
@@ -195,6 +237,7 @@ pub struct FaultPlan {
     pub consumer: ConsumerFaultConfig,
     pub worker: WorkerFaultConfig,
     pub disk: DiskFaultConfig,
+    pub overload: OverloadFaultConfig,
 }
 
 impl FaultPlan {
@@ -208,6 +251,7 @@ impl FaultPlan {
             consumer: ConsumerFaultConfig::OFF,
             worker: WorkerFaultConfig::OFF,
             disk: DiskFaultConfig::OFF,
+            overload: OverloadFaultConfig::OFF,
         }
     }
 
@@ -303,6 +347,35 @@ impl FaultPlan {
         self
     }
 
+    /// Arms overload arrival faults: bursty rounds (offered load
+    /// multiplied by `burst_factor`) and slow-client rounds (clients
+    /// trickle instead of submitting their full chunk).
+    #[must_use]
+    pub fn with_overload(mut self, burst_per_mille: u32, burst_factor: u32, slow_per_mille: u32) -> Self {
+        assert!(
+            burst_per_mille <= 1000 && slow_per_mille <= 1000,
+            "per_mille out of range"
+        );
+        self.overload.burst_per_mille = burst_per_mille;
+        self.overload.burst_factor = burst_factor.max(2);
+        self.overload.slow_per_mille = slow_per_mille;
+        self
+    }
+
+    /// Arms ingress-feed faults: per-poll stalls of up to
+    /// `stall_polls` missed polls, and permanent feed death.
+    #[must_use]
+    pub fn with_feed_faults(mut self, stall_per_mille: u32, stall_polls: u32, death_per_mille: u32) -> Self {
+        assert!(
+            stall_per_mille <= 1000 && death_per_mille <= 1000,
+            "per_mille out of range"
+        );
+        self.overload.feed_stall_per_mille = stall_per_mille;
+        self.overload.feed_stall_polls = stall_polls.max(1);
+        self.overload.feed_death_per_mille = death_per_mille;
+        self
+    }
+
     /// Whether the plan injects anything at all.
     #[must_use]
     pub fn is_benign(&self) -> bool {
@@ -311,6 +384,7 @@ impl FaultPlan {
             && self.consumer == ConsumerFaultConfig::OFF
             && self.worker == WorkerFaultConfig::OFF
             && self.disk == DiskFaultConfig::OFF
+            && self.overload == OverloadFaultConfig::OFF
     }
 }
 
@@ -354,6 +428,10 @@ pub struct FaultStats {
     pub bitrots: u64,
     pub truncated_reads: u64,
     pub fsync_failures: u64,
+    pub bursts: u64,
+    pub slow_rounds: u64,
+    pub feed_stalls: u64,
+    pub feed_deaths: u64,
 }
 
 impl FaultStats {
@@ -373,6 +451,10 @@ impl FaultStats {
         self.bitrots += other.bitrots;
         self.truncated_reads += other.truncated_reads;
         self.fsync_failures += other.fsync_failures;
+        self.bursts += other.bursts;
+        self.slow_rounds += other.slow_rounds;
+        self.feed_stalls += other.feed_stalls;
+        self.feed_deaths += other.feed_deaths;
     }
 }
 
@@ -570,6 +652,64 @@ impl FaultInjector {
         }
     }
 
+    /// Whether submission round `round` is a burst, and if so the load
+    /// multiplier the arrival harness applies to the round's chunk.
+    pub fn burst_factor_at(&mut self, round: u64) -> Option<u32> {
+        let o = self.plan.overload;
+        if !fires(self.plan.seed, Stream::BurstArrival, round, o.burst_per_mille) {
+            return None;
+        }
+        self.stats.bursts += 1;
+        // Vary the factor per burst: 2..=burst_factor, pure in the round.
+        let span = u64::from(o.burst_factor.max(2) - 1);
+        let f = 2 + mix(self.plan.seed, Stream::BurstFactor as u64, round) % span;
+        Some(f as u32)
+    }
+
+    /// Whether the client submitting in round `round` goes slow and
+    /// trickles a minimal chunk instead of its full one.
+    pub fn slow_client_at(&mut self, round: u64) -> bool {
+        let o = self.plan.overload;
+        if fires(self.plan.seed, Stream::SlowClient, round, o.slow_per_mille) {
+            self.stats.slow_rounds += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Folds an ingress path index into a poll index so each path gets
+    /// an independent decision sequence from one stream.
+    fn feed_index(path: u32, poll: u64) -> u64 {
+        poll.wrapping_mul(8).wrapping_add(u64::from(path & 7))
+    }
+
+    /// Whether ingress path `path` stalls at poll `poll`, and if so for
+    /// how many polls (`1..=feed_stall_polls`) it yields nothing.
+    pub fn feed_stall_at(&mut self, path: u32, poll: u64) -> Option<u32> {
+        let o = self.plan.overload;
+        let idx = Self::feed_index(path, poll);
+        if !fires(self.plan.seed, Stream::FeedStall, idx, o.feed_stall_per_mille) {
+            return None;
+        }
+        self.stats.feed_stalls += 1;
+        let len = 1 + mix(self.plan.seed, Stream::FeedStallLen as u64, idx)
+            % u64::from(o.feed_stall_polls.max(1));
+        Some(len as u32)
+    }
+
+    /// Whether ingress path `path` dies permanently at poll `poll`.
+    pub fn feed_dies_at(&mut self, path: u32, poll: u64) -> bool {
+        let o = self.plan.overload;
+        let idx = Self::feed_index(path, poll);
+        if fires(self.plan.seed, Stream::FeedDeath, idx, o.feed_death_per_mille) {
+            self.stats.feed_deaths += 1;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Whether the consumer's first life ends once it has processed
     /// `events_processed` events.
     pub fn consumer_dies_now(&mut self, events_processed: u64) -> bool {
@@ -738,6 +878,64 @@ mod tests {
         assert_eq!(armed.disk_torn_at(0, 0), None, "empty write cannot tear");
         assert_eq!(armed.disk_bitrot_at(0, 0), None);
         assert_eq!(armed.disk_truncated_read_at(0, 0), None);
+    }
+
+    #[test]
+    fn overload_faults_are_deterministic_and_in_range() {
+        let plan = FaultPlan::new(55).with_overload(150, 6, 100).with_feed_faults(80, 5, 20);
+        assert!(!plan.is_benign());
+        let mut a = FaultInjector::new(plan);
+        let mut b = FaultInjector::new(plan);
+        for round in 0..5_000 {
+            let burst = a.burst_factor_at(round);
+            assert_eq!(burst, b.burst_factor_at(round));
+            if let Some(f) = burst {
+                assert!((2..=6).contains(&f), "burst factor in range, got {f}");
+            }
+            assert_eq!(a.slow_client_at(round), b.slow_client_at(round));
+            for path in 0..3 {
+                let stall = a.feed_stall_at(path, round);
+                assert_eq!(stall, b.feed_stall_at(path, round));
+                if let Some(polls) = stall {
+                    assert!((1..=5).contains(&polls), "stall length in range");
+                }
+                assert_eq!(a.feed_dies_at(path, round), b.feed_dies_at(path, round));
+            }
+        }
+        let stats = a.stats();
+        assert!(stats.bursts > 0);
+        assert!(stats.slow_rounds > 0);
+        assert!(stats.feed_stalls > 0);
+        assert!(stats.feed_deaths > 0);
+        assert_eq!(stats, b.stats());
+    }
+
+    #[test]
+    fn overload_faults_are_path_independent() {
+        // The same poll index must give independent decisions per path,
+        // so one poll's stall on the primary says nothing about the
+        // secondary's health.
+        let plan = FaultPlan::new(77).with_feed_faults(500, 4, 0);
+        let mut inj = FaultInjector::new(plan);
+        let per_path: Vec<Vec<bool>> = (0..3)
+            .map(|p| (0..2_000).map(|i| inj.feed_stall_at(p, i).is_some()).collect())
+            .collect();
+        assert_ne!(per_path[0], per_path[1]);
+        assert_ne!(per_path[1], per_path[2]);
+    }
+
+    #[test]
+    fn overload_faults_never_fire_when_off() {
+        let mut inj = FaultInjector::new(FaultPlan::benign());
+        for i in 0..2_000 {
+            assert_eq!(inj.burst_factor_at(i), None);
+            assert!(!inj.slow_client_at(i));
+            for path in 0..3 {
+                assert_eq!(inj.feed_stall_at(path, i), None);
+                assert!(!inj.feed_dies_at(path, i));
+            }
+        }
+        assert_eq!(inj.stats(), FaultStats::default());
     }
 
     #[test]

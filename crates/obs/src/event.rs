@@ -158,6 +158,49 @@ pub enum TraceEvent {
         /// Files found in the store.
         files: u64,
     },
+    /// The serving layer cut a periodic SLO latency report.
+    SloReport {
+        /// Batches sampled in the window.
+        samples: u32,
+        /// Median per-batch latency in model cycles.
+        p50_cycles: u64,
+        /// 99th-percentile per-batch latency in model cycles.
+        p99_cycles: u64,
+        /// Whether the p99 breached the configured SLO.
+        breach: bool,
+    },
+    /// An admission was shed under overload pressure.
+    SubmissionShed {
+        /// The session whose submission was rejected.
+        session: u64,
+        /// The session's priority rank (0 = critical).
+        priority: u8,
+        /// Pressure level that triggered the shed (1 or 2).
+        pressure: u8,
+    },
+    /// A session was demoted to coarse-only screening.
+    SessionDemote {
+        /// The demoted session's id.
+        session: u64,
+        /// Events applied precisely before the demotion checkpoint.
+        at_applied: u64,
+    },
+    /// A demoted session was promoted back to precise checking.
+    SessionPromote {
+        /// The promoted session's id.
+        session: u64,
+        /// Coarse-only events replayed through the precise tier.
+        replayed: u64,
+    },
+    /// The ingress front failed a session over to another feed path.
+    IngressFailover {
+        /// The session whose feed moved.
+        session: u64,
+        /// Path index being left.
+        from_path: u32,
+        /// Path index taken over.
+        to_path: u32,
+    },
     /// Recovery quarantined a corrupt or torn frame.
     FrameQuarantined {
         /// The session whose file held the frame.
@@ -194,6 +237,11 @@ impl TraceEvent {
             TraceEvent::JournalAppend { .. } => "journal_append",
             TraceEvent::Fsync { .. } => "fsync",
             TraceEvent::RecoveryStart { .. } => "recovery_start",
+            TraceEvent::SloReport { .. } => "slo_report",
+            TraceEvent::SubmissionShed { .. } => "submission_shed",
+            TraceEvent::SessionDemote { .. } => "session_demote",
+            TraceEvent::SessionPromote { .. } => "session_promote",
+            TraceEvent::IngressFailover { .. } => "ingress_failover",
             TraceEvent::FrameQuarantined { .. } => "frame_quarantined",
         }
     }
@@ -312,6 +360,46 @@ impl TraceEvent {
                 let _ = write!(
                     out,
                     ",\"session\":{session},\"offset\":{offset},\"reason\":\"{reason}\""
+                );
+            }
+            TraceEvent::SloReport {
+                samples,
+                p50_cycles,
+                p99_cycles,
+                breach,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"samples\":{samples},\"p50_cycles\":{p50_cycles},\"p99_cycles\":{p99_cycles},\"breach\":{breach}"
+                );
+            }
+            TraceEvent::SubmissionShed {
+                session,
+                priority,
+                pressure,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"session\":{session},\"priority\":{priority},\"pressure\":{pressure}"
+                );
+            }
+            TraceEvent::SessionDemote {
+                session,
+                at_applied,
+            } => {
+                let _ = write!(out, ",\"session\":{session},\"at_applied\":{at_applied}");
+            }
+            TraceEvent::SessionPromote { session, replayed } => {
+                let _ = write!(out, ",\"session\":{session},\"replayed\":{replayed}");
+            }
+            TraceEvent::IngressFailover {
+                session,
+                from_path,
+                to_path,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"session\":{session},\"from_path\":{from_path},\"to_path\":{to_path}"
                 );
             }
         }

@@ -101,6 +101,7 @@ fn drive(
                     Ok(()) => break,
                     Err(Rejected::QueueFull { .. } | Rejected::SessionBusy { .. }) => svc.pump(),
                     Err(Rejected::ShuttingDown) => unreachable!("not draining"),
+                    Err(Rejected::Shed { .. }) => unreachable!("no SLO armed"),
                 }
             }
         }

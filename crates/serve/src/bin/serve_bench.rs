@@ -12,7 +12,7 @@
 //! ```
 
 use latch_faults::FaultPlan;
-use latch_serve::{ServeConfig, Service, ServiceOutcome};
+use latch_serve::{Priority, Rejected, ServeConfig, Service, ServiceOutcome, Slo};
 use latch_sim::event::{Event, EventSource};
 use latch_workloads::all_profiles;
 use std::fmt::Write as _;
@@ -101,6 +101,68 @@ fn run_at(workers: usize, streams: &[Vec<Event>], chunk: usize) -> ServiceOutcom
     svc.finish()
 }
 
+/// One overload run: a capped queue, an armed SLO, and mixed-priority
+/// traffic. Shed submissions drop their chunk (clients do not retry
+/// shed work); capacity rejections pump and retry. Returns the outcome
+/// plus the offered and admitted event totals.
+fn run_overload(workers: usize, streams: &[Vec<Event>], chunk: usize) -> (ServiceOutcome, u64, u64) {
+    let cfg = ServeConfig {
+        workers,
+        queue_events: 4_096,
+        batch_max: 64,
+        max_resident: 8,
+        seed: 42,
+        slo: Slo {
+            slo_cycles: 96,
+            window: 64,
+            report_every: 8,
+            demote_after: 1,
+            promote_after: 2,
+            max_degraded: 8,
+            queue_pressure_pct: 50,
+        },
+        ..ServeConfig::default()
+    };
+    let mut svc = Service::deterministic(cfg, FaultPlan::benign());
+    let rounds = streams
+        .iter()
+        .map(|evs| evs.len().div_ceil(chunk))
+        .max()
+        .unwrap_or(0);
+    let mut offered = 0u64;
+    let mut admitted = 0u64;
+    for r in 0..rounds {
+        for (s, evs) in streams.iter().enumerate() {
+            let lo = r * chunk;
+            if lo >= evs.len() {
+                continue;
+            }
+            let hi = (lo + chunk).min(evs.len());
+            let prio = match s % 3 {
+                0 => Priority::Critical,
+                1 => Priority::Normal,
+                _ => Priority::Bulk,
+            };
+            offered += (hi - lo) as u64;
+            loop {
+                match svc.submit_with_priority(s as u64, &evs[lo..hi], prio) {
+                    Ok(()) => {
+                        admitted += (hi - lo) as u64;
+                        break;
+                    }
+                    Err(Rejected::Shed { .. }) => break, // shed work is dropped
+                    Err(Rejected::QueueFull { .. } | Rejected::SessionBusy { .. }) => {
+                        svc.pump();
+                    }
+                    Err(Rejected::ShuttingDown) => unreachable!("not draining"),
+                }
+            }
+        }
+        svc.pump();
+    }
+    (svc.finish(), offered, admitted)
+}
+
 fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -170,6 +232,45 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
+
+    // Overload run: the same offered load through a capped queue with
+    // an armed SLO — reports the shed rate and the throughput the
+    // degraded (coarse-only) path sustains under pressure.
+    {
+        let (out, offered, admitted) = run_overload(2, &streams, args.chunk);
+        let makespan = out.worker_busy_cycles.iter().copied().max().unwrap_or(0);
+        let shed_rate = if offered == 0 {
+            0.0
+        } else {
+            out.stats.shed_events as f64 / offered as f64
+        };
+        let degraded_throughput = if makespan == 0 {
+            0.0
+        } else {
+            out.stats.coarse_events as f64 * 1_000_000.0 / makespan as f64
+        };
+        eprintln!(
+            "overload: offered={offered}, admitted={admitted}, shed_rate={shed_rate:.4}, \
+             demotions={}, coarse_events={}",
+            out.stats.demotions, out.stats.coarse_events
+        );
+        let _ = writeln!(json, "  \"overload\": {{");
+        let _ = writeln!(json, "    \"workers\": 2,");
+        let _ = writeln!(json, "    \"slo_cycles\": 96,");
+        let _ = writeln!(json, "    \"offered_events\": {offered},");
+        let _ = writeln!(json, "    \"admitted_events\": {admitted},");
+        let _ = writeln!(json, "    \"shed_events\": {},", out.stats.shed_events);
+        let _ = writeln!(json, "    \"shed_rate\": {shed_rate:.4},");
+        let _ = writeln!(json, "    \"demotions\": {},", out.stats.demotions);
+        let _ = writeln!(json, "    \"promotions\": {},", out.stats.promotions);
+        let _ = writeln!(json, "    \"coarse_events\": {},", out.stats.coarse_events);
+        let _ = writeln!(
+            json,
+            "    \"degraded_throughput_events_per_mcycle\": {degraded_throughput:.3},"
+        );
+        let _ = writeln!(json, "    \"resync_cycles\": {}", out.stats.resync_cycles);
+        let _ = writeln!(json, "  }},");
+    }
 
     let base = makespans
         .iter()

@@ -1,0 +1,284 @@
+//! Multi-path ingress: replicated event feeds with deterministic
+//! failover.
+//!
+//! A [`MultiIngress`] fronts one session with three replicated feed
+//! paths — primary, secondary, and a fallback that is assumed durable
+//! (it can stall, it never dies). All three carry the same ordered
+//! event stream, so a single `delivered` cursor is the only progress
+//! state: failing over never loses an event and never duplicates one.
+//!
+//! Health checking mirrors the watchdog/heartbeat idiom of
+//! `platch_mt`: every poll on an unhealthy path counts as a missed
+//! heartbeat; once the miss budget is exhausted (or the path is
+//! observed dead) the front fails over to the next path forward.
+//! Stalls and deaths come from the latch-faults feed streams, so the
+//! whole failover history is a pure function of `(plan, poll index)` —
+//! byte-identical across reruns, inert on benign plans.
+//!
+//! The delivery API is peek/ack: [`poll`](MultiIngress::poll) exposes
+//! the next pending events without consuming them, and the caller
+//! [`ack`](MultiIngress::ack)s exactly the prefix the service accepted
+//! (admitted *or* deliberately shed). A rejected-but-retryable
+//! submission ([`Rejected::QueueFull`](crate::Rejected::QueueFull))
+//! simply acks nothing and re-polls.
+
+use latch_faults::FaultInjector;
+use latch_obs::TraceEvent;
+use latch_sim::event::Event;
+
+/// Number of replicated feed paths (primary, secondary, fallback).
+pub const INGRESS_PATHS: u32 = 3;
+
+/// One failover decision: at which poll the front abandoned a path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailoverRecord {
+    /// Poll index at which the failover was taken.
+    pub at_poll: u64,
+    /// The path being abandoned.
+    pub from_path: u32,
+    /// The path taken over.
+    pub to_path: u32,
+}
+
+/// Deterministic summary of one ingress front's life.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngressReport {
+    /// Poll steps taken.
+    pub polls: u64,
+    /// Polls that found the active path stalled or dead.
+    pub stalled_polls: u64,
+    /// Events delivered (acked) through the front.
+    pub delivered: u64,
+    /// Every failover, in poll order.
+    pub failovers: Vec<FailoverRecord>,
+}
+
+/// A three-path replicated ingress front for one session.
+pub struct MultiIngress {
+    session: u64,
+    events: Vec<Event>,
+    delivered: usize,
+    active: u32,
+    dead: [bool; INGRESS_PATHS as usize],
+    stalled_until: [u64; INGRESS_PATHS as usize],
+    misses: u32,
+    miss_budget: u32,
+    poll: u64,
+    report: IngressReport,
+}
+
+impl MultiIngress {
+    /// Fronts `session` with three replicas of `events`. `miss_budget`
+    /// is how many consecutive unhealthy polls the front tolerates
+    /// before failing over (0 = fail over on the first miss).
+    #[must_use]
+    pub fn new(session: u64, events: Vec<Event>, miss_budget: u32) -> Self {
+        Self {
+            session,
+            events,
+            delivered: 0,
+            active: 0,
+            dead: [false; INGRESS_PATHS as usize],
+            stalled_until: [0; INGRESS_PATHS as usize],
+            misses: 0,
+            miss_budget,
+            poll: 0,
+            report: IngressReport::default(),
+        }
+    }
+
+    /// The session this front feeds.
+    #[must_use]
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// The currently active path (0 = primary … 2 = fallback).
+    #[must_use]
+    pub fn active_path(&self) -> u32 {
+        self.active
+    }
+
+    /// Whether every event has been delivered.
+    #[must_use]
+    pub fn drained(&self) -> bool {
+        self.delivered == self.events.len()
+    }
+
+    /// Events still undelivered.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.delivered
+    }
+
+    /// One poll step: health-checks the active path against the fault
+    /// plan, fails over if its miss budget is spent, and returns a peek
+    /// of up to `max` pending events when the path is healthy (empty
+    /// when it is stalled, dead, or the stream is drained). The peeked
+    /// events stay pending until [`ack`](Self::ack)ed.
+    pub fn poll<'a>(&'a mut self, inj: &mut FaultInjector, max: usize) -> &'a [Event] {
+        if self.drained() {
+            return &[];
+        }
+        let p = self.poll;
+        self.poll += 1;
+        self.report.polls += 1;
+        let a = self.active as usize;
+        // The fallback path is assumed durable: death plans never
+        // target it, so forward failover always terminates.
+        if self.active + 1 < INGRESS_PATHS && !self.dead[a] && inj.feed_dies_at(self.active, p) {
+            self.dead[a] = true;
+        }
+        if !self.dead[a] {
+            if let Some(len) = inj.feed_stall_at(self.active, p) {
+                self.stalled_until[a] = self.stalled_until[a].max(p + u64::from(len));
+            }
+        }
+        let healthy = !self.dead[a] && self.stalled_until[a] <= p;
+        if healthy {
+            self.misses = 0;
+            let take = self.remaining().min(max);
+            return &self.events[self.delivered..self.delivered + take];
+        }
+        self.report.stalled_polls += 1;
+        self.misses += 1;
+        if (self.dead[a] || self.misses > self.miss_budget) && self.active + 1 < INGRESS_PATHS {
+            let to = (self.active + 1..INGRESS_PATHS)
+                .find(|&c| !self.dead[c as usize])
+                .expect("fallback path never dies");
+            self.report.failovers.push(FailoverRecord {
+                at_poll: p,
+                from_path: self.active,
+                to_path: to,
+            });
+            latch_obs::counter_inc("serve.ingress.failovers");
+            latch_obs::emit(
+                "serve.ingress",
+                TraceEvent::IngressFailover {
+                    session: self.session,
+                    from_path: self.active,
+                    to_path: to,
+                },
+            );
+            self.active = to;
+            self.misses = 0;
+        }
+        &[]
+    }
+
+    /// Consumes `n` peeked events: the caller admitted them (or shed
+    /// them on purpose). Panics if `n` exceeds the undelivered rest.
+    pub fn ack(&mut self, n: usize) {
+        assert!(n <= self.remaining(), "ack past the end of the stream");
+        self.delivered += n;
+        self.report.delivered += n as u64;
+    }
+
+    /// The deterministic summary so far.
+    #[must_use]
+    pub fn report(&self) -> &IngressReport {
+        &self.report
+    }
+
+    /// Consumes the front, handing back its summary.
+    #[must_use]
+    pub fn into_report(self) -> IngressReport {
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use latch_faults::FaultPlan;
+    use latch_sim::event::EventSource;
+    use latch_workloads::BenchmarkProfile;
+
+    fn events(n: u64) -> Vec<Event> {
+        let mut src = BenchmarkProfile::by_name("hmmer").unwrap().stream(7, n);
+        let mut out = Vec::new();
+        while let Some(ev) = src.next_event() {
+            out.push(ev);
+        }
+        out
+    }
+
+    fn drain(mut ing: MultiIngress, mut inj: FaultInjector) -> (Vec<Event>, IngressReport) {
+        let mut got = Vec::new();
+        let mut budget = 1_000_000u32;
+        while !ing.drained() {
+            budget -= 1;
+            assert!(budget > 0, "ingress failed to make progress");
+            let peek = ing.poll(&mut inj, 32);
+            let n = peek.len();
+            got.extend_from_slice(peek);
+            ing.ack(n);
+        }
+        (got, ing.into_report())
+    }
+
+    #[test]
+    fn benign_plan_never_fails_over() {
+        let evs = events(500);
+        let ing = MultiIngress::new(1, evs.clone(), 2);
+        let (got, report) = drain(ing, FaultInjector::new(FaultPlan::benign()));
+        assert_eq!(got, evs, "delivery must be loss- and duplicate-free");
+        assert!(report.failovers.is_empty());
+        assert_eq!(report.stalled_polls, 0);
+        assert_eq!(report.delivered, 500);
+    }
+
+    #[test]
+    fn feed_death_fails_over_without_loss() {
+        let evs = events(800);
+        let plan = FaultPlan::new(31).with_feed_faults(0, 1, 300);
+        let ing = MultiIngress::new(2, evs.clone(), 1);
+        let (got, report) = drain(ing, FaultInjector::new(plan));
+        assert_eq!(got, evs, "failover must not lose or duplicate events");
+        assert!(!report.failovers.is_empty(), "this rate must kill the primary");
+        for f in &report.failovers {
+            assert!(f.to_path > f.from_path, "failover only scans forward");
+        }
+        assert!(report.failovers.len() <= 2, "only two forward hops exist");
+    }
+
+    #[test]
+    fn stalls_delay_but_never_wedge() {
+        let evs = events(600);
+        let plan = FaultPlan::new(77).with_feed_faults(400, 6, 200);
+        let ing = MultiIngress::new(3, evs.clone(), 2);
+        let (got, report) = drain(ing, FaultInjector::new(plan));
+        assert_eq!(got, evs);
+        assert!(report.stalled_polls > 0, "this rate must stall some polls");
+        assert!(report.polls > report.delivered.div_ceil(32));
+    }
+
+    #[test]
+    fn failover_history_is_byte_identical_across_reruns() {
+        let evs = events(700);
+        let plan = FaultPlan::new(99).with_feed_faults(300, 4, 250);
+        let run = || {
+            let ing = MultiIngress::new(4, evs.clone(), 1);
+            drain(ing, FaultInjector::new(plan))
+        };
+        let (a, ra) = run();
+        let (b, rb) = run();
+        assert_eq!(a, b);
+        assert_eq!(ra, rb, "failover history must be deterministic");
+    }
+
+    #[test]
+    fn queue_full_retry_keeps_events_pending() {
+        let evs = events(64);
+        let mut ing = MultiIngress::new(5, evs.clone(), 2);
+        let mut inj = FaultInjector::new(FaultPlan::benign());
+        let first = ing.poll(&mut inj, 16).to_vec();
+        assert_eq!(first.len(), 16);
+        // Simulated QueueFull: ack nothing, re-poll — same prefix again.
+        let second = ing.poll(&mut inj, 16).to_vec();
+        assert_eq!(first, second, "unacked events must stay pending");
+        ing.ack(16);
+        let third = ing.poll(&mut inj, 16).to_vec();
+        assert_eq!(third, evs[16..32].to_vec());
+    }
+}

@@ -31,12 +31,16 @@
 mod sched;
 
 pub mod durable;
+pub mod ingress;
 pub mod journal;
+pub mod overload;
 pub mod storage;
 pub mod store;
 
 pub use durable::{DurableConfig, DurableService, RecoveryReport, SessionRecovery};
+pub use ingress::{FailoverRecord, IngressReport, MultiIngress, INGRESS_PATHS};
 pub use journal::RecoveryError;
+pub use overload::{DegradedSpan, Priority, Slo, SloReport, SloSampler};
 pub use storage::{DirStorage, MemStorage, Storage};
 
 use latch_faults::FaultPlan;
@@ -68,6 +72,8 @@ pub struct ServeConfig {
     pub scrub_interval: u64,
     /// Seeds the deterministic scheduler's starting cursor.
     pub seed: u64,
+    /// The overload policy ([`Slo::OFF`] disables it entirely).
+    pub slo: Slo,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +86,7 @@ impl Default for ServeConfig {
             max_resident: 64,
             scrub_interval: 512,
             seed: 0,
+            slo: Slo::OFF,
         }
     }
 }
@@ -91,6 +98,7 @@ impl ServeConfig {
         self.session_inflight_cap = self.session_inflight_cap.max(1);
         self.batch_max = self.batch_max.max(1);
         self.max_resident = self.max_resident.max(1);
+        self.slo = self.slo.sanitized();
         self
     }
 }
@@ -98,6 +106,7 @@ impl ServeConfig {
 /// Typed backpressure: why a submission was not admitted. A rejected
 /// submit changes no service state — the client retries or sheds load.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a rejection tells the client whether to retry or drop; ignoring it loses events silently"]
 pub enum Rejected {
     /// The global event queue is at capacity.
     QueueFull {
@@ -117,6 +126,20 @@ pub enum Rejected {
     },
     /// The service is draining; no new work is admitted.
     ShuttingDown,
+    /// Deliberately shed under overload pressure: the service is over
+    /// its SLO (or its queue pressure threshold) and this session's
+    /// priority class is below the admission bar. Unlike
+    /// [`QueueFull`](Self::QueueFull), a shed is final — the client
+    /// should drop the batch, not retry it.
+    Shed {
+        /// The session whose submission was shed.
+        session: u64,
+        /// The session's (sticky) priority class.
+        priority: Priority,
+        /// Pressure level at the decision (1 sheds bulk, 2 sheds bulk
+        /// and normal).
+        pressure: u8,
+    },
 }
 
 impl fmt::Display for Rejected {
@@ -131,6 +154,15 @@ impl fmt::Display for Rejected {
                 cap,
             } => write!(f, "session {session} busy ({pending}/{cap} events)"),
             Rejected::ShuttingDown => f.write_str("service is shutting down"),
+            Rejected::Shed {
+                session,
+                priority,
+                pressure,
+            } => write!(
+                f,
+                "session {session} shed ({} priority, pressure {pressure})",
+                priority.label()
+            ),
         }
     }
 }
@@ -164,9 +196,26 @@ pub struct ServeStats {
     pub replayed_events: u64,
     /// High-water mark of the global event queue.
     pub queue_depth_hwm: u64,
+    /// Submissions shed under overload pressure.
+    pub rejected_shed: u64,
+    /// Events those shed submissions carried.
+    pub shed_events: u64,
+    /// Sessions demoted to coarse-only screening.
+    pub demotions: u64,
+    /// Degraded sessions promoted back to precise checking.
+    pub promotions: u64,
+    /// Deferred events replayed precisely at promotion.
+    pub resync_events: u64,
+    /// Simulated cycles the promotion resyncs consumed.
+    pub resync_cycles: u64,
+    /// Batches applied coarse-only (degraded throughput).
+    pub coarse_batches: u64,
+    /// Events those coarse-only batches carried.
+    pub coarse_events: u64,
 }
 
 /// How a deadline-bounded drain ended.
+#[must_use = "a timed-out drain leaves work in flight; the caller must inspect which"]
 pub enum DrainOutcome {
     /// Every queued event was applied; the full outcome follows.
     Completed(Box<ServiceOutcome>),
@@ -194,6 +243,13 @@ pub struct ServiceOutcome {
     pub worker_busy_cycles: Vec<u64>,
     /// Per-batch latency samples in simulated cycles, dispatch order.
     pub batch_cycles: Vec<u64>,
+    /// Every SLO report cut during the run, in order. Empty when the
+    /// overload policy is off.
+    pub slo_reports: Vec<SloReport>,
+    /// Every coarse-only degradation span, in promotion order. The
+    /// spans quantify the precision trade; the per-session reports are
+    /// unaffected (promotion resyncs precisely).
+    pub degraded_spans: Vec<DegradedSpan>,
     /// Wall-clock drain time. Timing-dependent — never part of any
     /// determinism oracle.
     pub wall_ns: u64,
@@ -260,23 +316,56 @@ impl Service {
         }
     }
 
-    /// Submits a batch of events for `session`. Events of one session
-    /// are applied in submission order; events of different sessions
-    /// interleave arbitrarily.
+    /// Submits a batch of events for `session` at [`Priority::Normal`].
+    /// Events of one session are applied in submission order; events of
+    /// different sessions interleave arbitrarily.
     ///
     /// # Errors
     ///
     /// Returns [`Rejected`] (and changes nothing) when admission
     /// control refuses the batch.
     pub fn submit(&mut self, session: u64, events: &[Event]) -> Result<(), Rejected> {
+        self.submit_with_priority(session, events, Priority::Normal)
+    }
+
+    /// Like [`submit`](Self::submit) with an explicit admission class.
+    /// The class is sticky: the session keeps the priority of its first
+    /// admission, whatever later calls pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Rejected`] (and changes nothing) when admission
+    /// control refuses the batch — including [`Rejected::Shed`] when
+    /// the overload policy drops it by priority.
+    pub fn submit_with_priority(
+        &mut self,
+        session: u64,
+        events: &[Event],
+        priority: Priority,
+    ) -> Result<(), Rejected> {
         match &mut self.imp {
-            Imp::Det { sched, .. } => sched.submit(session, events),
+            Imp::Det { sched, .. } => sched.submit(session, events, priority),
             Imp::Threaded { hub, .. } => {
-                let r = hub.sched.lock().expect("scheduler lock").submit(session, events);
+                let r = hub
+                    .sched
+                    .lock()
+                    .expect("scheduler lock")
+                    .submit(session, events, priority);
                 if r.is_ok() {
                     hub.work.notify_all();
                 }
                 r
+            }
+        }
+    }
+
+    /// Session ids currently degraded to coarse-only screening, sorted.
+    #[must_use]
+    pub fn degraded_sessions(&self) -> Vec<u64> {
+        match &self.imp {
+            Imp::Det { sched, .. } => sched.degraded_sessions(),
+            Imp::Threaded { hub, .. } => {
+                hub.sched.lock().expect("scheduler lock").degraded_sessions()
             }
         }
     }
@@ -332,7 +421,6 @@ impl Service {
     /// [`DrainOutcome::TimedOut`] instead of blocking forever. The
     /// deterministic mode always completes — its virtual workers
     /// cannot wedge.
-    #[must_use]
     pub fn finish_timeout(self, timeout: Duration) -> DrainOutcome {
         match self.imp {
             Imp::Det { .. } => DrainOutcome::Completed(Box::new(self.finish())),
@@ -423,11 +511,18 @@ impl Service {
     }
 }
 
-fn outcome_from(sched: Sched, started: Instant) -> ServiceOutcome {
+fn outcome_from(mut sched: Sched, started: Instant) -> ServiceOutcome {
     let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    // Any session still degraded at drain end is promoted now: its
+    // deferred span replays through the precise tier, so every final
+    // report is byte-identical to an unpressured solo run of the
+    // session's admitted stream.
+    sched.promote_all();
     let stats = sched.stats;
     let worker_busy_cycles = sched.worker_busy.clone();
     let batch_cycles = sched.batch_cycles.clone();
+    let slo_reports = sched.slo_reports.clone();
+    let degraded_spans = sched.degraded_spans.clone();
     let pipelines = sched.into_sessions();
     let sessions = pipelines
         .iter()
@@ -439,6 +534,8 @@ fn outcome_from(sched: Sched, started: Instant) -> ServiceOutcome {
         stats,
         worker_busy_cycles,
         batch_cycles,
+        slo_reports,
+        degraded_spans,
         wall_ns,
     }
 }
@@ -656,6 +753,7 @@ mod tests {
                             std::thread::yield_now();
                         }
                         Err(Rejected::ShuttingDown) => panic!("not draining yet"),
+                        Err(Rejected::Shed { .. }) => panic!("no SLO armed; nothing sheds"),
                     }
                 }
             }
@@ -771,6 +869,207 @@ mod tests {
         assert_eq!(out.stats.rejected_queue_full, 1);
         assert_eq!(out.sessions[&0].events, 48);
         assert_eq!(out.sessions[&1].events, 48);
+    }
+
+    #[test]
+    fn slo_off_changes_nothing() {
+        // The overload layer must be invisible when disabled: same
+        // stats, same reports, no SLO cuts, no spans.
+        let streams = session_streams();
+        let cfg = ServeConfig {
+            workers: 3,
+            seed: 17,
+            ..ServeConfig::default()
+        };
+        let mut svc = Service::deterministic(cfg, FaultPlan::benign());
+        drive(&mut svc, &streams, 128);
+        let out = svc.finish();
+        assert!(out.slo_reports.is_empty());
+        assert!(out.degraded_spans.is_empty());
+        assert_eq!(out.stats.rejected_shed, 0);
+        assert_eq!(out.stats.demotions, 0);
+    }
+
+    #[test]
+    fn shedding_is_priority_ordered_and_pure() {
+        let evs = events("hmmer", 1, 64);
+        let cfg = ServeConfig {
+            workers: 1,
+            queue_events: 100,
+            slo: Slo {
+                slo_cycles: 1, // every real batch breaches
+                report_every: 1,
+                queue_pressure_pct: 50,
+                max_degraded: 0, // isolate shedding from demotion
+                ..Slo::OFF
+            },
+            ..ServeConfig::default()
+        };
+        let mut svc = Service::deterministic(cfg, FaultPlan::benign());
+        // 64 queued events put occupancy over 50%: pressure 1 before
+        // any latency signal exists. Critical always passes; bulk sheds.
+        svc.submit_with_priority(0, &evs, Priority::Critical)
+            .expect("critical is never shed");
+        let err = svc
+            .submit_with_priority(1, &evs, Priority::Bulk)
+            .unwrap_err();
+        assert!(matches!(err, Rejected::Shed { session: 1, pressure: 1, .. }));
+        // Normal survives pressure 1...
+        svc.submit_with_priority(2, &evs[..8], Priority::Normal)
+            .expect("normal admitted at pressure 1");
+        svc.pump();
+        // ...but after the cuts record a breach, pressure 2 (breach +
+        // occupancy) sheds normal too, while critical still passes.
+        svc.submit_with_priority(0, &evs, Priority::Critical)
+            .expect("critical passes at any pressure");
+        let err = svc
+            .submit_with_priority(2, &evs, Priority::Normal)
+            .unwrap_err();
+        assert!(matches!(err, Rejected::Shed { session: 2, pressure: 2, .. }));
+        // Once the queue drains, occupancy pressure clears: pressure
+        // falls back to 1 (breach only) and normal is admitted again.
+        svc.pump();
+        svc.submit_with_priority(2, &evs[..8], Priority::Normal)
+            .expect("normal admitted at pressure 1");
+        let out = svc.finish();
+        assert_eq!(out.stats.rejected_shed, 2);
+        assert_eq!(out.stats.shed_events, 128);
+        // Shed before mutate: everything admitted still ran exactly.
+        assert_eq!(out.sessions[&0].events, 128);
+        assert_eq!(out.sessions[&2].events, 16);
+        assert!(!out.slo_reports.is_empty());
+    }
+
+    #[test]
+    fn sticky_priority_ignores_later_flags() {
+        let evs = events("hmmer", 2, 64);
+        let cfg = ServeConfig {
+            workers: 1,
+            queue_events: 100,
+            slo: Slo {
+                slo_cycles: 1,
+                queue_pressure_pct: 50,
+                max_degraded: 0,
+                ..Slo::OFF
+            },
+            ..ServeConfig::default()
+        };
+        let mut svc = Service::deterministic(cfg, FaultPlan::benign());
+        // Session 0 is created Critical; a later Bulk flag cannot
+        // downgrade it mid-pressure (or shed decisions would depend on
+        // client flag order, not scheduler state).
+        svc.submit_with_priority(0, &evs, Priority::Critical).unwrap();
+        svc.submit_with_priority(0, &evs[..16], Priority::Bulk)
+            .expect("sticky class: still critical");
+        let out = svc.finish();
+        assert_eq!(out.sessions[&0].events, 80);
+    }
+
+    #[test]
+    fn demoted_then_promoted_matches_unpressured_solo_run() {
+        // Sessions: 0 critical (never demoted), 1 and 2 normal. With
+        // slo_cycles = 1 every cut breaches, so demotion starts at the
+        // first cut and never lifts until the drain promotes everyone.
+        // Pressure stays at level 1 (occupancy bar at 100%), which
+        // sheds only bulk — so the normal sessions keep receiving
+        // events *while degraded*, exercising the deferred buffer.
+        let streams: Vec<(u64, Vec<Event>)> = vec![
+            (0, events("perlbench", 300, 4_000)),
+            (1, events("gromacs", 301, 4_000)),
+            (2, events("hmmer", 302, 4_000)),
+        ];
+        let cfg = ServeConfig {
+            workers: 2,
+            seed: 9,
+            slo: Slo {
+                slo_cycles: 1,
+                report_every: 4,
+                demote_after: 1,
+                max_degraded: 2,
+                queue_pressure_pct: 100,
+                ..Slo::OFF
+            },
+            ..ServeConfig::default()
+        };
+        let run = || {
+            let mut svc = Service::deterministic(cfg, FaultPlan::benign());
+            for r in 0..streams.iter().map(|(_, e)| e.len().div_ceil(256)).max().unwrap() {
+                for (id, evs) in &streams {
+                    let prio = if *id == 0 { Priority::Critical } else { Priority::Normal };
+                    let lo = (r * 256).min(evs.len());
+                    let hi = (lo + 256).min(evs.len());
+                    svc.submit_with_priority(*id, &evs[lo..hi], prio)
+                        .expect("pressure 1 never sheds normal or critical");
+                }
+                svc.pump();
+            }
+            svc.finish()
+        };
+        let out = run();
+        assert!(out.stats.demotions >= 1, "breach streak must demote");
+        assert_eq!(out.stats.demotions, out.stats.promotions);
+        assert_eq!(out.degraded_spans.len() as u64, out.stats.demotions);
+        assert!(out.stats.coarse_batches > 0, "demoted sessions must run coarse-only");
+        let span = &out.degraded_spans[0];
+        assert!(span.deferred_events > 0, "demoted session must defer events");
+        assert_eq!(out.stats.resync_events, out
+            .degraded_spans
+            .iter()
+            .map(|s| s.deferred_events)
+            .sum::<u64>());
+        // The acceptance bar: demote + coarse-only + promote is byte-
+        // invisible in every per-session report.
+        for (id, evs) in &streams {
+            assert_eq!(
+                out.sessions[id].encode(),
+                solo_report(evs, cfg.scrub_interval).encode(),
+                "session {id} diverged through its degraded span"
+            );
+        }
+        // And the whole overload trajectory replays byte-identically.
+        let out2 = run();
+        assert_eq!(out.stats, out2.stats);
+        assert_eq!(out.degraded_spans, out2.degraded_spans);
+        assert_eq!(
+            out.slo_reports.iter().flat_map(SloReport::encode).collect::<Vec<u8>>(),
+            out2.slo_reports.iter().flat_map(SloReport::encode).collect::<Vec<u8>>(),
+        );
+    }
+
+    #[test]
+    fn degraded_session_snapshot_is_the_demotion_checkpoint() {
+        let evs = events("gromacs", 44, 2_000);
+        let cfg = ServeConfig {
+            workers: 1,
+            slo: Slo {
+                slo_cycles: 1,
+                report_every: 2,
+                demote_after: 1,
+                max_degraded: 1,
+                queue_pressure_pct: 100,
+                ..Slo::OFF
+            },
+            ..ServeConfig::default()
+        };
+        let mut svc = Service::deterministic(cfg, FaultPlan::benign());
+        svc.submit(7, &evs[..1_000]).expect("queue empty");
+        svc.pump();
+        assert_eq!(svc.degraded_sessions(), vec![7], "sole normal session demotes");
+        let (applied, _, blob) = svc.snapshot_session(7).expect("quiescent");
+        let restored = SessionPipeline::from_snapshot(&blob).expect("checkpoint decodes");
+        assert_eq!(restored.applied(), applied);
+        assert!(
+            applied < 1_000,
+            "durable progress must freeze at the demotion point, not track coarse progress"
+        );
+        // More traffic while degraded must not move the durable cursor.
+        svc.submit(7, &evs[1_000..]).expect("pressure 1 admits normal");
+        svc.pump();
+        let (applied2, _, _) = svc.snapshot_session(7).expect("quiescent");
+        assert_eq!(applied, applied2);
+        // The drain still promotes and lands on the full stream.
+        let out = svc.finish();
+        assert_eq!(out.sessions[&7].encode(), solo_report(&evs, cfg.scrub_interval).encode());
     }
 
     #[test]

@@ -1,0 +1,342 @@
+//! SLO telemetry and overload policy for the serving layer.
+//!
+//! Everything here is measured in **simulated cost-model cycles**, the
+//! repo's performance currency, so every number — latency percentiles,
+//! breach decisions, shed choices — is a pure function of scheduler
+//! state and byte-identical across reruns of the deterministic mode. No
+//! wall clock enters any decision.
+//!
+//! The policy surface (paper framing: LATCH checking should cost
+//! ~nothing when nothing is tainted; HardTaint shows that under an
+//! overhead budget the principled move is to fall back to coarse
+//! screening and *quantify* the precision loss, never to drop
+//! correctness):
+//!
+//! * [`Slo`] — the target and the knobs (window, report cadence,
+//!   demotion hysteresis, degradation bound).
+//! * [`SloSampler`] — a fixed-size ring of per-batch cycle costs with
+//!   nearest-rank p50/p99 extraction.
+//! * [`SloReport`] — one periodic cut of the sampler, emitted through
+//!   latch-obs and kept in [`ServiceOutcome`](crate::ServiceOutcome).
+//! * [`Priority`] — the admission class used for lowest-priority-first
+//!   shedding.
+//! * [`DegradedSpan`] — the record of one coarse-only span: when a
+//!   session was demoted, when it was promoted back, and how many
+//!   deferred events the precise resync replayed.
+
+use latch_core::snapshot::SnapWriter;
+
+/// Admission class of a session, fixed at first admission ("sticky"):
+/// later submissions reuse the class the session was created with, so
+/// shed decisions depend only on scheduler state, never on the order
+/// clients happen to pass flags in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Never shed, never demoted; rejected only by hard capacity
+    /// ([`Rejected::QueueFull`](crate::Rejected::QueueFull)).
+    Critical,
+    /// Shed only at severe pressure (level 2).
+    #[default]
+    Normal,
+    /// First to shed (level 1) and first to demote.
+    Bulk,
+}
+
+impl Priority {
+    /// Numeric rank: 0 = critical … 2 = bulk. Higher rank sheds first.
+    #[must_use]
+    pub fn rank(self) -> u8 {
+        match self {
+            Priority::Critical => 0,
+            Priority::Normal => 1,
+            Priority::Bulk => 2,
+        }
+    }
+
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Critical => "critical",
+            Priority::Normal => "normal",
+            Priority::Bulk => "bulk",
+        }
+    }
+}
+
+/// The service-level latency objective and overload-policy knobs.
+///
+/// `slo_cycles == 0` disables the whole overload layer: no sampling
+/// overhead beyond ring pushes, no reports, no shedding, no demotion —
+/// existing workloads behave exactly as before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slo {
+    /// Target p99 per-batch cost in simulated cycles (0 = off).
+    pub slo_cycles: u64,
+    /// Latency samples kept in the ring (the percentile window).
+    pub window: usize,
+    /// Completed batches between [`SloReport`] cuts.
+    pub report_every: u64,
+    /// Consecutive breached cuts before one session is demoted.
+    pub demote_after: u32,
+    /// Consecutive clean cuts before degraded sessions are promoted.
+    pub promote_after: u32,
+    /// Upper bound on concurrently degraded sessions.
+    pub max_degraded: usize,
+    /// Queue occupancy (percent of `queue_events`) that counts as
+    /// pressure on its own, independent of the latency signal.
+    pub queue_pressure_pct: u32,
+}
+
+impl Slo {
+    /// The disabled policy (the [`ServeConfig`](crate::ServeConfig)
+    /// default).
+    pub const OFF: Self = Self {
+        slo_cycles: 0,
+        window: 64,
+        report_every: 16,
+        demote_after: 2,
+        promote_after: 2,
+        max_degraded: 4,
+        queue_pressure_pct: 75,
+    };
+
+    pub(crate) fn sanitized(mut self) -> Self {
+        self.window = self.window.max(1);
+        self.report_every = self.report_every.max(1);
+        self.demote_after = self.demote_after.max(1);
+        self.promote_after = self.promote_after.max(1);
+        self.queue_pressure_pct = self.queue_pressure_pct.clamp(1, 100);
+        self
+    }
+}
+
+impl Default for Slo {
+    fn default() -> Self {
+        Self::OFF
+    }
+}
+
+/// Fixed-size ring of per-batch latency samples (simulated cycles)
+/// with nearest-rank percentile extraction.
+#[derive(Debug, Clone)]
+pub struct SloSampler {
+    ring: Vec<u64>,
+    cap: usize,
+    next: usize,
+    len: usize,
+    total: u64,
+}
+
+impl SloSampler {
+    /// Ring with room for `window` samples (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(window: usize) -> Self {
+        let cap = window.max(1);
+        Self {
+            ring: vec![0; cap],
+            cap,
+            next: 0,
+            len: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one batch cost, displacing the oldest sample when full.
+    pub fn push(&mut self, cycles: u64) {
+        self.ring[self.next] = cycles;
+        self.next = (self.next + 1) % self.cap;
+        self.len = (self.len + 1).min(self.cap);
+        self.total = self.total.saturating_add(1);
+    }
+
+    /// Samples currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no sample was recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Batches ever recorded (not capped by the window).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Nearest-rank percentile over the current window: the smallest
+    /// sample `v` such that at least `p`% of the window is ≤ `v`.
+    /// Returns 0 on an empty window.
+    #[must_use]
+    pub fn percentile(&self, p: u32) -> u64 {
+        if self.len == 0 {
+            return 0;
+        }
+        let mut v: Vec<u64> = self.ring[..self.len].to_vec();
+        v.sort_unstable();
+        let rank = (self.len * p as usize).div_ceil(100).clamp(1, self.len);
+        v[rank - 1]
+    }
+
+    /// Cuts one report against the given target. The sampler keeps its
+    /// window (cuts overlap by design: the window is a sliding view).
+    #[must_use]
+    pub fn cut(&self, at_batch: u64, slo_cycles: u64) -> SloReport {
+        let p50 = self.percentile(50);
+        let p99 = self.percentile(99);
+        SloReport {
+            at_batch,
+            samples: self.len as u32,
+            p50_cycles: p50,
+            p99_cycles: p99,
+            breach: slo_cycles > 0 && p99 > slo_cycles,
+            pressure: 0,
+            shed_events: 0,
+            degraded: 0,
+        }
+    }
+}
+
+/// One periodic cut of the SLO sampler, with the policy state the
+/// scheduler attached at the cut point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloReport {
+    /// Completed batches when the cut was taken.
+    pub at_batch: u64,
+    /// Samples in the window at the cut.
+    pub samples: u32,
+    /// Median per-batch cost, simulated cycles.
+    pub p50_cycles: u64,
+    /// 99th-percentile per-batch cost, simulated cycles.
+    pub p99_cycles: u64,
+    /// Whether the p99 breached the SLO.
+    pub breach: bool,
+    /// Pressure level at the cut (0 = none, 1 = shed bulk, 2 = shed
+    /// bulk + normal).
+    pub pressure: u8,
+    /// Events shed so far (cumulative).
+    pub shed_events: u64,
+    /// Sessions degraded to coarse-only at the cut.
+    pub degraded: u32,
+}
+
+impl SloReport {
+    /// Canonical byte encoding — the proptests compare report streams
+    /// byte-for-byte across reruns.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.u64(self.at_batch);
+        w.u64(u64::from(self.samples));
+        w.u64(self.p50_cycles);
+        w.u64(self.p99_cycles);
+        w.u64(u64::from(self.breach));
+        w.u64(u64::from(self.pressure));
+        w.u64(self.shed_events);
+        w.u64(u64::from(self.degraded));
+        w.finish()
+    }
+}
+
+/// The record of one coarse-only degradation span: demotion cut,
+/// promotion cut, and the precise resync size. Spans live in
+/// [`ServiceOutcome`](crate::ServiceOutcome), *not* in the per-session
+/// [`SessionReport`](latch_systems::session::SessionReport) — promotion
+/// replays the span through the precise tier, so the session's report
+/// stays byte-identical to an unpressured solo run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradedSpan {
+    /// The demoted session.
+    pub session: u64,
+    /// Precisely applied events at the demotion checkpoint.
+    pub from_applied: u64,
+    /// Completed-batch count at demotion.
+    pub demoted_at_batch: u64,
+    /// Completed-batch count at promotion.
+    pub promoted_at_batch: u64,
+    /// Deferred events the promotion resync replayed precisely.
+    pub deferred_events: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_match_naive_model() {
+        let mut s = SloSampler::new(16);
+        for c in [5u64, 1, 9, 3, 7, 2, 8, 4, 6, 10] {
+            s.push(c);
+        }
+        // Naive nearest-rank over the sorted window.
+        let naive = |p: usize| {
+            let mut v = vec![5u64, 1, 9, 3, 7, 2, 8, 4, 6, 10];
+            v.sort_unstable();
+            v[(v.len() * p).div_ceil(100).clamp(1, v.len()) - 1]
+        };
+        assert_eq!(s.percentile(50), naive(50));
+        assert_eq!(s.percentile(99), naive(99));
+        assert_eq!(s.percentile(100), 10);
+        assert_eq!(s.percentile(1), 1);
+    }
+
+    #[test]
+    fn ring_displaces_oldest() {
+        let mut s = SloSampler::new(4);
+        for c in 1..=10u64 {
+            s.push(c);
+        }
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.total(), 10);
+        // Window holds {7, 8, 9, 10}.
+        assert_eq!(s.percentile(1), 7);
+        assert_eq!(s.percentile(100), 10);
+    }
+
+    #[test]
+    fn empty_sampler_reports_zero() {
+        let s = SloSampler::new(8);
+        assert!(s.is_empty());
+        assert_eq!(s.percentile(99), 0);
+        let r = s.cut(0, 100);
+        assert!(!r.breach, "an empty window cannot breach");
+    }
+
+    #[test]
+    fn cut_breach_is_strict() {
+        let mut s = SloSampler::new(8);
+        s.push(100);
+        assert!(!s.cut(1, 100).breach, "p99 == SLO is not a breach");
+        assert!(s.cut(1, 99).breach);
+        assert!(!s.cut(1, 0).breach, "slo 0 = disabled");
+    }
+
+    #[test]
+    fn report_encoding_is_injective_on_fields() {
+        let a = SloReport {
+            at_batch: 1,
+            samples: 2,
+            p50_cycles: 3,
+            p99_cycles: 4,
+            breach: true,
+            pressure: 1,
+            shed_events: 5,
+            degraded: 6,
+        };
+        let mut b = a;
+        b.pressure = 2;
+        assert_ne!(a.encode(), b.encode());
+        assert_eq!(a.encode(), a.encode());
+    }
+
+    #[test]
+    fn priority_ranks_order_shedding() {
+        assert!(Priority::Critical.rank() < Priority::Normal.rank());
+        assert!(Priority::Normal.rank() < Priority::Bulk.rank());
+        assert_eq!(Priority::default(), Priority::Normal);
+    }
+}

@@ -21,6 +21,7 @@
 //!   `SessionPipeline` snapshot contract), so eviction, migration, and
 //!   death-replay are invisible in per-session reports.
 
+use crate::overload::{DegradedSpan, Priority, Slo, SloReport, SloSampler};
 use crate::{Rejected, ServeConfig, ServeStats};
 use latch_faults::{FaultInjector, FaultPlan};
 use latch_obs::TraceEvent;
@@ -41,6 +42,20 @@ enum SlotState {
     Running,
 }
 
+/// The coarse-only degradation state of one demoted session.
+///
+/// The checkpoint freezes the last precise state; `deferred` collects
+/// every event the session retires coarse-only, in order. Promotion
+/// restores the checkpoint and replays `deferred` through the full
+/// pipeline, so the final report is byte-identical to a run that was
+/// never demoted.
+struct Degraded {
+    checkpoint: Vec<u8>,
+    deferred: Vec<Event>,
+    from_applied: u64,
+    at_batch: u64,
+}
+
 struct Slot {
     state: SlotState,
     pending: VecDeque<Event>,
@@ -51,13 +66,18 @@ struct Slot {
     /// Events the pipeline had applied at its last quiescent point —
     /// kept current so a `Frozen` slot's progress is known without
     /// decoding its blob (the durability layer snapshots from this).
+    /// Frozen at the demotion point while the slot is degraded.
     applied: u64,
     /// Recovery epoch at the same point.
     epoch: u64,
+    /// Admission class, fixed at slot creation (sticky).
+    priority: Priority,
+    /// `Some` while the session runs coarse-only.
+    degraded: Option<Degraded>,
 }
 
 impl Slot {
-    fn new() -> Self {
+    fn new(priority: Priority) -> Self {
         Self {
             state: SlotState::Fresh,
             pending: VecDeque::new(),
@@ -65,6 +85,8 @@ impl Slot {
             enqueued: false,
             applied: 0,
             epoch: 0,
+            priority,
+            degraded: None,
         }
     }
 }
@@ -87,6 +109,8 @@ pub(crate) struct WorkItem {
     /// (no wall clock); threaded workers sleep ~this many µs before
     /// processing — how the drain-timeout path is exercised.
     pub stall_units: u32,
+    /// Degraded dispatch: apply the batch through the coarse tier only.
+    pub coarse_only: bool,
 }
 
 /// What a worker hands back after running a batch.
@@ -96,6 +120,10 @@ pub(crate) enum BatchResult {
         pipeline: Box<SessionPipeline>,
         /// Cycles the batch consumed.
         cycles: u64,
+        /// The batch itself, handed back so a degraded session's
+        /// deferred buffer grows only on completion (a died batch is
+        /// replayed, never double-deferred).
+        batch: Vec<Event>,
     },
     /// The worker died mid-batch. `pipeline` is the checkpoint state
     /// (everything the dead worker did is discarded) and `batch` is the
@@ -114,13 +142,32 @@ pub(crate) fn process(mut item: WorkItem) -> BatchResult {
         // The worker makes partial progress, then dies: its pipeline
         // (and everything applied since the checkpoint) is lost.
         for ev in item.batch.iter().take(kill_at) {
-            item.pipeline.apply(ev);
+            if item.coarse_only {
+                item.pipeline.apply_coarse_only(ev);
+            } else {
+                item.pipeline.apply(ev);
+            }
         }
         let restored =
             Box::new(SessionPipeline::from_snapshot(blob).expect("own snapshot must decode"));
         return BatchResult::Died {
             session: item.session,
             pipeline: restored,
+            batch: item.batch,
+        };
+    }
+    if item.coarse_only {
+        // Degraded span: coarse screen only, no precise mirror. The
+        // whole point of demotion is the cost: one cycle per event,
+        // none of the coarse-tier penalty cycles a precise batch pays.
+        for ev in &item.batch {
+            item.pipeline.apply_coarse_only(ev);
+        }
+        let cycles = item.batch.len() as u64;
+        return BatchResult::Done {
+            session: item.session,
+            pipeline: item.pipeline,
+            cycles,
             batch: item.batch,
         };
     }
@@ -132,6 +179,7 @@ pub(crate) fn process(mut item: WorkItem) -> BatchResult {
         session: item.session,
         pipeline: item.pipeline,
         cycles,
+        batch: item.batch,
     }
 }
 
@@ -154,11 +202,28 @@ pub(crate) struct Sched {
     pub worker_busy: Vec<u64>,
     /// Per-batch latency samples, in simulated cycles.
     pub batch_cycles: Vec<u64>,
+    /// The SLO policy (a sanitized copy of `cfg.slo`).
+    slo: Slo,
+    /// Sliding window of per-batch costs feeding the percentile cuts.
+    sampler: SloSampler,
+    /// Batches completed (the report-cut clock).
+    completed: u64,
+    /// Breach verdict of the last cut — the latency half of the
+    /// pressure signal, stable between cuts.
+    last_breach: bool,
+    breach_streak: u32,
+    clean_streak: u32,
+    degraded_count: usize,
+    /// Every SLO cut, in order.
+    pub slo_reports: Vec<SloReport>,
+    /// Every completed degradation span, in promotion order.
+    pub degraded_spans: Vec<DegradedSpan>,
 }
 
 impl Sched {
     pub fn new(cfg: ServeConfig, plan: FaultPlan) -> Self {
         let workers = cfg.workers;
+        let slo = cfg.slo.sanitized();
         Self {
             cfg,
             cost: CostModel::default(),
@@ -175,6 +240,15 @@ impl Sched {
             stats: ServeStats::default(),
             worker_busy: vec![0; workers],
             batch_cycles: Vec::new(),
+            slo,
+            sampler: SloSampler::new(slo.window),
+            completed: 0,
+            last_breach: false,
+            breach_streak: 0,
+            clean_streak: 0,
+            degraded_count: 0,
+            slo_reports: Vec::new(),
+            degraded_spans: Vec::new(),
         }
     }
 
@@ -206,26 +280,76 @@ impl Sched {
             .expect("at least one worker survives")
     }
 
+    /// The current overload pressure level, a pure function of
+    /// scheduler state: 0 = none, 1 = shed bulk, 2 = shed bulk and
+    /// normal. The latency half (`last_breach`) only changes at report
+    /// cuts, so a submission's verdict depends on nothing but admitted
+    /// history — byte-identical across reruns.
+    fn pressure(&self, incoming: usize) -> u8 {
+        if self.slo.slo_cycles == 0 {
+            return 0;
+        }
+        let occupied = (self.pending_total + incoming) * 100
+            >= self.cfg.queue_events * self.slo.queue_pressure_pct as usize;
+        match (self.last_breach, occupied) {
+            (true, true) => 2,
+            (true, false) | (false, true) => 1,
+            (false, false) => 0,
+        }
+    }
+
     /// Admission-controlled enqueue of a batch of events for `session`.
-    pub fn submit(&mut self, session: u64, events: &[Event]) -> Result<(), Rejected> {
+    /// Reject-before-mutate: every `Err` leaves the scheduler
+    /// byte-identical (only the matching rejection counter moves).
+    pub fn submit(
+        &mut self,
+        session: u64,
+        events: &[Event],
+        priority: Priority,
+    ) -> Result<(), Rejected> {
         if self.draining {
-            self.stats.rejected_shutting_down += 1;
+            self.stats.rejected_shutting_down = self.stats.rejected_shutting_down.saturating_add(1);
             return Err(Rejected::ShuttingDown);
         }
         if events.is_empty() {
             return Ok(());
         }
+        // Sticky priority: an existing slot's class wins over the flag
+        // on this call.
+        let prio = self.slots.get(&session).map_or(priority, |s| s.priority);
+        let pressure = self.pressure(events.len());
+        if pressure > 0 && prio.rank() >= 3 - pressure {
+            self.stats.rejected_shed = self.stats.rejected_shed.saturating_add(1);
+            self.stats.shed_events = self.stats.shed_events.saturating_add(events.len() as u64);
+            latch_obs::counter_inc("serve.rejected.shed");
+            latch_obs::emit(
+                "serve",
+                TraceEvent::SubmissionShed {
+                    session,
+                    priority: prio.rank(),
+                    pressure,
+                },
+            );
+            return Err(Rejected::Shed {
+                session,
+                priority: prio,
+                pressure,
+            });
+        }
         if self.pending_total + events.len() > self.cfg.queue_events {
-            self.stats.rejected_queue_full += 1;
+            self.stats.rejected_queue_full = self.stats.rejected_queue_full.saturating_add(1);
             latch_obs::counter_inc("serve.rejected.queue_full");
             return Err(Rejected::QueueFull {
                 pending: self.pending_total,
                 capacity: self.cfg.queue_events,
             });
         }
-        let slot = self.slots.entry(session).or_insert_with(Slot::new);
+        let slot = self
+            .slots
+            .entry(session)
+            .or_insert_with(|| Slot::new(priority));
         if slot.pending.len() + events.len() > self.cfg.session_inflight_cap {
-            self.stats.rejected_session_busy += 1;
+            self.stats.rejected_session_busy = self.stats.rejected_session_busy.saturating_add(1);
             latch_obs::counter_inc("serve.rejected.session_busy");
             return Err(Rejected::SessionBusy {
                 session,
@@ -239,7 +363,7 @@ impl Sched {
             slot.enqueued = true;
         }
         self.pending_total += events.len();
-        self.stats.submitted_events += events.len() as u64;
+        self.stats.submitted_events = self.stats.submitted_events.saturating_add(events.len() as u64);
         if self.pending_total as u64 > self.stats.queue_depth_hwm {
             self.stats.queue_depth_hwm = self.pending_total as u64;
             latch_obs::watermark("serve.queue.depth", self.pending_total as u64);
@@ -267,7 +391,7 @@ impl Sched {
             .filter(|&w| w != worker && !self.ready[w].is_empty())
             .max_by_key(|&w| (self.ready[w].len(), std::cmp::Reverse(w)))?;
         let s = self.ready[victim].pop_back()?;
-        self.stats.batches_stolen += 1;
+        self.stats.batches_stolen = self.stats.batches_stolen.saturating_add(1);
         latch_obs::counter_inc("serve.steals");
         Some(s)
     }
@@ -283,6 +407,7 @@ impl Sched {
         let scrub_interval = self.cfg.scrub_interval;
         let slot = self.slots.get_mut(&session).expect("ready session exists");
         slot.enqueued = false;
+        let coarse_only = slot.degraded.is_some();
         let take = slot.pending.len().min(batch_max);
         let batch: Vec<Event> = slot.pending.drain(..take).collect();
         let (pipeline, was_live, restored) =
@@ -303,14 +428,14 @@ impl Sched {
             self.live_resident -= 1;
         }
         if restored {
-            self.stats.restores += 1;
+            self.stats.restores = self.stats.restores.saturating_add(1);
             latch_obs::counter_inc("serve.session.restores");
             latch_obs::emit("serve", TraceEvent::SessionRestore { session });
         }
         self.pending_total -= batch.len();
         self.in_flight += 1;
         let batch_index = self.stats.dispatches;
-        self.stats.dispatches += 1;
+        self.stats.dispatches = self.stats.dispatches.saturating_add(1);
         latch_obs::histogram_record("serve.batch.events", batch.len() as u64);
         let arm_kills = self.inj.plan().worker.kill_per_mille > 0;
         let checkpoint = arm_kills.then(|| pipeline.to_snapshot());
@@ -329,6 +454,7 @@ impl Sched {
             checkpoint,
             kill_at,
             stall_units,
+            coarse_only,
         })
     }
 
@@ -342,13 +468,28 @@ impl Sched {
                 session,
                 pipeline,
                 cycles,
+                batch,
             } => {
-                self.worker_busy[worker] += cycles + self.cost.ctx_switch_cycles;
+                self.worker_busy[worker] = self.worker_busy[worker]
+                    .saturating_add(cycles.saturating_add(self.cost.ctx_switch_cycles));
                 self.batch_cycles.push(cycles);
                 latch_obs::histogram_record("serve.batch.cycles", cycles);
                 let slot = self.slots.get_mut(&session).expect("running session exists");
-                slot.applied = pipeline.applied();
-                slot.epoch = pipeline.epoch();
+                if let Some(d) = slot.degraded.as_mut() {
+                    // A degraded slot's dispatch was coarse-only (demote
+                    // and promote both skip `Running` slots, so the flag
+                    // cannot change mid-batch). Defer the batch for the
+                    // precise resync and keep `applied`/`epoch` frozen
+                    // at the demotion point — the durability layer must
+                    // keep snapshotting the precise checkpoint.
+                    let n = batch.len() as u64;
+                    d.deferred.extend(batch);
+                    self.stats.coarse_batches = self.stats.coarse_batches.saturating_add(1);
+                    self.stats.coarse_events = self.stats.coarse_events.saturating_add(n);
+                } else {
+                    slot.applied = pipeline.applied();
+                    slot.epoch = pipeline.epoch();
+                }
                 slot.state = SlotState::Live(pipeline);
                 slot.last_active = tick;
                 let requeue = !slot.pending.is_empty();
@@ -360,6 +501,7 @@ impl Sched {
                     self.ready[worker].push_back(session);
                 }
                 self.maybe_evict();
+                self.note_batch(cycles);
             }
             BatchResult::Died {
                 session,
@@ -368,8 +510,9 @@ impl Sched {
             } => {
                 self.alive[worker] = false;
                 self.alive_count -= 1;
-                self.stats.worker_kills += 1;
-                self.stats.replayed_events += batch.len() as u64;
+                self.stats.worker_kills = self.stats.worker_kills.saturating_add(1);
+                self.stats.replayed_events =
+                    self.stats.replayed_events.saturating_add(batch.len() as u64);
                 latch_obs::counter_inc("serve.worker.deaths");
                 latch_obs::emit(
                     "serve",
@@ -401,15 +544,195 @@ impl Sched {
         }
     }
 
+    /// Records one completed batch in the SLO sampler and, on cadence,
+    /// cuts a report and applies the demotion/promotion policy. Pure in
+    /// scheduler state — the whole overload trajectory of a
+    /// deterministic run replays byte-identically.
+    fn note_batch(&mut self, cycles: u64) {
+        self.sampler.push(cycles);
+        self.completed = self.completed.saturating_add(1);
+        if self.slo.slo_cycles == 0 || !self.completed.is_multiple_of(self.slo.report_every) {
+            return;
+        }
+        let mut report = self.sampler.cut(self.completed, self.slo.slo_cycles);
+        self.last_breach = report.breach;
+        if report.breach {
+            self.breach_streak = self.breach_streak.saturating_add(1);
+            self.clean_streak = 0;
+        } else {
+            self.clean_streak = self.clean_streak.saturating_add(1);
+            self.breach_streak = 0;
+        }
+        report.pressure = self.pressure(0);
+        report.shed_events = self.stats.shed_events;
+        if report.breach
+            && self.breach_streak >= self.slo.demote_after
+            && self.degraded_count < self.slo.max_degraded
+        {
+            self.demote_one();
+        } else if !report.breach && self.clean_streak >= self.slo.promote_after {
+            self.promote_quiescent();
+        }
+        report.degraded = self.degraded_count as u32;
+        latch_obs::emit(
+            "serve",
+            TraceEvent::SloReport {
+                samples: report.samples,
+                p50_cycles: report.p50_cycles,
+                p99_cycles: report.p99_cycles,
+                breach: report.breach,
+            },
+        );
+        self.slo_reports.push(report);
+    }
+
+    /// Demotes the lowest-priority demotable session to coarse-only
+    /// screening. Candidates must be quiescent (`Live` or `Frozen` —
+    /// never mid-batch) and never `Critical`; ties break to the
+    /// smallest session id, so the choice is a pure function of
+    /// scheduler state.
+    fn demote_one(&mut self) {
+        let victim = self
+            .slots
+            .iter()
+            .filter(|(_, s)| {
+                s.degraded.is_none()
+                    && s.priority != Priority::Critical
+                    && matches!(s.state, SlotState::Live(_) | SlotState::Frozen(_))
+            })
+            .max_by_key(|(id, s)| (s.priority.rank(), std::cmp::Reverse(**id)))
+            .map(|(id, _)| *id);
+        let Some(id) = victim else { return };
+        let slot = self.slots.get_mut(&id).expect("victim exists");
+        let checkpoint = match &slot.state {
+            SlotState::Live(p) => p.to_snapshot(),
+            SlotState::Frozen(blob) => blob.clone(),
+            SlotState::Fresh | SlotState::Running => unreachable!("victim filter is quiescent"),
+        };
+        slot.degraded = Some(Degraded {
+            checkpoint,
+            deferred: Vec::new(),
+            from_applied: slot.applied,
+            at_batch: self.completed,
+        });
+        let at_applied = slot.applied;
+        self.degraded_count += 1;
+        self.stats.demotions = self.stats.demotions.saturating_add(1);
+        latch_obs::counter_inc("serve.session.demotions");
+        latch_obs::emit(
+            "serve",
+            TraceEvent::SessionDemote {
+                session: id,
+                at_applied,
+            },
+        );
+    }
+
+    /// Promotes every degraded session that is not mid-batch: restores
+    /// the demotion checkpoint and replays the deferred span through
+    /// the precise tier, making the span invisible in the session's
+    /// final report. A `Running` slot is skipped and caught at the next
+    /// clean cut (or at drain).
+    fn promote_quiescent(&mut self) {
+        let mut ids: Vec<u64> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| s.degraded.is_some() && !matches!(s.state, SlotState::Running))
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort_unstable();
+        for id in ids {
+            self.promote(id);
+        }
+        self.maybe_evict();
+    }
+
+    /// Promotes every degraded session. Only valid once the scheduler
+    /// is idle — the drain path calls this before reports are cut.
+    pub fn promote_all(&mut self) {
+        let mut ids: Vec<u64> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| s.degraded.is_some())
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort_unstable();
+        for id in ids {
+            self.promote(id);
+        }
+        debug_assert_eq!(self.degraded_count, 0);
+    }
+
+    fn promote(&mut self, id: u64) {
+        let slot = self.slots.get_mut(&id).expect("degraded slot exists");
+        let Some(d) = slot.degraded.take() else { return };
+        debug_assert!(
+            !matches!(slot.state, SlotState::Running),
+            "cannot promote a session mid-batch"
+        );
+        let was_live = matches!(slot.state, SlotState::Live(_));
+        let mut pipeline = SessionPipeline::from_snapshot(&d.checkpoint)
+            .expect("demotion checkpoint is self-produced");
+        let before = pipeline.cycles();
+        for ev in &d.deferred {
+            pipeline.apply(ev);
+        }
+        let resync_cycles = pipeline.cycles() - before;
+        slot.applied = pipeline.applied();
+        slot.epoch = pipeline.epoch();
+        slot.state = SlotState::Live(Box::new(pipeline));
+        if !was_live {
+            self.live_resident += 1;
+        }
+        let replayed = d.deferred.len() as u64;
+        self.degraded_count -= 1;
+        self.stats.promotions = self.stats.promotions.saturating_add(1);
+        self.stats.resync_events = self.stats.resync_events.saturating_add(replayed);
+        self.stats.resync_cycles = self.stats.resync_cycles.saturating_add(resync_cycles);
+        self.degraded_spans.push(DegradedSpan {
+            session: id,
+            from_applied: d.from_applied,
+            demoted_at_batch: d.at_batch,
+            promoted_at_batch: self.completed,
+            deferred_events: replayed,
+        });
+        latch_obs::counter_inc("serve.session.promotions");
+        latch_obs::emit(
+            "serve",
+            TraceEvent::SessionPromote {
+                session: id,
+                replayed,
+            },
+        );
+    }
+
+    /// Session ids currently degraded to coarse-only, sorted.
+    pub fn degraded_sessions(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| s.degraded.is_some())
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
     /// Evicts least-recently-active idle sessions to snapshot blobs
     /// until at most `max_resident` pipelines stay materialized.
+    /// Degraded slots are never evicted: their precise checkpoint
+    /// already holds the durable state, and freezing the provisional
+    /// coarse pipeline would buy nothing.
     fn maybe_evict(&mut self) {
         while self.live_resident > self.cfg.max_resident {
             let victim = self
                 .slots
                 .iter()
                 .filter(|(_, s)| {
-                    matches!(s.state, SlotState::Live(_)) && !s.enqueued && s.pending.is_empty()
+                    matches!(s.state, SlotState::Live(_))
+                        && !s.enqueued
+                        && s.pending.is_empty()
+                        && s.degraded.is_none()
                 })
                 .min_by_key(|(id, s)| (s.last_active, **id))
                 .map(|(id, _)| *id);
@@ -422,7 +745,7 @@ impl Sched {
             slot.epoch = p.epoch();
             let blob = p.to_snapshot();
             self.live_resident -= 1;
-            self.stats.evictions += 1;
+            self.stats.evictions = self.stats.evictions.saturating_add(1);
             latch_obs::counter_inc("serve.session.evictions");
             latch_obs::emit(
                 "serve",
@@ -472,6 +795,14 @@ impl Sched {
     /// mid-flight (`Running`).
     pub fn session_progress(&self, session: u64) -> Option<(u64, u64)> {
         let slot = self.slots.get(&session)?;
+        if slot.degraded.is_some() {
+            // A degraded session's durable progress is its demotion
+            // checkpoint: the coarse pipeline past it is provisional.
+            return match &slot.state {
+                SlotState::Running => None,
+                _ => Some((slot.applied, slot.epoch)),
+            };
+        }
         match &slot.state {
             SlotState::Live(p) => Some((p.applied(), p.epoch())),
             SlotState::Frozen(_) => Some((slot.applied, slot.epoch)),
@@ -484,6 +815,15 @@ impl Sched {
     /// without thawing; `Fresh` and `Running` slots return `None`.
     pub fn snapshot_session(&self, session: u64) -> Option<(u64, u64, Vec<u8>)> {
         let slot = self.slots.get(&session)?;
+        if let Some(d) = &slot.degraded {
+            // The durable snapshot of a degraded session is its precise
+            // demotion checkpoint — WAL replay from `applied` then
+            // re-derives the deferred span precisely on recovery.
+            return match &slot.state {
+                SlotState::Running => None,
+                _ => Some((slot.applied, slot.epoch, d.checkpoint.clone())),
+            };
+        }
         match &slot.state {
             SlotState::Live(p) => Some((p.applied(), p.epoch(), p.to_snapshot())),
             SlotState::Frozen(blob) => Some((slot.applied, slot.epoch, blob.clone())),
@@ -496,7 +836,10 @@ impl Sched {
     /// any traffic reaches the rebuilt service; the slot thaws lazily
     /// on first dispatch like any evicted session.
     pub fn preload_session(&mut self, session: u64, blob: Vec<u8>, applied: u64, epoch: u64) {
-        let slot = self.slots.entry(session).or_insert_with(Slot::new);
+        let slot = self
+            .slots
+            .entry(session)
+            .or_insert_with(|| Slot::new(Priority::default()));
         slot.state = SlotState::Frozen(blob);
         slot.applied = applied;
         slot.epoch = epoch;

@@ -59,6 +59,7 @@ fn drive(
                         svc.pump();
                     }
                     Err(Rejected::ShuttingDown) => unreachable!("not draining"),
+                    Err(Rejected::Shed { .. }) => unreachable!("no SLO armed"),
                 }
             }
         }

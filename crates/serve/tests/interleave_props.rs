@@ -70,6 +70,7 @@ proptest! {
                 Ok(()) => cursor[s] = hi,
                 Err(Rejected::QueueFull { .. } | Rejected::SessionBusy { .. }) => svc.pump(),
                 Err(Rejected::ShuttingDown) => unreachable!("service is not draining"),
+                Err(Rejected::Shed { .. }) => unreachable!("no SLO armed"),
             }
         }
         let out = svc.finish();

@@ -418,6 +418,59 @@ enum SendVerdict {
     Stalled,
 }
 
+/// Exponential-backoff state for the watchdog sender.
+///
+/// Every arithmetic step saturates: a pathological `send_timeout_ms`
+/// near `u64::MAX` or a backoff budget of `u32::MAX` degrades to the
+/// cap under sustained overload instead of overflowing (which would
+/// panic in debug builds and silently shrink the wait in release —
+/// turning a stalled consumer into a busy-spin).
+pub(crate) struct SendBackoff {
+    base_ms: u64,
+    wait_ms: u64,
+    stale_rounds: u32,
+    budget: u32,
+}
+
+impl SendBackoff {
+    /// Upper bound on one bounded wait once backoff has kicked in.
+    const CAP_MS: u64 = 100;
+
+    pub(crate) fn new(send_timeout_ms: u64, budget: u32) -> Self {
+        let base_ms = send_timeout_ms.max(1);
+        Self {
+            base_ms,
+            wait_ms: base_ms,
+            stale_rounds: 0,
+            budget,
+        }
+    }
+
+    /// The current bounded-wait slice.
+    pub(crate) fn wait(&self) -> Duration {
+        Duration::from_millis(self.wait_ms)
+    }
+
+    /// Heartbeat progress observed: the consumer is slow, not silent.
+    /// Backoff resets to the base wait.
+    pub(crate) fn progress(&mut self) {
+        self.stale_rounds = 0;
+        self.wait_ms = self.base_ms;
+    }
+
+    /// No heartbeat progress across one timed-out slice. Returns `true`
+    /// once the budget is exhausted (declare the consumer stalled);
+    /// otherwise doubles the wait, capped.
+    pub(crate) fn stale(&mut self) -> bool {
+        self.stale_rounds = self.stale_rounds.saturating_add(1);
+        if self.stale_rounds >= self.budget {
+            return true;
+        }
+        self.wait_ms = self.wait_ms.saturating_mul(2).min(Self::CAP_MS);
+        false
+    }
+}
+
 /// Sends with bounded waits and exponential backoff instead of
 /// blocking indefinitely. Heartbeat progress resets the backoff — a
 /// slow consumer is waited on forever, only a silent one is declared
@@ -439,10 +492,9 @@ fn watchdog_send(
         }
     };
     let mut last_beat = shared.heartbeat.load(Ordering::Acquire);
-    let mut stale_rounds = 0u32;
-    let mut wait_ms = cfg.send_timeout_ms.max(1);
+    let mut backoff = SendBackoff::new(cfg.send_timeout_ms, cfg.max_send_backoff);
     loop {
-        match tx.send_timeout(msg, Duration::from_millis(wait_ms)) {
+        match tx.send_timeout(msg, backoff.wait()) {
             Ok(()) => return SendVerdict::Delivered,
             Err(SendTimeoutError::Disconnected(_)) => return SendVerdict::Gone,
             Err(SendTimeoutError::Timeout(m)) => {
@@ -452,16 +504,11 @@ fn watchdog_send(
                 let beat = shared.heartbeat.load(Ordering::Acquire);
                 if beat != last_beat {
                     last_beat = beat;
-                    stale_rounds = 0;
-                    wait_ms = cfg.send_timeout_ms.max(1);
-                } else {
-                    stale_rounds += 1;
-                    if stale_rounds >= cfg.max_send_backoff {
-                        timings.watchdog_stalls = timings.watchdog_stalls.saturating_add(1);
-                        latch_obs::timing_add("mt.watchdog_stalls", 1);
-                        return SendVerdict::Stalled;
-                    }
-                    wait_ms = (wait_ms * 2).min(100);
+                    backoff.progress();
+                } else if backoff.stale() {
+                    timings.watchdog_stalls = timings.watchdog_stalls.saturating_add(1);
+                    latch_obs::timing_add("mt.watchdog_stalls", 1);
+                    return SendVerdict::Stalled;
                 }
             }
         }
@@ -933,6 +980,50 @@ pub fn run_threaded_source<S: EventSource>(
 mod tests {
     use super::*;
     use latch_workloads::BenchmarkProfile;
+
+    #[test]
+    fn send_backoff_saturates_at_overflow_boundaries() {
+        // Extreme inputs must neither panic nor wrap: the wait is
+        // capped and the stale budget check still terminates.
+        let mut b = SendBackoff::new(u64::MAX, u32::MAX);
+        for _ in 0..10_000 {
+            assert!(!b.stale(), "budget of u32::MAX cannot be exhausted here");
+            assert!(b.wait() <= Duration::from_millis(u64::MAX));
+        }
+        // Near the u32 budget boundary the counter saturates instead
+        // of wrapping back below the budget.
+        let mut b = SendBackoff::new(1, u32::MAX);
+        b.stale_rounds = u32::MAX - 1;
+        assert!(b.stale(), "saturated counter must reach the budget");
+        assert!(b.stale(), "and stay there on further rounds");
+    }
+
+    #[test]
+    fn send_backoff_doubles_then_caps() {
+        let mut b = SendBackoff::new(3, 100);
+        assert_eq!(b.wait(), Duration::from_millis(3));
+        assert!(!b.stale());
+        assert_eq!(b.wait(), Duration::from_millis(6));
+        assert!(!b.stale());
+        assert_eq!(b.wait(), Duration::from_millis(12));
+        for _ in 0..10 {
+            assert!(!b.stale());
+        }
+        assert_eq!(
+            b.wait(),
+            Duration::from_millis(SendBackoff::CAP_MS),
+            "exponential growth is capped"
+        );
+        b.progress();
+        assert_eq!(b.wait(), Duration::from_millis(3), "progress resets to base");
+    }
+
+    #[test]
+    fn send_backoff_zero_budget_stalls_immediately() {
+        let mut b = SendBackoff::new(0, 0);
+        assert_eq!(b.wait(), Duration::from_millis(1), "zero timeout is clamped");
+        assert!(b.stale(), "zero budget means the first stale round stalls");
+    }
 
     fn reference(profile: &BenchmarkProfile, seed: u64, events: u64) -> Vec<(u32, latch_dift::tag::TaintTag)> {
         let mut dift = DiftEngine::new();

@@ -43,6 +43,19 @@ cargo run --release -q -p latch-serve --bin crash_stress -- \
     --seed 7 --iters 24 --dir "$CRASH_DIR"
 rm -rf "$CRASH_DIR"
 
+# Overload stress: fixed-seed drives through replicated ingress fronts
+# under burst/slow-client/feed-fault plans with an armed SLO. Asserts
+# deterministic shedding, zero false negatives through coarse-only
+# degraded spans, and solo-identical reports after promotion — in both
+# observability configurations.
+echo "==> latch-serve overload_stress (obs off)"
+cargo run --release -q -p latch-serve --bin overload_stress -- \
+    --seed 7 --iters 8 --events 1500
+
+echo "==> latch-serve overload_stress (obs on)"
+cargo run --release -q -p latch-serve --bin overload_stress --features obs -- \
+    --seed 11 --iters 8 --events 1500
+
 echo "==> cargo clippy --workspace (deny warnings)"
 cargo clippy -q --workspace --all-targets -- -D warnings
 
