@@ -30,6 +30,7 @@
 //! diverged state.
 
 use crate::journal::{self, RecoveryError};
+use crate::overload::Priority;
 use crate::storage::Storage;
 use crate::store;
 use crate::{Rejected, ServeConfig, Service, ServiceOutcome};
@@ -155,21 +156,43 @@ impl<S: Storage> DurableService<S> {
         }
     }
 
-    /// Submits a batch, journaling it if admitted. The journal append
-    /// happens *after* admission so a rejected submit leaves no orphan
-    /// records; a crash between admission and the group commit can
-    /// lose at most the un-synced suffix, which the client re-submits
-    /// after recovery.
+    /// Submits a batch at [`Priority::Normal`], journaling it if
+    /// admitted. See [`submit_with_priority`](Self::submit_with_priority).
     ///
     /// # Errors
     ///
     /// Returns [`Rejected`] (and journals nothing) when admission
     /// control refuses the batch.
     pub fn submit(&mut self, session: u64, events: &[Event]) -> Result<(), Rejected> {
-        self.svc.submit(session, events)?;
+        self.submit_with_priority(session, events, Priority::Normal)
+    }
+
+    /// Submits a batch at an explicit admission class, journaling it if
+    /// admitted. The journal append happens *after* admission so a
+    /// rejected submit leaves no orphan records; a crash between
+    /// admission and the group commit can lose at most the un-synced
+    /// suffix, which the client re-submits after recovery. The class is
+    /// sticky (first admission wins) and is persisted in the journal
+    /// header and every snapshot frame, so recovery restores it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Rejected`] (and journals nothing) when admission
+    /// control refuses the batch — including [`Rejected::Shed`] under
+    /// overload pressure.
+    pub fn submit_with_priority(
+        &mut self,
+        session: u64,
+        events: &[Event],
+        priority: Priority,
+    ) -> Result<(), Rejected> {
+        self.svc.submit_with_priority(session, events, priority)?;
         if events.is_empty() {
             return Ok(());
         }
+        // The slot exists after a successful admission; its sticky
+        // class (not this call's flag) is what must be persisted.
+        let priority = self.svc.session_priority(session).unwrap_or(priority);
         let state = self.sessions.entry(session).or_insert_with(DurState::new);
         if !state.needs_resync {
             match journal::append_record(
@@ -177,6 +200,7 @@ impl<S: Storage> DurableService<S> {
                 session,
                 state.has_wal,
                 state.journaled,
+                priority,
                 events,
             ) {
                 Some(bytes) => {
@@ -254,9 +278,17 @@ impl<S: Storage> DurableService<S> {
             let Some((applied, epoch, blob)) = self.svc.snapshot_session(session) else {
                 continue;
             };
+            let priority = self.svc.session_priority(session).unwrap_or_default();
             let generation = state.next_generation;
-            if !store::write_frame(&mut self.storage, session, generation, epoch, applied, &blob)
-            {
+            if !store::write_frame(
+                &mut self.storage,
+                session,
+                generation,
+                epoch,
+                applied,
+                priority,
+                &blob,
+            ) {
                 continue;
             }
             self.dirty_files += 1;
@@ -267,7 +299,7 @@ impl<S: Storage> DurableService<S> {
             // every interleaving (old WAL + new snapshot just skips
             // the covered records).
             if applied >= state.journaled {
-                if journal::rotate(&mut self.storage, session) {
+                if journal::rotate(&mut self.storage, session, priority) {
                     state.needs_resync = false;
                     state.has_wal = true;
                 } else {
@@ -378,9 +410,9 @@ impl<S: Storage> DurableService<S> {
                     Err(err) => quarantine(name, 0, err),
                 }
             }
-            let (snapshot_applied, mut pipe) = match best {
-                Some((frame, pipe)) => (frame.applied, pipe),
-                None => (0, SessionPipeline::new(cfg.scrub_interval)),
+            let (snapshot_applied, frame_priority, mut pipe) = match best {
+                Some((frame, pipe)) => (frame.applied, Some(frame.priority), pipe),
+                None => (0, None, SessionPipeline::new(cfg.scrub_interval)),
             };
             debug_assert_eq!(pipe.applied(), snapshot_applied);
 
@@ -388,9 +420,11 @@ impl<S: Storage> DurableService<S> {
             // scan stops at the first corruption; records the snapshot
             // already covers are skipped (straddlers partially).
             let mut replayed = 0u64;
+            let mut wal_priority = None;
             let wal = journal::wal_name(session);
             if let Some(bytes) = storage.read(&wal) {
                 let scan = journal::scan_wal(session, &bytes);
+                wal_priority = scan.priority;
                 if let Some((offset, err)) = scan.quarantined {
                     quarantine(wal.clone(), offset, err);
                 }
@@ -413,7 +447,12 @@ impl<S: Storage> DurableService<S> {
             }
 
             // Seal the recovery: new epoch, fresh durable snapshot of
-            // the recovered state, clean journal.
+            // the recovered state, clean journal. The sticky admission
+            // class comes from the newest valid snapshot frame, falling
+            // back to the journal header (written at first admission)
+            // and only then to the default — a Critical session must
+            // not silently become sheddable across a crash.
+            let priority = frame_priority.or(wal_priority).unwrap_or_default();
             pipe.bump_epoch();
             let epoch = pipe.epoch();
             let recovered = pipe.applied();
@@ -424,14 +463,14 @@ impl<S: Storage> DurableService<S> {
             // The recovery frame goes to generation 0; its successor
             // alternates as usual. Epoch dominance makes it supersede
             // both pre-crash generations regardless of `applied`.
-            if store::write_frame(&mut storage, session, 0, epoch, recovered, &blob) {
+            if store::write_frame(&mut storage, session, 0, epoch, recovered, priority, &blob) {
                 state.next_generation = 1;
             }
-            state.has_wal = journal::rotate(&mut storage, session);
+            state.has_wal = journal::rotate(&mut storage, session, priority);
             // A failed rotation leaves the stale pre-crash journal in
             // place; appending after it would interleave streams.
             state.needs_resync = !state.has_wal;
-            svc.preload_session(session, blob, recovered, epoch);
+            svc.preload_session(session, blob, recovered, epoch, priority);
             report.sessions.insert(
                 session,
                 SessionRecovery {

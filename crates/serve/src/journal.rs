@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! header : magic "LTWL" (u32 LE) | version (u32 LE) | session (u64 LE)
+//!        | priority rank (u8, v2+)
 //! record : payload_len (u32 LE) | crc32(payload) (u32 LE) | payload
 //! payload: base_seq (u64 LE) | count (u32 LE) | trace bytes
 //! ```
@@ -14,7 +15,13 @@
 //! and CRC so a torn append (a crash mid-write) is detected at the
 //! first bad frame: the scan returns everything before it and
 //! quarantines the tail rather than guessing.
+//!
+//! Version 2 added the session's sticky [`Priority`] rank to the
+//! header. The header is written at first admission — exactly when the
+//! sticky class is fixed — so recovery can rehydrate the class even
+//! for sessions that crashed before their first durable snapshot.
 
+use crate::overload::Priority;
 use crate::storage::Storage;
 use latch_core::snapshot::crc32;
 use latch_sim::event::{Event, EventSource};
@@ -23,9 +30,13 @@ use latch_sim::trace::{TraceReader, TraceWriter};
 /// Journal file magic: "LTWL" (LaTch Write-ahead Log).
 pub const WAL_MAGIC: u32 = 0x4C54_574C;
 /// Journal format version.
-pub const WAL_VERSION: u32 = 1;
-/// Fixed header length in bytes.
-pub const WAL_HEADER_LEN: usize = 16;
+pub const WAL_VERSION: u32 = 2;
+/// Current (v2) header length in bytes; v1 headers are one byte
+/// shorter (no priority rank).
+pub const WAL_HEADER_LEN: usize = 17;
+/// Length of the version-independent header prefix
+/// (magic | version | session).
+pub const WAL_HEADER_V1_LEN: usize = 16;
 /// Per-record frame overhead (length + CRC), in bytes.
 pub const WAL_FRAME_LEN: usize = 8;
 /// Cap on a single record's payload; a length prefix above this is
@@ -45,13 +56,14 @@ pub fn parse_wal_name(name: &str) -> Option<u64> {
     (hex.len() == 16).then(|| u64::from_str_radix(hex, 16).ok())?
 }
 
-/// The fixed 16-byte journal header for `session`.
+/// The fixed 17-byte journal header for `session` at `priority`.
 #[must_use]
-pub fn wal_header(session: u64) -> Vec<u8> {
+pub fn wal_header(session: u64, priority: Priority) -> Vec<u8> {
     let mut h = Vec::with_capacity(WAL_HEADER_LEN);
     h.extend_from_slice(&WAL_MAGIC.to_le_bytes());
     h.extend_from_slice(&WAL_VERSION.to_le_bytes());
     h.extend_from_slice(&session.to_le_bytes());
+    h.push(priority.rank());
     h
 }
 
@@ -136,6 +148,10 @@ pub struct WalRecord {
 pub struct WalScan {
     /// Valid records, in file order.
     pub records: Vec<WalRecord>,
+    /// The session's sticky admission class from a clean v2 header;
+    /// `None` for v1 files (which predate the field) or a corrupt
+    /// header.
+    pub priority: Option<Priority>,
     /// The corruption that ended the scan and its byte offset, or
     /// `None` when the file was clean to the end.
     pub quarantined: Option<(u64, RecoveryError)>,
@@ -146,29 +162,36 @@ pub struct WalScan {
 /// before it.
 #[must_use]
 pub fn scan_wal(session: u64, bytes: &[u8]) -> WalScan {
+    let bad_header = |err: RecoveryError| WalScan {
+        records: Vec::new(),
+        priority: None,
+        quarantined: Some((0, err)),
+    };
     let mut records = Vec::new();
-    if bytes.len() < WAL_HEADER_LEN {
-        return WalScan {
-            records,
-            quarantined: Some((0, RecoveryError::ShortHeader)),
-        };
+    if bytes.len() < WAL_HEADER_V1_LEN {
+        return bad_header(RecoveryError::ShortHeader);
     }
     let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes"));
     let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
     let hdr_session = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
     if magic != WAL_MAGIC || version == 0 || version > WAL_VERSION {
-        return WalScan {
-            records,
-            quarantined: Some((0, RecoveryError::BadHeader)),
-        };
+        return bad_header(RecoveryError::BadHeader);
     }
     if hdr_session != session {
-        return WalScan {
-            records,
-            quarantined: Some((0, RecoveryError::SessionMismatch)),
-        };
+        return bad_header(RecoveryError::SessionMismatch);
     }
-    let mut pos = WAL_HEADER_LEN;
+    let (priority, hdr_len) = if version >= 2 {
+        if bytes.len() < WAL_HEADER_LEN {
+            return bad_header(RecoveryError::ShortHeader);
+        }
+        let Some(p) = Priority::from_rank(bytes[WAL_HEADER_V1_LEN]) else {
+            return bad_header(RecoveryError::BadHeader);
+        };
+        (Some(p), WAL_HEADER_LEN)
+    } else {
+        (None, WAL_HEADER_V1_LEN)
+    };
+    let mut pos = hdr_len;
     let mut quarantined = None;
     while pos < bytes.len() {
         if bytes.len() - pos < WAL_FRAME_LEN {
@@ -201,6 +224,7 @@ pub fn scan_wal(session: u64, bytes: &[u8]) -> WalScan {
     }
     WalScan {
         records,
+        priority,
         quarantined,
     }
 }
@@ -229,27 +253,33 @@ fn decode_payload(payload: &[u8]) -> Result<WalRecord, RecoveryError> {
 }
 
 /// Appends a record for `events` starting at `base_seq` to `session`'s
-/// journal, creating the file (with header) on first use. Returns the
-/// bytes appended, or `None` when the backend refused the write.
+/// journal, creating the file (with a header carrying the session's
+/// sticky `priority`) on first use. Returns the bytes appended, or
+/// `None` when the backend refused the write.
 pub fn append_record<S: Storage>(
     storage: &mut S,
     session: u64,
     has_file: bool,
     base_seq: u64,
+    priority: Priority,
     events: &[Event],
 ) -> Option<u64> {
     let name = wal_name(session);
-    let mut bytes = if has_file { Vec::new() } else { wal_header(session) };
+    let mut bytes = if has_file {
+        Vec::new()
+    } else {
+        wal_header(session, priority)
+    };
     bytes.extend_from_slice(&encode_record(base_seq, events));
     let n = bytes.len() as u64;
     storage.append(&name, &bytes).then_some(n)
 }
 
-/// Resets `session`'s journal to an empty (header-only) file. Called
-/// after a durable snapshot covers everything journaled, and at the
-/// end of recovery.
-pub fn rotate<S: Storage>(storage: &mut S, session: u64) -> bool {
-    storage.write_atomic(&wal_name(session), &wal_header(session))
+/// Resets `session`'s journal to an empty (header-only) file, keeping
+/// the sticky `priority` in the fresh header. Called after a durable
+/// snapshot covers everything journaled, and at the end of recovery.
+pub fn rotate<S: Storage>(storage: &mut S, session: u64, priority: Priority) -> bool {
+    storage.write_atomic(&wal_name(session), &wal_header(session, priority))
 }
 
 #[cfg(test)]
@@ -280,11 +310,12 @@ mod tests {
     fn records_roundtrip_through_scan() {
         let evs = events(100);
         let mut s = MemStorage::new(FaultPlan::benign());
-        append_record(&mut s, 7, false, 0, &evs[..40]).unwrap();
-        append_record(&mut s, 7, true, 40, &evs[40..]).unwrap();
+        append_record(&mut s, 7, false, 0, Priority::Critical, &evs[..40]).unwrap();
+        append_record(&mut s, 7, true, 40, Priority::Critical, &evs[40..]).unwrap();
         let bytes = s.read(&wal_name(7)).unwrap();
         let scan = scan_wal(7, &bytes);
         assert!(scan.quarantined.is_none());
+        assert_eq!(scan.priority, Some(Priority::Critical));
         assert_eq!(scan.records.len(), 2);
         assert_eq!(scan.records[0].base_seq, 0);
         assert_eq!(scan.records[0].events, &evs[..40]);
@@ -293,17 +324,44 @@ mod tests {
     }
 
     #[test]
+    fn v1_headers_scan_with_unknown_priority() {
+        // A pre-priority journal: 16-byte header, then a normal record.
+        let evs = events(10);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&WAL_MAGIC.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&9u64.to_le_bytes());
+        bytes.extend_from_slice(&encode_record(0, &evs));
+        let scan = scan_wal(9, &bytes);
+        assert!(scan.quarantined.is_none());
+        assert_eq!(scan.priority, None);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.records[0].events, evs);
+    }
+
+    #[test]
+    fn out_of_range_priority_rank_is_a_bad_header() {
+        let mut bytes = wal_header(4, Priority::Bulk);
+        bytes[WAL_HEADER_V1_LEN] = 7; // no such rank
+        let scan = scan_wal(4, &bytes);
+        assert_eq!(scan.priority, None);
+        assert_eq!(scan.quarantined, Some((0, RecoveryError::BadHeader)));
+    }
+
+    #[test]
     fn torn_tail_is_quarantined_with_prefix_kept() {
         let evs = events(60);
         let mut s = MemStorage::new(FaultPlan::benign());
-        append_record(&mut s, 1, false, 0, &evs[..30]).unwrap();
-        append_record(&mut s, 1, true, 30, &evs[30..]).unwrap();
+        append_record(&mut s, 1, false, 0, Priority::Normal, &evs[..30]).unwrap();
+        append_record(&mut s, 1, true, 30, Priority::Normal, &evs[30..]).unwrap();
         let full = s.read(&wal_name(1)).unwrap();
         // Tear the second record at every possible byte: the first
         // record always survives, the scan never panics.
         let first_rec_end = WAL_HEADER_LEN
             + WAL_FRAME_LEN
-            + u32::from_le_bytes(full[16..20].try_into().unwrap()) as usize;
+            + u32::from_le_bytes(
+                full[WAL_HEADER_LEN..WAL_HEADER_LEN + 4].try_into().unwrap(),
+            ) as usize;
         for cut in first_rec_end + 1..full.len() {
             let scan = scan_wal(1, &full[..cut]);
             assert_eq!(scan.records.len(), 1, "cut at {cut}");
@@ -321,7 +379,7 @@ mod tests {
     fn bitflips_are_quarantined_never_panic() {
         let evs = events(40);
         let mut s = MemStorage::new(FaultPlan::benign());
-        append_record(&mut s, 2, false, 0, &evs).unwrap();
+        append_record(&mut s, 2, false, 0, Priority::Normal, &evs).unwrap();
         let full = s.read(&wal_name(2)).unwrap();
         for i in 0..full.len() {
             let mut bad = full.clone();
@@ -339,13 +397,14 @@ mod tests {
     fn rotation_empties_the_journal() {
         let evs = events(20);
         let mut s = MemStorage::new(FaultPlan::benign());
-        append_record(&mut s, 3, false, 0, &evs).unwrap();
-        assert!(rotate(&mut s, 3));
+        append_record(&mut s, 3, false, 0, Priority::Bulk, &evs).unwrap();
+        assert!(rotate(&mut s, 3, Priority::Bulk));
         let scan = scan_wal(3, &s.read(&wal_name(3)).unwrap());
         assert!(scan.records.is_empty());
+        assert_eq!(scan.priority, Some(Priority::Bulk), "rotation keeps the class");
         assert!(scan.quarantined.is_none());
         // Appends continue cleanly after rotation.
-        append_record(&mut s, 3, true, 20, &evs).unwrap();
+        append_record(&mut s, 3, true, 20, Priority::Bulk, &evs).unwrap();
         let scan = scan_wal(3, &s.read(&wal_name(3)).unwrap());
         assert_eq!(scan.records.len(), 1);
         assert_eq!(scan.records[0].base_seq, 20);

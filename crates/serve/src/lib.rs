@@ -497,16 +497,38 @@ impl Service {
     }
 
     /// Installs a recovered session as if it had been evicted at
-    /// `applied`/`epoch`. Used by crash recovery before any traffic
-    /// reaches the rebuilt service.
-    pub fn preload_session(&mut self, session: u64, blob: Vec<u8>, applied: u64, epoch: u64) {
+    /// `applied`/`epoch`, rehydrating its sticky `priority` class.
+    /// Used by crash recovery before any traffic reaches the rebuilt
+    /// service.
+    pub fn preload_session(
+        &mut self,
+        session: u64,
+        blob: Vec<u8>,
+        applied: u64,
+        epoch: u64,
+        priority: Priority,
+    ) {
         match &mut self.imp {
-            Imp::Det { sched, .. } => sched.preload_session(session, blob, applied, epoch),
+            Imp::Det { sched, .. } => sched.preload_session(session, blob, applied, epoch, priority),
             Imp::Threaded { hub, .. } => hub
                 .sched
                 .lock()
                 .expect("scheduler lock")
-                .preload_session(session, blob, applied, epoch),
+                .preload_session(session, blob, applied, epoch, priority),
+        }
+    }
+
+    /// The sticky admission class of a known session, or `None` for a
+    /// session the service has never admitted (or preloaded).
+    #[must_use]
+    pub fn session_priority(&self, session: u64) -> Option<Priority> {
+        match &self.imp {
+            Imp::Det { sched, .. } => sched.session_priority(session),
+            Imp::Threaded { hub, .. } => hub
+                .sched
+                .lock()
+                .expect("scheduler lock")
+                .session_priority(session),
         }
     }
 }
@@ -1069,6 +1091,54 @@ mod tests {
         assert_eq!(applied, applied2);
         // The drain still promotes and lands on the full stream.
         let out = svc.finish();
+        assert_eq!(out.sessions[&7].encode(), solo_report(&evs, cfg.scrub_interval).encode());
+    }
+
+    #[test]
+    fn worker_death_on_degraded_slot_keeps_cursor_frozen() {
+        // Worker kills + an armed SLO: the sole normal session demotes
+        // at the first cut, then a worker dies mid-batch while the
+        // session is degraded. The death replay restores the dispatch
+        // checkpoint — the provisional *coarse* pipeline — and must NOT
+        // advance the frozen durability cursor past the demotion
+        // checkpoint (the snapshot blob stays the precise state).
+        let evs = events("gromacs", 44, 2_000);
+        let cfg = ServeConfig {
+            workers: 3,
+            batch_max: 16,
+            slo: Slo {
+                slo_cycles: 1,
+                report_every: 1,
+                demote_after: 1,
+                max_degraded: 1,
+                queue_pressure_pct: 100,
+                ..Slo::OFF
+            },
+            ..ServeConfig::default()
+        };
+        let plan = FaultPlan::new(13).with_worker_kills(150, 2);
+        let mut svc = Service::deterministic(cfg, plan);
+        svc.submit(7, &evs[..1_000]).expect("queue empty");
+        svc.pump();
+        assert_eq!(svc.degraded_sessions(), vec![7], "sole normal session demotes");
+        let (applied, _, blob) = svc.snapshot_session(7).expect("quiescent");
+        assert!(applied < 1_000, "cursor frozen at the demotion point");
+        let restored = SessionPipeline::from_snapshot(&blob).expect("checkpoint decodes");
+        assert_eq!(
+            restored.applied(),
+            applied,
+            "cursor must match the demotion-checkpoint blob even after a death replay"
+        );
+        // More degraded traffic (and possibly another kill): still frozen.
+        svc.submit(7, &evs[1_000..]).expect("pressure 1 admits normal");
+        svc.pump();
+        let (applied2, _, blob2) = svc.snapshot_session(7).expect("quiescent");
+        assert_eq!(applied, applied2);
+        let restored2 = SessionPipeline::from_snapshot(&blob2).expect("checkpoint decodes");
+        assert_eq!(restored2.applied(), applied2);
+        let out = svc.finish();
+        assert!(out.stats.worker_kills > 0, "plan must kill while degraded");
+        assert!(out.stats.coarse_batches > 0, "session must run coarse-only");
         assert_eq!(out.sessions[&7].encode(), solo_report(&evs, cfg.scrub_interval).encode());
     }
 

@@ -53,6 +53,19 @@ impl Priority {
         }
     }
 
+    /// Inverse of [`rank`](Self::rank), used when decoding persisted
+    /// durability frames. `None` for out-of-range bytes — callers treat
+    /// that as corruption, never as a default class.
+    #[must_use]
+    pub fn from_rank(rank: u8) -> Option<Self> {
+        match rank {
+            0 => Some(Priority::Critical),
+            1 => Some(Priority::Normal),
+            2 => Some(Priority::Bulk),
+            _ => None,
+        }
+    }
+
     /// Display label.
     #[must_use]
     pub fn label(self) -> &'static str {

@@ -533,8 +533,17 @@ impl Sched {
                 for ev in batch.into_iter().rev() {
                     slot.pending.push_front(ev);
                 }
-                slot.applied = pipeline.applied();
-                slot.epoch = pipeline.epoch();
+                if slot.degraded.is_none() {
+                    // Mirror the Done handler: for a degraded slot the
+                    // dispatch checkpoint is the provisional *coarse*
+                    // pipeline, whose applied count includes coarse-only
+                    // events. Copying it would advance the frozen
+                    // durability cursor past the demotion checkpoint
+                    // while snapshots still carry the precise blob —
+                    // recovery would then skip the deferred span.
+                    slot.applied = pipeline.applied();
+                    slot.epoch = pipeline.epoch();
+                }
                 slot.state = SlotState::Live(pipeline);
                 slot.last_active = tick;
                 slot.enqueued = true;
@@ -834,14 +843,28 @@ impl Sched {
     /// Installs a recovered session as a frozen slot, as if it had
     /// been evicted at `applied`/`epoch`. Recovery calls this before
     /// any traffic reaches the rebuilt service; the slot thaws lazily
-    /// on first dispatch like any evicted session.
-    pub fn preload_session(&mut self, session: u64, blob: Vec<u8>, applied: u64, epoch: u64) {
-        let slot = self
-            .slots
-            .entry(session)
-            .or_insert_with(|| Slot::new(Priority::default()));
+    /// on first dispatch like any evicted session. `priority`
+    /// rehydrates the sticky admission class the session held before
+    /// the crash — priority is sticky, so recreating the slot at the
+    /// default would silently downgrade it forever.
+    pub fn preload_session(
+        &mut self,
+        session: u64,
+        blob: Vec<u8>,
+        applied: u64,
+        epoch: u64,
+        priority: Priority,
+    ) {
+        let slot = self.slots.entry(session).or_insert_with(|| Slot::new(priority));
+        slot.priority = priority;
         slot.state = SlotState::Frozen(blob);
         slot.applied = applied;
         slot.epoch = epoch;
+    }
+
+    /// The sticky admission class of a known session, or `None` for a
+    /// session the scheduler has never seen.
+    pub fn session_priority(&self, session: u64) -> Option<Priority> {
+        self.slots.get(&session).map(|s| s.priority)
     }
 }

@@ -8,22 +8,28 @@
 //! ```text
 //! SnapWriter header: magic "LTSF" (u32) | version (u32)
 //! body             : session (u64) | epoch (u64) | applied (u64)
+//!                  | priority rank (u8, v2+)
 //!                  | blob_len (u64) | blob bytes ("LTSE" pipeline snapshot)
 //! trailer          : crc32 over everything above (u32)
 //! ```
+//!
+//! Version 2 added the session's sticky [`Priority`] rank so crash
+//! recovery can rehydrate the admission class (v1 frames decode with
+//! [`Priority::Normal`]).
 //!
 //! Decoding is fully defensive: any malformed frame yields a typed
 //! [`RecoveryError`], never a panic, and recovery simply falls back to
 //! the other generation (or a fresh session).
 
 use crate::journal::RecoveryError;
+use crate::overload::Priority;
 use crate::storage::Storage;
-use latch_core::snapshot::{SnapReader, SnapWriter};
+use latch_core::snapshot::{SnapError, SnapReader, SnapWriter};
 
 /// Snapshot frame magic: "LTSF" (LaTch Snapshot Frame).
 pub const SNAP_FRAME_MAGIC: u32 = 0x4C54_5346;
 /// Snapshot frame format version.
-pub const SNAP_FRAME_VERSION: u32 = 1;
+pub const SNAP_FRAME_VERSION: u32 = 2;
 /// Cap on an embedded pipeline blob; length prefixes above this are
 /// treated as corruption, bounding allocation on hostile files.
 pub const SNAP_MAX_BLOB: usize = 1 << 28;
@@ -60,6 +66,9 @@ pub struct SnapFrame {
     pub epoch: u64,
     /// Events the pipeline had applied when snapshotted.
     pub applied: u64,
+    /// The session's sticky admission class when snapshotted
+    /// ([`Priority::Normal`] for v1 frames, which predate the field).
+    pub priority: Priority,
     /// The embedded "LTSE" pipeline snapshot.
     pub blob: Vec<u8>,
 }
@@ -76,12 +85,19 @@ impl SnapFrame {
 
 /// Encodes a snapshot frame.
 #[must_use]
-pub fn encode_frame(session: u64, epoch: u64, applied: u64, blob: &[u8]) -> Vec<u8> {
+pub fn encode_frame(
+    session: u64,
+    epoch: u64,
+    applied: u64,
+    priority: Priority,
+    blob: &[u8],
+) -> Vec<u8> {
     let mut w = SnapWriter::new();
     w.header(SNAP_FRAME_MAGIC, SNAP_FRAME_VERSION);
     w.u64(session);
     w.u64(epoch);
     w.u64(applied);
+    w.u8(priority.rank());
     w.u64(blob.len() as u64);
     w.bytes(blob);
     w.finish_crc()
@@ -93,16 +109,21 @@ pub fn encode_frame(session: u64, epoch: u64, applied: u64, blob: &[u8]) -> Vec<
 /// inner "LTSE" decode fails).
 pub fn decode_frame(session: u64, bytes: &[u8]) -> Result<SnapFrame, RecoveryError> {
     let mut r = SnapReader::new(bytes);
-    let Ok(_) = r.header(SNAP_FRAME_MAGIC, SNAP_FRAME_VERSION) else {
+    let Ok(version) = r.header(SNAP_FRAME_MAGIC, SNAP_FRAME_VERSION) else {
         return Err(RecoveryError::BadHeader);
     };
     if r.trim_crc().is_err() {
         return Err(RecoveryError::BadFrameCrc);
     }
-    let parse = |r: &mut SnapReader| -> Result<SnapFrame, latch_core::snapshot::SnapError> {
+    let parse = |r: &mut SnapReader| -> Result<SnapFrame, SnapError> {
         let session = r.u64()?;
         let epoch = r.u64()?;
         let applied = r.u64()?;
+        let priority = if version >= 2 {
+            Priority::from_rank(r.u8()?).ok_or(SnapError::Corrupt("priority"))?
+        } else {
+            Priority::Normal
+        };
         let blob_len = r.len(1)?;
         let blob = r.bytes(blob_len)?.to_vec();
         r.expect_end()?;
@@ -110,6 +131,7 @@ pub fn decode_frame(session: u64, bytes: &[u8]) -> Result<SnapFrame, RecoveryErr
             session,
             epoch,
             applied,
+            priority,
             blob,
         })
     };
@@ -131,11 +153,12 @@ pub fn write_frame<S: Storage>(
     generation: u8,
     epoch: u64,
     applied: u64,
+    priority: Priority,
     blob: &[u8],
 ) -> bool {
     storage.write_atomic(
         &snap_name(session, generation),
-        &encode_frame(session, epoch, applied, blob),
+        &encode_frame(session, epoch, applied, priority, blob),
     )
 }
 
@@ -156,12 +179,47 @@ mod tests {
     #[test]
     fn frames_roundtrip() {
         let blob = vec![7u8; 300];
-        let enc = encode_frame(4, 2, 1234, &blob);
-        let frame = decode_frame(4, &enc).unwrap();
-        assert_eq!(frame.session, 4);
-        assert_eq!(frame.epoch, 2);
-        assert_eq!(frame.applied, 1234);
+        for prio in [Priority::Critical, Priority::Normal, Priority::Bulk] {
+            let enc = encode_frame(4, 2, 1234, prio, &blob);
+            let frame = decode_frame(4, &enc).unwrap();
+            assert_eq!(frame.session, 4);
+            assert_eq!(frame.epoch, 2);
+            assert_eq!(frame.applied, 1234);
+            assert_eq!(frame.priority, prio);
+            assert_eq!(frame.blob, blob);
+        }
+    }
+
+    #[test]
+    fn v1_frames_decode_with_default_priority() {
+        // A pre-priority frame: same layout minus the rank byte.
+        let blob = vec![3u8; 40];
+        let mut w = SnapWriter::new();
+        w.header(SNAP_FRAME_MAGIC, 1);
+        w.u64(8);
+        w.u64(0);
+        w.u64(77);
+        w.u64(blob.len() as u64);
+        w.bytes(&blob);
+        let frame = decode_frame(8, &w.finish_crc()).unwrap();
+        assert_eq!(frame.applied, 77);
+        assert_eq!(frame.priority, Priority::Normal);
         assert_eq!(frame.blob, blob);
+    }
+
+    #[test]
+    fn out_of_range_priority_rank_is_corruption() {
+        let mut w = SnapWriter::new();
+        w.header(SNAP_FRAME_MAGIC, SNAP_FRAME_VERSION);
+        w.u64(8);
+        w.u64(0);
+        w.u64(77);
+        w.u8(3); // no such rank
+        w.u64(0);
+        assert_eq!(
+            decode_frame(8, &w.finish_crc()),
+            Err(RecoveryError::BadSnapshot)
+        );
     }
 
     #[test]
@@ -170,6 +228,7 @@ mod tests {
             session: 0,
             epoch,
             applied,
+            priority: Priority::Normal,
             blob: Vec::new(),
         };
         assert!(f(1, 10).newer_than(&f(0, 999)), "epoch dominates");
@@ -179,7 +238,7 @@ mod tests {
 
     #[test]
     fn every_bitflip_and_truncation_is_typed() {
-        let enc = encode_frame(1, 0, 64, &[9u8; 128]);
+        let enc = encode_frame(1, 0, 64, Priority::Bulk, &[9u8; 128]);
         for i in 0..enc.len() {
             let mut bad = enc.clone();
             bad[i] ^= 0x20;
@@ -198,8 +257,8 @@ mod tests {
     #[test]
     fn write_frame_replaces_in_place() {
         let mut s = MemStorage::new(FaultPlan::benign());
-        assert!(write_frame(&mut s, 5, 0, 0, 10, b"aaa"));
-        assert!(write_frame(&mut s, 5, 0, 0, 20, b"bbb"));
+        assert!(write_frame(&mut s, 5, 0, 0, 10, Priority::Normal, b"aaa"));
+        assert!(write_frame(&mut s, 5, 0, 0, 20, Priority::Normal, b"bbb"));
         let frame = decode_frame(5, &s.read(&snap_name(5, 0)).unwrap()).unwrap();
         assert_eq!(frame.applied, 20);
         assert_eq!(frame.blob, b"bbb");

@@ -10,7 +10,7 @@
 
 use latch_faults::FaultPlan;
 use latch_serve::{
-    DurableConfig, DurableService, MemStorage, Rejected, ServeConfig,
+    DurableConfig, DurableService, MemStorage, Priority, Rejected, ServeConfig, Slo,
 };
 use latch_sim::event::{Event, EventSource};
 use latch_systems::session::SessionPipeline;
@@ -171,6 +171,117 @@ proptest! {
         prop_assert_eq!(report_a.sessions, report_b.sessions);
         prop_assert_eq!(report_a.quarantined, report_b.quarantined);
     }
+}
+
+/// Worker kills under an armed SLO, with durable snapshots cut while
+/// the session is degraded: the durability cursor must stay frozen at
+/// the demotion checkpoint through death replays, so a crash + WAL
+/// replay recovers the deferred span instead of silently skipping it.
+#[test]
+fn degraded_worker_death_then_crash_recovery_loses_nothing() {
+    let profiles = all_profiles();
+    let evs = stream(&profiles[1], 91, 2_000);
+    let cfg = ServeConfig {
+        workers: 3,
+        batch_max: 16,
+        slo: Slo {
+            slo_cycles: 1, // every cut breaches: the session demotes at the first cut
+            report_every: 1,
+            demote_after: 1,
+            max_degraded: 1,
+            queue_pressure_pct: 100,
+            ..Slo::OFF
+        },
+        ..ServeConfig::default()
+    };
+    // Aggressive durability so snapshots land while degraded, and kills
+    // that fire well after the first-cut demotion.
+    let dcfg = DurableConfig {
+        group_commit_events: 1,
+        snapshot_every: 1,
+    };
+    let plan = FaultPlan::new(91).with_worker_kills(150, 2);
+    let mut svc = DurableService::new(cfg, dcfg, plan, MemStorage::new(plan));
+    for chunk in evs.chunks(200) {
+        svc.submit(0, chunk)
+            .expect("a sole normal session is never shed at pressure 1");
+        svc.pump();
+    }
+    assert_eq!(
+        svc.service().degraded_sessions(),
+        vec![0],
+        "the session must still be degraded when the service dies"
+    );
+
+    // Kill the process; recover; re-submit the lost suffix.
+    let storage = svc.crash();
+    let (mut svc, report) = DurableService::recover(cfg, dcfg, plan, storage);
+    let rec = report.sessions[&0];
+    assert!(
+        rec.snapshot_applied < evs.len() as u64,
+        "durable snapshots must stay frozen at the demotion checkpoint"
+    );
+    assert!(
+        rec.replayed > 0,
+        "the deferred degraded span must be re-derived from the WAL, not skipped"
+    );
+    let suffix = evs[rec.recovered as usize..].to_vec();
+    for chunk in suffix.chunks(200) {
+        svc.submit(0, chunk).expect("recovered service admits the suffix");
+        svc.pump();
+    }
+    let (out, _) = svc.finish();
+    assert_eq!(
+        out.sessions[&0].encode(),
+        solo(&evs, cfg.scrub_interval),
+        "recovery must not skip the deferred degraded span"
+    );
+}
+
+/// The sticky admission class survives a crash: via the WAL header
+/// when the session dies before its first snapshot, and via the
+/// snapshot frame afterwards. Without this, a Critical session would
+/// silently become sheddable after recovery.
+#[test]
+fn priority_class_survives_crash_recovery() {
+    let profiles = all_profiles();
+    let evs = stream(&profiles[0], 7, 600);
+    let cfg = ServeConfig {
+        workers: 2,
+        seed: 7,
+        ..ServeConfig::default()
+    };
+    let plan = FaultPlan::benign();
+
+    // (a) Crash before any snapshot is due: only the WAL exists, and
+    // its header carries the class fixed at first admission.
+    let dcfg = DurableConfig {
+        group_commit_events: 1,
+        snapshot_every: 1_000_000,
+    };
+    let mut svc = DurableService::new(cfg, dcfg, plan, MemStorage::new(plan));
+    svc.submit_with_priority(3, &evs[..100], Priority::Critical).unwrap();
+    svc.submit_with_priority(4, &evs[..100], Priority::Bulk).unwrap();
+    svc.pump();
+    let (svc, report) = DurableService::recover(cfg, dcfg, plan, svc.crash());
+    assert!(report.sessions.contains_key(&3));
+    assert_eq!(svc.service().session_priority(3), Some(Priority::Critical));
+    assert_eq!(svc.service().session_priority(4), Some(Priority::Bulk));
+
+    // (b) Crash after snapshots: the frame carries the class too.
+    let dcfg = DurableConfig {
+        group_commit_events: 1,
+        snapshot_every: 1,
+    };
+    let mut svc = DurableService::new(cfg, dcfg, plan, MemStorage::new(plan));
+    svc.submit_with_priority(3, &evs, Priority::Critical).unwrap();
+    svc.pump();
+    let (mut svc, _) = DurableService::recover(cfg, dcfg, plan, svc.crash());
+    assert_eq!(svc.service().session_priority(3), Some(Priority::Critical));
+    // Priority stays sticky post-recovery: a later Bulk flag on the
+    // recovered session cannot downgrade it.
+    svc.submit_with_priority(3, &evs[..50], Priority::Bulk).unwrap();
+    assert_eq!(svc.service().session_priority(3), Some(Priority::Critical));
 }
 
 /// Happy path: an uninterrupted durable run equals the plain service,
