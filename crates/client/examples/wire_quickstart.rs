@@ -1,0 +1,61 @@
+//! The client half of the README's two-terminal quickstart.
+//!
+//! Terminal 1: `latchd --listen tcp:127.0.0.1:7410 --dir /tmp/latchd`
+//! Terminal 2: `cargo run -p latch-client --example wire_quickstart -- tcp:127.0.0.1:7410`
+//!
+//! Submits a seeded synthetic stream for two sessions, drains, and
+//! prints each session's applied count — then verifies the wire
+//! reports byte-for-byte against solo in-process pipeline runs.
+
+use latch_client::Client;
+use latch_proto::Endpoint;
+use latch_sim::event::{Event, EventSource};
+use latch_systems::session::SessionPipeline;
+use latch_workloads::all_profiles;
+
+fn stream(profile_idx: usize, seed: u64, n: u64) -> Vec<Event> {
+    let profiles = all_profiles();
+    let mut src = profiles[profile_idx % profiles.len()].stream(seed, n);
+    let mut out = Vec::new();
+    while let Some(ev) = src.next_event() {
+        out.push(ev);
+    }
+    out
+}
+
+fn main() {
+    let spec = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "tcp:127.0.0.1:7410".to_string());
+    let endpoint = Endpoint::parse(&spec)
+        .unwrap_or_else(|| panic!("endpoint wants tcp:ADDR or unix:PATH, got {spec}"));
+    let mut client = Client::connect(&endpoint, 256, false).expect("connect");
+    println!("connected to {endpoint} (window {} events)", client.window_events());
+
+    let streams: Vec<Vec<Event>> = (0..2).map(|s| stream(s, 0x9A1 + s as u64, 300)).collect();
+    for (session, events) in streams.iter().enumerate() {
+        for chunk in events.chunks(48) {
+            client
+                .submit(session as u64, 1, chunk)
+                .expect("benign server admits everything");
+        }
+    }
+    println!("submitted {} events across {} sessions", client.admitted(), streams.len());
+
+    let reports = client.drain().expect("drain");
+    for (session, bytes) in &reports {
+        let (applied, again) = client.report(*session).expect("report");
+        assert_eq!(*bytes, again, "drain and report must agree");
+        // The wire report must equal a solo in-process run. The scrub
+        // interval must match the server's config (latchd default).
+        let mut solo = SessionPipeline::new(
+            latch_serve::ServeConfig::default().scrub_interval,
+        );
+        for ev in &streams[*session as usize] {
+            solo.apply(ev);
+        }
+        assert_eq!(*bytes, solo.report().encode(), "wire report != solo run");
+        println!("session {session}: {applied} events applied, report matches solo run");
+    }
+    println!("wire_quickstart: OK");
+}

@@ -1,0 +1,277 @@
+//! Blocking client for the `latchd` network front door.
+//!
+//! [`Client`] speaks the [`latch_proto`] framed protocol over TCP or a
+//! Unix socket: a `Hello` handshake with version negotiation, typed
+//! `Submit` replies surfacing every server-side rejection, a drain
+//! that returns every session's final report bytes, and an opt-in
+//! stream of [`WireSlo`] telemetry pushes collected as replies are
+//! read.
+//!
+//! ```no_run
+//! use latch_client::Client;
+//! use latch_proto::Endpoint;
+//!
+//! let endpoint = Endpoint::parse("tcp:127.0.0.1:7410").unwrap();
+//! let mut client = Client::connect(&endpoint, 256, false).unwrap();
+//! client.submit(7, 1, &[]).unwrap();
+//! let reports = client.drain().unwrap();
+//! assert!(reports.is_empty() || reports[0].0 == 7);
+//! ```
+
+use latch_proto::{
+    error_code, read_msg, write_msg, Endpoint, Msg, ProtoError, WireRejected, WireSlo,
+    PROTO_VERSION,
+};
+use latch_sim::event::Event;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+
+/// Everything that can go wrong on the client side of the wire.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write).
+    Io(io::Error),
+    /// The byte stream violated the framed protocol.
+    Proto(ProtoError),
+    /// The server refused the submission — a typed, retryable answer,
+    /// not a failure of the connection.
+    Rejected(WireRejected),
+    /// The server answered with a protocol-level error code
+    /// (see [`latch_proto::error_code`]).
+    Server { code: u8 },
+    /// The server spoke a protocol version this client does not.
+    Version { server: u32 },
+    /// The server closed the connection or answered out of protocol.
+    UnexpectedReply(&'static str),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Rejected(r) => write!(f, "submission rejected: {r}"),
+            ClientError::Server { code } => write!(f, "server error code {code}"),
+            ClientError::Version { server } => {
+                write!(f, "server speaks protocol v{server}, client v{PROTO_VERSION}")
+            }
+            ClientError::UnexpectedReply(what) => write!(f, "unexpected reply: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+enum Conn {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A blocking connection to a `latchd` front door.
+pub struct Client {
+    conn: Conn,
+    /// In-flight window granted by the server's `HelloAck`.
+    window_events: u32,
+    /// Cumulative events the server has acknowledged admitting.
+    admitted: u64,
+    /// SLO pushes collected while reading replies (only populated when
+    /// the connection opted in with `want_slo`).
+    slo: Vec<WireSlo>,
+}
+
+impl Client {
+    /// Connects, handshakes, and negotiates the in-flight window.
+    ///
+    /// `window_events` is the client's *requested* window; the server
+    /// clamps it to its own cap and the granted value is what
+    /// [`window_events`](Self::window_events) reports. With `want_slo`
+    /// the server streams [`WireSlo`] cuts, collected via
+    /// [`take_slo_reports`](Self::take_slo_reports).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on connect failure, [`ClientError::Version`]
+    /// on a version mismatch, [`ClientError::Proto`] /
+    /// [`ClientError::UnexpectedReply`] on a malformed handshake.
+    pub fn connect(
+        endpoint: &Endpoint,
+        window_events: u32,
+        want_slo: bool,
+    ) -> Result<Self, ClientError> {
+        let conn = match endpoint {
+            Endpoint::Tcp(addr) => Conn::Tcp(TcpStream::connect(addr.as_str())?),
+            Endpoint::Unix(path) => Conn::Unix(UnixStream::connect(path)?),
+        };
+        let mut client = Self {
+            conn,
+            window_events,
+            admitted: 0,
+            slo: Vec::new(),
+        };
+        write_msg(
+            &mut client.conn,
+            &Msg::Hello {
+                version: PROTO_VERSION,
+                window_events,
+                want_slo,
+            },
+        )?;
+        match client.next_reply()? {
+            Msg::HelloAck {
+                version,
+                window_events,
+            } => {
+                if version != PROTO_VERSION {
+                    return Err(ClientError::Version { server: version });
+                }
+                client.window_events = window_events;
+            }
+            Msg::Error { code } => return Err(ClientError::Server { code }),
+            _ => return Err(ClientError::UnexpectedReply("handshake")),
+        }
+        Ok(client)
+    }
+
+    /// The in-flight window granted by the server, in events.
+    #[must_use]
+    pub fn window_events(&self) -> u32 {
+        self.window_events
+    }
+
+    /// Cumulative events the server has admitted on this connection.
+    #[must_use]
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Submits one batch for `session` at priority `rank`
+    /// (0 = critical, 1 = normal, 2 = bulk).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] carries the server's typed refusal
+    /// (shed, queue full, batch too large, shutting down) — the
+    /// connection stays usable. Transport and protocol failures are
+    /// terminal for the connection.
+    pub fn submit(
+        &mut self,
+        session: u64,
+        rank: u8,
+        events: &[Event],
+    ) -> Result<(), ClientError> {
+        write_msg(
+            &mut self.conn,
+            &Msg::Submit {
+                session,
+                priority: rank,
+                events: events.to_vec(),
+            },
+        )?;
+        match self.next_reply()? {
+            Msg::SubmitOk { admitted, .. } => {
+                self.admitted = admitted;
+                Ok(())
+            }
+            Msg::SubmitRejected { rejected, .. } => Err(ClientError::Rejected(rejected)),
+            Msg::Error { code } => Err(ClientError::Server { code }),
+            _ => Err(ClientError::UnexpectedReply("submit")),
+        }
+    }
+
+    /// Drains the server and returns every session's final report
+    /// bytes, ordered by session id. Idempotent: a second drain
+    /// returns the same reports.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with
+    /// [`error_code::DRAIN_TIMEOUT`] if the server's drain deadline
+    /// expired; transport and protocol failures otherwise.
+    pub fn drain(&mut self) -> Result<Vec<(u64, Vec<u8>)>, ClientError> {
+        write_msg(&mut self.conn, &Msg::Drain)?;
+        match self.next_reply()? {
+            Msg::Drained { reports } => Ok(reports),
+            Msg::Error { code } => Err(ClientError::Server { code }),
+            _ => Err(ClientError::UnexpectedReply("drain")),
+        }
+    }
+
+    /// Fetches one drained session's `(applied, report bytes)`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`error_code::NOT_DRAINED`] before
+    /// a drain, or [`error_code::PROTOCOL`] for an unknown session.
+    pub fn report(&mut self, session: u64) -> Result<(u64, Vec<u8>), ClientError> {
+        write_msg(&mut self.conn, &Msg::Report { session })?;
+        match self.next_reply()? {
+            Msg::ReportData {
+                applied, report, ..
+            } => Ok((applied, report)),
+            Msg::Error { code } => Err(ClientError::Server { code }),
+            _ => Err(ClientError::UnexpectedReply("report")),
+        }
+    }
+
+    /// Takes the SLO pushes collected so far (empty unless the
+    /// connection opted in with `want_slo`).
+    pub fn take_slo_reports(&mut self) -> Vec<WireSlo> {
+        std::mem::take(&mut self.slo)
+    }
+
+    /// Reads the next non-push reply, stashing SLO pushes on the way.
+    fn next_reply(&mut self) -> Result<Msg, ClientError> {
+        loop {
+            match read_msg(&mut self.conn)? {
+                Some(Msg::SloPush(report)) => self.slo.push(report),
+                Some(msg) => return Ok(msg),
+                None => return Err(ClientError::UnexpectedReply("connection closed")),
+            }
+        }
+    }
+}
+
+/// True when a [`ClientError`] is the typed not-drained answer (useful
+/// for polling [`Client::report`] before a drain lands).
+#[must_use]
+pub fn is_not_drained(err: &ClientError) -> bool {
+    matches!(err, ClientError::Server { code } if *code == error_code::NOT_DRAINED)
+}

@@ -1,0 +1,288 @@
+//! End-to-end loopback tests: a real [`WireServer`] on one side, a
+//! real [`Client`] on the other, TCP and Unix transports, byte-level
+//! equality against solo in-process runs — including under a seeded
+//! overload plan that actually sheds — and hostile-bytes fail-closed
+//! behaviour.
+
+use latch_client::{Client, ClientError};
+use latch_faults::FaultPlan;
+use latch_proto::{Endpoint, WireRejected};
+use latch_serve::{
+    DurableConfig, DurableService, MemStorage, ServeConfig, Slo, WireConfig, WireServer,
+};
+use latch_sim::event::{Event, EventSource};
+use latch_systems::session::SessionPipeline;
+use latch_workloads::all_profiles;
+use std::collections::BTreeMap;
+use std::io::Write;
+
+fn stream(profile_idx: usize, seed: u64, n: u64) -> Vec<Event> {
+    let profiles = all_profiles();
+    let mut src = profiles[profile_idx % profiles.len()].stream(seed, n);
+    let mut out = Vec::new();
+    while let Some(ev) = src.next_event() {
+        out.push(ev);
+    }
+    out
+}
+
+fn quiet_config(seed: u64) -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        seed,
+        ..ServeConfig::default()
+    }
+}
+
+fn overloaded_config(seed: u64) -> ServeConfig {
+    ServeConfig {
+        workers: 1,
+        queue_events: 512,
+        batch_max: 32,
+        max_resident: 2,
+        seed,
+        slo: Slo {
+            slo_cycles: 2,
+            window: 32,
+            report_every: 4,
+            demote_after: 1,
+            promote_after: 2,
+            max_degraded: 2,
+            queue_pressure_pct: 50,
+        },
+        ..ServeConfig::default()
+    }
+}
+
+fn start(cfg: ServeConfig, endpoint: &Endpoint) -> WireServer<MemStorage> {
+    let (svc, _recovery) = DurableService::recover(
+        cfg,
+        DurableConfig::default(),
+        FaultPlan::benign(),
+        MemStorage::new(FaultPlan::benign()),
+    );
+    WireServer::start(endpoint, svc, WireConfig::default()).expect("bind loopback")
+}
+
+fn unix_endpoint(tag: &str) -> Endpoint {
+    Endpoint::Unix(std::env::temp_dir().join(format!(
+        "latch-client-{tag}-{}.sock",
+        std::process::id()
+    )))
+}
+
+fn solo_report(events: &[Event], scrub_interval: u64) -> Vec<u8> {
+    let mut solo = SessionPipeline::new(scrub_interval);
+    for ev in events {
+        solo.apply(ev);
+    }
+    solo.report().encode()
+}
+
+/// Drives `sessions` full streams through one client connection in
+/// round-robin chunks and returns per-session admitted events plus the
+/// drained report bytes.
+fn drive_and_drain(
+    client: &mut Client,
+    streams: &[Vec<Event>],
+) -> (Vec<Vec<Event>>, BTreeMap<u64, Vec<u8>>) {
+    const CHUNK: usize = 48;
+    let mut admitted: Vec<Vec<Event>> = vec![Vec::new(); streams.len()];
+    let mut pos = vec![0usize; streams.len()];
+    let mut rounds = 0u64;
+    while pos.iter().zip(streams).any(|(&p, s)| p < s.len()) {
+        assert!(rounds < 1_000_000, "drive failed to make progress");
+        for (i, events) in streams.iter().enumerate() {
+            if pos[i] >= events.len() {
+                continue;
+            }
+            let take = CHUNK.min(events.len() - pos[i]);
+            let batch = &events[pos[i]..pos[i] + take];
+            match client.submit(i as u64, (i % 3) as u8, batch) {
+                Ok(()) => {
+                    admitted[i].extend_from_slice(batch);
+                    pos[i] += take;
+                }
+                Err(ClientError::Rejected(WireRejected::Shed { .. })) => {
+                    assert_ne!(i % 3, 0, "critical traffic was shed");
+                    pos[i] += take; // dropped on purpose
+                }
+                Err(ClientError::Rejected(
+                    WireRejected::QueueFull { .. } | WireRejected::SessionBusy { .. },
+                )) => {} // retry the same chunk next round
+                Err(e) => panic!("session {i}: {e}"),
+            }
+        }
+        rounds += 1;
+    }
+    let reports = client.drain().expect("drain").into_iter().collect();
+    (admitted, reports)
+}
+
+fn assert_wire_matches_solo(endpoint: &Endpoint, cfg: ServeConfig) {
+    let scrub = cfg.scrub_interval;
+    let server = start(cfg, endpoint);
+    let streams: Vec<Vec<Event>> = (0..3).map(|s| stream(s, 0xE2E + s as u64, 400)).collect();
+    let mut client = Client::connect(server.endpoint(), 256, false).expect("connect");
+    let (admitted, reports) = drive_and_drain(&mut client, &streams);
+    for (i, events) in admitted.iter().enumerate() {
+        match reports.get(&(i as u64)) {
+            Some(bytes) => assert_eq!(
+                *bytes,
+                solo_report(events, scrub),
+                "session {i}: wire report diverged from a solo run"
+            ),
+            None => assert!(events.is_empty(), "session {i}: admitted but unreported"),
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn tcp_loopback_reports_match_solo_runs() {
+    let endpoint = Endpoint::parse("tcp:127.0.0.1:0").unwrap();
+    assert_wire_matches_solo(&endpoint, quiet_config(11));
+}
+
+#[test]
+fn unix_loopback_reports_match_solo_runs() {
+    let endpoint = unix_endpoint("quiet");
+    assert_wire_matches_solo(&endpoint, quiet_config(12));
+}
+
+#[test]
+fn overloaded_server_sheds_and_still_matches_solo_runs() {
+    // An armed SLO on a single worker: sheds fire for non-critical
+    // sessions, and every session's report must still equal a solo run
+    // of exactly the admitted (non-shed) stream.
+    let endpoint = Endpoint::parse("tcp:127.0.0.1:0").unwrap();
+    assert_wire_matches_solo(&endpoint, overloaded_config(13));
+}
+
+#[test]
+fn report_is_typed_before_drain_and_served_after() {
+    let endpoint = Endpoint::parse("tcp:127.0.0.1:0").unwrap();
+    let cfg = quiet_config(14);
+    let scrub = cfg.scrub_interval;
+    let server = start(cfg, &endpoint);
+    let events = stream(0, 77, 200);
+    let mut client = Client::connect(server.endpoint(), 256, false).expect("connect");
+    client.submit(5, 0, &events).expect("submit");
+
+    // Before drain: a typed NOT_DRAINED answer, not a hang or a close.
+    let err = client.report(5).expect_err("report before drain");
+    assert!(latch_client::is_not_drained(&err), "got {err}");
+
+    let reports = client.drain().expect("drain");
+    assert_eq!(reports.len(), 1);
+    let (applied, bytes) = client.report(5).expect("report after drain");
+    assert_eq!(applied, events.len() as u64);
+    assert_eq!(bytes, solo_report(&events, scrub));
+    assert_eq!(bytes, reports[0].1);
+
+    // Unknown session: typed protocol error.
+    let err = client.report(999).expect_err("unknown session");
+    assert!(
+        matches!(err, ClientError::Server { code } if code == latch_proto::error_code::PROTOCOL),
+        "got {err}"
+    );
+
+    // Drain is idempotent.
+    let again = client.drain().expect("second drain");
+    assert_eq!(again, reports);
+
+    // Submissions after drain are rejected shut, not dropped.
+    let err = client.submit(5, 0, &events).expect_err("submit after drain");
+    assert!(
+        matches!(
+            err,
+            ClientError::Rejected(WireRejected::ShuttingDown)
+        ),
+        "got {err}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn slo_pushes_stream_to_subscribed_connections() {
+    let endpoint = Endpoint::parse("tcp:127.0.0.1:0").unwrap();
+    let server = start(overloaded_config(15), &endpoint);
+    let streams: Vec<Vec<Event>> = (0..2).map(|s| stream(s, 0x510 + s as u64, 600)).collect();
+    let mut client = Client::connect(server.endpoint(), 128, true).expect("connect");
+    let _ = drive_and_drain(&mut client, &streams);
+    let pushes = client.take_slo_reports();
+    assert!(
+        !pushes.is_empty(),
+        "an armed SLO under pressure must cut at least one report"
+    );
+    // Cuts arrive in batch order; the cursor never replays one.
+    for pair in pushes.windows(2) {
+        assert!(pair[0].at_batch < pair[1].at_batch, "duplicate or reordered SLO push");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn garbage_fed_connection_fails_closed_without_wedging_the_server() {
+    let endpoint = Endpoint::parse("tcp:127.0.0.1:0").unwrap();
+    let cfg = quiet_config(16);
+    let scrub = cfg.scrub_interval;
+    let server = start(cfg, &endpoint);
+    let Endpoint::Tcp(addr) = server.endpoint().clone() else {
+        unreachable!()
+    };
+
+    // A connection that speaks pure garbage: the server must close it
+    // (fail-closed) without taking the accept loop down.
+    let mut garbage = std::net::TcpStream::connect(addr.as_str()).expect("connect");
+    garbage
+        .write_all(&[0xFF; 64])
+        .expect("garbage bytes accepted by the kernel");
+    garbage.flush().unwrap();
+
+    // A connection whose *frame* is valid but whose first message is
+    // not a Hello: also failed closed, with a typed reply first.
+    let proto_violation = Endpoint::Tcp(addr.clone());
+    let mut early = std::net::TcpStream::connect(addr.as_str()).expect("connect");
+    let drain_frame = latch_proto::Msg::Drain.encode().expect("encode");
+    early.write_all(&drain_frame).expect("frame accepted");
+    early.flush().unwrap();
+    drop(proto_violation);
+
+    // The server still serves real clients end to end.
+    let events = stream(1, 99, 150);
+    let mut client = Client::connect(server.endpoint(), 256, false).expect("connect after garbage");
+    client.submit(3, 1, &events).expect("submit");
+    let reports = client.drain().expect("drain");
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].1, solo_report(&events, scrub));
+
+    drop(garbage);
+    drop(early);
+    server.shutdown();
+}
+
+#[test]
+fn version_mismatch_is_refused_at_the_door() {
+    // A Hello carrying the wrong magic/version dies with a typed error
+    // on the client side; encode a bad-version Hello by hand.
+    let endpoint = Endpoint::parse("tcp:127.0.0.1:0").unwrap();
+    let server = start(quiet_config(17), &endpoint);
+    let Endpoint::Tcp(addr) = server.endpoint().clone() else {
+        unreachable!()
+    };
+    let mut raw = std::net::TcpStream::connect(addr.as_str()).expect("connect");
+    let hello = latch_proto::Msg::Hello {
+        version: latch_proto::PROTO_VERSION + 1,
+        window_events: 8,
+        want_slo: false,
+    };
+    raw.write_all(&hello.encode().expect("encode")).unwrap();
+    raw.flush().unwrap();
+    // The server rejects the decode (BadVersion) and fails the
+    // connection closed; a healthy client still connects.
+    let mut client = Client::connect(server.endpoint(), 8, false).expect("connect");
+    client.drain().expect("drain");
+    drop(raw);
+    server.shutdown();
+}

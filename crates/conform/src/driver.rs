@@ -39,9 +39,11 @@ use latch_dift::prop::PropRule;
 use latch_dift::tag::TaintTag;
 use latch_faults::FaultPlan;
 use latch_faults::FaultInjector;
+use latch_client::{Client, ClientError};
+use latch_proto::Endpoint;
 use latch_serve::{
     DurableConfig, DurableService, FailoverRecord, MemStorage, MultiIngress, Priority,
-    Rejected, ServeConfig, Service, ServiceOutcome, Slo, SloReport,
+    Rejected, ServeConfig, Service, ServiceOutcome, Slo, SloReport, WireConfig, WireServer,
 };
 use latch_sim::event::{Event, MemAccess, MemAccessKind, SourceInput, VecSource};
 use latch_sim::machine::apply_event_dift;
@@ -671,6 +673,9 @@ pub fn check(prog: &TestProgram, opts: &CheckOptions) -> Result<Verdict, Box<Div
                             svc.pump(); // unacked: the same peek returns next round
                         }
                         Err(Rejected::ShuttingDown) => unreachable!("not draining"),
+                        Err(Rejected::BatchTooLarge { .. }) => {
+                            unreachable!("chunks are far below the journal cap")
+                        }
                     }
                 }
                 svc.pump();
@@ -724,6 +729,80 @@ pub fn check(prog: &TestProgram, opts: &CheckOptions) -> Result<Verdict, Box<Div
                     "overload-serve",
                     "session report diverged from a solo run of its admitted stream",
                 ));
+            }
+        }
+    }
+
+    // ---- leg 9: wire-serve — the network front door ------------------
+    // The same desugared trace crosses a real TCP loopback socket:
+    // latch-client speaks the framed protocol into a [`WireServer`]
+    // over a durable (in-memory) service. A single connection drives
+    // three sessions round-robin — one reader thread, deterministic
+    // admission order — and after a wire drain every session's report
+    // bytes must equal a solo pipeline run of the trace. Any transport
+    // or framing fault is a divergence, not a panic.
+    if !desugared.is_empty() {
+        const CHUNK: usize = 48;
+        const WIRE_SESSIONS: usize = 3;
+        let wire = |what: &'static str| {
+            Box::new(Divergence::Overload {
+                leg: "wire-serve",
+                what,
+            })
+        };
+        let cfg = ServeConfig {
+            workers: 2,
+            max_resident: 2,
+            seed: opts.fault_seed,
+            ..ServeConfig::default()
+        };
+        let scrub = cfg.scrub_interval;
+        let (svc, _recovery) = DurableService::recover(
+            cfg,
+            DurableConfig::default(),
+            FaultPlan::benign(),
+            MemStorage::new(FaultPlan::benign()),
+        );
+        let endpoint = Endpoint::parse("tcp:127.0.0.1:0").expect("literal endpoint");
+        let server = WireServer::start(&endpoint, svc, WireConfig::default())
+            .map_err(|_| wire("bind failed"))?;
+        let mut client = Client::connect(server.endpoint(), 256, false)
+            .map_err(|_| wire("connect failed"))?;
+        let mut pos = [0usize; WIRE_SESSIONS];
+        let mut rounds = 0u64;
+        while pos.iter().any(|&p| p < desugared.len()) {
+            if rounds > 1_000_000 {
+                return Err(wire("drive failed to make progress"));
+            }
+            for (s, p) in pos.iter_mut().enumerate() {
+                if *p >= desugared.len() {
+                    continue;
+                }
+                let take = CHUNK.min(desugared.len() - *p);
+                let batch = &desugared[*p..*p + take];
+                match client.submit(s as u64, (s % 3) as u8, batch) {
+                    Ok(()) => *p += take,
+                    // Benign plan, SLO off: only backpressure can
+                    // reject; the same chunk retries next round.
+                    Err(ClientError::Rejected(_)) => {}
+                    Err(_) => return Err(wire("transport failed mid-drive")),
+                }
+            }
+            rounds += 1;
+        }
+        let reports = client.drain().map_err(|_| wire("drain failed"))?;
+        server.shutdown();
+        if reports.len() != WIRE_SESSIONS {
+            return Err(wire("session count diverged across the wire"));
+        }
+        let mut solo = SessionPipeline::new(scrub);
+        for ev in &desugared {
+            solo.apply(ev);
+        }
+        let want = solo.report().encode();
+        for (_session, bytes) in &reports {
+            if *bytes != want {
+                return Err(wire("session report diverged across the wire"));
             }
         }
     }

@@ -210,6 +210,26 @@ pub enum TraceEvent {
         /// Typed reason label (mirrors `RecoveryError`).
         reason: &'static str,
     },
+    /// The network front door accepted a connection.
+    ConnOpen {
+        /// Server-local connection id (monotonic per listener).
+        conn: u64,
+    },
+    /// A network connection closed (cleanly or after a wire error).
+    ConnClose {
+        /// Server-local connection id.
+        conn: u64,
+        /// Frames the connection delivered before closing.
+        frames: u64,
+    },
+    /// The network front door rejected a frame or connection.
+    WireReject {
+        /// Server-local connection id.
+        conn: u64,
+        /// Typed reason label (mirrors `latch_proto::ProtoError` or
+        /// the protocol state machine).
+        reason: &'static str,
+    },
 }
 
 impl TraceEvent {
@@ -243,6 +263,9 @@ impl TraceEvent {
             TraceEvent::SessionPromote { .. } => "session_promote",
             TraceEvent::IngressFailover { .. } => "ingress_failover",
             TraceEvent::FrameQuarantined { .. } => "frame_quarantined",
+            TraceEvent::ConnOpen { .. } => "conn_open",
+            TraceEvent::ConnClose { .. } => "conn_close",
+            TraceEvent::WireReject { .. } => "wire_reject",
         }
     }
 
@@ -401,6 +424,15 @@ impl TraceEvent {
                     out,
                     ",\"session\":{session},\"from_path\":{from_path},\"to_path\":{to_path}"
                 );
+            }
+            TraceEvent::ConnOpen { conn } => {
+                let _ = write!(out, ",\"conn\":{conn}");
+            }
+            TraceEvent::ConnClose { conn, frames } => {
+                let _ = write!(out, ",\"conn\":{conn},\"frames\":{frames}");
+            }
+            TraceEvent::WireReject { conn, reason } => {
+                let _ = write!(out, ",\"conn\":{conn},\"reason\":\"{reason}\"");
             }
         }
         out.push('}');

@@ -102,6 +102,9 @@ fn drive(
                     Err(Rejected::QueueFull { .. } | Rejected::SessionBusy { .. }) => svc.pump(),
                     Err(Rejected::ShuttingDown) => unreachable!("not draining"),
                     Err(Rejected::Shed { .. }) => unreachable!("no SLO armed"),
+                    Err(Rejected::BatchTooLarge { .. }) => {
+                        unreachable!("chunks are far below the journal cap")
+                    }
                 }
             }
         }

@@ -138,6 +138,9 @@ fn drive(cfg: ServeConfig, plan: FaultPlan, streams: &[Vec<Event>]) -> RunResult
                     svc.pump(); // unacked: the same peek returns next round
                 }
                 Err(Rejected::ShuttingDown) => unreachable!("not draining"),
+                Err(Rejected::BatchTooLarge { .. }) => {
+                    unreachable!("chunks are far below the journal cap")
+                }
             }
         }
         svc.pump();

@@ -155,6 +155,9 @@ fn run_overload(workers: usize, streams: &[Vec<Event>], chunk: usize) -> (Servic
                         svc.pump();
                     }
                     Err(Rejected::ShuttingDown) => unreachable!("not draining"),
+                    Err(Rejected::BatchTooLarge { .. }) => {
+                        unreachable!("chunks are far below the journal cap")
+                    }
                 }
             }
         }

@@ -33,7 +33,7 @@ use crate::journal::{self, RecoveryError};
 use crate::overload::Priority;
 use crate::storage::Storage;
 use crate::store;
-use crate::{Rejected, ServeConfig, Service, ServiceOutcome};
+use crate::{DrainOutcome, Rejected, ServeConfig, Service, ServiceOutcome};
 use latch_faults::FaultPlan;
 use latch_obs::TraceEvent;
 use latch_sim::event::Event;
@@ -186,22 +186,35 @@ impl<S: Storage> DurableService<S> {
         events: &[Event],
         priority: Priority,
     ) -> Result<(), Rejected> {
+        // Encode the journal record *before* admission: a batch that
+        // could never be made durable is refused with zero mutation —
+        // no admission, no journal bytes, no counters.
+        let frame = if events.is_empty() {
+            None
+        } else {
+            let base_seq = self.sessions.get(&session).map_or(0, |s| s.journaled);
+            match journal::encode_record(base_seq, events) {
+                Ok(frame) => Some(frame),
+                Err(journal::JournalError::RecordTooLarge { events, bytes }) => {
+                    return Err(Rejected::BatchTooLarge { events, bytes });
+                }
+            }
+        };
         self.svc.submit_with_priority(session, events, priority)?;
-        if events.is_empty() {
+        let Some(frame) = frame else {
             return Ok(());
-        }
+        };
         // The slot exists after a successful admission; its sticky
         // class (not this call's flag) is what must be persisted.
         let priority = self.svc.session_priority(session).unwrap_or(priority);
         let state = self.sessions.entry(session).or_insert_with(DurState::new);
         if !state.needs_resync {
-            match journal::append_record(
+            match journal::append_frame(
                 &mut self.storage,
                 session,
                 state.has_wal,
-                state.journaled,
                 priority,
-                events,
+                &frame,
             ) {
                 Some(bytes) => {
                     state.has_wal = true;
@@ -320,6 +333,17 @@ impl<S: Storage> DurableService<S> {
         self.pump();
         self.group_commit();
         (self.svc.finish(), self.storage)
+    }
+
+    /// Graceful drain with a deadline: like [`finish`](Self::finish)
+    /// but routed through [`Service::finish_timeout`], so a wedged
+    /// threaded worker yields [`DrainOutcome::TimedOut`] instead of
+    /// blocking forever. Durability maintenance (snapshots, journal
+    /// rotation, group commit) runs before the drain either way.
+    pub fn finish_timeout(mut self, timeout: std::time::Duration) -> (DrainOutcome, S) {
+        self.pump();
+        self.group_commit();
+        (self.svc.finish_timeout(timeout), self.storage)
     }
 
     /// Simulates being killed: every in-memory structure is dropped on

@@ -39,9 +39,14 @@ pub const WAL_HEADER_LEN: usize = 17;
 pub const WAL_HEADER_V1_LEN: usize = 16;
 /// Per-record frame overhead (length + CRC), in bytes.
 pub const WAL_FRAME_LEN: usize = 8;
-/// Cap on a single record's payload; a length prefix above this is
-/// treated as corruption, bounding allocation on hostile files.
-pub const WAL_MAX_PAYLOAD: usize = 1 << 26;
+/// Cap on a single record's payload. Enforced on **both** sides of the
+/// codec: [`encode_record`] refuses to build a larger record (a typed
+/// [`JournalError::RecordTooLarge`], never a silently truncated length
+/// prefix), and [`scan_wal`] treats a length prefix above it as
+/// corruption, bounding allocation on hostile files. The wire protocol
+/// uses the same cap, so no admitted batch can journal what recovery
+/// would refuse to read.
+pub const WAL_MAX_PAYLOAD: usize = 1 << 22;
 
 /// The journal file name for a session.
 #[must_use]
@@ -67,15 +72,58 @@ pub fn wal_header(session: u64, priority: Priority) -> Vec<u8> {
     h
 }
 
+/// A record the journal refuses to write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalError {
+    /// The encoded record would exceed [`WAL_MAX_PAYLOAD`]. Writing it
+    /// anyway would truncate the length prefix (`as u32`) into a
+    /// corrupt-but-CRC-valid frame that recovery quarantines — so the
+    /// batch is refused before a single byte lands.
+    RecordTooLarge {
+        /// Events in the refused batch.
+        events: u64,
+        /// Payload size the batch would have encoded to.
+        bytes: u64,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::RecordTooLarge { events, bytes } => write!(
+                f,
+                "record of {events} events ({bytes} bytes) exceeds the {WAL_MAX_PAYLOAD}-byte journal cap"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
 /// Encodes one journal record frame for events `[base_seq, base_seq + events.len())`.
-#[must_use]
-pub fn encode_record(base_seq: u64, events: &[Event]) -> Vec<u8> {
+///
+/// # Errors
+///
+/// [`JournalError::RecordTooLarge`] when the payload would exceed
+/// [`WAL_MAX_PAYLOAD`]. The old behaviour — casting both lengths with
+/// `as u32` — silently wrapped oversized records into frames whose
+/// declared length no longer matched their bytes; the caps here
+/// guarantee both `events.len()` and the payload length fit `u32`
+/// exactly (every event encodes to at least 8 bytes).
+pub fn encode_record(base_seq: u64, events: &[Event]) -> Result<Vec<u8>, JournalError> {
     let mut tw = TraceWriter::new();
     for ev in events {
         tw.record(ev);
     }
     let trace = tw.finish();
-    let mut payload = Vec::with_capacity(12 + trace.len());
+    let payload_len = 12usize.saturating_add(trace.len());
+    if payload_len > WAL_MAX_PAYLOAD {
+        return Err(JournalError::RecordTooLarge {
+            events: events.len() as u64,
+            bytes: payload_len as u64,
+        });
+    }
+    let mut payload = Vec::with_capacity(payload_len);
     payload.extend_from_slice(&base_seq.to_le_bytes());
     payload.extend_from_slice(&(events.len() as u32).to_le_bytes());
     payload.extend_from_slice(&trace);
@@ -83,7 +131,7 @@ pub fn encode_record(base_seq: u64, events: &[Event]) -> Vec<u8> {
     frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     frame.extend_from_slice(&crc32(&payload).to_le_bytes());
     frame.extend_from_slice(&payload);
-    frame
+    Ok(frame)
 }
 
 /// Why a journal scan stopped (or a snapshot frame was rejected).
@@ -194,21 +242,27 @@ pub fn scan_wal(session: u64, bytes: &[u8]) -> WalScan {
     let mut pos = hdr_len;
     let mut quarantined = None;
     while pos < bytes.len() {
-        if bytes.len() - pos < WAL_FRAME_LEN {
+        // The length prefix is untrusted until the CRC passes, so every
+        // step is bounded with checked arithmetic *before* any slice is
+        // taken: a torn or hostile prefix can neither drive a huge
+        // allocation nor overflow the cursor math — it quarantines the
+        // tail with a typed error. (The wire protocol's frame reader
+        // applies the identical guard; see `latch_proto::frame_payload`.)
+        let Some(body) = pos.checked_add(WAL_FRAME_LEN).filter(|&b| b <= bytes.len()) else {
             quarantined = Some((pos as u64, RecoveryError::TornFrame));
             break;
-        }
+        };
         let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
         let want_crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
         if len > WAL_MAX_PAYLOAD {
             quarantined = Some((pos as u64, RecoveryError::OversizedFrame));
             break;
         }
-        if bytes.len() - pos - WAL_FRAME_LEN < len {
+        let Some(end) = body.checked_add(len).filter(|&e| e <= bytes.len()) else {
             quarantined = Some((pos as u64, RecoveryError::TornFrame));
             break;
-        }
-        let payload = &bytes[pos + WAL_FRAME_LEN..pos + WAL_FRAME_LEN + len];
+        };
+        let payload = &bytes[body..end];
         if crc32(payload) != want_crc {
             quarantined = Some((pos as u64, RecoveryError::BadFrameCrc));
             break;
@@ -220,7 +274,7 @@ pub fn scan_wal(session: u64, bytes: &[u8]) -> WalScan {
                 break;
             }
         }
-        pos += WAL_FRAME_LEN + len;
+        pos = end;
     }
     WalScan {
         records,
@@ -252,17 +306,16 @@ fn decode_payload(payload: &[u8]) -> Result<WalRecord, RecoveryError> {
     Ok(WalRecord { base_seq, events })
 }
 
-/// Appends a record for `events` starting at `base_seq` to `session`'s
-/// journal, creating the file (with a header carrying the session's
-/// sticky `priority`) on first use. Returns the bytes appended, or
-/// `None` when the backend refused the write.
-pub fn append_record<S: Storage>(
+/// Appends a pre-encoded record frame (from [`encode_record`]) to
+/// `session`'s journal, creating the file (with a header carrying the
+/// session's sticky `priority`) on first use. Returns the bytes
+/// appended, or `None` when the backend refused the write.
+pub fn append_frame<S: Storage>(
     storage: &mut S,
     session: u64,
     has_file: bool,
-    base_seq: u64,
     priority: Priority,
-    events: &[Event],
+    frame: &[u8],
 ) -> Option<u64> {
     let name = wal_name(session);
     let mut bytes = if has_file {
@@ -270,9 +323,30 @@ pub fn append_record<S: Storage>(
     } else {
         wal_header(session, priority)
     };
-    bytes.extend_from_slice(&encode_record(base_seq, events));
+    bytes.extend_from_slice(frame);
     let n = bytes.len() as u64;
     storage.append(&name, &bytes).then_some(n)
+}
+
+/// Appends a record for `events` starting at `base_seq` to `session`'s
+/// journal, creating the file (with a header carrying the session's
+/// sticky `priority`) on first use. Returns the bytes appended, or
+/// `Ok(None)` when the backend refused the write.
+///
+/// # Errors
+///
+/// [`JournalError::RecordTooLarge`] when the batch exceeds
+/// [`WAL_MAX_PAYLOAD`] — nothing is written, the file is untouched.
+pub fn append_record<S: Storage>(
+    storage: &mut S,
+    session: u64,
+    has_file: bool,
+    base_seq: u64,
+    priority: Priority,
+    events: &[Event],
+) -> Result<Option<u64>, JournalError> {
+    let frame = encode_record(base_seq, events)?;
+    Ok(append_frame(storage, session, has_file, priority, &frame))
 }
 
 /// Resets `session`'s journal to an empty (header-only) file, keeping
@@ -310,8 +384,8 @@ mod tests {
     fn records_roundtrip_through_scan() {
         let evs = events(100);
         let mut s = MemStorage::new(FaultPlan::benign());
-        append_record(&mut s, 7, false, 0, Priority::Critical, &evs[..40]).unwrap();
-        append_record(&mut s, 7, true, 40, Priority::Critical, &evs[40..]).unwrap();
+        append_record(&mut s, 7, false, 0, Priority::Critical, &evs[..40]).unwrap().unwrap();
+        append_record(&mut s, 7, true, 40, Priority::Critical, &evs[40..]).unwrap().unwrap();
         let bytes = s.read(&wal_name(7)).unwrap();
         let scan = scan_wal(7, &bytes);
         assert!(scan.quarantined.is_none());
@@ -331,7 +405,7 @@ mod tests {
         bytes.extend_from_slice(&WAL_MAGIC.to_le_bytes());
         bytes.extend_from_slice(&1u32.to_le_bytes());
         bytes.extend_from_slice(&9u64.to_le_bytes());
-        bytes.extend_from_slice(&encode_record(0, &evs));
+        bytes.extend_from_slice(&encode_record(0, &evs).unwrap());
         let scan = scan_wal(9, &bytes);
         assert!(scan.quarantined.is_none());
         assert_eq!(scan.priority, None);
@@ -352,8 +426,8 @@ mod tests {
     fn torn_tail_is_quarantined_with_prefix_kept() {
         let evs = events(60);
         let mut s = MemStorage::new(FaultPlan::benign());
-        append_record(&mut s, 1, false, 0, Priority::Normal, &evs[..30]).unwrap();
-        append_record(&mut s, 1, true, 30, Priority::Normal, &evs[30..]).unwrap();
+        append_record(&mut s, 1, false, 0, Priority::Normal, &evs[..30]).unwrap().unwrap();
+        append_record(&mut s, 1, true, 30, Priority::Normal, &evs[30..]).unwrap().unwrap();
         let full = s.read(&wal_name(1)).unwrap();
         // Tear the second record at every possible byte: the first
         // record always survives, the scan never panics.
@@ -379,7 +453,7 @@ mod tests {
     fn bitflips_are_quarantined_never_panic() {
         let evs = events(40);
         let mut s = MemStorage::new(FaultPlan::benign());
-        append_record(&mut s, 2, false, 0, Priority::Normal, &evs).unwrap();
+        append_record(&mut s, 2, false, 0, Priority::Normal, &evs).unwrap().unwrap();
         let full = s.read(&wal_name(2)).unwrap();
         for i in 0..full.len() {
             let mut bad = full.clone();
@@ -394,17 +468,75 @@ mod tests {
     }
 
     #[test]
+    fn oversized_batch_is_a_typed_error_and_the_file_is_untouched() {
+        // Just past the cap: every empty event encodes to 8 bytes, so
+        // this payload lands a few hundred bytes over WAL_MAX_PAYLOAD.
+        // Pre-fix, `events.len() as u32` / `payload.len() as u32`
+        // silently wrapped and the append landed a corrupt frame.
+        let n = WAL_MAX_PAYLOAD / 8 + 8;
+        let evs = vec![Event::empty(0); n];
+        let mut s = MemStorage::new(FaultPlan::benign());
+        append_record(&mut s, 11, false, 0, Priority::Normal, &[evs[0]])
+            .unwrap()
+            .unwrap();
+        let before = s.read(&wal_name(11)).unwrap();
+        let err = append_record(&mut s, 11, true, 1, Priority::Normal, &evs).unwrap_err();
+        let JournalError::RecordTooLarge { events, bytes } = err;
+        assert_eq!(events, n as u64);
+        assert!(bytes as usize > WAL_MAX_PAYLOAD);
+        assert_eq!(
+            s.read(&wal_name(11)).unwrap(),
+            before,
+            "a refused batch must not touch the file"
+        );
+        // The journal stays scannable and complete.
+        let scan = scan_wal(11, &s.read(&wal_name(11)).unwrap());
+        assert!(scan.quarantined.is_none());
+        assert_eq!(scan.records.len(), 1);
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_bounded_before_allocation() {
+        let evs = events(10);
+        let mut s = MemStorage::new(FaultPlan::benign());
+        append_record(&mut s, 6, false, 0, Priority::Normal, &evs).unwrap().unwrap();
+        let good = s.read(&wal_name(6)).unwrap();
+        let rec_off = WAL_HEADER_LEN;
+        // A prefix claiming u32::MAX bytes: quarantined from the 8-byte
+        // frame header alone, before any slice or allocation.
+        let mut bad = good.clone();
+        bad[rec_off..rec_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let scan = scan_wal(6, &bad);
+        assert!(scan.records.is_empty());
+        assert_eq!(
+            scan.quarantined,
+            Some((rec_off as u64, RecoveryError::OversizedFrame))
+        );
+        // A prefix within the cap but past the file's end is a torn
+        // frame — the checked cursor math cannot overflow.
+        let mut bad = good.clone();
+        let torn = (good.len() - rec_off) as u32; // 8 bytes past the tail
+        bad[rec_off..rec_off + 4].copy_from_slice(&torn.to_le_bytes());
+        let scan = scan_wal(6, &bad);
+        assert!(scan.records.is_empty());
+        assert_eq!(
+            scan.quarantined,
+            Some((rec_off as u64, RecoveryError::TornFrame))
+        );
+    }
+
+    #[test]
     fn rotation_empties_the_journal() {
         let evs = events(20);
         let mut s = MemStorage::new(FaultPlan::benign());
-        append_record(&mut s, 3, false, 0, Priority::Bulk, &evs).unwrap();
+        append_record(&mut s, 3, false, 0, Priority::Bulk, &evs).unwrap().unwrap();
         assert!(rotate(&mut s, 3, Priority::Bulk));
         let scan = scan_wal(3, &s.read(&wal_name(3)).unwrap());
         assert!(scan.records.is_empty());
         assert_eq!(scan.priority, Some(Priority::Bulk), "rotation keeps the class");
         assert!(scan.quarantined.is_none());
         // Appends continue cleanly after rotation.
-        append_record(&mut s, 3, true, 20, Priority::Bulk, &evs).unwrap();
+        append_record(&mut s, 3, true, 20, Priority::Bulk, &evs).unwrap().unwrap();
         let scan = scan_wal(3, &s.read(&wal_name(3)).unwrap());
         assert_eq!(scan.records.len(), 1);
         assert_eq!(scan.records[0].base_seq, 20);

@@ -36,12 +36,14 @@ pub mod journal;
 pub mod overload;
 pub mod storage;
 pub mod store;
+pub mod wire;
 
 pub use durable::{DurableConfig, DurableService, RecoveryReport, SessionRecovery};
 pub use ingress::{FailoverRecord, IngressReport, MultiIngress, INGRESS_PATHS};
 pub use journal::RecoveryError;
 pub use overload::{DegradedSpan, Priority, Slo, SloReport, SloSampler};
 pub use storage::{DirStorage, MemStorage, Storage};
+pub use wire::{WireConfig, WireServer};
 
 use latch_faults::FaultPlan;
 use latch_sim::event::Event;
@@ -140,6 +142,16 @@ pub enum Rejected {
         /// and normal).
         pressure: u8,
     },
+    /// The batch's journal record would exceed the per-record cap
+    /// ([`journal::WAL_MAX_PAYLOAD`]): it can never be made durable, so
+    /// admission refuses it outright. Unlike a transient rejection, the
+    /// client should split the batch and resubmit the halves.
+    BatchTooLarge {
+        /// Events in the refused batch.
+        events: u64,
+        /// Encoded record payload size the batch would have produced.
+        bytes: u64,
+    },
 }
 
 impl fmt::Display for Rejected {
@@ -162,6 +174,10 @@ impl fmt::Display for Rejected {
                 f,
                 "session {session} shed ({} priority, pressure {pressure})",
                 priority.label()
+            ),
+            Rejected::BatchTooLarge { events, bytes } => write!(
+                f,
+                "batch too large to journal ({events} events, {bytes} bytes); split and resubmit"
             ),
         }
     }
@@ -518,6 +534,20 @@ impl Service {
         }
     }
 
+    /// SLO report cuts taken so far, in cut order. The vector only
+    /// grows while the service runs, so a caller can stream new cuts
+    /// by keeping a cursor into it — the wire server pushes the suffix
+    /// to subscribed connections after each reply.
+    #[must_use]
+    pub fn slo_reports(&self) -> Vec<SloReport> {
+        match &self.imp {
+            Imp::Det { sched, .. } => sched.slo_reports.clone(),
+            Imp::Threaded { hub, .. } => {
+                hub.sched.lock().expect("scheduler lock").slo_reports.clone()
+            }
+        }
+    }
+
     /// The sticky admission class of a known session, or `None` for a
     /// session the service has never admitted (or preloaded).
     #[must_use]
@@ -776,6 +806,9 @@ mod tests {
                         }
                         Err(Rejected::ShuttingDown) => panic!("not draining yet"),
                         Err(Rejected::Shed { .. }) => panic!("no SLO armed; nothing sheds"),
+                        Err(Rejected::BatchTooLarge { .. }) => {
+                            panic!("chunks are far below the journal cap")
+                        }
                     }
                 }
             }

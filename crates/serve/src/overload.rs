@@ -181,26 +181,59 @@ impl SloSampler {
         self.total
     }
 
+    /// The current window's samples in ascending order. One sort here
+    /// serves every percentile taken from the result — [`cut`](Self::cut)
+    /// used to clone-and-sort the window once per percentile.
+    #[must_use]
+    pub fn sorted_window(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.ring[..self.len].to_vec();
+        v.sort_unstable();
+        v
+    }
+
+    /// Nearest-rank percentile over a window pre-sorted by
+    /// [`sorted_window`](Self::sorted_window); 0 on an empty window.
+    /// See [`percentile`](Self::percentile) for the rank contract.
+    #[must_use]
+    pub fn percentile_of(sorted: &[u64], p: u32) -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        let rank = (sorted.len() * p as usize)
+            .div_ceil(100)
+            .clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
     /// Nearest-rank percentile over the current window: the smallest
     /// sample `v` such that at least `p`% of the window is ≤ `v`.
     /// Returns 0 on an empty window.
+    ///
+    /// Contract at the edges (pinned by tests, relied on by report
+    /// consumers): the nearest rank `ceil(len·p/100)` is clamped to
+    /// `[1, len]`, so **p = 0 returns the window minimum** (there is no
+    /// defined 0th percentile in nearest-rank; the clamp to rank 1
+    /// makes `percentile(0) == min` explicit rather than accidental)
+    /// and **p = 100 returns the window maximum**. Values of `p` above
+    /// 100 also clamp to the maximum.
+    ///
+    /// Sorts the window per call; when taking several percentiles from
+    /// one window state, sort once via
+    /// [`sorted_window`](Self::sorted_window) and use
+    /// [`percentile_of`](Self::percentile_of).
     #[must_use]
     pub fn percentile(&self, p: u32) -> u64 {
-        if self.len == 0 {
-            return 0;
-        }
-        let mut v: Vec<u64> = self.ring[..self.len].to_vec();
-        v.sort_unstable();
-        let rank = (self.len * p as usize).div_ceil(100).clamp(1, self.len);
-        v[rank - 1]
+        Self::percentile_of(&self.sorted_window(), p)
     }
 
     /// Cuts one report against the given target. The sampler keeps its
     /// window (cuts overlap by design: the window is a sliding view).
+    /// The window is sorted once for both percentiles.
     #[must_use]
     pub fn cut(&self, at_batch: u64, slo_cycles: u64) -> SloReport {
-        let p50 = self.percentile(50);
-        let p99 = self.percentile(99);
+        let sorted = self.sorted_window();
+        let p50 = Self::percentile_of(&sorted, 50);
+        let p99 = Self::percentile_of(&sorted, 99);
         SloReport {
             at_batch,
             samples: self.len as u32,
@@ -295,6 +328,36 @@ mod tests {
         assert_eq!(s.percentile(99), naive(99));
         assert_eq!(s.percentile(100), 10);
         assert_eq!(s.percentile(1), 1);
+    }
+
+    #[test]
+    fn percentile_edge_contract_is_pinned() {
+        // The documented nearest-rank contract at the edges: p=0 is the
+        // window minimum (rank clamps to 1), p=100 is the maximum, and
+        // p>100 clamps to the maximum. An empty window returns 0 for
+        // any p.
+        let empty = SloSampler::new(8);
+        assert_eq!(empty.percentile(0), 0);
+        assert_eq!(empty.percentile(100), 0);
+        let mut s = SloSampler::new(8);
+        for c in [40u64, 10, 30, 20] {
+            s.push(c);
+        }
+        assert_eq!(s.percentile(0), 10, "p=0 is the window minimum");
+        assert_eq!(s.percentile(100), 40, "p=100 is the window maximum");
+        assert_eq!(s.percentile(200), 40, "p>100 clamps to the maximum");
+        // A single-sample window answers that sample for every p.
+        let mut one = SloSampler::new(4);
+        one.push(7);
+        for p in [0, 1, 50, 99, 100] {
+            assert_eq!(one.percentile(p), 7);
+        }
+        // The shared-sort path used by `cut` agrees with the
+        // sort-per-call path at every percentile.
+        let sorted = s.sorted_window();
+        for p in 0..=100 {
+            assert_eq!(SloSampler::percentile_of(&sorted, p), s.percentile(p));
+        }
     }
 
     #[test]

@@ -1,0 +1,676 @@
+//! The network front door: a framed-protocol server over a
+//! [`DurableService`].
+//!
+//! [`WireServer`] owns one listener (TCP or Unix socket), an accept
+//! loop on its own thread, and one handler thread per connection. All
+//! connections feed a single shared [`DurableService`] behind a mutex
+//! — the service itself stays in deterministic scheduling mode, so a
+//! single-connection run is fully deterministic and multi-connection
+//! runs still yield per-session reports byte-identical to solo runs of
+//! each admitted stream.
+//!
+//! Protocol (see [`latch_proto`] for the frame layout):
+//!
+//! * **Handshake** — the first frame must be a `Hello` carrying the
+//!   protocol magic and version; the server replies `HelloAck` with
+//!   the granted in-flight window (the client's request clamped to
+//!   the server cap). Anything else fails the connection closed.
+//! * **Backpressure** — each connection tracks events submitted since
+//!   the service last drained its queues; once the granted window
+//!   fills, the handler pumps the service before replying, so one
+//!   fast client cannot run the queue cap into every other
+//!   connection's admission path.
+//! * **Typed rejections** — every [`Rejected`] variant crosses the
+//!   wire as a [`WireRejected`], including `Shed` (with priority and
+//!   pressure) and `BatchTooLarge` (the journal-cap refusal).
+//! * **Telemetry** — connections that set `want_slo` receive
+//!   [`Msg::SloPush`] frames for every SLO cut, streamed after each
+//!   reply via a per-connection cursor.
+//! * **Drain** — `Drain` takes the service, runs
+//!   [`DurableService::finish_timeout`], stores every session's final
+//!   report, and replies `Drained`. The reply is idempotent; later
+//!   `Submit`s are rejected with `ShuttingDown`, and `Report` serves
+//!   individual session reports.
+//! * **Hostile bytes** — a connection that sends garbage gets a typed
+//!   `WireReject` trace event, a best-effort `Error` frame, and its
+//!   socket closed. The accept loop and every other connection are
+//!   unaffected — the fuzz tests in `latch-client` feed every
+//!   truncation and bit flip through a real socket.
+
+use crate::durable::DurableService;
+use crate::overload::Priority;
+use crate::storage::Storage;
+use crate::{DrainOutcome, Rejected, ServiceOutcome};
+use latch_obs::TraceEvent;
+use latch_proto::{error_code, write_msg, Endpoint, Msg, ProtoError, WireRejected, WireSlo};
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Front-door tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct WireConfig {
+    /// Cap on the per-connection in-flight window, in events. A
+    /// client's `Hello` request is clamped into `[1, max_window]`.
+    pub max_window_events: u32,
+    /// Deadline passed to [`DurableService::finish_timeout`] when a
+    /// client drains the service.
+    pub drain_timeout: Duration,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        Self {
+            max_window_events: 1 << 14,
+            drain_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// One accepted connection's stream, either transport.
+enum Conn {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+impl Conn {
+    fn set_read_timeout(&self, d: Duration) -> io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.set_read_timeout(Some(d)),
+            Conn::Unix(s) => s.set_read_timeout(Some(d)),
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener, std::path::PathBuf),
+}
+
+impl Listener {
+    fn bind(endpoint: &Endpoint) -> io::Result<Self> {
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                let l = TcpListener::bind(addr.as_str())?;
+                l.set_nonblocking(true)?;
+                Ok(Listener::Tcp(l))
+            }
+            Endpoint::Unix(path) => {
+                // A stale socket file from a dead process blocks bind;
+                // remove it first (connect() to a live one would
+                // succeed, but latchd owns its socket path).
+                let _ = std::fs::remove_file(path);
+                let l = UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                Ok(Listener::Unix(l, path.clone()))
+            }
+        }
+    }
+
+    fn local_endpoint(&self) -> Endpoint {
+        match self {
+            Listener::Tcp(l) => Endpoint::Tcp(
+                l.local_addr()
+                    .map_or_else(|_| "0.0.0.0:0".to_string(), |a| a.to_string()),
+            ),
+            Listener::Unix(_, path) => Endpoint::Unix(path.clone()),
+        }
+    }
+
+    fn accept(&self) -> io::Result<Conn> {
+        match self {
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+            Listener::Unix(l, _) => l.accept().map(|(s, _)| Conn::Unix(s)),
+        }
+    }
+}
+
+/// What a drain left behind: per-session `(applied, report bytes)`,
+/// the final SLO report stream, and whether the deadline expired.
+struct Drained {
+    reports: BTreeMap<u64, (u64, Vec<u8>)>,
+    slo: Vec<WireSlo>,
+    timed_out: bool,
+}
+
+/// Shared server state: the service until drain, the drained reports
+/// after.
+struct State<S: Storage> {
+    svc: Option<DurableService<S>>,
+    drained: Option<Drained>,
+    /// Storage handed back by the drain (tests inspect it).
+    storage: Option<S>,
+    conn_seq: u64,
+}
+
+struct Shared<S: Storage> {
+    state: Mutex<State<S>>,
+    stop: AtomicBool,
+    cfg: WireConfig,
+}
+
+/// A running network front door. Dropping the server (or calling
+/// [`shutdown`](Self::shutdown)) stops the accept loop; an undrained
+/// service is dropped with it, so callers that care about the outcome
+/// drain through a client first.
+pub struct WireServer<S: Storage + Send + 'static> {
+    shared: Arc<Shared<S>>,
+    endpoint: Endpoint,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl<S: Storage + Send + 'static> WireServer<S> {
+    /// Binds `endpoint` and starts the accept loop over `svc`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (`io::Error`) — address in use,
+    /// missing socket directory, and so on.
+    pub fn start(
+        endpoint: &Endpoint,
+        svc: DurableService<S>,
+        cfg: WireConfig,
+    ) -> io::Result<Self> {
+        let listener = Listener::bind(endpoint)?;
+        let bound = listener.local_endpoint();
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                svc: Some(svc),
+                drained: None,
+                storage: None,
+                conn_seq: 0,
+            }),
+            stop: AtomicBool::new(false),
+            cfg,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
+        Ok(Self {
+            shared,
+            endpoint: bound,
+            accept: Some(accept),
+        })
+    }
+
+    /// The endpoint actually bound — for `tcp:HOST:0` this carries the
+    /// kernel-assigned port.
+    #[must_use]
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Whether a client has drained the service.
+    #[must_use]
+    pub fn drained(&self) -> bool {
+        self.shared.state.lock().expect("server state").drained.is_some()
+    }
+
+    /// Stops the accept loop, joins it, and returns the storage backend
+    /// if a drain completed (`None` when never drained or timed out
+    /// before handing storage back).
+    pub fn shutdown(mut self) -> Option<S> {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.shared.state.lock().expect("server state").storage.take()
+    }
+}
+
+impl<S: Storage + Send + 'static> Drop for WireServer<S> {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+const READ_POLL: Duration = Duration::from_millis(20);
+
+fn accept_loop<S: Storage + Send + 'static>(listener: &Listener, shared: &Arc<Shared<S>>) {
+    // Handler threads detach: each exits on its own when the peer hangs
+    // up or the stop flag falls. The loop only tracks the listener.
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(conn) => {
+                let conn_id = {
+                    let mut st = shared.state.lock().expect("server state");
+                    st.conn_seq += 1;
+                    st.conn_seq
+                };
+                latch_obs::counter_inc("serve.wire.conns");
+                latch_obs::emit("serve", TraceEvent::ConnOpen { conn: conn_id });
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || handle_conn(conn, conn_id, &shared));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => break,
+        }
+    }
+    if let Listener::Unix(_, path) = listener {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+/// Fills `buf`, retrying read timeouts. At offset zero (a frame
+/// boundary, `idle_ok`) a timeout also polls the stop flag and a clean
+/// EOF is allowed; once any byte of a frame has been consumed, a
+/// timeout keeps waiting (a slow-but-live peer must not lose its
+/// partial frame) and EOF is a typed truncation.
+fn read_full_poll<S: Storage>(
+    conn: &mut Conn,
+    buf: &mut [u8],
+    idle_ok: bool,
+    shared: &Shared<S>,
+) -> Result<bool, ProtoError> {
+    let mut got = 0usize;
+    while got < buf.len() {
+        match conn.read(&mut buf[got..]) {
+            Ok(0) => {
+                return if got == 0 && idle_ok {
+                    Ok(false)
+                } else {
+                    Err(ProtoError::Truncated)
+                };
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+            {
+                if got == 0 && idle_ok && shared.stop.load(Ordering::SeqCst) {
+                    return Ok(false);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ProtoError::Io(e.kind())),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one frame, polling the stop flag while idle at a frame
+/// boundary. `Ok(None)` means the connection should close quietly
+/// (clean EOF, or server stopping between frames). Uses the same
+/// bound-the-length-before-allocating discipline as
+/// [`latch_proto::read_msg`].
+fn read_frame_msg<S: Storage>(
+    conn: &mut Conn,
+    shared: &Shared<S>,
+) -> Result<Option<Msg>, ProtoError> {
+    let mut header = [0u8; latch_proto::FRAME_HEADER_LEN];
+    if !read_full_poll(conn, &mut header, true, shared)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+    if len > latch_proto::MAX_FRAME_PAYLOAD {
+        return Err(ProtoError::OversizedFrame { len: len as u64 });
+    }
+    let mut frame = vec![0u8; latch_proto::FRAME_HEADER_LEN + len];
+    frame[..latch_proto::FRAME_HEADER_LEN].copy_from_slice(&header);
+    read_full_poll(conn, &mut frame[latch_proto::FRAME_HEADER_LEN..], false, shared)?;
+    let (payload, _consumed) = latch_proto::frame_payload(&frame)?;
+    Msg::decode_payload(payload).map(Some)
+}
+
+fn wire_rejected(r: &Rejected) -> (WireRejected, &'static str) {
+    match *r {
+        Rejected::QueueFull { pending, capacity } => (
+            WireRejected::QueueFull {
+                pending: pending as u64,
+                capacity: capacity as u64,
+            },
+            "queue_full",
+        ),
+        Rejected::SessionBusy {
+            session,
+            pending,
+            cap,
+        } => (
+            WireRejected::SessionBusy {
+                session,
+                pending: pending as u64,
+                cap: cap as u64,
+            },
+            "session_busy",
+        ),
+        Rejected::ShuttingDown => (WireRejected::ShuttingDown, "shutting_down"),
+        Rejected::Shed {
+            session,
+            priority,
+            pressure,
+        } => (
+            WireRejected::Shed {
+                session,
+                priority: priority.rank(),
+                pressure,
+            },
+            "shed",
+        ),
+        Rejected::BatchTooLarge { events, bytes } => {
+            (WireRejected::TooLarge { events, bytes }, "batch_too_large")
+        }
+    }
+}
+
+fn wire_slo(r: &crate::overload::SloReport) -> WireSlo {
+    WireSlo {
+        at_batch: r.at_batch,
+        samples: r.samples,
+        p50_cycles: r.p50_cycles,
+        p99_cycles: r.p99_cycles,
+        breach: r.breach,
+        pressure: r.pressure,
+        shed_events: r.shed_events,
+        degraded: r.degraded,
+    }
+}
+
+fn drained_from(outcome: &ServiceOutcome) -> Drained {
+    Drained {
+        reports: outcome
+            .sessions
+            .iter()
+            .map(|(&s, r)| (s, (r.events, r.encode())))
+            .collect(),
+        slo: outcome.slo_reports.iter().map(wire_slo).collect(),
+        timed_out: false,
+    }
+}
+
+/// One submit under the state lock: admission, window accounting, and
+/// the reply (plus any fresh SLO cuts for subscribed connections).
+struct ConnState {
+    window: u32,
+    want_slo: bool,
+    outstanding: u64,
+    admitted: u64,
+    slo_cursor: usize,
+    frames: u64,
+}
+
+fn handle_conn<S: Storage + Send + 'static>(mut conn: Conn, conn_id: u64, shared: &Shared<S>) {
+    let _ = conn.set_read_timeout(READ_POLL);
+    let mut cs = match handshake(&mut conn, conn_id, shared) {
+        Some(cs) => cs,
+        None => {
+            latch_obs::emit(
+                "serve",
+                TraceEvent::ConnClose {
+                    conn: conn_id,
+                    frames: 0,
+                },
+            );
+            return;
+        }
+    };
+    loop {
+        let msg = match read_frame_msg(&mut conn, shared) {
+            Ok(Some(msg)) => msg,
+            Ok(None) => break,
+            Err(err) => {
+                fail_closed(&mut conn, conn_id, err.reason());
+                break;
+            }
+        };
+        cs.frames += 1;
+        let replies = process_msg(msg, conn_id, &mut cs, shared);
+        let mut dead = false;
+        for reply in &replies {
+            if write_msg(&mut conn, reply).is_err() {
+                dead = true;
+                break;
+            }
+        }
+        if dead {
+            break;
+        }
+    }
+    latch_obs::emit(
+        "serve",
+        TraceEvent::ConnClose {
+            conn: conn_id,
+            frames: cs.frames,
+        },
+    );
+}
+
+/// First frame must be a well-formed `Hello`; everything else fails
+/// the connection closed (with a best-effort typed `Error` frame).
+fn handshake<S: Storage>(conn: &mut Conn, conn_id: u64, shared: &Shared<S>) -> Option<ConnState> {
+    match read_frame_msg(conn, shared) {
+        Ok(Some(Msg::Hello {
+            window_events,
+            want_slo,
+            ..
+        })) => {
+            let window = window_events.clamp(1, shared.cfg.max_window_events);
+            let ack = Msg::HelloAck {
+                version: latch_proto::PROTO_VERSION,
+                window_events: window,
+            };
+            if write_msg(conn, &ack).is_err() {
+                return None;
+            }
+            Some(ConnState {
+                window,
+                want_slo,
+                outstanding: 0,
+                admitted: 0,
+                slo_cursor: 0,
+                frames: 1,
+            })
+        }
+        Ok(Some(_)) => {
+            fail_closed(conn, conn_id, "hello_expected");
+            None
+        }
+        Ok(None) => None,
+        Err(err) => {
+            fail_closed(conn, conn_id, err.reason());
+            None
+        }
+    }
+}
+
+fn fail_closed(conn: &mut Conn, conn_id: u64, reason: &'static str) {
+    latch_obs::counter_inc("serve.wire.rejects");
+    latch_obs::emit(
+        "serve",
+        TraceEvent::WireReject {
+            conn: conn_id,
+            reason,
+        },
+    );
+    // Best effort: the peer may already be gone.
+    let _ = write_msg(
+        conn,
+        &Msg::Error {
+            code: error_code::MALFORMED,
+        },
+    );
+}
+
+fn process_msg<S: Storage>(
+    msg: Msg,
+    conn_id: u64,
+    cs: &mut ConnState,
+    shared: &Shared<S>,
+) -> Vec<Msg> {
+    let mut st = shared.state.lock().expect("server state");
+    let mut replies = Vec::with_capacity(1);
+    match msg {
+        Msg::Submit {
+            session,
+            priority,
+            events,
+        } => {
+            let n = events.len() as u64;
+            let priority = Priority::from_rank(priority).unwrap_or_default();
+            match st.svc.as_mut() {
+                Some(svc) => match svc.submit_with_priority(session, &events, priority) {
+                    Ok(()) => {
+                        cs.admitted += n;
+                        cs.outstanding += n;
+                        if cs.outstanding >= u64::from(cs.window) {
+                            svc.pump();
+                            cs.outstanding = 0;
+                        }
+                        replies.push(Msg::SubmitOk {
+                            session,
+                            admitted: cs.admitted,
+                        });
+                    }
+                    Err(rej) => {
+                        // Backpressure must guarantee progress: with
+                        // every connection under its window and the
+                        // queue full, nobody would ever pump. Drain
+                        // the queue before replying so the client's
+                        // retry can land.
+                        if matches!(
+                            rej,
+                            Rejected::QueueFull { .. } | Rejected::SessionBusy { .. }
+                        ) {
+                            svc.pump();
+                            cs.outstanding = 0;
+                        }
+                        let (wire, reason) = wire_rejected(&rej);
+                        latch_obs::counter_inc("serve.wire.rejects");
+                        latch_obs::emit(
+                            "serve",
+                            TraceEvent::WireReject {
+                                conn: conn_id,
+                                reason,
+                            },
+                        );
+                        replies.push(Msg::SubmitRejected {
+                            session,
+                            rejected: wire,
+                        });
+                    }
+                },
+                None => {
+                    replies.push(Msg::SubmitRejected {
+                        session,
+                        rejected: WireRejected::ShuttingDown,
+                    });
+                }
+            }
+        }
+        Msg::Drain => {
+            if let Some(svc) = st.svc.take() {
+                let (outcome, storage) = svc.finish_timeout(shared.cfg.drain_timeout);
+                st.storage = Some(storage);
+                st.drained = Some(match outcome {
+                    DrainOutcome::Completed(out) => drained_from(&out),
+                    DrainOutcome::TimedOut { .. } => Drained {
+                        reports: BTreeMap::new(),
+                        slo: Vec::new(),
+                        timed_out: true,
+                    },
+                });
+            }
+            match st.drained.as_ref() {
+                Some(d) if d.timed_out => replies.push(Msg::Error {
+                    code: error_code::DRAIN_TIMEOUT,
+                }),
+                Some(d) => replies.push(Msg::Drained {
+                    reports: d
+                        .reports
+                        .iter()
+                        .map(|(&s, (_, bytes))| (s, bytes.clone()))
+                        .collect(),
+                }),
+                None => unreachable!("drain always leaves a drained state"),
+            }
+        }
+        Msg::Report { session } => match st.drained.as_ref() {
+            None => replies.push(Msg::Error {
+                code: error_code::NOT_DRAINED,
+            }),
+            Some(d) => match d.reports.get(&session) {
+                Some((applied, bytes)) => replies.push(Msg::ReportData {
+                    session,
+                    applied: *applied,
+                    report: bytes.clone(),
+                }),
+                None => replies.push(Msg::Error {
+                    code: error_code::PROTOCOL,
+                }),
+            },
+        },
+        // Client-only or duplicate-handshake messages: a protocol
+        // violation, answered without killing the connection (the
+        // frame itself was well-formed).
+        Msg::Hello { .. }
+        | Msg::HelloAck { .. }
+        | Msg::SubmitOk { .. }
+        | Msg::SubmitRejected { .. }
+        | Msg::ReportData { .. }
+        | Msg::SloPush(_)
+        | Msg::Drained { .. }
+        | Msg::Error { .. } => {
+            latch_obs::counter_inc("serve.wire.rejects");
+            latch_obs::emit(
+                "serve",
+                TraceEvent::WireReject {
+                    conn: conn_id,
+                    reason: "unexpected_message",
+                },
+            );
+            replies.push(Msg::Error {
+                code: error_code::PROTOCOL,
+            });
+        }
+    }
+    // Stream any SLO cuts this connection has not seen yet: from the
+    // live service, or from the final drained stream.
+    if cs.want_slo {
+        let push_from = |all: &[WireSlo], cursor: &mut usize, replies: &mut Vec<Msg>| {
+            while *cursor < all.len() {
+                replies.push(Msg::SloPush(all[*cursor]));
+                *cursor += 1;
+            }
+        };
+        if let Some(svc) = st.svc.as_ref() {
+            let all: Vec<WireSlo> = svc.service().slo_reports().iter().map(wire_slo).collect();
+            push_from(&all, &mut cs.slo_cursor, &mut replies);
+        } else if let Some(d) = st.drained.as_ref() {
+            push_from(&d.slo, &mut cs.slo_cursor, &mut replies);
+        }
+    }
+    replies
+}

@@ -71,6 +71,9 @@ proptest! {
                 Err(Rejected::QueueFull { .. } | Rejected::SessionBusy { .. }) => svc.pump(),
                 Err(Rejected::ShuttingDown) => unreachable!("service is not draining"),
                 Err(Rejected::Shed { .. }) => unreachable!("no SLO armed"),
+                Err(Rejected::BatchTooLarge { .. }) => {
+                    unreachable!("chunks are far below the journal cap")
+                }
             }
         }
         let out = svc.finish();

@@ -90,6 +90,9 @@ fn run_schedule(
                 Err(Rejected::QueueFull { .. }) => Decision::QueueFull,
                 Err(Rejected::SessionBusy { .. }) => Decision::SessionBusy,
                 Err(Rejected::ShuttingDown) => unreachable!("not draining"),
+                Err(Rejected::BatchTooLarge { .. }) => {
+                    unreachable!("chunks are far below the journal cap")
+                }
             });
         }
         if pump_after {

@@ -56,11 +56,27 @@ echo "==> latch-serve overload_stress (obs on)"
 cargo run --release -q -p latch-serve --bin overload_stress --features obs -- \
     --seed 11 --iters 8 --events 1500
 
+# Wire stress: the framed latchd front door driven over real loopback
+# sockets. Phase 1 runs one client thread per session under a seeded
+# overload plan and requires every admitted stream to reproduce solo
+# (no loss, no duplication); phase 2 reruns a single-connection drive
+# and requires byte-identical shed sets, reports, and SLO pushes.
+echo "==> latch-serve latchd_stress (obs off)"
+cargo run --release -q -p latch-serve --bin latchd_stress -- \
+    --seed 7 --sessions 4 --events 1200
+
+echo "==> latch-serve latchd_stress (obs on)"
+cargo run --release -q -p latch-serve --bin latchd_stress --features obs -- \
+    --seed 11 --sessions 4 --events 1200
+
 echo "==> cargo clippy --workspace (deny warnings)"
 cargo clippy -q --workspace --all-targets -- -D warnings
 
 echo "==> cargo clippy -p latch-serve (deny warnings)"
 cargo clippy -q -p latch-serve --all-targets -- -D warnings
+
+echo "==> cargo clippy -p latch-proto -p latch-client (deny warnings)"
+cargo clippy -q -p latch-proto -p latch-client --all-targets -- -D warnings
 
 # Fixed differential-conformance budget: 64 seeds through every system
 # variant vs. the reference oracle (DESIGN.md §11). Run twice and diff
