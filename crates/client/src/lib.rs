@@ -257,6 +257,69 @@ impl Client {
         std::mem::take(&mut self.slo)
     }
 
+    /// Cluster heartbeat: sends a `Ping` and returns the echoed token.
+    ///
+    /// # Errors
+    ///
+    /// Transport and protocol failures, or
+    /// [`ClientError::UnexpectedReply`] when the peer answers out of
+    /// protocol — either way the router counts a heartbeat miss.
+    pub fn ping(&mut self, token: u64) -> Result<u64, ClientError> {
+        write_msg(&mut self.conn, &Msg::Ping { token })?;
+        match self.next_reply()? {
+            Msg::Pong { token } => Ok(token),
+            Msg::Error { code } => Err(ClientError::Server { code }),
+            _ => Err(ClientError::UnexpectedReply("ping")),
+        }
+    }
+
+    /// Cluster control: identifies this connection as router `node`'s
+    /// and returns the echoed token.
+    ///
+    /// # Errors
+    ///
+    /// Transport and protocol failures, as for [`ping`](Self::ping).
+    pub fn node_hello(&mut self, node: u64, token: u64) -> Result<u64, ClientError> {
+        write_msg(&mut self.conn, &Msg::NodeHello { node, token })?;
+        match self.next_reply()? {
+            Msg::Pong { token } => Ok(token),
+            Msg::Error { code } => Err(ClientError::Server { code }),
+            _ => Err(ClientError::UnexpectedReply("node_hello")),
+        }
+    }
+
+    /// Ships one session's durable state to this node
+    /// (`MigrateSession`) and returns the events the importer's
+    /// pipeline restored (`MigrateAck.applied`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] when the node refused the import
+    /// (already resident, bad blob, or draining); transport and
+    /// protocol failures otherwise.
+    pub fn migrate_session(
+        &mut self,
+        session: u64,
+        rank: u8,
+        ltse_blob: Vec<u8>,
+        wal_suffix: Vec<u8>,
+    ) -> Result<u64, ClientError> {
+        write_msg(
+            &mut self.conn,
+            &Msg::MigrateSession {
+                session,
+                priority: rank,
+                ltse_blob,
+                wal_suffix,
+            },
+        )?;
+        match self.next_reply()? {
+            Msg::MigrateAck { applied, .. } => Ok(applied),
+            Msg::Error { code } => Err(ClientError::Server { code }),
+            _ => Err(ClientError::UnexpectedReply("migrate_session")),
+        }
+    }
+
     /// Reads the next non-push reply, stashing SLO pushes on the way.
     fn next_reply(&mut self) -> Result<Msg, ClientError> {
         loop {

@@ -228,13 +228,12 @@ fn garbage_fed_connection_fails_closed_without_wedging_the_server() {
     let cfg = quiet_config(16);
     let scrub = cfg.scrub_interval;
     let server = start(cfg, &endpoint);
-    let Endpoint::Tcp(addr) = server.endpoint().clone() else {
-        unreachable!()
-    };
+    // Port discipline: bind port 0, read the kernel's choice back.
+    let addr = server.local_addr().expect("TCP listener has an address");
 
     // A connection that speaks pure garbage: the server must close it
     // (fail-closed) without taking the accept loop down.
-    let mut garbage = std::net::TcpStream::connect(addr.as_str()).expect("connect");
+    let mut garbage = std::net::TcpStream::connect(addr).expect("connect");
     garbage
         .write_all(&[0xFF; 64])
         .expect("garbage bytes accepted by the kernel");
@@ -242,8 +241,8 @@ fn garbage_fed_connection_fails_closed_without_wedging_the_server() {
 
     // A connection whose *frame* is valid but whose first message is
     // not a Hello: also failed closed, with a typed reply first.
-    let proto_violation = Endpoint::Tcp(addr.clone());
-    let mut early = std::net::TcpStream::connect(addr.as_str()).expect("connect");
+    let proto_violation = Endpoint::Tcp(addr.to_string());
+    let mut early = std::net::TcpStream::connect(addr).expect("connect");
     let drain_frame = latch_proto::Msg::Drain.encode().expect("encode");
     early.write_all(&drain_frame).expect("frame accepted");
     early.flush().unwrap();
@@ -268,10 +267,9 @@ fn version_mismatch_is_refused_at_the_door() {
     // on the client side; encode a bad-version Hello by hand.
     let endpoint = Endpoint::parse("tcp:127.0.0.1:0").unwrap();
     let server = start(quiet_config(17), &endpoint);
-    let Endpoint::Tcp(addr) = server.endpoint().clone() else {
-        unreachable!()
-    };
-    let mut raw = std::net::TcpStream::connect(addr.as_str()).expect("connect");
+    // Port discipline: bind port 0, read the kernel's choice back.
+    let addr = server.local_addr().expect("TCP listener has an address");
+    let mut raw = std::net::TcpStream::connect(addr).expect("connect");
     let hello = latch_proto::Msg::Hello {
         version: latch_proto::PROTO_VERSION + 1,
         window_events: 8,

@@ -41,9 +41,11 @@ use latch_faults::FaultPlan;
 use latch_faults::FaultInjector;
 use latch_client::{Client, ClientError};
 use latch_proto::Endpoint;
+use latch_router::{Router, RouterConfig, RouterError};
 use latch_serve::{
-    DurableConfig, DurableService, FailoverRecord, MemStorage, MultiIngress, Priority,
-    Rejected, ServeConfig, Service, ServiceOutcome, Slo, SloReport, WireConfig, WireServer,
+    export_sessions, DurableConfig, DurableService, FailoverRecord, MemStorage, MultiIngress,
+    Priority, Rejected, ServeConfig, Service, ServiceOutcome, Slo, SloReport, WireConfig,
+    WireServer,
 };
 use latch_sim::event::{Event, MemAccess, MemAccessKind, SourceInput, VecSource};
 use latch_sim::machine::apply_event_dift;
@@ -803,6 +805,142 @@ pub fn check(prog: &TestProgram, opts: &CheckOptions) -> Result<Verdict, Box<Div
         for (_session, bytes) in &reports {
             if *bytes != want {
                 return Err(wire("session report diverged across the wire"));
+            }
+        }
+    }
+
+    // ---- leg 10: cluster-serve — router failover over two nodes ------
+    // The same desugared trace crosses the consistent-hash router into
+    // two real wire servers, and a seeded fault plan kills one node at
+    // a round boundary mid-drive (or, on a cold seed, right before the
+    // drain — the migration path must run either way). The victim's
+    // sessions fail over: their durable state is exported from the
+    // dead node's surviving storage, shipped as `MigrateSession`
+    // frames, and imported by the survivor. The contracts: after the
+    // drain, every session's report is byte-identical to a solo
+    // pipeline run of the full trace (failover lost nothing, doubled
+    // nothing), and a rerun with the same seed reproduces both the
+    // reports and the migration history exactly.
+    if !desugared.is_empty() {
+        const CHUNK: usize = 48;
+        const CLUSTER_SESSIONS: usize = 4;
+        let cluster = |what: &'static str| {
+            Box::new(Divergence::Overload {
+                leg: "cluster-serve",
+                what,
+            })
+        };
+        let node_cfg = ServeConfig {
+            workers: 1,
+            max_resident: 2,
+            seed: opts.fault_seed,
+            ..ServeConfig::default()
+        };
+        let scrub = node_cfg.scrub_interval;
+        type ClusterRun = (
+            Vec<(u64, Vec<u8>)>,
+            Vec<latch_router::MigrationRecord>,
+        );
+        let run = || -> Result<ClusterRun, Box<Divergence>> {
+            let mut servers: Vec<Option<WireServer<MemStorage>>> = (0..2)
+                .map(|id| {
+                    let (svc, _recovery) = DurableService::recover(
+                        ServeConfig {
+                            seed: opts.fault_seed.wrapping_add(id),
+                            ..node_cfg
+                        },
+                        DurableConfig::default(),
+                        FaultPlan::benign(),
+                        MemStorage::new(FaultPlan::benign()),
+                    );
+                    let endpoint = Endpoint::parse("tcp:127.0.0.1:0").expect("literal endpoint");
+                    WireServer::start(&endpoint, svc, WireConfig::default()).map(Some)
+                })
+                .collect::<Result<_, _>>()
+                .map_err(|_| cluster("bind failed"))?;
+            let mut router = Router::new(RouterConfig {
+                seed: opts.fault_seed,
+                vnodes: 32,
+                miss_budget: 2,
+                window_events: 256,
+                router_id: opts.fault_seed,
+            });
+            for (id, srv) in servers.iter().enumerate() {
+                router.add_node(id as u32, srv.as_ref().expect("fresh").endpoint().clone());
+            }
+            let victim = router.owner_of(0).ok_or_else(|| cluster("empty ring"))?;
+            let mut inj = FaultInjector::new(
+                FaultPlan::new(opts.fault_seed ^ 0x00C1).with_node_kills(25, 1),
+            );
+            let kill = |servers: &mut Vec<Option<WireServer<MemStorage>>>,
+                            router: &mut Router|
+             -> Result<(), Box<Divergence>> {
+                let svc = servers[victim as usize]
+                    .take()
+                    .expect("victim still up")
+                    .kill()
+                    .ok_or_else(|| cluster("victim was already drained"))?;
+                let mut storage = svc.crash();
+                let exports = export_sessions(&mut storage);
+                router
+                    .fail_over(victim, exports)
+                    .map_err(|_| cluster("failover failed"))?;
+                Ok(())
+            };
+            let mut pos = [0usize; CLUSTER_SESSIONS];
+            let mut rounds = 0u64;
+            while pos.iter().any(|&p| p < desugared.len()) {
+                if rounds > 1_000_000 {
+                    return Err(cluster("drive failed to make progress"));
+                }
+                if servers[victim as usize].is_some() && inj.node_killed_at(victim, rounds) {
+                    kill(&mut servers, &mut router)?;
+                }
+                for (s, p) in pos.iter_mut().enumerate() {
+                    if *p >= desugared.len() {
+                        continue;
+                    }
+                    let take = CHUNK.min(desugared.len() - *p);
+                    match router.submit(s as u64, (s % 3) as u8, &desugared[*p..*p + take]) {
+                        Ok(()) => *p += take,
+                        // Benign plan, SLO off: only backpressure can
+                        // reject; the same chunk retries next round.
+                        Err(RouterError::Rejected(_)) => {}
+                        Err(_) => return Err(cluster("transport failed mid-drive")),
+                    }
+                }
+                rounds += 1;
+            }
+            // A cold seed must still exercise the failover machinery.
+            if servers[victim as usize].is_some() {
+                kill(&mut servers, &mut router)?;
+            }
+            let reports = router.drain().map_err(|_| cluster("drain failed"))?;
+            let history = router.migration_history().to_vec();
+            for srv in servers.into_iter().flatten() {
+                srv.shutdown();
+            }
+            Ok((reports, history))
+        };
+        let (reports_a, history_a) = run()?;
+        let (reports_b, history_b) = run()?;
+        if history_a != history_b {
+            return Err(cluster("migration history changed between reruns"));
+        }
+        if reports_a != reports_b {
+            return Err(cluster("session reports changed between reruns"));
+        }
+        if reports_a.len() != CLUSTER_SESSIONS {
+            return Err(cluster("session count diverged across the cluster"));
+        }
+        let mut solo = SessionPipeline::new(scrub);
+        for ev in &desugared {
+            solo.apply(ev);
+        }
+        let want = solo.report().encode();
+        for (_session, bytes) in &reports_a {
+            if *bytes != want {
+                return Err(cluster("session report diverged after failover"));
             }
         }
     }

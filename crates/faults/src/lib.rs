@@ -59,6 +59,7 @@ pub enum Stream {
     FeedStall = 22,
     FeedStallLen = 23,
     FeedDeath = 24,
+    NodeDeath = 25,
 }
 
 /// Which coarse structure a bit flip lands in.
@@ -228,6 +229,26 @@ impl OverloadFaultConfig {
     };
 }
 
+/// Configures cluster-node faults (the `latch-router` layer): whole
+/// `latchd` nodes killed mid-stream, forcing the router to fail their
+/// sessions over. Decisions are per `(node, round)`, pure in the seed,
+/// and bounded by a kill budget so a sweep cannot kill every node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeFaultConfig {
+    /// Probability per `(node, round)` that the node is killed.
+    pub kill_per_mille: u32,
+    /// Most kills one injector will ever report (0 disarms).
+    pub max_kills: u32,
+}
+
+impl NodeFaultConfig {
+    /// No node faults.
+    pub const OFF: Self = Self {
+        kill_per_mille: 0,
+        max_kills: 0,
+    };
+}
+
 /// A complete, seeded description of the faults to inject into one run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultPlan {
@@ -238,6 +259,7 @@ pub struct FaultPlan {
     pub worker: WorkerFaultConfig,
     pub disk: DiskFaultConfig,
     pub overload: OverloadFaultConfig,
+    pub node: NodeFaultConfig,
 }
 
 impl FaultPlan {
@@ -252,6 +274,7 @@ impl FaultPlan {
             worker: WorkerFaultConfig::OFF,
             disk: DiskFaultConfig::OFF,
             overload: OverloadFaultConfig::OFF,
+            node: NodeFaultConfig::OFF,
         }
     }
 
@@ -376,6 +399,18 @@ impl FaultPlan {
         self
     }
 
+    /// Arms cluster-node kills: each `(node, round)` pair may kill the
+    /// node, up to `max_kills` kills per injector.
+    #[must_use]
+    pub fn with_node_kills(mut self, kill_per_mille: u32, max_kills: u32) -> Self {
+        assert!(kill_per_mille <= 1000, "per_mille out of range");
+        self.node = NodeFaultConfig {
+            kill_per_mille,
+            max_kills,
+        };
+        self
+    }
+
     /// Whether the plan injects anything at all.
     #[must_use]
     pub fn is_benign(&self) -> bool {
@@ -385,6 +420,7 @@ impl FaultPlan {
             && self.worker == WorkerFaultConfig::OFF
             && self.disk == DiskFaultConfig::OFF
             && self.overload == OverloadFaultConfig::OFF
+            && self.node == NodeFaultConfig::OFF
     }
 }
 
@@ -432,6 +468,7 @@ pub struct FaultStats {
     pub slow_rounds: u64,
     pub feed_stalls: u64,
     pub feed_deaths: u64,
+    pub node_kills: u64,
 }
 
 impl FaultStats {
@@ -455,6 +492,7 @@ impl FaultStats {
         self.slow_rounds += other.slow_rounds;
         self.feed_stalls += other.feed_stalls;
         self.feed_deaths += other.feed_deaths;
+        self.node_kills += other.node_kills;
     }
 }
 
@@ -704,6 +742,23 @@ impl FaultInjector {
         let idx = Self::feed_index(path, poll);
         if fires(self.plan.seed, Stream::FeedDeath, idx, o.feed_death_per_mille) {
             self.stats.feed_deaths += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether cluster node `node` is killed at submission round
+    /// `round`. Kills beyond the plan's budget never fire, so a sweep
+    /// always leaves at least `nodes - max_kills` nodes standing.
+    pub fn node_killed_at(&mut self, node: u32, round: u64) -> bool {
+        let n = self.plan.node;
+        if self.stats.node_kills >= u64::from(n.max_kills) {
+            return false;
+        }
+        let idx = Self::feed_index(node, round);
+        if fires(self.plan.seed, Stream::NodeDeath, idx, n.kill_per_mille) {
+            self.stats.node_kills += 1;
             true
         } else {
             false

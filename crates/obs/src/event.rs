@@ -230,6 +230,32 @@ pub enum TraceEvent {
         /// the protocol state machine).
         reason: &'static str,
     },
+    /// The cluster router placed a session on its hash-ring owner.
+    RingPlace {
+        /// The session routed.
+        session: u64,
+        /// The owning node's id.
+        node: u32,
+    },
+    /// The cluster router declared a node dead.
+    NodeDown {
+        /// The dead node's id.
+        node: u32,
+        /// Consecutive heartbeat misses at the decision (0 when the
+        /// death was detected by a failed forward instead).
+        misses: u32,
+    },
+    /// A session's durable state moved to a new owning node.
+    SessionMigrate {
+        /// The session that moved.
+        session: u64,
+        /// The node it left.
+        from_node: u32,
+        /// The node that imported it.
+        to_node: u32,
+        /// Events the importer's pipeline restored.
+        applied: u64,
+    },
 }
 
 impl TraceEvent {
@@ -266,6 +292,9 @@ impl TraceEvent {
             TraceEvent::ConnOpen { .. } => "conn_open",
             TraceEvent::ConnClose { .. } => "conn_close",
             TraceEvent::WireReject { .. } => "wire_reject",
+            TraceEvent::RingPlace { .. } => "ring_place",
+            TraceEvent::NodeDown { .. } => "node_down",
+            TraceEvent::SessionMigrate { .. } => "session_migrate",
         }
     }
 
@@ -433,6 +462,23 @@ impl TraceEvent {
             }
             TraceEvent::WireReject { conn, reason } => {
                 let _ = write!(out, ",\"conn\":{conn},\"reason\":\"{reason}\"");
+            }
+            TraceEvent::RingPlace { session, node } => {
+                let _ = write!(out, ",\"session\":{session},\"node\":{node}");
+            }
+            TraceEvent::NodeDown { node, misses } => {
+                let _ = write!(out, ",\"node\":{node},\"misses\":{misses}");
+            }
+            TraceEvent::SessionMigrate {
+                session,
+                from_node,
+                to_node,
+                applied,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"session\":{session},\"from_node\":{from_node},\"to_node\":{to_node},\"applied\":{applied}"
+                );
             }
         }
         out.push('}');

@@ -317,6 +317,51 @@ pub enum Msg {
         /// One of the [`error_code`] constants.
         code: u8,
     },
+    /// Cluster control: a router identifying one of its per-node
+    /// connections. Sent once after `Hello`; the node answers with a
+    /// [`Msg::Pong`] echoing `token`.
+    NodeHello {
+        /// The router's id in the cluster.
+        node: u64,
+        /// Opaque echo token (the router's generation counter).
+        token: u64,
+    },
+    /// Cluster heartbeat probe; the peer answers [`Msg::Pong`] with the
+    /// same token.
+    Ping {
+        /// Opaque echo token.
+        token: u64,
+    },
+    /// Heartbeat answer, echoing the probe's token.
+    Pong {
+        /// The token from the `Ping` (or `NodeHello`) being answered.
+        token: u64,
+    },
+    /// Session failover: ship one session's durable state to its new
+    /// owner. The blob and suffix are exactly the durability layer's
+    /// on-disk artifacts (snapshot-store frame blob, `wal-*` file
+    /// bytes), so the importer replays them with the recovery codecs
+    /// unchanged.
+    MigrateSession {
+        /// The session being moved.
+        session: u64,
+        /// The session's sticky admission class rank.
+        priority: u8,
+        /// LTSE pipeline snapshot (empty when the session had no
+        /// durable snapshot yet).
+        ltse_blob: Vec<u8>,
+        /// Raw write-ahead journal bytes covering the suffix past the
+        /// snapshot (empty when fully covered).
+        wal_suffix: Vec<u8>,
+    },
+    /// The importer accepted a migrated session.
+    MigrateAck {
+        /// The session that moved.
+        session: u64,
+        /// Events the imported pipeline has applied — the exact prefix
+        /// length the new owner restored.
+        applied: u64,
+    },
 }
 
 const TAG_HELLO: u8 = 0;
@@ -330,6 +375,11 @@ const TAG_SLO_PUSH: u8 = 7;
 const TAG_DRAIN: u8 = 8;
 const TAG_DRAINED: u8 = 9;
 const TAG_ERROR: u8 = 10;
+const TAG_NODE_HELLO: u8 = 11;
+const TAG_PING: u8 = 12;
+const TAG_PONG: u8 = 13;
+const TAG_MIGRATE_SESSION: u8 = 14;
+const TAG_MIGRATE_ACK: u8 = 15;
 
 const REJ_QUEUE_FULL: u8 = 0;
 const REJ_SESSION_BUSY: u8 = 1;
@@ -639,6 +689,37 @@ impl Msg {
                 w.u8(TAG_ERROR);
                 w.u8(*code);
             }
+            Msg::NodeHello { node, token } => {
+                w.u8(TAG_NODE_HELLO);
+                w.u64(*node);
+                w.u64(*token);
+            }
+            Msg::Ping { token } => {
+                w.u8(TAG_PING);
+                w.u64(*token);
+            }
+            Msg::Pong { token } => {
+                w.u8(TAG_PONG);
+                w.u64(*token);
+            }
+            Msg::MigrateSession {
+                session,
+                priority,
+                ltse_blob,
+                wal_suffix,
+            } => {
+                w.u8(TAG_MIGRATE_SESSION);
+                w.u64(*session);
+                w.u8(*priority);
+                w.u32(ltse_blob.len() as u32);
+                w.bytes(ltse_blob);
+                w.bytes(wal_suffix);
+            }
+            Msg::MigrateAck { session, applied } => {
+                w.u8(TAG_MIGRATE_ACK);
+                w.u64(*session);
+                w.u64(*applied);
+            }
         }
         let payload = w.finish();
         if payload.len() > MAX_FRAME_PAYLOAD {
@@ -764,6 +845,30 @@ impl Msg {
                 Msg::Drained { reports }
             }
             TAG_ERROR => Msg::Error { code: r.u8()? },
+            TAG_NODE_HELLO => Msg::NodeHello {
+                node: r.u64()?,
+                token: r.u64()?,
+            },
+            TAG_PING => Msg::Ping { token: r.u64()? },
+            TAG_PONG => Msg::Pong { token: r.u64()? },
+            TAG_MIGRATE_SESSION => {
+                let session = r.u64()?;
+                let priority = r.rank()?;
+                let n = r.len_prefix()?;
+                let ltse_blob = r.bytes(n)?.to_vec();
+                // The journal bytes run to the end of the payload, so
+                // the cursor is exhausted by construction.
+                return Ok(Msg::MigrateSession {
+                    session,
+                    priority,
+                    ltse_blob,
+                    wal_suffix: r.rest().to_vec(),
+                });
+            }
+            TAG_MIGRATE_ACK => Msg::MigrateAck {
+                session: r.u64()?,
+                applied: r.u64()?,
+            },
             tag => return Err(ProtoError::BadTag { tag }),
         };
         r.expect_end()?;
@@ -982,6 +1087,25 @@ mod tests {
             Msg::Error {
                 code: error_code::MALFORMED,
             },
+            Msg::NodeHello { node: 2, token: 9 },
+            Msg::Ping { token: 41 },
+            Msg::Pong { token: 41 },
+            Msg::MigrateSession {
+                session: 6,
+                priority: priority::CRITICAL,
+                ltse_blob: vec![3u8; 96],
+                wal_suffix: vec![5u8; 48],
+            },
+            Msg::MigrateSession {
+                session: 7,
+                priority: priority::NORMAL,
+                ltse_blob: Vec::new(),
+                wal_suffix: Vec::new(),
+            },
+            Msg::MigrateAck {
+                session: 6,
+                applied: 1234,
+            },
         ]
     }
 
@@ -1099,6 +1223,13 @@ mod tests {
             }),
             Msg::Drained {
                 reports: vec![(1, vec![4u8; 24])],
+            },
+            Msg::Ping { token: 77 },
+            Msg::MigrateSession {
+                session: 2,
+                priority: priority::BULK,
+                ltse_blob: vec![6u8; 32],
+                wal_suffix: vec![7u8; 20],
             },
         ];
         for msg in msgs {

@@ -1,0 +1,362 @@
+//! Cluster stress for the `latch-router` failover path.
+//!
+//! Spins real `latchd` wire servers on `127.0.0.1:0`, a router in
+//! front of them, and kills a node mid-stream — the kill round seeded
+//! through [`FaultInjector::node_killed_at`]. Two phases:
+//!
+//! 1. **Threaded** — one client thread per session, all speaking the
+//!    ordinary client protocol to the *router*. A harness thread kills
+//!    the victim node's listener at the seeded round and deposits its
+//!    surviving storage for the router's exporter. After a drain
+//!    through the router, every session's report must be
+//!    byte-identical to a solo [`SessionPipeline`] run of its full
+//!    stream: no event lost to the failover, none applied twice.
+//! 2. **Deterministic** — a single thread drives the library
+//!    [`Router`] over two nodes round-robin, killing the victim at the
+//!    seeded round boundary (or before the drain if the budget never
+//!    fires), twice against fresh clusters with the same seed. The
+//!    session reports *and the migration history* must be
+//!    byte-identical across the two runs.
+//!
+//! Any panic or mismatch exits non-zero.
+//!
+//! ```text
+//! cluster_stress [--seed S] [--sessions K] [--events E]
+//! ```
+
+use latch_client::{Client, ClientError};
+use latch_faults::{FaultInjector, FaultPlan};
+use latch_proto::Endpoint;
+use latch_router::{Exporter, MigrationRecord, Router, RouterConfig, RouterServer, RouterServerConfig};
+use latch_serve::{
+    export_sessions, DurableConfig, DurableService, MemStorage, ServeConfig, SessionExport,
+    WireConfig, WireServer,
+};
+use latch_sim::event::{Event, EventSource};
+use latch_systems::session::SessionPipeline;
+use latch_workloads::all_profiles;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+struct Args {
+    seed: u64,
+    sessions: usize,
+    events: u64,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let mut args = Args {
+            seed: 1,
+            sessions: 6,
+            events: 1_200,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next()
+                    .unwrap_or_else(|| panic!("missing value for {flag}"))
+            };
+            match flag.as_str() {
+                "--seed" => args.seed = value().parse().expect("--seed"),
+                "--sessions" => args.sessions = value().parse().expect("--sessions"),
+                "--events" => args.events = value().parse().expect("--events"),
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        assert!(args.sessions > 0 && args.events > 0);
+        args
+    }
+}
+
+fn stream(profile_idx: usize, seed: u64, n: u64) -> Vec<Event> {
+    let profiles = all_profiles();
+    let mut src = profiles[profile_idx % profiles.len()].stream(seed, n);
+    let mut out = Vec::new();
+    while let Some(ev) = src.next_event() {
+        out.push(ev);
+    }
+    out
+}
+
+fn rank_of(session: usize) -> u8 {
+    (session % 3) as u8
+}
+
+fn serve_config(seed: u64) -> ServeConfig {
+    ServeConfig {
+        workers: 1,
+        queue_events: 512,
+        batch_max: 32,
+        seed,
+        ..ServeConfig::default()
+    }
+}
+
+fn start_node(seed: u64, id: u32) -> WireServer<MemStorage> {
+    let (svc, _recovery) = DurableService::recover(
+        serve_config(seed.wrapping_add(u64::from(id))),
+        DurableConfig::default(),
+        FaultPlan::benign(),
+        MemStorage::new(FaultPlan::benign()),
+    );
+    let endpoint = Endpoint::Tcp("127.0.0.1:0".to_string());
+    WireServer::start(&endpoint, svc, WireConfig::default()).expect("bind loopback node")
+}
+
+fn router_config(seed: u64) -> RouterConfig {
+    RouterConfig {
+        seed,
+        vnodes: 32,
+        miss_budget: 2,
+        window_events: 256,
+        router_id: seed,
+    }
+}
+
+/// The seeded round at which the victim dies (bounded so the threaded
+/// phase's sleep stays short even on a cold seed).
+fn kill_round(seed: u64, victim: u32) -> u64 {
+    let mut inj = FaultInjector::new(FaultPlan::new(seed ^ 0x00C1).with_node_kills(25, 1));
+    (0..200).find(|&r| inj.node_killed_at(victim, r)).unwrap_or(30)
+}
+
+/// Kills a wire server and exports every session from its surviving
+/// storage — the disk a real deployment would re-mount.
+fn kill_and_export(server: WireServer<MemStorage>) -> Vec<SessionExport> {
+    let svc = server.kill().expect("victim was not drained");
+    let mut storage = svc.crash();
+    export_sessions(&mut storage)
+}
+
+/// Drives one session's full stream through the router, retrying
+/// backpressure and the kill window's transient refusals.
+fn drive_session(client: &mut Client, session: u64, events: &[Event]) {
+    const CHUNK: usize = 32;
+    let rank = rank_of(session as usize);
+    let mut pos = 0usize;
+    let mut rounds = 0u64;
+    while pos < events.len() {
+        assert!(rounds < 1_000_000, "cluster drive failed to make progress");
+        rounds += 1;
+        let take = CHUNK.min(events.len() - pos);
+        match client.submit(session, rank, &events[pos..pos + take]) {
+            Ok(()) => pos += take,
+            Err(ClientError::Rejected(_)) => {
+                // Queue-full backpressure, or the victim answering
+                // ShuttingDown in the instant between losing its
+                // service and its sockets closing; either way the
+                // batch was not admitted — retry it.
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => panic!("session {session}: router connection failed: {e}"),
+        }
+    }
+}
+
+fn check_reports(
+    reports: &BTreeMap<u64, Vec<u8>>,
+    streams: &[Vec<Event>],
+    scrub_interval: u64,
+    what: &str,
+) {
+    assert_eq!(
+        reports.len(),
+        streams.len(),
+        "{what}: expected one report per session"
+    );
+    for (s, events) in streams.iter().enumerate() {
+        let mut solo = SessionPipeline::new(scrub_interval);
+        for ev in events {
+            solo.apply(ev);
+        }
+        let bytes = reports
+            .get(&(s as u64))
+            .unwrap_or_else(|| panic!("{what}: session {s} has no report"));
+        assert_eq!(
+            *bytes,
+            solo.report().encode(),
+            "{what}: session {s} diverged from its solo run after failover"
+        );
+    }
+}
+
+/// Phase 1: client threads through a [`RouterServer`], a real mid-
+/// stream node kill, exporter fed by the harness's deposit.
+fn threaded_phase(args: &Args) {
+    const NODES: u32 = 3;
+    let mut servers: Vec<Option<WireServer<MemStorage>>> =
+        (0..NODES).map(|id| Some(start_node(args.seed, id))).collect();
+    let mut router = Router::new(router_config(args.seed));
+    for (id, srv) in servers.iter().enumerate() {
+        router.add_node(id as u32, srv.as_ref().expect("fresh node").endpoint().clone());
+    }
+    let deposits: Arc<Mutex<BTreeMap<u32, Vec<SessionExport>>>> =
+        Arc::new(Mutex::new(BTreeMap::new()));
+    let exporter_deposits = Arc::clone(&deposits);
+    let exporter: Exporter = Box::new(move |node| {
+        // The harness deposits the dead node's exports right after the
+        // kill; wait briefly for the racing deposit.
+        for _ in 0..2_000 {
+            if let Some(exports) = exporter_deposits.lock().expect("deposits").get(&node) {
+                return exports.clone();
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        Vec::new()
+    });
+    let front = RouterServer::start(
+        &Endpoint::Tcp("127.0.0.1:0".to_string()),
+        router,
+        exporter,
+        RouterServerConfig {
+            max_window_events: 1 << 14,
+            heartbeat: Duration::from_millis(10),
+        },
+    )
+    .expect("bind router");
+    let endpoint = front.endpoint().clone();
+
+    let victim = (args.seed % u64::from(NODES)) as u32;
+    let delay = Duration::from_millis(kill_round(args.seed, victim));
+    let victim_server = servers[victim as usize].take().expect("victim exists");
+    let killer_deposits = Arc::clone(&deposits);
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(delay);
+        let exports = kill_and_export(victim_server);
+        let n = exports.len();
+        killer_deposits.lock().expect("deposits").insert(victim, exports);
+        n
+    });
+
+    let streams: Vec<Vec<Event>> = (0..args.sessions)
+        .map(|s| stream(s, args.seed.wrapping_add(s as u64), args.events))
+        .collect();
+    let handles: Vec<_> = streams
+        .iter()
+        .enumerate()
+        .map(|(s, events)| {
+            let endpoint = endpoint.clone();
+            let events = events.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&endpoint, 256, false).expect("connect router");
+                drive_session(&mut client, s as u64, &events);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let exported = killer.join().expect("killer thread");
+
+    let mut client = Client::connect(&endpoint, 256, false).expect("connect router");
+    let reports: BTreeMap<u64, Vec<u8>> = client.drain().expect("drain cluster").into_iter().collect();
+    check_reports(
+        &reports,
+        &streams,
+        serve_config(args.seed).scrub_interval,
+        "threaded",
+    );
+    let (history, victim_alive) =
+        front.with_router(|r| (r.migration_history().to_vec(), r.is_alive(victim)));
+    assert!(!victim_alive, "victim node still marked alive after kill");
+    assert!(
+        history.iter().all(|m| m.from_node == victim),
+        "a migration left a node that was never killed"
+    );
+    front.shutdown();
+    for srv in servers.into_iter().flatten() {
+        srv.shutdown();
+    }
+    println!(
+        "threaded: {} session(s), node {victim} killed after {delay:?} ({exported} exported, {} migrated), every stream reproduced",
+        args.sessions,
+        history.len()
+    );
+}
+
+/// One single-threaded round-robin drive of the library [`Router`]
+/// against a fresh 2-node cluster, with the seeded kill.
+fn det_run(args: &Args, streams: &[Vec<Event>]) -> (BTreeMap<u64, Vec<u8>>, Vec<MigrationRecord>) {
+    const CHUNK: usize = 48;
+    let mut servers: Vec<Option<WireServer<MemStorage>>> =
+        (0..2).map(|id| Some(start_node(args.seed ^ 0xDE7, id))).collect();
+    let mut router = Router::new(router_config(args.seed));
+    for (id, srv) in servers.iter().enumerate() {
+        router.add_node(id as u32, srv.as_ref().expect("fresh node").endpoint().clone());
+    }
+    let victim = (args.seed % 2) as u32;
+    let mut inj = FaultInjector::new(FaultPlan::new(args.seed ^ 0x00C1).with_node_kills(25, 1));
+    let kill_now = |servers: &mut Vec<Option<WireServer<MemStorage>>>,
+                        router: &mut Router| {
+        let exports = kill_and_export(servers[victim as usize].take().expect("victim"));
+        router.fail_over(victim, exports).expect("failover");
+    };
+    let mut pos = vec![0usize; streams.len()];
+    let mut round = 0u64;
+    while pos.iter().zip(streams).any(|(&p, ev)| p < ev.len()) {
+        assert!(round < 1_000_000, "deterministic drive failed to make progress");
+        if servers[victim as usize].is_some() && inj.node_killed_at(victim, round) {
+            kill_now(&mut servers, &mut router);
+        }
+        for (s, events) in streams.iter().enumerate() {
+            if pos[s] >= events.len() {
+                continue;
+            }
+            let take = CHUNK.min(events.len() - pos[s]);
+            match router.submit(s as u64, rank_of(s), &events[pos[s]..pos[s] + take]) {
+                Ok(()) => pos[s] += take,
+                Err(latch_router::RouterError::Rejected(_)) => {}
+                Err(e) => panic!("deterministic: session {s} submit failed: {e}"),
+            }
+        }
+        round += 1;
+    }
+    // A cold seed must still exercise the migration path: kill before
+    // the drain so the survivor serves the imported sessions.
+    if servers[victim as usize].is_some() {
+        kill_now(&mut servers, &mut router);
+    }
+    let reports: BTreeMap<u64, Vec<u8>> = router.drain().expect("drain").into_iter().collect();
+    check_reports(
+        &reports,
+        streams,
+        serve_config(args.seed).scrub_interval,
+        "deterministic",
+    );
+    let history = router.migration_history().to_vec();
+    for srv in servers.into_iter().flatten() {
+        srv.shutdown();
+    }
+    (reports, history)
+}
+
+/// Phase 2: the same seed twice must yield byte-identical reports and
+/// an identical migration history.
+fn deterministic_phase(args: &Args) {
+    let streams: Vec<Vec<Event>> = (0..args.sessions)
+        .map(|s| stream(s, args.seed.wrapping_add(s as u64), args.events))
+        .collect();
+    let (reports_a, history_a) = det_run(args, &streams);
+    let (reports_b, history_b) = det_run(args, &streams);
+    assert_eq!(reports_a, reports_b, "session reports changed between reruns");
+    assert_eq!(history_a, history_b, "migration history changed between reruns");
+    println!(
+        "deterministic: {} migration(s), reports and history byte-identical across reruns",
+        history_a.len()
+    );
+}
+
+fn main() {
+    let args = Args::parse();
+    // Unbuffered panics from client threads must fail the process.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        hook(info);
+        std::process::exit(101);
+    }));
+    threaded_phase(&args);
+    deterministic_phase(&args);
+    println!("cluster_stress: ok");
+}

@@ -1,0 +1,534 @@
+//! # latch-router
+//!
+//! The cluster front door: one router process accepts ordinary
+//! [`latch_proto`] client connections and shards sessions across N
+//! downstream `latchd` nodes with a seeded virtual-node
+//! consistent-hash [`Ring`]. Forwarding is sticky — a session's first
+//! placement pins it to its owner — and every placement, heartbeat
+//! decision, and failover is deterministic in the ring seed plus the
+//! observed node deaths, so a rerun against the same kill schedule
+//! produces a byte-identical migration history.
+//!
+//! **Failover.** Nodes are health-checked with a miss-budget heartbeat
+//! (the `MultiIngress` discipline lifted to processes): every
+//! [`Router::tick`] pings each live node, a miss increments its
+//! budget, and exhausting the budget — or any failed forward —
+//! declares the node down. The sessions it owned move via
+//! [`Router::fail_over`]: their durable state is read from the dead
+//! node's surviving storage ([`latch_serve::export_sessions`]), shipped
+//! to the new ring owner as a `MigrateSession` frame (LTSE snapshot +
+//! raw WAL suffix, the PR 5 codecs unchanged), and imported there with
+//! the recovery scan. Because recovery restores an *exact prefix* of
+//! the admitted stream, a migrated session's drained report is
+//! byte-identical to a solo pipeline run — the oracle
+//! `tests/failover.rs` and conformance leg 10 enforce.
+
+use latch_client::{Client, ClientError};
+use latch_obs::TraceEvent;
+use latch_proto::{Endpoint, WireRejected};
+use latch_serve::SessionExport;
+use latch_sim::event::Event;
+use std::collections::BTreeMap;
+
+mod ring;
+pub mod server;
+
+pub use ring::Ring;
+pub use server::{Exporter, RouterServer, RouterServerConfig};
+
+/// Router tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterConfig {
+    /// Seed for the ring's point placement (and heartbeat tokens).
+    pub seed: u64,
+    /// Virtual nodes per physical node on the ring.
+    pub vnodes: u32,
+    /// Consecutive heartbeat misses tolerated before a node is
+    /// declared dead.
+    pub miss_budget: u32,
+    /// In-flight window requested on each per-node connection.
+    pub window_events: u32,
+    /// This router's id, announced to nodes in `NodeHello`.
+    pub router_id: u64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            vnodes: 64,
+            miss_budget: 3,
+            window_events: 4096,
+            router_id: 0,
+        }
+    }
+}
+
+/// Everything that can go wrong routing a request.
+#[derive(Debug)]
+pub enum RouterError {
+    /// The ring has no live nodes left.
+    NoNodes,
+    /// The session's owner is down; run a failover and retry.
+    NodeDown {
+        /// The dead owner.
+        node: u32,
+    },
+    /// The node refused the submission — typed and retryable, passed
+    /// through from the wire.
+    Rejected(WireRejected),
+    /// A terminal client-side failure talking to a node.
+    Wire(ClientError),
+}
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterError::NoNodes => f.write_str("no live nodes on the ring"),
+            RouterError::NodeDown { node } => write!(f, "node {node} is down"),
+            RouterError::Rejected(r) => write!(f, "node rejected submission: {r}"),
+            RouterError::Wire(e) => write!(f, "node connection failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+/// One completed session migration, in failover order. Reruns of the
+/// same seed and kill schedule produce an identical vector — the
+/// conformance leg diffs it byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationRecord {
+    /// The router's heartbeat tick when the failover ran.
+    pub at_tick: u64,
+    /// The session that moved.
+    pub session: u64,
+    /// The node it left (dead or draining).
+    pub from_node: u32,
+    /// The node that imported it.
+    pub to_node: u32,
+    /// Events the importer's pipeline restored.
+    pub applied: u64,
+}
+
+struct Node {
+    endpoint: Endpoint,
+    conn: Option<Client>,
+    misses: u32,
+    alive: bool,
+}
+
+struct Route {
+    owner: u32,
+    /// Events acked (`SubmitOk`) for this session through this router.
+    admitted: u64,
+    /// Events of the last batch whose fate is unknown (the owner died
+    /// between our write and its ack). Resolved by the next failover:
+    /// the imported `applied` count tells whether the batch landed.
+    in_doubt: u64,
+    /// Events the caller will re-submit that the migrated state
+    /// already contains; consumed without forwarding so an admitted
+    /// batch is never applied twice.
+    skip: u64,
+}
+
+/// The deterministic routing core. [`RouterServer`] puts it on a
+/// socket; tests and the conformance leg drive it directly.
+pub struct Router {
+    cfg: RouterConfig,
+    ring: Ring,
+    nodes: BTreeMap<u32, Node>,
+    routes: BTreeMap<u64, Route>,
+    history: Vec<MigrationRecord>,
+    ticks: u64,
+}
+
+impl Router {
+    /// An empty router; add nodes before submitting.
+    #[must_use]
+    pub fn new(cfg: RouterConfig) -> Self {
+        Self {
+            cfg,
+            ring: Ring::new(cfg.seed, cfg.vnodes),
+            nodes: BTreeMap::new(),
+            routes: BTreeMap::new(),
+            history: Vec::new(),
+            ticks: 0,
+        }
+    }
+
+    /// Registers a node and its points on the ring. Connections are
+    /// opened lazily on first use.
+    pub fn add_node(&mut self, node: u32, endpoint: Endpoint) {
+        self.ring.add_node(node);
+        self.nodes.entry(node).or_insert(Node {
+            endpoint,
+            conn: None,
+            misses: 0,
+            alive: true,
+        });
+    }
+
+    /// The node a session is (or would be) routed to.
+    #[must_use]
+    pub fn owner_of(&self, session: u64) -> Option<u32> {
+        self.routes
+            .get(&session)
+            .map(|r| r.owner)
+            .or_else(|| self.ring.owner(session))
+    }
+
+    /// Whether a node is currently considered live.
+    #[must_use]
+    pub fn is_alive(&self, node: u32) -> bool {
+        self.nodes.get(&node).is_some_and(|n| n.alive)
+    }
+
+    /// Live node ids, sorted.
+    #[must_use]
+    pub fn alive_nodes(&self) -> Vec<u32> {
+        self.nodes
+            .iter()
+            .filter(|(_, n)| n.alive)
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Every completed migration, in failover order.
+    #[must_use]
+    pub fn migration_history(&self) -> &[MigrationRecord] {
+        &self.history
+    }
+
+    /// Heartbeat ticks run so far.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    fn mark_down(&mut self, node: u32, misses: u32) {
+        let Some(n) = self.nodes.get_mut(&node) else {
+            return;
+        };
+        if !n.alive {
+            return;
+        }
+        n.alive = false;
+        n.conn = None;
+        latch_obs::counter_inc("router.nodes.down");
+        latch_obs::emit("router", TraceEvent::NodeDown { node, misses });
+    }
+
+    /// Borrows the node's connection, dialing (and `NodeHello`-ing) it
+    /// first if needed. A connect failure marks the node down.
+    fn node_conn(&mut self, node: u32) -> Result<&mut Client, RouterError> {
+        let (window, router_id) = (self.cfg.window_events, self.cfg.router_id);
+        let Some(n) = self.nodes.get_mut(&node) else {
+            return Err(RouterError::NoNodes);
+        };
+        if !n.alive {
+            return Err(RouterError::NodeDown { node });
+        }
+        if n.conn.is_none() {
+            match Client::connect(&n.endpoint, window, false) {
+                Ok(mut conn) => match conn.node_hello(router_id, 0) {
+                    Ok(_) => n.conn = Some(conn),
+                    Err(_) => {
+                        self.mark_down(node, 0);
+                        return Err(RouterError::NodeDown { node });
+                    }
+                },
+                Err(_) => {
+                    self.mark_down(node, 0);
+                    return Err(RouterError::NodeDown { node });
+                }
+            }
+        }
+        Ok(self
+            .nodes
+            .get_mut(&node)
+            .and_then(|n| n.conn.as_mut())
+            .expect("connection was just ensured"))
+    }
+
+    /// Forwards one batch to the session's owner.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::Rejected`] passes the node's typed refusal
+    /// through (retryable, connection intact). [`RouterError::NodeDown`]
+    /// means the owner died — the batch's fate is recorded as
+    /// in-doubt; run [`fail_over`](Self::fail_over) and retry the same
+    /// batch, which the resolution logic will skip if the old owner
+    /// had already admitted it. [`RouterError::NoNodes`] when the ring
+    /// is empty.
+    pub fn submit(
+        &mut self,
+        session: u64,
+        rank: u8,
+        events: &[Event],
+    ) -> Result<(), RouterError> {
+        if events.is_empty() {
+            return Ok(());
+        }
+        let owner = match self.routes.get(&session) {
+            Some(r) => r.owner,
+            None => {
+                let owner = self.ring.owner(session).ok_or(RouterError::NoNodes)?;
+                self.routes.insert(
+                    session,
+                    Route {
+                        owner,
+                        admitted: 0,
+                        in_doubt: 0,
+                        skip: 0,
+                    },
+                );
+                latch_obs::counter_inc("router.ring.places");
+                latch_obs::emit("router", TraceEvent::RingPlace { session, node: owner });
+                owner
+            }
+        };
+        let n = events.len() as u64;
+        {
+            let route = self.routes.get_mut(&session).expect("route just ensured");
+            if route.skip >= n {
+                // The migrated state already contains this batch (the
+                // old owner admitted it right before dying).
+                route.skip -= n;
+                return Ok(());
+            }
+            route.skip = 0;
+        }
+        let reply = self.node_conn(owner)?.submit(session, rank, events);
+        let route = self.routes.get_mut(&session).expect("route exists");
+        match reply {
+            Ok(()) => {
+                route.admitted += n;
+                route.in_doubt = 0;
+                Ok(())
+            }
+            Err(ClientError::Rejected(rej)) => Err(RouterError::Rejected(rej)),
+            Err(_) => {
+                route.in_doubt = n;
+                self.mark_down(owner, 0);
+                Err(RouterError::NodeDown { node: owner })
+            }
+        }
+    }
+
+    /// One heartbeat pass: pings every live node, counts misses
+    /// against the budget, and returns the nodes newly declared dead
+    /// this tick (the caller fails them over with their exported
+    /// state).
+    pub fn tick(&mut self) -> Vec<u32> {
+        self.ticks += 1;
+        let token = self.ticks;
+        let budget = self.cfg.miss_budget;
+        let ids: Vec<u32> = self.alive_nodes();
+        let mut dead = Vec::new();
+        for id in ids {
+            let ok = match self.node_conn(id) {
+                Ok(conn) => conn.ping(token).is_ok_and(|t| t == token),
+                Err(_) => continue, // connect failure already marked it down
+            };
+            let Some(n) = self.nodes.get_mut(&id) else {
+                continue;
+            };
+            if ok {
+                n.misses = 0;
+                continue;
+            }
+            n.misses += 1;
+            n.conn = None;
+            if n.misses > budget {
+                let misses = n.misses;
+                self.mark_down(id, misses);
+                dead.push(id);
+            }
+        }
+        dead
+    }
+
+    /// Fails a dead (or draining) node's sessions over: removes its
+    /// ring points, ships each exported session to its new owner via
+    /// `MigrateSession`, and re-pins the routes. Exports come from the
+    /// node's surviving storage ([`latch_serve::export_sessions`]) —
+    /// or from [`latch_serve::DurableService::export_session`] for a
+    /// planned drain of a live node. Returns this failover's migration
+    /// records, also appended to
+    /// [`migration_history`](Self::migration_history).
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::NoNodes`] when no live node remains to import,
+    /// [`RouterError::Wire`] when an import ships but its ack fails —
+    /// already-completed migrations stay recorded either way.
+    pub fn fail_over(
+        &mut self,
+        node: u32,
+        mut exports: Vec<SessionExport>,
+    ) -> Result<Vec<MigrationRecord>, RouterError> {
+        self.mark_down(node, 0);
+        self.ring.remove_node(node);
+        if self.ring.is_empty() {
+            return Err(RouterError::NoNodes);
+        }
+        exports.sort_by_key(|e| e.session);
+        let mut records = Vec::new();
+        for export in exports {
+            let session = export.session;
+            // A session on the dead node's disk that this router
+            // pinned elsewhere is stale state from before a previous
+            // move; the live owner's copy wins.
+            if self
+                .routes
+                .get(&session)
+                .is_some_and(|r| r.owner != node)
+            {
+                continue;
+            }
+            let to = self.ring.owner(session).ok_or(RouterError::NoNodes)?;
+            let applied = self
+                .node_conn(to)?
+                .migrate_session(
+                    session,
+                    export.priority.rank(),
+                    export.blob,
+                    export.wal,
+                )
+                .map_err(RouterError::Wire)?;
+            let route = self.routes.entry(session).or_insert(Route {
+                owner: to,
+                admitted: 0,
+                in_doubt: 0,
+                skip: 0,
+            });
+            route.owner = to;
+            if route.in_doubt > 0 && applied >= route.admitted + route.in_doubt {
+                // The in-doubt batch landed before the node died; the
+                // caller's retry of it must be swallowed, not re-applied.
+                route.admitted += route.in_doubt;
+                route.skip = route.in_doubt;
+            }
+            route.in_doubt = 0;
+            records.push(self.record_migration(session, node, to, applied));
+        }
+        // Sessions routed to the dead node that left no durable files
+        // (nothing was ever admitted): re-pin them; their retries
+        // replay from zero on the new owner.
+        let orphans: Vec<u64> = self
+            .routes
+            .iter()
+            .filter(|(_, r)| r.owner == node)
+            .map(|(&s, _)| s)
+            .collect();
+        for session in orphans {
+            let to = self.ring.owner(session).ok_or(RouterError::NoNodes)?;
+            let route = self.routes.get_mut(&session).expect("orphan route exists");
+            route.owner = to;
+            route.in_doubt = 0;
+            records.push(self.record_migration(session, node, to, 0));
+        }
+        Ok(records)
+    }
+
+    fn record_migration(
+        &mut self,
+        session: u64,
+        from_node: u32,
+        to_node: u32,
+        applied: u64,
+    ) -> MigrationRecord {
+        let rec = MigrationRecord {
+            at_tick: self.ticks,
+            session,
+            from_node,
+            to_node,
+            applied,
+        };
+        latch_obs::counter_inc("router.migrations");
+        latch_obs::emit(
+            "router",
+            TraceEvent::SessionMigrate {
+                session,
+                from_node,
+                to_node,
+                applied,
+            },
+        );
+        self.history.push(rec);
+        rec
+    }
+
+    /// Drives every live node until idle (the deterministic service's
+    /// pump rides the submit path, so this is a no-op between batches;
+    /// kept for API symmetry with `DurableService::pump`).
+    pub fn pump(&mut self) {}
+
+    /// Drains every live node and merges the per-session reports,
+    /// sorted by session id. Each session is resident on exactly one
+    /// live node (failover removes dead owners first), so the merge
+    /// has no duplicates.
+    ///
+    /// A liveness probe runs first: an undetected death discovered
+    /// only mid-drain would force its sessions to migrate into a node
+    /// whose service was already consumed by this very drain. Probing
+    /// up front turns that into a clean [`RouterError::NodeDown`] —
+    /// fail the node over and call `drain` again (node drains are
+    /// idempotent, so any node a previous attempt already drained just
+    /// re-serves its cached reports).
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::NodeDown`] when a node died undetected (retry
+    /// after failover); a node's non-transport refusal aborts the
+    /// drain as [`RouterError::Rejected`] / [`RouterError::Wire`].
+    pub fn drain(&mut self) -> Result<Vec<(u64, Vec<u8>)>, RouterError> {
+        for id in self.alive_nodes() {
+            if self.node_conn(id)?.ping(0).is_err() {
+                self.mark_down(id, 0);
+                return Err(RouterError::NodeDown { node: id });
+            }
+        }
+        let mut all = Vec::new();
+        for id in self.alive_nodes() {
+            let reports = match self.node_conn(id)?.drain() {
+                Ok(reports) => reports,
+                Err(ClientError::Rejected(r)) => return Err(RouterError::Rejected(r)),
+                Err(ClientError::Server { code }) => {
+                    return Err(RouterError::Wire(ClientError::Server { code }));
+                }
+                Err(_) => {
+                    // Transport death between the probe and the drain.
+                    self.mark_down(id, 0);
+                    return Err(RouterError::NodeDown { node: id });
+                }
+            };
+            all.extend(reports);
+        }
+        all.sort_by_key(|&(session, _)| session);
+        Ok(all)
+    }
+
+    /// Fetches one drained session's `(applied, report bytes)` from
+    /// its owner.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::NoNodes`] for a session the router never placed;
+    /// otherwise whatever the owner answers.
+    pub fn report(&mut self, session: u64) -> Result<(u64, Vec<u8>), RouterError> {
+        let owner = self
+            .routes
+            .get(&session)
+            .map(|r| r.owner)
+            .ok_or(RouterError::NoNodes)?;
+        self.node_conn(owner)?
+            .report(session)
+            .map_err(|e| match e {
+                ClientError::Rejected(r) => RouterError::Rejected(r),
+                other => RouterError::Wire(other),
+            })
+    }
+}

@@ -1,0 +1,102 @@
+//! The seeded virtual-node consistent-hash ring.
+//!
+//! Every node contributes `vnodes` points on a `u64` circle; a session
+//! is owned by the node whose point is first at-or-after the session's
+//! key, wrapping. Point positions are pure in `(seed, node, replica)`
+//! via [`latch_faults::mix`], so two routers built with the same seed
+//! and membership agree on every placement — and because points of the
+//! surviving nodes never move, membership changes remap only the
+//! sessions owned by the node that joined or left (the classic
+//! consistent-hashing minimal-disruption property, proven by
+//! `tests/ring_props.rs`).
+
+use latch_faults::mix;
+
+/// One placement circle. Cheap to clone; rebuilt only on membership
+/// change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ring {
+    seed: u64,
+    vnodes: u32,
+    /// `(position, node)` sorted by position then node (ties are
+    /// astronomically unlikely but must still be deterministic).
+    points: Vec<(u64, u32)>,
+    nodes: Vec<u32>,
+}
+
+impl Ring {
+    /// An empty ring. `vnodes` is clamped to at least 1.
+    #[must_use]
+    pub fn new(seed: u64, vnodes: u32) -> Self {
+        Self {
+            seed,
+            vnodes: vnodes.max(1),
+            points: Vec::new(),
+            nodes: Vec::new(),
+        }
+    }
+
+    fn point(&self, node: u32, replica: u32) -> u64 {
+        mix(
+            self.seed,
+            0x5249_4E47 ^ (u64::from(node) << 32),
+            u64::from(replica),
+        )
+    }
+
+    fn key(&self, session: u64) -> u64 {
+        mix(self.seed, 0x5345_5353, session)
+    }
+
+    /// Adds a node's points (idempotent).
+    pub fn add_node(&mut self, node: u32) {
+        if self.nodes.contains(&node) {
+            return;
+        }
+        self.nodes.push(node);
+        self.nodes.sort_unstable();
+        for replica in 0..self.vnodes {
+            self.points.push((self.point(node, replica), node));
+        }
+        self.points.sort_unstable();
+    }
+
+    /// Removes a node's points (idempotent). Every other node's points
+    /// stay exactly where they were.
+    pub fn remove_node(&mut self, node: u32) {
+        self.nodes.retain(|&n| n != node);
+        self.points.retain(|&(_, n)| n != node);
+    }
+
+    /// Whether `node` is a member.
+    #[must_use]
+    pub fn contains(&self, node: u32) -> bool {
+        self.nodes.contains(&node)
+    }
+
+    /// Current members, sorted.
+    #[must_use]
+    pub fn nodes(&self) -> &[u32] {
+        &self.nodes
+    }
+
+    /// Whether the ring has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The owning node for a session: first point at-or-after the
+    /// session's key, wrapping past the top of the circle. `None` on
+    /// an empty ring.
+    #[must_use]
+    pub fn owner(&self, session: u64) -> Option<u32> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let key = self.key(session);
+        let idx = self.points.partition_point(|&(pos, _)| pos < key);
+        let (_, node) = self.points[idx % self.points.len()];
+        Some(node)
+    }
+}

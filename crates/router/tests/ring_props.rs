@@ -1,0 +1,123 @@
+//! Consistent-hash ring properties.
+//!
+//! The contract under test: the ring is pure in `(seed, membership)` —
+//! a rerun with the same seed reproduces every placement bit-for-bit —
+//! load spreads across nodes within a loose bound, and a membership
+//! change remaps *only* the sessions owned by the node that joined or
+//! left (the minimal-disruption property the failover design leans
+//! on: a node death must not reshuffle sessions on surviving nodes).
+
+use latch_router::Ring;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn build(seed: u64, vnodes: u32, nodes: &[u32]) -> Ring {
+    let mut ring = Ring::new(seed, vnodes);
+    for &n in nodes {
+        ring.add_node(n);
+    }
+    ring
+}
+
+fn owners(ring: &Ring, sessions: u64) -> Vec<u32> {
+    (0..sessions)
+        .map(|s| ring.owner(s).expect("non-empty ring"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same seed, same membership — byte-identical placements, however
+    /// the membership was arrived at (insertion order must not matter).
+    #[test]
+    fn seeded_rerun_reproduces_every_placement(
+        seed in 0u64..100_000,
+        vnodes in 1u32..128,
+        node_count in 1u32..8,
+    ) {
+        let nodes: Vec<u32> = (0..node_count).map(|i| i * 7 + 1).collect();
+        let a = build(seed, vnodes, &nodes);
+        let mut reversed = nodes.clone();
+        reversed.reverse();
+        let b = build(seed, vnodes, &reversed);
+        prop_assert_eq!(owners(&a, 512), owners(&b, 512));
+        prop_assert_eq!(a.nodes(), b.nodes());
+    }
+
+    /// 1k sessions over the ring: every node owns a share within a
+    /// loose bound of fair (virtual nodes trade perfect balance for
+    /// minimal remap, so the bound is deliberately generous).
+    #[test]
+    fn load_balances_within_bound(
+        seed in 0u64..100_000,
+        node_count in 2u32..6,
+    ) {
+        const SESSIONS: u64 = 1_000;
+        let nodes: Vec<u32> = (0..node_count).collect();
+        let ring = build(seed, 64, &nodes);
+        let mut share: BTreeMap<u32, u64> = nodes.iter().map(|&n| (n, 0)).collect();
+        for owner in owners(&ring, SESSIONS) {
+            *share.get_mut(&owner).expect("owner is a member") += 1;
+        }
+        let fair = SESSIONS / u64::from(node_count);
+        for (&node, &count) in &share {
+            prop_assert!(
+                count >= fair / 4 && count <= fair * 3,
+                "node {} owns {} of {} sessions (fair share {})",
+                node, count, SESSIONS, fair
+            );
+        }
+    }
+
+    /// A node leaving moves only the sessions it owned; everyone
+    /// else's placement is untouched. A node joining moves only
+    /// sessions *to* the joiner. And remove-then-re-add is a perfect
+    /// round trip.
+    #[test]
+    fn membership_changes_remap_minimally(
+        seed in 0u64..100_000,
+        vnodes in 1u32..128,
+        node_count in 2u32..7,
+        leaver_idx in 0u32..7,
+    ) {
+        const SESSIONS: u64 = 1_000;
+        let nodes: Vec<u32> = (0..node_count).collect();
+        let leaver = nodes[(leaver_idx % node_count) as usize];
+        let before = build(seed, vnodes, &nodes);
+        let placed = owners(&before, SESSIONS);
+
+        let mut after = before.clone();
+        after.remove_node(leaver);
+        for (session, &owner) in placed.iter().enumerate() {
+            let now = after.owner(session as u64).expect("survivors remain");
+            if owner == leaver {
+                prop_assert!(now != leaver, "session {} still on the leaver", session);
+            } else {
+                prop_assert_eq!(
+                    now, owner,
+                    "session {} moved off a surviving node", session
+                );
+            }
+        }
+
+        // Joining is the mirror image: only sessions claimed by the
+        // joiner's points move.
+        let joiner = node_count + 100;
+        let mut grown = before.clone();
+        grown.add_node(joiner);
+        for (session, &owner) in placed.iter().enumerate() {
+            let now = grown.owner(session as u64).expect("non-empty");
+            prop_assert!(
+                now == owner || now == joiner,
+                "session {} moved between pre-existing nodes on join", session
+            );
+        }
+
+        // Remove-then-re-add restores every placement exactly.
+        let mut round_trip = before.clone();
+        round_trip.remove_node(leaver);
+        round_trip.add_node(leaver);
+        prop_assert_eq!(owners(&round_trip, SESSIONS), placed);
+    }
+}

@@ -95,6 +95,51 @@ impl DurState {
     }
 }
 
+/// One session's durable state, packaged for migration to another
+/// node. The fields are exactly the on-disk artifacts the recovery
+/// scan consumes — the newest valid snapshot-store blob and the raw
+/// `wal-*` file bytes — so [`DurableService::import_session`] restores
+/// them with the recovery codecs unchanged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionExport {
+    /// The session exported.
+    pub session: u64,
+    /// Its sticky admission class (snapshot frame first, journal
+    /// header as fallback — the recovery precedence).
+    pub priority: Priority,
+    /// The newest valid LTSE pipeline snapshot, or empty when the
+    /// session has no durable snapshot yet.
+    pub blob: Vec<u8>,
+    /// The raw write-ahead journal file, or empty when rotated away.
+    pub wal: Vec<u8>,
+}
+
+/// Why an import was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImportError {
+    /// The target already hosts this session; importing would fork its
+    /// history.
+    Resident {
+        /// The colliding session id.
+        session: u64,
+    },
+    /// The shipped snapshot blob did not thaw.
+    BadSnapshot,
+}
+
+impl std::fmt::Display for ImportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImportError::Resident { session } => {
+                write!(f, "session {session} is already resident")
+            }
+            ImportError::BadSnapshot => f.write_str("migrated snapshot blob did not thaw"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
 /// One quarantined frame found during recovery.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QuarantinedFrame {
@@ -140,6 +185,9 @@ pub struct DurableService<S: Storage> {
     unsynced_events: u64,
     /// Journal files dirtied since the last group commit.
     dirty_files: u64,
+    /// The service's scrub interval, kept for sessions imported
+    /// without a snapshot (they start from a fresh pipeline).
+    scrub_interval: u64,
 }
 
 impl<S: Storage> DurableService<S> {
@@ -153,6 +201,7 @@ impl<S: Storage> DurableService<S> {
             sessions: BTreeMap::new(),
             unsynced_events: 0,
             dirty_files: 0,
+            scrub_interval: cfg.scrub_interval,
         }
     }
 
@@ -514,7 +563,174 @@ impl<S: Storage> DurableService<S> {
             sessions,
             unsynced_events: 0,
             dirty_files: 0,
+            scrub_interval: cfg.scrub_interval,
         };
         (durable, report)
     }
+
+    /// The scrub interval every session pipeline here runs with —
+    /// needed to thaw exports after this service is consumed.
+    pub fn scrub_interval(&self) -> u64 {
+        self.scrub_interval
+    }
+
+    /// Packages one session's durable state for migration. Runs a full
+    /// pump + group commit first, so on a benign storage backend the
+    /// export covers every admitted event (snapshot + journal suffix);
+    /// under disk faults it covers the same exact prefix recovery
+    /// would restore. `None` when the session left no files.
+    pub fn export_session(&mut self, session: u64) -> Option<SessionExport> {
+        self.pump();
+        self.group_commit();
+        export_session_from(&mut self.storage, session)
+    }
+
+    /// Adopts a migrated session shipped by
+    /// [`export_session`](Self::export_session) (possibly taken from a
+    /// dead node's surviving storage via [`export_sessions`]): thaws
+    /// the snapshot, replays the journal suffix through the recovery
+    /// scan, bumps the epoch, seals a fresh durable snapshot + clean
+    /// journal locally, and preloads the session into the scheduler.
+    /// Returns the events the restored pipeline has applied — the
+    /// exact prefix length the new owner now serves.
+    ///
+    /// # Errors
+    ///
+    /// [`ImportError::Resident`] when the session already lives here
+    /// (importing would fork its history), [`ImportError::BadSnapshot`]
+    /// when the blob does not thaw.
+    pub fn import_session(
+        &mut self,
+        session: u64,
+        priority: Priority,
+        blob: &[u8],
+        wal: &[u8],
+    ) -> Result<u64, ImportError> {
+        if self.svc.session_progress(session).is_some() {
+            return Err(ImportError::Resident { session });
+        }
+        let mut pipe = thaw_export(session, self.scrub_interval, blob, wal)?;
+        // Seal locally exactly like recovery: new epoch (so this
+        // node's frames dominate any stale copy), fresh generation-0
+        // snapshot, clean journal.
+        pipe.bump_epoch();
+        let epoch = pipe.epoch();
+        let applied = pipe.applied();
+        let sealed = pipe.to_snapshot();
+        let mut state = DurState::new();
+        state.journaled = applied;
+        state.snapshotted = applied;
+        if store::write_frame(
+            &mut self.storage,
+            session,
+            0,
+            epoch,
+            applied,
+            priority,
+            &sealed,
+        ) {
+            state.next_generation = 1;
+        }
+        state.has_wal = journal::rotate(&mut self.storage, session, priority);
+        state.needs_resync = !state.has_wal;
+        self.storage.fsync();
+        self.svc.preload_session(session, sealed, applied, epoch, priority);
+        self.sessions.insert(session, state);
+        latch_obs::counter_inc("serve.migrate.imports");
+        Ok(applied)
+    }
+}
+
+/// Restores a shipped [`SessionExport`] to a live pipeline: thaw the
+/// LTSE blob (or start fresh when it is empty) and replay the WAL
+/// suffix with the recovery scan's exact-prefix discipline — skip
+/// records the snapshot covers, stop at the first gap or corruption.
+///
+/// # Errors
+///
+/// [`ImportError::BadSnapshot`] when the blob does not thaw.
+pub fn thaw_export(
+    session: u64,
+    scrub_interval: u64,
+    blob: &[u8],
+    wal: &[u8],
+) -> Result<SessionPipeline, ImportError> {
+    let mut pipe = if blob.is_empty() {
+        SessionPipeline::new(scrub_interval)
+    } else {
+        SessionPipeline::from_snapshot(blob).map_err(|_| ImportError::BadSnapshot)?
+    };
+    if !wal.is_empty() {
+        let scan = journal::scan_wal(session, wal);
+        for rec in scan.records {
+            let end = rec.base_seq + rec.events.len() as u64;
+            if end <= pipe.applied() {
+                continue;
+            }
+            if rec.base_seq > pipe.applied() {
+                break;
+            }
+            let skip = (pipe.applied() - rec.base_seq) as usize;
+            for ev in &rec.events[skip..] {
+                pipe.apply(ev);
+            }
+        }
+    }
+    Ok(pipe)
+}
+
+/// Reads one session's durable artifacts straight off a storage
+/// backend — the path used when the owning process is dead and only
+/// its disk survives. Picks the newest snapshot generation whose frame
+/// decodes *and* whose blob thaws (the recovery criterion), and ships
+/// the raw journal bytes alongside. `None` when no file mentions the
+/// session.
+pub fn export_session_from<S: Storage>(storage: &mut S, session: u64) -> Option<SessionExport> {
+    let mut best: Option<store::SnapFrame> = None;
+    for generation in [0u8, 1u8] {
+        let Some(bytes) = storage.read(&store::snap_name(session, generation)) else {
+            continue;
+        };
+        if let Ok(frame) = store::decode_frame(session, &bytes) {
+            if SessionPipeline::from_snapshot(&frame.blob).is_ok()
+                && best.as_ref().is_none_or(|b| frame.newer_than(b))
+            {
+                best = Some(frame);
+            }
+        }
+    }
+    let wal = storage.read(&journal::wal_name(session));
+    if best.is_none() && wal.is_none() {
+        return None;
+    }
+    let wal_priority = wal
+        .as_ref()
+        .and_then(|bytes| journal::scan_wal(session, bytes).priority);
+    let (blob, frame_priority) = match best {
+        Some(frame) => (frame.blob, Some(frame.priority)),
+        None => (Vec::new(), None),
+    };
+    Some(SessionExport {
+        session,
+        priority: frame_priority.or(wal_priority).unwrap_or_default(),
+        blob,
+        wal: wal.unwrap_or_default(),
+    })
+}
+
+/// [`export_session_from`] for every session any file mentions, sorted
+/// by session id.
+pub fn export_sessions<S: Storage>(storage: &mut S) -> Vec<SessionExport> {
+    let mut ids: Vec<u64> = storage
+        .list()
+        .iter()
+        .filter_map(|name| {
+            journal::parse_wal_name(name).or_else(|| store::parse_snap_name(name).map(|(s, _)| s))
+        })
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids.into_iter()
+        .filter_map(|session| export_session_from(storage, session))
+        .collect()
 }

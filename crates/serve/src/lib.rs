@@ -38,7 +38,10 @@ pub mod storage;
 pub mod store;
 pub mod wire;
 
-pub use durable::{DurableConfig, DurableService, RecoveryReport, SessionRecovery};
+pub use durable::{
+    export_session_from, export_sessions, thaw_export, DurableConfig, DurableService,
+    ImportError, RecoveryReport, SessionExport, SessionRecovery,
+};
 pub use ingress::{FailoverRecord, IngressReport, MultiIngress, INGRESS_PATHS};
 pub use journal::RecoveryError;
 pub use overload::{DegradedSpan, Priority, Slo, SloReport, SloSampler};

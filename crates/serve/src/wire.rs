@@ -170,6 +170,8 @@ struct State<S: Storage> {
     drained: Option<Drained>,
     /// Storage handed back by the drain (tests inspect it).
     storage: Option<S>,
+    /// Captured at start so post-drain migrations can thaw exports.
+    scrub_interval: u64,
     conn_seq: u64,
 }
 
@@ -203,11 +205,13 @@ impl<S: Storage + Send + 'static> WireServer<S> {
     ) -> io::Result<Self> {
         let listener = Listener::bind(endpoint)?;
         let bound = listener.local_endpoint();
+        let scrub_interval = svc.scrub_interval();
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 svc: Some(svc),
                 drained: None,
                 storage: None,
+                scrub_interval,
                 conn_seq: 0,
             }),
             stop: AtomicBool::new(false),
@@ -229,6 +233,18 @@ impl<S: Storage + Send + 'static> WireServer<S> {
         &self.endpoint
     }
 
+    /// The bound TCP socket address (`None` on a Unix listener).
+    /// Loopback tests bind `tcp:127.0.0.1:0` and read the
+    /// kernel-assigned port back from here, so parallel test runs
+    /// never collide on a fixed port.
+    #[must_use]
+    pub fn local_addr(&self) -> Option<std::net::SocketAddr> {
+        match &self.endpoint {
+            Endpoint::Tcp(addr) => addr.parse().ok(),
+            Endpoint::Unix(_) => None,
+        }
+    }
+
     /// Whether a client has drained the service.
     #[must_use]
     pub fn drained(&self) -> bool {
@@ -244,6 +260,19 @@ impl<S: Storage + Send + 'static> WireServer<S> {
             let _ = h.join();
         }
         self.shared.state.lock().expect("server state").storage.take()
+    }
+
+    /// Models the node process dying: stops the listener, lets every
+    /// handler thread close its socket at the next poll, and hands
+    /// back the *undrained* service (`None` when already drained).
+    /// Callers crash the returned service to get the surviving storage
+    /// — the disk a router exports failed-over sessions from.
+    pub fn kill(mut self) -> Option<DurableService<S>> {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.shared.state.lock().expect("server state").svc.take()
     }
 }
 
@@ -438,6 +467,13 @@ fn handle_conn<S: Storage + Send + 'static>(mut conn: Conn, conn_id: u64, shared
         }
     };
     loop {
+        // Check the stop flag at every frame boundary, not just on
+        // idle timeouts: a killed server must close even connections
+        // whose frames keep arriving back-to-back, or a router's
+        // heartbeat would keep getting answered by a dead node.
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
         let msg = match read_frame_msg(&mut conn, shared) {
             Ok(Some(msg)) => msg,
             Ok(None) => break,
@@ -614,7 +650,11 @@ fn process_msg<S: Storage>(
                         .map(|(&s, (_, bytes))| (s, bytes.clone()))
                         .collect(),
                 }),
-                None => unreachable!("drain always leaves a drained state"),
+                // Only reachable on a killed server: the service was
+                // taken by `kill()` without leaving a drained state.
+                None => replies.push(Msg::Error {
+                    code: error_code::PROTOCOL,
+                }),
             }
         }
         Msg::Report { session } => match st.drained.as_ref() {
@@ -632,6 +672,63 @@ fn process_msg<S: Storage>(
                 }),
             },
         },
+        // Cluster control: heartbeats echo their token; a NodeHello
+        // marks the connection as a router's and answers like a probe.
+        Msg::Ping { token } => replies.push(Msg::Pong { token }),
+        Msg::NodeHello { node: _, token } => {
+            latch_obs::counter_inc("serve.wire.node_hellos");
+            replies.push(Msg::Pong { token });
+        }
+        Msg::MigrateSession {
+            session,
+            priority,
+            ltse_blob,
+            wal_suffix,
+        } => {
+            let priority = Priority::from_rank(priority).unwrap_or_default();
+            let scrub_interval = st.scrub_interval;
+            let imported = match st.svc.as_mut() {
+                Some(svc) => svc
+                    .import_session(session, priority, &ltse_blob, &wal_suffix)
+                    .ok(),
+                // The service is already consumed. If it left a clean
+                // drained state, the node still accepts the migration:
+                // a failover discovered mid-cluster-drain lands here,
+                // after this node's own drain was taken. Thaw the
+                // export and fold the session's report into the
+                // drained cache — the victim's directory keeps the
+                // durable copy, this node only answers for the bytes.
+                None => match st.drained.as_mut() {
+                    Some(d) if !d.timed_out && !d.reports.contains_key(&session) => {
+                        crate::durable::thaw_export(session, scrub_interval, &ltse_blob, &wal_suffix)
+                        .ok()
+                        .map(|pipe| {
+                            let applied = pipe.applied();
+                            d.reports.insert(session, (applied, pipe.report().encode()));
+                            latch_obs::counter_inc("serve.migrate.imports");
+                            applied
+                        })
+                    }
+                    _ => None,
+                },
+            };
+            match imported {
+                Some(applied) => replies.push(Msg::MigrateAck { session, applied }),
+                None => {
+                    latch_obs::counter_inc("serve.wire.rejects");
+                    latch_obs::emit(
+                        "serve",
+                        TraceEvent::WireReject {
+                            conn: conn_id,
+                            reason: "migrate_refused",
+                        },
+                    );
+                    replies.push(Msg::Error {
+                        code: error_code::PROTOCOL,
+                    });
+                }
+            }
+        }
         // Client-only or duplicate-handshake messages: a protocol
         // violation, answered without killing the connection (the
         // frame itself was well-formed).
@@ -642,6 +739,8 @@ fn process_msg<S: Storage>(
         | Msg::ReportData { .. }
         | Msg::SloPush(_)
         | Msg::Drained { .. }
+        | Msg::Pong { .. }
+        | Msg::MigrateAck { .. }
         | Msg::Error { .. } => {
             latch_obs::counter_inc("serve.wire.rejects");
             latch_obs::emit(

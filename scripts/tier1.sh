@@ -6,7 +6,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OBS_FEATURES="latch/obs,latch-bench/obs"
+OBS_FEATURES="latch/obs,latch-bench/obs,latch-router/obs"
 
 echo "==> cargo build --release (obs off)"
 cargo build --release
@@ -69,14 +69,28 @@ echo "==> latch-serve latchd_stress (obs on)"
 cargo run --release -q -p latch-serve --bin latchd_stress --features obs -- \
     --seed 11 --sessions 4 --events 1200
 
+# Cluster stress: a consistent-hash router over real latchd nodes with
+# a seeded mid-stream node kill. Phase 1 runs client threads through
+# the router's wire front while a harness kills the victim's listener
+# and the exporter ships its surviving storage to the new owners;
+# phase 2 reruns a deterministic single-threaded drive and requires
+# byte-identical reports *and* migration history across reruns.
+echo "==> latch-router cluster_stress (obs off)"
+cargo run --release -q -p latch-router --bin cluster_stress -- \
+    --seed 7 --sessions 6 --events 1200
+
+echo "==> latch-router cluster_stress (obs on)"
+cargo run --release -q -p latch-router --bin cluster_stress --features obs -- \
+    --seed 11 --sessions 6 --events 1200
+
 echo "==> cargo clippy --workspace (deny warnings)"
 cargo clippy -q --workspace --all-targets -- -D warnings
 
 echo "==> cargo clippy -p latch-serve (deny warnings)"
 cargo clippy -q -p latch-serve --all-targets -- -D warnings
 
-echo "==> cargo clippy -p latch-proto -p latch-client (deny warnings)"
-cargo clippy -q -p latch-proto -p latch-client --all-targets -- -D warnings
+echo "==> cargo clippy -p latch-proto -p latch-client -p latch-router (deny warnings)"
+cargo clippy -q -p latch-proto -p latch-client -p latch-router --all-targets -- -D warnings
 
 # Fixed differential-conformance budget: 64 seeds through every system
 # variant vs. the reference oracle (DESIGN.md §11). Run twice and diff
