@@ -19,13 +19,14 @@
 //! ```
 
 use latch_proto::{
-    error_code, read_msg, write_msg, Endpoint, Msg, ProtoError, WireRejected, WireSlo,
-    PROTO_VERSION,
+    error_code, migrate_chunk, read_msg, write_msg, Endpoint, Msg, ProtoError, WireRejected,
+    WireSlo, MAX_FRAME_PAYLOAD, MIGRATE_CHUNK_BYTES, PROTO_VERSION,
 };
 use latch_sim::event::Event;
 use std::io::{self, Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
+use std::time::Duration;
 
 /// Everything that can go wrong on the client side of the wire.
 #[derive(Debug)]
@@ -140,6 +141,52 @@ impl Client {
             Endpoint::Tcp(addr) => Conn::Tcp(TcpStream::connect(addr.as_str())?),
             Endpoint::Unix(path) => Conn::Unix(UnixStream::connect(path)?),
         };
+        Self::handshake(conn, window_events, want_slo)
+    }
+
+    /// [`connect`](Self::connect) with a bound on how long the TCP
+    /// connect may block — what a router uses so one blackholed
+    /// (non-refusing) node address cannot stall it for the OS connect
+    /// timeout. Unix-socket connects are local and not bounded.
+    ///
+    /// # Errors
+    ///
+    /// As for [`connect`](Self::connect); a timed-out connect is
+    /// [`ClientError::Io`].
+    pub fn connect_with_timeout(
+        endpoint: &Endpoint,
+        window_events: u32,
+        want_slo: bool,
+        connect_timeout: Duration,
+    ) -> Result<Self, ClientError> {
+        let conn = match endpoint {
+            Endpoint::Tcp(addr) => {
+                let mut last: Option<io::Error> = None;
+                let mut stream = None;
+                for sockaddr in addr.as_str().to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&sockaddr, connect_timeout) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                match stream {
+                    Some(s) => Conn::Tcp(s),
+                    None => {
+                        return Err(ClientError::Io(last.unwrap_or_else(|| {
+                            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+                        })))
+                    }
+                }
+            }
+            Endpoint::Unix(path) => Conn::Unix(UnixStream::connect(path)?),
+        };
+        Self::handshake(conn, window_events, want_slo)
+    }
+
+    fn handshake(conn: Conn, window_events: u32, want_slo: bool) -> Result<Self, ClientError> {
         let mut client = Self {
             conn,
             window_events,
@@ -292,6 +339,12 @@ impl Client {
     /// (`MigrateSession`) and returns the events the importer's
     /// pipeline restored (`MigrateAck.applied`).
     ///
+    /// A state too large for one frame (blob + WAL suffix past the
+    /// frame cap) is streamed ahead as `MigrateChunk` frames of
+    /// [`MIGRATE_CHUNK_BYTES`] each and committed by a final empty
+    /// `MigrateSession` — so no un-rotated WAL suffix is ever too big
+    /// to fail over.
+    ///
     /// # Errors
     ///
     /// [`ClientError::Server`] when the node refused the import
@@ -304,6 +357,17 @@ impl Client {
         ltse_blob: Vec<u8>,
         wal_suffix: Vec<u8>,
     ) -> Result<u64, ClientError> {
+        // Leave headroom for the commit frame's fixed fields.
+        const SINGLE_FRAME_BUDGET: usize = MAX_FRAME_PAYLOAD - 64;
+        if ltse_blob.len() + wal_suffix.len() > SINGLE_FRAME_BUDGET {
+            return self.migrate_session_chunked(
+                session,
+                rank,
+                &ltse_blob,
+                &wal_suffix,
+                MIGRATE_CHUNK_BYTES,
+            );
+        }
         write_msg(
             &mut self.conn,
             &Msg::MigrateSession {
@@ -313,6 +377,61 @@ impl Client {
                 wal_suffix,
             },
         )?;
+        self.migrate_commit_reply()
+    }
+
+    /// [`migrate_session`](Self::migrate_session) forced down the
+    /// chunked path with an explicit chunk size — every slice of the
+    /// blob and WAL is staged on the importer before an empty commit
+    /// frame lands the migration. Exposed so tests can exercise the
+    /// staging protocol without shipping frame-cap-sized state.
+    ///
+    /// # Errors
+    ///
+    /// As for [`migrate_session`](Self::migrate_session); the importer
+    /// refuses staging past its migration byte cap.
+    pub fn migrate_session_chunked(
+        &mut self,
+        session: u64,
+        rank: u8,
+        ltse_blob: &[u8],
+        wal_suffix: &[u8],
+        chunk_bytes: usize,
+    ) -> Result<u64, ClientError> {
+        let chunk_bytes = chunk_bytes.clamp(1, MIGRATE_CHUNK_BYTES);
+        for (kind, buf) in [
+            (migrate_chunk::LTSE_BLOB, ltse_blob),
+            (migrate_chunk::WAL_SUFFIX, wal_suffix),
+        ] {
+            for chunk in buf.chunks(chunk_bytes) {
+                write_msg(
+                    &mut self.conn,
+                    &Msg::MigrateChunk {
+                        session,
+                        kind,
+                        bytes: chunk.to_vec(),
+                    },
+                )?;
+                match self.next_reply()? {
+                    Msg::MigrateChunkAck { .. } => {}
+                    Msg::Error { code } => return Err(ClientError::Server { code }),
+                    _ => return Err(ClientError::UnexpectedReply("migrate_chunk")),
+                }
+            }
+        }
+        write_msg(
+            &mut self.conn,
+            &Msg::MigrateSession {
+                session,
+                priority: rank,
+                ltse_blob: Vec::new(),
+                wal_suffix: Vec::new(),
+            },
+        )?;
+        self.migrate_commit_reply()
+    }
+
+    fn migrate_commit_reply(&mut self) -> Result<u64, ClientError> {
         match self.next_reply()? {
             Msg::MigrateAck { applied, .. } => Ok(applied),
             Msg::Error { code } => Err(ClientError::Server { code }),

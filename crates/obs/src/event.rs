@@ -256,6 +256,25 @@ pub enum TraceEvent {
         /// Events the importer's pipeline restored.
         applied: u64,
     },
+    /// A failover attempt failed partway; the router keeps the node's
+    /// remaining sessions pinned and retries on a later heartbeat tick.
+    FailoverStall {
+        /// The node whose failover stalled.
+        node: u32,
+        /// Typed reason label (mirrors the router's error).
+        reason: &'static str,
+    },
+    /// A failover restored fewer events than the router had already
+    /// acknowledged — the dead owner lost durable state, so the
+    /// session can no longer match its solo oracle and is poisoned.
+    AckedLost {
+        /// The session whose acked prefix was lost.
+        session: u64,
+        /// Events the router had acknowledged to clients.
+        acked: u64,
+        /// Events the importer actually restored.
+        applied: u64,
+    },
 }
 
 impl TraceEvent {
@@ -295,6 +314,8 @@ impl TraceEvent {
             TraceEvent::RingPlace { .. } => "ring_place",
             TraceEvent::NodeDown { .. } => "node_down",
             TraceEvent::SessionMigrate { .. } => "session_migrate",
+            TraceEvent::FailoverStall { .. } => "failover_stall",
+            TraceEvent::AckedLost { .. } => "acked_lost",
         }
     }
 
@@ -478,6 +499,19 @@ impl TraceEvent {
                 let _ = write!(
                     out,
                     ",\"session\":{session},\"from_node\":{from_node},\"to_node\":{to_node},\"applied\":{applied}"
+                );
+            }
+            TraceEvent::FailoverStall { node, reason } => {
+                let _ = write!(out, ",\"node\":{node},\"reason\":\"{reason}\"");
+            }
+            TraceEvent::AckedLost {
+                session,
+                acked,
+                applied,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"session\":{session},\"acked\":{acked},\"applied\":{applied}"
                 );
             }
         }

@@ -50,6 +50,25 @@ pub const FRAME_HEADER_LEN: usize = 8;
 /// Used to bound a hostile `Submit` count before decoding.
 pub const MIN_EVENT_LEN: usize = 8;
 
+/// Chunk granularity for oversized session migrations: a migration
+/// whose snapshot blob plus WAL suffix would not fit one frame is
+/// streamed ahead as [`Msg::MigrateChunk`] frames of at most this many
+/// body bytes each, then committed by the final [`Msg::MigrateSession`].
+pub const MIGRATE_CHUNK_BYTES: usize = 1 << 20;
+
+/// Cap on the total bytes an importer stages for one migrating session
+/// across chunks (both buffers together), bounding memory against a
+/// hostile or runaway sender.
+pub const MAX_MIGRATION_BYTES: usize = 1 << 28;
+
+/// Which staging buffer a [`Msg::MigrateChunk`] extends.
+pub mod migrate_chunk {
+    /// The chunk extends the LTSE snapshot blob.
+    pub const LTSE_BLOB: u8 = 0;
+    /// The chunk extends the raw WAL suffix.
+    pub const WAL_SUFFIX: u8 = 1;
+}
+
 /// Priority ranks carried on the wire (the serving layer's `Priority`
 /// without the dependency): 0 = critical, 1 = normal, 2 = bulk. Decode
 /// rejects anything else as [`ProtoError::BadTag`].
@@ -341,7 +360,10 @@ pub enum Msg {
     /// owner. The blob and suffix are exactly the durability layer's
     /// on-disk artifacts (snapshot-store frame blob, `wal-*` file
     /// bytes), so the importer replays them with the recovery codecs
-    /// unchanged.
+    /// unchanged. A state too large for one frame is streamed ahead as
+    /// [`Msg::MigrateChunk`] frames; this message then commits the
+    /// staged buffers, with its own (typically empty) fields appended
+    /// last.
     MigrateSession {
         /// The session being moved.
         session: u64,
@@ -362,6 +384,28 @@ pub enum Msg {
         /// length the new owner restored.
         applied: u64,
     },
+    /// One slice of a chunked session migration. The importer appends
+    /// the bytes to a per-connection staging buffer for the session;
+    /// the migration commits when the matching [`Msg::MigrateSession`]
+    /// arrives. Staged bytes beyond [`MAX_MIGRATION_BYTES`] are
+    /// refused and the session's staging discarded.
+    MigrateChunk {
+        /// The session being staged.
+        session: u64,
+        /// Which buffer the bytes extend: [`migrate_chunk::LTSE_BLOB`]
+        /// or [`migrate_chunk::WAL_SUFFIX`].
+        kind: u8,
+        /// The slice ([`MIGRATE_CHUNK_BYTES`] at most from a
+        /// well-behaved sender; bounded by the frame cap regardless).
+        bytes: Vec<u8>,
+    },
+    /// The importer staged a migration chunk.
+    MigrateChunkAck {
+        /// The session being staged.
+        session: u64,
+        /// Total bytes staged for the session so far (both buffers).
+        received: u64,
+    },
 }
 
 const TAG_HELLO: u8 = 0;
@@ -380,6 +424,8 @@ const TAG_PING: u8 = 12;
 const TAG_PONG: u8 = 13;
 const TAG_MIGRATE_SESSION: u8 = 14;
 const TAG_MIGRATE_ACK: u8 = 15;
+const TAG_MIGRATE_CHUNK: u8 = 16;
+const TAG_MIGRATE_CHUNK_ACK: u8 = 17;
 
 const REJ_QUEUE_FULL: u8 = 0;
 const REJ_SESSION_BUSY: u8 = 1;
@@ -720,6 +766,21 @@ impl Msg {
                 w.u64(*session);
                 w.u64(*applied);
             }
+            Msg::MigrateChunk {
+                session,
+                kind,
+                bytes,
+            } => {
+                w.u8(TAG_MIGRATE_CHUNK);
+                w.u64(*session);
+                w.u8(*kind);
+                w.bytes(bytes);
+            }
+            Msg::MigrateChunkAck { session, received } => {
+                w.u8(TAG_MIGRATE_CHUNK_ACK);
+                w.u64(*session);
+                w.u64(*received);
+            }
         }
         let payload = w.finish();
         if payload.len() > MAX_FRAME_PAYLOAD {
@@ -868,6 +929,24 @@ impl Msg {
             TAG_MIGRATE_ACK => Msg::MigrateAck {
                 session: r.u64()?,
                 applied: r.u64()?,
+            },
+            TAG_MIGRATE_CHUNK => {
+                let session = r.u64()?;
+                let kind = r.u8()?;
+                if kind != migrate_chunk::LTSE_BLOB && kind != migrate_chunk::WAL_SUFFIX {
+                    return Err(ProtoError::BadTag { tag: kind });
+                }
+                // The chunk bytes run to the end of the payload, so
+                // the cursor is exhausted by construction.
+                return Ok(Msg::MigrateChunk {
+                    session,
+                    kind,
+                    bytes: r.rest().to_vec(),
+                });
+            }
+            TAG_MIGRATE_CHUNK_ACK => Msg::MigrateChunkAck {
+                session: r.u64()?,
+                received: r.u64()?,
             },
             tag => return Err(ProtoError::BadTag { tag }),
         };
@@ -1106,7 +1185,33 @@ mod tests {
                 session: 6,
                 applied: 1234,
             },
+            Msg::MigrateChunk {
+                session: 6,
+                kind: migrate_chunk::LTSE_BLOB,
+                bytes: vec![9u8; 64],
+            },
+            Msg::MigrateChunk {
+                session: 6,
+                kind: migrate_chunk::WAL_SUFFIX,
+                bytes: Vec::new(),
+            },
+            Msg::MigrateChunkAck {
+                session: 6,
+                received: 64,
+            },
         ]
+    }
+
+    #[test]
+    fn migrate_chunk_unknown_kind_is_typed() {
+        // Hand-build a chunk payload with an out-of-range kind: the
+        // decoder must answer BadTag, never stage the bytes.
+        let mut payload = vec![TAG_MIGRATE_CHUNK];
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.push(7);
+        payload.extend_from_slice(&[0u8; 16]);
+        let frame = encode_frame(&payload).unwrap();
+        assert_eq!(Msg::decode(&frame), Err(ProtoError::BadTag { tag: 7 }));
     }
 
     #[test]

@@ -28,7 +28,13 @@ use latch_obs::TraceEvent;
 use latch_proto::{Endpoint, WireRejected};
 use latch_serve::SessionExport;
 use latch_sim::event::Event;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+/// Bound on how long a router blocks dialing one node. A blackholed
+/// (non-refusing) address must cost a beat, not the OS connect timeout,
+/// because node I/O runs under the router's state lock.
+const NODE_CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
 
 mod ring;
 pub mod server;
@@ -79,6 +85,32 @@ pub enum RouterError {
     Rejected(WireRejected),
     /// A terminal client-side failure talking to a node.
     Wire(ClientError),
+    /// A failover restored fewer events than this router had already
+    /// acknowledged for the session — the dead owner lost durable
+    /// state (its group commit never landed), so the session can no
+    /// longer match its solo oracle and is refused rather than being
+    /// allowed to silently diverge.
+    AckedLost {
+        /// The poisoned session.
+        session: u64,
+        /// Events this router had acked to clients.
+        acked: u64,
+        /// Events the importer actually restored.
+        applied: u64,
+    },
+}
+
+impl RouterError {
+    /// Typed reason label for trace events.
+    fn reason(&self) -> &'static str {
+        match self {
+            RouterError::NoNodes => "no_nodes",
+            RouterError::NodeDown { .. } => "node_down",
+            RouterError::Rejected(_) => "rejected",
+            RouterError::Wire(_) => "wire",
+            RouterError::AckedLost { .. } => "acked_lost",
+        }
+    }
 }
 
 impl std::fmt::Display for RouterError {
@@ -88,6 +120,15 @@ impl std::fmt::Display for RouterError {
             RouterError::NodeDown { node } => write!(f, "node {node} is down"),
             RouterError::Rejected(r) => write!(f, "node rejected submission: {r}"),
             RouterError::Wire(e) => write!(f, "node connection failed: {e}"),
+            RouterError::AckedLost {
+                session,
+                acked,
+                applied,
+            } => write!(
+                f,
+                "session {session} lost acked events in failover: \
+                 acked {acked}, importer restored {applied}"
+            ),
         }
     }
 }
@@ -130,6 +171,11 @@ struct Route {
     /// already contains; consumed without forwarding so an admitted
     /// batch is never applied twice.
     skip: u64,
+    /// Set when a failover restored fewer events than `admitted` (the
+    /// dead owner lost acked state): the importer's `applied` count at
+    /// detection. A poisoned session answers [`RouterError::AckedLost`]
+    /// instead of silently serving a diverged stream.
+    lost: Option<u64>,
 }
 
 /// The deterministic routing core. [`RouterServer`] puts it on a
@@ -140,6 +186,11 @@ pub struct Router {
     nodes: BTreeMap<u32, Node>,
     routes: BTreeMap<u64, Route>,
     history: Vec<MigrationRecord>,
+    /// Nodes whose failover failed partway (ring emptied, importer
+    /// died mid-ship): [`tick`](Self::tick) re-returns them while any
+    /// route is still pinned, so the heartbeat loop retries with a
+    /// fresh export instead of stranding the sessions.
+    pending_failover: BTreeSet<u32>,
     ticks: u64,
 }
 
@@ -153,6 +204,7 @@ impl Router {
             nodes: BTreeMap::new(),
             routes: BTreeMap::new(),
             history: Vec::new(),
+            pending_failover: BTreeSet::new(),
             ticks: 0,
         }
     }
@@ -200,6 +252,17 @@ impl Router {
         &self.history
     }
 
+    /// Sessions poisoned by acked-event loss (a failover restored
+    /// fewer events than this router had acknowledged), with the
+    /// `(acked, applied)` counts at detection. Sorted by session id.
+    #[must_use]
+    pub fn lost_sessions(&self) -> Vec<(u64, u64, u64)> {
+        self.routes
+            .iter()
+            .filter_map(|(&s, r)| r.lost.map(|applied| (s, r.admitted, applied)))
+            .collect()
+    }
+
     /// Heartbeat ticks run so far.
     #[must_use]
     pub fn ticks(&self) -> u64 {
@@ -230,7 +293,7 @@ impl Router {
             return Err(RouterError::NodeDown { node });
         }
         if n.conn.is_none() {
-            match Client::connect(&n.endpoint, window, false) {
+            match Client::connect_with_timeout(&n.endpoint, window, false, NODE_CONNECT_TIMEOUT) {
                 Ok(mut conn) => match conn.node_hello(router_id, 0) {
                     Ok(_) => n.conn = Some(conn),
                     Err(_) => {
@@ -282,6 +345,7 @@ impl Router {
                         admitted: 0,
                         in_doubt: 0,
                         skip: 0,
+                        lost: None,
                     },
                 );
                 latch_obs::counter_inc("router.ring.places");
@@ -292,6 +356,13 @@ impl Router {
         let n = events.len() as u64;
         {
             let route = self.routes.get_mut(&session).expect("route just ensured");
+            if let Some(applied) = route.lost {
+                return Err(RouterError::AckedLost {
+                    session,
+                    acked: route.admitted,
+                    applied,
+                });
+            }
             if route.skip >= n {
                 // The migrated state already contains this batch (the
                 // old owner admitted it right before dying).
@@ -318,9 +389,10 @@ impl Router {
     }
 
     /// One heartbeat pass: pings every live node, counts misses
-    /// against the budget, and returns the nodes newly declared dead
-    /// this tick (the caller fails them over with their exported
-    /// state).
+    /// against the budget, and returns the nodes needing failover this
+    /// tick (the caller fails them over with their exported state) —
+    /// nodes newly declared dead, plus nodes whose earlier failover
+    /// stalled partway and still pin routes.
     pub fn tick(&mut self) -> Vec<u32> {
         self.ticks += 1;
         let token = self.ticks;
@@ -330,7 +402,17 @@ impl Router {
         for id in ids {
             let ok = match self.node_conn(id) {
                 Ok(conn) => conn.ping(token).is_ok_and(|t| t == token),
-                Err(_) => continue, // connect failure already marked it down
+                Err(_) => {
+                    // A reconnect failure marks the node down inside
+                    // node_conn — and since every ping miss clears the
+                    // cached connection, this is the *normal* way a
+                    // dead process is detected. Surface the death so
+                    // the caller fails its sessions over.
+                    if !self.is_alive(id) && !dead.contains(&id) {
+                        dead.push(id);
+                    }
+                    continue;
+                }
             };
             let Some(n) = self.nodes.get_mut(&id) else {
                 continue;
@@ -345,6 +427,18 @@ impl Router {
                 let misses = n.misses;
                 self.mark_down(id, misses);
                 dead.push(id);
+            }
+        }
+        // Stalled failovers retry until no route still points at the
+        // node; once the last session is re-pinned the stall clears.
+        let pending: Vec<u32> = self.pending_failover.iter().copied().collect();
+        for node in pending {
+            if self.routes.values().any(|r| r.owner == node) {
+                if !dead.contains(&node) {
+                    dead.push(node);
+                }
+            } else {
+                self.pending_failover.remove(&node);
             }
         }
         dead
@@ -363,8 +457,38 @@ impl Router {
     ///
     /// [`RouterError::NoNodes`] when no live node remains to import,
     /// [`RouterError::Wire`] when an import ships but its ack fails —
-    /// already-completed migrations stay recorded either way.
+    /// already-completed migrations stay recorded either way. Any
+    /// error leaves the unmigrated sessions pinned to the dead node,
+    /// records a `failover_stall` trace event and counter, and marks
+    /// the node pending so [`tick`](Self::tick) re-returns it for
+    /// retry (failover is idempotent: sessions already re-pinned
+    /// elsewhere are skipped on the next attempt).
     pub fn fail_over(
+        &mut self,
+        node: u32,
+        exports: Vec<SessionExport>,
+    ) -> Result<Vec<MigrationRecord>, RouterError> {
+        match self.fail_over_inner(node, exports) {
+            Ok(records) => {
+                self.pending_failover.remove(&node);
+                Ok(records)
+            }
+            Err(e) => {
+                self.pending_failover.insert(node);
+                latch_obs::counter_inc("router.failover.stalls");
+                latch_obs::emit(
+                    "router",
+                    TraceEvent::FailoverStall {
+                        node,
+                        reason: e.reason(),
+                    },
+                );
+                Err(e)
+            }
+        }
+    }
+
+    fn fail_over_inner(
         &mut self,
         node: u32,
         mut exports: Vec<SessionExport>,
@@ -403,6 +527,7 @@ impl Router {
                 admitted: 0,
                 in_doubt: 0,
                 skip: 0,
+                lost: None,
             });
             route.owner = to;
             if route.in_doubt > 0 && applied >= route.admitted + route.in_doubt {
@@ -412,11 +537,31 @@ impl Router {
                 route.skip = route.in_doubt;
             }
             route.in_doubt = 0;
+            if applied < route.admitted && route.lost.is_none() {
+                // The importer restored fewer events than this router
+                // acked: the dead owner's group commit was lost. The
+                // session can never again match its solo oracle —
+                // poison it (submits and reports answer AckedLost)
+                // instead of silently retrying the last batch on top
+                // of a shorter prefix.
+                route.lost = Some(applied);
+                latch_obs::counter_inc("router.failover.acked_lost");
+                latch_obs::emit(
+                    "router",
+                    TraceEvent::AckedLost {
+                        session,
+                        acked: route.admitted,
+                        applied,
+                    },
+                );
+            }
             records.push(self.record_migration(session, node, to, applied));
         }
         // Sessions routed to the dead node that left no durable files
         // (nothing was ever admitted): re-pin them; their retries
-        // replay from zero on the new owner.
+        // replay from zero on the new owner. A session we had *acked*
+        // events for that left no files is acked loss, same as a short
+        // import — poison it rather than replaying a diverged stream.
         let orphans: Vec<u64> = self
             .routes
             .iter()
@@ -428,6 +573,18 @@ impl Router {
             let route = self.routes.get_mut(&session).expect("orphan route exists");
             route.owner = to;
             route.in_doubt = 0;
+            if route.admitted > 0 && route.lost.is_none() {
+                route.lost = Some(0);
+                latch_obs::counter_inc("router.failover.acked_lost");
+                latch_obs::emit(
+                    "router",
+                    TraceEvent::AckedLost {
+                        session,
+                        acked: route.admitted,
+                        applied: 0,
+                    },
+                );
+            }
             records.push(self.record_migration(session, node, to, 0));
         }
         Ok(records)
@@ -482,9 +639,23 @@ impl Router {
     /// # Errors
     ///
     /// [`RouterError::NodeDown`] when a node died undetected (retry
-    /// after failover); a node's non-transport refusal aborts the
-    /// drain as [`RouterError::Rejected`] / [`RouterError::Wire`].
+    /// after failover) **or** when any session's route is still pinned
+    /// to a dead owner (a stalled failover — retrying it first is the
+    /// only way those sessions' reports can be collected); a node's
+    /// non-transport refusal aborts the drain as
+    /// [`RouterError::Rejected`] / [`RouterError::Wire`].
     pub fn drain(&mut self) -> Result<Vec<(u64, Vec<u8>)>, RouterError> {
+        // Collecting only from live nodes would silently omit every
+        // session whose owner died without a completed failover —
+        // undetected session loss at drain. Surface those first.
+        if let Some(node) = self
+            .routes
+            .values()
+            .map(|r| r.owner)
+            .find(|&n| !self.is_alive(n))
+        {
+            return Err(RouterError::NodeDown { node });
+        }
         for id in self.alive_nodes() {
             if self.node_conn(id)?.ping(0).is_err() {
                 self.mark_down(id, 0);
@@ -517,13 +688,19 @@ impl Router {
     /// # Errors
     ///
     /// [`RouterError::NoNodes`] for a session the router never placed;
+    /// [`RouterError::AckedLost`] for a session poisoned by acked-event
+    /// loss (its report would silently diverge from the solo oracle);
     /// otherwise whatever the owner answers.
     pub fn report(&mut self, session: u64) -> Result<(u64, Vec<u8>), RouterError> {
-        let owner = self
-            .routes
-            .get(&session)
-            .map(|r| r.owner)
-            .ok_or(RouterError::NoNodes)?;
+        let route = self.routes.get(&session).ok_or(RouterError::NoNodes)?;
+        if let Some(applied) = route.lost {
+            return Err(RouterError::AckedLost {
+                session,
+                acked: route.admitted,
+                applied,
+            });
+        }
+        let owner = route.owner;
         self.node_conn(owner)?
             .report(session)
             .map_err(|e| match e {

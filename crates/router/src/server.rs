@@ -287,10 +287,16 @@ fn heartbeat_loop(shared: &Arc<Shared>) {
         let mut st = shared.state.lock().expect("router state");
         for node in st.router.tick() {
             let exports = (st.exporter)(node);
-            // A failed failover (e.g. the ring emptied) leaves the
-            // routes pinned; submits answer NodeDown until a node
-            // returns.
-            let _ = st.router.fail_over(node, exports);
+            if st.router.fail_over(node, exports).is_err() {
+                // The router recorded the stall (a `failover_stall`
+                // trace event plus the `router.failover.stalls`
+                // counter) and keeps the unmigrated sessions pinned;
+                // tick() re-returns the node on the next heartbeat, so
+                // the failover retries with a fresh export until every
+                // session is re-pinned. Submits answer NodeDown in the
+                // meantime.
+                latch_obs::counter_inc("router.heartbeat.failover_retries");
+            }
         }
     }
 }
@@ -566,6 +572,8 @@ fn process_msg(msg: Msg, conn_id: u64, cs: &mut ConnState, shared: &Shared) -> V
         // target nodes.
         Msg::MigrateSession { .. }
         | Msg::MigrateAck { .. }
+        | Msg::MigrateChunk { .. }
+        | Msg::MigrateChunkAck { .. }
         | Msg::Hello { .. }
         | Msg::HelloAck { .. }
         | Msg::SubmitOk { .. }

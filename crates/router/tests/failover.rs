@@ -11,10 +11,10 @@
 use latch_client::{Client, ClientError};
 use latch_faults::FaultPlan;
 use latch_proto::Endpoint;
-use latch_router::{Exporter, Router, RouterConfig, RouterServer, RouterServerConfig};
+use latch_router::{Exporter, Router, RouterConfig, RouterError, RouterServer, RouterServerConfig};
 use latch_serve::{
-    export_sessions, DurableConfig, DurableService, MemStorage, ServeConfig, SessionExport,
-    WireConfig, WireServer,
+    export_sessions, DurableConfig, DurableService, MemStorage, Priority, ServeConfig,
+    SessionExport, WireConfig, WireServer,
 };
 use latch_sim::event::{Event, EventSource};
 use latch_systems::session::SessionPipeline;
@@ -345,6 +345,206 @@ fn drained_node_still_accepts_migrations() {
     let after = ic.drain().expect("second drain");
     assert_eq!(after.len(), 2, "drain re-serves plus the migrated session");
     let (got_applied, bytes) = ic.report(42).expect("report the migrated session");
+    assert_eq!(got_applied, events.len() as u64);
+    assert_eq!(bytes, solo_report(&events));
+    importer.shutdown();
+}
+
+/// A dead process is usually detected by a *reconnect* failure — every
+/// ping miss clears the cached connection, so the next tick dials
+/// afresh and gets refused. That path must still surface the death in
+/// tick's returned dead list, or the heartbeat loop never fails the
+/// node's sessions over. Regression: the connect-failure arm used to
+/// `continue` without reporting the node.
+#[test]
+fn tick_surfaces_reconnect_failure_as_dead() {
+    let node = start_node(0);
+    let mut router = Router::new(router_config());
+    router.add_node(0, node.endpoint().clone());
+    let events = stream(0, SEED ^ 0x7C1, 64);
+    router.submit(9, 1, &events).expect("submit");
+    let _ = kill_and_export(node);
+    let mut dead = Vec::new();
+    for _ in 0..router_config().miss_budget + 4 {
+        dead = router.tick();
+        if !dead.is_empty() {
+            break;
+        }
+    }
+    assert_eq!(dead, vec![0], "reconnect-failure death never surfaced");
+    assert!(!router.is_alive(0));
+}
+
+/// Routes still pinned to a dead owner must fail a drain loudly —
+/// collecting only from live nodes would silently drop those sessions
+/// from the merged report set. Regression: drain() used to probe and
+/// collect from alive nodes only.
+#[test]
+fn drain_refuses_while_routes_pin_a_dead_owner() {
+    let node_a = start_node(0);
+    let node_b = start_node(1);
+    let mut router = Router::new(router_config());
+    router.add_node(0, node_a.endpoint().clone());
+    router.add_node(1, node_b.endpoint().clone());
+    let session = (0..64)
+        .find(|&s| router.owner_of(s) == Some(0))
+        .expect("node 0 owns some session");
+    let events = stream(0, SEED ^ 0xD0D0, 96);
+    router.submit(session, 1, &events).expect("submit");
+    let _ = kill_and_export(node_a);
+    // Detect the death but do NOT fail over — the stranded state.
+    for _ in 0..10 {
+        if !router.is_alive(0) {
+            break;
+        }
+        let _ = router.tick();
+    }
+    assert!(!router.is_alive(0), "death never detected");
+    match router.drain() {
+        Err(RouterError::NodeDown { node }) => assert_eq!(node, 0),
+        other => panic!("drain must surface the dead owner, got {other:?}"),
+    }
+    node_b.shutdown();
+}
+
+/// A failover that cannot complete (here: the ring emptied) stalls
+/// instead of stranding: the sessions stay pinned, tick() keeps
+/// re-returning the node for retry, drain refuses — and once a node
+/// rejoins, the retried failover completes, the stall clears, and the
+/// session still drains byte-identical to its solo run.
+#[test]
+fn stalled_failover_retries_until_a_node_returns() {
+    let node_a = start_node(0);
+    let mut router = Router::new(router_config());
+    router.add_node(0, node_a.endpoint().clone());
+    let events = stream(0, SEED ^ 0x57A1, 200);
+    router.submit(3, 1, &events[..100]).expect("submit first half");
+    let exports = kill_and_export(node_a);
+    let err = router.fail_over(0, exports.clone()).expect_err("ring emptied");
+    assert!(matches!(err, RouterError::NoNodes), "got {err:?}");
+    assert_eq!(router.tick(), vec![0], "stall must keep surfacing");
+    assert!(
+        matches!(router.drain(), Err(RouterError::NodeDown { node: 0 })),
+        "drain must refuse while the failover is stalled"
+    );
+    let node_b = start_node(1);
+    router.add_node(1, node_b.endpoint().clone());
+    let records = router.fail_over(0, exports).expect("retry completes");
+    assert_eq!(records.len(), 1);
+    assert_eq!(records[0].session, 3);
+    assert_eq!(router.tick(), Vec::<u32>::new(), "stall must clear");
+    router.submit(3, 1, &events[100..]).expect("resume");
+    let reports: BTreeMap<u64, Vec<u8>> = router.drain().expect("drain").into_iter().collect();
+    assert_eq!(reports[&3], solo_report(&events));
+    node_b.shutdown();
+}
+
+/// An importer that restores fewer events than the router acked is
+/// acked loss (the dead owner's group commit never landed): the
+/// session must be poisoned with a typed answer, never silently
+/// continued on a shorter prefix.
+#[test]
+fn short_import_poisons_the_session_as_acked_lost() {
+    let node_a = start_node(0);
+    let node_b = start_node(1);
+    let mut router = Router::new(router_config());
+    router.add_node(0, node_a.endpoint().clone());
+    router.add_node(1, node_b.endpoint().clone());
+    let session = (0..64)
+        .find(|&s| router.owner_of(s) == Some(0))
+        .expect("node 0 owns some session");
+    let events = stream(0, SEED ^ 0xAC4E, 120);
+    router.submit(session, 1, &events).expect("submit");
+    let _ = kill_and_export(node_a);
+    // Ship an export that lost everything: the importer restores 0 of
+    // the 120 acked events.
+    let exports = vec![SessionExport {
+        session,
+        priority: Priority::default(),
+        blob: Vec::new(),
+        wal: Vec::new(),
+    }];
+    let records = router.fail_over(0, exports).expect("failover ships");
+    assert_eq!(records.len(), 1);
+    assert_eq!(records[0].applied, 0);
+    assert_eq!(router.lost_sessions(), vec![(session, 120, 0)]);
+    match router.submit(session, 1, &events[..1]) {
+        Err(RouterError::AckedLost {
+            session: s,
+            acked,
+            applied,
+        }) => assert_eq!((s, acked, applied), (session, 120, 0)),
+        other => panic!("poisoned session must answer AckedLost, got {other:?}"),
+    }
+    match router.report(session) {
+        Err(RouterError::AckedLost { .. }) => {}
+        other => panic!("poisoned session's report must refuse, got {other:?}"),
+    }
+    node_b.shutdown();
+}
+
+/// The chunked migration path is byte-equivalent to the single-frame
+/// path: every staged slice lands, the commit applies the combined
+/// state, and the migrated session reports identically to a solo run.
+#[test]
+fn chunked_migration_is_byte_equivalent() {
+    let victim = start_node(0);
+    let events = stream(0, SEED ^ 0xC4C4, 300);
+    let mut vc = Client::connect(victim.endpoint(), 1024, false).expect("connect victim");
+    vc.submit(11, 1, &events).expect("submit victim session");
+    drop(vc);
+    let export = kill_and_export(victim)
+        .into_iter()
+        .next()
+        .expect("one export");
+    let importer = start_node(1);
+    let mut ic = Client::connect(importer.endpoint(), 1024, false).expect("connect importer");
+    let applied = ic
+        .migrate_session_chunked(
+            export.session,
+            export.priority.rank(),
+            &export.blob,
+            &export.wal,
+            100,
+        )
+        .expect("chunked migrate");
+    assert_eq!(applied, events.len() as u64);
+    assert_eq!(ic.drain().expect("drain importer").len(), 1);
+    let (got_applied, bytes) = ic.report(11).expect("report");
+    assert_eq!(got_applied, events.len() as u64);
+    assert_eq!(bytes, solo_report(&events));
+    importer.shutdown();
+}
+
+/// A session whose WAL suffix exceeds the frame cap still migrates:
+/// `migrate_session` streams it as chunks instead of failing with
+/// `OversizedFrame` and stranding the failover. Regression for the
+/// single-frame migration cap.
+#[test]
+fn oversized_wal_suffix_still_migrates() {
+    let victim = start_node(0);
+    let events = stream(0, SEED ^ 0xB16B, 300);
+    let mut vc = Client::connect(victim.endpoint(), 1024, false).expect("connect victim");
+    vc.submit(21, 1, &events).expect("submit victim session");
+    drop(vc);
+    let mut export = kill_and_export(victim)
+        .into_iter()
+        .next()
+        .expect("one export");
+    // Inflate the WAL past the frame cap with a torn tail; the
+    // recovery scan stops at the corruption, exactly as it does for a
+    // torn on-disk suffix.
+    export
+        .wal
+        .extend(std::iter::repeat_n(0xFF, latch_proto::MAX_FRAME_PAYLOAD + (1 << 20)));
+    let importer = start_node(1);
+    let mut ic = Client::connect(importer.endpoint(), 1024, false).expect("connect importer");
+    let applied = ic
+        .migrate_session(export.session, export.priority.rank(), export.blob, export.wal)
+        .expect("oversized state must still migrate");
+    assert_eq!(applied, events.len() as u64);
+    assert_eq!(ic.drain().expect("drain importer").len(), 1);
+    let (got_applied, bytes) = ic.report(21).expect("report");
     assert_eq!(got_applied, events.len() as u64);
     assert_eq!(bytes, solo_report(&events));
     importer.shutdown();

@@ -449,6 +449,9 @@ struct ConnState {
     admitted: u64,
     slo_cursor: usize,
     frames: u64,
+    /// Session → (LTSE blob, WAL suffix) staged by `MigrateChunk`
+    /// frames, consumed by the committing `MigrateSession`.
+    migrations: std::collections::BTreeMap<u64, (Vec<u8>, Vec<u8>)>,
 }
 
 fn handle_conn<S: Storage + Send + 'static>(mut conn: Conn, conn_id: u64, shared: &Shared<S>) {
@@ -528,6 +531,7 @@ fn handshake<S: Storage>(conn: &mut Conn, conn_id: u64, shared: &Shared<S>) -> O
                 admitted: 0,
                 slo_cursor: 0,
                 frames: 1,
+                migrations: std::collections::BTreeMap::new(),
             })
         }
         Ok(Some(_)) => {
@@ -679,12 +683,53 @@ fn process_msg<S: Storage>(
             latch_obs::counter_inc("serve.wire.node_hellos");
             replies.push(Msg::Pong { token });
         }
+        Msg::MigrateChunk {
+            session,
+            kind,
+            bytes,
+        } => {
+            let staged = cs.migrations.entry(session).or_default();
+            if kind == latch_proto::migrate_chunk::LTSE_BLOB {
+                staged.0.extend_from_slice(&bytes);
+            } else {
+                staged.1.extend_from_slice(&bytes);
+            }
+            let received = (staged.0.len() + staged.1.len()) as u64;
+            if received > latch_proto::MAX_MIGRATION_BYTES as u64 {
+                // Past the staging cap: drop the session's buffers so a
+                // runaway sender cannot hold the memory open.
+                cs.migrations.remove(&session);
+                latch_obs::counter_inc("serve.wire.rejects");
+                latch_obs::emit(
+                    "serve",
+                    TraceEvent::WireReject {
+                        conn: conn_id,
+                        reason: "migration_too_large",
+                    },
+                );
+                replies.push(Msg::Error {
+                    code: error_code::PROTOCOL,
+                });
+            } else {
+                replies.push(Msg::MigrateChunkAck { session, received });
+            }
+        }
         Msg::MigrateSession {
             session,
             priority,
             ltse_blob,
             wal_suffix,
         } => {
+            // Commit any chunk-staged buffers, with this frame's own
+            // bytes (empty on the chunked path) appended last.
+            let (ltse_blob, wal_suffix) = match cs.migrations.remove(&session) {
+                Some((mut blob, mut wal)) => {
+                    blob.extend_from_slice(&ltse_blob);
+                    wal.extend_from_slice(&wal_suffix);
+                    (blob, wal)
+                }
+                None => (ltse_blob, wal_suffix),
+            };
             let priority = Priority::from_rank(priority).unwrap_or_default();
             let scrub_interval = st.scrub_interval;
             let imported = match st.svc.as_mut() {
@@ -741,6 +786,7 @@ fn process_msg<S: Storage>(
         | Msg::Drained { .. }
         | Msg::Pong { .. }
         | Msg::MigrateAck { .. }
+        | Msg::MigrateChunkAck { .. }
         | Msg::Error { .. } => {
             latch_obs::counter_inc("serve.wire.rejects");
             latch_obs::emit(
