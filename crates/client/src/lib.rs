@@ -398,6 +398,27 @@ impl Client {
         wal_suffix: &[u8],
         chunk_bytes: usize,
     ) -> Result<u64, ClientError> {
+        self.migrate_stage(session, ltse_blob, wal_suffix, chunk_bytes)?;
+        self.migrate_commit(session, rank)
+    }
+
+    /// Stages blob and WAL slices on the importer *without committing*
+    /// — the live-rebalance pre-copy. The staged buffers accumulate
+    /// per-connection until a [`migrate_commit`](Self::migrate_commit)
+    /// lands them, so a later call can append just the WAL suffix that
+    /// arrived while the old owner kept serving.
+    ///
+    /// # Errors
+    ///
+    /// As for [`migrate_session`](Self::migrate_session); the importer
+    /// refuses staging past its migration byte cap.
+    pub fn migrate_stage(
+        &mut self,
+        session: u64,
+        ltse_blob: &[u8],
+        wal_suffix: &[u8],
+        chunk_bytes: usize,
+    ) -> Result<(), ClientError> {
         let chunk_bytes = chunk_bytes.clamp(1, MIGRATE_CHUNK_BYTES);
         for (kind, buf) in [
             (migrate_chunk::LTSE_BLOB, ltse_blob),
@@ -419,6 +440,17 @@ impl Client {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Commits whatever [`migrate_stage`](Self::migrate_stage) staged
+    /// for `session` with an empty `MigrateSession` frame, returning
+    /// the events the importer's pipeline restored.
+    ///
+    /// # Errors
+    ///
+    /// As for [`migrate_session`](Self::migrate_session).
+    pub fn migrate_commit(&mut self, session: u64, rank: u8) -> Result<u64, ClientError> {
         write_msg(
             &mut self.conn,
             &Msg::MigrateSession {
@@ -429,6 +461,82 @@ impl Client {
             },
         )?;
         self.migrate_commit_reply()
+    }
+
+    /// Pushes one replication frame to a backup and returns the
+    /// backup's `(ok, journaled, wal_len)` cursors from its `ReplAck`.
+    /// `ok = false` means the backup is lagging (gap or never seeded)
+    /// and wants a `reset = true` reseed.
+    ///
+    /// # Errors
+    ///
+    /// Transport and protocol failures; a lagging backup is *not* an
+    /// error (it answers `ok = false`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn repl_frame(
+        &mut self,
+        session: u64,
+        rank: u8,
+        reset: bool,
+        wal_off: u64,
+        journaled: u64,
+        blob: Vec<u8>,
+        wal: Vec<u8>,
+    ) -> Result<(bool, u64, u64), ClientError> {
+        write_msg(
+            &mut self.conn,
+            &Msg::ReplFrame {
+                session,
+                rank,
+                reset,
+                wal_off,
+                journaled,
+                blob,
+                wal,
+            },
+        )?;
+        match self.next_reply()? {
+            Msg::ReplAck {
+                ok,
+                journaled,
+                wal_len,
+                ..
+            } => Ok((ok, journaled, wal_len)),
+            Msg::Error { code } => Err(ClientError::Server { code }),
+            _ => Err(ClientError::UnexpectedReply("repl_frame")),
+        }
+    }
+
+    /// Fetches one session's durable state — from the node's live
+    /// service if it owns the session, else from its replica journal.
+    /// Returns `None` when the node holds nothing for the session.
+    /// With `expel` the responder removes the session after exporting
+    /// (the rebalance cut-point on a live owner; journal drop on a
+    /// backup).
+    ///
+    /// # Errors
+    ///
+    /// Transport and protocol failures, or [`ClientError::Server`]
+    /// when the state is too large for one `ReplState` frame.
+    #[allow(clippy::type_complexity)]
+    pub fn repl_fetch(
+        &mut self,
+        session: u64,
+        expel: bool,
+    ) -> Result<Option<(u8, u64, Vec<u8>, Vec<u8>)>, ClientError> {
+        write_msg(&mut self.conn, &Msg::ReplFetch { session, expel })?;
+        match self.next_reply()? {
+            Msg::ReplState {
+                found,
+                rank,
+                journaled,
+                blob,
+                wal,
+                ..
+            } => Ok(found.then_some((rank, journaled, blob, wal))),
+            Msg::Error { code } => Err(ClientError::Server { code }),
+            _ => Err(ClientError::UnexpectedReply("repl_fetch")),
+        }
     }
 
     fn migrate_commit_reply(&mut self) -> Result<u64, ClientError> {

@@ -864,6 +864,7 @@ pub fn check(prog: &TestProgram, opts: &CheckOptions) -> Result<Verdict, Box<Div
                 miss_budget: 2,
                 window_events: 256,
                 router_id: opts.fault_seed,
+                ..RouterConfig::default()
             });
             for (id, srv) in servers.iter().enumerate() {
                 router.add_node(id as u32, srv.as_ref().expect("fresh").endpoint().clone());
@@ -941,6 +942,144 @@ pub fn check(prog: &TestProgram, opts: &CheckOptions) -> Result<Verdict, Box<Div
         for (_session, bytes) in &reports_a {
             if *bytes != want {
                 return Err(cluster("session report diverged after failover"));
+            }
+        }
+    }
+
+    // ---- leg 11: replica-serve — diskless failover over three nodes --
+    // The same trace crosses the router into three wire servers with
+    // 2-of-3 synchronous replication, and the seeded kill destroys the
+    // victim's storage *outright* — the exporter has nothing, so every
+    // migrated session must be sourced from a backup journal. The
+    // contracts: the drain is byte-identical to the solo pipeline (and
+    // therefore to the storage-surviving leg 10), no session is
+    // poisoned as acked-lost, and a rerun reproduces the reports and
+    // the migration history exactly.
+    if !desugared.is_empty() {
+        const CHUNK: usize = 48;
+        const REPLICA_SESSIONS: usize = 4;
+        let replica = |what: &'static str| {
+            Box::new(Divergence::Overload {
+                leg: "replica-serve",
+                what,
+            })
+        };
+        let node_cfg = ServeConfig {
+            workers: 1,
+            max_resident: 2,
+            seed: opts.fault_seed,
+            ..ServeConfig::default()
+        };
+        let scrub = node_cfg.scrub_interval;
+        type ReplicaRun = (
+            Vec<(u64, Vec<u8>)>,
+            Vec<latch_router::MigrationRecord>,
+        );
+        let run = || -> Result<ReplicaRun, Box<Divergence>> {
+            let mut servers: Vec<Option<WireServer<MemStorage>>> = (0..3)
+                .map(|id| {
+                    let (svc, _recovery) = DurableService::recover(
+                        ServeConfig {
+                            seed: opts.fault_seed.wrapping_add(id),
+                            ..node_cfg
+                        },
+                        DurableConfig::default(),
+                        FaultPlan::benign(),
+                        MemStorage::new(FaultPlan::benign()),
+                    );
+                    let endpoint = Endpoint::parse("tcp:127.0.0.1:0").expect("literal endpoint");
+                    WireServer::start(&endpoint, svc, WireConfig::default()).map(Some)
+                })
+                .collect::<Result<_, _>>()
+                .map_err(|_| replica("bind failed"))?;
+            let mut router = Router::new(RouterConfig {
+                seed: opts.fault_seed,
+                vnodes: 32,
+                miss_budget: 2,
+                window_events: 256,
+                router_id: opts.fault_seed,
+                replicas: 2,
+                ..RouterConfig::default()
+            });
+            for (id, srv) in servers.iter().enumerate() {
+                router.add_node(id as u32, srv.as_ref().expect("fresh").endpoint().clone());
+            }
+            let victim = router.owner_of(0).ok_or_else(|| replica("empty ring"))?;
+            let mut inj = FaultInjector::new(
+                FaultPlan::new(opts.fault_seed ^ 0x00C2).with_node_kills(25, 1),
+            );
+            let kill = |servers: &mut Vec<Option<WireServer<MemStorage>>>,
+                            router: &mut Router|
+             -> Result<(), Box<Divergence>> {
+                let svc = servers[victim as usize]
+                    .take()
+                    .expect("victim still up")
+                    .kill()
+                    .ok_or_else(|| replica("victim was already drained"))?;
+                // Total machine loss: the storage dies with the node,
+                // so the failover runs with an empty export and must
+                // restore every session from its backup journals.
+                drop(svc.crash());
+                router
+                    .fail_over(victim, Vec::new())
+                    .map_err(|_| replica("diskless failover failed"))?;
+                Ok(())
+            };
+            let mut pos = [0usize; REPLICA_SESSIONS];
+            let mut rounds = 0u64;
+            while pos.iter().any(|&p| p < desugared.len()) {
+                if rounds > 1_000_000 {
+                    return Err(replica("drive failed to make progress"));
+                }
+                if servers[victim as usize].is_some() && inj.node_killed_at(victim, rounds) {
+                    kill(&mut servers, &mut router)?;
+                }
+                for (s, p) in pos.iter_mut().enumerate() {
+                    if *p >= desugared.len() {
+                        continue;
+                    }
+                    let take = CHUNK.min(desugared.len() - *p);
+                    match router.submit(s as u64, (s % 3) as u8, &desugared[*p..*p + take]) {
+                        Ok(()) => *p += take,
+                        Err(RouterError::Rejected(_)) => {}
+                        Err(_) => return Err(replica("transport failed mid-drive")),
+                    }
+                }
+                rounds += 1;
+            }
+            // A cold seed must still exercise the diskless path.
+            if servers[victim as usize].is_some() {
+                kill(&mut servers, &mut router)?;
+            }
+            if !router.lost_sessions().is_empty() {
+                return Err(replica("a replicated session was acked-lost"));
+            }
+            let reports = router.drain().map_err(|_| replica("drain failed"))?;
+            let history = router.migration_history().to_vec();
+            for srv in servers.into_iter().flatten() {
+                srv.shutdown();
+            }
+            Ok((reports, history))
+        };
+        let (reports_a, history_a) = run()?;
+        let (reports_b, history_b) = run()?;
+        if history_a != history_b {
+            return Err(replica("migration history changed between reruns"));
+        }
+        if reports_a != reports_b {
+            return Err(replica("session reports changed between reruns"));
+        }
+        if reports_a.len() != REPLICA_SESSIONS {
+            return Err(replica("session count diverged across the cluster"));
+        }
+        let mut solo = SessionPipeline::new(scrub);
+        for ev in &desugared {
+            solo.apply(ev);
+        }
+        let want = solo.report().encode();
+        for (_session, bytes) in &reports_a {
+            if *bytes != want {
+                return Err(replica("session report diverged after diskless failover"));
             }
         }
     }

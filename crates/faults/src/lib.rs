@@ -60,6 +60,8 @@ pub enum Stream {
     FeedStallLen = 23,
     FeedDeath = 24,
     NodeDeath = 25,
+    ReplicaLag = 26,
+    DiskLoss = 27,
 }
 
 /// Which coarse structure a bit flip lands in.
@@ -249,6 +251,28 @@ impl NodeFaultConfig {
     };
 }
 
+/// Configures replication faults (the `latch-replica` layer): backups
+/// that drop a push (forcing the router's reseed path), and node kills
+/// that destroy the victim's storage with it — the diskless-failover
+/// case, where recovery must come from a surviving replica journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaFaultConfig {
+    /// Probability per replication push that the backup drops it (the
+    /// push is skipped, so the backup lags and must be reseeded).
+    pub lag_per_mille: u32,
+    /// Probability that a killed node's storage dies with it, in parts
+    /// per mille (1000 = every kill is a full machine loss).
+    pub disk_loss_per_mille: u32,
+}
+
+impl ReplicaFaultConfig {
+    /// Healthy replication.
+    pub const OFF: Self = Self {
+        lag_per_mille: 0,
+        disk_loss_per_mille: 0,
+    };
+}
+
 /// A complete, seeded description of the faults to inject into one run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultPlan {
@@ -260,6 +284,7 @@ pub struct FaultPlan {
     pub disk: DiskFaultConfig,
     pub overload: OverloadFaultConfig,
     pub node: NodeFaultConfig,
+    pub replica: ReplicaFaultConfig,
 }
 
 impl FaultPlan {
@@ -275,6 +300,7 @@ impl FaultPlan {
             disk: DiskFaultConfig::OFF,
             overload: OverloadFaultConfig::OFF,
             node: NodeFaultConfig::OFF,
+            replica: ReplicaFaultConfig::OFF,
         }
     }
 
@@ -411,6 +437,22 @@ impl FaultPlan {
         self
     }
 
+    /// Arms replication faults: dropped backup pushes (each forces a
+    /// reseed) and storage loss on node kills (`disk_loss_per_mille` of
+    /// kills also destroy the victim's disk).
+    #[must_use]
+    pub fn with_replica_faults(mut self, lag_per_mille: u32, disk_loss_per_mille: u32) -> Self {
+        assert!(
+            lag_per_mille <= 1000 && disk_loss_per_mille <= 1000,
+            "per_mille out of range"
+        );
+        self.replica = ReplicaFaultConfig {
+            lag_per_mille,
+            disk_loss_per_mille,
+        };
+        self
+    }
+
     /// Whether the plan injects anything at all.
     #[must_use]
     pub fn is_benign(&self) -> bool {
@@ -421,6 +463,7 @@ impl FaultPlan {
             && self.disk == DiskFaultConfig::OFF
             && self.overload == OverloadFaultConfig::OFF
             && self.node == NodeFaultConfig::OFF
+            && self.replica == ReplicaFaultConfig::OFF
     }
 }
 
@@ -469,6 +512,8 @@ pub struct FaultStats {
     pub feed_stalls: u64,
     pub feed_deaths: u64,
     pub node_kills: u64,
+    pub replica_lags: u64,
+    pub disk_losses: u64,
 }
 
 impl FaultStats {
@@ -493,6 +538,8 @@ impl FaultStats {
         self.feed_stalls += other.feed_stalls;
         self.feed_deaths += other.feed_deaths;
         self.node_kills += other.node_kills;
+        self.replica_lags += other.replica_lags;
+        self.disk_losses += other.disk_losses;
     }
 }
 
@@ -759,6 +806,41 @@ impl FaultInjector {
         let idx = Self::feed_index(node, round);
         if fires(self.plan.seed, Stream::NodeDeath, idx, n.kill_per_mille) {
             self.stats.node_kills += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether backup `node` drops replication push number `push`
+    /// (the router sees the lag on its next frame and reseeds).
+    pub fn replica_lag_at(&mut self, node: u32, push: u64) -> bool {
+        let idx = Self::feed_index(node, push);
+        if fires(
+            self.plan.seed,
+            Stream::ReplicaLag,
+            idx,
+            self.plan.replica.lag_per_mille,
+        ) {
+            self.stats.replica_lags += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether kill number `kill` of node `node` also destroys the
+    /// victim's storage — the full-machine-loss case, where failover
+    /// must recover from a surviving replica journal.
+    pub fn disk_lost_at(&mut self, node: u32, kill: u64) -> bool {
+        let idx = Self::feed_index(node, kill);
+        if fires(
+            self.plan.seed,
+            Stream::DiskLoss,
+            idx,
+            self.plan.replica.disk_loss_per_mille,
+        ) {
+            self.stats.disk_losses += 1;
             true
         } else {
             false

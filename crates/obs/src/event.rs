@@ -275,6 +275,40 @@ pub enum TraceEvent {
         /// Events the importer actually restored.
         applied: u64,
     },
+    /// A backup fell behind (or died) and was dropped from a session's
+    /// replica group until the router can reseed it.
+    ReplLag {
+        /// The session whose backup lagged.
+        session: u64,
+        /// The lagging backup node.
+        node: u32,
+        /// Events the backup had acknowledged when it was dropped.
+        have: u64,
+        /// Events the primary's logical WAL covers.
+        want: u64,
+    },
+    /// A diskless failover sourced a session from a backup's replica
+    /// journal instead of the dead owner's storage.
+    ReplRestore {
+        /// The session restored.
+        session: u64,
+        /// The backup node whose journal fed the recovery scan.
+        node: u32,
+        /// Events the chosen journal covers.
+        journaled: u64,
+    },
+    /// A planned rebalance moved one session to its new ring owner at
+    /// a sequenced cut-point.
+    Rebalance {
+        /// The session that moved.
+        session: u64,
+        /// The node it left (still alive and serving).
+        from_node: u32,
+        /// The node that imported it.
+        to_node: u32,
+        /// Events applied at the cut-point.
+        applied: u64,
+    },
 }
 
 impl TraceEvent {
@@ -316,6 +350,9 @@ impl TraceEvent {
             TraceEvent::SessionMigrate { .. } => "session_migrate",
             TraceEvent::FailoverStall { .. } => "failover_stall",
             TraceEvent::AckedLost { .. } => "acked_lost",
+            TraceEvent::ReplLag { .. } => "repl_lag",
+            TraceEvent::ReplRestore { .. } => "repl_restore",
+            TraceEvent::Rebalance { .. } => "rebalance",
         }
     }
 
@@ -512,6 +549,38 @@ impl TraceEvent {
                 let _ = write!(
                     out,
                     ",\"session\":{session},\"acked\":{acked},\"applied\":{applied}"
+                );
+            }
+            TraceEvent::ReplLag {
+                session,
+                node,
+                have,
+                want,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"session\":{session},\"node\":{node},\"have\":{have},\"want\":{want}"
+                );
+            }
+            TraceEvent::ReplRestore {
+                session,
+                node,
+                journaled,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"session\":{session},\"node\":{node},\"journaled\":{journaled}"
+                );
+            }
+            TraceEvent::Rebalance {
+                session,
+                from_node,
+                to_node,
+                applied,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"session\":{session},\"from_node\":{from_node},\"to_node\":{to_node},\"applied\":{applied}"
                 );
             }
         }

@@ -406,6 +406,74 @@ pub enum Msg {
         /// Total bytes staged for the session so far (both buffers).
         received: u64,
     },
+    /// Replication push: extend (or replace) a backup's replica journal
+    /// for one session. The journal's WAL buffer speaks byte offsets so
+    /// oversized records and reseeds can be split across frames; the
+    /// backup enforces contiguity and answers [`Msg::ReplAck`].
+    ReplFrame {
+        /// The session being replicated.
+        session: u64,
+        /// The session's sticky admission class rank.
+        rank: u8,
+        /// When set, `blob`/`wal` replace the journal wholesale (seed
+        /// or reseed); otherwise `wal` appends at `wal_off`.
+        reset: bool,
+        /// Byte offset into the backup's WAL buffer these bytes belong
+        /// at (must equal the buffer length on appends; 0 on reset).
+        wal_off: u64,
+        /// Events covered by the journal after this frame, up to the
+        /// last complete record boundary.
+        journaled: u64,
+        /// LTSE snapshot blob (reset frames only; empty on appends).
+        blob: Vec<u8>,
+        /// WAL bytes: the full buffer on reset, a contiguous slice of
+        /// new record bytes on append.
+        wal: Vec<u8>,
+    },
+    /// Backup's answer to a [`Msg::ReplFrame`].
+    ReplAck {
+        /// The session replicated.
+        session: u64,
+        /// Whether the frame was applied. `false` means the backup is
+        /// lagging (gap / unseeded) and wants a reseeding `reset`.
+        ok: bool,
+        /// The backup's journaled event counter after (or despite) the
+        /// frame.
+        journaled: u64,
+        /// The backup's WAL buffer length in bytes — the `wal_off` the
+        /// next append must carry.
+        wal_len: u64,
+    },
+    /// Fetch one session's durable state for failover or rebalancing.
+    /// A node that serves the session live answers from its running
+    /// service (pumping it quiescent first); a node that only backs it
+    /// up answers from its replica journal. Either way the reply is
+    /// [`Msg::ReplState`].
+    ReplFetch {
+        /// The session asked about.
+        session: u64,
+        /// When set, the responder removes the session after exporting:
+        /// a live owner expels it from service (the rebalance
+        /// cut-point), a backup drops the replica journal.
+        expel: bool,
+    },
+    /// Answer to [`Msg::ReplFetch`]: the session's snapshot blob plus
+    /// WAL bytes, replayable by the §13 recovery scan.
+    ReplState {
+        /// The session asked about.
+        session: u64,
+        /// Whether the responder held any state for the session (the
+        /// remaining fields are zero/empty when not).
+        found: bool,
+        /// The session's sticky admission class rank.
+        rank: u8,
+        /// Events the returned state covers.
+        journaled: u64,
+        /// LTSE snapshot blob (empty when the WAL holds everything).
+        blob: Vec<u8>,
+        /// WAL bytes covering the suffix past the blob.
+        wal: Vec<u8>,
+    },
 }
 
 const TAG_HELLO: u8 = 0;
@@ -426,6 +494,10 @@ const TAG_MIGRATE_SESSION: u8 = 14;
 const TAG_MIGRATE_ACK: u8 = 15;
 const TAG_MIGRATE_CHUNK: u8 = 16;
 const TAG_MIGRATE_CHUNK_ACK: u8 = 17;
+const TAG_REPL_FRAME: u8 = 18;
+const TAG_REPL_ACK: u8 = 19;
+const TAG_REPL_FETCH: u8 = 20;
+const TAG_REPL_STATE: u8 = 21;
 
 const REJ_QUEUE_FULL: u8 = 0;
 const REJ_SESSION_BUSY: u8 = 1;
@@ -781,6 +853,59 @@ impl Msg {
                 w.u64(*session);
                 w.u64(*received);
             }
+            Msg::ReplFrame {
+                session,
+                rank,
+                reset,
+                wal_off,
+                journaled,
+                blob,
+                wal,
+            } => {
+                w.u8(TAG_REPL_FRAME);
+                w.u64(*session);
+                w.u8(*rank);
+                w.u8(u8::from(*reset));
+                w.u64(*wal_off);
+                w.u64(*journaled);
+                w.u32(blob.len() as u32);
+                w.bytes(blob);
+                w.bytes(wal);
+            }
+            Msg::ReplAck {
+                session,
+                ok,
+                journaled,
+                wal_len,
+            } => {
+                w.u8(TAG_REPL_ACK);
+                w.u64(*session);
+                w.u8(u8::from(*ok));
+                w.u64(*journaled);
+                w.u64(*wal_len);
+            }
+            Msg::ReplFetch { session, expel } => {
+                w.u8(TAG_REPL_FETCH);
+                w.u64(*session);
+                w.u8(u8::from(*expel));
+            }
+            Msg::ReplState {
+                session,
+                found,
+                rank,
+                journaled,
+                blob,
+                wal,
+            } => {
+                w.u8(TAG_REPL_STATE);
+                w.u64(*session);
+                w.u8(u8::from(*found));
+                w.u8(*rank);
+                w.u64(*journaled);
+                w.u32(blob.len() as u32);
+                w.bytes(blob);
+                w.bytes(wal);
+            }
         }
         let payload = w.finish();
         if payload.len() > MAX_FRAME_PAYLOAD {
@@ -948,6 +1073,54 @@ impl Msg {
                 session: r.u64()?,
                 received: r.u64()?,
             },
+            TAG_REPL_FRAME => {
+                let session = r.u64()?;
+                let rank = r.rank()?;
+                let reset = r.flag()?;
+                let wal_off = r.u64()?;
+                let journaled = r.u64()?;
+                let n = r.len_prefix()?;
+                let blob = r.bytes(n)?.to_vec();
+                // The WAL bytes run to the end of the payload, so the
+                // cursor is exhausted by construction.
+                return Ok(Msg::ReplFrame {
+                    session,
+                    rank,
+                    reset,
+                    wal_off,
+                    journaled,
+                    blob,
+                    wal: r.rest().to_vec(),
+                });
+            }
+            TAG_REPL_ACK => Msg::ReplAck {
+                session: r.u64()?,
+                ok: r.flag()?,
+                journaled: r.u64()?,
+                wal_len: r.u64()?,
+            },
+            TAG_REPL_FETCH => Msg::ReplFetch {
+                session: r.u64()?,
+                expel: r.flag()?,
+            },
+            TAG_REPL_STATE => {
+                let session = r.u64()?;
+                let found = r.flag()?;
+                let rank = r.rank()?;
+                let journaled = r.u64()?;
+                let n = r.len_prefix()?;
+                let blob = r.bytes(n)?.to_vec();
+                // The WAL bytes run to the end of the payload, so the
+                // cursor is exhausted by construction.
+                return Ok(Msg::ReplState {
+                    session,
+                    found,
+                    rank,
+                    journaled,
+                    blob,
+                    wal: r.rest().to_vec(),
+                });
+            }
             tag => return Err(ProtoError::BadTag { tag }),
         };
         r.expect_end()?;
@@ -1199,6 +1372,50 @@ mod tests {
                 session: 6,
                 received: 64,
             },
+            Msg::ReplFrame {
+                session: 12,
+                rank: priority::CRITICAL,
+                reset: true,
+                wal_off: 0,
+                journaled: 40,
+                blob: vec![7u8; 80],
+                wal: vec![8u8; 120],
+            },
+            Msg::ReplFrame {
+                session: 12,
+                rank: priority::NORMAL,
+                reset: false,
+                wal_off: 120,
+                journaled: 56,
+                blob: Vec::new(),
+                wal: vec![9u8; 36],
+            },
+            Msg::ReplAck {
+                session: 12,
+                ok: false,
+                journaled: 40,
+                wal_len: 120,
+            },
+            Msg::ReplFetch {
+                session: 12,
+                expel: true,
+            },
+            Msg::ReplState {
+                session: 12,
+                found: true,
+                rank: priority::BULK,
+                journaled: 56,
+                blob: vec![4u8; 64],
+                wal: vec![5u8; 156],
+            },
+            Msg::ReplState {
+                session: 13,
+                found: false,
+                rank: 0,
+                journaled: 0,
+                blob: Vec::new(),
+                wal: Vec::new(),
+            },
         ]
     }
 
@@ -1212,6 +1429,25 @@ mod tests {
         payload.extend_from_slice(&[0u8; 16]);
         let frame = encode_frame(&payload).unwrap();
         assert_eq!(Msg::decode(&frame), Err(ProtoError::BadTag { tag: 7 }));
+    }
+
+    #[test]
+    fn repl_frame_bad_flag_and_rank_are_typed() {
+        // reset must be a strict bool and rank a known class: hostile
+        // values answer BadTag, never a half-applied journal frame.
+        let mut payload = vec![TAG_REPL_FRAME];
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.push(1); // rank: valid
+        payload.push(3); // reset: not a bool
+        payload.extend_from_slice(&[0u8; 20]);
+        let frame = encode_frame(&payload).unwrap();
+        assert_eq!(Msg::decode(&frame), Err(ProtoError::BadTag { tag: 3 }));
+
+        let mut payload = vec![TAG_REPL_FRAME];
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.push(9); // rank: out of range
+        let frame = encode_frame(&payload).unwrap();
+        assert_eq!(Msg::decode(&frame), Err(ProtoError::BadTag { tag: 9 }));
     }
 
     #[test]

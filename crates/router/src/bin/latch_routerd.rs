@@ -38,6 +38,9 @@ struct Args {
     miss_budget: u32,
     window: u32,
     heartbeat_ms: u64,
+    connect_timeout_ms: u64,
+    replicas: u32,
+    failover_retries: u32,
 }
 
 fn parse_node(spec: &str) -> NodeSpec {
@@ -63,6 +66,9 @@ impl Args {
         let mut miss_budget = 3u32;
         let mut window = 1u32 << 14;
         let mut heartbeat_ms = 25u64;
+        let mut connect_timeout_ms = 500u64;
+        let mut replicas = 0u32;
+        let mut failover_retries = 4u32;
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
             let mut value = || {
@@ -82,6 +88,13 @@ impl Args {
                 "--miss-budget" => miss_budget = value().parse().expect("--miss-budget"),
                 "--window" => window = value().parse().expect("--window"),
                 "--heartbeat-ms" => heartbeat_ms = value().parse().expect("--heartbeat-ms"),
+                "--connect-timeout-ms" => {
+                    connect_timeout_ms = value().parse().expect("--connect-timeout-ms");
+                }
+                "--replicas" => replicas = value().parse().expect("--replicas"),
+                "--failover-retries" => {
+                    failover_retries = value().parse().expect("--failover-retries");
+                }
                 other => panic!("unknown flag {other}"),
             }
         }
@@ -94,6 +107,9 @@ impl Args {
             miss_budget,
             window,
             heartbeat_ms,
+            connect_timeout_ms,
+            replicas,
+            failover_retries,
         }
     }
 }
@@ -106,6 +122,8 @@ fn main() {
         miss_budget: args.miss_budget,
         window_events: args.window,
         router_id: args.seed,
+        connect_timeout: Duration::from_millis(args.connect_timeout_ms),
+        replicas: args.replicas,
     });
     let mut dirs: BTreeMap<u32, std::path::PathBuf> = BTreeMap::new();
     for node in &args.nodes {
@@ -139,6 +157,7 @@ fn main() {
     let cfg = RouterServerConfig {
         max_window_events: args.window,
         heartbeat: Duration::from_millis(args.heartbeat_ms),
+        drain_failover_retries: args.failover_retries,
     };
     let server = RouterServer::start(&args.listen, router, exporter, cfg).unwrap_or_else(|e| {
         panic!("bind {}: {e}", args.listen);

@@ -1,42 +1,43 @@
-//! Cluster stress for the `latch-router` failover path.
+//! Replication stress for the `latch-replica` layer.
 //!
-//! Spins real `latchd` wire servers on `127.0.0.1:0`, a router in
-//! front of them, and kills a node mid-stream — the kill round seeded
-//! through [`FaultInjector::node_killed_at`]. Two phases:
+//! Spins real `latchd` wire servers on `127.0.0.1:0` with 2-of-3
+//! synchronous replication through the router, and kills a node with
+//! its storage destroyed outright — the exporter has nothing, so every
+//! recovered session must come from a backup journal. Two phases:
 //!
-//! 1. **Threaded** — one client thread per session, all speaking the
-//!    ordinary client protocol to the *router*. A harness thread kills
-//!    the victim node's listener at the seeded round and deposits its
-//!    surviving storage for the router's exporter. After a drain
-//!    through the router, every session's report must be
-//!    byte-identical to a solo [`SessionPipeline`] run of its full
-//!    stream: no event lost to the failover, none applied twice.
+//! 1. **Threaded** — one client thread per session through a
+//!    [`RouterServer`] whose exporter always returns empty (the dead
+//!    machine's disk is gone). A harness thread kills the victim at the
+//!    seeded round and *drops* its storage. After a drain, every
+//!    session's report must be byte-identical to a solo
+//!    [`SessionPipeline`] run and no session may be poisoned as
+//!    acked-lost.
 //! 2. **Deterministic** — a single thread drives the library
-//!    [`Router`] over two nodes round-robin, killing the victim at the
-//!    seeded round boundary (or before the drain if the budget never
-//!    fires), twice against fresh clusters with the same seed. The
-//!    session reports *and the migration history* must be
-//!    byte-identical across the two runs.
+//!    [`Router`] over three nodes, with a seeded diskless kill *and* a
+//!    planned join + leave mid-stream, twice against fresh clusters
+//!    with the same seed. The reports, the migration history, and the
+//!    rebalance history must all be byte-identical across the runs.
 //!
 //! Any panic or mismatch exits non-zero.
 //!
 //! ```text
-//! cluster_stress [--seed S] [--sessions K] [--events E]
+//! replica_stress [--seed S] [--sessions K] [--events E]
 //! ```
 
 use latch_client::{Client, ClientError};
 use latch_faults::{FaultInjector, FaultPlan};
 use latch_proto::Endpoint;
-use latch_router::{Exporter, MigrationRecord, Router, RouterConfig, RouterServer, RouterServerConfig};
+use latch_router::{
+    Exporter, MigrationRecord, RebalanceRecord, Router, RouterConfig, RouterServer,
+    RouterServerConfig,
+};
 use latch_serve::{
-    export_sessions, DurableConfig, DurableService, MemStorage, ServeConfig, SessionExport,
-    WireConfig, WireServer,
+    DurableConfig, DurableService, MemStorage, ServeConfig, WireConfig, WireServer,
 };
 use latch_sim::event::{Event, EventSource};
 use latch_systems::session::SessionPipeline;
 use latch_workloads::all_profiles;
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 struct Args {
@@ -112,6 +113,7 @@ fn router_config(seed: u64) -> RouterConfig {
         miss_budget: 2,
         window_events: 256,
         router_id: seed,
+        replicas: 2,
         ..RouterConfig::default()
     }
 }
@@ -119,16 +121,15 @@ fn router_config(seed: u64) -> RouterConfig {
 /// The seeded round at which the victim dies (bounded so the threaded
 /// phase's sleep stays short even on a cold seed).
 fn kill_round(seed: u64, victim: u32) -> u64 {
-    let mut inj = FaultInjector::new(FaultPlan::new(seed ^ 0x00C1).with_node_kills(25, 1));
+    let mut inj = FaultInjector::new(FaultPlan::new(seed ^ 0x00C2).with_node_kills(25, 1));
     (0..200).find(|&r| inj.node_killed_at(victim, r)).unwrap_or(30)
 }
 
-/// Kills a wire server and exports every session from its surviving
-/// storage — the disk a real deployment would re-mount.
-fn kill_and_export(server: WireServer<MemStorage>) -> Vec<SessionExport> {
+/// Kills a wire server and destroys its storage: total machine loss.
+/// Nothing survives for an exporter to re-mount.
+fn kill_and_destroy(server: WireServer<MemStorage>) {
     let svc = server.kill().expect("victim was not drained");
-    let mut storage = svc.crash();
-    export_sessions(&mut storage)
+    drop(svc.crash());
 }
 
 /// Drives one session's full stream through the router, retrying
@@ -139,16 +140,12 @@ fn drive_session(client: &mut Client, session: u64, events: &[Event]) {
     let mut pos = 0usize;
     let mut rounds = 0u64;
     while pos < events.len() {
-        assert!(rounds < 1_000_000, "cluster drive failed to make progress");
+        assert!(rounds < 1_000_000, "replica drive failed to make progress");
         rounds += 1;
         let take = CHUNK.min(events.len() - pos);
         match client.submit(session, rank, &events[pos..pos + take]) {
             Ok(()) => pos += take,
             Err(ClientError::Rejected(_)) => {
-                // Queue-full backpressure, or the victim answering
-                // ShuttingDown in the instant between losing its
-                // service and its sockets closing; either way the
-                // batch was not admitted — retry it.
                 std::thread::sleep(Duration::from_millis(2));
             }
             Err(e) => panic!("session {session}: router connection failed: {e}"),
@@ -178,13 +175,13 @@ fn check_reports(
         assert_eq!(
             *bytes,
             solo.report().encode(),
-            "{what}: session {s} diverged from its solo run after failover"
+            "{what}: session {s} diverged from its solo run after diskless failover"
         );
     }
 }
 
 /// Phase 1: client threads through a [`RouterServer`], a real mid-
-/// stream node kill, exporter fed by the harness's deposit.
+/// stream node kill with the disk destroyed — the exporter has nothing.
 fn threaded_phase(args: &Args) {
     const NODES: u32 = 3;
     let mut servers: Vec<Option<WireServer<MemStorage>>> =
@@ -193,20 +190,9 @@ fn threaded_phase(args: &Args) {
     for (id, srv) in servers.iter().enumerate() {
         router.add_node(id as u32, srv.as_ref().expect("fresh node").endpoint().clone());
     }
-    let deposits: Arc<Mutex<BTreeMap<u32, Vec<SessionExport>>>> =
-        Arc::new(Mutex::new(BTreeMap::new()));
-    let exporter_deposits = Arc::clone(&deposits);
-    let exporter: Exporter = Box::new(move |node| {
-        // The harness deposits the dead node's exports right after the
-        // kill; wait briefly for the racing deposit.
-        for _ in 0..2_000 {
-            if let Some(exports) = exporter_deposits.lock().expect("deposits").get(&node) {
-                return exports.clone();
-            }
-            std::thread::sleep(Duration::from_millis(5));
-        }
-        Vec::new()
-    });
+    // Total machine loss: there is no disk to re-mount, so the exporter
+    // never has anything to offer — recovery must run on backups alone.
+    let exporter: Exporter = Box::new(|_| Vec::new());
     let front = RouterServer::start(
         &Endpoint::Tcp("127.0.0.1:0".to_string()),
         router,
@@ -223,13 +209,9 @@ fn threaded_phase(args: &Args) {
     let victim = (args.seed % u64::from(NODES)) as u32;
     let delay = Duration::from_millis(kill_round(args.seed, victim));
     let victim_server = servers[victim as usize].take().expect("victim exists");
-    let killer_deposits = Arc::clone(&deposits);
     let killer = std::thread::spawn(move || {
         std::thread::sleep(delay);
-        let exports = kill_and_export(victim_server);
-        let n = exports.len();
-        killer_deposits.lock().expect("deposits").insert(victim, exports);
-        n
+        kill_and_destroy(victim_server);
     });
 
     let streams: Vec<Vec<Event>> = (0..args.sessions)
@@ -250,19 +232,29 @@ fn threaded_phase(args: &Args) {
     for h in handles {
         h.join().expect("client thread");
     }
-    let exported = killer.join().expect("killer thread");
+    killer.join().expect("killer thread");
 
     let mut client = Client::connect(&endpoint, 256, false).expect("connect router");
-    let reports: BTreeMap<u64, Vec<u8>> = client.drain().expect("drain cluster").into_iter().collect();
+    let reports: BTreeMap<u64, Vec<u8>> =
+        client.drain().expect("drain cluster").into_iter().collect();
     check_reports(
         &reports,
         &streams,
         serve_config(args.seed).scrub_interval,
         "threaded",
     );
-    let (history, victim_alive) =
-        front.with_router(|r| (r.migration_history().to_vec(), r.is_alive(victim)));
+    let (history, lost, victim_alive) = front.with_router(|r| {
+        (
+            r.migration_history().to_vec(),
+            r.lost_sessions(),
+            r.is_alive(victim),
+        )
+    });
     assert!(!victim_alive, "victim node still marked alive after kill");
+    assert!(
+        lost.is_empty(),
+        "sessions acked-lost despite live backups: {lost:?}"
+    );
     assert!(
         history.iter().all(|m| m.from_node == victim),
         "a migration left a node that was never killed"
@@ -272,35 +264,67 @@ fn threaded_phase(args: &Args) {
         srv.shutdown();
     }
     println!(
-        "threaded: {} session(s), node {victim} killed after {delay:?} ({exported} exported, {} migrated), every stream reproduced",
+        "threaded: {} session(s), node {victim} killed diskless after {delay:?} ({} migrated from backups), every stream reproduced",
         args.sessions,
         history.len()
     );
 }
 
-/// One single-threaded round-robin drive of the library [`Router`]
-/// against a fresh 2-node cluster, with the seeded kill.
-fn det_run(args: &Args, streams: &[Vec<Event>]) -> (BTreeMap<u64, Vec<u8>>, Vec<MigrationRecord>) {
+/// One single-threaded drive of the library [`Router`] against a fresh
+/// 3-node cluster: the seeded diskless kill plus a planned join and
+/// leave mid-stream.
+fn det_run(
+    args: &Args,
+    streams: &[Vec<Event>],
+) -> (
+    BTreeMap<u64, Vec<u8>>,
+    Vec<MigrationRecord>,
+    Vec<RebalanceRecord>,
+) {
     const CHUNK: usize = 48;
-    let mut servers: Vec<Option<WireServer<MemStorage>>> =
-        (0..2).map(|id| Some(start_node(args.seed ^ 0xDE7, id))).collect();
+    let mut servers: Vec<Option<WireServer<MemStorage>>> = (0..3)
+        .map(|id| Some(start_node(args.seed ^ 0xDE7, id)))
+        .collect();
     let mut router = Router::new(router_config(args.seed));
     for (id, srv) in servers.iter().enumerate() {
         router.add_node(id as u32, srv.as_ref().expect("fresh node").endpoint().clone());
     }
-    let victim = (args.seed % 2) as u32;
-    let mut inj = FaultInjector::new(FaultPlan::new(args.seed ^ 0x00C1).with_node_kills(25, 1));
+    let victim = (args.seed % 3) as u32;
+    let mut inj = FaultInjector::new(FaultPlan::new(args.seed ^ 0x00C2).with_node_kills(25, 1));
     let kill_now = |servers: &mut Vec<Option<WireServer<MemStorage>>>,
                         router: &mut Router| {
-        let exports = kill_and_export(servers[victim as usize].take().expect("victim"));
-        router.fail_over(victim, exports).expect("failover");
+        kill_and_destroy(servers[victim as usize].take().expect("victim"));
+        router.fail_over(victim, Vec::new()).expect("diskless failover");
     };
+    // The planned churn: a fourth node joins a quarter of the way
+    // through the drive and the lowest-id survivor leaves at the half
+    // — both while every stream is still live. Every session advances
+    // one chunk per round, so the round count is the longest stream's
+    // chunk count.
+    let rounds_est = streams.iter().map(Vec::len).max().unwrap_or(0).div_ceil(CHUNK) as u64;
+    let join_at = rounds_est / 4;
+    let leave_at = rounds_est / 2;
+    let mut joined = false;
+    let mut left = false;
     let mut pos = vec![0usize; streams.len()];
     let mut round = 0u64;
     while pos.iter().zip(streams).any(|(&p, ev)| p < ev.len()) {
         assert!(round < 1_000_000, "deterministic drive failed to make progress");
         if servers[victim as usize].is_some() && inj.node_killed_at(victim, round) {
             kill_now(&mut servers, &mut router);
+        }
+        if !joined && round >= join_at {
+            joined = true;
+            servers.push(Some(start_node(args.seed ^ 0xDE7, 3)));
+            let ep = servers[3].as_ref().expect("joiner").endpoint().clone();
+            router.rebalance_join(3, ep).expect("planned join");
+        }
+        if joined && !left && round >= leave_at {
+            left = true;
+            let leaver = (0..3u32)
+                .find(|&n| n != victim && router.is_alive(n))
+                .expect("a survivor to retire");
+            router.rebalance_leave(leaver).expect("planned leave");
         }
         for (s, events) in streams.iter().enumerate() {
             if pos[s] >= events.len() {
@@ -315,11 +339,15 @@ fn det_run(args: &Args, streams: &[Vec<Event>]) -> (BTreeMap<u64, Vec<u8>>, Vec<
         }
         round += 1;
     }
-    // A cold seed must still exercise the migration path: kill before
-    // the drain so the survivor serves the imported sessions.
+    // A cold seed must still exercise the diskless path: kill before
+    // the drain so the backups carry the imported sessions.
     if servers[victim as usize].is_some() {
         kill_now(&mut servers, &mut router);
     }
+    assert!(
+        router.lost_sessions().is_empty(),
+        "deterministic: sessions acked-lost despite live backups"
+    );
     let reports: BTreeMap<u64, Vec<u8>> = router.drain().expect("drain").into_iter().collect();
     check_reports(
         &reports,
@@ -328,25 +356,31 @@ fn det_run(args: &Args, streams: &[Vec<Event>]) -> (BTreeMap<u64, Vec<u8>>, Vec<
         "deterministic",
     );
     let history = router.migration_history().to_vec();
+    let rebalances = router.rebalance_history().to_vec();
     for srv in servers.into_iter().flatten() {
         srv.shutdown();
     }
-    (reports, history)
+    (reports, history, rebalances)
 }
 
-/// Phase 2: the same seed twice must yield byte-identical reports and
-/// an identical migration history.
+/// Phase 2: the same seed twice must yield byte-identical reports, an
+/// identical migration history, and an identical rebalance history.
 fn deterministic_phase(args: &Args) {
     let streams: Vec<Vec<Event>> = (0..args.sessions)
         .map(|s| stream(s, args.seed.wrapping_add(s as u64), args.events))
         .collect();
-    let (reports_a, history_a) = det_run(args, &streams);
-    let (reports_b, history_b) = det_run(args, &streams);
+    let (reports_a, history_a, rebalances_a) = det_run(args, &streams);
+    let (reports_b, history_b, rebalances_b) = det_run(args, &streams);
     assert_eq!(reports_a, reports_b, "session reports changed between reruns");
     assert_eq!(history_a, history_b, "migration history changed between reruns");
+    assert_eq!(
+        rebalances_a, rebalances_b,
+        "rebalance history changed between reruns"
+    );
     println!(
-        "deterministic: {} migration(s), reports and history byte-identical across reruns",
-        history_a.len()
+        "deterministic: {} migration(s), {} rebalance move(s), reports and histories byte-identical across reruns",
+        history_a.len(),
+        rebalances_a.len()
     );
 }
 
@@ -360,5 +394,5 @@ fn main() {
     }));
     threaded_phase(&args);
     deterministic_phase(&args);
-    println!("cluster_stress: ok");
+    println!("replica_stress: ok");
 }

@@ -25,20 +25,27 @@
 
 use latch_client::{Client, ClientError};
 use latch_obs::TraceEvent;
-use latch_proto::{Endpoint, WireRejected};
-use latch_serve::SessionExport;
+use latch_proto::{Endpoint, WireRejected, MAX_FRAME_PAYLOAD, MIGRATE_CHUNK_BYTES};
+use latch_serve::{journal, Priority, SessionExport};
 use latch_sim::event::Event;
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 
-/// Bound on how long a router blocks dialing one node. A blackholed
-/// (non-refusing) address must cost a beat, not the OS connect timeout,
-/// because node I/O runs under the router's state lock.
-const NODE_CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
+/// Default bound on how long a router blocks dialing one node. A
+/// blackholed (non-refusing) address must cost a beat, not the OS
+/// connect timeout, because node I/O runs under the router's state
+/// lock. Tunable via [`RouterConfig::connect_timeout`].
+const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Per-frame byte budget for replication pushes, leaving headroom for
+/// the frame's fixed fields — the same discipline as the migration
+/// chunking path.
+const REPL_FRAME_BUDGET: usize = MAX_FRAME_PAYLOAD - 64;
 
 mod ring;
 pub mod server;
 
+pub use latch_replica::RebalanceRecord;
 pub use ring::Ring;
 pub use server::{Exporter, RouterServer, RouterServerConfig};
 
@@ -56,6 +63,13 @@ pub struct RouterConfig {
     pub window_events: u32,
     /// This router's id, announced to nodes in `NodeHello`.
     pub router_id: u64,
+    /// Bound on dialing one node; a blackholed address costs this much,
+    /// not the OS connect timeout.
+    pub connect_timeout: Duration,
+    /// Backups per session (the replica group is the owner plus this
+    /// many of the next distinct ring owners). 0 disables replication:
+    /// failover then requires the dead node's storage to survive.
+    pub replicas: u32,
 }
 
 impl Default for RouterConfig {
@@ -66,6 +80,8 @@ impl Default for RouterConfig {
             miss_budget: 3,
             window_events: 4096,
             router_id: 0,
+            connect_timeout: DEFAULT_CONNECT_TIMEOUT,
+            replicas: 0,
         }
     }
 }
@@ -159,6 +175,74 @@ struct Node {
     alive: bool,
 }
 
+/// One backup's replication cursor: the bytes and record-boundary
+/// events it has acked.
+#[derive(Debug, Clone, Copy)]
+struct BackupCursor {
+    wal_len: u64,
+    journaled: u64,
+}
+
+/// Router-side source of one session's replication stream: the logical
+/// (rotation-free) snapshot + WAL byte state its backups mirror, the
+/// record boundaries within it, and each backup's acked cursor. The
+/// owner's on-disk WAL rotates under maintenance; this buffer never
+/// does, which is what makes every backup journal a byte-prefix of one
+/// well-defined stream.
+struct ReplSession {
+    rank: u8,
+    blob: Vec<u8>,
+    wal: Vec<u8>,
+    journaled: u64,
+    /// `(wal byte offset, journaled events)` at each record boundary,
+    /// ascending. Chunked pushes read the boundary count for their end
+    /// offset here, so a torn push leaves the backup with a
+    /// conservative (never overcounting) cursor.
+    marks: Vec<(usize, u64)>,
+    backups: BTreeMap<u32, BackupCursor>,
+}
+
+impl ReplSession {
+    /// Fresh stream for a session first admitted through this router:
+    /// an empty snapshot and a bare WAL header.
+    fn new(session: u64, rank: u8) -> Self {
+        let header = journal::wal_header(session, Priority::from_rank(rank).unwrap_or_default());
+        let len = header.len();
+        Self {
+            rank,
+            blob: Vec::new(),
+            wal: header,
+            journaled: 0,
+            marks: vec![(len, 0)],
+            backups: BTreeMap::new(),
+        }
+    }
+
+    /// Stream re-rooted at an imported export (failover or rebalance):
+    /// the fetched state becomes the new base, treated as one opaque
+    /// record span, and every backup reseeds from scratch.
+    fn from_state(rank: u8, blob: Vec<u8>, wal: Vec<u8>, journaled: u64) -> Self {
+        let len = wal.len();
+        Self {
+            rank,
+            blob,
+            wal,
+            journaled,
+            marks: vec![(len, journaled)],
+            backups: BTreeMap::new(),
+        }
+    }
+
+    /// Events covered at byte offset `off`: the journaled count of the
+    /// last record boundary at-or-before it (0 before any boundary).
+    fn journaled_at(&self, off: usize) -> u64 {
+        match self.marks.partition_point(|&(o, _)| o <= off) {
+            0 => 0,
+            i => self.marks[i - 1].1,
+        }
+    }
+}
+
 struct Route {
     owner: u32,
     /// Events acked (`SubmitOk`) for this session through this router.
@@ -186,6 +270,10 @@ pub struct Router {
     nodes: BTreeMap<u32, Node>,
     routes: BTreeMap<u64, Route>,
     history: Vec<MigrationRecord>,
+    rebalances: Vec<RebalanceRecord>,
+    /// Per-session replication source streams (empty unless
+    /// [`RouterConfig::replicas`] > 0).
+    repl: BTreeMap<u64, ReplSession>,
     /// Nodes whose failover failed partway (ring emptied, importer
     /// died mid-ship): [`tick`](Self::tick) re-returns them while any
     /// route is still pinned, so the heartbeat loop retries with a
@@ -204,6 +292,8 @@ impl Router {
             nodes: BTreeMap::new(),
             routes: BTreeMap::new(),
             history: Vec::new(),
+            rebalances: Vec::new(),
+            repl: BTreeMap::new(),
             pending_failover: BTreeSet::new(),
             ticks: 0,
         }
@@ -252,6 +342,14 @@ impl Router {
         &self.history
     }
 
+    /// Every completed planned rebalance move, in cut-point order.
+    /// Reruns of the same seed, membership changes, and submission
+    /// schedule produce an identical vector.
+    #[must_use]
+    pub fn rebalance_history(&self) -> &[RebalanceRecord] {
+        &self.rebalances
+    }
+
     /// Sessions poisoned by acked-event loss (a failover restored
     /// fewer events than this router had acknowledged), with the
     /// `(acked, applied)` counts at detection. Sorted by session id.
@@ -286,6 +384,7 @@ impl Router {
     /// first if needed. A connect failure marks the node down.
     fn node_conn(&mut self, node: u32) -> Result<&mut Client, RouterError> {
         let (window, router_id) = (self.cfg.window_events, self.cfg.router_id);
+        let connect_timeout = self.cfg.connect_timeout;
         let Some(n) = self.nodes.get_mut(&node) else {
             return Err(RouterError::NoNodes);
         };
@@ -293,7 +392,7 @@ impl Router {
             return Err(RouterError::NodeDown { node });
         }
         if n.conn.is_none() {
-            match Client::connect_with_timeout(&n.endpoint, window, false, NODE_CONNECT_TIMEOUT) {
+            match Client::connect_with_timeout(&n.endpoint, window, false, connect_timeout) {
                 Ok(mut conn) => match conn.node_hello(router_id, 0) {
                     Ok(_) => n.conn = Some(conn),
                     Err(_) => {
@@ -372,20 +471,171 @@ impl Router {
             route.skip = 0;
         }
         let reply = self.node_conn(owner)?.submit(session, rank, events);
-        let route = self.routes.get_mut(&session).expect("route exists");
         match reply {
             Ok(()) => {
+                let route = self.routes.get_mut(&session).expect("route exists");
+                let base = route.admitted;
                 route.admitted += n;
                 route.in_doubt = 0;
+                if self.cfg.replicas > 0 {
+                    // Synchronous: the batch is on every live backup
+                    // before the client sees its ack, and *only* acked
+                    // batches replicate — an in-doubt batch never leaks
+                    // into a backup journal, so a diskless restore is
+                    // always the exact acked prefix.
+                    self.replicate(session, rank, base, events);
+                }
                 Ok(())
             }
             Err(ClientError::Rejected(rej)) => Err(RouterError::Rejected(rej)),
             Err(_) => {
+                let route = self.routes.get_mut(&session).expect("route exists");
                 route.in_doubt = n;
                 self.mark_down(owner, 0);
                 Err(RouterError::NodeDown { node: owner })
             }
         }
+    }
+
+    /// Pushes the batch the owner just admitted to every backup in the
+    /// session's replica group (the next [`RouterConfig::replicas`]
+    /// distinct ring owners after the route's owner). A backup that
+    /// cannot be brought current — transport death, or a reseed that
+    /// still reports lag — is dropped from the group with a `repl_lag`
+    /// event rather than failing the submit: availability wins, and the
+    /// next failover simply has one fewer source.
+    fn replicate(&mut self, session: u64, rank: u8, base: u64, events: &[Event]) {
+        let mut rs = self
+            .repl
+            .remove(&session)
+            .unwrap_or_else(|| ReplSession::new(session, rank));
+        // The wire and the journal share `WAL_MAX_PAYLOAD`, so any
+        // batch a node admitted also encodes; a refusal here would be a
+        // codec bug, not an input condition.
+        if let Ok(record) = journal::encode_record(base, events) {
+            rs.wal.extend_from_slice(&record);
+            rs.journaled = base + events.len() as u64;
+            rs.marks.push((rs.wal.len(), rs.journaled));
+        }
+        rs.rank = rank;
+        let owner = self.routes.get(&session).map(|r| r.owner);
+        let backups: Vec<u32> = self
+            .ring
+            .owners(session, self.cfg.replicas as usize + 1)
+            .into_iter()
+            .filter(|&b| Some(b) != owner && self.is_alive(b))
+            .take(self.cfg.replicas as usize)
+            .collect();
+        for b in backups {
+            if self.push_backup(session, &mut rs, b).is_err() {
+                let have = rs.backups.remove(&b).map_or(0, |c| c.journaled);
+                latch_obs::counter_inc("router.repl.lag");
+                latch_obs::emit(
+                    "router",
+                    TraceEvent::ReplLag {
+                        session,
+                        node: b,
+                        have,
+                        want: rs.journaled,
+                    },
+                );
+            }
+        }
+        self.repl.insert(session, rs);
+    }
+
+    /// Brings one backup current: appends from its acked byte cursor,
+    /// or reseeds from zero (first contact, or after the backup
+    /// reported a gap). Frames are chunked at the wire budget, each
+    /// carrying the record-boundary `journaled` count valid at its end
+    /// byte. Any error means the backup must be dropped from the group.
+    fn push_backup(
+        &mut self,
+        session: u64,
+        rs: &mut ReplSession,
+        node: u32,
+    ) -> Result<(), RouterError> {
+        for attempt in 0..2u8 {
+            let (start, reset) = match rs.backups.get(&node) {
+                Some(c) if attempt == 0 && (c.wal_len as usize) <= rs.wal.len() => {
+                    (c.wal_len as usize, false)
+                }
+                _ => (0, true),
+            };
+            if !reset && start == rs.wal.len() {
+                return Ok(());
+            }
+            if reset {
+                latch_obs::counter_inc("router.repl.resets");
+                if rs.blob.len() > REPL_FRAME_BUDGET {
+                    // A snapshot blob too large for one reset frame can
+                    // never seed this backup; drop it rather than wedge
+                    // every future submit on the attempt.
+                    return Err(RouterError::NodeDown { node });
+                }
+            }
+            let mut off = start;
+            loop {
+                let first = off == start;
+                let blob = if reset && first {
+                    rs.blob.clone()
+                } else {
+                    Vec::new()
+                };
+                let budget = REPL_FRAME_BUDGET - blob.len();
+                let end = rs.wal.len().min(off + budget.max(1));
+                let journaled = rs.journaled_at(end);
+                let frame_reset = reset && first;
+                latch_obs::counter_inc("router.repl.frames");
+                let pushed = self.node_conn(node).and_then(|c| {
+                    c.repl_frame(
+                        session,
+                        rs.rank,
+                        frame_reset,
+                        off as u64,
+                        journaled,
+                        blob,
+                        rs.wal[off..end].to_vec(),
+                    )
+                    .map_err(|_| RouterError::NodeDown { node })
+                });
+                let (ok, j, wal_len) = match pushed {
+                    Ok(r) => r,
+                    Err(e) => {
+                        self.mark_down(node, 0);
+                        return Err(e);
+                    }
+                };
+                if !ok {
+                    break;
+                }
+                rs.backups.insert(
+                    node,
+                    BackupCursor {
+                        wal_len,
+                        journaled: j,
+                    },
+                );
+                off = end;
+                if off >= rs.wal.len() {
+                    if wal_len == rs.wal.len() as u64 {
+                        return Ok(());
+                    }
+                    // The backup acked but its cursor disagrees with
+                    // ours; resync with a reseed.
+                    break;
+                }
+            }
+            // Reaching here means the backup lagged (a NACK or a
+            // cursor mismatch): clear its cursor and reseed once, then
+            // give up.
+            if attempt == 0 {
+                rs.backups.remove(&node);
+                continue;
+            }
+            break;
+        }
+        Err(RouterError::NodeDown { node })
     }
 
     /// One heartbeat pass: pings every live node, counts misses
@@ -466,8 +716,16 @@ impl Router {
     pub fn fail_over(
         &mut self,
         node: u32,
-        exports: Vec<SessionExport>,
+        mut exports: Vec<SessionExport>,
     ) -> Result<Vec<MigrationRecord>, RouterError> {
+        if self.cfg.replicas > 0 {
+            // Diskless sourcing: any pinned session the surviving
+            // storage did not yield is recovered from the freshest
+            // backup journal in its replica group. With the disk
+            // destroyed outright, *every* session takes this path.
+            let covered: BTreeSet<u64> = exports.iter().map(|e| e.session).collect();
+            exports.extend(self.restore_from_backups(node, &covered));
+        }
         match self.fail_over_inner(node, exports) {
             Ok(records) => {
                 self.pending_failover.remove(&node);
@@ -495,6 +753,11 @@ impl Router {
     ) -> Result<Vec<MigrationRecord>, RouterError> {
         self.mark_down(node, 0);
         self.ring.remove_node(node);
+        // The dead node can never ack another replication frame; its
+        // cursors must not survive into freshness decisions.
+        for rs in self.repl.values_mut() {
+            rs.backups.remove(&node);
+        }
         if self.ring.is_empty() {
             return Err(RouterError::NoNodes);
         }
@@ -513,15 +776,25 @@ impl Router {
                 continue;
             }
             let to = self.ring.owner(session).ok_or(RouterError::NoNodes)?;
-            let applied = self
-                .node_conn(to)?
-                .migrate_session(
+            let rank = export.priority.rank();
+            let applied = if self.cfg.replicas > 0 {
+                let applied = self
+                    .node_conn(to)?
+                    .migrate_session(session, rank, export.blob.clone(), export.wal.clone())
+                    .map_err(RouterError::Wire)?;
+                // The imported state is the session's new replication
+                // base; every backup reseeds against it lazily on the
+                // next admitted batch.
+                self.repl.insert(
                     session,
-                    export.priority.rank(),
-                    export.blob,
-                    export.wal,
-                )
-                .map_err(RouterError::Wire)?;
+                    ReplSession::from_state(rank, export.blob, export.wal, applied),
+                );
+                applied
+            } else {
+                self.node_conn(to)?
+                    .migrate_session(session, rank, export.blob, export.wal)
+                    .map_err(RouterError::Wire)?
+            };
             let route = self.routes.entry(session).or_insert(Route {
                 owner: to,
                 admitted: 0,
@@ -590,6 +863,75 @@ impl Router {
         Ok(records)
     }
 
+    /// Diskless failover source: for every session still pinned to the
+    /// dead node without a surviving export, fetch the freshest backup
+    /// journal from its replica group. Because replication is
+    /// synchronous (acked ⇒ journaled on every live backup) the chosen
+    /// journal always covers exactly the acked prefix, so the recovery
+    /// scan on the new owner restores a state byte-identical to what a
+    /// surviving disk would have yielded.
+    fn restore_from_backups(&mut self, node: u32, covered: &BTreeSet<u64>) -> Vec<SessionExport> {
+        let sessions: Vec<u64> = self
+            .routes
+            .iter()
+            .filter(|(s, r)| r.owner == node && !covered.contains(s))
+            .map(|(&s, _)| s)
+            .collect();
+        let mut out = Vec::new();
+        for session in sessions {
+            let Some(rs) = self.repl.get(&session) else {
+                continue;
+            };
+            // Walk candidates freshest-acked-cursor first (ties break
+            // on the higher node id) so reruns probe identically; the
+            // fetched `journaled` count, not the cursor, decides.
+            let mut candidates: Vec<(u64, u32)> = rs
+                .backups
+                .iter()
+                .filter(|&(&b, _)| b != node && self.is_alive(b))
+                .map(|(&b, c)| (c.journaled, b))
+                .collect();
+            candidates.sort_unstable();
+            candidates.reverse();
+            // (journaled, source node, rank, blob, wal) of the winner.
+            type Candidate = (u64, u32, u8, Vec<u8>, Vec<u8>);
+            let mut best: Option<Candidate> = None;
+            for (_, b) in candidates {
+                let fetched = match self.node_conn(b) {
+                    Ok(conn) => conn.repl_fetch(session, false),
+                    Err(_) => continue,
+                };
+                match fetched {
+                    Ok(Some((rank, journaled, blob, wal))) => {
+                        if best.as_ref().is_none_or(|(j, ..)| journaled > *j) {
+                            best = Some((journaled, b, rank, blob, wal));
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(_) => self.mark_down(b, 0),
+                }
+            }
+            if let Some((journaled, b, rank, blob, wal)) = best {
+                latch_obs::counter_inc("router.repl.restores");
+                latch_obs::emit(
+                    "router",
+                    TraceEvent::ReplRestore {
+                        session,
+                        node: b,
+                        journaled,
+                    },
+                );
+                out.push(SessionExport {
+                    session,
+                    priority: Priority::from_rank(rank).unwrap_or_default(),
+                    blob,
+                    wal,
+                });
+            }
+        }
+        out
+    }
+
     fn record_migration(
         &mut self,
         session: u64,
@@ -616,6 +958,221 @@ impl Router {
         );
         self.history.push(rec);
         rec
+    }
+
+    /// Planned join: adds (or revives) `node` and live-migrates the
+    /// minimal remap set — exactly the sessions whose seeded-ring owner
+    /// becomes the joiner — with the two-phase pre-copy / cut-point
+    /// protocol of `rebalance_one`. No node drains: donors keep serving
+    /// every non-moving session throughout, and each moving session's
+    /// stream resumes on the new owner at the exact cut-point. Returns
+    /// this rebalance's records, also appended to
+    /// [`rebalance_history`](Self::rebalance_history), which reruns
+    /// reproduce byte-identically.
+    ///
+    /// # Errors
+    ///
+    /// Any node error aborts the walk: sessions already moved stay
+    /// moved (each cut-point is atomic per session), the rest keep
+    /// their old owner, and a retry resumes them.
+    pub fn rebalance_join(
+        &mut self,
+        node: u32,
+        endpoint: Endpoint,
+    ) -> Result<Vec<RebalanceRecord>, RouterError> {
+        match self.nodes.get_mut(&node) {
+            Some(n) => {
+                n.endpoint = endpoint;
+                n.alive = true;
+                n.misses = 0;
+                n.conn = None;
+            }
+            None => {
+                self.nodes.insert(
+                    node,
+                    Node {
+                        endpoint,
+                        conn: None,
+                        misses: 0,
+                        alive: true,
+                    },
+                );
+            }
+        }
+        self.ring.add_node(node);
+        self.pending_failover.remove(&node);
+        let moving: Vec<u64> = self
+            .routes
+            .iter()
+            .filter(|&(&s, r)| r.owner != node && self.ring.owner(s) == Some(node))
+            .map(|(&s, _)| s)
+            .collect();
+        let mut records = Vec::with_capacity(moving.len());
+        for session in moving {
+            records.push(self.rebalance_one(session)?);
+        }
+        Ok(records)
+    }
+
+    /// Planned leave: removes `node` from the ring and live-migrates
+    /// every session it owns to that session's new ring owner, two
+    /// phases per session (see `rebalance_one`). The node itself is
+    /// *not* marked dead — it keeps serving each session until its
+    /// cut-point, then refuses it (the expel), and stays a live cluster
+    /// member for the final drain (where its expelled sessions are
+    /// filtered, so reports never duplicate).
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::NodeDown`] if the node is already dead (that is a
+    /// failover, not a rebalance); [`RouterError::NoNodes`] when it is
+    /// the last ring member (the ring is restored untouched). Partial
+    /// failures leave moved sessions moved; a retry resumes the rest.
+    pub fn rebalance_leave(&mut self, node: u32) -> Result<Vec<RebalanceRecord>, RouterError> {
+        if !self.is_alive(node) {
+            return Err(RouterError::NodeDown { node });
+        }
+        self.ring.remove_node(node);
+        if self.ring.is_empty() {
+            self.ring.add_node(node);
+            return Err(RouterError::NoNodes);
+        }
+        // The leaver exits every replica group with its points; its
+        // journals go stale and must not be consulted by failovers.
+        for rs in self.repl.values_mut() {
+            rs.backups.remove(&node);
+        }
+        let moving: Vec<u64> = self
+            .routes
+            .iter()
+            .filter(|(_, r)| r.owner == node)
+            .map(|(&s, _)| s)
+            .collect();
+        let mut records = Vec::with_capacity(moving.len());
+        for session in moving {
+            records.push(self.rebalance_one(session)?);
+        }
+        Ok(records)
+    }
+
+    /// Moves one session to its current ring owner without draining the
+    /// old owner:
+    ///
+    /// 1. **Pre-copy** — the snapshot + WAL are fetched from the still
+    ///    serving old owner (`ReplFetch`) and staged uncommitted on the
+    ///    new owner as `MigrateChunk` frames.
+    /// 2. **Cut-point** — the old owner exports-and-expels the session
+    ///    atomically (every later submit there is refused), only the
+    ///    WAL bytes grown since phase 1 are staged as a suffix, and an
+    ///    empty `MigrateSession` commits the import. The router's state
+    ///    lock sequences the cut against every concurrent submit, so no
+    ///    batch lands between the expel and the route flip: no
+    ///    double-apply, no lost suffix, no client-visible gap.
+    ///
+    /// The owner's maintenance may rotate its journal between the
+    /// phases (every pump runs it), invalidating the staged prefix;
+    /// staging cannot be discarded mid-connection, so that case
+    /// restages the full cut state over a fresh connection.
+    fn rebalance_one(&mut self, session: u64) -> Result<RebalanceRecord, RouterError> {
+        let from = self
+            .routes
+            .get(&session)
+            .map(|r| r.owner)
+            .ok_or(RouterError::NoNodes)?;
+        let to = self.ring.owner(session).ok_or(RouterError::NoNodes)?;
+        let wire = |e: ClientError| match e {
+            ClientError::Rejected(r) => RouterError::Rejected(r),
+            other => RouterError::Wire(other),
+        };
+        // Phase 1: pre-copy while the old owner keeps serving.
+        let (pre_blob, pre_wal) = match self
+            .node_conn(from)?
+            .repl_fetch(session, false)
+            .map_err(wire)?
+        {
+            Some((_, _, blob, wal)) => (blob, wal),
+            None => (Vec::new(), Vec::new()),
+        };
+        if !pre_blob.is_empty() || !pre_wal.is_empty() {
+            self.node_conn(to)?
+                .migrate_stage(session, &pre_blob, &pre_wal, MIGRATE_CHUNK_BYTES)
+                .map_err(wire)?;
+        }
+        // Phase 2: the cut.
+        let cut = self
+            .node_conn(from)?
+            .repl_fetch(session, true)
+            .map_err(wire)?;
+        let applied = match cut {
+            // Nothing durable and nothing resident: a route with zero
+            // admitted events just re-pins (phase 1 staged nothing).
+            None => 0,
+            Some((rank, _, blob, wal)) => {
+                let clean_suffix = blob == pre_blob
+                    && wal.len() >= pre_wal.len()
+                    && wal[..pre_wal.len()] == pre_wal[..];
+                let applied = if clean_suffix {
+                    let conn = self.node_conn(to)?;
+                    conn.migrate_stage(session, &[], &wal[pre_wal.len()..], MIGRATE_CHUNK_BYTES)
+                        .map_err(wire)?;
+                    conn.migrate_commit(session, rank).map_err(wire)?
+                } else {
+                    // Rotation between the phases: the staged bytes are
+                    // a stale prefix and cannot be discarded — restage
+                    // the full cut state on a fresh connection.
+                    latch_obs::counter_inc("router.rebalance.restages");
+                    if let Some(n) = self.nodes.get_mut(&to) {
+                        n.conn = None;
+                    }
+                    let conn = self.node_conn(to)?;
+                    conn.migrate_stage(session, &blob, &wal, MIGRATE_CHUNK_BYTES)
+                        .map_err(wire)?;
+                    conn.migrate_commit(session, rank).map_err(wire)?
+                };
+                if self.cfg.replicas > 0 {
+                    self.repl
+                        .insert(session, ReplSession::from_state(rank, blob, wal, applied));
+                }
+                applied
+            }
+        };
+        let route = self.routes.get_mut(&session).expect("moving route exists");
+        route.owner = to;
+        route.in_doubt = 0;
+        if applied < route.admitted && route.lost.is_none() {
+            // A planned move should never lose acked state; if it does
+            // (a cut shorter than the acked prefix), poison exactly as
+            // a failover would rather than serving a diverged stream.
+            route.lost = Some(applied);
+            latch_obs::counter_inc("router.failover.acked_lost");
+            latch_obs::emit(
+                "router",
+                TraceEvent::AckedLost {
+                    session,
+                    acked: route.admitted,
+                    applied,
+                },
+            );
+        }
+        let rec = RebalanceRecord {
+            at_tick: self.ticks,
+            session,
+            from_node: from,
+            to_node: to,
+            applied,
+        };
+        latch_obs::counter_inc("router.rebalance.moves");
+        latch_obs::emit(
+            "router",
+            TraceEvent::Rebalance {
+                session,
+                from_node: from,
+                to_node: to,
+                applied,
+            },
+        );
+        self.rebalances.push(rec);
+        Ok(rec)
     }
 
     /// Drives every live node until idle (the deterministic service's

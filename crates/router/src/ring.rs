@@ -99,4 +99,32 @@ impl Ring {
         let (_, node) = self.points[idx % self.points.len()];
         Some(node)
     }
+
+    /// The session's replica group: the first `r` *distinct* nodes met
+    /// walking clockwise from the session's key. `owners(s, 1)[0]` is
+    /// [`owner`](Self::owner); fewer than `r` members yields them all.
+    /// Like single ownership, the walk is pure in `(seed, membership,
+    /// session)`, and removing one node only ever substitutes the next
+    /// distinct node at the tail of a group — the minimal-remap
+    /// property, lifted to groups (proven by `tests/replica_props.rs`).
+    #[must_use]
+    pub fn owners(&self, session: u64, r: usize) -> Vec<u32> {
+        let want = r.min(self.nodes.len());
+        if want == 0 {
+            return Vec::new();
+        }
+        let key = self.key(session);
+        let start = self.points.partition_point(|&(pos, _)| pos < key);
+        let mut group = Vec::with_capacity(want);
+        for i in 0..self.points.len() {
+            let (_, node) = self.points[(start + i) % self.points.len()];
+            if !group.contains(&node) {
+                group.push(node);
+                if group.len() == want {
+                    break;
+                }
+            }
+        }
+        group
+    }
 }

@@ -40,6 +40,10 @@ pub struct RouterServerConfig {
     /// `Duration::ZERO` disables the thread — deaths are then detected
     /// only by failed forwards (what the deterministic tests use).
     pub heartbeat: Duration,
+    /// How many node deaths one `Drain` request will fail over before
+    /// answering `DRAIN_TIMEOUT` (the client retries the drain, which
+    /// is idempotent).
+    pub drain_failover_retries: u32,
 }
 
 impl Default for RouterServerConfig {
@@ -47,6 +51,7 @@ impl Default for RouterServerConfig {
         Self {
             max_window_events: 1 << 14,
             heartbeat: Duration::from_millis(25),
+            drain_failover_retries: 4,
         }
     }
 }
@@ -133,9 +138,28 @@ impl Listener {
 struct Inner {
     router: Router,
     exporter: Exporter,
+    /// Per-node export cache for stall retries: the exporter walks the
+    /// dead node's surviving storage, which is pure once the node is
+    /// dead, so a stalled failover's retries reuse the first export
+    /// instead of re-scanning. Keyed by node and invalidated whenever a
+    /// failover for that node *succeeds* — equivalent to a
+    /// `(node, epoch)` key, since a node revived by a planned rejoin
+    /// can only die again after the previous death's failover finished.
+    export_cache: BTreeMap<u32, Vec<SessionExport>>,
     /// Session → report bytes, cached by the first successful drain.
     drained: Option<BTreeMap<u64, Vec<u8>>>,
     conn_seq: u64,
+}
+
+/// The cached (or freshly produced) export for a dead node.
+fn exports_for(st: &mut Inner, node: u32) -> Vec<SessionExport> {
+    if let Some(cached) = st.export_cache.get(&node) {
+        latch_obs::counter_inc("router.failover.export_cache_hits");
+        return cached.clone();
+    }
+    let exports = (st.exporter)(node);
+    st.export_cache.insert(node, exports.clone());
+    exports
 }
 
 struct Shared {
@@ -174,6 +198,7 @@ impl RouterServer {
             state: Mutex::new(Inner {
                 router,
                 exporter,
+                export_cache: BTreeMap::new(),
                 drained: None,
                 conn_seq: 0,
             }),
@@ -286,16 +311,18 @@ fn heartbeat_loop(shared: &Arc<Shared>) {
         std::thread::sleep(shared.cfg.heartbeat);
         let mut st = shared.state.lock().expect("router state");
         for node in st.router.tick() {
-            let exports = (st.exporter)(node);
+            let exports = exports_for(&mut st, node);
             if st.router.fail_over(node, exports).is_err() {
                 // The router recorded the stall (a `failover_stall`
                 // trace event plus the `router.failover.stalls`
                 // counter) and keeps the unmigrated sessions pinned;
                 // tick() re-returns the node on the next heartbeat, so
-                // the failover retries with a fresh export until every
-                // session is re-pinned. Submits answer NodeDown in the
-                // meantime.
+                // the failover retries with the cached export until
+                // every session is re-pinned. Submits answer NodeDown
+                // in the meantime.
                 latch_obs::counter_inc("router.heartbeat.failover_retries");
+            } else {
+                st.export_cache.remove(&node);
             }
         }
     }
@@ -467,8 +494,9 @@ fn submit_with_failover(
         match st.router.submit(session, rank, events) {
             Ok(()) => return Ok(()),
             Err(RouterError::NodeDown { node }) if attempt == 0 => {
-                let exports = (st.exporter)(node);
+                let exports = exports_for(st, node);
                 st.router.fail_over(node, exports)?;
+                st.export_cache.remove(&node);
             }
             Err(e) => return Err(e),
         }
@@ -526,12 +554,15 @@ fn process_msg(msg: Msg, conn_id: u64, cs: &mut ConnState, shared: &Shared) -> V
             while st.drained.is_none() {
                 match st.router.drain() {
                     Ok(reports) => st.drained = Some(reports.into_iter().collect()),
-                    Err(RouterError::NodeDown { node }) if failovers < 4 => {
+                    Err(RouterError::NodeDown { node })
+                        if failovers < shared.cfg.drain_failover_retries =>
+                    {
                         failovers += 1;
-                        let exports = (st.exporter)(node);
+                        let exports = exports_for(&mut st, node);
                         if st.router.fail_over(node, exports).is_err() {
                             break;
                         }
+                        st.export_cache.remove(&node);
                     }
                     Err(_) => break,
                 }
@@ -568,12 +599,16 @@ fn process_msg(msg: Msg, conn_id: u64, cs: &mut ConnState, shared: &Shared) -> V
             latch_obs::counter_inc("router.wire.node_hellos");
             replies.push(Msg::Pong { token });
         }
-        // The router never imports sessions itself; migration frames
-        // target nodes.
+        // The router never imports sessions itself; migration and
+        // replication frames target nodes.
         Msg::MigrateSession { .. }
         | Msg::MigrateAck { .. }
         | Msg::MigrateChunk { .. }
         | Msg::MigrateChunkAck { .. }
+        | Msg::ReplFrame { .. }
+        | Msg::ReplAck { .. }
+        | Msg::ReplFetch { .. }
+        | Msg::ReplState { .. }
         | Msg::Hello { .. }
         | Msg::HelloAck { .. }
         | Msg::SubmitOk { .. }

@@ -65,6 +65,7 @@ fn router_config() -> RouterConfig {
         miss_budget: 2,
         window_events: 256,
         router_id: 7,
+        ..RouterConfig::default()
     }
 }
 
@@ -118,6 +119,7 @@ fn killed_node_drains_byte_identical_through_wire() {
         RouterServerConfig {
             max_window_events: 1 << 14,
             heartbeat: Duration::from_millis(10),
+            ..RouterServerConfig::default()
         },
     )
     .expect("bind router");

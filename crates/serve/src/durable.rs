@@ -188,6 +188,12 @@ pub struct DurableService<S: Storage> {
     /// The service's scrub interval, kept for sessions imported
     /// without a snapshot (they start from a fresh pipeline).
     scrub_interval: u64,
+    /// Sessions handed to another node by
+    /// [`expel_session`](Self::expel_session): admission refuses them,
+    /// maintenance skips them, and the drain outcome omits them —
+    /// their history continues on the importer, and a second report
+    /// here would double-count it at a cluster drain.
+    expelled: std::collections::BTreeSet<u64>,
 }
 
 impl<S: Storage> DurableService<S> {
@@ -202,6 +208,7 @@ impl<S: Storage> DurableService<S> {
             unsynced_events: 0,
             dirty_files: 0,
             scrub_interval: cfg.scrub_interval,
+            expelled: std::collections::BTreeSet::new(),
         }
     }
 
@@ -235,6 +242,11 @@ impl<S: Storage> DurableService<S> {
         events: &[Event],
         priority: Priority,
     ) -> Result<(), Rejected> {
+        // An expelled session's history continues on the node it moved
+        // to; admitting here would fork it.
+        if self.expelled.contains(&session) {
+            return Err(Rejected::ShuttingDown);
+        }
         // Encode the journal record *before* admission: a batch that
         // could never be made durable is refused with zero mutation —
         // no admission, no journal bytes, no counters.
@@ -328,6 +340,11 @@ impl<S: Storage> DurableService<S> {
 
     fn maintenance(&mut self) {
         for session in self.svc.session_ids() {
+            // An expelled session's files are deleted; a snapshot here
+            // would resurrect them (and stale state) on this node.
+            if self.expelled.contains(&session) {
+                continue;
+            }
             let Some((applied, _epoch)) = self.svc.session_progress(session) else {
                 continue;
             };
@@ -377,11 +394,16 @@ impl<S: Storage> DurableService<S> {
     }
 
     /// Graceful drain: final maintenance pass, group commit, then the
-    /// wrapped service's outcome plus the storage backend.
+    /// wrapped service's outcome plus the storage backend. Sessions
+    /// expelled by [`expel_session`](Self::expel_session) are omitted
+    /// — their importer reports them.
     pub fn finish(mut self) -> (ServiceOutcome, S) {
         self.pump();
         self.group_commit();
-        (self.svc.finish(), self.storage)
+        let expelled = std::mem::take(&mut self.expelled);
+        let mut outcome = self.svc.finish();
+        outcome.sessions.retain(|s, _| !expelled.contains(s));
+        (outcome, self.storage)
     }
 
     /// Graceful drain with a deadline: like [`finish`](Self::finish)
@@ -392,7 +414,12 @@ impl<S: Storage> DurableService<S> {
     pub fn finish_timeout(mut self, timeout: std::time::Duration) -> (DrainOutcome, S) {
         self.pump();
         self.group_commit();
-        (self.svc.finish_timeout(timeout), self.storage)
+        let expelled = std::mem::take(&mut self.expelled);
+        let mut outcome = self.svc.finish_timeout(timeout);
+        if let DrainOutcome::Completed(out) = &mut outcome {
+            out.sessions.retain(|s, _| !expelled.contains(s));
+        }
+        (outcome, self.storage)
     }
 
     /// Simulates being killed: every in-memory structure is dropped on
@@ -564,6 +591,7 @@ impl<S: Storage> DurableService<S> {
             unsynced_events: 0,
             dirty_files: 0,
             scrub_interval: cfg.scrub_interval,
+            expelled: std::collections::BTreeSet::new(),
         };
         (durable, report)
     }
@@ -583,6 +611,33 @@ impl<S: Storage> DurableService<S> {
         self.pump();
         self.group_commit();
         export_session_from(&mut self.storage, session)
+    }
+
+    /// [`export_session`](Self::export_session) plus a one-way handoff:
+    /// the session's durable files are deleted, later submits answer
+    /// [`Rejected::ShuttingDown`], and the drain outcome omits it — the
+    /// live-rebalance cut-point on the old owner. A resident session
+    /// with no durable files yet (nothing ever admitted) exports empty
+    /// state so the importer starts it fresh. `None` when this node
+    /// never saw the session (nothing is marked).
+    pub fn expel_session(&mut self, session: u64) -> Option<SessionExport> {
+        let resident = self.svc.session_progress(session).is_some();
+        let export = self.export_session(session);
+        if export.is_none() && !resident {
+            return None;
+        }
+        self.expelled.insert(session);
+        self.sessions.remove(&session);
+        self.storage.remove(&journal::wal_name(session));
+        self.storage.remove(&store::snap_name(session, 0));
+        self.storage.remove(&store::snap_name(session, 1));
+        latch_obs::counter_inc("serve.repl.expels");
+        Some(export.unwrap_or_else(|| SessionExport {
+            session,
+            priority: self.svc.session_priority(session).unwrap_or_default(),
+            blob: Vec::new(),
+            wal: Vec::new(),
+        }))
     }
 
     /// Adopts a migrated session shipped by

@@ -173,6 +173,9 @@ struct State<S: Storage> {
     /// Captured at start so post-drain migrations can thaw exports.
     scrub_interval: u64,
     conn_seq: u64,
+    /// Backup journals for sessions this node replicates but does not
+    /// own, fed by `ReplFrame` and served back by `ReplFetch`.
+    replicas: latch_replica::ReplicaStore,
 }
 
 struct Shared<S: Storage> {
@@ -213,6 +216,7 @@ impl<S: Storage + Send + 'static> WireServer<S> {
                 storage: None,
                 scrub_interval,
                 conn_seq: 0,
+                replicas: latch_replica::ReplicaStore::new(),
             }),
             stop: AtomicBool::new(false),
             cfg,
@@ -774,6 +778,131 @@ fn process_msg<S: Storage>(
                 }
             }
         }
+        Msg::ReplFrame {
+            session,
+            rank,
+            reset,
+            wal_off,
+            journaled,
+            blob,
+            wal,
+        } => {
+            latch_obs::counter_inc("serve.repl.frames");
+            let reply = match st.replicas.apply(session, rank, reset, wal_off, journaled, &blob, &wal)
+            {
+                Ok(journaled) => {
+                    let wal_len = st
+                        .replicas
+                        .get(session)
+                        .map_or(0, |j| j.wal.len() as u64);
+                    Msg::ReplAck {
+                        session,
+                        ok: true,
+                        journaled,
+                        wal_len,
+                    }
+                }
+                Err(_) => {
+                    // Lagging (gap / unseeded / stale): the journal kept
+                    // its last consistent prefix; report the cursors so
+                    // the router reseeds from scratch.
+                    latch_obs::counter_inc("serve.repl.lag");
+                    let (journaled, wal_len) = st
+                        .replicas
+                        .get(session)
+                        .map_or((0, 0), |j| (j.journaled, j.wal.len() as u64));
+                    Msg::ReplAck {
+                        session,
+                        ok: false,
+                        journaled,
+                        wal_len,
+                    }
+                }
+            };
+            replies.push(reply);
+        }
+        Msg::ReplFetch { session, expel } => {
+            latch_obs::counter_inc("serve.repl.fetches");
+            // Leave headroom for the ReplState frame's fixed fields.
+            let budget = latch_proto::MAX_FRAME_PAYLOAD - 64;
+            // A live owner answers (and on expel, gives up) the
+            // session; a pure backup answers from its journal.
+            let live = st
+                .svc
+                .as_mut()
+                .map(|svc| {
+                    if expel {
+                        // Preview before expelling: an over-budget state
+                        // must refuse *without* deleting anything.
+                        match svc.export_session(session) {
+                            Some(e) if e.blob.len() + e.wal.len() > budget => Err(()),
+                            _ => Ok(svc.expel_session(session)),
+                        }
+                    } else {
+                        Ok(svc.export_session(session))
+                    }
+                })
+                .unwrap_or(Ok(None));
+            let reply = match live {
+                Err(()) => None,
+                Ok(Some(export)) => {
+                    let journaled = st
+                        .svc
+                        .as_ref()
+                        .and_then(|svc| svc.service().session_progress(session))
+                        .map_or(0, |(applied, _)| applied);
+                    Some(Msg::ReplState {
+                        session,
+                        found: true,
+                        rank: export.priority.rank(),
+                        journaled,
+                        blob: export.blob,
+                        wal: export.wal,
+                    })
+                }
+                Ok(None) => match st.replicas.get(session) {
+                    Some(j) if j.blob.len() + j.wal.len() > budget => None,
+                    Some(j) => {
+                        let msg = Msg::ReplState {
+                            session,
+                            found: true,
+                            rank: j.rank,
+                            journaled: j.journaled,
+                            blob: j.blob.clone(),
+                            wal: j.wal.clone(),
+                        };
+                        if expel {
+                            st.replicas.remove(session);
+                        }
+                        Some(msg)
+                    }
+                    None => Some(Msg::ReplState {
+                        session,
+                        found: false,
+                        rank: 0,
+                        journaled: 0,
+                        blob: Vec::new(),
+                        wal: Vec::new(),
+                    }),
+                },
+            };
+            match reply {
+                Some(msg) => replies.push(msg),
+                None => {
+                    latch_obs::counter_inc("serve.wire.rejects");
+                    latch_obs::emit(
+                        "serve",
+                        TraceEvent::WireReject {
+                            conn: conn_id,
+                            reason: "repl_state_too_large",
+                        },
+                    );
+                    replies.push(Msg::Error {
+                        code: error_code::PROTOCOL,
+                    });
+                }
+            }
+        }
         // Client-only or duplicate-handshake messages: a protocol
         // violation, answered without killing the connection (the
         // frame itself was well-formed).
@@ -787,6 +916,8 @@ fn process_msg<S: Storage>(
         | Msg::Pong { .. }
         | Msg::MigrateAck { .. }
         | Msg::MigrateChunkAck { .. }
+        | Msg::ReplAck { .. }
+        | Msg::ReplState { .. }
         | Msg::Error { .. } => {
             latch_obs::counter_inc("serve.wire.rejects");
             latch_obs::emit(

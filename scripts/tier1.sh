@@ -83,14 +83,29 @@ echo "==> latch-router cluster_stress (obs on)"
 cargo run --release -q -p latch-router --bin cluster_stress --features obs -- \
     --seed 11 --sessions 6 --events 1200
 
+# Replica stress: 2-of-3 synchronous replication with a seeded node
+# kill that destroys the victim's storage outright — the exporter has
+# nothing, so recovery must run on backup journals alone. Phase 1 runs
+# client threads through the router's wire front; phase 2 reruns a
+# deterministic drive with a planned join + leave mid-stream and
+# requires byte-identical reports, migration history, and rebalance
+# history across reruns.
+echo "==> latch-router replica_stress (obs off)"
+cargo run --release -q -p latch-router --bin replica_stress -- \
+    --seed 7 --sessions 6 --events 1200
+
+echo "==> latch-router replica_stress (obs on)"
+cargo run --release -q -p latch-router --bin replica_stress --features obs -- \
+    --seed 11 --sessions 6 --events 1200
+
 echo "==> cargo clippy --workspace (deny warnings)"
 cargo clippy -q --workspace --all-targets -- -D warnings
 
 echo "==> cargo clippy -p latch-serve (deny warnings)"
 cargo clippy -q -p latch-serve --all-targets -- -D warnings
 
-echo "==> cargo clippy -p latch-proto -p latch-client -p latch-router (deny warnings)"
-cargo clippy -q -p latch-proto -p latch-client -p latch-router --all-targets -- -D warnings
+echo "==> cargo clippy -p latch-proto -p latch-client -p latch-router -p latch-replica (deny warnings)"
+cargo clippy -q -p latch-proto -p latch-client -p latch-router -p latch-replica --all-targets -- -D warnings
 
 # Fixed differential-conformance budget: 64 seeds through every system
 # variant vs. the reference oracle (DESIGN.md §11). Run twice and diff
