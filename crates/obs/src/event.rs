@@ -297,6 +297,17 @@ pub enum TraceEvent {
         /// Events the chosen journal covers.
         journaled: u64,
     },
+    /// A diskless failover found no backup journal as fresh as the
+    /// router's own replication stream (the cursors were cleared by a
+    /// just-completed import and the owner died before the next batch
+    /// reseeded them) and sourced the session from the router's
+    /// in-memory copy instead.
+    ReplLocalRestore {
+        /// The session restored.
+        session: u64,
+        /// Events the router's stream covers.
+        journaled: u64,
+    },
     /// A planned rebalance moved one session to its new ring owner at
     /// a sequenced cut-point.
     Rebalance {
@@ -352,6 +363,7 @@ impl TraceEvent {
             TraceEvent::AckedLost { .. } => "acked_lost",
             TraceEvent::ReplLag { .. } => "repl_lag",
             TraceEvent::ReplRestore { .. } => "repl_restore",
+            TraceEvent::ReplLocalRestore { .. } => "repl_local_restore",
             TraceEvent::Rebalance { .. } => "rebalance",
         }
     }
@@ -571,6 +583,9 @@ impl TraceEvent {
                     out,
                     ",\"session\":{session},\"node\":{node},\"journaled\":{journaled}"
                 );
+            }
+            TraceEvent::ReplLocalRestore { session, journaled } => {
+                let _ = write!(out, ",\"session\":{session},\"journaled\":{journaled}");
             }
             TraceEvent::Rebalance {
                 session,

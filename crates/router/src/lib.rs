@@ -870,6 +870,18 @@ impl Router {
     /// journal always covers exactly the acked prefix, so the recovery
     /// scan on the new owner restores a state byte-identical to what a
     /// surviving disk would have yielded.
+    ///
+    /// Candidates are the union of the acked-cursor backups and the
+    /// session's current ring replica group: a failover or rebalance
+    /// import clears the cursor map and backups reseed only lazily on
+    /// the next acked batch, yet live group members may still hold
+    /// journals (these probes are non-expelling, so a losing candidate
+    /// keeps its copy). And when no candidate yields a journal as
+    /// fresh as the router's own replication stream — every holder
+    /// died, or the new owner died before any post-import batch
+    /// reseeded its backups — the router's [`ReplSession`] blob/WAL is
+    /// the export source itself: it always covers the acked prefix, so
+    /// an acked session is never poisoned while this router survives.
     fn restore_from_backups(&mut self, node: u32, covered: &BTreeSet<u64>) -> Vec<SessionExport> {
         let sessions: Vec<u64> = self
             .routes
@@ -877,20 +889,31 @@ impl Router {
             .filter(|(s, r)| r.owner == node && !covered.contains(s))
             .map(|(&s, _)| s)
             .collect();
+        let group = self.cfg.replicas as usize + 1;
         let mut out = Vec::new();
         for session in sessions {
             let Some(rs) = self.repl.get(&session) else {
                 continue;
             };
+            let local_journaled = rs.journaled;
             // Walk candidates freshest-acked-cursor first (ties break
             // on the higher node id) so reruns probe identically; the
             // fetched `journaled` count, not the cursor, decides.
+            // Cursorless group members probe last, at cursor zero.
             let mut candidates: Vec<(u64, u32)> = rs
                 .backups
                 .iter()
                 .filter(|&(&b, _)| b != node && self.is_alive(b))
                 .map(|(&b, c)| (c.journaled, b))
                 .collect();
+            let with_cursor: BTreeSet<u32> = candidates.iter().map(|&(_, b)| b).collect();
+            let cursorless: Vec<u32> = self
+                .ring
+                .owners(session, group)
+                .into_iter()
+                .filter(|&b| b != node && self.is_alive(b) && !with_cursor.contains(&b))
+                .collect();
+            candidates.extend(cursorless.into_iter().map(|b| (0, b)));
             candidates.sort_unstable();
             candidates.reverse();
             // (journaled, source node, rank, blob, wal) of the winner.
@@ -908,8 +931,34 @@ impl Router {
                         }
                     }
                     Ok(None) => {}
+                    // A typed refusal (say, a journal grown past the
+                    // single-frame budget) comes from a healthy node:
+                    // skip the candidate without evicting it, or every
+                    // restore probe of a long-lived session would
+                    // cascade its backups into failover.
+                    Err(ClientError::Server { .. }) => {
+                        latch_obs::counter_inc("router.repl.fetch_refusals");
+                    }
                     Err(_) => self.mark_down(b, 0),
                 }
+            }
+            if best.as_ref().is_none_or(|(j, ..)| *j < local_journaled) {
+                let rs = self.repl.get(&session).expect("repl stream checked above");
+                latch_obs::counter_inc("router.repl.local_restores");
+                latch_obs::emit(
+                    "router",
+                    TraceEvent::ReplLocalRestore {
+                        session,
+                        journaled: rs.journaled,
+                    },
+                );
+                out.push(SessionExport {
+                    session,
+                    priority: Priority::from_rank(rs.rank).unwrap_or_default(),
+                    blob: rs.blob.clone(),
+                    wal: rs.wal.clone(),
+                });
+                continue;
             }
             if let Some((journaled, b, rank, blob, wal)) = best {
                 latch_obs::counter_inc("router.repl.restores");

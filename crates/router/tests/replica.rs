@@ -62,6 +62,23 @@ fn start_node(id: u32) -> WireServer<MemStorage> {
     WireServer::start(&endpoint, svc, WireConfig::default()).expect("bind loopback node")
 }
 
+/// A node that never snapshots (and so never rotates its journal): the
+/// cheapest way to grow a live session's durable state past the
+/// single-frame `ReplState` budget.
+fn start_packrat_node(id: u32) -> WireServer<MemStorage> {
+    let (svc, _recovery) = DurableService::recover(
+        serve_config(SEED.wrapping_add(u64::from(id))),
+        DurableConfig {
+            snapshot_every: u64::MAX,
+            ..DurableConfig::default()
+        },
+        FaultPlan::benign(),
+        MemStorage::new(FaultPlan::benign()),
+    );
+    let endpoint = Endpoint::Tcp("127.0.0.1:0".to_string());
+    WireServer::start(&endpoint, svc, WireConfig::default()).expect("bind loopback node")
+}
+
 fn router_config(replicas: u32) -> RouterConfig {
     RouterConfig {
         seed: SEED,
@@ -577,4 +594,179 @@ fn rebalance_history_is_rerun_identical() {
     assert_eq!(history_a, history_b, "rebalance history changed between reruns");
     assert_eq!(reports_a, reports_b, "reports changed between reruns");
     check_reports(&reports_a, &streams, "rerun");
+}
+
+/// The poison window after a failover: the imported state re-roots the
+/// replication stream (`ReplSession::from_state`) and clears every
+/// backup cursor, and backups reseed only on the next acked batch. If
+/// the *new* owner dies disklessly inside that window, the restore
+/// must still probe the session's ring replica group — whose live
+/// members retained their journals, because restore probes are
+/// non-expelling — so a second `fail_over(victim2, Vec::new())` with
+/// no submits in between poisons nothing.
+#[test]
+fn back_to_back_diskless_failovers_never_poison() {
+    const SESSIONS: usize = 8;
+    const EVENTS: u64 = 400;
+    const CHUNK: usize = 48;
+    let mut servers: Vec<Option<WireServer<MemStorage>>> =
+        (0..3).map(|id| Some(start_node(id))).collect();
+    let mut router = Router::new(router_config(2));
+    for (id, srv) in servers.iter().enumerate() {
+        router.add_node(id as u32, srv.as_ref().expect("fresh").endpoint().clone());
+    }
+    let streams: Vec<Vec<Event>> = (0..SESSIONS)
+        .map(|s| stream(s, SEED.wrapping_add(s as u64), EVENTS))
+        .collect();
+    let mut pos = vec![0usize; SESSIONS];
+    for _ in 0..(EVENTS as usize / CHUNK / 2) {
+        drive_round(&mut router, &streams, &mut pos, CHUNK);
+    }
+
+    let victim1 = router.owner_of(0).expect("ring has nodes");
+    kill_and_destroy(servers[victim1 as usize].take().expect("victim1"));
+    let records = router
+        .fail_over(victim1, Vec::new())
+        .expect("first diskless failover");
+    // Kill the node that just imported a moved session *before* any
+    // further submit reseeds that session's backups.
+    let victim2 = records.first().expect("victim1 owned sessions").to_node;
+    kill_and_destroy(servers[victim2 as usize].take().expect("victim2"));
+    let records2 = router
+        .fail_over(victim2, Vec::new())
+        .expect("second diskless failover");
+
+    let moved_twice: BTreeSet<u64> = records
+        .iter()
+        .filter(|m| m.to_node == victim2)
+        .map(|m| m.session)
+        .collect();
+    let moved_second: BTreeSet<u64> = records2.iter().map(|m| m.session).collect();
+    assert!(
+        moved_second.is_superset(&moved_twice),
+        "sessions that had just moved to victim2 must move again: {moved_twice:?} vs {moved_second:?}"
+    );
+    for m in &records2 {
+        assert!(m.applied > 0, "session {} restored no state", m.session);
+    }
+    assert!(
+        router.lost_sessions().is_empty(),
+        "no session may be poisoned while a live backup holds its journal: {:?}",
+        router.lost_sessions()
+    );
+
+    while pos.iter().zip(&streams).any(|(&p, ev)| p < ev.len()) {
+        drive_round(&mut router, &streams, &mut pos, CHUNK);
+    }
+    let reports: BTreeMap<u64, Vec<u8>> = router.drain().expect("drain").into_iter().collect();
+    check_reports(&reports, &streams, "back-to-back diskless");
+    for srv in servers.into_iter().flatten() {
+        srv.shutdown();
+    }
+}
+
+/// A backup whose replica journal outgrew the single-frame budget
+/// answers the restore probe with a typed refusal — from a perfectly
+/// healthy node. The failover must skip the candidate without marking
+/// the node down (evicting it would cascade its own sessions into
+/// failover), and the router's own replication stream steps in as the
+/// export source, so the session still restores its full acked prefix.
+#[test]
+fn oversized_backup_refusal_skips_candidate_and_restores_locally() {
+    let node_a = start_node(0);
+    let node_b = start_node(1);
+    let mut router = Router::new(router_config(1));
+    router.add_node(0, node_a.endpoint().clone());
+    router.add_node(1, node_b.endpoint().clone());
+    let session = (0..64)
+        .find(|&s| router.owner_of(s) == Some(0))
+        .expect("node 0 owns some session");
+    let events = stream(0, SEED ^ 0x0B5E, 200);
+    router.submit(session, 1, &events[..100]).expect("first half");
+
+    // Out-of-band, bloat node 1's replica journal for the session past
+    // the single-frame budget: its next fetch answers the typed
+    // repl_state_too_large refusal instead of a journal.
+    let chunk = vec![0xAAu8; 3 << 20];
+    let mut raw = Client::connect(node_b.endpoint(), 256, false).expect("connect backup");
+    let (ok, ..) = raw
+        .repl_frame(session, 1, true, 0, 1_000_000, Vec::new(), chunk.clone())
+        .expect("reset push");
+    assert!(ok, "backup refused the reset");
+    let (ok, ..) = raw
+        .repl_frame(session, 1, false, chunk.len() as u64, 2_000_000, Vec::new(), chunk)
+        .expect("append push");
+    assert!(ok, "backup refused the append");
+    assert!(
+        matches!(raw.repl_fetch(session, false), Err(ClientError::Server { .. })),
+        "the bloated journal must refuse fetches"
+    );
+    drop(raw);
+
+    kill_and_destroy(node_a);
+    let records = router
+        .fail_over(0, Vec::new())
+        .expect("failover past the refusing backup");
+    assert!(
+        router.is_alive(1),
+        "a typed refusal must not evict the healthy backup"
+    );
+    assert!(
+        router.lost_sessions().is_empty(),
+        "the router's own stream covers the acked prefix: {:?}",
+        router.lost_sessions()
+    );
+    let moved = records
+        .iter()
+        .find(|m| m.session == session)
+        .expect("session migrated");
+    assert_eq!(moved.applied, 100, "local restore must cover the acked prefix");
+
+    router.submit(session, 1, &events[100..]).expect("rest");
+    let reports: BTreeMap<u64, Vec<u8>> = router.drain().expect("drain").into_iter().collect();
+    assert_eq!(reports[&session], solo_report(&events));
+    node_b.shutdown();
+}
+
+/// A live owner whose session state exceeds the single-frame budget
+/// answers *both* fetch flavors with the typed `repl_state_too_large`
+/// error: the non-expelling pre-copy probe must not die mid-encode and
+/// drop the connection, and the refused cut must not expel anything.
+#[test]
+fn oversized_live_export_refuses_fetch_with_typed_error() {
+    let node = start_packrat_node(0);
+    let mut client = Client::connect(node.endpoint(), 4096, false).expect("connect node");
+    let budget = latch_proto::MAX_FRAME_PAYLOAD - 64;
+    let batch = vec![Event::empty(0); 256];
+    // Empty events journal at 8 bytes each (plus record framing), so
+    // driving past the budget guarantees an over-budget WAL on a node
+    // that never rotates it.
+    let mut submitted = 0usize;
+    while submitted * 8 <= budget {
+        loop {
+            match client.submit(5, 0, &batch) {
+                Ok(()) => break,
+                Err(ClientError::Rejected(_)) => {}
+                Err(e) => panic!("submit failed: {e}"),
+            }
+        }
+        submitted += batch.len();
+    }
+    for expel in [false, true] {
+        match client.repl_fetch(5, expel) {
+            Err(ClientError::Server { code }) => {
+                assert_eq!(code, latch_proto::error_code::PROTOCOL);
+            }
+            other => panic!("expected the typed too-large refusal, got {other:?}"),
+        }
+    }
+    // The connection survived both refusals…
+    assert_eq!(client.ping(42).expect("connection still up"), 42);
+    // …and the refused cut deleted nothing: the session still drains.
+    let reports = client.drain().expect("drain node");
+    assert!(
+        reports.iter().any(|(s, _)| *s == 5),
+        "a refused expel fetch must not expel the session"
+    );
+    node.shutdown();
 }

@@ -831,15 +831,18 @@ fn process_msg<S: Storage>(
                 .svc
                 .as_mut()
                 .map(|svc| {
-                    if expel {
-                        // Preview before expelling: an over-budget state
-                        // must refuse *without* deleting anything.
-                        match svc.export_session(session) {
-                            Some(e) if e.blob.len() + e.wal.len() > budget => Err(()),
-                            _ => Ok(svc.expel_session(session)),
-                        }
-                    } else {
-                        Ok(svc.export_session(session))
+                    // Preview before answering (and before any expel):
+                    // an over-budget state must refuse with the typed
+                    // error — never delete anything on the cut path,
+                    // and never build a ReplState whose encode kills
+                    // the connection on the pre-copy path.
+                    match svc.export_session(session) {
+                        Some(e) if e.blob.len() + e.wal.len() > budget => Err(()),
+                        export => Ok(if expel {
+                            svc.expel_session(session)
+                        } else {
+                            export
+                        }),
                     }
                 })
                 .unwrap_or(Ok(None));
