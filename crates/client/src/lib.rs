@@ -43,6 +43,10 @@ pub enum ClientError {
     Server { code: u8 },
     /// The server spoke a protocol version this client does not.
     Version { server: u32 },
+    /// A node refused a router command because a newer router (at
+    /// `epoch`) has adopted it. Nothing was applied; the connection
+    /// stays usable, but the issuing router must stop mutating.
+    StaleRouter { epoch: u64 },
     /// The server closed the connection or answered out of protocol.
     UnexpectedReply(&'static str),
 }
@@ -56,6 +60,9 @@ impl std::fmt::Display for ClientError {
             ClientError::Server { code } => write!(f, "server error code {code}"),
             ClientError::Version { server } => {
                 write!(f, "server speaks protocol v{server}, client v{PROTO_VERSION}")
+            }
+            ClientError::StaleRouter { epoch } => {
+                write!(f, "fenced: node already adopted by router epoch {epoch}")
             }
             ClientError::UnexpectedReply(what) => write!(f, "unexpected reply: {what}"),
         }
@@ -548,13 +555,104 @@ impl Client {
     }
 
     /// Reads the next non-push reply, stashing SLO pushes on the way.
+    /// A `StaleRouter` fencing refusal is surfaced as its typed error
+    /// no matter which command drew it.
     fn next_reply(&mut self) -> Result<Msg, ClientError> {
         loop {
             match read_msg(&mut self.conn)? {
                 Some(Msg::SloPush(report)) => self.slo.push(report),
+                Some(Msg::StaleRouter { epoch }) => {
+                    return Err(ClientError::StaleRouter { epoch })
+                }
                 Some(msg) => return Ok(msg),
                 None => return Err(ClientError::UnexpectedReply("connection closed")),
             }
+        }
+    }
+
+    /// Router control: claims this node for router `router` at `epoch`
+    /// and returns the node's quiescent session survey — one
+    /// `(session, applied, admitted, rank)` row per resident session,
+    /// with `applied == admitted` because the node pumps itself idle
+    /// before answering.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::StaleRouter`] when the node has already been
+    /// adopted at a higher epoch (this router lost the race); transport
+    /// and protocol failures otherwise.
+    #[allow(clippy::type_complexity)]
+    pub fn adopt(
+        &mut self,
+        epoch: u64,
+        router: u64,
+    ) -> Result<Vec<(u64, u64, u64, u8)>, ClientError> {
+        write_msg(&mut self.conn, &Msg::Adopt { epoch, router })?;
+        match self.next_reply()? {
+            Msg::AdoptAck { sessions, .. } => Ok(sessions),
+            Msg::Error { code } => Err(ClientError::Server { code }),
+            _ => Err(ClientError::UnexpectedReply("adopt")),
+        }
+    }
+
+    /// Router control: asks the node for its replica-journal inventory
+    /// — one `(session, rank, journaled, wal_len)` row per journal in
+    /// its backup store. Read-only and unfenced: a takeover uses it to
+    /// find sessions whose owner died with the old router.
+    ///
+    /// # Errors
+    ///
+    /// Transport and protocol failures.
+    #[allow(clippy::type_complexity)]
+    pub fn survey_replicas(&mut self) -> Result<Vec<(u64, u8, u64, u64)>, ClientError> {
+        write_msg(&mut self.conn, &Msg::SurveyReplicas)?;
+        match self.next_reply()? {
+            Msg::ReplicaSurvey { entries } => Ok(entries),
+            Msg::Error { code } => Err(ClientError::Server { code }),
+            _ => Err(ClientError::UnexpectedReply("survey_replicas")),
+        }
+    }
+
+    /// Asks a *router* how many events it has acked for `session` —
+    /// the cursor a reconnecting client compares against its own count
+    /// to decide whether an orphaned in-flight batch landed before the
+    /// old connection (or the old router) died.
+    ///
+    /// # Errors
+    ///
+    /// Transport and protocol failures, or [`ClientError::Server`]
+    /// (a standby that has not yet taken over refuses with
+    /// [`error_code::STANDBY`]).
+    pub fn session_cursor(&mut self, session: u64) -> Result<u64, ClientError> {
+        write_msg(&mut self.conn, &Msg::SessionCursor { session })?;
+        match self.next_reply()? {
+            Msg::CursorAck { admitted, .. } => Ok(admitted),
+            Msg::Error { code } => Err(ClientError::Server { code }),
+            _ => Err(ClientError::UnexpectedReply("session_cursor")),
+        }
+    }
+
+    /// Discards every byte staged for `session` on this connection
+    /// with a `RESTART` control chunk, so a fresh
+    /// [`migrate_stage`](Self::migrate_stage) can restage from scratch
+    /// without tearing the connection down.
+    ///
+    /// # Errors
+    ///
+    /// Transport and protocol failures.
+    pub fn migrate_abort(&mut self, session: u64) -> Result<(), ClientError> {
+        write_msg(
+            &mut self.conn,
+            &Msg::MigrateChunk {
+                session,
+                kind: migrate_chunk::RESTART,
+                bytes: Vec::new(),
+            },
+        )?;
+        match self.next_reply()? {
+            Msg::MigrateChunkAck { .. } => Ok(()),
+            Msg::Error { code } => Err(ClientError::Server { code }),
+            _ => Err(ClientError::UnexpectedReply("migrate_abort")),
         }
     }
 }
@@ -564,4 +662,241 @@ impl Client {
 #[must_use]
 pub fn is_not_drained(err: &ClientError) -> bool {
     matches!(err, ClientError::Server { code } if *code == error_code::NOT_DRAINED)
+}
+
+/// Rounds an [`HaClient`] walks its endpoint list before giving up.
+const HA_RETRY_ROUNDS: u32 = 600;
+/// Pause between unsuccessful endpoint-list walks.
+const HA_RETRY_PAUSE: Duration = Duration::from_millis(10);
+
+/// A router-failover-aware client: holds an *ordered* list of router
+/// endpoints (primary first, standbys after) and retries idempotently
+/// against the next endpoint when a connection — or the router behind
+/// it — dies.
+///
+/// The retry-is-never-double-applied guarantee survives the router
+/// switch: before resubmitting an orphaned batch, the client asks the
+/// current router for the session's admitted cursor
+/// ([`Client::session_cursor`]) and compares it with its own acked
+/// count. A cursor that already covers the batch means the old router
+/// acked-and-died (or the node applied it just before the cut); the
+/// batch is swallowed, not replayed. A standby that has not yet taken
+/// over answers [`error_code::STANDBY`]; the client treats that as
+/// "not this one yet" and keeps walking the list.
+pub struct HaClient {
+    endpoints: Vec<Endpoint>,
+    window_events: u32,
+    want_slo: bool,
+    active: usize,
+    conn: Option<Client>,
+    /// This client's own acked event count per session.
+    acked: std::collections::BTreeMap<u64, u64>,
+    slo: Vec<WireSlo>,
+}
+
+impl HaClient {
+    /// Builds the client over an ordered endpoint list (primary
+    /// first). Connections are made lazily on the first command, so
+    /// construction cannot fail.
+    ///
+    /// # Panics
+    ///
+    /// When `endpoints` is empty.
+    #[must_use]
+    pub fn new(endpoints: Vec<Endpoint>, window_events: u32, want_slo: bool) -> Self {
+        assert!(!endpoints.is_empty(), "HaClient needs at least one endpoint");
+        Self {
+            endpoints,
+            window_events,
+            want_slo,
+            active: 0,
+            conn: None,
+            acked: std::collections::BTreeMap::new(),
+            slo: Vec::new(),
+        }
+    }
+
+    /// The endpoint index the client is currently (or will next be)
+    /// talking to.
+    #[must_use]
+    pub fn active_endpoint(&self) -> usize {
+        self.active
+    }
+
+    /// This client's own acked event count for `session`.
+    #[must_use]
+    pub fn acked(&self, session: u64) -> u64 {
+        self.acked.get(&session).copied().unwrap_or(0)
+    }
+
+    /// Drops the current connection and advances to the next endpoint
+    /// in the ring.
+    fn fail_endpoint(&mut self) {
+        if let Some(conn) = self.conn.take() {
+            self.slo.extend(conn.slo);
+        }
+        self.active = (self.active + 1) % self.endpoints.len();
+    }
+
+    /// Borrows a live connection, dialing the active endpoint if
+    /// needed; a connect failure advances the endpoint and returns the
+    /// error for the caller's retry loop.
+    fn conn(&mut self) -> Result<&mut Client, ClientError> {
+        if self.conn.is_none() {
+            match Client::connect(
+                &self.endpoints[self.active],
+                self.window_events,
+                self.want_slo,
+            ) {
+                Ok(c) => self.conn = Some(c),
+                Err(e) => {
+                    self.fail_endpoint();
+                    return Err(e);
+                }
+            }
+        }
+        Ok(self.conn.as_mut().expect("connection just ensured"))
+    }
+
+    /// Runs one command against the active router, walking the
+    /// endpoint list on connection death or a standby refusal. Typed
+    /// answers (`Rejected`, non-standby `Server`) pass straight
+    /// through — only transport-shaped failures rotate the endpoint.
+    fn with_retry<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut last: Option<ClientError> = None;
+        for round in 0..HA_RETRY_ROUNDS {
+            if round > 0 && round % (self.endpoints.len().max(1) as u32) == 0 {
+                std::thread::sleep(HA_RETRY_PAUSE);
+            }
+            let conn = match self.conn() {
+                Ok(c) => c,
+                Err(e) => {
+                    last = Some(e);
+                    continue;
+                }
+            };
+            match op(conn) {
+                Ok(v) => return Ok(v),
+                Err(ClientError::Rejected(r)) => return Err(ClientError::Rejected(r)),
+                Err(ClientError::Server { code }) if code == error_code::STANDBY => {
+                    // Healthy, but not the active router (yet): keep
+                    // walking; it may take over while we wait.
+                    last = Some(ClientError::Server { code });
+                    self.fail_endpoint();
+                }
+                Err(ClientError::Server { code }) => {
+                    return Err(ClientError::Server { code })
+                }
+                Err(e) => {
+                    last = Some(e);
+                    self.fail_endpoint();
+                }
+            }
+        }
+        Err(last.unwrap_or(ClientError::UnexpectedReply("ha retry budget spent")))
+    }
+
+    /// Submits one batch, retrying across the endpoint list without
+    /// ever double-applying: an orphaned in-flight batch is resolved
+    /// against the surviving router's admitted cursor before any
+    /// resubmit.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Rejected`] passes through (retryable, typed);
+    /// other errors mean the whole endpoint list stayed unreachable
+    /// for the retry budget.
+    pub fn submit(
+        &mut self,
+        session: u64,
+        rank: u8,
+        events: &[Event],
+    ) -> Result<(), ClientError> {
+        if events.is_empty() {
+            return Ok(());
+        }
+        let n = events.len() as u64;
+        let acked = self.acked(session);
+        let mut orphaned = false;
+        let mut last: Option<ClientError> = None;
+        for round in 0..HA_RETRY_ROUNDS {
+            if round > 0 {
+                std::thread::sleep(HA_RETRY_PAUSE);
+            }
+            if orphaned {
+                // The connection died with the batch in flight; ask
+                // whichever router answers whether it landed.
+                match self.with_retry(|c| c.session_cursor(session)) {
+                    Ok(admitted) if admitted > acked => {
+                        // The batch (or more) landed before the cut.
+                        self.acked.insert(session, admitted.max(acked + n));
+                        return Ok(());
+                    }
+                    Ok(_) => orphaned = false,
+                    Err(e) => return Err(e),
+                }
+            }
+            let conn = match self.conn() {
+                Ok(c) => c,
+                Err(e) => {
+                    last = Some(e);
+                    continue;
+                }
+            };
+            match conn.submit(session, rank, events) {
+                Ok(()) => {
+                    self.acked.insert(session, acked + n);
+                    return Ok(());
+                }
+                Err(ClientError::Rejected(r)) => return Err(ClientError::Rejected(r)),
+                Err(ClientError::Server { code }) if code == error_code::STANDBY => {
+                    last = Some(ClientError::Server { code });
+                    self.fail_endpoint();
+                }
+                Err(ClientError::Server { code }) => {
+                    return Err(ClientError::Server { code })
+                }
+                Err(e) => {
+                    // Transport death mid-submit: the batch's fate is
+                    // unknown until a router's cursor says.
+                    last = Some(e);
+                    orphaned = true;
+                    self.fail_endpoint();
+                }
+            }
+        }
+        Err(last.unwrap_or(ClientError::UnexpectedReply("ha retry budget spent")))
+    }
+
+    /// Drains the cluster through the active router (idempotent on the
+    /// router side, so endpoint-walk retries are safe).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::drain`], after the retry budget.
+    pub fn drain(&mut self) -> Result<Vec<(u64, Vec<u8>)>, ClientError> {
+        self.with_retry(Client::drain)
+    }
+
+    /// Fetches one drained session's report through the active router.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::report`], after the retry budget.
+    pub fn report(&mut self, session: u64) -> Result<(u64, Vec<u8>), ClientError> {
+        self.with_retry(|c| c.report(session))
+    }
+
+    /// Takes the SLO pushes collected so far across every connection
+    /// this client has held.
+    pub fn take_slo_reports(&mut self) -> Vec<WireSlo> {
+        let mut out = std::mem::take(&mut self.slo);
+        if let Some(conn) = self.conn.as_mut() {
+            out.extend(conn.take_slo_reports());
+        }
+        out
+    }
 }

@@ -1084,6 +1084,163 @@ pub fn check(prog: &TestProgram, opts: &CheckOptions) -> Result<Verdict, Box<Div
         }
     }
 
+    // ---- leg 12: ha-serve — standby router takeover ------------------
+    // Two routers over three replicated nodes. The primary drives every
+    // session to a fixed cut and is killed; odd fault seeds destroy one
+    // node's machine in the same blast, so the standby's epoch-fenced
+    // takeover must also restore that node's sessions from surviving
+    // replica journals. The contracts: the takeover rebuilds routes and
+    // cursors from node surveys, every session finishes through the
+    // standby byte-identical to the solo pipeline, no session is
+    // acked-lost, and a rerun reproduces the reports, the takeover
+    // record, and the migration history exactly.
+    if !desugared.is_empty() {
+        const CHUNK: usize = 48;
+        const HA_SESSIONS: usize = 4;
+        let ha = |what: &'static str| {
+            Box::new(Divergence::Overload {
+                leg: "ha-serve",
+                what,
+            })
+        };
+        let node_cfg = ServeConfig {
+            workers: 1,
+            max_resident: 2,
+            seed: opts.fault_seed,
+            ..ServeConfig::default()
+        };
+        let scrub = node_cfg.scrub_interval;
+        let coincident_node_kill = opts.fault_seed % 2 == 1;
+        type HaRun = (
+            Vec<(u64, Vec<u8>)>,
+            latch_router::TakeoverRecord,
+            Vec<latch_router::MigrationRecord>,
+        );
+        let run = || -> Result<HaRun, Box<Divergence>> {
+            let mut servers: Vec<Option<WireServer<MemStorage>>> = (0..3)
+                .map(|id| {
+                    let (svc, _recovery) = DurableService::recover(
+                        ServeConfig {
+                            seed: opts.fault_seed.wrapping_add(id),
+                            ..node_cfg
+                        },
+                        DurableConfig::default(),
+                        FaultPlan::benign(),
+                        MemStorage::new(FaultPlan::benign()),
+                    );
+                    let endpoint = Endpoint::parse("tcp:127.0.0.1:0").expect("literal endpoint");
+                    WireServer::start(&endpoint, svc, WireConfig::default()).map(Some)
+                })
+                .collect::<Result<_, _>>()
+                .map_err(|_| ha("bind failed"))?;
+            let router_cfg = |router_id: u64| RouterConfig {
+                seed: opts.fault_seed,
+                vnodes: 32,
+                miss_budget: 2,
+                window_events: 256,
+                router_id,
+                replicas: 2,
+                ..RouterConfig::default()
+            };
+            let mut old = Router::new(router_cfg(opts.fault_seed));
+            let mut new = Router::new(router_cfg(opts.fault_seed ^ 1));
+            for (id, srv) in servers.iter().enumerate() {
+                let ep = srv.as_ref().expect("fresh").endpoint().clone();
+                old.add_node(id as u32, ep.clone());
+                new.add_node(id as u32, ep);
+            }
+            // The primary drives every session exactly halfway, so the
+            // cut point — and with it the surveys the standby rebuilds
+            // from — is a pure function of the seed.
+            let half = desugared.len() / 2;
+            let mut pos = [0usize; HA_SESSIONS];
+            let mut rounds = 0u64;
+            while pos.iter().any(|&p| p < half) {
+                if rounds > 1_000_000 {
+                    return Err(ha("primary drive failed to make progress"));
+                }
+                for (s, p) in pos.iter_mut().enumerate() {
+                    if *p >= half {
+                        continue;
+                    }
+                    let take = CHUNK.min(half - *p);
+                    match old.submit(s as u64, (s % 3) as u8, &desugared[*p..*p + take]) {
+                        Ok(()) => *p += take,
+                        Err(RouterError::Rejected(_)) => {}
+                        Err(_) => return Err(ha("transport failed mid-drive")),
+                    }
+                }
+                rounds += 1;
+            }
+            // The blast: the primary router dies; odd seeds take one
+            // node's machine (storage destroyed outright) with it.
+            if coincident_node_kill {
+                let victim = old.owner_of(0).ok_or_else(|| ha("empty ring"))?;
+                let svc = servers[victim as usize]
+                    .take()
+                    .expect("victim still up")
+                    .kill()
+                    .ok_or_else(|| ha("victim was already drained"))?;
+                drop(svc.crash());
+            }
+            drop(old);
+            let rec = new.takeover().map_err(|_| ha("standby takeover failed"))?;
+            if !new.lost_sessions().is_empty() {
+                return Err(ha("takeover lost acked state"));
+            }
+            while pos.iter().any(|&p| p < desugared.len()) {
+                if rounds > 1_000_000 {
+                    return Err(ha("standby drive failed to make progress"));
+                }
+                for (s, p) in pos.iter_mut().enumerate() {
+                    if *p >= desugared.len() {
+                        continue;
+                    }
+                    let take = CHUNK.min(desugared.len() - *p);
+                    match new.submit(s as u64, (s % 3) as u8, &desugared[*p..*p + take]) {
+                        Ok(()) => *p += take,
+                        Err(RouterError::Rejected(_)) => {}
+                        Err(_) => return Err(ha("transport failed after takeover")),
+                    }
+                }
+                rounds += 1;
+            }
+            let reports = new.drain().map_err(|_| ha("drain via standby failed"))?;
+            let history = new.migration_history().to_vec();
+            for srv in servers.into_iter().flatten() {
+                srv.shutdown();
+            }
+            Ok((reports, rec, history))
+        };
+        let (reports_a, rec_a, history_a) = run()?;
+        let (reports_b, rec_b, history_b) = run()?;
+        if rec_a != rec_b {
+            return Err(ha("takeover record changed between reruns"));
+        }
+        if history_a != history_b {
+            return Err(ha("migration history changed between reruns"));
+        }
+        if reports_a != reports_b {
+            return Err(ha("session reports changed between reruns"));
+        }
+        if reports_a.len() != HA_SESSIONS {
+            return Err(ha("session count diverged across the takeover"));
+        }
+        if coincident_node_kill && rec_a.dead.is_empty() {
+            return Err(ha("coincident node death went undetected"));
+        }
+        let mut solo = SessionPipeline::new(scrub);
+        for ev in &desugared {
+            solo.apply(ev);
+        }
+        let want = solo.report().encode();
+        for (_session, bytes) in &reports_a {
+            if *bytes != want {
+                return Err(ha("session report diverged across the takeover"));
+            }
+        }
+    }
+
     // ---- metamorphic legs --------------------------------------------
     if opts.metamorphic && !desugared.is_empty() {
         let mut rng = SmallRng::seed_from_u64(opts.fault_seed ^ 0x4E0B);

@@ -320,6 +320,40 @@ pub enum TraceEvent {
         /// Events applied at the cut-point.
         applied: u64,
     },
+    /// A node refused a command from a router whose epoch is below the
+    /// node's adopted high-water mark (zombie-primary fencing).
+    StaleRouter {
+        /// Server-local connection id of the stale router.
+        conn: u64,
+        /// The epoch the stale connection last claimed.
+        epoch: u64,
+        /// The node's current epoch high-water mark.
+        max_epoch: u64,
+    },
+    /// A standby router took over the cluster: it bumped the epoch,
+    /// adopted the surviving nodes, and rebuilt its routes from their
+    /// surveys.
+    Takeover {
+        /// The epoch the cluster now runs at.
+        epoch: u64,
+        /// Nodes successfully adopted.
+        adopted: u32,
+        /// Nodes found dead during the sweep.
+        dead: u32,
+        /// Sessions whose routes were rebuilt from surveys.
+        sessions: u64,
+    },
+    /// A primary compacted a session's replica journal: the WAL buffer
+    /// outgrew its byte budget, so the next push reseeds every backup
+    /// with a fresh snapshot instead of another append.
+    ReplCompact {
+        /// The session whose journal was compacted.
+        session: u64,
+        /// WAL bytes held before the compaction.
+        wal_bytes: u64,
+        /// Events the journal covers (unchanged by compaction).
+        journaled: u64,
+    },
 }
 
 impl TraceEvent {
@@ -365,6 +399,9 @@ impl TraceEvent {
             TraceEvent::ReplRestore { .. } => "repl_restore",
             TraceEvent::ReplLocalRestore { .. } => "repl_local_restore",
             TraceEvent::Rebalance { .. } => "rebalance",
+            TraceEvent::StaleRouter { .. } => "stale_router",
+            TraceEvent::Takeover { .. } => "takeover",
+            TraceEvent::ReplCompact { .. } => "repl_compact",
         }
     }
 
@@ -596,6 +633,37 @@ impl TraceEvent {
                 let _ = write!(
                     out,
                     ",\"session\":{session},\"from_node\":{from_node},\"to_node\":{to_node},\"applied\":{applied}"
+                );
+            }
+            TraceEvent::StaleRouter {
+                conn,
+                epoch,
+                max_epoch,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"conn\":{conn},\"epoch\":{epoch},\"max_epoch\":{max_epoch}"
+                );
+            }
+            TraceEvent::Takeover {
+                epoch,
+                adopted,
+                dead,
+                sessions,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"epoch\":{epoch},\"adopted\":{adopted},\"dead\":{dead},\"sessions\":{sessions}"
+                );
+            }
+            TraceEvent::ReplCompact {
+                session,
+                wal_bytes,
+                journaled,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"session\":{session},\"wal_bytes\":{wal_bytes},\"journaled\":{journaled}"
                 );
             }
         }

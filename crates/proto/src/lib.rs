@@ -67,6 +67,11 @@ pub mod migrate_chunk {
     pub const LTSE_BLOB: u8 = 0;
     /// The chunk extends the raw WAL suffix.
     pub const WAL_SUFFIX: u8 = 1;
+    /// Not a data chunk: discard every byte staged for the session on
+    /// this connection, so a sender can abort a mismatched stage and
+    /// restart it without tearing the connection down. The chunk's
+    /// `bytes` must be empty.
+    pub const RESTART: u8 = 2;
 }
 
 /// Priority ranks carried on the wire (the serving layer's `Priority`
@@ -92,6 +97,9 @@ pub mod error_code {
     pub const NOT_DRAINED: u8 = 2;
     /// The drain deadline expired with batches still in flight.
     pub const DRAIN_TIMEOUT: u8 = 3;
+    /// The endpoint is a warm standby that has not taken over yet; the
+    /// client should retry against the active router.
+    pub const STANDBY: u8 = 4;
 }
 
 /// Why a wire decode failed. Every variant is a *detected* problem —
@@ -474,6 +482,60 @@ pub enum Msg {
         /// WAL bytes covering the suffix past the blob.
         wal: Vec<u8>,
     },
+    /// Router-epoch fencing: a router claims ownership of this node at
+    /// `epoch`. The node remembers the highest epoch it has ever seen;
+    /// an `Adopt` at or above that high-water mark is accepted (the
+    /// node pumps itself quiescent and answers [`Msg::AdoptAck`] with a
+    /// survey of every session it serves), while a lower epoch is
+    /// refused with [`Msg::StaleRouter`]. Commands from a connection
+    /// whose adopted epoch has since been superseded get the same
+    /// typed refusal — fencing, not consensus.
+    Adopt {
+        /// The router generation claiming ownership.
+        epoch: u64,
+        /// The claiming router's id (for observability).
+        router: u64,
+    },
+    /// The node accepted an [`Msg::Adopt`]: a survey of every session
+    /// it serves, taken at a quiescent point so `applied` is exact.
+    AdoptAck {
+        /// The epoch the node now holds as its high-water mark.
+        epoch: u64,
+        /// `(session, applied, admitted, rank)` for every live session,
+        /// sorted by session id. `admitted == applied` because the
+        /// survey is taken quiescent.
+        sessions: Vec<(u64, u64, u64, u8)>,
+    },
+    /// Ask a node for the cursors of every replica journal it backs up,
+    /// so a takeover can find sessions whose owner died with the old
+    /// router. Answered with [`Msg::ReplicaSurvey`].
+    SurveyReplicas,
+    /// Answer to [`Msg::SurveyReplicas`].
+    ReplicaSurvey {
+        /// `(session, rank, journaled, wal_len)` per backed-up session,
+        /// sorted by session id.
+        entries: Vec<(u64, u8, u64, u64)>,
+    },
+    /// Typed fencing refusal: the command came from a router whose
+    /// epoch is below the node's high-water mark. Nothing was applied.
+    StaleRouter {
+        /// The node's current epoch high-water mark.
+        epoch: u64,
+    },
+    /// Ask a router how many events it has admitted for a session —
+    /// the client-side idempotency probe after a router switch.
+    SessionCursor {
+        /// The session asked about.
+        session: u64,
+    },
+    /// Answer to [`Msg::SessionCursor`].
+    CursorAck {
+        /// The session asked about.
+        session: u64,
+        /// Events the router has admitted for the session (0 when the
+        /// session is unknown).
+        admitted: u64,
+    },
 }
 
 const TAG_HELLO: u8 = 0;
@@ -498,6 +560,13 @@ const TAG_REPL_FRAME: u8 = 18;
 const TAG_REPL_ACK: u8 = 19;
 const TAG_REPL_FETCH: u8 = 20;
 const TAG_REPL_STATE: u8 = 21;
+const TAG_ADOPT: u8 = 22;
+const TAG_ADOPT_ACK: u8 = 23;
+const TAG_SURVEY_REPLICAS: u8 = 24;
+const TAG_REPLICA_SURVEY: u8 = 25;
+const TAG_STALE_ROUTER: u8 = 26;
+const TAG_SESSION_CURSOR: u8 = 27;
+const TAG_CURSOR_ACK: u8 = 28;
 
 const REJ_QUEUE_FULL: u8 = 0;
 const REJ_SESSION_BUSY: u8 = 1;
@@ -906,6 +975,46 @@ impl Msg {
                 w.bytes(blob);
                 w.bytes(wal);
             }
+            Msg::Adopt { epoch, router } => {
+                w.u8(TAG_ADOPT);
+                w.u64(*epoch);
+                w.u64(*router);
+            }
+            Msg::AdoptAck { epoch, sessions } => {
+                w.u8(TAG_ADOPT_ACK);
+                w.u64(*epoch);
+                w.u32(sessions.len() as u32);
+                for (session, applied, admitted, rank) in sessions {
+                    w.u64(*session);
+                    w.u64(*applied);
+                    w.u64(*admitted);
+                    w.u8(*rank);
+                }
+            }
+            Msg::SurveyReplicas => w.u8(TAG_SURVEY_REPLICAS),
+            Msg::ReplicaSurvey { entries } => {
+                w.u8(TAG_REPLICA_SURVEY);
+                w.u32(entries.len() as u32);
+                for (session, rank, journaled, wal_len) in entries {
+                    w.u64(*session);
+                    w.u8(*rank);
+                    w.u64(*journaled);
+                    w.u64(*wal_len);
+                }
+            }
+            Msg::StaleRouter { epoch } => {
+                w.u8(TAG_STALE_ROUTER);
+                w.u64(*epoch);
+            }
+            Msg::SessionCursor { session } => {
+                w.u8(TAG_SESSION_CURSOR);
+                w.u64(*session);
+            }
+            Msg::CursorAck { session, admitted } => {
+                w.u8(TAG_CURSOR_ACK);
+                w.u64(*session);
+                w.u64(*admitted);
+            }
         }
         let payload = w.finish();
         if payload.len() > MAX_FRAME_PAYLOAD {
@@ -1058,8 +1167,15 @@ impl Msg {
             TAG_MIGRATE_CHUNK => {
                 let session = r.u64()?;
                 let kind = r.u8()?;
-                if kind != migrate_chunk::LTSE_BLOB && kind != migrate_chunk::WAL_SUFFIX {
+                if kind != migrate_chunk::LTSE_BLOB
+                    && kind != migrate_chunk::WAL_SUFFIX
+                    && kind != migrate_chunk::RESTART
+                {
                     return Err(ProtoError::BadTag { tag: kind });
+                }
+                // A restart carries no data; stray bytes are typed.
+                if kind == migrate_chunk::RESTART && r.remaining() != 0 {
+                    return Err(ProtoError::TrailingBytes);
                 }
                 // The chunk bytes run to the end of the payload, so
                 // the cursor is exhausted by construction.
@@ -1121,6 +1237,52 @@ impl Msg {
                     wal: r.rest().to_vec(),
                 });
             }
+            TAG_ADOPT => Msg::Adopt {
+                epoch: r.u64()?,
+                router: r.u64()?,
+            },
+            TAG_ADOPT_ACK => {
+                let epoch = r.u64()?;
+                let count = r.u32()?;
+                // Each entry costs 25 bytes; bound the count before
+                // reserving anything.
+                if u64::from(count).saturating_mul(25) > payload.len() as u64 {
+                    return Err(ProtoError::Truncated);
+                }
+                let mut sessions = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let session = r.u64()?;
+                    let applied = r.u64()?;
+                    let admitted = r.u64()?;
+                    let rank = r.rank()?;
+                    sessions.push((session, applied, admitted, rank));
+                }
+                Msg::AdoptAck { epoch, sessions }
+            }
+            TAG_SURVEY_REPLICAS => Msg::SurveyReplicas,
+            TAG_REPLICA_SURVEY => {
+                let count = r.u32()?;
+                // Each entry costs 25 bytes; bound the count before
+                // reserving anything.
+                if u64::from(count).saturating_mul(25) > payload.len() as u64 {
+                    return Err(ProtoError::Truncated);
+                }
+                let mut entries = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let session = r.u64()?;
+                    let rank = r.rank()?;
+                    let journaled = r.u64()?;
+                    let wal_len = r.u64()?;
+                    entries.push((session, rank, journaled, wal_len));
+                }
+                Msg::ReplicaSurvey { entries }
+            }
+            TAG_STALE_ROUTER => Msg::StaleRouter { epoch: r.u64()? },
+            TAG_SESSION_CURSOR => Msg::SessionCursor { session: r.u64()? },
+            TAG_CURSOR_ACK => Msg::CursorAck {
+                session: r.u64()?,
+                admitted: r.u64()?,
+            },
             tag => return Err(ProtoError::BadTag { tag }),
         };
         r.expect_end()?;
@@ -1416,6 +1578,39 @@ mod tests {
                 blob: Vec::new(),
                 wal: Vec::new(),
             },
+            Msg::MigrateChunk {
+                session: 6,
+                kind: migrate_chunk::RESTART,
+                bytes: Vec::new(),
+            },
+            Msg::Adopt {
+                epoch: 3,
+                router: 42,
+            },
+            Msg::AdoptAck {
+                epoch: 3,
+                sessions: vec![
+                    (1, 640, 640, priority::CRITICAL),
+                    (5, 120, 120, priority::BULK),
+                ],
+            },
+            Msg::AdoptAck {
+                epoch: 4,
+                sessions: Vec::new(),
+            },
+            Msg::SurveyReplicas,
+            Msg::ReplicaSurvey {
+                entries: vec![(2, priority::NORMAL, 96, 1024), (9, priority::CRITICAL, 0, 0)],
+            },
+            Msg::ReplicaSurvey {
+                entries: Vec::new(),
+            },
+            Msg::StaleRouter { epoch: 7 },
+            Msg::SessionCursor { session: 11 },
+            Msg::CursorAck {
+                session: 11,
+                admitted: 512,
+            },
         ]
     }
 
@@ -1448,6 +1643,70 @@ mod tests {
         payload.push(9); // rank: out of range
         let frame = encode_frame(&payload).unwrap();
         assert_eq!(Msg::decode(&frame), Err(ProtoError::BadTag { tag: 9 }));
+    }
+
+    #[test]
+    fn migrate_restart_with_payload_is_typed() {
+        // A RESTART chunk is a control message; smuggled bytes are a
+        // typed error, never staged.
+        let mut payload = vec![TAG_MIGRATE_CHUNK];
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.push(migrate_chunk::RESTART);
+        payload.extend_from_slice(&[0u8; 4]);
+        let frame = encode_frame(&payload).unwrap();
+        assert_eq!(Msg::decode(&frame), Err(ProtoError::TrailingBytes));
+    }
+
+    #[test]
+    fn hostile_survey_counts_are_bounded() {
+        // An AdoptAck declaring 2^32-1 sessions over a tiny payload
+        // must fail fast without reserving by the count.
+        let mut w = SnapWriter::new();
+        w.u8(TAG_ADOPT_ACK);
+        w.u64(1);
+        w.u32(u32::MAX);
+        assert_eq!(
+            Msg::decode_payload(&w.finish()),
+            Err(ProtoError::Truncated)
+        );
+        // Same for ReplicaSurvey.
+        let mut w = SnapWriter::new();
+        w.u8(TAG_REPLICA_SURVEY);
+        w.u32(u32::MAX);
+        assert_eq!(
+            Msg::decode_payload(&w.finish()),
+            Err(ProtoError::Truncated)
+        );
+    }
+
+    #[test]
+    fn survey_bad_rank_is_typed() {
+        // A survey entry's rank must be a known class: hostile values
+        // answer BadTag, never a half-decoded survey.
+        let mut w = SnapWriter::new();
+        w.u8(TAG_ADOPT_ACK);
+        w.u64(1); // epoch
+        w.u32(1); // count
+        w.u64(3); // session
+        w.u64(64); // applied
+        w.u64(64); // admitted
+        w.u8(9); // rank: out of range
+        assert_eq!(
+            Msg::decode_payload(&w.finish()),
+            Err(ProtoError::BadTag { tag: 9 })
+        );
+
+        let mut w = SnapWriter::new();
+        w.u8(TAG_REPLICA_SURVEY);
+        w.u32(1); // count
+        w.u64(3); // session
+        w.u8(7); // rank: out of range
+        w.u64(64); // journaled
+        w.u64(320); // wal_len
+        assert_eq!(
+            Msg::decode_payload(&w.finish()),
+            Err(ProtoError::BadTag { tag: 7 })
+        );
     }
 
     #[test]
@@ -1572,6 +1831,14 @@ mod tests {
                 ltse_blob: vec![6u8; 32],
                 wal_suffix: vec![7u8; 20],
             },
+            Msg::AdoptAck {
+                epoch: 2,
+                sessions: vec![(3, 64, 64, priority::NORMAL)],
+            },
+            Msg::ReplicaSurvey {
+                entries: vec![(3, priority::BULK, 64, 320)],
+            },
+            Msg::StaleRouter { epoch: 2 },
         ];
         for msg in msgs {
             let frame = msg.encode().unwrap();

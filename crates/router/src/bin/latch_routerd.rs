@@ -17,6 +17,14 @@
 //! sessions are re-pinned.
 //!
 //! The process exits 0 once a client drains the cluster through it.
+//!
+//! With `--standby --peer tcp:HOST:PORT` the process starts as a warm
+//! standby instead: it refuses client commands (typed
+//! `error_code::STANDBY`) while heartbeating the primary router at
+//! `--peer`, and takes over — rebuilding routes and replication
+//! cursors from the surviving nodes under a bumped epoch — when the
+//! primary stops answering. Give the standby the same `--seed`,
+//! `--vnodes`, and `--node` list as the primary so its ring agrees.
 
 use latch_proto::Endpoint;
 use latch_router::{Exporter, Router, RouterConfig, RouterServer, RouterServerConfig};
@@ -41,6 +49,10 @@ struct Args {
     connect_timeout_ms: u64,
     replicas: u32,
     failover_retries: u32,
+    standby: bool,
+    peer: Option<Endpoint>,
+    epoch: u64,
+    repl_wal_budget: usize,
 }
 
 fn parse_node(spec: &str) -> NodeSpec {
@@ -69,6 +81,10 @@ impl Args {
         let mut connect_timeout_ms = 500u64;
         let mut replicas = 0u32;
         let mut failover_retries = 4u32;
+        let mut standby = false;
+        let mut peer = None;
+        let mut epoch = 1u64;
+        let mut repl_wal_budget = 1usize << 20;
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
             let mut value = || {
@@ -95,6 +111,17 @@ impl Args {
                 "--failover-retries" => {
                     failover_retries = value().parse().expect("--failover-retries");
                 }
+                "--standby" => standby = true,
+                "--peer" => {
+                    let spec = value();
+                    peer = Some(Endpoint::parse(&spec).unwrap_or_else(|| {
+                        panic!("--peer wants tcp:ADDR or unix:PATH, got {spec}")
+                    }));
+                }
+                "--epoch" => epoch = value().parse().expect("--epoch"),
+                "--repl-wal-budget" => {
+                    repl_wal_budget = value().parse().expect("--repl-wal-budget");
+                }
                 other => panic!("unknown flag {other}"),
             }
         }
@@ -110,6 +137,10 @@ impl Args {
             connect_timeout_ms,
             replicas,
             failover_retries,
+            standby,
+            peer,
+            epoch,
+            repl_wal_budget,
         }
     }
 }
@@ -124,6 +155,8 @@ fn main() {
         router_id: args.seed,
         connect_timeout: Duration::from_millis(args.connect_timeout_ms),
         replicas: args.replicas,
+        epoch: args.epoch,
+        repl_wal_budget: args.repl_wal_budget,
     });
     let mut dirs: BTreeMap<u32, std::path::PathBuf> = BTreeMap::new();
     for node in &args.nodes {
@@ -158,11 +191,22 @@ fn main() {
         max_window_events: args.window,
         heartbeat: Duration::from_millis(args.heartbeat_ms),
         drain_failover_retries: args.failover_retries,
+        standby_miss_budget: args.miss_budget,
     };
-    let server = RouterServer::start(&args.listen, router, exporter, cfg).unwrap_or_else(|e| {
+    let server = if args.standby {
+        let peer = args.peer.expect("--standby needs --peer tcp:ADDR|unix:PATH");
+        RouterServer::start_standby(&args.listen, router, exporter, cfg, peer)
+    } else {
+        RouterServer::start(&args.listen, router, exporter, cfg)
+    }
+    .unwrap_or_else(|e| {
         panic!("bind {}: {e}", args.listen);
     });
-    eprintln!("latch-routerd: listening on {}", server.endpoint());
+    eprintln!(
+        "latch-routerd: listening on {}{}",
+        server.endpoint(),
+        if args.standby { " (standby)" } else { "" }
+    );
     while !server.drained() {
         std::thread::sleep(Duration::from_millis(50));
     }

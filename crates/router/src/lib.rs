@@ -70,6 +70,18 @@ pub struct RouterConfig {
     /// many of the next distinct ring owners). 0 disables replication:
     /// failover then requires the dead node's storage to survive.
     pub replicas: u32,
+    /// The router generation this router starts at. Nodes remember the
+    /// highest epoch that ever adopted them and refuse commands from
+    /// anything lower with a typed `StaleRouter` — the fence that
+    /// keeps a zombie primary from double-applying after a standby's
+    /// [`Router::takeover`].
+    pub epoch: u64,
+    /// Byte budget for one session's in-router replication WAL buffer.
+    /// When an append pushes the buffer past it, the router refetches
+    /// the owner's compact durable state (snapshot + short WAL) and
+    /// reseeds every backup from that instead of growing the journal
+    /// without bound.
+    pub repl_wal_budget: usize,
 }
 
 impl Default for RouterConfig {
@@ -82,6 +94,8 @@ impl Default for RouterConfig {
             router_id: 0,
             connect_timeout: DEFAULT_CONNECT_TIMEOUT,
             replicas: 0,
+            epoch: 1,
+            repl_wal_budget: 1 << 20,
         }
     }
 }
@@ -114,6 +128,14 @@ pub enum RouterError {
         /// Events the importer actually restored.
         applied: u64,
     },
+    /// A node refused this router's command because a newer router has
+    /// adopted it: this router's epoch is below the node's high-water
+    /// mark. Nothing was applied; this router must stop mutating the
+    /// cluster (the node is healthy — it is *us* who are stale).
+    StaleRouter {
+        /// The node's epoch high-water mark.
+        epoch: u64,
+    },
 }
 
 impl RouterError {
@@ -125,6 +147,7 @@ impl RouterError {
             RouterError::Rejected(_) => "rejected",
             RouterError::Wire(_) => "wire",
             RouterError::AckedLost { .. } => "acked_lost",
+            RouterError::StaleRouter { .. } => "stale_router",
         }
     }
 }
@@ -144,6 +167,10 @@ impl std::fmt::Display for RouterError {
                 f,
                 "session {session} lost acked events in failover: \
                  acked {acked}, importer restored {applied}"
+            ),
+            RouterError::StaleRouter { epoch } => write!(
+                f,
+                "fenced: a newer router (epoch {epoch}) has adopted the cluster"
             ),
         }
     }
@@ -166,6 +193,26 @@ pub struct MigrationRecord {
     pub to_node: u32,
     /// Events the importer's pipeline restored.
     pub applied: u64,
+}
+
+/// One completed standby takeover: the epoch the cluster moved to and
+/// the state rebuilt from the surviving nodes' surveys. Reruns of the
+/// same seed, kill schedule, and admitted history produce an identical
+/// record — `router_ha.rs` and the HA conformance leg diff it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TakeoverRecord {
+    /// The epoch the cluster now runs at.
+    pub epoch: u64,
+    /// Nodes successfully adopted, sorted.
+    pub adopted: Vec<u32>,
+    /// Nodes found dead during the sweep, sorted.
+    pub dead: Vec<u32>,
+    /// `(session, owner, admitted)` for every rebuilt route, sorted by
+    /// session id.
+    pub sessions: Vec<(u64, u32, u64)>,
+    /// Sessions found only in backup replica journals (their owner
+    /// died with the old router) and restored to a live node, sorted.
+    pub orphans: Vec<u64>,
 }
 
 struct Node {
@@ -280,6 +327,10 @@ pub struct Router {
     /// fresh export instead of stranding the sessions.
     pending_failover: BTreeSet<u32>,
     ticks: u64,
+    /// The router generation this router currently claims. Bumped past
+    /// every observed high-water mark by [`takeover`](Self::takeover).
+    epoch: u64,
+    takeovers: Vec<TakeoverRecord>,
 }
 
 impl Router {
@@ -296,6 +347,8 @@ impl Router {
             repl: BTreeMap::new(),
             pending_failover: BTreeSet::new(),
             ticks: 0,
+            epoch: cfg.epoch,
+            takeovers: Vec::new(),
         }
     }
 
@@ -342,12 +395,43 @@ impl Router {
         &self.history
     }
 
+    /// Every completed standby takeover, in order.
+    #[must_use]
+    pub fn takeover_history(&self) -> &[TakeoverRecord] {
+        &self.takeovers
+    }
+
+    /// The router generation this router currently claims.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Events acked (`SubmitOk`) for a session through this router —
+    /// the cursor a reconnecting client compares against its own acked
+    /// count to decide whether an orphaned batch landed. 0 for a
+    /// session this router never placed.
+    #[must_use]
+    pub fn session_admitted(&self, session: u64) -> u64 {
+        self.routes.get(&session).map_or(0, |r| r.admitted)
+    }
+
     /// Every completed planned rebalance move, in cut-point order.
     /// Reruns of the same seed, membership changes, and submission
     /// schedule produce an identical vector.
     #[must_use]
     pub fn rebalance_history(&self) -> &[RebalanceRecord] {
         &self.rebalances
+    }
+
+    /// `(journaled, wal_bytes)` for a session's replication stream —
+    /// how many events the backups' journals cover and how many WAL
+    /// bytes the router is retaining for pushes. `None` when the
+    /// session has no replication stream (replicas = 0, or nothing
+    /// acked yet).
+    #[must_use]
+    pub fn repl_stats(&self, session: u64) -> Option<(u64, usize)> {
+        self.repl.get(&session).map(|rs| (rs.journaled, rs.wal.len()))
     }
 
     /// Sessions poisoned by acked-event loss (a failover restored
@@ -380,37 +464,62 @@ impl Router {
         latch_obs::emit("router", TraceEvent::NodeDown { node, misses });
     }
 
-    /// Borrows the node's connection, dialing (and `NodeHello`-ing) it
-    /// first if needed. A connect failure marks the node down.
-    fn node_conn(&mut self, node: u32) -> Result<&mut Client, RouterError> {
+    /// Dials a node fresh: connect, `NodeHello`, then `Adopt` at this
+    /// router's epoch. The node's quiescent session survey comes back
+    /// with the adoption ack. A transport failure marks the node down;
+    /// a `StaleRouter` refusal does *not* (the node is healthy — this
+    /// router is the stale one).
+    fn dial(&mut self, node: u32) -> Result<Vec<(u64, u64, u64, u8)>, RouterError> {
         let (window, router_id) = (self.cfg.window_events, self.cfg.router_id);
-        let connect_timeout = self.cfg.connect_timeout;
+        let (connect_timeout, epoch) = (self.cfg.connect_timeout, self.epoch);
         let Some(n) = self.nodes.get_mut(&node) else {
             return Err(RouterError::NoNodes);
         };
         if !n.alive {
             return Err(RouterError::NodeDown { node });
         }
-        if n.conn.is_none() {
-            match Client::connect_with_timeout(&n.endpoint, window, false, connect_timeout) {
-                Ok(mut conn) => match conn.node_hello(router_id, 0) {
-                    Ok(_) => n.conn = Some(conn),
-                    Err(_) => {
-                        self.mark_down(node, 0);
-                        return Err(RouterError::NodeDown { node });
-                    }
-                },
+        match Client::connect_with_timeout(&n.endpoint, window, false, connect_timeout) {
+            Ok(mut conn) => match conn
+                .node_hello(router_id, 0)
+                .and_then(|_| conn.adopt(epoch, router_id))
+            {
+                Ok(survey) => {
+                    n.conn = Some(conn);
+                    Ok(survey)
+                }
+                Err(ClientError::StaleRouter { epoch }) => {
+                    Err(RouterError::StaleRouter { epoch })
+                }
                 Err(_) => {
                     self.mark_down(node, 0);
-                    return Err(RouterError::NodeDown { node });
+                    Err(RouterError::NodeDown { node })
                 }
+            },
+            Err(_) => {
+                self.mark_down(node, 0);
+                Err(RouterError::NodeDown { node })
             }
         }
-        Ok(self
-            .nodes
-            .get_mut(&node)
-            .and_then(|n| n.conn.as_mut())
-            .expect("connection was just ensured"))
+    }
+
+    /// Borrows the node's connection, dialing (`NodeHello` + `Adopt`)
+    /// it first if needed. A connect failure marks the node down.
+    fn node_conn(&mut self, node: u32) -> Result<&mut Client, RouterError> {
+        let needs_dial = match self.nodes.get(&node) {
+            Some(n) => n.conn.is_none(),
+            None => return Err(RouterError::NoNodes),
+        };
+        if needs_dial {
+            self.dial(node)?;
+        }
+        match self.nodes.get_mut(&node) {
+            Some(n) if n.alive => n
+                .conn
+                .as_mut()
+                .ok_or(RouterError::NodeDown { node }),
+            Some(_) => Err(RouterError::NodeDown { node }),
+            None => Err(RouterError::NoNodes),
+        }
     }
 
     /// Forwards one batch to the session's owner.
@@ -488,6 +597,12 @@ impl Router {
                 Ok(())
             }
             Err(ClientError::Rejected(rej)) => Err(RouterError::Rejected(rej)),
+            Err(ClientError::StaleRouter { epoch }) => {
+                // A typed refusal: the node applied nothing and is
+                // healthy — a newer router owns it. Nothing is in
+                // doubt; this router must simply stop.
+                Err(RouterError::StaleRouter { epoch })
+            }
             Err(_) => {
                 let route = self.routes.get_mut(&session).expect("route exists");
                 route.in_doubt = n;
@@ -505,10 +620,18 @@ impl Router {
     /// event rather than failing the submit: availability wins, and the
     /// next failover simply has one fewer source.
     fn replicate(&mut self, session: u64, rank: u8, base: u64, events: &[Event]) {
-        let mut rs = self
-            .repl
-            .remove(&session)
-            .unwrap_or_else(|| ReplSession::new(session, rank));
+        let mut rs = match self.repl.remove(&session) {
+            Some(rs) => rs,
+            None if base == 0 => ReplSession::new(session, rank),
+            None => {
+                // Mid-stream with no journal to append to (a takeover
+                // whose cursor reseed was refused). Starting a journal
+                // here would push a gapped prefix to backups; skip
+                // replication for this session until it restarts.
+                latch_obs::counter_inc("router.repl.orphan_batches");
+                return;
+            }
+        };
         // The wire and the journal share `WAL_MAX_PAYLOAD`, so any
         // batch a node admitted also encodes; a refusal here would be a
         // codec bug, not an input condition.
@@ -519,6 +642,9 @@ impl Router {
         }
         rs.rank = rank;
         let owner = self.routes.get(&session).map(|r| r.owner);
+        if rs.wal.len() > self.cfg.repl_wal_budget {
+            self.compact_repl(session, &mut rs, owner);
+        }
         let backups: Vec<u32> = self
             .ring
             .owners(session, self.cfg.replicas as usize + 1)
@@ -542,6 +668,43 @@ impl Router {
             }
         }
         self.repl.insert(session, rs);
+    }
+
+    /// Folds a session's replica journal when its WAL outgrows
+    /// [`RouterConfig::repl_wal_budget`]: fetch a fresh snapshot from
+    /// the (quiescent, just-acked) owner, make it the new blob, and
+    /// empty the WAL. Clearing the backup cursors forces the next push
+    /// to reseed every backup with the compact form — the byte-prefix
+    /// invariant holds trivially over an empty journal. A fetch that
+    /// fails or comes back behind our journaled count leaves the
+    /// journal untouched (compaction must never regress coverage).
+    fn compact_repl(&mut self, session: u64, rs: &mut ReplSession, owner: Option<u32>) {
+        let Some(owner) = owner else { return };
+        let fetched = self
+            .node_conn(owner)
+            .and_then(|c| c.repl_fetch(session, false).map_err(|_| RouterError::NodeDown { node: owner }));
+        let Ok(Some((rank, journaled, blob, wal))) = fetched else {
+            return;
+        };
+        if journaled < rs.journaled || blob.len() > REPL_FRAME_BUDGET {
+            return;
+        }
+        let old_wal = rs.wal.len() as u64;
+        rs.rank = rank;
+        rs.blob = blob;
+        rs.wal = wal;
+        rs.journaled = journaled;
+        rs.marks = vec![(rs.wal.len(), journaled)];
+        rs.backups.clear();
+        latch_obs::counter_inc("router.repl.compactions");
+        latch_obs::emit(
+            "router",
+            TraceEvent::ReplCompact {
+                session,
+                wal_bytes: old_wal,
+                journaled,
+            },
+        );
     }
 
     /// Brings one backup current: appends from its acked byte cursor,
@@ -1009,6 +1172,239 @@ impl Router {
         rec
     }
 
+    /// Standby takeover: bump the epoch, adopt every registered node,
+    /// and rebuild this router's state from the survivors' quiescent
+    /// surveys. The ring is pure in (seed, membership, session), so
+    /// placement needs no handoff — only the per-session cursors do.
+    ///
+    /// Steps, all deterministic (nodes are walked in sorted id order):
+    ///
+    /// 1. **Adopt sweep.** Dial every node with `Adopt{epoch}`. A node
+    ///    that has seen a higher epoch answers `StaleRouter`; the sweep
+    ///    restarts above that epoch (bounded retries — fencing, not
+    ///    consensus: two live routers dueling here is an operator
+    ///    error, and the loser returns [`RouterError::StaleRouter`]).
+    ///    Unreachable nodes are the takeover's dead set.
+    /// 2. **Route rebuild.** Each survey row becomes a route with
+    ///    `admitted` = the node's applied count (the node was pumped
+    ///    quiescent before answering, so applied == admitted). A
+    ///    session surveyed by two nodes raced an in-flight migration;
+    ///    the higher applied count wins.
+    /// 3. **Cursor reseed.** With replication on, each routed session's
+    ///    owner is fetched once for a fresh [`ReplSession`] base; the
+    ///    empty backup-cursor map makes the next admitted batch reseed
+    ///    every backup through the normal reset/NACK machinery.
+    /// 4. **Dead-owner failover.** Sessions that exist only in
+    ///    surviving replica journals (owner died *with* the old router)
+    ///    are restored freshest-journal-first — the same ordering as
+    ///    [`restore_from_backups`](Self::restore_from_backups) — and
+    ///    migrated to their ring owner.
+    ///
+    /// The returned [`TakeoverRecord`] is rerun-identical for a given
+    /// cluster state and is also appended to
+    /// [`takeover_history`](Self::takeover_history).
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::StaleRouter`] when the adopt sweep loses the
+    /// epoch race repeatedly; [`RouterError::NoNodes`] when no node
+    /// survives to adopt; [`RouterError::Wire`] when an orphan import
+    /// ships but dies mid-ack. Takeover is idempotent — retry on any
+    /// error and the next sweep starts from a fresh epoch.
+    pub fn takeover(&mut self) -> Result<TakeoverRecord, RouterError> {
+        let ids: Vec<u32> = self.nodes.keys().copied().collect();
+        if ids.is_empty() {
+            return Err(RouterError::NoNodes);
+        }
+        let mut target = self.epoch + 1;
+        let mut surveys: BTreeMap<u32, Vec<(u64, u64, u64, u8)>> = BTreeMap::new();
+        let mut dead: Vec<u32> = Vec::new();
+        let mut converged = false;
+        'sweep: for _ in 0..8u8 {
+            surveys.clear();
+            dead.clear();
+            self.epoch = target;
+            for &id in &ids {
+                // Canonical membership first: a prior stalled attempt
+                // may have evicted the node; `add_node` is idempotent
+                // and the seeded ring's placement is order-free.
+                self.ring.add_node(id);
+                if let Some(n) = self.nodes.get_mut(&id) {
+                    n.conn = None;
+                    n.misses = 0;
+                    n.alive = true;
+                }
+                match self.dial(id) {
+                    Ok(survey) => {
+                        surveys.insert(id, survey);
+                    }
+                    Err(RouterError::StaleRouter { epoch }) => {
+                        // Lost the race: restart the whole sweep above
+                        // the winner so every node lands on one epoch.
+                        target = epoch.max(target) + 1;
+                        continue 'sweep;
+                    }
+                    Err(_) => dead.push(id),
+                }
+            }
+            converged = true;
+            break;
+        }
+        if !converged {
+            return Err(RouterError::StaleRouter { epoch: target });
+        }
+        if surveys.is_empty() {
+            return Err(RouterError::NoNodes);
+        }
+        self.routes.clear();
+        self.repl.clear();
+        self.pending_failover.clear();
+        for &d in &dead {
+            self.ring.remove_node(d);
+        }
+        for (&node, survey) in &surveys {
+            for &(session, applied, _admitted, _rank) in survey {
+                // Two nodes surveying one session means the old router
+                // died mid-migration; the higher applied count is the
+                // copy the commit reached (or would have).
+                let stale = self
+                    .routes
+                    .get(&session)
+                    .is_some_and(|r| r.admitted >= applied);
+                if stale {
+                    continue;
+                }
+                self.routes.insert(
+                    session,
+                    Route {
+                        owner: node,
+                        admitted: applied,
+                        in_doubt: 0,
+                        skip: 0,
+                        lost: None,
+                    },
+                );
+            }
+        }
+        let adopted: Vec<u32> = surveys.keys().copied().collect();
+        let mut orphans: Vec<u64> = Vec::new();
+        if self.cfg.replicas > 0 {
+            // Fresh replication bases for every surviving route.
+            let routed: Vec<(u64, u32)> =
+                self.routes.iter().map(|(&s, r)| (s, r.owner)).collect();
+            for (session, owner) in routed {
+                let fetched = match self.node_conn(owner) {
+                    Ok(conn) => conn.repl_fetch(session, false),
+                    Err(_) => continue,
+                };
+                match fetched {
+                    Ok(Some((rank, journaled, blob, wal))) => {
+                        self.repl.insert(
+                            session,
+                            ReplSession::from_state(rank, blob, wal, journaled),
+                        );
+                    }
+                    Ok(None) => {}
+                    Err(ClientError::Server { .. }) => {
+                        latch_obs::counter_inc("router.repl.fetch_refusals");
+                    }
+                    Err(_) => self.mark_down(owner, 0),
+                }
+            }
+            // Sessions alive only in surviving replica journals: their
+            // owner died with the old router — fail them over now.
+            let mut candidates: BTreeMap<u64, Vec<(u64, u32)>> = BTreeMap::new();
+            for &node in &adopted {
+                let entries = match self.node_conn(node) {
+                    Ok(conn) => conn.survey_replicas(),
+                    Err(_) => continue,
+                };
+                let Ok(entries) = entries else {
+                    self.mark_down(node, 0);
+                    continue;
+                };
+                for (session, _rank, journaled, _wal_len) in entries {
+                    if !self.routes.contains_key(&session) {
+                        candidates.entry(session).or_default().push((journaled, node));
+                    }
+                }
+            }
+            for (session, mut cands) in candidates {
+                // Freshest journaled cursor first, ties to the higher
+                // node id — the `restore_from_backups` probe order, so
+                // reruns pick identically. The fetched count decides.
+                cands.sort_unstable();
+                cands.reverse();
+                type Candidate = (u64, u32, u8, Vec<u8>, Vec<u8>);
+                let mut best: Option<Candidate> = None;
+                for (_, b) in cands {
+                    let fetched = match self.node_conn(b) {
+                        Ok(conn) => conn.repl_fetch(session, false),
+                        Err(_) => continue,
+                    };
+                    match fetched {
+                        Ok(Some((rank, journaled, blob, wal))) => {
+                            if best.as_ref().is_none_or(|(j, ..)| journaled > *j) {
+                                best = Some((journaled, b, rank, blob, wal));
+                            }
+                        }
+                        Ok(None) => {}
+                        Err(ClientError::Server { .. }) => {
+                            latch_obs::counter_inc("router.repl.fetch_refusals");
+                        }
+                        Err(_) => self.mark_down(b, 0),
+                    }
+                }
+                let Some((_, src, rank, blob, wal)) = best else {
+                    continue;
+                };
+                let to = self.ring.owner(session).ok_or(RouterError::NoNodes)?;
+                let applied = self
+                    .node_conn(to)?
+                    .migrate_session(session, rank, blob.clone(), wal.clone())
+                    .map_err(RouterError::Wire)?;
+                self.repl
+                    .insert(session, ReplSession::from_state(rank, blob, wal, applied));
+                self.routes.insert(
+                    session,
+                    Route {
+                        owner: to,
+                        admitted: applied,
+                        in_doubt: 0,
+                        skip: 0,
+                        lost: None,
+                    },
+                );
+                self.record_migration(session, src, to, applied);
+                orphans.push(session);
+            }
+        }
+        let sessions: Vec<(u64, u32, u64)> = self
+            .routes
+            .iter()
+            .map(|(&s, r)| (s, r.owner, r.admitted))
+            .collect();
+        let rec = TakeoverRecord {
+            epoch: self.epoch,
+            adopted,
+            dead,
+            sessions,
+            orphans,
+        };
+        latch_obs::counter_inc("router.takeovers");
+        latch_obs::emit(
+            "router",
+            TraceEvent::Takeover {
+                epoch: rec.epoch,
+                adopted: rec.adopted.len() as u32,
+                dead: rec.dead.len() as u32,
+                sessions: rec.sessions.len() as u64,
+            },
+        );
+        self.takeovers.push(rec.clone());
+        Ok(rec)
+    }
+
     /// Planned join: adds (or revives) `node` and live-migrates the
     /// minimal remap set — exactly the sessions whose seeded-ring owner
     /// becomes the joiner — with the two-phase pre-copy / cut-point
@@ -1120,8 +1516,9 @@ impl Router {
     ///
     /// The owner's maintenance may rotate its journal between the
     /// phases (every pump runs it), invalidating the staged prefix;
-    /// staging cannot be discarded mid-connection, so that case
-    /// restages the full cut state over a fresh connection.
+    /// a RESTART chunk discards the staging on the same connection and
+    /// the full cut state is restaged inline (a fresh connection is
+    /// only torn up if the inline restage dies in transport).
     fn rebalance_one(&mut self, session: u64) -> Result<RebalanceRecord, RouterError> {
         let from = self
             .routes
@@ -1167,16 +1564,34 @@ impl Router {
                     conn.migrate_commit(session, rank).map_err(wire)?
                 } else {
                     // Rotation between the phases: the staged bytes are
-                    // a stale prefix and cannot be discarded — restage
-                    // the full cut state on a fresh connection.
-                    latch_obs::counter_inc("router.rebalance.restages");
-                    if let Some(n) = self.nodes.get_mut(&to) {
-                        n.conn = None;
+                    // a stale prefix. A RESTART chunk discards them on
+                    // the same connection, so the full cut state can be
+                    // restaged without tearing the link down.
+                    latch_obs::counter_inc("router.rebalance.restage_inline");
+                    let inline = {
+                        let conn = self.node_conn(to)?;
+                        conn.migrate_abort(session).and_then(|()| {
+                            conn.migrate_stage(session, &blob, &wal, MIGRATE_CHUNK_BYTES)?;
+                            conn.migrate_commit(session, rank)
+                        })
+                    };
+                    match inline {
+                        Ok(applied) => applied,
+                        Err(ClientError::Rejected(r)) => return Err(RouterError::Rejected(r)),
+                        Err(_) => {
+                            // Transport death mid-restage: fall back to
+                            // the old full-restage-over-fresh-connection
+                            // path.
+                            latch_obs::counter_inc("router.rebalance.restages");
+                            if let Some(n) = self.nodes.get_mut(&to) {
+                                n.conn = None;
+                            }
+                            let conn = self.node_conn(to)?;
+                            conn.migrate_stage(session, &blob, &wal, MIGRATE_CHUNK_BYTES)
+                                .map_err(wire)?;
+                            conn.migrate_commit(session, rank).map_err(wire)?
+                        }
                     }
-                    let conn = self.node_conn(to)?;
-                    conn.migrate_stage(session, &blob, &wal, MIGRATE_CHUNK_BYTES)
-                        .map_err(wire)?;
-                    conn.migrate_commit(session, rank).map_err(wire)?
                 };
                 if self.cfg.replicas > 0 {
                     self.repl

@@ -13,7 +13,8 @@
 //! failed submit is retried once — the route's skip accounting
 //! guarantees an admitted-but-unacked batch is never applied twice.
 
-use crate::{Router, RouterError};
+use crate::{Router, RouterError, TakeoverRecord};
+use latch_client::Client;
 use latch_obs::TraceEvent;
 use latch_proto::{error_code, write_msg, Endpoint, Msg, ProtoError};
 use latch_serve::SessionExport;
@@ -44,6 +45,10 @@ pub struct RouterServerConfig {
     /// answering `DRAIN_TIMEOUT` (the client retries the drain, which
     /// is idempotent).
     pub drain_failover_retries: u32,
+    /// Consecutive primary-heartbeat misses a standby tolerates before
+    /// taking over (only used by
+    /// [`start_standby`](RouterServer::start_standby)).
+    pub standby_miss_budget: u32,
 }
 
 impl Default for RouterServerConfig {
@@ -52,6 +57,7 @@ impl Default for RouterServerConfig {
             max_window_events: 1 << 14,
             heartbeat: Duration::from_millis(25),
             drain_failover_retries: 4,
+            standby_miss_budget: 3,
         }
     }
 }
@@ -165,7 +171,21 @@ fn exports_for(st: &mut Inner, node: u32) -> Vec<SessionExport> {
 struct Shared {
     state: Mutex<Inner>,
     stop: AtomicBool,
+    /// False while a standby waits for its takeover: client-facing
+    /// commands answer [`error_code::STANDBY`] until it flips.
+    active: AtomicBool,
     cfg: RouterServerConfig,
+}
+
+/// Runs the routing core's takeover under the server lock and, on
+/// success, flips the server active.
+fn promote_shared(shared: &Shared) -> Result<TakeoverRecord, RouterError> {
+    let rec = {
+        let mut st = shared.state.lock().expect("router state");
+        st.router.takeover()
+    }?;
+    shared.active.store(true, Ordering::SeqCst);
+    Ok(rec)
 }
 
 /// A running cluster front door. Dropping the server (or calling
@@ -192,6 +212,39 @@ impl RouterServer {
         exporter: Exporter,
         cfg: RouterServerConfig,
     ) -> io::Result<Self> {
+        Self::start_inner(endpoint, router, exporter, cfg, None)
+    }
+
+    /// Binds `endpoint` as a **warm standby** over `router`: client
+    /// commands answer [`error_code::STANDBY`] while a monitor thread
+    /// heartbeats the primary at `peer`; once
+    /// [`RouterServerConfig::standby_miss_budget`] consecutive pings
+    /// miss, the standby runs [`Router::takeover`] (retrying until it
+    /// lands), flips active, and assumes the normal heartbeat duty.
+    /// With a zero heartbeat cadence no monitor runs — deterministic
+    /// tests drive the promotion themselves via
+    /// [`promote`](Self::promote).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (`io::Error`).
+    pub fn start_standby(
+        endpoint: &Endpoint,
+        router: Router,
+        exporter: Exporter,
+        cfg: RouterServerConfig,
+        peer: Endpoint,
+    ) -> io::Result<Self> {
+        Self::start_inner(endpoint, router, exporter, cfg, Some(peer))
+    }
+
+    fn start_inner(
+        endpoint: &Endpoint,
+        router: Router,
+        exporter: Exporter,
+        cfg: RouterServerConfig,
+        standby_peer: Option<Endpoint>,
+    ) -> io::Result<Self> {
         let listener = Listener::bind(endpoint)?;
         let bound = listener.local_endpoint();
         let shared = Arc::new(Shared {
@@ -203,6 +256,7 @@ impl RouterServer {
                 conn_seq: 0,
             }),
             stop: AtomicBool::new(false),
+            active: AtomicBool::new(standby_peer.is_none()),
             cfg,
         });
         let accept_shared = Arc::clone(&shared);
@@ -211,7 +265,10 @@ impl RouterServer {
             None
         } else {
             let hb_shared = Arc::clone(&shared);
-            Some(std::thread::spawn(move || heartbeat_loop(&hb_shared)))
+            Some(std::thread::spawn(move || match standby_peer {
+                Some(peer) => standby_loop(&hb_shared, &peer),
+                None => heartbeat_loop(&hb_shared),
+            }))
         };
         Ok(Self {
             shared,
@@ -219,6 +276,26 @@ impl RouterServer {
             accept: Some(accept),
             heartbeat,
         })
+    }
+
+    /// Whether this server is answering client commands (always true
+    /// for a primary; true for a standby only after its takeover).
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.shared.active.load(Ordering::SeqCst)
+    }
+
+    /// Promotes a standby by hand: runs [`Router::takeover`] under the
+    /// server lock and flips the server active on success — what the
+    /// monitor thread does on miss-budget exhaustion, exposed for
+    /// deterministic (zero-heartbeat) tests.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`Router::takeover`] returns; the server stays in
+    /// standby refusal mode and the promotion can be retried.
+    pub fn promote(&self) -> Result<TakeoverRecord, RouterError> {
+        promote_shared(&self.shared)
     }
 
     /// The endpoint actually bound — for `tcp:HOST:0` this carries the
@@ -303,6 +380,54 @@ fn accept_loop(listener: &Listener, shared: &Arc<Shared>) {
     }
     if let Listener::Unix(_, path) = listener {
         let _ = std::fs::remove_file(path);
+    }
+}
+
+/// Bound on one standby-to-primary heartbeat dial.
+const PEER_CONNECT_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// The standby's half-life: heartbeat the primary until the miss
+/// budget runs out, then take over (retrying — the nodes may be
+/// mid-restart themselves) and become the cluster's heartbeat.
+fn standby_loop(shared: &Arc<Shared>, peer: &Endpoint) {
+    let mut misses = 0u32;
+    let mut token = 0u64;
+    let mut conn: Option<Client> = None;
+    while !shared.stop.load(Ordering::SeqCst) {
+        std::thread::sleep(shared.cfg.heartbeat);
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        token += 1;
+        if conn.is_none() {
+            conn = Client::connect_with_timeout(peer, 16, false, PEER_CONNECT_TIMEOUT).ok();
+        }
+        let ok = conn
+            .as_mut()
+            .is_some_and(|c| c.ping(token).is_ok_and(|t| t == token));
+        if ok {
+            misses = 0;
+            continue;
+        }
+        conn = None;
+        misses += 1;
+        latch_obs::counter_inc("router.standby.peer_misses");
+        if misses <= shared.cfg.standby_miss_budget {
+            continue;
+        }
+        while !shared.stop.load(Ordering::SeqCst) {
+            match promote_shared(shared) {
+                Ok(_) => {
+                    heartbeat_loop(shared);
+                    return;
+                }
+                Err(_) => {
+                    latch_obs::counter_inc("router.standby.takeover_retries");
+                    std::thread::sleep(shared.cfg.heartbeat);
+                }
+            }
+        }
+        return;
     }
 }
 
@@ -505,8 +630,23 @@ fn submit_with_failover(
 }
 
 fn process_msg(msg: Msg, conn_id: u64, cs: &mut ConnState, shared: &Shared) -> Vec<Msg> {
-    let mut st = shared.state.lock().expect("router state");
     let mut replies = Vec::with_capacity(1);
+    if !shared.active.load(Ordering::SeqCst)
+        && matches!(
+            msg,
+            Msg::Submit { .. } | Msg::Drain | Msg::Report { .. } | Msg::SessionCursor { .. }
+        )
+    {
+        // A standby that has not taken over answers nothing of
+        // substance: the typed refusal tells an HA client to try the
+        // next endpoint (or wait for the takeover to land).
+        latch_obs::counter_inc("router.wire.standby_refusals");
+        replies.push(Msg::Error {
+            code: error_code::STANDBY,
+        });
+        return replies;
+    }
+    let mut st = shared.state.lock().expect("router state");
     match msg {
         Msg::Submit {
             session,
@@ -539,6 +679,14 @@ fn process_msg(msg: Msg, conn_id: u64, cs: &mut ConnState, shared: &Shared) -> V
                         );
                         replies.push(Msg::SubmitRejected { session, rejected });
                     }
+                    Err(RouterError::StaleRouter { epoch }) => {
+                        // This router has been fenced off by a newer
+                        // one; nothing was applied. Surface the typed
+                        // refusal so the client walks its endpoint
+                        // list.
+                        latch_obs::counter_inc("router.wire.fenced");
+                        replies.push(Msg::StaleRouter { epoch });
+                    }
                     Err(_) => replies.push(Msg::Error {
                         code: error_code::PROTOCOL,
                     }),
@@ -564,6 +712,11 @@ fn process_msg(msg: Msg, conn_id: u64, cs: &mut ConnState, shared: &Shared) -> V
                         }
                         st.export_cache.remove(&node);
                     }
+                    Err(RouterError::StaleRouter { epoch }) => {
+                        latch_obs::counter_inc("router.wire.fenced");
+                        replies.push(Msg::StaleRouter { epoch });
+                        return replies;
+                    }
                     Err(_) => break,
                 }
             }
@@ -588,6 +741,10 @@ fn process_msg(msg: Msg, conn_id: u64, cs: &mut ConnState, shared: &Shared) -> V
                         applied,
                         report,
                     }),
+                    Err(RouterError::StaleRouter { epoch }) => {
+                        latch_obs::counter_inc("router.wire.fenced");
+                        replies.push(Msg::StaleRouter { epoch });
+                    }
                     Err(_) => replies.push(Msg::Error {
                         code: error_code::PROTOCOL,
                     }),
@@ -599,8 +756,16 @@ fn process_msg(msg: Msg, conn_id: u64, cs: &mut ConnState, shared: &Shared) -> V
             latch_obs::counter_inc("router.wire.node_hellos");
             replies.push(Msg::Pong { token });
         }
-        // The router never imports sessions itself; migration and
-        // replication frames target nodes.
+        Msg::SessionCursor { session } => {
+            // A reconnecting client resolving an orphaned in-flight
+            // batch: how many events has this router acked?
+            replies.push(Msg::CursorAck {
+                session,
+                admitted: st.router.session_admitted(session),
+            });
+        }
+        // The router never imports sessions itself; migration,
+        // replication, and adoption frames target nodes.
         Msg::MigrateSession { .. }
         | Msg::MigrateAck { .. }
         | Msg::MigrateChunk { .. }
@@ -609,6 +774,12 @@ fn process_msg(msg: Msg, conn_id: u64, cs: &mut ConnState, shared: &Shared) -> V
         | Msg::ReplAck { .. }
         | Msg::ReplFetch { .. }
         | Msg::ReplState { .. }
+        | Msg::Adopt { .. }
+        | Msg::AdoptAck { .. }
+        | Msg::SurveyReplicas
+        | Msg::ReplicaSurvey { .. }
+        | Msg::StaleRouter { .. }
+        | Msg::CursorAck { .. }
         | Msg::Hello { .. }
         | Msg::HelloAck { .. }
         | Msg::SubmitOk { .. }

@@ -602,6 +602,32 @@ impl<S: Storage> DurableService<S> {
         self.scrub_interval
     }
 
+    /// Surveys every live (non-expelled) session at a quiescent point:
+    /// `(session, applied, rank)` sorted by session id. Runs a full
+    /// pump + group commit first so `applied` counts everything ever
+    /// admitted — the state an adopting router rebuilds its routes
+    /// from.
+    pub fn survey_sessions(&mut self) -> Vec<(u64, u64, u8)> {
+        self.pump();
+        self.group_commit();
+        let mut out = Vec::new();
+        for session in self.svc.session_ids() {
+            if self.expelled.contains(&session) {
+                continue;
+            }
+            let Some((applied, _epoch)) = self.svc.session_progress(session) else {
+                continue;
+            };
+            let rank = self
+                .svc
+                .session_priority(session)
+                .unwrap_or_default()
+                .rank();
+            out.push((session, applied, rank));
+        }
+        out
+    }
+
     /// Packages one session's durable state for migration. Runs a full
     /// pump + group commit first, so on a benign storage backend the
     /// export covers every admitted event (snapshot + journal suffix);

@@ -176,6 +176,11 @@ struct State<S: Storage> {
     /// Backup journals for sessions this node replicates but does not
     /// own, fed by `ReplFrame` and served back by `ReplFetch`.
     replicas: latch_replica::ReplicaStore,
+    /// Highest router epoch ever adopted on this node. Commands from a
+    /// connection whose adopted epoch has since been superseded are
+    /// refused with a typed `StaleRouter` — the fencing that stops a
+    /// zombie primary from double-applying after takeover.
+    max_epoch: u64,
 }
 
 struct Shared<S: Storage> {
@@ -217,6 +222,7 @@ impl<S: Storage + Send + 'static> WireServer<S> {
                 scrub_interval,
                 conn_seq: 0,
                 replicas: latch_replica::ReplicaStore::new(),
+                max_epoch: 0,
             }),
             stop: AtomicBool::new(false),
             cfg,
@@ -456,6 +462,9 @@ struct ConnState {
     /// Session → (LTSE blob, WAL suffix) staged by `MigrateChunk`
     /// frames, consumed by the committing `MigrateSession`.
     migrations: std::collections::BTreeMap<u64, (Vec<u8>, Vec<u8>)>,
+    /// The router epoch this connection last claimed via `Adopt`.
+    /// `None` for direct client connections, which stay unfenced.
+    epoch: Option<u64>,
 }
 
 fn handle_conn<S: Storage + Send + 'static>(mut conn: Conn, conn_id: u64, shared: &Shared<S>) {
@@ -536,6 +545,7 @@ fn handshake<S: Storage>(conn: &mut Conn, conn_id: u64, shared: &Shared<S>) -> O
                 slo_cursor: 0,
                 frames: 1,
                 migrations: std::collections::BTreeMap::new(),
+                epoch: None,
             })
         }
         Ok(Some(_)) => {
@@ -576,6 +586,35 @@ fn process_msg<S: Storage>(
 ) -> Vec<Msg> {
     let mut st = shared.state.lock().expect("server state");
     let mut replies = Vec::with_capacity(1);
+    // Epoch fencing: once a newer router has adopted this node, every
+    // mutating command from an older-epoch connection answers the
+    // node's high-water mark and touches nothing — a zombie primary
+    // can never double-apply a batch after takeover. Connections that
+    // never adopted (direct clients) stay unfenced.
+    if let Some(epoch) = cs.epoch {
+        let fenced = matches!(
+            msg,
+            Msg::Submit { .. }
+                | Msg::Drain
+                | Msg::MigrateSession { .. }
+                | Msg::MigrateChunk { .. }
+                | Msg::ReplFrame { .. }
+                | Msg::ReplFetch { .. }
+        );
+        if fenced && epoch < st.max_epoch {
+            latch_obs::counter_inc("serve.wire.stale_routers");
+            latch_obs::emit(
+                "serve",
+                TraceEvent::StaleRouter {
+                    conn: conn_id,
+                    epoch,
+                    max_epoch: st.max_epoch,
+                },
+            );
+            replies.push(Msg::StaleRouter { epoch: st.max_epoch });
+            return replies;
+        }
+    }
     match msg {
         Msg::Submit {
             session,
@@ -680,12 +719,74 @@ fn process_msg<S: Storage>(
                 }),
             },
         },
+        Msg::Adopt { epoch, router: _ } => {
+            if epoch >= st.max_epoch {
+                st.max_epoch = epoch;
+                cs.epoch = Some(epoch);
+                latch_obs::counter_inc("serve.wire.adoptions");
+                // Survey at a quiescent point: after the pump inside
+                // `survey_sessions`, applied counts everything ever
+                // admitted, so the adopting router's rebuilt routes
+                // carry exact cursors (admitted == applied).
+                let sessions = match st.svc.as_mut() {
+                    Some(svc) => svc
+                        .survey_sessions()
+                        .into_iter()
+                        .map(|(s, applied, rank)| (s, applied, applied, rank))
+                        .collect(),
+                    None => Vec::new(),
+                };
+                replies.push(Msg::AdoptAck {
+                    epoch: st.max_epoch,
+                    sessions,
+                });
+            } else {
+                // Belt and braces: remember the stale claim so even a
+                // command racing past this reply is fenced.
+                cs.epoch = Some(epoch);
+                latch_obs::counter_inc("serve.wire.stale_routers");
+                latch_obs::emit(
+                    "serve",
+                    TraceEvent::StaleRouter {
+                        conn: conn_id,
+                        epoch,
+                        max_epoch: st.max_epoch,
+                    },
+                );
+                replies.push(Msg::StaleRouter { epoch: st.max_epoch });
+            }
+        }
+        Msg::SurveyReplicas => {
+            let entries: Vec<(u64, u8, u64, u64)> = st
+                .replicas
+                .sessions()
+                .filter_map(|s| {
+                    st.replicas
+                        .get(s)
+                        .map(|j| (s, j.rank, j.journaled, j.wal.len() as u64))
+                })
+                .collect();
+            replies.push(Msg::ReplicaSurvey { entries });
+        }
         // Cluster control: heartbeats echo their token; a NodeHello
         // marks the connection as a router's and answers like a probe.
         Msg::Ping { token } => replies.push(Msg::Pong { token }),
         Msg::NodeHello { node: _, token } => {
             latch_obs::counter_inc("serve.wire.node_hellos");
             replies.push(Msg::Pong { token });
+        }
+        Msg::MigrateChunk {
+            session,
+            kind,
+            bytes: _,
+        } if kind == latch_proto::migrate_chunk::RESTART => {
+            // Abort: discard everything staged for the session so the
+            // sender can restart the stage on this same connection.
+            cs.migrations.remove(&session);
+            replies.push(Msg::MigrateChunkAck {
+                session,
+                received: 0,
+            });
         }
         Msg::MigrateChunk {
             session,
@@ -921,6 +1022,11 @@ fn process_msg<S: Storage>(
         | Msg::MigrateChunkAck { .. }
         | Msg::ReplAck { .. }
         | Msg::ReplState { .. }
+        | Msg::AdoptAck { .. }
+        | Msg::ReplicaSurvey { .. }
+        | Msg::StaleRouter { .. }
+        | Msg::SessionCursor { .. }
+        | Msg::CursorAck { .. }
         | Msg::Error { .. } => {
             latch_obs::counter_inc("serve.wire.rejects");
             latch_obs::emit(

@@ -98,6 +98,20 @@ echo "==> latch-router replica_stress (obs on)"
 cargo run --release -q -p latch-router --bin replica_stress --features obs -- \
     --seed 11 --sessions 6 --events 1200
 
+# Router-HA stress: a warm standby behind the primary router. Phase 1
+# kills the primary mid-stream under HaClient threads (odd seeds also
+# destroy one node's machine in the same blast) and the standby's
+# epoch-fenced takeover must drain every stream byte-identical; phase 2
+# reruns a deterministic router+node blast and requires byte-identical
+# reports, takeover record, and migration history across reruns.
+echo "==> latch-router router_ha_stress (obs off)"
+cargo run --release -q -p latch-router --bin router_ha_stress -- \
+    --seed 7 --sessions 6 --events 1000
+
+echo "==> latch-router router_ha_stress (obs on)"
+cargo run --release -q -p latch-router --bin router_ha_stress --features obs -- \
+    --seed 11 --sessions 6 --events 1000
+
 echo "==> cargo clippy --workspace (deny warnings)"
 cargo clippy -q --workspace --all-targets -- -D warnings
 
